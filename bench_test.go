@@ -1,0 +1,152 @@
+package merlin
+
+// One benchmark per table and figure of the paper's evaluation (§5). Each
+// wraps the corresponding internal/experiments function; run with
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks use the sampled experiment configuration so a full sweep
+// stays in interactive time; `merlin-bench -full <exp>` runs exhaustively.
+
+import (
+	"testing"
+
+	"merlin/internal/experiments"
+)
+
+var benchCfg = experiments.DefaultConfig()
+
+func benchErr(b *testing.B, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTable1 regenerates the benchmark-details table.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Table1(benchCfg)
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkFig10Sysdig regenerates Fig 10a (Sysdig compactness).
+func BenchmarkFig10Sysdig(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Compactness("sysdig", benchCfg)
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkFig10Tracee regenerates Fig 10b (Tracee compactness).
+func BenchmarkFig10Tracee(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Compactness("tracee", benchCfg)
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkFig10Tetragon regenerates Fig 10c (Tetragon compactness).
+func BenchmarkFig10Tetragon(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Compactness("tetragon", benchCfg)
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkFig10XDP regenerates Fig 10d (XDP compactness).
+func BenchmarkFig10XDP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Compactness("xdp", benchCfg)
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkFig10eK2 regenerates Fig 10e (Merlin vs K2 compactness).
+func BenchmarkFig10eK2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig10e(benchCfg)
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkFig10fVerifier regenerates Fig 10f (verifier NPI/time impact).
+func BenchmarkFig10fVerifier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig10f(benchCfg)
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkTable3 regenerates the throughput/latency table.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Table3(benchCfg)
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkFig11 regenerates the XDP hardware-counter figures.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig11(benchCfg)
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkTable4 regenerates the runtime-overhead table.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Table4(benchCfg)
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkFig12 regenerates the security-application counter figures.
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig12(benchCfg)
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkFig13a regenerates the per-optimizer compile-cost figure.
+func BenchmarkFig13a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig13a(benchCfg)
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkFig13b regenerates the Merlin-vs-K2 compile-time figure.
+func BenchmarkFig13b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig13b(benchCfg)
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkFig14 regenerates the xdp-balancer ablation.
+func BenchmarkFig14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig14(benchCfg)
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkFig15 regenerates the Sysdig ablation.
+func BenchmarkFig15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig15(benchCfg)
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkTable5 regenerates the verifier state-instability table.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Table5()
+		benchErr(b, err)
+	}
+}

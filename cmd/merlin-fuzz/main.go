@@ -1,0 +1,94 @@
+// Command merlin-fuzz drives the differential pipeline fuzzer from the
+// command line: it generates seeded random programs, builds them through
+// the full Merlin pipeline, checks verifier acceptance under both kernel
+// heuristics, and executes baseline vs optimized differentially. Any
+// divergence prints the offending seed and both disassemblies.
+//
+// Usage: merlin-fuzz [-seeds N] [-start S] [-maps] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"merlin/internal/core"
+	"merlin/internal/difftest"
+	"merlin/internal/ebpf"
+	"merlin/internal/verifier"
+	"merlin/internal/vm"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 200, "number of seeds to run")
+	start := flag.Int64("start", 0, "first seed")
+	useMaps := flag.Bool("maps", true, "include map operations")
+	verbose := flag.Bool("v", false, "print per-seed stats")
+	flag.Parse()
+
+	failures := 0
+	var totalBase, totalOpt int
+	for seed := *start; seed < *start+int64(*seeds); seed++ {
+		if err := runSeed(seed, *useMaps, *verbose, &totalBase, &totalOpt); err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "seed %d: FAIL: %v\n", seed, err)
+		}
+	}
+	fmt.Printf("%d seeds, %d failures; aggregate NI %d -> %d (%.1f%% reduction)\n",
+		*seeds, failures, totalBase, totalOpt,
+		100*float64(totalBase-totalOpt)/float64(totalBase))
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func runSeed(seed int64, useMaps, verbose bool, totalBase, totalOpt *int) error {
+	mod := difftest.Generate(seed, difftest.GenOptions{UseMaps: useMaps})
+	mcpu := 2
+	if seed%3 == 0 {
+		mcpu = 3
+	}
+	res, err := core.Build(mod, mod.Funcs[0].Name, core.Options{
+		Hook: ebpf.HookTracepoint, MCPU: mcpu, KernelALU32: true, Verify: true,
+	})
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	if st := verifier.Verify(res.Prog, verifier.Options{Version: verifier.V519}); !st.Passed {
+		return fmt.Errorf("v5.19 rejected: %w", st.Err)
+	}
+	*totalBase += res.Baseline.NI()
+	*totalOpt += res.Prog.NI()
+
+	base, err := vm.New(res.Baseline, vm.Config{Seed: 11})
+	if err != nil {
+		return err
+	}
+	opt, err := vm.New(res.Prog, vm.Config{Seed: 11})
+	if err != nil {
+		return err
+	}
+	for trial := 0; trial < 8; trial++ {
+		args := make([]uint64, 8)
+		for i := range args {
+			args[i] = uint64(seed)*2654435761 + uint64(trial*131+i*17)
+		}
+		ctx := vm.TracepointContext(args...)
+		a, _, err1 := base.Run(ctx, nil)
+		b, _, err2 := opt.Run(ctx, nil)
+		if (err1 == nil) != (err2 == nil) || a != b {
+			return fmt.Errorf("trial %d diverged: %d/%v vs %d/%v\n--- baseline ---\n%s--- optimized ---\n%s",
+				trial, a, err1, b, err2,
+				ebpf.Disassemble(res.Baseline), ebpf.Disassemble(res.Prog))
+		}
+	}
+	for i := range res.Prog.Maps {
+		if string(base.Map(i).Backing()) != string(opt.Map(i).Backing()) {
+			return fmt.Errorf("map %d diverged", i)
+		}
+	}
+	if verbose {
+		fmt.Printf("seed %d: NI %d -> %d ok\n", seed, res.Baseline.NI(), res.Prog.NI())
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+// Command merlin-objdump disassembles a compiled program object file in the
+// verifier-log style, with slot numbers and map summaries.
+//
+// Usage: merlin-objdump prog.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"merlin/internal/ebpf"
+	"merlin/internal/objfile"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: merlin-objdump prog.json")
+		os.Exit(1)
+	}
+	prog, err := objfile.Read(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "merlin-objdump:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("program %s  hook=%s  mcpu=v%d  NI=%d\n", prog.Name, prog.Hook, prog.MCPU, prog.NI())
+	for i, m := range prog.Maps {
+		fmt.Printf("map %d: %-24s key=%d value=%d max=%d\n", i, m.Name, m.KeySize, m.ValueSize, m.MaxEntries)
+	}
+	fmt.Println()
+	fmt.Print(ebpf.Disassemble(prog))
+}

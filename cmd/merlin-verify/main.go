@@ -1,0 +1,54 @@
+// Command merlin-verify runs the simulated kernel verifier on a compiled
+// program object file and prints the verdict plus the verifier's cost
+// statistics (NPI, state counts, wall time). With -log it also prints the
+// kernel-style per-instruction trace.
+//
+// Usage: merlin-verify [-kernel 5.19|6.5] [-log] prog.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"merlin/internal/objfile"
+	"merlin/internal/verifier"
+)
+
+func main() {
+	kernel := flag.String("kernel", "6.5", "verifier heuristics version (5.19 or 6.5)")
+	showLog := flag.Bool("log", false, "print the per-instruction verifier log")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: merlin-verify [-kernel V] [-log] prog.json")
+		os.Exit(1)
+	}
+	prog, err := objfile.Read(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "merlin-verify:", err)
+		os.Exit(1)
+	}
+	ver := verifier.V65
+	if *kernel == "5.19" {
+		ver = verifier.V519
+	}
+	level := 0
+	if *showLog {
+		level = 4
+	}
+	st := verifier.Verify(prog, verifier.Options{Version: ver, LogLevel: level})
+	if *showLog {
+		fmt.Print(st.Log)
+	}
+	fmt.Printf("program: %s (NI=%d, hook=%s)\n", prog.Name, prog.NI(), prog.Hook)
+	fmt.Printf("kernel:  %s heuristics\n", *kernel)
+	fmt.Printf("insn_processed: %d\n", st.NPI)
+	fmt.Printf("states: total=%d peak=%d\n", st.TotalStates, st.PeakStates)
+	fmt.Printf("time: %s\n", st.Duration.Round(0))
+	if st.Passed {
+		fmt.Println("verdict: ACCEPTED")
+		return
+	}
+	fmt.Printf("verdict: REJECTED: %v\n", st.Err)
+	os.Exit(1)
+}

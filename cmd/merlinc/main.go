@@ -1,0 +1,123 @@
+// Command merlinc compiles a textual IR module through the Merlin pipeline:
+// clang-style cleanup, IR refinement, lowering, bytecode refinement, and
+// verification. It prints a per-pass report and can emit the baseline and
+// optimized programs as object files or disassembly.
+//
+// Usage:
+//
+//	merlinc [flags] input.mir
+//
+//	-func name     entry function (default: first function in the module)
+//	-hook type     xdp | tracepoint | kprobe | socket_filter (default xdp)
+//	-mcpu N        2 or 3 (default 2)
+//	-o file        write the optimized program (JSON object file)
+//	-baseline file write the clang-only program too
+//	-S             print disassembly of the optimized program
+//	-no-verify     skip the simulated kernel verifier
+//	-disable list  comma-separated optimizers to disable
+//	               (DAO, MoF, CP&DCE, SLM, CC, PO)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"merlin/internal/core"
+	"merlin/internal/ebpf"
+	"merlin/internal/ir"
+	"merlin/internal/objfile"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "merlinc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fnName := flag.String("func", "", "entry function name")
+	hookName := flag.String("hook", "xdp", "attachment hook type")
+	mcpu := flag.Int("mcpu", 2, "instruction set level (2 or 3)")
+	out := flag.String("o", "", "output object file for the optimized program")
+	baselineOut := flag.String("baseline", "", "output object file for the clang-only program")
+	disasm := flag.Bool("S", false, "print optimized disassembly")
+	noVerify := flag.Bool("no-verify", false, "skip verification")
+	disable := flag.String("disable", "", "comma-separated optimizers to disable")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: merlinc [flags] input.mir")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	mod, err := ir.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	if *fnName == "" {
+		if len(mod.Funcs) == 0 {
+			return fmt.Errorf("module has no functions")
+		}
+		*fnName = mod.Funcs[0].Name
+	}
+	hooks := map[string]ebpf.HookType{
+		"xdp": ebpf.HookXDP, "tracepoint": ebpf.HookTracepoint,
+		"kprobe": ebpf.HookKprobe, "socket_filter": ebpf.HookSocketFilter,
+	}
+	hook, ok := hooks[*hookName]
+	if !ok {
+		return fmt.Errorf("unknown hook %q", *hookName)
+	}
+
+	opts := core.Options{Hook: hook, MCPU: *mcpu, KernelALU32: true, Verify: !*noVerify}
+	if *disable != "" {
+		disabled := map[string]bool{}
+		for _, d := range strings.Split(*disable, ",") {
+			disabled[strings.TrimSpace(d)] = true
+		}
+		enable := []core.Optimizer{} // non-nil: empty means "none", nil means "all"
+		for _, o := range core.AllOptimizers() {
+			if !disabled[string(o)] {
+				enable = append(enable, o)
+			}
+		}
+		opts.Enable = enable
+	}
+
+	res, err := core.Build(mod, *fnName, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-14s %6s %10s %10s\n", "pass", "tier", "applied", "time")
+	for _, st := range res.Stats {
+		fmt.Printf("%-14s %6s %10d %10s\n", st.Name, st.Tier, st.Applied, st.Duration.Round(0))
+	}
+	fmt.Printf("\nNI: %d -> %d  (%.1f%% reduction)\n",
+		res.Baseline.NI(), res.Prog.NI(), res.NIReduction()*100)
+	if !*noVerify {
+		fmt.Printf("verifier: NPI %d -> %d, states %d -> %d, %s -> %s\n",
+			res.BaselineVerification.NPI, res.Verification.NPI,
+			res.BaselineVerification.TotalStates, res.Verification.TotalStates,
+			res.BaselineVerification.Duration.Round(0), res.Verification.Duration.Round(0))
+	}
+	if *disasm {
+		fmt.Println("\n" + ebpf.Disassemble(res.Prog))
+	}
+	if *out != "" {
+		if err := objfile.Write(*out, res.Prog); err != nil {
+			return err
+		}
+	}
+	if *baselineOut != "" {
+		if err := objfile.Write(*baselineOut, res.Baseline); err != nil {
+			return err
+		}
+	}
+	return nil
+}

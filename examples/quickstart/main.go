@@ -1,0 +1,98 @@
+// The quickstart example builds a tiny XDP packet counter in the textual
+// IR, runs it through the full Merlin pipeline, prints the before/after
+// disassembly, and executes both versions on the VM to show they agree.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"merlin/internal/core"
+	"merlin/internal/ebpf"
+	"merlin/internal/ir"
+	"merlin/internal/vm"
+)
+
+const src = `module "quickstart"
+map @hits : array key=4 value=8 max=4
+
+func count(%ctx: ptr) -> i64 {
+entry:
+  %key = alloca 4, align 4
+  %vslot = alloca 8, align 8
+  store i32 %key, 0, align 4
+  %data = load ptr, %ctx, align 8
+  %endp = gep %ctx, 8
+  %end = load ptr, %endp, align 8
+  %lim = bin add i64 %data, 14
+  %short = icmp ugt i64 %lim, %end
+  condbr %short, drop, parse
+drop:
+  ret 1
+parse:
+  ; the u16 ethertype is loaded with align 1: watch DAO fix this
+  %d = load ptr, %ctx, align 8
+  %pp = gep %d, 12
+  %proto = load i16, %pp, align 1
+  %pz = zext i64, %proto
+  %ip = icmp eq i64 %pz, 8
+  condbr %ip, bump, pass
+pass:
+  ret 2
+bump:
+  %mp = mapptr @hits
+  %v = call 1, %mp, %key
+  store i64 %vslot, %v, align 8
+  %null = icmp eq i64 %v, 0
+  condbr %null, pass, doit
+doit:
+  %vp = load ptr, %vslot, align 8
+  %old = load i64, %vp, align 8
+  %new = bin add i64 %old, 1
+  store i64 %vp, %new, align 8
+  ret 2
+}
+`
+
+func main() {
+	mod, err := ir.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.Build(mod, "count", core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("=== baseline (clang only): %d instructions ===\n", res.Baseline.NI())
+	fmt.Print(ebpf.Disassemble(res.Baseline))
+	fmt.Printf("\n=== Merlin optimized: %d instructions (%.1f%% smaller) ===\n",
+		res.Prog.NI(), res.NIReduction()*100)
+	fmt.Print(ebpf.Disassemble(res.Prog))
+
+	fmt.Println("\npass report:")
+	for _, st := range res.Stats {
+		fmt.Printf("  %-8s (%s tier): %d rewrites in %s\n", st.Name, st.Tier, st.Applied, st.Duration.Round(0))
+	}
+	fmt.Printf("verifier: NPI %d -> %d\n", res.BaselineVerification.NPI, res.Verification.NPI)
+
+	// Execute both versions on an IPv4 packet.
+	pkt := make([]byte, 64)
+	pkt[12], pkt[13] = 0x08, 0x00
+	ctx := vm.BuildXDPContext(len(pkt))
+	for i, p := range []*ebpf.Program{res.Baseline, res.Prog} {
+		m, err := vm.New(p, vm.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ret, st, err := m.Run(ctx, pkt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := [2]string{"baseline", "optimized"}[i]
+		fmt.Printf("run %-9s: verdict=%d cycles=%d instructions=%d\n",
+			label, ret, st.Cycles, st.Instructions)
+	}
+}

@@ -1,0 +1,56 @@
+// The tracer example reproduces the paper's Table 4 workflow for one suite:
+// it takes Sysdig-like syscall-capture probes from the corpus, optimizes
+// them, attaches both versions, and reports the lmbench-style overhead
+// reduction computed with the paper's Equation 1.
+//
+// Run: go run ./examples/tracer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"merlin/internal/core"
+	"merlin/internal/corpus"
+	"merlin/internal/ebpf"
+	"merlin/internal/sysbench"
+)
+
+func main() {
+	specs := corpus.Sysdig()
+	// Attach the hot-path handlers (every 20th program keeps this example
+	// quick; merlin-bench table4 does the full measurement).
+	var orig, merlin []*ebpf.Program
+	for i := 0; i < len(specs); i += 20 {
+		spec := specs[i]
+		res, err := core.Build(spec.Mod, spec.Func, core.Options{
+			Hook: spec.Hook, MCPU: spec.MCPU, KernelALU32: true,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", spec.Name, err)
+		}
+		orig = append(orig, res.Baseline)
+		merlin = append(merlin, res.Prog)
+		fmt.Printf("probe %-28s NI %5d -> %5d\n", spec.Name, res.Baseline.NI(), res.Prog.NI())
+	}
+
+	origSet, err := sysbench.Attach(orig)
+	if err != nil {
+		log.Fatal(err)
+	}
+	merlinSet, err := sysbench.Attach(merlin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nper-event probe cost: %.0f -> %.0f cycles\n\n",
+		origSet.PerEventCycles, merlinSet.PerEventCycles)
+
+	fmt.Printf("%-18s %9s %10s %10s %10s\n", "lmbench test", "vanilla", "w/o merlin", "w/ merlin", "reduction")
+	for _, r := range sysbench.RunMicro(origSet, merlinSet) {
+		fmt.Printf("%-18s %8.2fu %9.2fu %9.2fu %9.1f%%\n",
+			r.Op.Name, r.VanillaUS, r.WithoutUS, r.WithUS, r.Reduction*100)
+	}
+	pm := sysbench.RunPostmark(origSet, merlinSet)
+	fmt.Printf("%-18s %8.2fs %9.2fs %9.2fs %9.1f%%\n",
+		"postmark", pm.VanillaS, pm.WithoutS, pm.WithS, pm.Reduction*100)
+}

@@ -1,0 +1,60 @@
+// The xdpfilter example takes the hXDP-style firewall from the benchmark
+// corpus, optimizes it, and measures what the paper's Table 3 measures:
+// single-core MLFFR throughput and loop latency under the four workload
+// levels, baseline vs Merlin.
+//
+// Run: go run ./examples/xdpfilter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"merlin/internal/core"
+	"merlin/internal/corpus"
+	"merlin/internal/netbench"
+)
+
+func main() {
+	var spec *corpus.ProgramSpec
+	for _, s := range corpus.XDP() {
+		if s.Name == "xdp_firewall" {
+			spec = s
+		}
+	}
+	if spec == nil {
+		log.Fatal("xdp_firewall not in corpus")
+	}
+	res, err := core.Build(spec.Mod, spec.Func, core.Options{
+		Hook: spec.Hook, MCPU: spec.MCPU, KernelALU32: true, Verify: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("xdp_firewall: NI %d -> %d (%.1f%% reduction), verifier NPI %d -> %d\n\n",
+		res.Baseline.NI(), res.Prog.NI(), res.NIReduction()*100,
+		res.BaselineVerification.NPI, res.Verification.NPI)
+
+	tr := netbench.NewTrace(500, 7)
+	base, err := netbench.ProfileProgram(res.Baseline, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := netbench.ProfileProgram(res.Prog, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s %14s %14s\n", "", "baseline", "merlin")
+	fmt.Printf("%-10s %11.3f Mpps %11.3f Mpps\n", "throughput", base.ThroughputMpps(), opt.ThroughputMpps())
+	fmt.Printf("%-10s %14.1f %14.1f\n", "cycles/pkt", base.MeanCycles, opt.MeanCycles)
+
+	best := opt.ThroughputMpps()
+	if b := base.ThroughputMpps(); b > best {
+		best = b
+	}
+	fmt.Println("\nlatency (us) by workload level:")
+	for l := netbench.LoadLow; l <= netbench.LoadSaturate; l++ {
+		rate := netbench.OfferedRate(l, base.ThroughputMpps(), best)
+		fmt.Printf("  %-9s %10.2f %14.2f\n", l, base.LatencyUS(rate), opt.LatencyUS(rate))
+	}
+}

@@ -1,0 +1,447 @@
+package bopt
+
+import (
+	"testing"
+
+	"merlin/internal/ebpf"
+	"merlin/internal/vm"
+)
+
+// runProg executes a program and returns r0 plus the final stack-adjacent
+// side effects via map state when present.
+func runProg(t *testing.T, p *ebpf.Program, ctx, pkt []byte) int64 {
+	t.Helper()
+	m, err := vm.New(p, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, _, err := m.Run(ctx, pkt)
+	if err != nil {
+		t.Fatalf("vm: %v\n%s", err, ebpf.Disassemble(p))
+	}
+	return ret
+}
+
+func TestCPDCEFig4(t *testing.T) {
+	// movq $1, r1; movq r1, -0x40(r10)  →  movq $1, -0x40(r10)
+	p := &ebpf.Program{Name: "fig4", Insns: []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R1, 1),
+		ebpf.StoreMem(ebpf.SizeDW, ebpf.R10, -64, ebpf.R1),
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R0, ebpf.R10, -64),
+		ebpf.Exit(),
+	}}
+	out, n, err := CPDCE(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || out.NI() != 3 {
+		t.Fatalf("NI = %d (applied %d), want 3:\n%s", out.NI(), n, ebpf.Disassemble(out))
+	}
+	if out.Insns[0].Class() != ebpf.ClassST {
+		t.Fatalf("expected st.imm first:\n%s", ebpf.Disassemble(out))
+	}
+	if got := runProg(t, out, nil, nil); got != 1 {
+		t.Fatalf("ret = %d", got)
+	}
+}
+
+func TestCPDCEKeepsLiveMov(t *testing.T) {
+	// r1 is also returned: the mov must survive.
+	p := &ebpf.Program{Name: "live", Insns: []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R1, 1),
+		ebpf.StoreMem(ebpf.SizeDW, ebpf.R10, -64, ebpf.R1),
+		ebpf.Mov64Reg(ebpf.R0, ebpf.R1),
+		ebpf.Exit(),
+	}}
+	out, _, err := CPDCE(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runProg(t, out, nil, nil); got != 1 {
+		t.Fatalf("ret = %d", got)
+	}
+}
+
+func TestCPDCEAcrossBranchJoinStaysPut(t *testing.T) {
+	// r1 differs per path: the store must NOT become an immediate.
+	p := &ebpf.Program{Name: "join", Insns: []ebpf.Instruction{
+		ebpf.JumpImm(ebpf.JumpEq, ebpf.R1, 0, 2),
+		ebpf.Mov64Imm(ebpf.R2, 1),
+		ebpf.Jump(1),
+		ebpf.Mov64Imm(ebpf.R2, 2),
+		ebpf.StoreMem(ebpf.SizeDW, ebpf.R10, -8, ebpf.R2),
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R0, ebpf.R10, -8),
+		ebpf.Exit(),
+	}}
+	out, _, err := CPDCE(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasSTX := false
+	for _, ins := range out.Insns {
+		if ins.Class() == ebpf.ClassSTX {
+			hasSTX = true
+		}
+	}
+	if !hasSTX {
+		t.Fatalf("join store must remain register-based:\n%s", ebpf.Disassemble(out))
+	}
+}
+
+func TestCPDCEWideConstantStore(t *testing.T) {
+	// A 64-bit constant that doesn't fit imm32 must not fold into st.dw.
+	p := &ebpf.Program{Name: "wide", Insns: []ebpf.Instruction{
+		ebpf.LoadImm64(ebpf.R1, 0x1_0000_0000),
+		ebpf.StoreMem(ebpf.SizeDW, ebpf.R10, -8, ebpf.R1),
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R0, ebpf.R10, -8),
+		ebpf.Exit(),
+	}}
+	out, _, err := CPDCE(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runProg(t, out, nil, nil); got != 0x1_0000_0000 {
+		t.Fatalf("ret = %#x", got)
+	}
+}
+
+func TestCPDCERewritesALUAndJumps(t *testing.T) {
+	p := &ebpf.Program{Name: "alu", Insns: []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R2, 3),
+		ebpf.Mov64Imm(ebpf.R0, 10),
+		ebpf.ALU64Reg(ebpf.ALUAdd, ebpf.R0, ebpf.R2), // → add r0, 3 (then folds)
+		ebpf.JumpReg(ebpf.JumpGT, ebpf.R0, ebpf.R2, 1),
+		ebpf.Mov64Imm(ebpf.R0, 0),
+		ebpf.Exit(),
+	}}
+	out, n, err := CPDCE(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no rewrites applied")
+	}
+	if got := runProg(t, out, nil, nil); got != 13 {
+		t.Fatalf("ret = %d, want 13", got)
+	}
+	if out.NI() >= p.NI() {
+		t.Fatalf("NI did not shrink: %d → %d", p.NI(), out.NI())
+	}
+}
+
+func TestSLMFig5(t *testing.T) {
+	// movl $0, -4(r10); movl $1, -8(r10) → movq $1, -8(r10)
+	p := &ebpf.Program{Name: "fig5", Insns: []ebpf.Instruction{
+		ebpf.StoreImm(ebpf.SizeW, ebpf.R10, -4, 0),
+		ebpf.StoreImm(ebpf.SizeW, ebpf.R10, -8, 1),
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R0, ebpf.R10, -8),
+		ebpf.Exit(),
+	}}
+	out, n, err := SLM(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || out.NI() != 3 {
+		t.Fatalf("applied=%d NI=%d:\n%s", n, out.NI(), ebpf.Disassemble(out))
+	}
+	if out.Insns[0].SizeField() != ebpf.SizeDW || out.Insns[0].Offset != -8 || out.Insns[0].Imm != 1 {
+		t.Fatalf("bad merge: %s", ebpf.Mnemonic(out.Insns[0]))
+	}
+	if got := runProg(t, out, nil, nil); got != 1 {
+		t.Fatalf("ret = %d", got)
+	}
+}
+
+func TestSLMCascade(t *testing.T) {
+	// Four u8 stores cascade into one u32 store.
+	p := &ebpf.Program{Name: "cascade", Insns: []ebpf.Instruction{
+		ebpf.StoreImm(ebpf.SizeB, ebpf.R10, -4, 0x44),
+		ebpf.StoreImm(ebpf.SizeB, ebpf.R10, -3, 0x33),
+		ebpf.StoreImm(ebpf.SizeB, ebpf.R10, -2, 0x22),
+		ebpf.StoreImm(ebpf.SizeB, ebpf.R10, -1, 0x11),
+		ebpf.LoadMem(ebpf.SizeW, ebpf.R0, ebpf.R10, -4),
+		ebpf.Exit(),
+	}}
+	out, _, err := SLM(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NI() != 3 {
+		t.Fatalf("NI = %d, want 3:\n%s", out.NI(), ebpf.Disassemble(out))
+	}
+	if got := runProg(t, out, nil, nil); got != 0x11223344 {
+		t.Fatalf("ret = %#x", got)
+	}
+}
+
+func TestSLMRejectsMisaligned(t *testing.T) {
+	// Adjacent u32 stores at -12/-8: merged u64 store at -12 would be
+	// misaligned; must stay split.
+	p := &ebpf.Program{Name: "mis", Insns: []ebpf.Instruction{
+		ebpf.StoreImm(ebpf.SizeW, ebpf.R10, -12, 1),
+		ebpf.StoreImm(ebpf.SizeW, ebpf.R10, -8, 2),
+		ebpf.Mov64Imm(ebpf.R0, 0),
+		ebpf.Exit(),
+	}}
+	out, n, err := SLM(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || out.NI() != p.NI() {
+		t.Fatalf("misaligned merge applied:\n%s", ebpf.Disassemble(out))
+	}
+}
+
+func TestSLMRejectsGapAndDifferentBase(t *testing.T) {
+	p := &ebpf.Program{Name: "gap", Insns: []ebpf.Instruction{
+		ebpf.StoreImm(ebpf.SizeW, ebpf.R10, -16, 1),
+		ebpf.StoreImm(ebpf.SizeW, ebpf.R10, -8, 2), // gap
+		ebpf.Mov64Reg(ebpf.R1, ebpf.R10),
+		ebpf.StoreImm(ebpf.SizeW, ebpf.R10, -24, 1),
+		ebpf.StoreImm(ebpf.SizeW, ebpf.R1, -20, 2), // different base reg
+		ebpf.Mov64Imm(ebpf.R0, 0),
+		ebpf.Exit(),
+	}}
+	_, n, err := SLM(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("unsafe merges applied: %d", n)
+	}
+}
+
+func TestCompactFig8(t *testing.T) {
+	p := &ebpf.Program{Name: "fig8", Insns: []ebpf.Instruction{
+		ebpf.LoadImm64(ebpf.R0, -1),
+		ebpf.ALU64Imm(ebpf.ALULsh, ebpf.R0, 32),
+		ebpf.ALU64Imm(ebpf.ALURsh, ebpf.R0, 32),
+		ebpf.Exit(),
+	}}
+	out, n, err := Compact(p, Options{ALU32: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || out.NI() != 4 { // lddw(2) + movl + exit
+		t.Fatalf("applied=%d NI=%d:\n%s", n, out.NI(), ebpf.Disassemble(out))
+	}
+	if got := runProg(t, out, nil, nil); uint64(got) != 0xffffffff {
+		t.Fatalf("ret = %#x", got)
+	}
+}
+
+func TestCompactMovFusion(t *testing.T) {
+	// mov r0, r1; shl; shr → movl r0, r1
+	p := &ebpf.Program{Name: "movfuse", Insns: []ebpf.Instruction{
+		ebpf.LoadImm64(ebpf.R1, 0x1_2345_6789),
+		ebpf.Mov64Reg(ebpf.R0, ebpf.R1),
+		ebpf.ALU64Imm(ebpf.ALULsh, ebpf.R0, 32),
+		ebpf.ALU64Imm(ebpf.ALURsh, ebpf.R0, 32),
+		ebpf.Exit(),
+	}}
+	out, n, err := Compact(p, Options{ALU32: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || out.NI() != 4 {
+		t.Fatalf("applied=%d NI=%d:\n%s", n, out.NI(), ebpf.Disassemble(out))
+	}
+	if got := runProg(t, out, nil, nil); got != 0x23456789 {
+		t.Fatalf("ret = %#x", got)
+	}
+}
+
+func TestCompactDisabledWithoutALU32(t *testing.T) {
+	p := &ebpf.Program{Name: "noalu32", Insns: []ebpf.Instruction{
+		ebpf.ALU64Imm(ebpf.ALULsh, ebpf.R0, 32),
+		ebpf.ALU64Imm(ebpf.ALURsh, ebpf.R0, 32),
+		ebpf.Exit(),
+	}}
+	_, n, err := Compact(p, Options{ALU32: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatal("pass must be gated on ALU32 capability")
+	}
+}
+
+func TestCompactRespectsBranchTarget(t *testing.T) {
+	// A branch lands between shl and shr: rewrite is unsound.
+	p := &ebpf.Program{Name: "target", Insns: []ebpf.Instruction{
+		ebpf.JumpImm(ebpf.JumpEq, ebpf.R1, 0, 1),
+		ebpf.ALU64Imm(ebpf.ALULsh, ebpf.R0, 32),
+		ebpf.ALU64Imm(ebpf.ALURsh, ebpf.R0, 32), // branch target
+		ebpf.Exit(),
+	}}
+	_, n, err := Compact(p, Options{ALU32: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatal("rewrote across a branch target")
+	}
+}
+
+func TestPeepholeFig9(t *testing.T) {
+	// lddw r3, 0xf0000000; and r8, r3; shr r8, 28  →  shl r8, 32; shr r8, 60
+	p := &ebpf.Program{Name: "fig9", Insns: []ebpf.Instruction{
+		ebpf.LoadImm64(ebpf.R8, 0xdeadbeef),
+		ebpf.LoadImm64(ebpf.R3, 0xf0000000),
+		ebpf.ALU64Reg(ebpf.ALUAnd, ebpf.R8, ebpf.R3),
+		ebpf.ALU64Imm(ebpf.ALURsh, ebpf.R8, 28),
+		ebpf.Mov64Reg(ebpf.R0, ebpf.R8),
+		ebpf.Exit(),
+	}}
+	out, n, err := Peephole(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("applied = %d:\n%s", n, ebpf.Disassemble(out))
+	}
+	if out.NI() != p.NI()-2 {
+		t.Fatalf("NI %d → %d, want -2 slots", p.NI(), out.NI())
+	}
+	want := runProg(t, p, nil, nil)
+	if got := runProg(t, out, nil, nil); got != want || got != 0xd {
+		t.Fatalf("ret = %#x, want %#x", got, want)
+	}
+}
+
+func TestPeepholeRequiresDeadMask(t *testing.T) {
+	// r3 used again afterwards: rewrite must not fire.
+	p := &ebpf.Program{Name: "livemask", Insns: []ebpf.Instruction{
+		ebpf.LoadImm64(ebpf.R8, 0xdeadbeef),
+		ebpf.LoadImm64(ebpf.R3, 0xf0000000),
+		ebpf.ALU64Reg(ebpf.ALUAnd, ebpf.R8, ebpf.R3),
+		ebpf.ALU64Imm(ebpf.ALURsh, ebpf.R8, 28),
+		ebpf.Mov64Reg(ebpf.R0, ebpf.R3),
+		ebpf.Exit(),
+	}}
+	_, n, err := Peephole(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatal("rewrote despite live mask register")
+	}
+}
+
+func TestPeepholeWrongMaskIgnored(t *testing.T) {
+	p := &ebpf.Program{Name: "wrongmask", Insns: []ebpf.Instruction{
+		ebpf.LoadImm64(ebpf.R3, 0xf0000001), // not a shift mask
+		ebpf.ALU64Reg(ebpf.ALUAnd, ebpf.R8, ebpf.R3),
+		ebpf.ALU64Imm(ebpf.ALURsh, ebpf.R8, 28),
+		ebpf.Mov64Reg(ebpf.R0, ebpf.R8),
+		ebpf.Exit(),
+	}}
+	_, n, err := Peephole(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatal("rewrote a non-mask and")
+	}
+}
+
+func TestPeepholeIdentities(t *testing.T) {
+	p := &ebpf.Program{Name: "ids", Insns: []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R0, 7),
+		ebpf.ALU64Imm(ebpf.ALUAdd, ebpf.R0, 0),
+		ebpf.ALU64Imm(ebpf.ALUMul, ebpf.R0, 1),
+		ebpf.Mov64Reg(ebpf.R0, ebpf.R0),
+		ebpf.ALU64Imm(ebpf.ALULsh, ebpf.R0, 0),
+		ebpf.Exit(),
+	}}
+	out, n, err := Peephole(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 || out.NI() != 2 {
+		t.Fatalf("applied=%d NI=%d:\n%s", n, out.NI(), ebpf.Disassemble(out))
+	}
+	if got := runProg(t, out, nil, nil); got != 7 {
+		t.Fatalf("ret = %d", got)
+	}
+}
+
+func TestRunAllPipelineStats(t *testing.T) {
+	p := &ebpf.Program{Name: "all", Insns: []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R1, 0),
+		ebpf.StoreMem(ebpf.SizeW, ebpf.R10, -4, ebpf.R1),
+		ebpf.Mov64Imm(ebpf.R1, 1),
+		ebpf.StoreMem(ebpf.SizeW, ebpf.R10, -8, ebpf.R1),
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R0, ebpf.R10, -8),
+		ebpf.Exit(),
+	}}
+	out, stats, err := RunAll(p, Options{ALU32: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CP&DCE: stores become immediates, movs die. SLM: stores merge.
+	if out.NI() != 3 {
+		t.Fatalf("NI = %d, want 3:\n%s", out.NI(), ebpf.Disassemble(out))
+	}
+	if len(stats) != 5 { // Dep + 4 passes
+		t.Fatalf("stats = %d", len(stats))
+	}
+	if stats[0].Pass != "Dep" {
+		t.Fatalf("first stat = %s", stats[0].Pass)
+	}
+	if got := runProg(t, out, nil, nil); got != 1 {
+		t.Fatalf("ret = %d", got)
+	}
+	// Input must be untouched.
+	if p.NI() != 6 {
+		t.Fatalf("input mutated: NI = %d", p.NI())
+	}
+}
+
+func TestCPDCEBranchFolding(t *testing.T) {
+	// r1 is provably 5: the branch is always taken, the dead arm vanishes.
+	p := &ebpf.Program{Name: "fold", Insns: []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R1, 5),
+		ebpf.JumpImm(ebpf.JumpGT, ebpf.R1, 3, 2), // always taken
+		ebpf.Mov64Imm(ebpf.R0, 111),              // dead
+		ebpf.Exit(),                              // dead
+		ebpf.Mov64Imm(ebpf.R0, 7),
+		ebpf.Exit(),
+	}}
+	out, n, err := CPDCE(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no folds applied")
+	}
+	if got := runProg(t, out, nil, nil); got != 7 {
+		t.Fatalf("ret = %d, want 7", got)
+	}
+	for _, ins := range out.Insns {
+		if ins.Class().IsALU() && ins.Imm == 111 {
+			t.Fatalf("dead arm survived:\n%s", ebpf.Disassemble(out))
+		}
+	}
+}
+
+func TestCPDCENeverTakenBranchDeleted(t *testing.T) {
+	p := &ebpf.Program{Name: "nofold", Insns: []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R1, 1),
+		ebpf.JumpImm(ebpf.JumpEq, ebpf.R1, 2, 2), // never taken
+		ebpf.Mov64Imm(ebpf.R0, 7),
+		ebpf.Exit(),
+		ebpf.Mov64Imm(ebpf.R0, 9), // unreachable once branch folds
+		ebpf.Exit(),
+	}}
+	out, _, err := CPDCE(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runProg(t, out, nil, nil); got != 7 {
+		t.Fatalf("ret = %d", got)
+	}
+	if out.NI() != 2 { // mov 7 + exit (mov r1 dead too)
+		t.Fatalf("NI = %d, want 2:\n%s", out.NI(), ebpf.Disassemble(out))
+	}
+}

@@ -1,0 +1,152 @@
+package bopt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"merlin/internal/ebpf"
+	"merlin/internal/vm"
+)
+
+// genLinear builds a random straight-line program that is memory-safe by
+// construction: it only touches its own stack, initializes slots before
+// reading them, and ends by folding the registers into r0. This exercises
+// the bytecode passes on shapes the IR pipeline never emits.
+func genLinear(seed int64) *ebpf.Program {
+	rng := rand.New(rand.NewSource(seed))
+	var insns []ebpf.Instruction
+	regs := []ebpf.Register{ebpf.R1, ebpf.R2, ebpf.R3, ebpf.R4, ebpf.R5, ebpf.R6, ebpf.R7}
+	// Initialize registers and a few stack slots.
+	for _, r := range regs {
+		insns = append(insns, ebpf.Mov64Imm(r, int32(rng.Intn(1<<16))))
+	}
+	slots := []int16{-8, -16, -24, -32}
+	for _, off := range slots {
+		insns = append(insns, ebpf.StoreMem(ebpf.SizeDW, ebpf.R10, off, regs[rng.Intn(len(regs))]))
+	}
+	reg := func() ebpf.Register { return regs[rng.Intn(len(regs))] }
+	slot := func() int16 { return slots[rng.Intn(len(slots))] }
+	alus := []ebpf.ALUOp{ebpf.ALUAdd, ebpf.ALUSub, ebpf.ALUMul, ebpf.ALUAnd, ebpf.ALUOr, ebpf.ALUXor}
+	n := 10 + rng.Intn(40)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			insns = append(insns, ebpf.Mov64Imm(reg(), int32(rng.Intn(1<<20))))
+		case 1:
+			insns = append(insns, ebpf.ALU64Imm(alus[rng.Intn(len(alus))], reg(), int32(rng.Intn(256))))
+		case 2:
+			insns = append(insns, ebpf.ALU64Reg(alus[rng.Intn(len(alus))], reg(), reg()))
+		case 3:
+			insns = append(insns, ebpf.StoreMem(ebpf.SizeDW, ebpf.R10, slot(), reg()))
+		case 4:
+			insns = append(insns, ebpf.LoadMem(ebpf.SizeDW, reg(), ebpf.R10, slot()))
+		case 5:
+			// Narrow constant store pairs (SLM bait).
+			off := slot()
+			insns = append(insns,
+				ebpf.StoreImm(ebpf.SizeW, ebpf.R10, off, int32(rng.Intn(4))),
+				ebpf.StoreImm(ebpf.SizeW, ebpf.R10, off+4, int32(rng.Intn(4))))
+		case 6:
+			// Zero-extension pair (CC bait).
+			r := reg()
+			insns = append(insns,
+				ebpf.ALU64Imm(ebpf.ALULsh, r, 32),
+				ebpf.ALU64Imm(ebpf.ALURsh, r, 32))
+		default:
+			// Mask/shift triple (PO bait).
+			k := int32(rng.Intn(24) + 4)
+			mask := (uint64(0xffffffff) >> k) << k
+			r := reg()
+			m := reg()
+			if m == r {
+				m = ebpf.R8
+			}
+			insns = append(insns,
+				ebpf.LoadImm64(m, int64(mask)),
+				ebpf.ALU64Reg(ebpf.ALUAnd, r, m),
+				ebpf.ALU64Imm(ebpf.ALURsh, r, k))
+		}
+	}
+	// Fold everything into r0.
+	insns = append(insns, ebpf.Mov64Imm(ebpf.R0, 0))
+	for _, r := range regs {
+		insns = append(insns, ebpf.ALU64Reg(ebpf.ALUXor, ebpf.R0, r))
+	}
+	for _, off := range slots {
+		insns = append(insns,
+			ebpf.LoadMem(ebpf.SizeDW, ebpf.R8, ebpf.R10, off),
+			ebpf.ALU64Reg(ebpf.ALUXor, ebpf.R0, ebpf.R8))
+	}
+	insns = append(insns, ebpf.Exit())
+	return &ebpf.Program{Name: "prop", Hook: ebpf.HookXDP, Insns: insns}
+}
+
+func runR0(t *testing.T, p *ebpf.Program) int64 {
+	t.Helper()
+	m, err := vm.New(p, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, _, err := m.Run(nil, nil)
+	if err != nil {
+		t.Fatalf("vm: %v\n%s", err, ebpf.Disassemble(p))
+	}
+	return ret
+}
+
+// TestPassesPreserveSemanticsProperty: every refinement pass, and the whole
+// pipeline, must preserve the program result on random linear programs, and
+// must never grow NI.
+func TestPassesPreserveSemanticsProperty(t *testing.T) {
+	passes := Pipeline()
+	f := func(seed int64) bool {
+		p := genLinear(seed % 10000)
+		want := runR0(t, p)
+		// Each pass alone.
+		for _, pass := range passes {
+			out, _, err := pass.Run(p, Options{ALU32: true})
+			if err != nil {
+				t.Logf("seed %d: %s failed: %v", seed, pass.Name, err)
+				return false
+			}
+			if out.NI() > p.NI() {
+				t.Logf("seed %d: %s grew NI %d → %d", seed, pass.Name, p.NI(), out.NI())
+				return false
+			}
+			if got := runR0(t, out); got != want {
+				t.Logf("seed %d: %s changed result %d → %d\n--- before ---\n%s--- after ---\n%s",
+					seed, pass.Name, want, got, ebpf.Disassemble(p), ebpf.Disassemble(out))
+				return false
+			}
+		}
+		// Full pipeline.
+		out, _, err := RunAll(p, Options{ALU32: true})
+		if err != nil {
+			return false
+		}
+		return runR0(t, out) == want && out.NI() <= p.NI()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineShrinksBaitedPrograms: the generated programs contain
+// deliberate redundancy, so the pipeline should consistently find wins.
+func TestPipelineShrinksBaitedPrograms(t *testing.T) {
+	shrunk := 0
+	for seed := int64(0); seed < 30; seed++ {
+		p := genLinear(seed)
+		out, _, err := RunAll(p, Options{ALU32: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.NI() < p.NI() {
+			shrunk++
+		}
+	}
+	if shrunk < 25 {
+		t.Fatalf("only %d/30 baited programs shrank", shrunk)
+	}
+}

@@ -1,0 +1,324 @@
+package codegen
+
+import (
+	"fmt"
+
+	"merlin/internal/ebpf"
+	"merlin/internal/ir"
+)
+
+// lowerCall emits a helper call. R0-R5 are clobbered, so live values in
+// caller-saved registers are evacuated to callee-saved registers when one is
+// free, otherwise spilled. Arguments are then staged into R1..R5 from
+// conflict-free sources (callee regs, spill slots, constants, map pseudos).
+func (lw *lowerer) lowerCall(in *ir.Instr) error {
+	ra := lw.regs
+	// Evacuate caller-saved registers.
+	for _, r := range callerRegs {
+		v := ra.inReg[r]
+		if v == nil {
+			continue
+		}
+		if dst := ra.takeFree(calleeRegs); dst != ebpf.PseudoReg {
+			lw.emit(ebpf.Mov64Reg(dst, r))
+			ra.inReg[r] = nil
+			ra.inReg[dst] = v
+			ra.locs[v].reg = dst
+			continue
+		}
+		if err := ra.spill(r); err != nil {
+			return err
+		}
+	}
+	// Stage arguments.
+	if len(in.Args) > 5 {
+		return fmt.Errorf("helper %d called with %d args", in.Helper, len(in.Args))
+	}
+	for i, arg := range in.Args {
+		dst := ebpf.Register(ebpf.R1 + ebpf.Register(i))
+		if err := lw.stageArg(dst, arg); err != nil {
+			return err
+		}
+	}
+	lw.emit(ebpf.Call(int32(in.Helper)))
+	// The result lives in R0 until something needs the register.
+	if len(ra.uses[in]) > 0 {
+		ra.inReg[ebpf.R0] = in
+		l := ra.ensureLoc(in)
+		l.reg = ebpf.R0
+		l.clean = true
+	}
+	return nil
+}
+
+// stageArg loads an argument value into a specific register. Sources never
+// reside in R1-R5 at this point (callers were evacuated), so staging in
+// ascending order cannot clobber a pending source.
+func (lw *lowerer) stageArg(dst ebpf.Register, arg ir.Value) error {
+	switch x := arg.(type) {
+	case *ir.Const:
+		lw.materializeConst(dst, constBits(x))
+		return nil
+	case *ir.Param:
+		r, err := lw.paramReg(x)
+		if err != nil {
+			return err
+		}
+		lw.emit(ebpf.Mov64Reg(dst, r))
+		return nil
+	case *ir.Instr:
+		switch x.Op {
+		case ir.OpMapPtr:
+			lw.emit(ebpf.LoadMapPtr(dst, lw.mapIndex(x.Map)))
+			return nil
+		case ir.OpAlloca:
+			lw.emit(ebpf.Mov64Reg(dst, ebpf.R10))
+			lw.emit(ebpf.ALU64Imm(ebpf.ALUAdd, dst, int32(lw.allocaOff[x])))
+			return nil
+		case ir.OpGEP:
+			if base, off, ok := lw.foldedAddr(x); ok {
+				lw.emit(ebpf.Mov64Reg(dst, base))
+				if off != 0 {
+					lw.emit(ebpf.ALU64Imm(ebpf.ALUAdd, dst, int32(off)))
+				}
+				return nil
+			}
+		}
+		l := lw.regs.locs[x]
+		if l == nil {
+			return fmt.Errorf("argument %%%s has no location", x.Name)
+		}
+		if l.reg != ebpf.PseudoReg {
+			lw.emit(ebpf.Mov64Reg(dst, l.reg))
+			return nil
+		}
+		if !l.hasSlot {
+			return fmt.Errorf("argument %%%s neither in register nor spilled", x.Name)
+		}
+		lw.emit(ebpf.LoadMem(ebpf.SizeDW, dst, ebpf.R10, l.slot))
+		return nil
+	}
+	return fmt.Errorf("unsupported argument %T", arg)
+}
+
+// lowerAtomic emits the locked read-modify-write (Fig 7's xadd family).
+func (lw *lowerer) lowerAtomic(in *ir.Instr) error {
+	ra := lw.regs
+	width := in.Ty.Bytes()
+	sz, _ := ebpf.SizeForBytes(width)
+	var op ebpf.AtomicOp
+	switch in.Bin {
+	case ir.Add:
+		op = ebpf.AtomicAdd
+	case ir.And:
+		op = ebpf.AtomicAnd
+	case ir.Or:
+		op = ebpf.AtomicOr
+	case ir.Xor:
+		op = ebpf.AtomicXor
+	default:
+		return fmt.Errorf("atomicrmw %s not supported", in.Bin)
+	}
+	base, off, baseTemp, err := lw.address(in.Args[0])
+	if err != nil {
+		return err
+	}
+	src, srcTemp, err := lw.operandReg(in.Args[1])
+	if err != nil {
+		return err
+	}
+	lw.emit(ebpf.Atomic(sz, op, base, off, src))
+	if baseTemp {
+		ra.freeTemp(base)
+	}
+	if srcTemp {
+		ra.freeTemp(src)
+	}
+	return nil
+}
+
+var jumpFor = map[ir.CmpPred]ebpf.JumpOp{
+	ir.EQ: ebpf.JumpEq, ir.NE: ebpf.JumpNE,
+	ir.ULT: ebpf.JumpLT, ir.ULE: ebpf.JumpLE, ir.UGT: ebpf.JumpGT, ir.UGE: ebpf.JumpGE,
+	ir.SLT: ebpf.JumpSLT, ir.SLE: ebpf.JumpSLE, ir.SGT: ebpf.JumpSGT, ir.SGE: ebpf.JumpSGE,
+}
+
+func predSigned(p ir.CmpPred) bool {
+	switch p {
+	case ir.SLT, ir.SLE, ir.SGT, ir.SGE:
+		return true
+	}
+	return false
+}
+
+// cmpWidth picks the comparison width from the operands.
+func cmpWidth(a, b ir.Value) int {
+	w := 8
+	if ai, ok := a.(*ir.Instr); ok {
+		w = ai.Type().Bytes()
+	} else if _, ok := a.(*ir.Const); ok {
+		if bi, ok := b.(*ir.Instr); ok {
+			w = bi.Type().Bytes()
+		}
+	}
+	return w
+}
+
+// emitCompareJump emits "if a pred b goto <fixup>" and returns the fixup
+// element index.
+func (lw *lowerer) emitCompareJump(pred ir.CmpPred, a, b ir.Value) (int, error) {
+	ra := lw.regs
+	width := cmpWidth(a, b)
+	useJMP32 := lw.opts.MCPU >= 3 && width == 4 && !predSigned(pred)
+
+	prep := func(v ir.Value) (ebpf.Register, bool, error) {
+		if useJMP32 || width == 8 {
+			return lw.operandReg(v)
+		}
+		if predSigned(pred) {
+			return lw.signExtendOperand(v, width)
+		}
+		return lw.cleanOperand(v, width)
+	}
+
+	ar, aTemp, err := prep(a)
+	if err != nil {
+		return 0, err
+	}
+	// Immediate form for constant right-hand sides.
+	if c, ok := b.(*ir.Const); ok {
+		bits := constBits(c)
+		cmpBits := bits
+		if predSigned(pred) {
+			cmpBits = uint64(signExtendConst(c))
+		}
+		if fitsImm32(cmpBits) {
+			var fi int
+			if useJMP32 {
+				fi = lw.emit(ebpf.Jump32Imm(jumpFor[pred], ar, int32(int64(cmpBits)), 0))
+			} else {
+				fi = lw.emit(ebpf.JumpImm(jumpFor[pred], ar, int32(int64(cmpBits)), 0))
+			}
+			if aTemp {
+				ra.freeTemp(ar)
+			}
+			return fi, nil
+		}
+	}
+	br, bTemp, err := prep(b)
+	if err != nil {
+		return 0, err
+	}
+	var fi int
+	if useJMP32 {
+		fi = lw.emit(ebpf.Jump32Reg(jumpFor[pred], ar, br, 0))
+	} else {
+		fi = lw.emit(ebpf.JumpReg(jumpFor[pred], ar, br, 0))
+	}
+	if aTemp {
+		ra.freeTemp(ar)
+	}
+	if bTemp {
+		ra.freeTemp(br)
+	}
+	return fi, nil
+}
+
+func signExtendConst(c *ir.Const) int64 {
+	switch c.Ty.Bytes() {
+	case 1:
+		return int64(int8(c.Val))
+	case 2:
+		return int64(int16(c.Val))
+	case 4:
+		return int64(int32(c.Val))
+	}
+	return c.Val
+}
+
+// lowerICmpValue materializes a comparison result as 0/1 — used when the
+// icmp is not fused into the terminator.
+func (lw *lowerer) lowerICmpValue(in *ir.Instr) error {
+	ra := lw.regs
+	dst, err := ra.alloc(in, ra.cross[in])
+	if err != nil {
+		return err
+	}
+	lw.emit(ebpf.Mov64Imm(dst, 1))
+	fi, err := lw.emitCompareJump(in.Pred, in.Args[0], in.Args[1])
+	if err != nil {
+		return err
+	}
+	lw.emit(ebpf.Mov64Imm(dst, 0))
+	// Jump over the "mov 0": branch targets the next element.
+	lw.insns[fi].Offset = 1
+	ra.locs[in].clean = true
+	return nil
+}
+
+func (lw *lowerer) lowerCondBr(in *ir.Instr, next *ir.Block) error {
+	tBlk, fBlk := in.Blocks[0], in.Blocks[1]
+	cmp, fusedOK := in.Args[0].(*ir.Instr)
+	if fusedOK && lw.regs.fused[cmp] {
+		pred, a, b := cmp.Pred, cmp.Args[0], cmp.Args[1]
+		if tBlk == next {
+			// Invert: jump to the false target, fall through to true.
+			fi, err := lw.emitCompareJump(pred.Inverse(), a, b)
+			if err != nil {
+				return err
+			}
+			lw.fixups = append(lw.fixups, fixup{fi, fBlk})
+			return nil
+		}
+		fi, err := lw.emitCompareJump(pred, a, b)
+		if err != nil {
+			return err
+		}
+		lw.fixups = append(lw.fixups, fixup{fi, tBlk})
+		if fBlk != next {
+			ji := lw.emit(ebpf.Jump(0))
+			lw.fixups = append(lw.fixups, fixup{ji, fBlk})
+		}
+		return nil
+	}
+	// Generic: branch on cond != 0.
+	r, isTemp, err := lw.operandReg(in.Args[0])
+	if err != nil {
+		return err
+	}
+	if tBlk == next {
+		fi := lw.emit(ebpf.JumpImm(ebpf.JumpEq, r, 0, 0))
+		lw.fixups = append(lw.fixups, fixup{fi, fBlk})
+	} else {
+		fi := lw.emit(ebpf.JumpImm(ebpf.JumpNE, r, 0, 0))
+		lw.fixups = append(lw.fixups, fixup{fi, tBlk})
+		if fBlk != next {
+			ji := lw.emit(ebpf.Jump(0))
+			lw.fixups = append(lw.fixups, fixup{ji, fBlk})
+		}
+	}
+	if isTemp {
+		lw.regs.freeTemp(r)
+	}
+	return nil
+}
+
+func (lw *lowerer) lowerRet(in *ir.Instr) error {
+	switch x := in.Args[0].(type) {
+	case *ir.Const:
+		lw.materializeConst(ebpf.R0, constBits(x))
+	default:
+		r, _, err := lw.operandReg(in.Args[0])
+		if err != nil {
+			return err
+		}
+		if r != ebpf.R0 {
+			lw.emit(ebpf.Mov64Reg(ebpf.R0, r))
+		}
+		if ai, ok := x.(*ir.Instr); ok && !lw.regs.isClean(x) {
+			lw.cleanInPlace(ebpf.R0, ai.Type().Bytes())
+		}
+	}
+	lw.emit(ebpf.Exit())
+	return nil
+}

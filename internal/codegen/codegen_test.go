@@ -1,0 +1,600 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"merlin/internal/ebpf"
+	"merlin/internal/ir"
+	"merlin/internal/vm"
+)
+
+// compileSrc parses, lowers, and returns the program.
+func compileSrc(t *testing.T, src string, opts Options) *ebpf.Program {
+	t.Helper()
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := Compile(m, m.Funcs[0].Name, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+// exec runs a compiled program on the VM.
+func exec(t *testing.T, prog *ebpf.Program, ctx, pkt []byte) int64 {
+	t.Helper()
+	mach, err := vm.New(prog, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, _, err := mach.Run(ctx, pkt)
+	if err != nil {
+		t.Fatalf("vm: %v\n%s", err, ebpf.Disassemble(prog))
+	}
+	return ret
+}
+
+func TestRetConstant(t *testing.T) {
+	prog := compileSrc(t, `module "m"
+func f(%ctx: ptr) -> i64 {
+entry:
+  ret 42
+}
+`, Options{})
+	if got := exec(t, prog, make([]byte, 16), nil); got != 42 {
+		t.Fatalf("ret = %d", got)
+	}
+}
+
+func TestArithChain(t *testing.T) {
+	prog := compileSrc(t, `module "m"
+func f(%ctx: ptr) -> i64 {
+entry:
+  %a = load i64, %ctx, align 8
+  %b = bin mul i64 %a, 3
+  %c = bin add i64 %b, 7
+  %d = bin xor i64 %c, 1
+  ret %d
+}
+`, Options{})
+	ctx := make([]byte, 16)
+	ctx[0] = 10
+	if got := exec(t, prog, ctx, nil); got != (10*3+7)^1 {
+		t.Fatalf("ret = %d", got)
+	}
+}
+
+func TestBranchingControlFlow(t *testing.T) {
+	src := `module "m"
+func f(%ctx: ptr) -> i64 {
+entry:
+  %a = load i64, %ctx, align 8
+  %c = icmp ugt i64 %a, 100
+  condbr %c, big, small
+big:
+  ret 1
+small:
+  %a2 = load i64, %ctx, align 8
+  %c2 = icmp eq i64 %a2, 7
+  condbr %c2, seven, other
+seven:
+  ret 2
+other:
+  ret 3
+}
+`
+	prog := compileSrc(t, src, Options{})
+	cases := map[uint8]int64{200: 1, 7: 2, 9: 3}
+	for in, want := range cases {
+		ctx := make([]byte, 16)
+		ctx[0] = in
+		if got := exec(t, prog, ctx, nil); got != want {
+			t.Errorf("f(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestAlignedVsUnalignedLoadNI(t *testing.T) {
+	mk := func(align int) *ebpf.Program {
+		src := `module "m"
+func f(%ctx: ptr) -> i64 {
+entry:
+  %p = gep %ctx, 4
+  %x = load i32, %p, align ` + string(rune('0'+align)) + `
+  %r = zext i64, %x
+  ret %r
+}
+`
+		return compileSrc(t, src, Options{})
+	}
+	aligned, unaligned := mk(4), mk(1)
+	if aligned.NI() >= unaligned.NI() {
+		t.Fatalf("aligned NI %d should beat unaligned NI %d", aligned.NI(), unaligned.NI())
+	}
+	// Both must compute the same value.
+	ctx := make([]byte, 16)
+	copy(ctx[4:], []byte{0x78, 0x56, 0x34, 0x12})
+	wantVal := int64(0x12345678)
+	if got := exec(t, aligned, ctx, nil); got != wantVal {
+		t.Fatalf("aligned ret = %#x", got)
+	}
+	if got := exec(t, unaligned, ctx, nil); got != wantVal {
+		t.Fatalf("unaligned ret = %#x", got)
+	}
+	// The unaligned version must contain the byte-assembly or/shift pattern.
+	asm := ebpf.Disassemble(unaligned)
+	if !strings.Contains(asm, "<<= 8") || !strings.Contains(asm, "|=") {
+		t.Fatalf("missing byte assembly:\n%s", asm)
+	}
+}
+
+func TestUnalignedStoreDecomposition(t *testing.T) {
+	src := `module "m"
+func f(%ctx: ptr) -> i64 {
+entry:
+  %x = load i32, %ctx, align 4
+  %p = gep %ctx, 8
+  store i32 %p, %x, align 1
+  %y = load i32, %p, align 4
+  %r = zext i64, %y
+  ret %r
+}
+`
+	prog := compileSrc(t, src, Options{})
+	ctx := make([]byte, 16)
+	copy(ctx, []byte{0xde, 0xad, 0xbe, 0xef})
+	if got := exec(t, prog, ctx, nil); got != int64(0xefbeadde) {
+		t.Fatalf("ret = %#x", got)
+	}
+}
+
+func TestConstantStoreRoundTripsThroughRegister(t *testing.T) {
+	// The Fig 4 artifact: baseline codegen must not emit st.imm.
+	src := `module "m"
+func f(%ctx: ptr) -> i64 {
+entry:
+  %slot = alloca 8, align 8
+  store i64 %slot, 1, align 8
+  %v = load i64, %slot, align 8
+  ret %v
+}
+`
+	prog := compileSrc(t, src, Options{})
+	for _, ins := range prog.Insns {
+		if ins.Class() == ebpf.ClassST {
+			t.Fatalf("baseline emitted st.imm: %s", ebpf.Mnemonic(ins))
+		}
+	}
+	if got := exec(t, prog, make([]byte, 16), nil); got != 1 {
+		t.Fatalf("ret = %d", got)
+	}
+}
+
+func TestI32DirtyMaskingV2(t *testing.T) {
+	// i32 add may overflow into the upper half; zext must mask it.
+	src := `module "m"
+func f(%ctx: ptr) -> i64 {
+entry:
+  %x = load i32, %ctx, align 4
+  %y = bin add i32 %x, 1
+  %r = zext i64, %y
+  ret %r
+}
+`
+	prog := compileSrc(t, src, Options{MCPU: 2})
+	ctx := make([]byte, 16)
+	copy(ctx, []byte{0xff, 0xff, 0xff, 0xff}) // x = 0xffffffff
+	if got := exec(t, prog, ctx, nil); got != 0 {
+		t.Fatalf("i32 wrap: ret = %#x, want 0", got)
+	}
+	asm := ebpf.Disassemble(prog)
+	if !strings.Contains(asm, "<<= 32") || !strings.Contains(asm, ">>= 32") {
+		t.Fatalf("v2 masking pair missing:\n%s", asm)
+	}
+}
+
+func TestI32ALU32V3(t *testing.T) {
+	src := `module "m"
+func f(%ctx: ptr) -> i64 {
+entry:
+  %x = load i32, %ctx, align 4
+  %y = bin add i32 %x, 1
+  %r = zext i64, %y
+  ret %r
+}
+`
+	prog := compileSrc(t, src, Options{MCPU: 3})
+	ctx := make([]byte, 16)
+	copy(ctx, []byte{0xff, 0xff, 0xff, 0xff})
+	if got := exec(t, prog, ctx, nil); got != 0 {
+		t.Fatalf("ret = %#x", got)
+	}
+	asm := ebpf.Disassemble(prog)
+	if strings.Contains(asm, "<<= 32") {
+		t.Fatalf("v3 should not need shift masking:\n%s", asm)
+	}
+	if !strings.Contains(asm, "w") {
+		t.Fatalf("v3 should use 32-bit alu:\n%s", asm)
+	}
+}
+
+func TestLShrI32DirtyEmitsLddwMask(t *testing.T) {
+	// Fig 9 baseline: dirty i32 lshr by constant → lddw mask + and + shr.
+	src := `module "m"
+func f(%ctx: ptr) -> i64 {
+entry:
+  %x = load i32, %ctx, align 4
+  %y = bin add i32 %x, 0x10
+  %z = bin lshr i32 %y, 28
+  %r = zext i64, %z
+  ret %r
+}
+`
+	prog := compileSrc(t, src, Options{MCPU: 2})
+	found := false
+	for _, ins := range prog.Insns {
+		if ins.IsWide() && !ins.IsMapLoad() && uint64(ins.Imm64) == 0xf0000000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("lddw 0xf0000000 mask missing:\n%s", ebpf.Disassemble(prog))
+	}
+	ctx := make([]byte, 16)
+	copy(ctx, []byte{0x00, 0x00, 0x00, 0xa0}) // x = 0xa0000000
+	// y = 0xa0000010, z = y >> 28 = 0xa
+	if got := exec(t, prog, ctx, nil); got != 0xa {
+		t.Fatalf("ret = %#x, want 0xa", got)
+	}
+}
+
+func TestSignedCompareI32(t *testing.T) {
+	src := `module "m"
+func f(%ctx: ptr) -> i64 {
+entry:
+  %x = load i32, %ctx, align 4
+  %c = icmp slt i32 %x, 0
+  condbr %c, neg, pos
+neg:
+  ret 1
+pos:
+  ret 0
+}
+`
+	for _, mcpu := range []int{2, 3} {
+		prog := compileSrc(t, src, Options{MCPU: mcpu})
+		ctx := make([]byte, 16)
+		copy(ctx, []byte{0xff, 0xff, 0xff, 0xff}) // -1 as i32
+		if got := exec(t, prog, ctx, nil); got != 1 {
+			t.Fatalf("mcpu=v%d: -1 not negative (ret=%d)\n%s", mcpu, got, ebpf.Disassemble(prog))
+		}
+		ctx2 := make([]byte, 16)
+		ctx2[0] = 5
+		if got := exec(t, prog, ctx2, nil); got != 0 {
+			t.Fatalf("mcpu=v%d: 5 reported negative", mcpu)
+		}
+	}
+}
+
+func TestSExtTrunc(t *testing.T) {
+	src := `module "m"
+func f(%ctx: ptr) -> i64 {
+entry:
+  %x = load i8, %ctx, align 1
+  %s = sext i64, %x
+  ret %s
+}
+`
+	prog := compileSrc(t, src, Options{})
+	ctx := make([]byte, 16)
+	ctx[0] = 0x80 // -128 as i8
+	if got := exec(t, prog, ctx, nil); got != -128 {
+		t.Fatalf("sext ret = %d", got)
+	}
+}
+
+func TestMapCallAndNullCheck(t *testing.T) {
+	src := `module "m"
+map @counts : array key=4 value=8 max=4
+func f(%ctx: ptr) -> i64 {
+entry:
+  %key = alloca 4, align 4
+  %vslot = alloca 8, align 8
+  store i32 %key, 1, align 4
+  %mp = mapptr @counts
+  %v = call 1, %mp, %key
+  store i64 %vslot, %v, align 8
+  %isnull = icmp eq i64 %v, 0
+  condbr %isnull, miss, hit
+miss:
+  ret 0
+hit:
+  %vp = load ptr, %vslot, align 8
+  %old = load i64, %vp, align 8
+  %new = bin add i64 %old, 3
+  store i64 %vp, %new, align 8
+  ret %new
+}
+`
+	prog := compileSrc(t, src, Options{})
+	mach, err := vm.New(prog, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		ret, _, err := mach.Run(make([]byte, 16), nil)
+		if err != nil {
+			t.Fatalf("run %d: %v\n%s", i, err, ebpf.Disassemble(prog))
+		}
+		if ret != int64(3*i) {
+			t.Fatalf("run %d: ret = %d, want %d", i, ret, 3*i)
+		}
+	}
+}
+
+func TestAtomicLowering(t *testing.T) {
+	src := `module "m"
+func f(%ctx: ptr) -> i64 {
+entry:
+  atomicrmw add i64 %ctx, 5, align 8
+  %v = load i64, %ctx, align 8
+  ret %v
+}
+`
+	prog := compileSrc(t, src, Options{})
+	hasAtomic := false
+	for _, ins := range prog.Insns {
+		if ins.IsAtomic() {
+			hasAtomic = true
+		}
+	}
+	if !hasAtomic {
+		t.Fatalf("no xadd emitted:\n%s", ebpf.Disassemble(prog))
+	}
+	ctx := make([]byte, 16)
+	ctx[0] = 10
+	if got := exec(t, prog, ctx, nil); got != 15 {
+		t.Fatalf("ret = %d", got)
+	}
+}
+
+func TestRegisterPressureSpills(t *testing.T) {
+	// 12 simultaneously-live values force spilling.
+	var b strings.Builder
+	b.WriteString("module \"m\"\nfunc f(%ctx: ptr) -> i64 {\nentry:\n")
+	for i := 0; i < 12; i++ {
+		off := i * 8
+		b.WriteString("  %p" + itoa(i) + " = gep %ctx, " + itoa(off) + "\n")
+		b.WriteString("  %v" + itoa(i) + " = load i64, %p" + itoa(i) + ", align 8\n")
+	}
+	b.WriteString("  %s0 = bin add i64 %v0, %v1\n")
+	for i := 1; i < 11; i++ {
+		b.WriteString("  %s" + itoa(i) + " = bin add i64 %s" + itoa(i-1) + ", %v" + itoa(i+1) + "\n")
+	}
+	b.WriteString("  ret %s10\n}\n")
+	prog := compileSrc(t, b.String(), Options{})
+	ctx := make([]byte, 128)
+	want := int64(0)
+	for i := 0; i < 12; i++ {
+		ctx[i*8] = byte(i + 1)
+		want += int64(i + 1)
+	}
+	if got := exec(t, prog, ctx, nil); got != want {
+		t.Fatalf("ret = %d, want %d", got, want)
+	}
+}
+
+func TestValueLiveAcrossCall(t *testing.T) {
+	src := `module "m"
+map @mp : array key=4 value=8 max=4
+func f(%ctx: ptr) -> i64 {
+entry:
+  %key = alloca 4, align 4
+  store i32 %key, 0, align 4
+  %x = load i64, %ctx, align 8
+  %m = mapptr @mp
+  %v = call 1, %m, %key
+  %r = bin add i64 %x, 100
+  ret %r
+}
+`
+	prog := compileSrc(t, src, Options{})
+	ctx := make([]byte, 16)
+	ctx[0] = 7
+	if got := exec(t, prog, ctx, nil); got != 107 {
+		t.Fatalf("ret = %d: value lost across call\n%s", got, ebpf.Disassemble(prog))
+	}
+}
+
+func TestICmpAsValue(t *testing.T) {
+	src := `module "m"
+func f(%ctx: ptr) -> i64 {
+entry:
+  %x = load i64, %ctx, align 8
+  %c = icmp ugt i64 %x, 5
+  %d = bin add i64 %c, 10
+  ret %d
+}
+`
+	prog := compileSrc(t, src, Options{})
+	ctx := make([]byte, 16)
+	ctx[0] = 9
+	if got := exec(t, prog, ctx, nil); got != 11 {
+		t.Fatalf("ret = %d", got)
+	}
+	ctx[0] = 1
+	if got := exec(t, prog, ctx, nil); got != 10 {
+		t.Fatalf("ret = %d", got)
+	}
+}
+
+func TestLoopViaBlocks(t *testing.T) {
+	// sum 1..n with alloca-mediated loop state.
+	src := `module "m"
+func f(%ctx: ptr) -> i64 {
+entry:
+  %i = alloca 8, align 8
+  %acc = alloca 8, align 8
+  %n = load i64, %ctx, align 8
+  %nslot = alloca 8, align 8
+  store i64 %nslot, %n, align 8
+  store i64 %i, 1, align 8
+  store i64 %acc, 0, align 8
+  br loop
+loop:
+  %iv = load i64, %i, align 8
+  %av = load i64, %acc, align 8
+  %av2 = bin add i64 %av, %iv
+  store i64 %acc, %av2, align 8
+  %iv2 = bin add i64 %iv, 1
+  store i64 %i, %iv2, align 8
+  %nv = load i64, %nslot, align 8
+  %more = icmp ule i64 %iv2, %nv
+  condbr %more, loop, done
+done:
+  %res = load i64, %acc, align 8
+  ret %res
+}
+`
+	prog := compileSrc(t, src, Options{})
+	ctx := make([]byte, 16)
+	ctx[0] = 10
+	if got := exec(t, prog, ctx, nil); got != 55 {
+		t.Fatalf("ret = %d, want 55", got)
+	}
+}
+
+func TestVarGEP(t *testing.T) {
+	src := `module "m"
+func f(%ctx: ptr) -> i64 {
+entry:
+  %idx = load i64, %ctx, align 8
+  %p = gep %ctx, %idx
+  %v = load i8, %p, align 1
+  %r = zext i64, %v
+  ret %r
+}
+`
+	prog := compileSrc(t, src, Options{})
+	ctx := make([]byte, 16)
+	ctx[0] = 9
+	ctx[9] = 0x5a
+	if got := exec(t, prog, ctx, nil); got != 0x5a {
+		t.Fatalf("ret = %#x", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	m, err := ir.Parse(`module "m"
+func f(%ctx: ptr) -> i64 {
+entry:
+  ret 0
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(m, "missing", Options{}); err == nil {
+		t.Fatal("compiling a missing function should fail")
+	}
+}
+
+func TestBigStackRejected(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("module \"m\"\nfunc f(%ctx: ptr) -> i64 {\nentry:\n")
+	for i := 0; i < 70; i++ {
+		b.WriteString("  %a" + itoa(i) + " = alloca 8, align 8\n")
+	}
+	b.WriteString("  ret 0\n}\n")
+	m, err := ir.Parse(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(m, "f", Options{}); err == nil || !strings.Contains(err.Error(), "512") {
+		t.Fatalf("err = %v, want stack overflow", err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func TestBswapLowering(t *testing.T) {
+	src := `module "bs"
+func f(%ctx: ptr) -> i64 {
+entry:
+  %x = load i16, %ctx, align 2
+  %s = bswap i16, %x
+  %r = zext i64, %s
+  ret %r
+}
+`
+	prog := compileSrc(t, src, Options{})
+	ctx := make([]byte, 16)
+	ctx[0], ctx[1] = 0x08, 0x00 // LE load = 0x0008; bswap16 = 0x0800
+	if got := exec(t, prog, ctx, nil); got != 0x0800 {
+		t.Fatalf("ret = %#x, want 0x0800", got)
+	}
+	found := false
+	for _, ins := range prog.Insns {
+		if ins.Class().IsALU() && ins.ALUOpField() == ebpf.ALUEnd {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no end/bswap instruction emitted:\n%s", ebpf.Disassemble(prog))
+	}
+}
+
+func TestBswap32And64(t *testing.T) {
+	src := `module "bs2"
+func f(%ctx: ptr) -> i64 {
+entry:
+  %x = load i32, %ctx, align 4
+  %s = bswap i32, %x
+  %y = load i64, %ctx, align 8
+  %t = bswap i64, %y
+  %lo = zext i64, %s
+  %r = bin xor i64 %lo, %t
+  ret %r
+}
+`
+	prog := compileSrc(t, src, Options{})
+	ctx := []byte{1, 2, 3, 4, 5, 6, 7, 8, 0, 0, 0, 0, 0, 0, 0, 0}
+	want := int64(0x01020304) ^ int64(0x0102030405060708)
+	if got := exec(t, prog, ctx, nil); got != want {
+		t.Fatalf("ret = %#x, want %#x", got, want)
+	}
+}
+
+func TestDeadBlocksNotEmitted(t *testing.T) {
+	src := `module "dead"
+func f(%ctx: ptr) -> i64 {
+entry:
+  ret 1
+orphan:
+  ret 2
+}
+`
+	prog := compileSrc(t, src, Options{})
+	// Prologue mov + mov r0 + exit; the orphan block's "ret 2" must be gone.
+	if prog.NI() != 3 {
+		t.Fatalf("NI = %d, want 3 (orphan block emitted?):\n%s", prog.NI(), ebpf.Disassemble(prog))
+	}
+	for _, ins := range prog.Insns {
+		if ins.Class().IsALU() && ins.Imm == 2 {
+			t.Fatalf("orphan code present:\n%s", ebpf.Disassemble(prog))
+		}
+	}
+}

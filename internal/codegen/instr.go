@@ -1,0 +1,512 @@
+package codegen
+
+import (
+	"fmt"
+
+	"merlin/internal/ebpf"
+	"merlin/internal/ir"
+)
+
+func (lw *lowerer) lowerInstr(in *ir.Instr, next *ir.Block) error {
+	ra := lw.regs
+	switch in.Op {
+	case ir.OpAlloca, ir.OpMapPtr:
+		return nil // materialized at use sites
+	case ir.OpGEP:
+		if lw.isFoldedGEP(in) {
+			return nil // folded into load/store offsets at use sites
+		}
+		return lw.lowerVarGEP(in)
+	case ir.OpLoad:
+		return lw.lowerLoad(in)
+	case ir.OpStore:
+		return lw.lowerStore(in)
+	case ir.OpBin:
+		return lw.lowerBin(in)
+	case ir.OpICmp:
+		if ra.fused[in] {
+			return nil // emitted by the terminator
+		}
+		return lw.lowerICmpValue(in)
+	case ir.OpZExt:
+		return lw.lowerZExt(in)
+	case ir.OpSExt:
+		return lw.lowerSExt(in)
+	case ir.OpTrunc:
+		return lw.lowerTrunc(in)
+	case ir.OpBswap:
+		return lw.lowerBswap(in)
+	case ir.OpCall:
+		return lw.lowerCall(in)
+	case ir.OpCallLocal:
+		return fmt.Errorf("local call to %s not inlined (run irpass.Inline first)", in.Target)
+	case ir.OpAtomicRMW:
+		return lw.lowerAtomic(in)
+	case ir.OpBr:
+		if in.Blocks[0] != next {
+			fi := lw.emit(ebpf.Jump(0))
+			lw.fixups = append(lw.fixups, fixup{fi, in.Blocks[0]})
+		}
+		return nil
+	case ir.OpCondBr:
+		return lw.lowerCondBr(in, next)
+	case ir.OpRet:
+		return lw.lowerRet(in)
+	}
+	return fmt.Errorf("unhandled op %d", in.Op)
+}
+
+// isFoldedGEP reports whether the GEP folds into access offsets: constant
+// offset over a resolvable base chain.
+func (lw *lowerer) isFoldedGEP(in *ir.Instr) bool {
+	if in.Op != ir.OpGEP {
+		return false
+	}
+	if _, ok := in.Args[1].(*ir.Const); !ok {
+		return false
+	}
+	return true
+}
+
+// gepRoot resolves a value through folded-GEP chains to the underlying value
+// whose register actually gets used.
+func gepRoot(v ir.Value) ir.Value {
+	for {
+		in, ok := v.(*ir.Instr)
+		if !ok || in.Op != ir.OpGEP {
+			return v
+		}
+		if _, isConst := in.Args[1].(*ir.Const); !isConst {
+			return v
+		}
+		v = in.Args[0]
+	}
+}
+
+func (lw *lowerer) lowerVarGEP(in *ir.Instr) error {
+	ra := lw.regs
+	base, baseTemp, err := lw.operandReg(in.Args[0])
+	if err != nil {
+		return err
+	}
+	dst, err := ra.alloc(in, ra.cross[in])
+	if err != nil {
+		return err
+	}
+	lw.emit(ebpf.Mov64Reg(dst, base))
+	if baseTemp {
+		ra.freeTemp(base)
+	}
+	if c, ok := in.Args[1].(*ir.Const); ok {
+		lw.emit(ebpf.ALU64Imm(ebpf.ALUAdd, dst, int32(c.Val)))
+	} else {
+		off, offTemp, err := lw.operandReg(in.Args[1])
+		if err != nil {
+			return err
+		}
+		lw.emit(ebpf.ALU64Reg(ebpf.ALUAdd, dst, off))
+		if offTemp {
+			ra.freeTemp(off)
+		}
+	}
+	ra.locs[in].clean = true
+	return nil
+}
+
+// address resolves a pointer operand for a memory access.
+func (lw *lowerer) address(ptr ir.Value) (base ebpf.Register, off int16, temp bool, err error) {
+	if b, o, ok := lw.foldedAddr(ptr); ok {
+		return b, o, false, nil
+	}
+	r, isTemp, err := lw.operandReg(ptr)
+	return r, 0, isTemp, err
+}
+
+// lowerLoad emits a load; when the alignment attribute is smaller than the
+// access width the load is decomposed into align-sized chunks assembled with
+// shifts and ors — the Fig 6 byte-assembly pattern DAO exists to eliminate.
+func (lw *lowerer) lowerLoad(in *ir.Instr) error {
+	ra := lw.regs
+	width := in.Ty.Bytes()
+	base, off, baseTemp, err := lw.address(in.Args[0])
+	if err != nil {
+		return err
+	}
+	dst, err := ra.alloc(in, ra.cross[in])
+	if err != nil {
+		return err
+	}
+	chunk := in.Align
+	if chunk >= width {
+		sz, _ := ebpf.SizeForBytes(width)
+		lw.emit(ebpf.LoadMem(sz, dst, base, off))
+	} else {
+		sz, ok := ebpf.SizeForBytes(chunk)
+		if !ok {
+			return fmt.Errorf("bad alignment %d", chunk)
+		}
+		tmp, err := ra.alloc(nil, false)
+		if err != nil {
+			return err
+		}
+		lw.emit(ebpf.LoadMem(sz, dst, base, off))
+		for i := 1; i*chunk < width; i++ {
+			lw.emit(ebpf.LoadMem(sz, tmp, base, off+int16(i*chunk)))
+			lw.emit(ebpf.ALU64Imm(ebpf.ALULsh, tmp, int32(i*chunk*8)))
+			lw.emit(ebpf.ALU64Reg(ebpf.ALUOr, dst, tmp))
+		}
+		ra.freeTemp(tmp)
+	}
+	if baseTemp {
+		ra.freeTemp(base)
+	}
+	ra.locs[in].clean = true // ldx zero-extends
+	return nil
+}
+
+// lowerStore emits a store. Constant stores round-trip through a register
+// (the Fig 4 pattern CP&DCE removes); under-aligned stores are decomposed
+// into chunked stores of a shifted temp copy.
+func (lw *lowerer) lowerStore(in *ir.Instr) error {
+	ra := lw.regs
+	val := in.Args[1]
+	width := val.Type().Bytes()
+	if c, ok := val.(*ir.Const); ok {
+		width = c.Ty.Bytes()
+	}
+	base, off, baseTemp, err := lw.address(in.Args[0])
+	if err != nil {
+		return err
+	}
+	src, srcTemp, err := lw.operandReg(val)
+	if err != nil {
+		return err
+	}
+	chunk := in.Align
+	if chunk >= width {
+		sz, _ := ebpf.SizeForBytes(width)
+		lw.emit(ebpf.StoreMem(sz, base, off, src))
+	} else {
+		sz, ok := ebpf.SizeForBytes(chunk)
+		if !ok {
+			return fmt.Errorf("bad alignment %d", chunk)
+		}
+		// Copy so shifting does not destroy a live value.
+		tmp, err := ra.alloc(nil, false)
+		if err != nil {
+			return err
+		}
+		lw.emit(ebpf.Mov64Reg(tmp, src))
+		n := width / chunk
+		for i := 0; i < n; i++ {
+			lw.emit(ebpf.StoreMem(sz, base, off+int16(i*chunk), tmp))
+			if i < n-1 {
+				lw.emit(ebpf.ALU64Imm(ebpf.ALURsh, tmp, int32(chunk*8)))
+			}
+		}
+		ra.freeTemp(tmp)
+	}
+	if srcTemp {
+		ra.freeTemp(src)
+	}
+	if baseTemp {
+		ra.freeTemp(base)
+	}
+	return nil
+}
+
+var aluFor = map[ir.BinKind]ebpf.ALUOp{
+	ir.Add: ebpf.ALUAdd, ir.Sub: ebpf.ALUSub, ir.Mul: ebpf.ALUMul,
+	ir.UDiv: ebpf.ALUDiv, ir.URem: ebpf.ALUMod, ir.And: ebpf.ALUAnd,
+	ir.Or: ebpf.ALUOr, ir.Xor: ebpf.ALUXor, ir.Shl: ebpf.ALULsh,
+	ir.LShr: ebpf.ALURsh, ir.AShr: ebpf.ALUArsh,
+}
+
+// cleanInPlace zeroes the upper bits of r for a value of the given width.
+// For i32 this is the shl/shr pair code compaction rewrites to movl (Fig 8).
+func (lw *lowerer) cleanInPlace(r ebpf.Register, width int) {
+	switch width {
+	case 1:
+		lw.emit(ebpf.ALU64Imm(ebpf.ALUAnd, r, 0xff))
+	case 2:
+		lw.emit(ebpf.ALU64Imm(ebpf.ALUAnd, r, 0xffff))
+	case 4:
+		lw.emit(ebpf.ALU64Imm(ebpf.ALULsh, r, 32))
+		lw.emit(ebpf.ALU64Imm(ebpf.ALURsh, r, 32))
+	}
+}
+
+// cleanOperand returns a register holding the zero-extended value of v at
+// width. If v is already clean its register is returned as-is; otherwise the
+// value is copied to a temp and masked there (the original stays intact).
+func (lw *lowerer) cleanOperand(v ir.Value, width int) (ebpf.Register, bool, error) {
+	r, isTemp, err := lw.operandReg(v)
+	if err != nil {
+		return 0, false, err
+	}
+	if lw.regs.isClean(v) || width == 8 {
+		return r, isTemp, nil
+	}
+	if isTemp {
+		lw.cleanInPlace(r, width)
+		return r, true, nil
+	}
+	tmp, err := lw.regs.alloc(nil, false)
+	if err != nil {
+		return 0, false, err
+	}
+	lw.emit(ebpf.Mov64Reg(tmp, r))
+	lw.cleanInPlace(tmp, width)
+	return tmp, true, nil
+}
+
+// signExtendOperand returns a register holding the sign-extended value.
+func (lw *lowerer) signExtendOperand(v ir.Value, width int) (ebpf.Register, bool, error) {
+	r, isTemp, err := lw.operandReg(v)
+	if err != nil {
+		return 0, false, err
+	}
+	if width == 8 {
+		return r, isTemp, nil
+	}
+	dst := r
+	if !isTemp {
+		tmp, err := lw.regs.alloc(nil, false)
+		if err != nil {
+			return 0, false, err
+		}
+		lw.emit(ebpf.Mov64Reg(tmp, r))
+		dst = tmp
+	}
+	sh := int32(64 - width*8)
+	lw.emit(ebpf.ALU64Imm(ebpf.ALULsh, dst, sh))
+	lw.emit(ebpf.ALU64Imm(ebpf.ALUArsh, dst, sh))
+	return dst, true, nil
+}
+
+func (lw *lowerer) lowerBin(in *ir.Instr) error {
+	ra := lw.regs
+	width := in.Ty.Bytes()
+	kind := in.Bin
+	alu := aluFor[kind]
+	useALU32 := lw.opts.MCPU >= 3 && width == 4
+
+	// Division, remainder and right shifts need clean inputs at sub-64
+	// widths (unless ALU32 handles it).
+	needCleanA := !useALU32 && width < 8 && (kind == ir.UDiv || kind == ir.URem || kind == ir.LShr)
+	needCleanB := !useALU32 && width < 8 && (kind == ir.UDiv || kind == ir.URem)
+
+	// The Fig 9 special case: lshr i32 by a constant on a dirty value is
+	// emitted as lddw-mask + and + shr, which the bytecode peephole rewrites.
+	if !useALU32 && width == 4 && kind == ir.LShr && !ra.isClean(in.Args[0]) {
+		if c, ok := in.Args[1].(*ir.Const); ok && c.Val > 0 && c.Val < 32 {
+			return lw.lowerMaskedShr(in, uint32(c.Val))
+		}
+	}
+
+	var a ebpf.Register
+	var aTemp bool
+	var err error
+	if needCleanA {
+		a, aTemp, err = lw.cleanOperand(in.Args[0], width)
+	} else if kind == ir.AShr && width < 8 {
+		a, aTemp, err = lw.signExtendOperand(in.Args[0], width)
+	} else {
+		a, aTemp, err = lw.operandReg(in.Args[0])
+	}
+	if err != nil {
+		return err
+	}
+
+	dst, err := ra.alloc(in, ra.cross[in])
+	if err != nil {
+		return err
+	}
+	if useALU32 {
+		lw.emit(ebpf.Mov32Reg(dst, a))
+	} else {
+		lw.emit(ebpf.Mov64Reg(dst, a))
+	}
+	if aTemp {
+		ra.freeTemp(a)
+	}
+
+	// Second operand: immediate form when it fits.
+	if c, ok := in.Args[1].(*ir.Const); ok {
+		bits := constBits(c)
+		shiftLike := kind == ir.Shl || kind == ir.LShr || kind == ir.AShr
+		if shiftLike {
+			bits &= uint64(width*8 - 1)
+		}
+		if fitsImm32(bits) {
+			if useALU32 {
+				lw.emit(ebpf.ALU32Imm(alu, dst, int32(int64(bits))))
+			} else {
+				lw.emit(ebpf.ALU64Imm(alu, dst, int32(int64(bits))))
+			}
+			ra.locs[in].clean = lw.binResultClean(in, useALU32)
+			return nil
+		}
+	}
+	var b ebpf.Register
+	var bTemp bool
+	if needCleanB {
+		b, bTemp, err = lw.cleanOperand(in.Args[1], width)
+	} else {
+		b, bTemp, err = lw.operandReg(in.Args[1])
+	}
+	if err != nil {
+		return err
+	}
+	if useALU32 {
+		lw.emit(ebpf.ALU32Reg(alu, dst, b))
+	} else {
+		lw.emit(ebpf.ALU64Reg(alu, dst, b))
+	}
+	if bTemp {
+		ra.freeTemp(b)
+	}
+	ra.locs[in].clean = lw.binResultClean(in, useALU32)
+	return nil
+}
+
+// binResultClean decides whether the result has known-zero upper bits.
+func (lw *lowerer) binResultClean(in *ir.Instr, usedALU32 bool) bool {
+	width := in.Ty.Bytes()
+	if width == 8 || usedALU32 {
+		return true
+	}
+	switch in.Bin {
+	case ir.And, ir.Or, ir.Xor:
+		// Bitwise ops preserve cleanliness when both inputs are clean.
+		return lw.regs.isClean(in.Args[0]) && lw.regs.isClean(in.Args[1])
+	case ir.UDiv, ir.URem, ir.LShr:
+		return true // inputs were cleaned
+	}
+	return false // add/sub/mul/shl can carry into the upper bits; ashr smears sign
+}
+
+// lowerMaskedShr emits the paper's Fig 9 baseline for lshr i32 by k on a
+// dirty value: load a 64-bit mask keeping bits k..31, and, then shift.
+func (lw *lowerer) lowerMaskedShr(in *ir.Instr, k uint32) error {
+	ra := lw.regs
+	a, aTemp, err := lw.operandReg(in.Args[0])
+	if err != nil {
+		return err
+	}
+	dst, err := ra.alloc(in, ra.cross[in])
+	if err != nil {
+		return err
+	}
+	lw.emit(ebpf.Mov64Reg(dst, a))
+	if aTemp {
+		ra.freeTemp(a)
+	}
+	mask := uint64(0xffffffff>>k) << k
+	tmp, err := ra.alloc(nil, false)
+	if err != nil {
+		return err
+	}
+	lw.emit(ebpf.LoadImm64(tmp, int64(mask)))
+	lw.emit(ebpf.ALU64Reg(ebpf.ALUAnd, dst, tmp))
+	lw.emit(ebpf.ALU64Imm(ebpf.ALURsh, dst, int32(k)))
+	ra.freeTemp(tmp)
+	ra.locs[in].clean = true
+	return nil
+}
+
+func (lw *lowerer) lowerZExt(in *ir.Instr) error {
+	ra := lw.regs
+	src := in.Args[0]
+	srcWidth := src.Type().Bytes()
+	a, aTemp, err := lw.operandReg(src)
+	if err != nil {
+		return err
+	}
+	dst, err := ra.alloc(in, ra.cross[in])
+	if err != nil {
+		return err
+	}
+	lw.emit(ebpf.Mov64Reg(dst, a))
+	if aTemp {
+		ra.freeTemp(a)
+	}
+	if !ra.isClean(src) {
+		lw.cleanInPlace(dst, srcWidth)
+	}
+	ra.locs[in].clean = true
+	return nil
+}
+
+func (lw *lowerer) lowerSExt(in *ir.Instr) error {
+	ra := lw.regs
+	src := in.Args[0]
+	srcWidth := src.Type().Bytes()
+	a, aTemp, err := lw.operandReg(src)
+	if err != nil {
+		return err
+	}
+	dst, err := ra.alloc(in, ra.cross[in])
+	if err != nil {
+		return err
+	}
+	lw.emit(ebpf.Mov64Reg(dst, a))
+	if aTemp {
+		ra.freeTemp(a)
+	}
+	if srcWidth < 8 {
+		sh := int32(64 - srcWidth*8)
+		lw.emit(ebpf.ALU64Imm(ebpf.ALULsh, dst, sh))
+		lw.emit(ebpf.ALU64Imm(ebpf.ALUArsh, dst, sh))
+	}
+	// Sign extension fills the upper bits; for a widening to i64 the value
+	// is exact, for narrower targets the upper bits are the sign smear.
+	ra.locs[in].clean = in.Ty.Bytes() == 8
+	return nil
+}
+
+// lowerBswap emits the eBPF byte-swap (end) instruction, which
+// zero-extends its result to 64 bits.
+func (lw *lowerer) lowerBswap(in *ir.Instr) error {
+	ra := lw.regs
+	a, aTemp, err := lw.operandReg(in.Args[0])
+	if err != nil {
+		return err
+	}
+	dst, err := ra.alloc(in, ra.cross[in])
+	if err != nil {
+		return err
+	}
+	lw.emit(ebpf.Mov64Reg(dst, a))
+	if aTemp {
+		ra.freeTemp(a)
+	}
+	lw.emit(ebpf.Instruction{
+		Opcode: uint8(ebpf.ClassALU) | uint8(ebpf.SourceX) | uint8(ebpf.ALUEnd),
+		Dst:    dst,
+		Imm:    int32(in.Ty.Bytes() * 8),
+	})
+	ra.locs[in].clean = true
+	return nil
+}
+
+func (lw *lowerer) lowerTrunc(in *ir.Instr) error {
+	ra := lw.regs
+	a, aTemp, err := lw.operandReg(in.Args[0])
+	if err != nil {
+		return err
+	}
+	dst, err := ra.alloc(in, ra.cross[in])
+	if err != nil {
+		return err
+	}
+	lw.emit(ebpf.Mov64Reg(dst, a))
+	if aTemp {
+		ra.freeTemp(a)
+	}
+	// The register keeps the wider bits; the value is dirty at its new width
+	// unless the source was itself clean at a width <= the target's.
+	srcClean := ra.isClean(in.Args[0]) && in.Args[0].Type().Bytes() <= in.Ty.Bytes()
+	ra.locs[in].clean = srcClean
+	return nil
+}

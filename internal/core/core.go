@@ -1,0 +1,219 @@
+// Package core is Merlin's top-level pipeline (Fig 1): it drives the
+// clang-analog generic IR cleanup, Merlin's IR refinement (opt), lowering to
+// eBPF bytecode (llc), and Merlin's bytecode refinement — then optionally
+// checks the result against the simulated kernel verifier. It is the public
+// API the command-line tools, examples and every experiment build on.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"merlin/internal/analysis"
+	"merlin/internal/bopt"
+	"merlin/internal/codegen"
+	"merlin/internal/ebpf"
+	"merlin/internal/ir"
+	"merlin/internal/irpass"
+	"merlin/internal/verifier"
+)
+
+// Optimizer identifies one of the paper's six optimizations.
+type Optimizer string
+
+// The six optimizers (paper §3-§4) plus the shared dependency analysis.
+const (
+	CPDCE Optimizer = "CP&DCE" // Opt 1, bytecode tier
+	SLM   Optimizer = "SLM"    // Opt 2, bytecode tier
+	DAO   Optimizer = "DAO"    // Opt 3, IR tier
+	MoF   Optimizer = "MoF"    // Opt 4, IR tier
+	CC    Optimizer = "CC"     // Opt 5, bytecode tier
+	PO    Optimizer = "PO"     // Opt 6, bytecode tier
+)
+
+// AllOptimizers lists every optimizer in pipeline order.
+func AllOptimizers() []Optimizer {
+	return []Optimizer{DAO, MoF, CPDCE, SLM, CC, PO}
+}
+
+// Options configures a build.
+type Options struct {
+	// Hook selects the attachment point (affects verification and helpers).
+	Hook ebpf.HookType
+	// MCPU is the compiler ISA level: 2 (no ALU32) or 3. Table 1 compiles
+	// XDP and Tracee at v2, Sysdig and Tetragon at v3.
+	MCPU int
+	// KernelALU32 reports whether the target kernel's verifier tracks ALU32
+	// soundly; it gates the CC optimizer even for v2-compiled programs.
+	KernelALU32 bool
+	// Enable holds the optimizers to run; nil means all of them.
+	Enable []Optimizer
+	// Verify runs the simulated kernel verifier on the optimized program
+	// and fails the build if it is rejected.
+	Verify bool
+	// VerifierVersion selects pruning heuristics when Verify is set.
+	VerifierVersion verifier.KernelVersion
+}
+
+// DefaultOptions returns the paper's default configuration.
+func DefaultOptions() Options {
+	return Options{Hook: ebpf.HookXDP, MCPU: 2, KernelALU32: true, Verify: true}
+}
+
+func (o Options) enabled(opt Optimizer) bool {
+	if o.Enable == nil {
+		return true
+	}
+	for _, e := range o.Enable {
+		if e == opt {
+			return true
+		}
+	}
+	return false
+}
+
+// PassStat is the unified per-pass timing/effect record.
+type PassStat struct {
+	Name     string
+	Tier     string // "ir" or "bytecode"
+	Applied  int
+	Duration time.Duration
+}
+
+// Result is the outcome of a build.
+type Result struct {
+	// Prog is the final (optimized) program.
+	Prog *ebpf.Program
+	// Baseline is the clang-only program (generic passes + llc, no Merlin
+	// optimizers) — the paper's "native pipeline" comparison point.
+	Baseline *ebpf.Program
+	// Stats records each Merlin pass (IR and bytecode tiers).
+	Stats []PassStat
+	// MerlinTime is the total time spent in Merlin's own optimizers
+	// (excluding the baseline clang/llc work) — the Fig 13 metric.
+	MerlinTime time.Duration
+	// Verification holds verifier stats for the optimized program when
+	// Options.Verify was set.
+	Verification verifier.Stats
+	// BaselineVerification holds verifier stats for the baseline.
+	BaselineVerification verifier.Stats
+}
+
+// NIReduction returns the paper's compactness metric: the fraction of
+// instructions removed relative to the baseline.
+func (r *Result) NIReduction() float64 {
+	b := r.Baseline.NI()
+	if b == 0 {
+		return 0
+	}
+	return float64(b-r.Prog.NI()) / float64(b)
+}
+
+// Build compiles function fnName of mod through the full Merlin pipeline.
+// The input module is never mutated.
+func Build(mod *ir.Module, fnName string, opts Options) (*Result, error) {
+	if opts.MCPU == 0 {
+		opts.MCPU = 2
+	}
+	res := &Result{}
+
+	// Baseline: clang -O2 analog + llc only. Local functions are inlined
+	// first (the verifier checks them inside their callers; our llc analog
+	// requires a single flat function).
+	baseMod := ir.Clone(mod)
+	if _, err := irpass.Inline(baseMod); err != nil {
+		return nil, fmt.Errorf("core: inline: %w", err)
+	}
+	genericMgr := &irpass.Manager{Passes: irpass.Generic()}
+	genericMgr.Run(baseMod)
+	baseline, err := codegen.Compile(baseMod, fnName, codegen.Options{MCPU: opts.MCPU, Hook: opts.Hook})
+	if err != nil {
+		return nil, fmt.Errorf("core: baseline: %w", err)
+	}
+	res.Baseline = baseline
+
+	// Merlin pipeline: generic + IR refinement + llc + bytecode refinement.
+	optMod := ir.Clone(mod)
+	if _, err := irpass.Inline(optMod); err != nil {
+		return nil, fmt.Errorf("core: inline: %w", err)
+	}
+	(&irpass.Manager{Passes: irpass.Generic()}).Run(optMod)
+
+	var irPasses []irpass.Pass
+	if opts.enabled(DAO) {
+		irPasses = append(irPasses, irpass.Pass{Name: string(DAO), Run: irpass.DataAlignment})
+	}
+	if opts.enabled(MoF) {
+		irPasses = append(irPasses, irpass.Pass{Name: string(MoF), Run: irpass.MacroOpFusion})
+	}
+	irMgr := &irpass.Manager{Passes: irPasses}
+	irMgr.Run(optMod)
+	for _, s := range irMgr.Stats {
+		res.Stats = append(res.Stats, PassStat{Name: s.Pass, Tier: "ir", Applied: s.Applied, Duration: s.Duration})
+		res.MerlinTime += s.Duration
+	}
+
+	prog, err := codegen.Compile(optMod, fnName, codegen.Options{MCPU: opts.MCPU, Hook: opts.Hook})
+	if err != nil {
+		return nil, fmt.Errorf("core: llc: %w", err)
+	}
+
+	bopts := bopt.Options{ALU32: opts.KernelALU32}
+	var bcPasses []bopt.Pass
+	for _, p := range bopt.Pipeline() {
+		if opts.enabled(Optimizer(p.Name)) {
+			bcPasses = append(bcPasses, p)
+		}
+	}
+	// Dep analysis is charged whenever any bytecode pass runs.
+	if len(bcPasses) > 0 {
+		cur, stats, err := runByteTier(prog, bcPasses, bopts)
+		if err != nil {
+			return nil, fmt.Errorf("core: bytecode refinement: %w", err)
+		}
+		prog = cur
+		for _, s := range stats {
+			res.Stats = append(res.Stats, PassStat{Name: s.Pass, Tier: "bytecode", Applied: s.Applied, Duration: s.Duration})
+			res.MerlinTime += s.Duration
+		}
+	}
+	res.Prog = prog
+
+	if opts.Verify {
+		vopts := verifier.Options{Version: opts.VerifierVersion}
+		res.Verification = verifier.Verify(prog, vopts)
+		if !res.Verification.Passed {
+			return nil, fmt.Errorf("core: optimized program rejected by verifier: %w", res.Verification.Err)
+		}
+		res.BaselineVerification = verifier.Verify(baseline, vopts)
+		if !res.BaselineVerification.Passed {
+			return nil, fmt.Errorf("core: baseline program rejected by verifier: %w", res.BaselineVerification.Err)
+		}
+	}
+	return res, nil
+}
+
+// runByteTier mirrors bopt.RunAll but with a pass subset. The shared
+// dependency analysis (Dep) is charged once up front, as in Fig 13a.
+func runByteTier(prog *ebpf.Program, passes []bopt.Pass, opts bopt.Options) (*ebpf.Program, []bopt.Stat, error) {
+	cur := prog.Clone()
+	var stats []bopt.Stat
+	depStart := time.Now()
+	cfg, err := analysis.BuildCFG(cur)
+	if err != nil {
+		return nil, nil, err
+	}
+	analysis.Liveness(cfg)
+	analysis.Constants(cfg)
+	stats = append(stats, bopt.Stat{Pass: "Dep", Duration: time.Since(depStart)})
+	for _, p := range passes {
+		start := time.Now()
+		next, applied, err := p.Run(cur, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		cur = next
+		stats = append(stats, bopt.Stat{Pass: p.Name, Applied: applied, Duration: time.Since(start)})
+	}
+	return cur, stats, nil
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"testing"
+
+	"merlin/internal/ebpf"
+	"merlin/internal/ir"
+	"merlin/internal/vm"
+)
+
+// demoSrc exercises several optimization opportunities at once: an
+// under-aligned u16 load (DAO), a read-modify-write on a map value (MoF),
+// constant stores (CP&DCE + SLM), and i32 masking (CC/PO).
+const demoSrc = `module "demo"
+map @stats : array key=4 value=16 max=8
+
+func count(%ctx: ptr) -> i64 {
+entry:
+  %key = alloca 4, align 4
+  %scratch = alloca 8, align 8
+  %vslot = alloca 8, align 8
+  store i32 %key, 0, align 4
+  store i32 %scratch, 0, align 4
+  %p4 = gep %scratch, 4
+  store i32 %p4, 1, align 4
+  %data = load ptr, %ctx, align 8
+  %endp = gep %ctx, 8
+  %end = load ptr, %endp, align 8
+  %lim = bin add i64 %data, 14
+  %oob = icmp ugt i64 %lim, %end
+  condbr %oob, drop, parse
+drop:
+  ret 1
+parse:
+  %d2 = load ptr, %ctx, align 8
+  %pp = gep %d2, 12
+  %proto = load i16, %pp, align 1
+  %pz = zext i64, %proto
+  %iseth = icmp eq i64 %pz, 8
+  condbr %iseth, hit, drop2
+drop2:
+  ret 1
+hit:
+  %mp = mapptr @stats
+  %kk = load ptr, %ctx, align 8
+  %v = call 1, %mp, %key
+  store i64 %vslot, %v, align 8
+  %isnull = icmp eq i64 %v, 0
+  condbr %isnull, drop3, bump
+drop3:
+  ret 0
+bump:
+  %vp = load ptr, %vslot, align 8
+  %old = load i64, %vp, align 8
+  %new = bin add i64 %old, 1
+  store i64 %vp, %new, align 8
+  ret 2
+}
+`
+
+func parseDemo(t *testing.T) *ir.Module {
+	t.Helper()
+	m, err := ir.Parse(demoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBuildVerifiesAndShrinks(t *testing.T) {
+	m := parseDemo(t)
+	res, err := Build(m, "count", DefaultOptions())
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if res.Prog.NI() >= res.Baseline.NI() {
+		t.Fatalf("no shrink: baseline %d → %d", res.Baseline.NI(), res.Prog.NI())
+	}
+	if res.NIReduction() <= 0 {
+		t.Fatal("NIReduction must be positive")
+	}
+	if !res.Verification.Passed || !res.BaselineVerification.Passed {
+		t.Fatal("verification stats missing")
+	}
+	if res.Verification.NPI > res.BaselineVerification.NPI {
+		t.Fatalf("NPI grew: %d → %d", res.BaselineVerification.NPI, res.Verification.NPI)
+	}
+}
+
+// ethPacket returns a minimal Ethernet frame with the given ethertype low
+// byte at offset 12 (little-endian read in the demo program).
+func ethPacket(proto byte) []byte {
+	pkt := make([]byte, 64)
+	pkt[12] = proto
+	return pkt
+}
+
+func runOn(t *testing.T, prog *ebpf.Program, pkt []byte) int64 {
+	t.Helper()
+	mach, err := vm.New(prog, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := vm.BuildXDPContext(len(pkt))
+	ret, _, err := mach.Run(ctx, pkt)
+	if err != nil {
+		t.Fatalf("vm: %v\n%s", err, ebpf.Disassemble(prog))
+	}
+	return ret
+}
+
+func TestOptimizedMatchesBaselineSemantics(t *testing.T) {
+	m := parseDemo(t)
+	res, err := Build(m, "count", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]byte{
+		ethPacket(8),       // match
+		ethPacket(0x86),    // no match
+		make([]byte, 8),    // too short
+		make([]byte, 14),   // exactly the bound
+		ethPacket(8)[0:20], // short but parseable
+	}
+	for i, pkt := range inputs {
+		want := runOn(t, res.Baseline, pkt)
+		got := runOn(t, res.Prog, pkt)
+		if want != got {
+			t.Fatalf("input %d: baseline=%d optimized=%d", i, want, got)
+		}
+	}
+}
+
+func TestOptimizedCostsLess(t *testing.T) {
+	m := parseDemo(t)
+	res, err := Build(m, "count", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := ethPacket(8)
+	ctx := vm.BuildXDPContext(len(pkt))
+	run := func(p *ebpf.Program) uint64 {
+		mach, _ := vm.New(p, vm.Config{})
+		var cycles uint64
+		for i := 0; i < 10; i++ {
+			_, st, err := mach.Run(ctx, pkt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cycles += st.Cycles
+		}
+		return cycles
+	}
+	base, opt := run(res.Baseline), run(res.Prog)
+	if opt >= base {
+		t.Fatalf("optimized not cheaper: %d vs %d cycles", opt, base)
+	}
+}
+
+func TestOptimizerSubsetOptions(t *testing.T) {
+	m := parseDemo(t)
+	// Only DAO.
+	daoOnly, err := Build(m, "count", Options{Hook: ebpf.HookXDP, MCPU: 2, KernelALU32: true, Enable: []Optimizer{DAO}, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := Build(m, "count", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if daoOnly.Prog.NI() < all.Prog.NI() {
+		t.Fatalf("subset beat full pipeline: %d < %d", daoOnly.Prog.NI(), all.Prog.NI())
+	}
+	if daoOnly.Prog.NI() >= daoOnly.Baseline.NI() {
+		t.Fatal("DAO alone should already shrink this program")
+	}
+	// Disabled pipeline reproduces the baseline NI.
+	none, err := Build(m, "count", Options{Hook: ebpf.HookXDP, MCPU: 2, Enable: []Optimizer{}, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Prog.NI() != none.Baseline.NI() {
+		t.Fatalf("empty pipeline changed the program: %d vs %d", none.Prog.NI(), none.Baseline.NI())
+	}
+}
+
+func TestStatsCoverEnabledPasses(t *testing.T) {
+	m := parseDemo(t)
+	res, err := Build(m, "count", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, s := range res.Stats {
+		seen[s.Name] = true
+	}
+	for _, want := range []string{"DAO", "MoF", "Dep", "CP&DCE", "SLM", "CC", "PO"} {
+		if !seen[want] {
+			t.Errorf("missing stat for %s (have %v)", want, res.Stats)
+		}
+	}
+	if res.MerlinTime <= 0 {
+		t.Error("MerlinTime not recorded")
+	}
+}
+
+func TestInputModuleNotMutated(t *testing.T) {
+	m := parseDemo(t)
+	before := ir.Print(m)
+	if _, err := Build(m, "count", DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Print(m) != before {
+		t.Fatal("Build mutated its input module")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	m := parseDemo(t)
+	if _, err := Build(m, "missing", DefaultOptions()); err == nil {
+		t.Fatal("missing function must fail")
+	}
+}

@@ -1,0 +1,159 @@
+// Package corpus provides the benchmark programs the paper evaluates on
+// (Table 1): 19 XDP programs modelled on the Linux kernel samples, Meta's
+// load balancer, hXDP and Cilium, plus generators that produce the
+// Sysdig/Tetragon/Tracee-like security suites with matching size
+// distributions. All programs are written in (or generated as) the IR of
+// internal/ir and compile through the full pipeline.
+package corpus
+
+import (
+	"fmt"
+
+	"merlin/internal/ebpf"
+	"merlin/internal/helpers"
+	"merlin/internal/ir"
+)
+
+// ProgramSpec couples an IR module with its build parameters.
+type ProgramSpec struct {
+	Name  string
+	Suite string // "xdp", "sysdig", "tetragon", "tracee"
+	Mod   *ir.Module
+	Func  string
+	Hook  ebpf.HookType
+	MCPU  int
+}
+
+// pb wraps the IR builder with eBPF program idioms shared across the corpus.
+type pb struct {
+	*ir.Builder
+	ctx *ir.Param
+}
+
+func newProg(name string) (*pb, *ir.Param) {
+	ctx := &ir.Param{Name: "ctx", Ty: ir.Ptr}
+	b := ir.NewModule(name)
+	b.NewFunc(name, ctx)
+	return &pb{Builder: b, ctx: ctx}, ctx
+}
+
+// loadData returns a fresh packet-data pointer (ctx field 0).
+func (p *pb) loadData() *ir.Instr { return p.Load(ir.Ptr, p.ctx, 8) }
+
+// loadEnd returns the packet-end pointer (ctx field 8).
+func (p *pb) loadEnd() *ir.Instr {
+	ep := p.GEPc(p.ctx, 8)
+	return p.Load(ir.Ptr, ep, 8)
+}
+
+// boundsCheck emits "if data+n > data_end goto fail" and leaves the builder
+// positioned in the ok block. The packet pointer must be re-derived with
+// loadData inside any later block that needs it.
+func (p *pb) boundsCheck(n int64, fail *ir.Block, okName string) *ir.Block {
+	data := p.loadData()
+	end := p.loadEnd()
+	lim := p.Bin(ir.Add, ir.I64, data, ir.ConstInt(ir.I64, n))
+	oob := p.ICmp(ir.UGT, lim, end)
+	ok := p.Block(okName)
+	p.CondBr(oob, fail, ok)
+	p.SetBlock(ok)
+	return ok
+}
+
+// fieldBE16 loads a big-endian u16 at packet offset off (align 1, packed)
+// and converts it to host order with bswap — the ntohs every parser does.
+func (p *pb) fieldBE16(data *ir.Instr, off int64) *ir.Instr {
+	fp := p.GEPc(data, off)
+	v := p.Load(ir.I16, fp, 1)
+	sw := p.Bswap(ir.I16, v)
+	return p.ZExt(ir.I64, sw)
+}
+
+// field loads width bytes at packet offset off with the given alignment
+// attribute (align 1 models packed network structs) and zero-extends to i64.
+func (p *pb) field(data *ir.Instr, off int64, ty ir.Type, align int) *ir.Instr {
+	fp := p.GEPc(data, off)
+	v := p.Load(ty, fp, align)
+	if ty == ir.I64 {
+		return v
+	}
+	return p.ZExt(ir.I64, v)
+}
+
+// storeField writes val (i64-typed) at packet offset off with width ty.
+func (p *pb) storeField(data *ir.Instr, off int64, ty ir.Type, align int, val ir.Value) {
+	fp := p.GEPc(data, off)
+	if ty != ir.I64 {
+		v := p.Trunc(ty, val)
+		p.Store(fp, v, align)
+		return
+	}
+	p.Store(fp, val, align)
+}
+
+// keySlot allocates a 4-byte stack key holding a constant.
+func (p *pb) keySlot(v int64) *ir.Instr {
+	k := p.Alloca(4, 4)
+	p.Store(k, ir.ConstInt(ir.I32, v), 4)
+	return k
+}
+
+// mapBump emits the canonical per-key counter increment: lookup, null
+// check, load/add/store on the value (macro-op fusion's favourite shape).
+// It leaves the builder in the continuation block.
+func (p *pb) mapBump(md *ir.MapDef, key *ir.Instr, contName string) {
+	vslot := findOrMakeSlot(p)
+	mp := p.MapPtr(md)
+	v := p.Call(helpers.MapLookupElem, mp, key)
+	p.Store(vslot, v, 8)
+	isNull := p.ICmp(ir.EQ, v, ir.ConstInt(ir.I64, 0))
+	cont := p.Block(contName)
+	bump := p.Block(contName + "_bump")
+	p.CondBr(isNull, cont, bump)
+	p.SetBlock(bump)
+	vp := p.Load(ir.Ptr, vslot, 8)
+	old := p.Load(ir.I64, vp, 8)
+	inc := p.Bin(ir.Add, ir.I64, old, ir.ConstInt(ir.I64, 1))
+	p.Store(vp, inc, 8)
+	p.Br(cont)
+	p.SetBlock(cont)
+}
+
+// findOrMakeSlot reuses a per-function 8-byte scratch alloca in the entry
+// block (allocas are function-scoped only when they live in the entry).
+func findOrMakeSlot(p *pb) *ir.Instr {
+	entry := p.Fn.Entry()
+	for _, in := range entry.Instrs {
+		if in.Op == ir.OpAlloca && in.Size == 8 && in.Name == "vscratch" {
+			return in
+		}
+	}
+	slot := &ir.Instr{Name: "vscratch", Op: ir.OpAlloca, Size: 8, Align: 8}
+	// Insert at the top of entry so it is function-scoped.
+	entry.Instrs = append([]*ir.Instr{slot}, entry.Instrs...)
+	slot.Parent = entry
+	return slot
+}
+
+// jhashRound emits one round of Jenkins-style mixing on three i32 values,
+// producing shift/xor/sub chains whose masking the bytecode tier optimizes.
+func (p *pb) jhashRound(a, b, c ir.Value) (ir.Value, ir.Value, ir.Value) {
+	mix := func(x, y, z ir.Value, k int64) (ir.Value, ir.Value) {
+		t := p.Bin(ir.Sub, ir.I32, x, y)
+		t = p.Bin(ir.Xor, ir.I32, t, p.Bin(ir.LShr, ir.I32, z, ir.ConstInt(ir.I32, k)))
+		return t, z
+	}
+	a2, _ := mix(a, b, c, 13)
+	b2, _ := mix(b, c, a2, 8)
+	c2, _ := mix(c, a2, b2, 28)
+	return a2, b2, c2
+}
+
+// validate panics when a generated module is malformed — corpus builders are
+// compile-time-fixed, so a failure is a programming error.
+func mustValidate(m *ir.Module) *ir.Module {
+	if err := ir.Validate(m); err != nil {
+		panic(fmt.Sprintf("corpus: generated invalid IR: %v", err))
+	}
+	return m
+}

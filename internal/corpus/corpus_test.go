@@ -1,0 +1,249 @@
+package corpus
+
+import (
+	"testing"
+
+	"merlin/internal/core"
+	"merlin/internal/ebpf"
+	"merlin/internal/ir"
+	"merlin/internal/vm"
+)
+
+func buildOpts(spec *ProgramSpec) core.Options {
+	return core.Options{Hook: spec.Hook, MCPU: spec.MCPU, KernelALU32: true, Verify: true}
+}
+
+func TestXDPCorpusShape(t *testing.T) {
+	specs := XDP()
+	if len(specs) != 19 {
+		t.Fatalf("XDP count = %d, want 19", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Errorf("duplicate name %s", s.Name)
+		}
+		names[s.Name] = true
+		if s.MCPU != 2 || s.Hook != ebpf.HookXDP {
+			t.Errorf("%s: wrong build params", s.Name)
+		}
+	}
+	if !names["xdp-balancer"] || !names["xdp2"] || !names["xdp_fwd"] || !names["xdp_router_ipv4"] {
+		t.Error("missing the Table 3 programs")
+	}
+}
+
+// TestXDPBuildVerifyAndSizes is the paper's headline safety claim on our
+// corpus: every program compiles, every optimized program passes the
+// verifier, and sizes span the Table 1 spread.
+func TestXDPBuildVerifyAndSizes(t *testing.T) {
+	minNI, maxNI, total := 1<<30, 0, 0
+	for _, spec := range XDP() {
+		res, err := core.Build(spec.Mod, spec.Func, buildOpts(spec))
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		ni := res.Baseline.NI()
+		total += ni
+		if ni < minNI {
+			minNI = ni
+		}
+		if ni > maxNI {
+			maxNI = ni
+		}
+		if res.Prog.NI() > ni {
+			t.Errorf("%s: optimization grew the program %d → %d", spec.Name, ni, res.Prog.NI())
+		}
+	}
+	avg := total / 19
+	t.Logf("XDP sizes: min=%d max=%d avg=%d (paper: 18/1771/141)", minNI, maxNI, avg)
+	if minNI > 60 {
+		t.Errorf("smallest program too big: %d", minNI)
+	}
+	if maxNI < 900 || maxNI > 4000 {
+		t.Errorf("largest program out of band: %d (want ≈1771)", maxNI)
+	}
+	if avg < 40 || avg > 500 {
+		t.Errorf("average out of band: %d (want ≈141)", avg)
+	}
+}
+
+// TestXDPSemanticEquivalence runs baseline vs optimized on packet inputs.
+func TestXDPSemanticEquivalence(t *testing.T) {
+	packets := testPackets()
+	for _, spec := range XDP() {
+		res, err := core.Build(spec.Mod, spec.Func, buildOpts(spec))
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		base, err := vm.New(res.Baseline, vm.Config{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := vm.New(res.Prog, vm.Config{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pi, pkt := range packets {
+			ctx := vm.BuildXDPContext(len(pkt))
+			wantRet, _, err1 := base.Run(ctx, pkt)
+			gotRet, _, err2 := opt.Run(ctx, pkt)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("%s pkt %d: error divergence: %v vs %v", spec.Name, pi, err1, err2)
+			}
+			if wantRet != gotRet {
+				t.Fatalf("%s pkt %d: ret %d vs %d", spec.Name, pi, wantRet, gotRet)
+			}
+		}
+		// Map side effects must match too.
+		for i := range res.Prog.Maps {
+			b := base.Map(i).Backing()
+			o := opt.Map(i).Backing()
+			if string(b) != string(o) {
+				t.Fatalf("%s: map %d contents diverged", spec.Name, i)
+			}
+		}
+	}
+}
+
+// testPackets returns a deterministic packet mix: IPv4/TCP-ish frames,
+// non-IP frames, and short frames.
+func testPackets() [][]byte {
+	var out [][]byte
+	mk := func(n int, proto uint16, fill byte) []byte {
+		p := make([]byte, n)
+		for i := range p {
+			p[i] = byte(i) ^ fill
+		}
+		if n >= 14 {
+			p[12] = byte(proto & 0xff)
+			p[13] = byte(proto >> 8)
+		}
+		if n >= 34 {
+			p[14] = 0x45
+			p[14+9] = 6 // TCP
+		}
+		return p
+	}
+	out = append(out,
+		mk(64, 0x0008, 0x00),  // IPv4
+		mk(64, 0x0008, 0x5a),  // IPv4, different bytes
+		mk(128, 0xdd86, 0x10), // IPv6 ethertype → non-match path
+		mk(60, 0x0608, 0x01),  // ARP
+		mk(14, 0x0008, 0x00),  // header only
+		mk(13, 0, 0),          // runt
+		mk(640, 0x0008, 0x33), // large
+	)
+	// UDP qualifier for the QUIC program.
+	udp := mk(96, 0x0008, 0x07)
+	udp[14+9] = 17
+	out = append(out, udp)
+	return out
+}
+
+func TestSuiteShapes(t *testing.T) {
+	cases := []struct {
+		name  string
+		specs []*ProgramSpec
+		shape suiteShape
+	}{
+		{"sysdig", Sysdig(), sysdigShape},
+		{"tetragon", Tetragon(), tetragonShape},
+		{"tracee", Tracee(), traceeShape},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if len(c.specs) != c.shape.count {
+				t.Fatalf("count = %d, want %d", len(c.specs), c.shape.count)
+			}
+			for _, s := range c.specs {
+				if s.MCPU != c.shape.mcpu {
+					t.Fatalf("%s: mcpu = %d", s.Name, s.MCPU)
+				}
+			}
+		})
+	}
+}
+
+func TestSuiteDeterminism(t *testing.T) {
+	a := Sysdig()
+	b := Sysdig()
+	for i := range a {
+		if ir.Print(a[i].Mod) != ir.Print(b[i].Mod) {
+			t.Fatalf("program %d differs between generations", i)
+		}
+	}
+}
+
+// TestSuiteSampleBuildAndVerify compiles a systematic sample of each suite
+// (every program in -short mode would be slow; full coverage lives in the
+// table1 experiment).
+func TestSuiteSampleBuildAndVerify(t *testing.T) {
+	for _, specs := range [][]*ProgramSpec{Sysdig(), Tetragon(), Tracee()} {
+		step := 12
+		if testing.Short() {
+			step = 40
+		}
+		for i := 0; i < len(specs); i += step {
+			spec := specs[i]
+			res, err := core.Build(spec.Mod, spec.Func, buildOpts(spec))
+			if err != nil {
+				t.Fatalf("%s: %v", spec.Name, err)
+			}
+			if res.Prog.NI() > res.Baseline.NI() {
+				t.Errorf("%s: grew %d → %d", spec.Name, res.Baseline.NI(), res.Prog.NI())
+			}
+		}
+	}
+}
+
+// TestSuiteSampleSemantics runs a few suite programs on the VM.
+func TestSuiteSampleSemantics(t *testing.T) {
+	for _, specs := range [][]*ProgramSpec{Sysdig(), Tetragon(), Tracee()} {
+		for _, idx := range []int{0, 7, len(specs) / 2} {
+			spec := specs[idx]
+			res, err := core.Build(spec.Mod, spec.Func, buildOpts(spec))
+			if err != nil {
+				t.Fatalf("%s: %v", spec.Name, err)
+			}
+			base, _ := vm.New(res.Baseline, vm.Config{Seed: 9})
+			opt, _ := vm.New(res.Prog, vm.Config{Seed: 9})
+			for trial := 0; trial < 3; trial++ {
+				ctx := vm.TracepointContext(uint64(trial), 42, 77, 99, 3, 1, 12, 9)
+				a, _, err1 := base.Run(ctx, nil)
+				b, _, err2 := opt.Run(ctx, nil)
+				if (err1 == nil) != (err2 == nil) || a != b {
+					t.Fatalf("%s trial %d: %d/%v vs %d/%v", spec.Name, trial, a, err1, b, err2)
+				}
+			}
+			for i := range res.Prog.Maps {
+				if string(base.Map(i).Backing()) != string(opt.Map(i).Backing()) {
+					t.Fatalf("%s: map %d diverged", spec.Name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSuiteSizeBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("size survey is slow")
+	}
+	// Compile a sample and check the min/max targets are representable.
+	specs := Sysdig()
+	first, err := core.Build(specs[0].Mod, specs[0].Func, core.Options{Hook: specs[0].Hook, MCPU: 3, KernelALU32: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := core.Build(specs[len(specs)-1].Mod, specs[len(specs)-1].Func, core.Options{Hook: specs[0].Hook, MCPU: 3, KernelALU32: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sysdig smallest baseline NI=%d (target 180), largest NI=%d (target 33765)", first.Baseline.NI(), last.Baseline.NI())
+	if first.Baseline.NI() < 60 || first.Baseline.NI() > 600 {
+		t.Errorf("smallest out of band: %d", first.Baseline.NI())
+	}
+	if last.Baseline.NI() < 12000 || last.Baseline.NI() > 70000 {
+		t.Errorf("largest out of band: %d", last.Baseline.NI())
+	}
+}

@@ -1,0 +1,228 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"merlin/internal/ebpf"
+	"merlin/internal/helpers"
+	"merlin/internal/ir"
+)
+
+// Suite size targets from Table 1 (NI of the compiled, unoptimized
+// programs). Generated sizes approximate these: the distribution is
+// long-tailed with the declared min/max pinned.
+type suiteShape struct {
+	name     string
+	count    int
+	smallest int
+	largest  int
+	average  int
+	mcpu     int
+	hook     ebpf.HookType
+	seed     int64
+}
+
+var (
+	sysdigShape   = suiteShape{name: "sysdig", count: 168, smallest: 180, largest: 33765, average: 1094, mcpu: 3, hook: ebpf.HookTracepoint, seed: 11}
+	tetragonShape = suiteShape{name: "tetragon", count: 186, smallest: 21, largest: 15673, average: 3405, mcpu: 3, hook: ebpf.HookKprobe, seed: 22}
+	traceeShape   = suiteShape{name: "tracee", count: 129, smallest: 29, largest: 16633, average: 2654, mcpu: 2, hook: ebpf.HookTracepoint, seed: 33}
+)
+
+// Sysdig returns the Sysdig-like suite (168 syscall-capture programs, v3).
+func Sysdig() []*ProgramSpec { return genSuite(sysdigShape) }
+
+// Tetragon returns the Tetragon-like suite (186 programs, v3).
+func Tetragon() []*ProgramSpec { return genSuite(tetragonShape) }
+
+// Tracee returns the Tracee-like suite (129 programs, v2).
+func Tracee() []*ProgramSpec { return genSuite(traceeShape) }
+
+// targetSizes produces a deterministic long-tailed size list matching the
+// shape's min/max/avg approximately.
+func targetSizes(s suiteShape) []int {
+	rng := rand.New(rand.NewSource(s.seed))
+	sizes := make([]int, s.count)
+	// Long tail: most programs small-ish, a few huge. Draw from an
+	// exponential and rescale to hit the average.
+	total := 0
+	for i := range sizes {
+		v := s.smallest + int(rng.ExpFloat64()*float64(s.average-s.smallest))
+		if v > s.largest {
+			v = s.largest
+		}
+		sizes[i] = v
+		total += v
+	}
+	// Rescale toward the requested average.
+	wantTotal := s.average * s.count
+	scale := float64(wantTotal) / float64(total)
+	for i := range sizes {
+		v := int(float64(sizes[i]) * scale)
+		if v < s.smallest {
+			v = s.smallest
+		}
+		if v > s.largest {
+			v = s.largest
+		}
+		sizes[i] = v
+	}
+	// Pin the extremes.
+	sizes[0] = s.smallest
+	sizes[len(sizes)-1] = s.largest
+	return sizes
+}
+
+func genSuite(s suiteShape) []*ProgramSpec {
+	sizes := targetSizes(s)
+	rng := rand.New(rand.NewSource(s.seed * 7919))
+	var out []*ProgramSpec
+	for i, target := range sizes {
+		name := fmt.Sprintf("%s_%s_%03d", s.name, syscallName(i), i)
+		mod := genProbe(name, target, s, rng.Int63())
+		out = append(out, &ProgramSpec{
+			Name:  name,
+			Suite: s.name,
+			Mod:   mustValidate(mod),
+			Func:  name,
+			Hook:  s.hook,
+			MCPU:  s.mcpu,
+		})
+	}
+	return out
+}
+
+var syscallNames = []string{
+	"read", "write", "open", "close", "stat", "fstat", "lstat", "poll",
+	"lseek", "mmap", "mprotect", "munmap", "brk", "ioctl", "pread", "pwrite",
+	"readv", "writev", "access", "pipe", "select", "dup", "dup2", "socket",
+	"connect", "accept", "sendto", "recvfrom", "sendmsg", "recvmsg", "bind",
+	"listen", "execve", "exit", "wait4", "kill", "fcntl", "flock", "fsync",
+	"rename", "mkdir", "rmdir", "creat", "link", "unlink", "symlink", "chmod",
+	"chown", "umask", "getpid", "clone", "fork", "vfork", "ptrace", "setuid",
+}
+
+func syscallName(i int) string { return syscallNames[i%len(syscallNames)] }
+
+// genProbe generates a syscall-capture probe whose compiled size lands near
+// target NI. Structure mirrors real capture probes: read ctx args, filter,
+// marshal an event record into a per-CPU scratch buffer with packed writes,
+// copy argument memory, bump counters, and emit the record.
+//
+// Approximate baseline cost per unit (calibrated against compiled output):
+// header ≈ 31 NI, arg ≈ 14, hash round ≈ 14, counter ≈ 14. The mix is
+// deterministic per seed.
+func genProbe(name string, target int, s suiteShape, seed int64) *ir.Module {
+	rng := rand.New(rand.NewSource(seed))
+	p, ctx := newProg(name)
+	scratch := p.DeclareMap("frame_scratch_map", ir.MapPerCPUArray, 4, 256, 1)
+	counts := p.DeclareMap("event_counts", ir.MapPerCPUArray, 4, 8, 64)
+	ring := p.DeclareMap("perf_events", ir.MapRingBuf, 0, 64, 1024)
+
+	// Prologue ≈ 30 NI: syscall-id filter + scratch buffer lookup.
+	id := p.Load(ir.I64, ctx, 8)
+	match := p.ICmp(ir.ULE, id, ir.ConstInt(ir.I64, 450))
+	out := p.Block("out")
+	cur := p.Cur
+	p.SetBlock(out)
+	p.Ret(ir.ConstInt(ir.I64, 0))
+	p.SetBlock(cur)
+	body := p.Block("body")
+	p.CondBr(match, body, out)
+	p.SetBlock(body)
+
+	key := p.keySlot(0)
+	bufSlot := p.Alloca(8, 8)
+	mp := p.MapPtr(scratch)
+	buf := p.Call(helpers.MapLookupElem, mp, key)
+	p.Store(bufSlot, buf, 8)
+	nobuf := p.ICmp(ir.EQ, buf, ir.ConstInt(ir.I64, 0))
+	fill := p.Block("fill")
+	p.CondBr(nobuf, out, fill)
+	p.SetBlock(fill)
+
+	// Estimate unit costs to hit the target.
+	budget := target - 28
+	units := 0
+	counters := 0
+	for budget > 20 && units < 4000 {
+		switch pick := rng.Intn(10); {
+		case pick < 3:
+			p.headerUnit(bufSlot, rng)
+			budget -= 31
+		case pick < 8:
+			p.argUnit(ctx, bufSlot, rng)
+			budget -= 14
+		case pick < 9 && s.mcpu == 2:
+			p.hashUnit(ctx, rng)
+			budget -= 14
+		default:
+			if counters < 6 {
+				ck := p.keySlot(int64(rng.Intn(64)))
+				p.mapBump(counts, ck, blockName("cnt", counters))
+				counters++
+				budget -= 14
+			} else {
+				p.argUnit(ctx, bufSlot, rng)
+				budget -= 14
+			}
+		}
+		units++
+	}
+
+	// Epilogue: emit the event record.
+	bp := p.Load(ir.Ptr, bufSlot, 8)
+	rp := p.MapPtr(ring)
+	p.Call(helpers.PerfEventOutput, ctx, rp, ir.ConstInt(ir.I64, 0), bp, ir.ConstInt(ir.I64, 64))
+	p.Ret(ir.ConstInt(ir.I64, 0))
+	return p.Mod
+}
+
+// headerUnit writes a run of packed constant header fields into the event
+// buffer — the CP&DCE + SLM + DAO pattern.
+func (p *pb) headerUnit(bufSlot *ir.Instr, rng *rand.Rand) {
+	bp := p.Load(ir.Ptr, bufSlot, 8)
+	base := int64(rng.Intn(20)) * 8
+	p.Store(p.GEPc(bp, base+0), ir.ConstInt(ir.I32, 0), 1)
+	p.Store(p.GEPc(bp, base+4), ir.ConstInt(ir.I32, 1), 1)
+	p.Store(p.GEPc(bp, base+8), ir.ConstInt(ir.I16, 26), 1)
+	p.Store(p.GEPc(bp, base+10), ir.ConstInt(ir.I16, 0), 1)
+	p.Store(p.GEPc(bp, base+12), ir.ConstInt(ir.I8, 3), 1)
+	p.Store(p.GEPc(bp, base+13), ir.ConstInt(ir.I8, 0), 1)
+}
+
+// argUnit reads one syscall argument from the context and marshals it into
+// the event buffer at a packed offset.
+func (p *pb) argUnit(ctx *ir.Param, bufSlot *ir.Instr, rng *rand.Rand) {
+	argOff := int64(8 * (1 + rng.Intn(6)))
+	ap := p.GEPc(ctx, argOff)
+	arg := p.Load(ir.I64, ap, 8)
+	bp := p.Load(ir.Ptr, bufSlot, 8)
+	dst := int64(16 + rng.Intn(200))
+	switch rng.Intn(3) {
+	case 0: // full 8-byte arg, packed
+		p.Store(p.GEPc(bp, dst), arg, 1)
+	case 1: // 32-bit truncation, packed
+		tr := p.Trunc(ir.I32, arg)
+		p.Store(p.GEPc(bp, dst), tr, 1)
+	default: // length-style field with bounding
+		ln := p.Bin(ir.And, ir.I64, arg, ir.ConstInt(ir.I64, 0xffff))
+		tr := p.Trunc(ir.I16, ln)
+		p.Store(p.GEPc(bp, dst), tr, 1)
+	}
+}
+
+// hashUnit mixes argument words (Tracee computes flow hashes in v2 ISA,
+// generating the masking patterns CC and PO clean up).
+func (p *pb) hashUnit(ctx *ir.Param, rng *rand.Rand) {
+	a := p.tr32(p.Load(ir.I64, p.GEPc(ctx, 8), 8))
+	b := p.tr32(p.Load(ir.I64, p.GEPc(ctx, 16), 8))
+	c := p.tr32(p.Load(ir.I64, p.GEPc(ctx, 24), 8))
+	x, y, z := p.jhashRound(a, b, c)
+	h := p.Bin(ir.Xor, ir.I32, x, y)
+	h2 := p.Bin(ir.Xor, ir.I32, h, z)
+	sh := p.Bin(ir.LShr, ir.I32, h2, ir.ConstInt(ir.I32, int64(20+rng.Intn(8))))
+	hz := p.ZExt(ir.I64, sh)
+	slot := findOrMakeSlot(p)
+	p.Store(slot, hz, 8)
+}

@@ -1,0 +1,736 @@
+package corpus
+
+import (
+	"merlin/internal/ebpf"
+	"merlin/internal/helpers"
+	"merlin/internal/ir"
+)
+
+// XDP returns the 19 XDP benchmark programs (Table 1: sizes 18…1771,
+// mcpu=v2), modelled on the Linux kernel samples, Meta's pktcntr/balancer,
+// hXDP's firewall suite, and Cilium datapath pieces.
+func XDP() []*ProgramSpec {
+	builders := []struct {
+		name  string
+		build func(name string) *ir.Module
+	}{
+		{"xdp_dropworld", xdpDropWorld},
+		{"xdp1", xdp1},
+		{"xdp2", xdp2},
+		{"xdp_pktcntr", xdpPktcntr},
+		{"xdp_rxq_info", xdpRxqInfo},
+		{"xdp_redirect", xdpRedirect},
+		{"xdp_redirect_map", xdpRedirectMap},
+		{"xdp_adjust_tail", xdpAdjustTail},
+		{"xdp_fwd", xdpFwd},
+		{"xdp_router_ipv4", xdpRouterIPv4},
+		{"xdp_tx_iptunnel", xdpTxIptunnel},
+		{"xdp_ddos_mitigator", xdpDDoS},
+		{"xdp_firewall", xdpFirewall},
+		{"xdp_policer", xdpPolicer},
+		{"cilium_lb4", ciliumLB4},
+		{"cilium_policy", ciliumPolicy},
+		{"cilium_encap", ciliumEncap},
+		{"xdp_quic_lb", xdpQuicLB},
+		{"xdp-balancer", xdpBalancer},
+	}
+	var out []*ProgramSpec
+	for _, b := range builders {
+		out = append(out, &ProgramSpec{
+			Name:  b.name,
+			Suite: "xdp",
+			Mod:   mustValidate(b.build(b.name)),
+			Func:  b.name,
+			Hook:  ebpf.HookXDP,
+			MCPU:  2,
+		})
+	}
+	return out
+}
+
+// ret emits "ret <verdict>" in the current block.
+func (p *pb) ret(v int64) { p.Ret(ir.ConstInt(ir.I64, v)) }
+
+// dropBlock creates the shared failure block returning XDP_DROP… callers
+// must create it before branching to it.
+func (p *pb) dropBlock() *ir.Block {
+	d := p.Block("drop")
+	cur := p.Cur
+	p.SetBlock(d)
+	p.ret(int64(ebpf.XDPDrop))
+	p.SetBlock(cur)
+	return d
+}
+
+func (p *pb) passBlock() *ir.Block {
+	d := p.Block("pass")
+	cur := p.Cur
+	p.SetBlock(d)
+	p.ret(int64(ebpf.XDPPass))
+	p.SetBlock(cur)
+	return d
+}
+
+// tr32 truncates an i64 value to i32 for hashing arithmetic.
+func (p *pb) tr32(v ir.Value) *ir.Instr { return p.Trunc(ir.I32, v) }
+
+// xdpDropWorld is the smallest program: bounds-check the Ethernet header
+// and drop everything (≈18 NI compiled).
+func xdpDropWorld(name string) *ir.Module {
+	p, _ := newProg(name)
+	drop := p.dropBlock()
+	pass := p.passBlock()
+	p.boundsCheck(14, drop, "parse")
+	data := p.loadData()
+	proto := p.field(data, 12, ir.I16, 1)
+	isIP := p.ICmp(ir.EQ, proto, ir.ConstInt(ir.I64, 0x0008))
+	p.CondBr(isIP, drop, pass)
+	return p.Mod
+}
+
+// xdp1 parses the Ethernet/IP headers and counts packets per IP protocol in
+// a per-CPU array, then drops (kernel samples/bpf/xdp1).
+func xdp1(name string) *ir.Module {
+	p, _ := newProg(name)
+	rxcnt := p.DeclareMap("rxcnt", ir.MapPerCPUArray, 4, 8, 256)
+	drop := p.dropBlock()
+	p.boundsCheck(14+20, drop, "l3")
+	data := p.loadData()
+	eth := p.fieldBE16(data, 12)
+	isIP := p.ICmp(ir.EQ, eth, ir.ConstInt(ir.I64, 0x0800)) // ETH_P_IP
+	l4 := p.Block("l4")
+	p.CondBr(isIP, l4, drop)
+	p.SetBlock(l4)
+	d2 := p.loadData()
+	proto := p.field(d2, 14+9, ir.I8, 1)
+	key := p.Alloca(4, 4)
+	pr32 := p.Trunc(ir.I32, proto)
+	p.Store(key, pr32, 4)
+	p.mapBump(rxcnt, key, "done")
+	p.ret(int64(ebpf.XDPDrop))
+	return p.Mod
+}
+
+// xdp2 is xdp1 plus a MAC swap and TX (kernel samples/bpf/xdp2).
+func xdp2(name string) *ir.Module {
+	p, _ := newProg(name)
+	rxcnt := p.DeclareMap("rxcnt", ir.MapPerCPUArray, 4, 8, 256)
+	drop := p.dropBlock()
+	p.boundsCheck(14+20, drop, "l3")
+	data := p.loadData()
+	eth := p.fieldBE16(data, 12)
+	isIP := p.ICmp(ir.EQ, eth, ir.ConstInt(ir.I64, 0x0800))
+	swap := p.Block("swap")
+	p.CondBr(isIP, swap, drop)
+	p.SetBlock(swap)
+	d2 := p.loadData()
+	// Swap src/dst MACs byte by byte (packed, align 1).
+	for i := int64(0); i < 6; i++ {
+		dstB := p.field(d2, i, ir.I8, 1)
+		srcB := p.field(d2, 6+i, ir.I8, 1)
+		p.storeField(d2, i, ir.I8, 1, srcB)
+		p.storeField(d2, 6+i, ir.I8, 1, dstB)
+	}
+	proto := p.field(d2, 14+9, ir.I8, 1)
+	key := p.Alloca(4, 4)
+	p.Store(key, p.Trunc(ir.I32, proto), 4)
+	p.mapBump(rxcnt, key, "count")
+	p.ret(int64(ebpf.XDPTx))
+	return p.Mod
+}
+
+// xdpPktcntr counts all packets into a per-CPU array slot 0 and passes
+// (Meta's xdp_pktcntr).
+func xdpPktcntr(name string) *ir.Module {
+	p, _ := newProg(name)
+	cnt := p.DeclareMap("cntrs_array", ir.MapPerCPUArray, 4, 8, 32)
+	key := p.keySlot(0)
+	p.mapBump(cnt, key, "out")
+	p.ret(int64(ebpf.XDPPass))
+	return p.Mod
+}
+
+// xdpRxqInfo counts per rx-queue (queue index faked from a ctx-derived
+// value) and passes (kernel samples xdp_rxq_info).
+func xdpRxqInfo(name string) *ir.Module {
+	p, _ := newProg(name)
+	stats := p.DeclareMap("rx_queue_index", ir.MapPerCPUArray, 4, 8, 64)
+	drop := p.dropBlock()
+	p.boundsCheck(14, drop, "q")
+	data := p.loadData()
+	b0 := p.field(data, 0, ir.I8, 1)
+	q := p.Bin(ir.And, ir.I64, b0, ir.ConstInt(ir.I64, 63))
+	key := p.Alloca(4, 4)
+	p.Store(key, p.Trunc(ir.I32, q), 4)
+	p.mapBump(stats, key, "done")
+	p.ret(int64(ebpf.XDPPass))
+	return p.Mod
+}
+
+// xdpRedirect rewrites the destination MAC and redirects to a fixed
+// ifindex (kernel samples xdp_redirect).
+func xdpRedirect(name string) *ir.Module {
+	p, _ := newProg(name)
+	drop := p.dropBlock()
+	p.boundsCheck(14, drop, "go")
+	data := p.loadData()
+	for i := int64(0); i < 6; i++ {
+		p.storeField(data, i, ir.I8, 1, ir.ConstInt(ir.I64, int64(0xde)))
+	}
+	r := p.Call(helpers.Redirect, ir.ConstInt(ir.I64, 7), ir.ConstInt(ir.I64, 0))
+	p.Ret(r)
+	return p.Mod
+}
+
+// xdpRedirectMap redirects through a devmap-style array keyed by the
+// low bits of the source MAC (kernel samples xdp_redirect_map).
+func xdpRedirectMap(name string) *ir.Module {
+	p, _ := newProg(name)
+	devs := p.DeclareMap("tx_port", ir.MapArray, 4, 8, 64)
+	drop := p.dropBlock()
+	p.boundsCheck(14, drop, "go")
+	data := p.loadData()
+	b := p.field(data, 6, ir.I8, 1)
+	slot := p.Bin(ir.And, ir.I64, b, ir.ConstInt(ir.I64, 63))
+	mp := p.MapPtr(devs)
+	r := p.Call(helpers.RedirectMap, mp, slot, ir.ConstInt(ir.I64, 0))
+	p.Ret(r)
+	return p.Mod
+}
+
+// xdpAdjustTail parses IP, validates the length field, and emulates an ICMP
+// truncation reply by rewriting header bytes (kernel xdp_adjust_tail).
+func xdpAdjustTail(name string) *ir.Module {
+	p, _ := newProg(name)
+	drop := p.dropBlock()
+	pass := p.passBlock()
+	p.boundsCheck(14+20+8, drop, "ip")
+	data := p.loadData()
+	eth := p.field(data, 12, ir.I16, 1)
+	isIP := p.ICmp(ir.EQ, eth, ir.ConstInt(ir.I64, 0x0008))
+	l3 := p.Block("l3")
+	p.CondBr(isIP, l3, pass)
+	p.SetBlock(l3)
+	d := p.loadData()
+	totLen := p.field(d, 14+2, ir.I16, 1)
+	big := p.ICmp(ir.UGT, totLen, ir.ConstInt(ir.I64, 600))
+	trim := p.Block("trim")
+	p.CondBr(big, trim, pass)
+	p.SetBlock(trim)
+	d2 := p.loadData()
+	// Rewrite the IP header for the truncated reply: new length, TTL, csum.
+	p.storeField(d2, 14+2, ir.I16, 1, ir.ConstInt(ir.I64, 0x5802))
+	p.storeField(d2, 14+8, ir.I8, 1, ir.ConstInt(ir.I64, 64))
+	csum := p.field(d2, 14+10, ir.I16, 1)
+	c1 := p.Bin(ir.Add, ir.I64, csum, ir.ConstInt(ir.I64, 0x101))
+	p.storeField(d2, 14+10, ir.I16, 1, c1)
+	// ICMP type/code in the payload area.
+	p.storeField(d2, 14+20, ir.I8, 1, ir.ConstInt(ir.I64, 3))
+	p.storeField(d2, 14+21, ir.I8, 1, ir.ConstInt(ir.I64, 4))
+	p.storeField(d2, 14+22, ir.I16, 1, ir.ConstInt(ir.I64, 0))
+	p.storeField(d2, 14+24, ir.I16, 1, ir.ConstInt(ir.I64, 0x4605))
+	p.ret(int64(ebpf.XDPTx))
+	return p.Mod
+}
+
+// parseFiveTuple loads the IPv4 5-tuple into a stack key (13 bytes packed,
+// written field by field — byte-aligned on purpose, as the real firewall
+// structs are packed).
+func (p *pb) parseFiveTuple(key *ir.Instr) {
+	d := p.loadData()
+	sa := p.field(d, 14+12, ir.I32, 1)
+	da := p.field(d, 14+16, ir.I32, 1)
+	pr := p.field(d, 14+9, ir.I8, 1)
+	sp := p.field(d, 14+20, ir.I16, 1)
+	dp := p.field(d, 14+22, ir.I16, 1)
+	p.Store(p.GEPc(key, 0), p.Trunc(ir.I32, sa), 1)
+	p.Store(p.GEPc(key, 4), p.Trunc(ir.I32, da), 1)
+	p.Store(p.GEPc(key, 8), p.Trunc(ir.I16, sp), 1)
+	p.Store(p.GEPc(key, 10), p.Trunc(ir.I16, dp), 1)
+	p.Store(p.GEPc(key, 12), p.Trunc(ir.I8, pr), 1)
+	p.Store(p.GEPc(key, 13), ir.ConstInt(ir.I8, 0), 1)
+	p.Store(p.GEPc(key, 14), ir.ConstInt(ir.I16, 0), 1)
+}
+
+// xdpFwd parses L2/L3, looks up a next-hop entry and rewrites both MACs
+// before transmitting (kernel samples xdp_fwd).
+func xdpFwd(name string) *ir.Module {
+	p, _ := newProg(name)
+	fib := p.DeclareMap("xdp_tx_ports", ir.MapHash, 4, 16, 256)
+	drop := p.dropBlock()
+	pass := p.passBlock()
+	p.boundsCheck(14+20+8, drop, "l3")
+	data := p.loadData()
+	eth := p.field(data, 12, ir.I16, 1)
+	isIP := p.ICmp(ir.EQ, eth, ir.ConstInt(ir.I64, 0x0008))
+	fwd := p.Block("fwd")
+	p.CondBr(isIP, fwd, pass)
+	p.SetBlock(fwd)
+	d := p.loadData()
+	ttl := p.field(d, 14+8, ir.I8, 1)
+	alive := p.ICmp(ir.UGT, ttl, ir.ConstInt(ir.I64, 1))
+	lookup := p.Block("lookup")
+	p.CondBr(alive, lookup, drop)
+	p.SetBlock(lookup)
+	d2 := p.loadData()
+	daddr := p.field(d2, 14+16, ir.I32, 1)
+	key := p.Alloca(4, 4)
+	vslot := findOrMakeSlot(p)
+	p.Store(key, p.Trunc(ir.I32, daddr), 4)
+	mp := p.MapPtr(fib)
+	v := p.Call(helpers.MapLookupElem, mp, key)
+	p.Store(vslot, v, 8)
+	miss := p.ICmp(ir.EQ, v, ir.ConstInt(ir.I64, 0))
+	rewrite := p.Block("rewrite")
+	p.CondBr(miss, pass, rewrite)
+	p.SetBlock(rewrite)
+	vp := p.Load(ir.Ptr, vslot, 8)
+	d3 := p.loadData()
+	// dst MAC from nexthop entry bytes 0..5, src MAC from 6..11.
+	for i := int64(0); i < 6; i++ {
+		nb := p.Load(ir.I8, p.GEPc(vp, i), 1)
+		p.Store(p.GEPc(d3, i), nb, 1)
+	}
+	for i := int64(0); i < 6; i++ {
+		nb := p.Load(ir.I8, p.GEPc(vp, 6+i), 1)
+		p.Store(p.GEPc(d3, 6+i), nb, 1)
+	}
+	// Decrement TTL and fix the checksum incrementally.
+	t2 := p.field(d3, 14+8, ir.I8, 1)
+	t3 := p.Bin(ir.Sub, ir.I64, t2, ir.ConstInt(ir.I64, 1))
+	p.storeField(d3, 14+8, ir.I8, 1, t3)
+	cs := p.field(d3, 14+10, ir.I16, 1)
+	cs2 := p.Bin(ir.Add, ir.I64, cs, ir.ConstInt(ir.I64, 0x100))
+	p.storeField(d3, 14+10, ir.I16, 1, cs2)
+	p.ret(int64(ebpf.XDPTx))
+	return p.Mod
+}
+
+// xdpRouterIPv4 does a longest-prefix-style route lookup over four unrolled
+// prefix lengths (kernel samples xdp_router_ipv4).
+func xdpRouterIPv4(name string) *ir.Module {
+	p, _ := newProg(name)
+	routes := p.DeclareMap("route_table", ir.MapHash, 8, 16, 1024)
+	arp := p.DeclareMap("arp_table", ir.MapHash, 4, 8, 1024)
+	drop := p.dropBlock()
+	pass := p.passBlock()
+	p.boundsCheck(14+20, drop, "l3")
+	data := p.loadData()
+	eth := p.field(data, 12, ir.I16, 1)
+	isIP := p.ICmp(ir.EQ, eth, ir.ConstInt(ir.I64, 0x0008))
+	route := p.Block("route")
+	p.CondBr(isIP, route, pass)
+	p.SetBlock(route)
+
+	key := p.Alloca(8, 8)
+	vslot := findOrMakeSlot(p)
+	found := p.Alloca(8, 8)
+	p.Store(found, ir.ConstInt(ir.I64, 0), 8)
+
+	// Unrolled prefix probes /32, /24, /16, /8.
+	masks := []int64{0xffffffff, 0xffffff, 0xffff, 0xff}
+	for pi, m := range masks {
+		d := p.loadData()
+		da := p.field(d, 14+16, ir.I32, 1)
+		masked := p.Bin(ir.And, ir.I64, da, ir.ConstInt(ir.I64, m))
+		plen := ir.ConstInt(ir.I64, int64(32-8*pi))
+		pk := p.Bin(ir.Shl, ir.I64, plen, ir.ConstInt(ir.I64, 32))
+		full := p.Bin(ir.Or, ir.I64, pk, masked)
+		p.Store(key, full, 8)
+		mp := p.MapPtr(routes)
+		v := p.Call(helpers.MapLookupElem, mp, key)
+		p.Store(vslot, v, 8)
+		hit := p.ICmp(ir.NE, v, ir.ConstInt(ir.I64, 0))
+		next := p.Block(blockName("probe", pi))
+		take := p.Block(blockName("take", pi))
+		p.CondBr(hit, take, next)
+		p.SetBlock(take)
+		vp := p.Load(ir.Ptr, vslot, 8)
+		nh := p.Load(ir.I64, vp, 8)
+		p.Store(found, nh, 8)
+		p.Br(next)
+		p.SetBlock(next)
+	}
+	nh := p.Load(ir.I64, found, 8)
+	have := p.ICmp(ir.NE, nh, ir.ConstInt(ir.I64, 0))
+	deliver := p.Block("deliver")
+	p.CondBr(have, deliver, pass)
+	p.SetBlock(deliver)
+	// ARP lookup for the nexthop's MAC and rewrite.
+	nh2 := p.Load(ir.I64, found, 8)
+	akey := p.Alloca(4, 4)
+	p.Store(akey, p.Trunc(ir.I32, nh2), 4)
+	amp := p.MapPtr(arp)
+	av := p.Call(helpers.MapLookupElem, amp, akey)
+	p.Store(vslot, av, 8)
+	amiss := p.ICmp(ir.EQ, av, ir.ConstInt(ir.I64, 0))
+	tx := p.Block("tx")
+	p.CondBr(amiss, pass, tx)
+	p.SetBlock(tx)
+	avp := p.Load(ir.Ptr, vslot, 8)
+	mac := p.Load(ir.I64, avp, 8)
+	d4 := p.loadData()
+	p.storeField(d4, 0, ir.I32, 1, mac)
+	sh := p.Bin(ir.LShr, ir.I64, mac, ir.ConstInt(ir.I64, 32))
+	p.storeField(d4, 4, ir.I16, 1, sh)
+	t := p.field(d4, 14+8, ir.I8, 1)
+	t2 := p.Bin(ir.Sub, ir.I64, t, ir.ConstInt(ir.I64, 1))
+	p.storeField(d4, 14+8, ir.I8, 1, t2)
+	p.ret(int64(ebpf.XDPTx))
+	return p.Mod
+}
+
+func blockName(prefix string, i int) string {
+	return prefix + string(rune('0'+i))
+}
+
+// xdpTxIptunnel encapsulates matching flows in an outer IPv4 header written
+// field by field (kernel samples xdp_tx_iptunnel).
+func xdpTxIptunnel(name string) *ir.Module {
+	p, _ := newProg(name)
+	vips := p.DeclareMap("vip2tnl", ir.MapHash, 16, 24, 256)
+	drop := p.dropBlock()
+	pass := p.passBlock()
+	p.boundsCheck(14+20+20+8, drop, "l3")
+	data := p.loadData()
+	eth := p.field(data, 12, ir.I16, 1)
+	isIP := p.ICmp(ir.EQ, eth, ir.ConstInt(ir.I64, 0x0008))
+	match := p.Block("match")
+	p.CondBr(isIP, match, pass)
+	p.SetBlock(match)
+	key := p.Alloca(16, 4)
+	p.parseFiveTuple(key)
+	vslot := findOrMakeSlot(p)
+	mp := p.MapPtr(vips)
+	v := p.Call(helpers.MapLookupElem, mp, key)
+	p.Store(vslot, v, 8)
+	miss := p.ICmp(ir.EQ, v, ir.ConstInt(ir.I64, 0))
+	encap := p.Block("encap")
+	p.CondBr(miss, pass, encap)
+	p.SetBlock(encap)
+	vp := p.Load(ir.Ptr, vslot, 8)
+	saddr := p.Load(ir.I32, p.GEPc(vp, 0), 4)
+	daddr := p.Load(ir.I32, p.GEPc(vp, 4), 4)
+	d := p.loadData()
+	// Write the outer IP header over the (reserved) headroom area, packed.
+	p.storeField(d, 14+0, ir.I8, 1, ir.ConstInt(ir.I64, 0x45))
+	p.storeField(d, 14+1, ir.I8, 1, ir.ConstInt(ir.I64, 0))
+	p.storeField(d, 14+2, ir.I16, 1, ir.ConstInt(ir.I64, 0x0045))
+	p.storeField(d, 14+4, ir.I16, 1, ir.ConstInt(ir.I64, 0))
+	p.storeField(d, 14+6, ir.I16, 1, ir.ConstInt(ir.I64, 0x40))
+	p.storeField(d, 14+8, ir.I8, 1, ir.ConstInt(ir.I64, 64))
+	p.storeField(d, 14+9, ir.I8, 1, ir.ConstInt(ir.I64, 4)) // IPIP
+	sz := p.ZExt(ir.I64, saddr)
+	dz := p.ZExt(ir.I64, daddr)
+	p.storeField(d, 14+12, ir.I32, 1, sz)
+	p.storeField(d, 14+16, ir.I32, 1, dz)
+	// Fold a simple checksum over the new header words.
+	acc := p.Bin(ir.Add, ir.I64, sz, dz)
+	acc = p.Bin(ir.Add, ir.I64, acc, ir.ConstInt(ir.I64, 0x4540))
+	hi := p.Bin(ir.LShr, ir.I64, acc, ir.ConstInt(ir.I64, 16))
+	acc2 := p.Bin(ir.Add, ir.I64, acc, hi)
+	p.storeField(d, 14+10, ir.I16, 1, acc2)
+	p.ret(int64(ebpf.XDPTx))
+	return p.Mod
+}
+
+// xdpDDoS rate-checks source addresses against a blocklist and counts
+// drops (hXDP's ddos mitigator).
+func xdpDDoS(name string) *ir.Module {
+	p, _ := newProg(name)
+	blocked := p.DeclareMap("srcblocklist", ir.MapHash, 4, 8, 4096)
+	dropcnt := p.DeclareMap("dropcnt", ir.MapPerCPUArray, 4, 8, 4)
+	drop := p.dropBlock()
+	pass := p.passBlock()
+	p.boundsCheck(14+20, drop, "l3")
+	data := p.loadData()
+	eth := p.field(data, 12, ir.I16, 1)
+	isIP := p.ICmp(ir.EQ, eth, ir.ConstInt(ir.I64, 0x0008))
+	check := p.Block("check")
+	p.CondBr(isIP, check, pass)
+	p.SetBlock(check)
+	d := p.loadData()
+	sa := p.field(d, 14+12, ir.I32, 1)
+	key := p.Alloca(4, 4)
+	p.Store(key, p.Trunc(ir.I32, sa), 4)
+	vslot := findOrMakeSlot(p)
+	mp := p.MapPtr(blocked)
+	v := p.Call(helpers.MapLookupElem, mp, key)
+	p.Store(vslot, v, 8)
+	hit := p.ICmp(ir.NE, v, ir.ConstInt(ir.I64, 0))
+	punish := p.Block("punish")
+	p.CondBr(hit, punish, pass)
+	p.SetBlock(punish)
+	ck := p.keySlot(0)
+	p.mapBump(dropcnt, ck, "done")
+	p.ret(int64(ebpf.XDPDrop))
+	return p.Mod
+}
+
+// xdpFirewall matches the 5-tuple against an allowlist (hXDP firewall).
+func xdpFirewall(name string) *ir.Module {
+	p, _ := newProg(name)
+	rules := p.DeclareMap("fw_rules", ir.MapHash, 16, 8, 8192)
+	drop := p.dropBlock()
+	pass := p.passBlock()
+	p.boundsCheck(14+20+8, drop, "l3")
+	data := p.loadData()
+	eth := p.field(data, 12, ir.I16, 1)
+	isIP := p.ICmp(ir.EQ, eth, ir.ConstInt(ir.I64, 0x0008))
+	tuple := p.Block("tuple")
+	p.CondBr(isIP, tuple, pass)
+	p.SetBlock(tuple)
+	key := p.Alloca(16, 4)
+	p.parseFiveTuple(key)
+	vslot := findOrMakeSlot(p)
+	mp := p.MapPtr(rules)
+	v := p.Call(helpers.MapLookupElem, mp, key)
+	p.Store(vslot, v, 8)
+	hit := p.ICmp(ir.NE, v, ir.ConstInt(ir.I64, 0))
+	verdict := p.Block("verdict")
+	p.CondBr(hit, verdict, drop)
+	p.SetBlock(verdict)
+	vp := p.Load(ir.Ptr, vslot, 8)
+	action := p.Load(ir.I64, vp, 8)
+	allow := p.ICmp(ir.EQ, action, ir.ConstInt(ir.I64, 1))
+	okb := p.Block("allow")
+	p.CondBr(allow, okb, drop)
+	p.SetBlock(okb)
+	p.ret(int64(ebpf.XDPPass))
+	return p.Mod
+}
+
+// xdpPolicer implements a token-bucket-ish per-source rate limiter.
+func xdpPolicer(name string) *ir.Module {
+	p, _ := newProg(name)
+	buckets := p.DeclareMap("buckets", ir.MapHash, 4, 16, 1024)
+	drop := p.dropBlock()
+	pass := p.passBlock()
+	p.boundsCheck(14+20, drop, "l3")
+	d := p.loadData()
+	sa := p.field(d, 14+12, ir.I32, 1)
+	key := p.Alloca(4, 4)
+	p.Store(key, p.Trunc(ir.I32, sa), 4)
+	vslot := findOrMakeSlot(p)
+	mp := p.MapPtr(buckets)
+	v := p.Call(helpers.MapLookupElem, mp, key)
+	p.Store(vslot, v, 8)
+	miss := p.ICmp(ir.EQ, v, ir.ConstInt(ir.I64, 0))
+	meter := p.Block("meter")
+	p.CondBr(miss, pass, meter)
+	p.SetBlock(meter)
+	vp := p.Load(ir.Ptr, vslot, 8)
+	now := p.Call(helpers.KtimeGetNS)
+	last := p.Load(ir.I64, p.GEPc(vp, 8), 8)
+	delta := p.Bin(ir.Sub, ir.I64, now, last)
+	vp2 := p.Load(ir.Ptr, vslot, 8)
+	tokens := p.Load(ir.I64, vp2, 8)
+	refill := p.Bin(ir.LShr, ir.I64, delta, ir.ConstInt(ir.I64, 20))
+	t2 := p.Bin(ir.Add, ir.I64, tokens, refill)
+	empty := p.ICmp(ir.EQ, t2, ir.ConstInt(ir.I64, 0))
+	spend := p.Block("spend")
+	p.CondBr(empty, drop, spend)
+	p.SetBlock(spend)
+	vp3 := p.Load(ir.Ptr, vslot, 8)
+	t3 := p.Load(ir.I64, vp3, 8)
+	t4 := p.Bin(ir.Sub, ir.I64, t3, ir.ConstInt(ir.I64, 1))
+	p.Store(vp3, t4, 8)
+	p.ret(int64(ebpf.XDPPass))
+	return p.Mod
+}
+
+// lb4Core emits the shared load-balancer body: 5-tuple hash with rounds
+// Jenkins rounds, backend lookup, stats bump, and encap rewrite. Used by
+// cilium_lb4 (small) and xdp-balancer (large, many rounds/unrolls).
+func lb4Core(p *pb, rounds, encapWrites int, statsKeys int) {
+	backends := p.DeclareMap("backends", ir.MapArray, 4, 16, 512)
+	stats := p.DeclareMap("lb_stats", ir.MapPerCPUArray, 4, 8, 64)
+	drop := p.dropBlock()
+	pass := p.passBlock()
+	p.boundsCheck(14+20+8, drop, "l3")
+	data := p.loadData()
+	eth := p.fieldBE16(data, 12)
+	isIP := p.ICmp(ir.EQ, eth, ir.ConstInt(ir.I64, 0x0800))
+	hash := p.Block("hash")
+	p.CondBr(isIP, hash, pass)
+	p.SetBlock(hash)
+
+	d := p.loadData()
+	sa := p.field(d, 14+12, ir.I32, 1)
+	da := p.field(d, 14+16, ir.I32, 1)
+	ports := p.field(d, 14+20, ir.I32, 1)
+	// The flow hash lives in a program-local function (the paper's Table 1
+	// notes such local functions; the verifier checks them inside main, and
+	// our pipeline inlines them before optimization).
+	hz := p.CallLocal("jhash3", sa, da, ports)
+	idx := p.Bin(ir.And, ir.I64, hz, ir.ConstInt(ir.I64, 511))
+	key := p.Alloca(4, 4)
+	p.Store(key, p.Trunc(ir.I32, idx), 4)
+	bslot := p.Alloca(8, 8)
+	mp := p.MapPtr(backends)
+	v := p.Call(helpers.MapLookupElem, mp, key)
+	p.Store(bslot, v, 8)
+	miss := p.ICmp(ir.EQ, v, ir.ConstInt(ir.I64, 0))
+	fwd := p.Block("fwd")
+	p.CondBr(miss, drop, fwd)
+	p.SetBlock(fwd)
+
+	// Per-backend statistics.
+	for k := 0; k < statsKeys; k++ {
+		sk := p.keySlot(int64(k))
+		p.mapBump(stats, sk, blockName("stat", k))
+	}
+
+	// Encap/rewrite: write backend address + tunnel header fields.
+	vp := p.Load(ir.Ptr, bslot, 8)
+	baddr := p.Load(ir.I32, p.GEPc(vp, 0), 4)
+	bz := p.ZExt(ir.I64, baddr)
+	d2 := p.loadData()
+	p.storeField(d2, 14+16, ir.I32, 1, bz)
+	for w := 0; w < encapWrites; w++ {
+		p.storeField(d2, int64(w%12), ir.I8, 1, ir.ConstInt(ir.I64, int64(w&0xff)))
+	}
+	// Incremental checksum fix.
+	cs := p.field(d2, 14+10, ir.I16, 1)
+	cs2 := p.Bin(ir.Add, ir.I64, cs, bz)
+	hi := p.Bin(ir.LShr, ir.I64, cs2, ir.ConstInt(ir.I64, 16))
+	cs3 := p.Bin(ir.Add, ir.I64, cs2, hi)
+	p.storeField(d2, 14+10, ir.I16, 1, cs3)
+	p.ret(int64(ebpf.XDPTx))
+
+	defineJhash3(p, rounds)
+}
+
+// defineJhash3 appends the program-local hash function jhash3(a,b,c) used
+// by the load balancers. It runs the requested number of Jenkins-style
+// mixing rounds over the three words.
+func defineJhash3(p *pb, rounds int) {
+	pa := &ir.Param{Name: "a", Ty: ir.I64}
+	pbv := &ir.Param{Name: "b", Ty: ir.I64}
+	pc := &ir.Param{Name: "c", Ty: ir.I64}
+	p.NewFunc("jhash3", pa, pbv, pc)
+	var a, b, c ir.Value = p.Trunc(ir.I32, pa), p.Trunc(ir.I32, pbv), p.Trunc(ir.I32, pc)
+	for i := 0; i < rounds; i++ {
+		a, b, c = p.jhashRound(a, b, c)
+	}
+	h := p.Bin(ir.Xor, ir.I32, a, c)
+	hz := p.ZExt(ir.I64, h)
+	p.Ret(hz)
+}
+
+// ciliumLB4 is a small L4 load balancer (Cilium datapath style).
+func ciliumLB4(name string) *ir.Module {
+	p, _ := newProg(name)
+	lb4Core(p, 2, 4, 1)
+	return p.Mod
+}
+
+// ciliumPolicy checks an identity/policy map and returns a verdict.
+func ciliumPolicy(name string) *ir.Module {
+	p, _ := newProg(name)
+	policy := p.DeclareMap("cilium_policy", ir.MapHash, 8, 8, 16384)
+	drop := p.dropBlock()
+	p.boundsCheck(14+20, drop, "id")
+	d := p.loadData()
+	sa := p.field(d, 14+12, ir.I32, 1)
+	da := p.field(d, 14+16, ir.I32, 1)
+	sh := p.Bin(ir.Shl, ir.I64, sa, ir.ConstInt(ir.I64, 32))
+	idkey := p.Bin(ir.Or, ir.I64, sh, da)
+	key := p.Alloca(8, 8)
+	p.Store(key, idkey, 8)
+	vslot := findOrMakeSlot(p)
+	mp := p.MapPtr(policy)
+	v := p.Call(helpers.MapLookupElem, mp, key)
+	p.Store(vslot, v, 8)
+	deny := p.ICmp(ir.EQ, v, ir.ConstInt(ir.I64, 0))
+	verd := p.Block("verdict")
+	p.CondBr(deny, drop, verd)
+	p.SetBlock(verd)
+	vp := p.Load(ir.Ptr, vslot, 8)
+	action := p.Load(ir.I64, vp, 8)
+	p.Ret(action)
+	return p.Mod
+}
+
+// ciliumEncap writes a VXLAN-ish tunnel header.
+func ciliumEncap(name string) *ir.Module {
+	p, _ := newProg(name)
+	tunnels := p.DeclareMap("tunnel_map", ir.MapHash, 4, 8, 1024)
+	drop := p.dropBlock()
+	pass := p.passBlock()
+	p.boundsCheck(14+20+16, drop, "enc")
+	d := p.loadData()
+	da := p.field(d, 14+16, ir.I32, 1)
+	key := p.Alloca(4, 4)
+	p.Store(key, p.Trunc(ir.I32, da), 4)
+	vslot := findOrMakeSlot(p)
+	mp := p.MapPtr(tunnels)
+	v := p.Call(helpers.MapLookupElem, mp, key)
+	p.Store(vslot, v, 8)
+	miss := p.ICmp(ir.EQ, v, ir.ConstInt(ir.I64, 0))
+	wr := p.Block("write")
+	p.CondBr(miss, pass, wr)
+	p.SetBlock(wr)
+	vp := p.Load(ir.Ptr, vslot, 8)
+	vni := p.Load(ir.I32, p.GEPc(vp, 0), 4)
+	vz := p.ZExt(ir.I64, vni)
+	d2 := p.loadData()
+	// VXLAN header: flags, reserved, VNI — all packed writes.
+	p.storeField(d2, 14+20+0, ir.I8, 1, ir.ConstInt(ir.I64, 0x08))
+	p.storeField(d2, 14+20+1, ir.I8, 1, ir.ConstInt(ir.I64, 0))
+	p.storeField(d2, 14+20+2, ir.I16, 1, ir.ConstInt(ir.I64, 0))
+	p.storeField(d2, 14+20+4, ir.I32, 1, vz)
+	sh := p.Bin(ir.LShr, ir.I64, vz, ir.ConstInt(ir.I64, 8))
+	p.storeField(d2, 14+20+8, ir.I32, 1, sh)
+	p.storeField(d2, 14+20+12, ir.I32, 1, ir.ConstInt(ir.I64, 0))
+	p.ret(int64(ebpf.XDPTx))
+	return p.Mod
+}
+
+// xdpQuicLB routes QUIC connection IDs to backend servers.
+func xdpQuicLB(name string) *ir.Module {
+	p, _ := newProg(name)
+	conns := p.DeclareMap("cid_map", ir.MapHash, 8, 8, 65536)
+	drop := p.dropBlock()
+	pass := p.passBlock()
+	p.boundsCheck(14+20+8+9, drop, "quic")
+	d := p.loadData()
+	proto := p.field(d, 14+9, ir.I8, 1)
+	isUDP := p.ICmp(ir.EQ, proto, ir.ConstInt(ir.I64, 17))
+	cid := p.Block("cid")
+	p.CondBr(isUDP, cid, pass)
+	p.SetBlock(cid)
+	d2 := p.loadData()
+	// Connection ID: 8 bytes at the start of the QUIC payload, byte-wise.
+	var acc ir.Value = ir.ConstInt(ir.I64, 0)
+	for i := int64(0); i < 8; i++ {
+		bb := p.field(d2, 14+20+8+1+i, ir.I8, 1)
+		sh := p.Bin(ir.Shl, ir.I64, bb, ir.ConstInt(ir.I64, 8*i))
+		acc = p.Bin(ir.Or, ir.I64, acc, sh)
+	}
+	key := p.Alloca(8, 8)
+	p.Store(key, acc, 8)
+	vslot := findOrMakeSlot(p)
+	mp := p.MapPtr(conns)
+	v := p.Call(helpers.MapLookupElem, mp, key)
+	p.Store(vslot, v, 8)
+	miss := p.ICmp(ir.EQ, v, ir.ConstInt(ir.I64, 0))
+	tx := p.Block("tx")
+	p.CondBr(miss, pass, tx)
+	p.SetBlock(tx)
+	vp := p.Load(ir.Ptr, vslot, 8)
+	backend := p.Load(ir.I32, vp, 4)
+	bz := p.ZExt(ir.I64, backend)
+	d3 := p.loadData()
+	p.storeField(d3, 14+16, ir.I32, 1, bz)
+	p.ret(int64(ebpf.XDPTx))
+	return p.Mod
+}
+
+// xdpBalancer is the big one: a katran-style L4 balancer with deep hashing,
+// per-VIP statistics and a full encap rewrite (≈1771 NI in the paper).
+func xdpBalancer(name string) *ir.Module {
+	p, _ := newProg(name)
+	lb4Core(p, 47, 150, 9)
+	return p.Mod
+}

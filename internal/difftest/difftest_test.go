@@ -1,0 +1,105 @@
+package difftest
+
+import (
+	"testing"
+
+	"merlin/internal/core"
+	"merlin/internal/ebpf"
+	"merlin/internal/ir"
+	"merlin/internal/verifier"
+	"merlin/internal/vm"
+)
+
+// TestDifferentialPipeline is the repository's end-to-end fuzz check: for
+// many random programs, the optimized build must verify under both kernel
+// heuristics and behave exactly like the baseline on random inputs.
+func TestDifferentialPipeline(t *testing.T) {
+	seeds := 120
+	if testing.Short() {
+		seeds = 25
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		mod := Generate(seed, GenOptions{UseMaps: seed%2 == 0})
+		if err := ir.Validate(mod); err != nil {
+			t.Fatalf("seed %d: generated invalid IR: %v", seed, err)
+		}
+		mcpu := 2
+		if seed%3 == 0 {
+			mcpu = 3
+		}
+		res, err := core.Build(mod, mod.Funcs[0].Name, core.Options{
+			Hook: ebpf.HookTracepoint, MCPU: mcpu, KernelALU32: true, Verify: true,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Both kernel heuristics must accept the optimized program.
+		if st := verifier.Verify(res.Prog, verifier.Options{Version: verifier.V519}); !st.Passed {
+			t.Fatalf("seed %d: v5.19 rejected: %v", seed, st.Err)
+		}
+		// Differential execution on several inputs.
+		base, err := vm.New(res.Baseline, vm.Config{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := vm.New(res.Prog, vm.Config{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 5; trial++ {
+			args := make([]uint64, 8)
+			for i := range args {
+				args[i] = uint64(seed)*2654435761 + uint64(trial*131+i*17)
+			}
+			ctx := vm.TracepointContext(args...)
+			a, _, err1 := base.Run(ctx, nil)
+			b, _, err2 := opt.Run(ctx, nil)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("seed %d trial %d: error divergence: %v vs %v\n--- baseline ---\n%s--- optimized ---\n%s",
+					seed, trial, err1, err2, ebpf.Disassemble(res.Baseline), ebpf.Disassemble(res.Prog))
+			}
+			if a != b {
+				t.Fatalf("seed %d trial %d: result %d vs %d\n--- baseline ---\n%s--- optimized ---\n%s",
+					seed, trial, a, b, ebpf.Disassemble(res.Baseline), ebpf.Disassemble(res.Prog))
+			}
+		}
+		for i := range res.Prog.Maps {
+			if string(base.Map(i).Backing()) != string(opt.Map(i).Backing()) {
+				t.Fatalf("seed %d: map %d diverged", seed, i)
+			}
+		}
+	}
+}
+
+// TestGeneratorDeterminism pins the generator's output per seed.
+func TestGeneratorDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		a := ir.Print(Generate(seed, GenOptions{UseMaps: true}))
+		b := ir.Print(Generate(seed, GenOptions{UseMaps: true}))
+		if a != b {
+			t.Fatalf("seed %d: non-deterministic generation", seed)
+		}
+	}
+}
+
+// TestGeneratedProgramsShrink checks the optimizer finds work in fuzz
+// programs too (they are built from the idioms the paper targets).
+func TestGeneratedProgramsShrink(t *testing.T) {
+	shrunk := 0
+	for seed := int64(0); seed < 20; seed++ {
+		mod := Generate(seed, GenOptions{UseMaps: false})
+		res, err := core.Build(mod, mod.Funcs[0].Name, core.Options{Hook: ebpf.HookTracepoint, MCPU: 2, KernelALU32: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Prog.NI() < res.Baseline.NI() {
+			shrunk++
+		}
+		if res.Prog.NI() > res.Baseline.NI() {
+			t.Fatalf("seed %d: grew %d → %d", seed, res.Baseline.NI(), res.Prog.NI())
+		}
+	}
+	if shrunk < 15 {
+		t.Fatalf("only %d/20 fuzz programs shrank", shrunk)
+	}
+}

@@ -1,0 +1,242 @@
+// Package difftest provides a seeded random-program generator used to
+// differentially validate the whole pipeline: for every generated module,
+// the clang-only baseline and the fully optimized program must (a) both pass
+// the simulated kernel verifier under both kernel-version heuristics and
+// (b) produce identical results and map side effects on random inputs.
+// This is the repository's strongest end-to-end semantics check.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"merlin/internal/helpers"
+	"merlin/internal/ir"
+)
+
+// GenOptions bounds the generated program shapes. Generated programs are
+// tracepoint-style: the context is a block of scalar arguments.
+type GenOptions struct {
+	MaxUnits int  // number of code "units" strung together
+	UseMaps  bool // include map lookup/update units
+}
+
+// Generate builds a random, valid, verifier-acceptable module from a seed.
+// The same seed always yields the same module.
+func Generate(seed int64, opts GenOptions) *ir.Module {
+	if opts.MaxUnits <= 0 {
+		opts.MaxUnits = 12
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &gen{
+		rng:  rng,
+		opts: opts,
+	}
+	return g.module(fmt.Sprintf("fuzz_%d", seed))
+}
+
+type gen struct {
+	rng  *rand.Rand
+	opts GenOptions
+	b    *ir.Builder
+	ctx  *ir.Param
+	// slots are 8-byte allocas holding i64 values the units read and write;
+	// they are always initialized in the entry block first.
+	slots []*ir.Instr
+	// key is a 4-byte initialized alloca for map calls.
+	key   *ir.Instr
+	vslot *ir.Instr
+	cnt   *ir.MapDef
+	label int
+}
+
+func (g *gen) newLabel(prefix string) string {
+	g.label++
+	return fmt.Sprintf("%s%d", prefix, g.label)
+}
+
+func (g *gen) module(name string) *ir.Module {
+	g.ctx = &ir.Param{Name: "ctx", Ty: ir.Ptr}
+	g.b = ir.NewModule(name)
+	if g.opts.UseMaps {
+		g.cnt = g.b.DeclareMap("counters", ir.MapArray, 4, 8, 16)
+	}
+	g.b.NewFunc(name, g.ctx)
+
+	// Entry: initialize a pool of stack slots with ctx-derived and constant
+	// values so later units always read initialized memory.
+	nslots := 3 + g.rng.Intn(4)
+	for i := 0; i < nslots; i++ {
+		s := g.b.Alloca(8, 8)
+		g.slots = append(g.slots, s)
+		if i%2 == 0 {
+			// Tracepoint ctx args are scalars: offsets 0..56.
+			v := g.b.Load(ir.I64, g.b.GEPc(g.ctx, int64(8*(i%7))), 8)
+			g.b.Store(s, v, 8)
+		} else {
+			g.b.Store(s, ir.ConstInt(ir.I64, g.rng.Int63n(1<<32)), 8)
+		}
+	}
+	g.key = g.b.Alloca(4, 4)
+	g.b.Store(g.key, ir.ConstInt(ir.I32, g.rng.Int63n(16)), 4)
+	g.vslot = g.b.Alloca(8, 8)
+	g.b.Store(g.vslot, ir.ConstInt(ir.I64, 0), 8)
+
+	units := 1 + g.rng.Intn(g.opts.MaxUnits)
+	for i := 0; i < units; i++ {
+		g.emitUnit()
+	}
+	// Final: fold the slot pool into the return value.
+	acc := g.b.Load(ir.I64, g.slots[0], 8)
+	for _, s := range g.slots[1:] {
+		v := g.b.Load(ir.I64, s, 8)
+		acc = g.b.Bin(ir.Xor, ir.I64, acc, v)
+	}
+	// Bound to a sane verdict range so it looks like a program return.
+	r := g.b.Bin(ir.And, ir.I64, acc, ir.ConstInt(ir.I64, 0xffff))
+	g.b.Ret(r)
+	return g.b.Mod
+}
+
+// randSlot picks a random slot.
+func (g *gen) randSlot() *ir.Instr { return g.slots[g.rng.Intn(len(g.slots))] }
+
+// emitUnit appends one random code unit in the current block.
+func (g *gen) emitUnit() {
+	switch g.rng.Intn(8) {
+	case 0:
+		g.arithUnit(ir.I64)
+	case 1:
+		g.arithUnit(ir.I32)
+	case 2:
+		g.narrowUnit()
+	case 3:
+		g.branchUnit()
+	case 4:
+		g.constStoreUnit()
+	case 5:
+		g.rmwUnit()
+	case 6:
+		if g.opts.UseMaps && g.cnt != nil {
+			g.mapUnit()
+		} else {
+			g.arithUnit(ir.I64)
+		}
+	default:
+		g.bswapUnit()
+	}
+}
+
+var binKinds = []ir.BinKind{
+	ir.Add, ir.Sub, ir.Mul, ir.And, ir.Or, ir.Xor, ir.Shl, ir.LShr, ir.AShr, ir.UDiv, ir.URem,
+}
+
+// arithUnit: load two slots, combine at the given width, store back.
+func (g *gen) arithUnit(ty ir.Type) {
+	a := g.b.Load(ir.I64, g.randSlot(), 8)
+	bo := g.b.Load(ir.I64, g.randSlot(), 8)
+	var x, y ir.Value = a, bo
+	if ty != ir.I64 {
+		x = g.b.Trunc(ty, a)
+		y = g.b.Trunc(ty, bo)
+	}
+	kind := binKinds[g.rng.Intn(len(binKinds))]
+	var rhs ir.Value = y
+	if kind == ir.Shl || kind == ir.LShr || kind == ir.AShr || g.rng.Intn(3) == 0 {
+		rhs = ir.ConstInt(ty, int64(g.rng.Intn(int(ty.Bytes())*8-1)+1))
+	}
+	r := g.b.Bin(kind, ty, x, rhs)
+	var wide ir.Value = r
+	if ty != ir.I64 {
+		wide = g.b.ZExt(ir.I64, r)
+	}
+	g.b.Store(g.randSlot(), wide, 8)
+}
+
+// narrowUnit stores a narrow value at a random offset within a slot and
+// reads it back with a random (often under-) alignment.
+func (g *gen) narrowUnit() {
+	s := g.randSlot()
+	widths := []ir.Type{ir.I8, ir.I16, ir.I32}
+	ty := widths[g.rng.Intn(len(widths))]
+	off := int64(g.rng.Intn(8 - ty.Bytes() + 1))
+	p := g.b.GEPc(s, off)
+	v := g.b.Load(ir.I64, g.randSlot(), 8)
+	tr := g.b.Trunc(ty, v)
+	aligns := []int{1, 2, 4, 8}
+	g.b.Store(p, tr, aligns[g.rng.Intn(2)])
+	back := g.b.Load(ty, p, aligns[g.rng.Intn(4)%2+0])
+	z := g.b.ZExt(ir.I64, back)
+	g.b.Store(g.randSlot(), z, 8)
+}
+
+// branchUnit forks on a slot comparison; both arms write different
+// constants to a slot and rejoin.
+func (g *gen) branchUnit() {
+	v := g.b.Load(ir.I64, g.randSlot(), 8)
+	preds := []ir.CmpPred{ir.EQ, ir.NE, ir.ULT, ir.UGT, ir.SLT, ir.SGE}
+	c := g.b.ICmp(preds[g.rng.Intn(len(preds))], v, ir.ConstInt(ir.I64, g.rng.Int63n(1000)))
+	tb := g.b.Block(g.newLabel("t"))
+	fb := g.b.Block(g.newLabel("f"))
+	join := g.b.Block(g.newLabel("j"))
+	g.b.CondBr(c, tb, fb)
+	dst := g.randSlot()
+	g.b.SetBlock(tb)
+	g.b.Store(dst, ir.ConstInt(ir.I64, g.rng.Int63n(1<<20)), 8)
+	g.b.Br(join)
+	g.b.SetBlock(fb)
+	g.b.Store(dst, ir.ConstInt(ir.I64, g.rng.Int63n(1<<20)), 8)
+	g.b.Br(join)
+	g.b.SetBlock(join)
+}
+
+// constStoreUnit writes adjacent narrow constants (SLM/CP&DCE fodder).
+func (g *gen) constStoreUnit() {
+	s := g.randSlot()
+	g.b.Store(g.b.GEPc(s, 0), ir.ConstInt(ir.I32, g.rng.Int63n(3)), 4)
+	g.b.Store(g.b.GEPc(s, 4), ir.ConstInt(ir.I32, g.rng.Int63n(3)), 4)
+}
+
+// rmwUnit emits a load/add/store triple on one slot (MoF fodder).
+func (g *gen) rmwUnit() {
+	s := g.randSlot()
+	old := g.b.Load(ir.I64, s, 8)
+	kinds := []ir.BinKind{ir.Add, ir.And, ir.Or, ir.Xor}
+	r := g.b.Bin(kinds[g.rng.Intn(len(kinds))], ir.I64, old, ir.ConstInt(ir.I64, 1+g.rng.Int63n(255)))
+	g.b.Store(s, r, 8)
+}
+
+// mapUnit performs a checked lookup-and-increment.
+func (g *gen) mapUnit() {
+	mp := g.b.MapPtr(g.cnt)
+	v := g.b.Call(helpers.MapLookupElem, mp, g.key)
+	g.b.Store(g.vslot, v, 8)
+	isNull := g.b.ICmp(ir.EQ, v, ir.ConstInt(ir.I64, 0))
+	cont := g.b.Block(g.newLabel("mc"))
+	bump := g.b.Block(g.newLabel("mb"))
+	g.b.CondBr(isNull, cont, bump)
+	g.b.SetBlock(bump)
+	vp := g.b.Load(ir.Ptr, g.vslot, 8)
+	old := g.b.Load(ir.I64, vp, 8)
+	inc := g.b.Bin(ir.Add, ir.I64, old, ir.ConstInt(ir.I64, 1))
+	g.b.Store(vp, inc, 8)
+	g.b.Br(cont)
+	g.b.SetBlock(cont)
+}
+
+// bswapUnit swaps byte order at a random width.
+func (g *gen) bswapUnit() {
+	v := g.b.Load(ir.I64, g.randSlot(), 8)
+	tys := []ir.Type{ir.I16, ir.I32, ir.I64}
+	ty := tys[g.rng.Intn(len(tys))]
+	var x ir.Value = v
+	if ty != ir.I64 {
+		x = g.b.Trunc(ty, v)
+	}
+	sw := g.b.Bswap(ty, x)
+	var wide ir.Value = sw
+	if ty != ir.I64 {
+		wide = g.b.ZExt(ir.I64, sw)
+	}
+	g.b.Store(g.randSlot(), wide, 8)
+}

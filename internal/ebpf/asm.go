@@ -1,0 +1,104 @@
+package ebpf
+
+// Assembler constructors. These build single Instructions with the proper
+// opcode packing; they are the vocabulary used by the code generator, the
+// bytecode refinement passes and the tests.
+
+// ALU64Reg returns a 64-bit dst = dst <op> src instruction.
+func ALU64Reg(op ALUOp, dst, src Register) Instruction {
+	return Instruction{Opcode: uint8(ClassALU64) | uint8(SourceX) | uint8(op), Dst: dst, Src: src}
+}
+
+// ALU64Imm returns a 64-bit dst = dst <op> imm instruction.
+func ALU64Imm(op ALUOp, dst Register, imm int32) Instruction {
+	return Instruction{Opcode: uint8(ClassALU64) | uint8(SourceK) | uint8(op), Dst: dst, Imm: imm}
+}
+
+// ALU32Reg returns a 32-bit dst = (u32)(dst <op> src) instruction; the upper
+// 32 bits of dst are zeroed.
+func ALU32Reg(op ALUOp, dst, src Register) Instruction {
+	return Instruction{Opcode: uint8(ClassALU) | uint8(SourceX) | uint8(op), Dst: dst, Src: src}
+}
+
+// ALU32Imm returns a 32-bit dst = (u32)(dst <op> imm) instruction.
+func ALU32Imm(op ALUOp, dst Register, imm int32) Instruction {
+	return Instruction{Opcode: uint8(ClassALU) | uint8(SourceK) | uint8(op), Dst: dst, Imm: imm}
+}
+
+// Mov64Reg returns movq dst, src.
+func Mov64Reg(dst, src Register) Instruction { return ALU64Reg(ALUMov, dst, src) }
+
+// Mov64Imm returns movq dst, imm (sign-extended 32-bit immediate).
+func Mov64Imm(dst Register, imm int32) Instruction { return ALU64Imm(ALUMov, dst, imm) }
+
+// Mov32Reg returns movl dst, src: copies the low 32 bits and zeroes the rest.
+func Mov32Reg(dst, src Register) Instruction { return ALU32Reg(ALUMov, dst, src) }
+
+// Mov32Imm returns movl dst, imm with zero extension.
+func Mov32Imm(dst Register, imm int32) Instruction { return ALU32Imm(ALUMov, dst, imm) }
+
+// LoadImm64 returns the wide lddw dst, imm64 instruction (two slots).
+func LoadImm64(dst Register, imm int64) Instruction {
+	return Instruction{
+		Opcode: uint8(ClassLD) | uint8(ModeIMM) | uint8(SizeDW),
+		Dst:    dst,
+		Imm:    int32(uint64(imm) & 0xffffffff),
+		Imm64:  imm,
+	}
+}
+
+// LoadMem returns ldx.<size> dst, [src+off].
+func LoadMem(size Size, dst, src Register, off int16) Instruction {
+	return Instruction{Opcode: uint8(ClassLDX) | uint8(ModeMEM) | uint8(size), Dst: dst, Src: src, Offset: off}
+}
+
+// StoreMem returns stx.<size> [dst+off], src.
+func StoreMem(size Size, dst Register, off int16, src Register) Instruction {
+	return Instruction{Opcode: uint8(ClassSTX) | uint8(ModeMEM) | uint8(size), Dst: dst, Src: src, Offset: off}
+}
+
+// StoreImm returns st.<size> [dst+off], imm.
+func StoreImm(size Size, dst Register, off int16, imm int32) Instruction {
+	return Instruction{Opcode: uint8(ClassST) | uint8(ModeMEM) | uint8(size), Dst: dst, Offset: off, Imm: imm}
+}
+
+// Atomic returns the locked read-modify-write [dst+off] <op>= src.
+// Only SizeW and SizeDW are legal widths.
+func Atomic(size Size, op AtomicOp, dst Register, off int16, src Register) Instruction {
+	return Instruction{Opcode: uint8(ClassSTX) | uint8(ModeATOMIC) | uint8(size), Dst: dst, Src: src, Offset: off, Imm: int32(op)}
+}
+
+// Jump returns the unconditional ja +off.
+func Jump(off int16) Instruction {
+	return Instruction{Opcode: uint8(ClassJMP) | uint8(JumpAlways), Offset: off}
+}
+
+// JumpReg returns the 64-bit conditional branch if dst <op> src goto +off.
+func JumpReg(op JumpOp, dst, src Register, off int16) Instruction {
+	return Instruction{Opcode: uint8(ClassJMP) | uint8(SourceX) | uint8(op), Dst: dst, Src: src, Offset: off}
+}
+
+// JumpImm returns the 64-bit conditional branch if dst <op> imm goto +off.
+func JumpImm(op JumpOp, dst Register, imm int32, off int16) Instruction {
+	return Instruction{Opcode: uint8(ClassJMP) | uint8(SourceK) | uint8(op), Dst: dst, Imm: imm, Offset: off}
+}
+
+// Jump32Reg returns the 32-bit conditional branch comparing the low halves.
+func Jump32Reg(op JumpOp, dst, src Register, off int16) Instruction {
+	return Instruction{Opcode: uint8(ClassJMP32) | uint8(SourceX) | uint8(op), Dst: dst, Src: src, Offset: off}
+}
+
+// Jump32Imm returns the 32-bit conditional branch against an immediate.
+func Jump32Imm(op JumpOp, dst Register, imm int32, off int16) Instruction {
+	return Instruction{Opcode: uint8(ClassJMP32) | uint8(SourceK) | uint8(op), Dst: dst, Imm: imm, Offset: off}
+}
+
+// Call returns a helper call by helper number.
+func Call(helper int32) Instruction {
+	return Instruction{Opcode: uint8(ClassJMP) | uint8(JumpCall), Imm: helper}
+}
+
+// Exit returns the exit instruction.
+func Exit() Instruction {
+	return Instruction{Opcode: uint8(ClassJMP) | uint8(JumpExit)}
+}

@@ -1,0 +1,181 @@
+package ebpf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mnemonic renders one instruction in the bpftool/verifier-log style, e.g.
+//
+//	r2 = *(u8 *)(r0 + 36)
+//	r1 <<= 32
+//	if r3 > 54 goto +7
+//	lock *(u64 *)(r0 + 16) += r1
+func Mnemonic(ins Instruction) string {
+	switch ins.Class() {
+	case ClassALU, ClassALU64:
+		return aluMnemonic(ins)
+	case ClassJMP, ClassJMP32:
+		return jumpMnemonic(ins)
+	case ClassLD:
+		if ins.IsMapLoad() {
+			return fmt.Sprintf("%s = map[%d] ll", ins.Dst, ins.Imm64)
+		}
+		if ins.IsWide() {
+			return fmt.Sprintf("%s = %#x ll", ins.Dst, uint64(ins.Imm64))
+		}
+	case ClassLDX:
+		if ins.ModeField() == ModeMEM {
+			return fmt.Sprintf("%s = *(%s *)(%s %s)", ins.Dst, ins.SizeField(), ins.Src, offStr(ins.Offset))
+		}
+	case ClassST:
+		if ins.ModeField() == ModeMEM {
+			return fmt.Sprintf("*(%s *)(%s %s) = %d", ins.SizeField(), ins.Dst, offStr(ins.Offset), ins.Imm)
+		}
+	case ClassSTX:
+		switch ins.ModeField() {
+		case ModeMEM:
+			return fmt.Sprintf("*(%s *)(%s %s) = %s", ins.SizeField(), ins.Dst, offStr(ins.Offset), ins.Src)
+		case ModeATOMIC:
+			return fmt.Sprintf("lock *(%s *)(%s %s) %s= %s",
+				ins.SizeField(), ins.Dst, offStr(ins.Offset), atomicSym(AtomicOp(ins.Imm)), ins.Src)
+		}
+	}
+	return fmt.Sprintf(".byte opcode=%#02x dst=%s src=%s off=%d imm=%d", ins.Opcode, ins.Dst, ins.Src, ins.Offset, ins.Imm)
+}
+
+func offStr(off int16) string {
+	if off < 0 {
+		return fmt.Sprintf("- %d", -int(off))
+	}
+	return fmt.Sprintf("+ %d", off)
+}
+
+func atomicSym(op AtomicOp) string {
+	switch op {
+	case AtomicAdd:
+		return "+"
+	case AtomicOr:
+		return "|"
+	case AtomicAnd:
+		return "&"
+	case AtomicXor:
+		return "^"
+	}
+	return "?"
+}
+
+func aluSym(op ALUOp) string {
+	switch op {
+	case ALUAdd:
+		return "+="
+	case ALUSub:
+		return "-="
+	case ALUMul:
+		return "*="
+	case ALUDiv:
+		return "/="
+	case ALUOr:
+		return "|="
+	case ALUAnd:
+		return "&="
+	case ALULsh:
+		return "<<="
+	case ALURsh:
+		return ">>="
+	case ALUMod:
+		return "%="
+	case ALUXor:
+		return "^="
+	case ALUMov:
+		return "="
+	case ALUArsh:
+		return "s>>="
+	}
+	return "?="
+}
+
+func aluMnemonic(ins Instruction) string {
+	dst := ins.Dst.String()
+	if ins.Class() == ClassALU {
+		dst = "w" + dst[1:]
+	}
+	op := ins.ALUOpField()
+	if op == ALUNeg {
+		return fmt.Sprintf("%s = -%s", dst, dst)
+	}
+	if op == ALUEnd {
+		return fmt.Sprintf("%s = bswap%d %s", dst, ins.Imm, dst)
+	}
+	if ins.SourceField() == SourceX {
+		src := ins.Src.String()
+		if ins.Class() == ClassALU {
+			src = "w" + src[1:]
+		}
+		return fmt.Sprintf("%s %s %s", dst, aluSym(op), src)
+	}
+	return fmt.Sprintf("%s %s %d", dst, aluSym(op), ins.Imm)
+}
+
+func jumpSym(op JumpOp) string {
+	switch op {
+	case JumpEq:
+		return "=="
+	case JumpGT:
+		return ">"
+	case JumpGE:
+		return ">="
+	case JumpSet:
+		return "&"
+	case JumpNE:
+		return "!="
+	case JumpSGT:
+		return "s>"
+	case JumpSGE:
+		return "s>="
+	case JumpLT:
+		return "<"
+	case JumpLE:
+		return "<="
+	case JumpSLT:
+		return "s<"
+	case JumpSLE:
+		return "s<="
+	}
+	return "?"
+}
+
+func jumpMnemonic(ins Instruction) string {
+	op := ins.JumpOpField()
+	switch op {
+	case JumpAlways:
+		return fmt.Sprintf("goto %+d", ins.Offset)
+	case JumpCall:
+		return fmt.Sprintf("call %d", ins.Imm)
+	case JumpExit:
+		return "exit"
+	}
+	dst := ins.Dst.String()
+	if ins.Class() == ClassJMP32 {
+		dst = "w" + dst[1:]
+	}
+	if ins.SourceField() == SourceX {
+		src := ins.Src.String()
+		if ins.Class() == ClassJMP32 {
+			src = "w" + src[1:]
+		}
+		return fmt.Sprintf("if %s %s %s goto %+d", dst, jumpSym(op), src, ins.Offset)
+	}
+	return fmt.Sprintf("if %s %s %d goto %+d", dst, jumpSym(op), ins.Imm, ins.Offset)
+}
+
+// Disassemble renders the whole program, one instruction per line, prefixed
+// with its slot index the way the kernel verifier log does.
+func Disassemble(p *Program) string {
+	var b strings.Builder
+	idx := p.SlotIndex()
+	for i, ins := range p.Insns {
+		fmt.Fprintf(&b, "%4d: %s\n", idx[i], Mnemonic(ins))
+	}
+	return b.String()
+}

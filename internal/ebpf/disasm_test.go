@@ -1,0 +1,152 @@
+package ebpf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMnemonicCoversALUOps(t *testing.T) {
+	cases := map[string]Instruction{
+		"r1 += 2":             ALU64Imm(ALUAdd, R1, 2),
+		"r1 -= 2":             ALU64Imm(ALUSub, R1, 2),
+		"r1 *= 2":             ALU64Imm(ALUMul, R1, 2),
+		"r1 /= 2":             ALU64Imm(ALUDiv, R1, 2),
+		"r1 %= 2":             ALU64Imm(ALUMod, R1, 2),
+		"r1 |= 2":             ALU64Imm(ALUOr, R1, 2),
+		"r1 &= 2":             ALU64Imm(ALUAnd, R1, 2),
+		"r1 ^= 2":             ALU64Imm(ALUXor, R1, 2),
+		"r1 s>>= 2":           ALU64Imm(ALUArsh, R1, 2),
+		"r1 += r2":            ALU64Reg(ALUAdd, R1, R2),
+		"w1 ^= w2":            ALU32Reg(ALUXor, R1, R2),
+		"w3 = 7":              Mov32Imm(R3, 7),
+		"r1 = -r1":            {Opcode: uint8(ClassALU64) | uint8(ALUNeg), Dst: R1},
+		"goto +3":             Jump(3),
+		"if r1 != 0 goto +1":  JumpImm(JumpNE, R1, 0, 1),
+		"if r1 & 4 goto +1":   JumpImm(JumpSet, R1, 4, 1),
+		"if r1 s> 4 goto +1":  JumpImm(JumpSGT, R1, 4, 1),
+		"if r1 s>= 4 goto +1": JumpImm(JumpSGE, R1, 4, 1),
+		"if r1 s< 4 goto +1":  JumpImm(JumpSLT, R1, 4, 1),
+		"if r1 s<= 4 goto +1": JumpImm(JumpSLE, R1, 4, 1),
+		"if r1 >= r2 goto +1": JumpReg(JumpGE, R1, R2, 1),
+		"if r1 <= r2 goto +1": JumpReg(JumpLE, R1, R2, 1),
+		"if w1 < w2 goto +1":  Jump32Reg(JumpLT, R1, R2, 1),
+		"if w1 == 3 goto +1":  Jump32Imm(JumpEq, R1, 3, 1),
+	}
+	for want, ins := range cases {
+		if got := Mnemonic(ins); got != want {
+			t.Errorf("Mnemonic = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestMnemonicBswapAndAtomicVariants(t *testing.T) {
+	bs := Instruction{Opcode: uint8(ClassALU) | uint8(SourceX) | uint8(ALUEnd), Dst: R2, Imm: 16}
+	if got := Mnemonic(bs); !strings.Contains(got, "bswap16") {
+		t.Errorf("bswap mnemonic = %q", got)
+	}
+	for _, c := range []struct {
+		op   AtomicOp
+		want string
+	}{
+		{AtomicOr, "|="}, {AtomicAnd, "&="}, {AtomicXor, "^="},
+	} {
+		ins := Atomic(SizeW, c.op, R1, -4, R2)
+		if got := Mnemonic(ins); !strings.Contains(got, c.want) {
+			t.Errorf("%v: mnemonic = %q, want %q", c.op, got, c.want)
+		}
+	}
+}
+
+func TestMnemonicMapLoad(t *testing.T) {
+	if got := Mnemonic(LoadMapPtr(R1, 3)); got != "r1 = map[3] ll" {
+		t.Errorf("map load mnemonic = %q", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	classes := map[Class]string{
+		ClassLD: "ld", ClassLDX: "ldx", ClassST: "st", ClassSTX: "stx",
+		ClassALU: "alu32", ClassJMP: "jmp", ClassJMP32: "jmp32", ClassALU64: "alu64",
+	}
+	for c, want := range classes {
+		if c.String() != want {
+			t.Errorf("Class %v = %q", c, c.String())
+		}
+	}
+	sizes := map[Size]string{SizeB: "u8", SizeH: "u16", SizeW: "u32", SizeDW: "u64"}
+	for s, want := range sizes {
+		if s.String() != want {
+			t.Errorf("Size %v = %q", s, s.String())
+		}
+	}
+	hooks := map[HookType]string{
+		HookXDP: "xdp", HookTracepoint: "tracepoint",
+		HookKprobe: "kprobe", HookSocketFilter: "socket_filter",
+	}
+	for h, want := range hooks {
+		if h.String() != want {
+			t.Errorf("Hook %v = %q", h, h.String())
+		}
+	}
+	for op := ALUAdd; op <= ALUEnd; op += 0x10 {
+		if strings.Contains(op.String(), "alu(") {
+			t.Errorf("ALUOp %#x has no name", uint8(op))
+		}
+	}
+	for op := JumpAlways; op <= JumpSLE; op += 0x10 {
+		if strings.Contains(op.String(), "jmp(") {
+			t.Errorf("JumpOp %#x has no name", uint8(op))
+		}
+	}
+	for _, a := range []AtomicOp{AtomicAdd, AtomicOr, AtomicAnd, AtomicXor} {
+		if strings.Contains(a.String(), "atomic(") {
+			t.Errorf("AtomicOp %v has no name", a)
+		}
+	}
+}
+
+func TestEditableErrors(t *testing.T) {
+	// Branch into the middle of a wide instruction.
+	p := &Program{Insns: []Instruction{
+		JumpImm(JumpEq, R1, 0, 1), // lands inside the lddw
+		LoadImm64(R2, 1),
+		Exit(),
+	}}
+	if _, err := MakeEditable(p); err == nil {
+		t.Fatal("branch into lddw accepted")
+	}
+	// Offset overflow on finalize.
+	q := &Program{Insns: []Instruction{JumpImm(JumpEq, R1, 0, 0), Exit()}}
+	e, err := MakeEditable(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetTarget(0, 99)
+	if _, err := e.Finalize(); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+}
+
+func TestBranchTargetPanicsOnNonBranch(t *testing.T) {
+	p := &Program{Insns: []Instruction{Mov64Imm(R0, 0), Exit()}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.BranchTarget(0)
+}
+
+func TestProgramClone(t *testing.T) {
+	p := &Program{
+		Name: "x", Hook: HookXDP, MCPU: 3,
+		Insns: []Instruction{Mov64Imm(R0, 0), Exit()},
+		Maps:  []MapSpec{{Name: "m", KeySize: 4, ValueSize: 8, MaxEntries: 1}},
+	}
+	q := p.Clone()
+	q.Insns[0].Imm = 99
+	q.Maps[0].Name = "changed"
+	if p.Insns[0].Imm != 0 || p.Maps[0].Name != "m" {
+		t.Fatal("Clone shares storage with the original")
+	}
+}

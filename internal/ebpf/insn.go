@@ -1,0 +1,385 @@
+// Package ebpf implements the classic eBPF instruction set: 64-bit
+// fixed-width instructions, ten general-purpose registers plus a read-only
+// frame pointer, and the ALU/ALU64/JMP/JMP32/LD/LDX/ST/STX instruction
+// classes described by the kernel's instruction-set document.
+//
+// The package provides encoding and decoding to the 8-byte wire format,
+// a small assembler API for constructing instructions, and a disassembler
+// that prints the same mnemonics used throughout the Merlin paper
+// (movq/movl/shlq/xaddq and friends).
+package ebpf
+
+import "fmt"
+
+// Register is one of the eBPF VM registers r0-r10.
+type Register uint8
+
+// eBPF registers. R0 holds return values, R1-R5 are caller-saved argument
+// registers, R6-R9 are callee-saved, and R10 is the read-only frame pointer.
+const (
+	R0 Register = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10 // frame pointer, read-only
+
+	// NumRegisters is the number of addressable registers.
+	NumRegisters = 11
+	// PseudoReg marks an unassigned virtual register slot in intermediate
+	// code; it never appears in encoded programs.
+	PseudoReg Register = 0xff
+)
+
+func (r Register) String() string {
+	if r == PseudoReg {
+		return "r?"
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// Valid reports whether r names a real eBPF register.
+func (r Register) Valid() bool { return r < NumRegisters }
+
+// Class is the low 3 bits of an opcode.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassLD    Class = 0x00 // 64-bit immediate load (and legacy abs/ind)
+	ClassLDX   Class = 0x01 // load from memory into register
+	ClassST    Class = 0x02 // store immediate to memory
+	ClassSTX   Class = 0x03 // store register to memory (and atomics)
+	ClassALU   Class = 0x04 // 32-bit arithmetic
+	ClassJMP   Class = 0x05 // 64-bit compare-and-jump, call, exit
+	ClassJMP32 Class = 0x06 // 32-bit compare-and-jump
+	ClassALU64 Class = 0x07 // 64-bit arithmetic
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassLD:
+		return "ld"
+	case ClassLDX:
+		return "ldx"
+	case ClassST:
+		return "st"
+	case ClassSTX:
+		return "stx"
+	case ClassALU:
+		return "alu32"
+	case ClassJMP:
+		return "jmp"
+	case ClassJMP32:
+		return "jmp32"
+	case ClassALU64:
+		return "alu64"
+	}
+	return fmt.Sprintf("class(%#x)", uint8(c))
+}
+
+// IsALU reports whether the class is ALU or ALU64.
+func (c Class) IsALU() bool { return c == ClassALU || c == ClassALU64 }
+
+// IsJump reports whether the class is JMP or JMP32.
+func (c Class) IsJump() bool { return c == ClassJMP || c == ClassJMP32 }
+
+// IsLoad reports whether the class reads memory (LD or LDX).
+func (c Class) IsLoad() bool { return c == ClassLD || c == ClassLDX }
+
+// IsStore reports whether the class writes memory (ST or STX).
+func (c Class) IsStore() bool { return c == ClassST || c == ClassSTX }
+
+// Size is the width field of load/store opcodes (bits 3-4).
+type Size uint8
+
+// Memory operation widths.
+const (
+	SizeW  Size = 0x00 // 4 bytes
+	SizeH  Size = 0x08 // 2 bytes
+	SizeB  Size = 0x10 // 1 byte
+	SizeDW Size = 0x18 // 8 bytes
+)
+
+// Bytes returns the width in bytes.
+func (s Size) Bytes() int {
+	switch s {
+	case SizeB:
+		return 1
+	case SizeH:
+		return 2
+	case SizeW:
+		return 4
+	case SizeDW:
+		return 8
+	}
+	return 0
+}
+
+// SizeForBytes returns the Size encoding for n bytes and whether n is a
+// valid eBPF access width.
+func SizeForBytes(n int) (Size, bool) {
+	switch n {
+	case 1:
+		return SizeB, true
+	case 2:
+		return SizeH, true
+	case 4:
+		return SizeW, true
+	case 8:
+		return SizeDW, true
+	}
+	return 0, false
+}
+
+func (s Size) String() string {
+	switch s {
+	case SizeB:
+		return "u8"
+	case SizeH:
+		return "u16"
+	case SizeW:
+		return "u32"
+	case SizeDW:
+		return "u64"
+	}
+	return fmt.Sprintf("size(%#x)", uint8(s))
+}
+
+// Mode is the addressing-mode field of load/store opcodes (bits 5-7).
+type Mode uint8
+
+// Addressing modes.
+const (
+	ModeIMM    Mode = 0x00 // used with ClassLD for the wide lddw
+	ModeABS    Mode = 0x20 // legacy packet access (unused by codegen)
+	ModeIND    Mode = 0x40 // legacy packet access (unused by codegen)
+	ModeMEM    Mode = 0x60 // regular register+offset access
+	ModeATOMIC Mode = 0xc0 // atomic read-modify-write (STX only)
+)
+
+// ALUOp is the operation field of ALU/ALU64 opcodes (bits 4-7).
+type ALUOp uint8
+
+// ALU operations.
+const (
+	ALUAdd  ALUOp = 0x00
+	ALUSub  ALUOp = 0x10
+	ALUMul  ALUOp = 0x20
+	ALUDiv  ALUOp = 0x30
+	ALUOr   ALUOp = 0x40
+	ALUAnd  ALUOp = 0x50
+	ALULsh  ALUOp = 0x60
+	ALURsh  ALUOp = 0x70
+	ALUNeg  ALUOp = 0x80
+	ALUMod  ALUOp = 0x90
+	ALUXor  ALUOp = 0xa0
+	ALUMov  ALUOp = 0xb0
+	ALUArsh ALUOp = 0xc0
+	ALUEnd  ALUOp = 0xd0 // byte swap
+)
+
+func (op ALUOp) String() string {
+	switch op {
+	case ALUAdd:
+		return "add"
+	case ALUSub:
+		return "sub"
+	case ALUMul:
+		return "mul"
+	case ALUDiv:
+		return "div"
+	case ALUOr:
+		return "or"
+	case ALUAnd:
+		return "and"
+	case ALULsh:
+		return "lsh"
+	case ALURsh:
+		return "rsh"
+	case ALUNeg:
+		return "neg"
+	case ALUMod:
+		return "mod"
+	case ALUXor:
+		return "xor"
+	case ALUMov:
+		return "mov"
+	case ALUArsh:
+		return "arsh"
+	case ALUEnd:
+		return "end"
+	}
+	return fmt.Sprintf("alu(%#x)", uint8(op))
+}
+
+// JumpOp is the operation field of JMP/JMP32 opcodes (bits 4-7).
+type JumpOp uint8
+
+// Jump operations.
+const (
+	JumpAlways JumpOp = 0x00
+	JumpEq     JumpOp = 0x10
+	JumpGT     JumpOp = 0x20
+	JumpGE     JumpOp = 0x30
+	JumpSet    JumpOp = 0x40
+	JumpNE     JumpOp = 0x50
+	JumpSGT    JumpOp = 0x60
+	JumpSGE    JumpOp = 0x70
+	JumpCall   JumpOp = 0x80
+	JumpExit   JumpOp = 0x90
+	JumpLT     JumpOp = 0xa0
+	JumpLE     JumpOp = 0xb0
+	JumpSLT    JumpOp = 0xc0
+	JumpSLE    JumpOp = 0xd0
+)
+
+func (op JumpOp) String() string {
+	switch op {
+	case JumpAlways:
+		return "ja"
+	case JumpEq:
+		return "jeq"
+	case JumpGT:
+		return "jgt"
+	case JumpGE:
+		return "jge"
+	case JumpSet:
+		return "jset"
+	case JumpNE:
+		return "jne"
+	case JumpSGT:
+		return "jsgt"
+	case JumpSGE:
+		return "jsge"
+	case JumpCall:
+		return "call"
+	case JumpExit:
+		return "exit"
+	case JumpLT:
+		return "jlt"
+	case JumpLE:
+		return "jle"
+	case JumpSLT:
+		return "jslt"
+	case JumpSLE:
+		return "jsle"
+	}
+	return fmt.Sprintf("jmp(%#x)", uint8(op))
+}
+
+// Source selects the second ALU/JMP operand: an immediate (K) or a register (X).
+type Source uint8
+
+// Operand sources.
+const (
+	SourceK Source = 0x00 // 32-bit immediate
+	SourceX Source = 0x08 // source register
+)
+
+// AtomicOp is the Imm field value of an atomic STX instruction.
+type AtomicOp int32
+
+// Atomic operations (subset implemented by the kernel for stx.atomic).
+const (
+	AtomicAdd = AtomicOp(ALUAdd)
+	AtomicOr  = AtomicOp(ALUOr)
+	AtomicAnd = AtomicOp(ALUAnd)
+	AtomicXor = AtomicOp(ALUXor)
+)
+
+func (a AtomicOp) String() string {
+	switch a {
+	case AtomicAdd:
+		return "xadd"
+	case AtomicOr:
+		return "xor_"
+	case AtomicAnd:
+		return "xand"
+	case AtomicXor:
+		return "xxor"
+	}
+	return fmt.Sprintf("atomic(%#x)", int32(a))
+}
+
+// Instruction is a single decoded eBPF instruction. A wide lddw
+// (ClassLD|ModeIMM|SizeDW) occupies two encoded slots but is represented as
+// one Instruction with the full 64-bit constant in Imm64.
+type Instruction struct {
+	Opcode uint8
+	Dst    Register
+	Src    Register
+	Offset int16
+	Imm    int32
+	Imm64  int64 // only meaningful when IsWide()
+}
+
+// Class returns the instruction class (low 3 opcode bits).
+func (ins Instruction) Class() Class { return Class(ins.Opcode & 0x07) }
+
+// SizeField returns the width field of a load/store opcode.
+func (ins Instruction) SizeField() Size { return Size(ins.Opcode & 0x18) }
+
+// ModeField returns the addressing-mode field of a load/store opcode.
+func (ins Instruction) ModeField() Mode { return Mode(ins.Opcode & 0xe0) }
+
+// ALUOpField returns the operation of an ALU/ALU64 instruction.
+func (ins Instruction) ALUOpField() ALUOp { return ALUOp(ins.Opcode & 0xf0) }
+
+// JumpOpField returns the operation of a JMP/JMP32 instruction.
+func (ins Instruction) JumpOpField() JumpOp { return JumpOp(ins.Opcode & 0xf0) }
+
+// SourceField returns whether the second operand is an immediate or register.
+func (ins Instruction) SourceField() Source { return Source(ins.Opcode & 0x08) }
+
+// IsWide reports whether ins is a two-slot lddw (64-bit immediate load).
+func (ins Instruction) IsWide() bool {
+	return ins.Class() == ClassLD && ins.ModeField() == ModeIMM && ins.SizeField() == SizeDW
+}
+
+// Slots returns the number of 8-byte encoding slots the instruction uses.
+func (ins Instruction) Slots() int {
+	if ins.IsWide() {
+		return 2
+	}
+	return 1
+}
+
+// IsExit reports whether ins is the exit instruction.
+func (ins Instruction) IsExit() bool {
+	return ins.Class() == ClassJMP && ins.JumpOpField() == JumpExit
+}
+
+// IsCall reports whether ins is a helper call.
+func (ins Instruction) IsCall() bool {
+	return ins.Class() == ClassJMP && ins.JumpOpField() == JumpCall
+}
+
+// IsAtomic reports whether ins is an atomic store (stx.atomic / xadd family).
+func (ins Instruction) IsAtomic() bool {
+	return ins.Class() == ClassSTX && ins.ModeField() == ModeATOMIC
+}
+
+// IsUncondJump reports whether ins is an unconditional ja.
+func (ins Instruction) IsUncondJump() bool {
+	return ins.Class() == ClassJMP && ins.JumpOpField() == JumpAlways
+}
+
+// IsCondJump reports whether ins is a conditional branch.
+func (ins Instruction) IsCondJump() bool {
+	c := ins.Class()
+	if !c.IsJump() {
+		return false
+	}
+	op := ins.JumpOpField()
+	return op != JumpAlways && op != JumpCall && op != JumpExit
+}
+
+// Terminates reports whether control cannot fall through ins
+// (exit or unconditional jump).
+func (ins Instruction) Terminates() bool { return ins.IsExit() || ins.IsUncondJump() }

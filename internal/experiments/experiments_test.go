@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"testing"
+
+	"merlin/internal/core"
+)
+
+// testCfg samples aggressively so the whole experiment suite stays fast.
+var testCfg = Config{SuiteStride: 24}
+
+func TestTable1Shape(t *testing.T) {
+	rows, err := Table1(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	want := map[string]int{"XDP": 19, "Sysdig": 168, "Tetragon": 186, "Tracee": 129}
+	for _, r := range rows {
+		if want[r.Suite] != r.Count {
+			t.Errorf("%s count = %d, want %d", r.Suite, r.Count, want[r.Suite])
+		}
+		if r.Smallest > r.Average || r.Average > r.Largest {
+			t.Errorf("%s: inconsistent stats %+v", r.Suite, r)
+		}
+	}
+	// XDP row must match the calibrated corpus.
+	for _, r := range rows {
+		if r.Suite == "XDP" {
+			if r.Smallest != 18 || r.Largest < 1400 || r.Largest > 2200 {
+				t.Errorf("XDP sizes %+v, want ≈18/1771", r)
+			}
+			if r.MCPU != "v2" {
+				t.Errorf("XDP mcpu = %s", r.MCPU)
+			}
+		}
+	}
+}
+
+func TestCompactnessXDP(t *testing.T) {
+	rows, err := Compactness("xdp", testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 19 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	anyPositive := false
+	for _, r := range rows {
+		if r.Total < 0 {
+			t.Errorf("%s: negative reduction %f", r.Program, r.Total)
+		}
+		if r.Total > 0 {
+			anyPositive = true
+		}
+		// Contributions must sum to the total (within rounding).
+		sum := 0.0
+		for _, c := range r.Contribution {
+			sum += c
+		}
+		if diff := sum - r.Total; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s: contributions %f != total %f", r.Program, sum, r.Total)
+		}
+	}
+	if !anyPositive {
+		t.Error("no XDP program improved at all")
+	}
+}
+
+func TestCompactnessSysdigDAODominates(t *testing.T) {
+	rows, err := Compactness("sysdig", testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var daoSum, totalSum float64
+	for _, r := range rows {
+		daoSum += r.Contribution[core.DAO]
+		totalSum += r.Total
+	}
+	if totalSum <= 0 {
+		t.Fatal("sysdig sample saw no reduction")
+	}
+	if daoSum < totalSum*0.5 {
+		t.Errorf("DAO should dominate Sysdig reductions (dao=%f, total=%f)", daoSum, totalSum)
+	}
+}
+
+func TestFig10eMerlinScalesToLargePrograms(t *testing.T) {
+	rows, err := Fig10e(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var big Fig10eRow
+	for _, r := range rows {
+		if r.Program == "xdp-balancer" {
+			big = r
+		}
+	}
+	if !big.K2Supported {
+		t.Log("xdp-balancer within K2 envelope")
+	}
+	if big.MerlinReduction <= big.K2Reduction {
+		t.Errorf("Merlin should beat K2 on the largest program: %.3f vs %.3f",
+			big.MerlinReduction, big.K2Reduction)
+	}
+}
+
+func TestFig10fNPIImproves(t *testing.T) {
+	rows, err := Fig10f(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worse := 0
+	for _, r := range rows {
+		if r.NPIAfter > r.NPIBefore {
+			worse++
+		}
+	}
+	if worse > len(rows)/4 {
+		t.Errorf("NPI regressed on %d/%d programs", worse, len(rows))
+	}
+}
+
+func TestTable2Static(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 2 || rows[0].System != "K2" || rows[1].System != "Merlin" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Hooks != "XDP only" || rows[1].MaxSize != "1 Million" {
+		t.Fatalf("capability cells wrong: %+v", rows)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, err := Table3(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ThroughputMerlin < r.ThroughputClang {
+			t.Errorf("%s: Merlin throughput below clang: %.3f < %.3f",
+				r.Program, r.ThroughputMerlin, r.ThroughputClang)
+		}
+		// Latency grows with load for every system.
+		for si := 0; si < 3; si++ {
+			if r.LatencyUS[3][si] < r.LatencyUS[0][si] {
+				t.Errorf("%s sys %d: saturate latency below low", r.Program, si)
+			}
+		}
+		// Merlin latency no worse than clang at every level.
+		for li := 0; li < 4; li++ {
+			if r.LatencyUS[li][2] > r.LatencyUS[li][0]*1.001 {
+				t.Errorf("%s load %d: merlin %.1fus > clang %.1fus",
+					r.Program, li, r.LatencyUS[li][2], r.LatencyUS[li][0])
+			}
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	rows, err := Fig11(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4*3*2 {
+		t.Fatalf("rows = %d, want 24", len(rows))
+	}
+	// Merlin must not context-switch more than clang on the balancer at low
+	// load (Fig 11c's headline; at saturation both cores are pegged so the
+	// counts converge).
+	var clangCS, merlinCS float64
+	for _, r := range rows {
+		if r.Program == "xdp-balancer" && r.Load == "low" {
+			switch r.System {
+			case "clang":
+				clangCS = r.ContextSwitches
+			case "merlin":
+				merlinCS = r.ContextSwitches
+			}
+		}
+	}
+	if merlinCS > clangCS*1.0001 {
+		t.Errorf("merlin ctx switches %f > clang %f", merlinCS, clangCS)
+	}
+}
+
+func TestTable4OverheadReduced(t *testing.T) {
+	suites, err := Table4(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suites) != 3 {
+		t.Fatalf("suites = %d", len(suites))
+	}
+	for _, s := range suites {
+		if len(s.Micro) != 15 {
+			t.Fatalf("%s: micro rows = %d", s.Suite, len(s.Micro))
+		}
+		if s.AvgMicro <= 0 {
+			t.Errorf("%s: no average micro overhead reduction (%.3f)", s.Suite, s.AvgMicro)
+		}
+		if s.Macro.Reduction <= 0 {
+			t.Errorf("%s: no postmark reduction", s.Suite)
+		}
+		for _, m := range s.Micro {
+			if m.WithUS > m.WithoutUS {
+				t.Errorf("%s/%s: optimized slower than original", s.Suite, m.Op.Name)
+			}
+			if m.WithoutUS < m.VanillaUS {
+				t.Errorf("%s/%s: probes cost nothing?", s.Suite, m.Op.Name)
+			}
+		}
+	}
+}
+
+func TestFig12CountersImprove(t *testing.T) {
+	rows, err := Fig12(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.InstructionsPercent > 100 || r.CyclesPercent > 100 {
+			t.Errorf("%s: counters regressed: %+v", r.Suite, r)
+		}
+		if r.InstructionsSaved <= 0 {
+			t.Errorf("%s: no instructions saved", r.Suite)
+		}
+	}
+}
+
+func TestFig13aCostsRecorded(t *testing.T) {
+	rows, err := Fig13a(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if len(r.PassTimes) == 0 {
+			t.Fatalf("%s: no pass times", r.Program)
+		}
+		if _, ok := r.PassTimes["Dep"]; !ok {
+			t.Fatalf("%s: missing Dep analysis time", r.Program)
+		}
+	}
+}
+
+func TestFig13bSpeedupsHuge(t *testing.T) {
+	rows, err := Fig13b(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var biggest Fig13bRow
+	for _, r := range rows {
+		if r.NI > biggest.NI {
+			biggest = r
+		}
+	}
+	// Paper: ~3.2M× on the biggest program; we accept anything > 10^4.
+	if biggest.Speedup < 1e4 {
+		t.Errorf("speedup on largest = %.0fx, want > 10^4", biggest.Speedup)
+	}
+}
+
+func TestFig14MonotoneStages(t *testing.T) {
+	rows, err := Fig14(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].NI > rows[i-1].NI {
+			t.Errorf("stage %s grew NI: %d → %d", rows[i].Stage, rows[i-1].NI, rows[i].NI)
+		}
+		if rows[i].ThroughputMpps < rows[i-1].ThroughputMpps*0.999 {
+			t.Errorf("stage %s lost throughput", rows[i].Stage)
+		}
+	}
+	if rows[6].ThroughputMpps <= rows[0].ThroughputMpps {
+		t.Error("full pipeline should beat clang on the balancer")
+	}
+}
+
+func TestFig15SysdigAblation(t *testing.T) {
+	rows, err := Fig15(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	final := rows[6]
+	if final.NIReduction <= 0 || final.OverheadReduction <= 0 {
+		t.Errorf("final stage shows no win: %+v", final)
+	}
+	// DAO stage should already capture most of the NI reduction (paper:
+	// 97.9% of it).
+	dao := rows[1]
+	if dao.NIReduction < final.NIReduction*0.6 {
+		t.Errorf("DAO contributes %.3f of %.3f; expected the dominant share",
+			dao.NIReduction, final.NIReduction)
+	}
+}
+
+func TestTable5BothVersionsVerify(t *testing.T) {
+	rows, err := Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+
+	"merlin/internal/core"
+	"merlin/internal/corpus"
+	"merlin/internal/ebpf"
+	"merlin/internal/k2"
+	"merlin/internal/verifier"
+)
+
+// stageOrder is the cumulative optimizer order used for per-optimizer
+// contribution accounting (matching the pipeline order).
+var stageOrder = []core.Optimizer{core.DAO, core.MoF, core.CPDCE, core.SLM, core.CC, core.PO}
+
+// CompactnessRow is one program's Fig 10a-d bar: the total NI reduction and
+// each optimizer's contribution (fractions of the baseline NI).
+type CompactnessRow struct {
+	Program      string
+	Suite        string
+	BaselineNI   int
+	OptimizedNI  int
+	Total        float64
+	Contribution map[core.Optimizer]float64
+}
+
+// Compactness computes Fig 10a-d for one suite name ("xdp", "sysdig",
+// "tetragon", "tracee").
+func Compactness(suite string, cfg Config) ([]CompactnessRow, error) {
+	specs, err := suiteSpecs(suite)
+	if err != nil {
+		return nil, err
+	}
+	if suite != "xdp" {
+		specs = sample(specs, cfg.stride())
+	}
+	var rows []CompactnessRow
+	for _, spec := range specs {
+		row, err := compactnessOf(spec)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+func suiteSpecs(suite string) ([]*corpus.ProgramSpec, error) {
+	switch suite {
+	case "xdp":
+		return corpus.XDP(), nil
+	case "sysdig":
+		return corpus.Sysdig(), nil
+	case "tetragon":
+		return corpus.Tetragon(), nil
+	case "tracee":
+		return corpus.Tracee(), nil
+	}
+	return nil, fmt.Errorf("unknown suite %q", suite)
+}
+
+func compactnessOf(spec *corpus.ProgramSpec) (*CompactnessRow, error) {
+	row := &CompactnessRow{
+		Program:      spec.Name,
+		Suite:        spec.Suite,
+		Contribution: map[core.Optimizer]float64{},
+	}
+	prevNI := 0
+	for i := 0; i <= len(stageOrder); i++ {
+		enable := stageOrder[:i]
+		res, err := core.Build(spec.Mod, spec.Func, buildOpts(spec, enable, false))
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			row.BaselineNI = res.Baseline.NI()
+			prevNI = res.Prog.NI()
+			continue
+		}
+		ni := res.Prog.NI()
+		row.Contribution[stageOrder[i-1]] = float64(prevNI-ni) / float64(row.BaselineNI)
+		prevNI = ni
+		if i == len(stageOrder) {
+			row.OptimizedNI = ni
+		}
+	}
+	row.Total = float64(row.BaselineNI-row.OptimizedNI) / float64(row.BaselineNI)
+	return row, nil
+}
+
+// Fig10eRow compares Merlin's and K2's NI reduction on one XDP program.
+type Fig10eRow struct {
+	Program         string
+	BaselineNI      int
+	MerlinReduction float64
+	K2Reduction     float64
+	K2Supported     bool
+}
+
+// Fig10e runs both optimizers over the 19 XDP programs.
+func Fig10e(cfg Config) ([]Fig10eRow, error) {
+	var rows []Fig10eRow
+	for _, spec := range corpus.XDP() {
+		res, err := core.Build(spec.Mod, spec.Func, buildOpts(spec, nil, false))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		row := Fig10eRow{
+			Program:         spec.Name,
+			BaselineNI:      res.Baseline.NI(),
+			MerlinReduction: res.NIReduction(),
+		}
+		iter := 800
+		if res.Baseline.NI() > 500 {
+			iter = 250 // the search degrades on big programs
+		}
+		if out, _, err := k2.Optimize(res.Baseline, k2.Options{Seed: 99, Iterations: iter}); err == nil {
+			row.K2Supported = true
+			row.K2Reduction = float64(res.Baseline.NI()-out.NI()) / float64(res.Baseline.NI())
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig10fRow reports the verifier-cost improvement for one program.
+type Fig10fRow struct {
+	Program       string
+	NPIBefore     int
+	NPIAfter      int
+	NPIReduction  float64
+	TimeReduction float64
+}
+
+// Fig10f measures NPI and verification-time reduction across the corpus
+// (all XDP programs plus a sample of each suite).
+func Fig10f(cfg Config) ([]Fig10fRow, error) {
+	specs := corpus.XDP()
+	for _, s := range [][]*corpus.ProgramSpec{corpus.Sysdig(), corpus.Tetragon(), corpus.Tracee()} {
+		specs = append(specs, sample(s, cfg.stride()*2)...)
+	}
+	var rows []Fig10fRow
+	for _, spec := range specs {
+		res, err := core.Build(spec.Mod, spec.Func, buildOpts(spec, nil, true))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		// Wall-clock verification time is noisy at microsecond scale;
+		// take the best of several runs, like a real measurement would.
+		before := bestVerify(res.Baseline)
+		after := bestVerify(res.Prog)
+		rows = append(rows, Fig10fRow{
+			Program:       spec.Name,
+			NPIBefore:     before.NPI,
+			NPIAfter:      after.NPI,
+			NPIReduction:  reduction(float64(before.NPI), float64(after.NPI)),
+			TimeReduction: reduction(float64(before.Duration), float64(after.Duration)),
+		})
+	}
+	return rows, nil
+}
+
+func bestVerify(prog *ebpf.Program) verifier.Stats {
+	best := verifier.Verify(prog, verifier.Options{})
+	for i := 0; i < 4; i++ {
+		st := verifier.Verify(prog, verifier.Options{})
+		if st.Duration < best.Duration {
+			best = st
+		}
+	}
+	return best
+}

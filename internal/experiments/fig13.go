@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"merlin/internal/core"
+	"merlin/internal/corpus"
+	"merlin/internal/k2"
+)
+
+// Fig13aRow records per-optimizer compile cost for one program.
+type Fig13aRow struct {
+	Program   string
+	Suite     string
+	NI        int
+	PassTimes map[string]time.Duration
+	Total     time.Duration
+}
+
+// Fig13a measures the additional compilation cost of each optimizer across
+// the corpus.
+func Fig13a(cfg Config) ([]Fig13aRow, error) {
+	specs := corpus.XDP()
+	for _, s := range [][]*corpus.ProgramSpec{corpus.Sysdig(), corpus.Tetragon(), corpus.Tracee()} {
+		specs = append(specs, sample(s, cfg.stride())...)
+	}
+	var rows []Fig13aRow
+	for _, spec := range specs {
+		res, err := core.Build(spec.Mod, spec.Func, buildOpts(spec, nil, false))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		row := Fig13aRow{
+			Program:   spec.Name,
+			Suite:     spec.Suite,
+			NI:        res.Baseline.NI(),
+			PassTimes: map[string]time.Duration{},
+			Total:     res.MerlinTime,
+		}
+		for _, st := range res.Stats {
+			row.PassTimes[st.Name] += st.Duration
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig13bRow compares Merlin's measured compile time with K2's modeled
+// search time on one XDP program.
+type Fig13bRow struct {
+	Program    string
+	NI         int
+	MerlinTime time.Duration
+	K2Time     time.Duration
+	Speedup    float64
+}
+
+// Fig13b reproduces the compile-time comparison. K2's time comes from the
+// calibrated model (its real search takes minutes to days, §5.5); Merlin's
+// is measured.
+func Fig13b(cfg Config) ([]Fig13bRow, error) {
+	var rows []Fig13bRow
+	for _, spec := range corpus.XDP() {
+		res, err := core.Build(spec.Mod, spec.Func, buildOpts(spec, nil, false))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		mt := res.MerlinTime
+		if mt <= 0 {
+			mt = time.Microsecond
+		}
+		kt := k2.ModeledSearchTime(res.Baseline.NI())
+		rows = append(rows, Fig13bRow{
+			Program:    spec.Name,
+			NI:         res.Baseline.NI(),
+			MerlinTime: mt,
+			K2Time:     kt,
+			Speedup:    float64(kt) / float64(mt),
+		})
+	}
+	return rows, nil
+}

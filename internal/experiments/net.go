@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+
+	"merlin/internal/core"
+	"merlin/internal/corpus"
+	"merlin/internal/ebpf"
+	"merlin/internal/k2"
+	"merlin/internal/netbench"
+)
+
+// table3Programs are the four forwarding-capable XDP programs (§5.3).
+var table3Programs = []string{"xdp2", "xdp_router_ipv4", "xdp_fwd", "xdp-balancer"}
+
+// Table3Row is one program's throughput and latency comparison.
+type Table3Row struct {
+	Program string
+	// Mpps per system.
+	ThroughputClang  float64
+	ThroughputK2     float64
+	ThroughputMerlin float64
+	// LatencyUS[load][system] with systems ordered clang, k2, merlin and an
+	// extra leading "load" Mpps column per the paper's format.
+	LoadMpps  [4]float64
+	LatencyUS [4][3]float64
+}
+
+// xdpSpec fetches an XDP corpus program by name.
+func xdpSpec(name string) (*corpus.ProgramSpec, error) {
+	for _, s := range corpus.XDP() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("no XDP program %q", name)
+}
+
+// buildThreeVersions produces the clang, K2 and Merlin variants of a program.
+func buildThreeVersions(spec *corpus.ProgramSpec) (clang, k2prog, merlin *ebpf.Program, err error) {
+	res, err := core.Build(spec.Mod, spec.Func, buildOpts(spec, nil, true))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	clang, merlin = res.Baseline, res.Prog
+	iter := 600
+	if clang.NI() > 500 {
+		iter = 200
+	}
+	out, _, kerr := k2.Optimize(clang, k2.Options{Seed: 5, Iterations: iter})
+	if kerr != nil {
+		out = clang // outside K2's envelope: it ships the original
+	}
+	return clang, out, merlin, nil
+}
+
+// Table3 measures throughput and the four-level latency matrix.
+func Table3(cfg Config) ([]Table3Row, error) {
+	tr := netbench.NewTrace(400, 42)
+	var rows []Table3Row
+	for _, name := range table3Programs {
+		spec, err := xdpSpec(name)
+		if err != nil {
+			return nil, err
+		}
+		clang, k2p, merlin, err := buildThreeVersions(spec)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		profiles := make([]*netbench.Profile, 3)
+		for i, p := range []*ebpf.Program{clang, k2p, merlin} {
+			pr, err := netbench.ProfileProgram(p, tr)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			profiles[i] = pr
+		}
+		row := Table3Row{
+			Program:          name,
+			ThroughputClang:  profiles[0].ThroughputMpps(),
+			ThroughputK2:     profiles[1].ThroughputMpps(),
+			ThroughputMerlin: profiles[2].ThroughputMpps(),
+		}
+		best := row.ThroughputClang
+		for _, v := range []float64{row.ThroughputK2, row.ThroughputMerlin} {
+			if v > best {
+				best = v
+			}
+		}
+		for li := 0; li < 4; li++ {
+			rate := netbench.OfferedRate(netbench.Load(li), row.ThroughputClang, best)
+			row.LoadMpps[li] = rate / 1e6
+			for si, pr := range profiles {
+				row.LatencyUS[li][si] = pr.LatencyUS(rate)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig11Row holds hardware counters for one program/system/load combination.
+type Fig11Row struct {
+	Program         string
+	System          string // clang | k2 | merlin
+	Load            string // low | saturate
+	CacheMissPer1k  float64
+	CacheRefPer1k   float64
+	BranchMissPer1k float64
+	ContextSwitches float64 // per 5-second window, as the paper reports
+}
+
+// Fig11 gathers cache, branch and context-switch statistics for the four
+// forwarding programs under low and saturate workloads.
+func Fig11(cfg Config) ([]Fig11Row, error) {
+	tr := netbench.NewTrace(400, 42)
+	var rows []Fig11Row
+	for _, name := range table3Programs {
+		spec, err := xdpSpec(name)
+		if err != nil {
+			return nil, err
+		}
+		clang, k2p, merlin, err := buildThreeVersions(spec)
+		if err != nil {
+			return nil, err
+		}
+		systems := []struct {
+			name string
+			prog *ebpf.Program
+		}{{"clang", clang}, {"k2", k2p}, {"merlin", merlin}}
+		var clangTput float64
+		for _, sys := range systems {
+			pr, err := netbench.ProfileProgram(sys.prog, tr)
+			if err != nil {
+				return nil, err
+			}
+			if sys.name == "clang" {
+				clangTput = pr.ThroughputMpps()
+			}
+			for _, load := range []netbench.Load{netbench.LoadLow, netbench.LoadSaturate} {
+				rate := netbench.OfferedRate(load, clangTput, pr.ThroughputMpps())
+				rows = append(rows, Fig11Row{
+					Program:         name,
+					System:          sys.name,
+					Load:            load.String(),
+					CacheMissPer1k:  pr.CacheMissesPer1k(),
+					CacheRefPer1k:   pr.CacheRefsPer1k(),
+					BranchMissPer1k: pr.BranchMissesPer1k(),
+					ContextSwitches: pr.ContextSwitches(rate, 5),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig14Row is one cumulative-optimizer stage of the xdp-balancer ablation.
+type Fig14Row struct {
+	Stage          string
+	NI             int
+	ThroughputMpps float64
+	LatencyUS      [4]float64
+	CacheMissPer1k float64
+	CtxSwitches    float64
+}
+
+// Fig14 applies the optimizers cumulatively to xdp-balancer and measures
+// each stage (also supplies Fig 11d's counters).
+func Fig14(cfg Config) ([]Fig14Row, error) {
+	spec, err := xdpSpec("xdp-balancer")
+	if err != nil {
+		return nil, err
+	}
+	tr := netbench.NewTrace(300, 42)
+	stages := []struct {
+		name   string
+		enable []core.Optimizer
+	}{
+		{"clang", []core.Optimizer{}},
+		{"+DAO", stageOrder[:1]},
+		{"+MoF", stageOrder[:2]},
+		{"+CP&DCE", stageOrder[:3]},
+		{"+SLM", stageOrder[:4]},
+		{"+CC", stageOrder[:5]},
+		{"+PO", stageOrder[:6]},
+	}
+	// First pass: compute clang and best throughput for load levels.
+	var profiles []*netbench.Profile
+	var nis []int
+	for _, st := range stages {
+		res, err := core.Build(spec.Mod, spec.Func, buildOpts(spec, st.enable, false))
+		if err != nil {
+			return nil, err
+		}
+		pr, err := netbench.ProfileProgram(res.Prog, tr)
+		if err != nil {
+			return nil, err
+		}
+		profiles = append(profiles, pr)
+		nis = append(nis, res.Prog.NI())
+	}
+	clangTput := profiles[0].ThroughputMpps()
+	best := clangTput
+	for _, pr := range profiles {
+		if v := pr.ThroughputMpps(); v > best {
+			best = v
+		}
+	}
+	var rows []Fig14Row
+	for i, st := range stages {
+		pr := profiles[i]
+		row := Fig14Row{
+			Stage:          st.name,
+			NI:             nis[i],
+			ThroughputMpps: pr.ThroughputMpps(),
+			CacheMissPer1k: pr.CacheMissesPer1k(),
+		}
+		for li := 0; li < 4; li++ {
+			rate := netbench.OfferedRate(netbench.Load(li), clangTput, best)
+			row.LatencyUS[li] = pr.LatencyUS(rate)
+			if li == 3 {
+				row.CtxSwitches = pr.ContextSwitches(rate, 5)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+
+	"merlin/internal/core"
+	"merlin/internal/corpus"
+	"merlin/internal/ebpf"
+	"merlin/internal/sysbench"
+)
+
+// probeSample picks the representative hot-path probe programs of a suite
+// (small and mid-sized handlers; the huge tail programs attach to rare
+// syscalls and would distort per-event costs).
+func probeSample(specs []*corpus.ProgramSpec, n int) []*corpus.ProgramSpec {
+	var out []*corpus.ProgramSpec
+	step := len(specs) / n
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(specs) && len(out) < n; i += step {
+		out = append(out, specs[i])
+	}
+	return out
+}
+
+// buildProbePair compiles a suite sample into original and Merlin programs.
+func buildProbePair(specs []*corpus.ProgramSpec) (orig, merlin []*ebpf.Program, err error) {
+	for _, spec := range specs {
+		res, err := core.Build(spec.Mod, spec.Func, buildOpts(spec, nil, false))
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		orig = append(orig, res.Baseline)
+		merlin = append(merlin, res.Prog)
+	}
+	return orig, merlin, nil
+}
+
+// Table4Suite is one suite's Table 4 block.
+type Table4Suite struct {
+	Suite    string
+	Micro    []sysbench.MicroResult
+	Macro    sysbench.MacroResult
+	AvgMicro float64
+}
+
+// Table4 evaluates the runtime-overhead table for the three suites.
+func Table4(cfg Config) ([]Table4Suite, error) {
+	suites := []struct {
+		name  string
+		specs []*corpus.ProgramSpec
+	}{
+		{"Sysdig", corpus.Sysdig()},
+		{"Tetragon", corpus.Tetragon()},
+		{"Tracee", corpus.Tracee()},
+	}
+	var out []Table4Suite
+	for _, s := range suites {
+		origProgs, merlinProgs, err := buildProbePair(probeSample(s.specs, 10))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.name, err)
+		}
+		orig, err := sysbench.Attach(origProgs)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := sysbench.Attach(merlinProgs)
+		if err != nil {
+			return nil, err
+		}
+		micro := sysbench.RunMicro(orig, opt)
+		sum := 0.0
+		for _, m := range micro {
+			sum += m.Reduction
+		}
+		out = append(out, Table4Suite{
+			Suite:    s.name,
+			Micro:    micro,
+			Macro:    sysbench.RunPostmark(orig, opt),
+			AvgMicro: sum / float64(len(micro)),
+		})
+	}
+	return out, nil
+}
+
+// Fig12Row reports hardware counters of the probe work per event, as a
+// percentage of the original (unoptimized) programs.
+type Fig12Row struct {
+	Suite               string
+	InstructionsPercent float64
+	CyclesPercent       float64
+	CacheMissPercent    float64
+	BranchMissPercent   float64
+	InstructionsSaved   float64
+	CyclesSaved         float64
+}
+
+// Fig12 compares per-event hardware counters before and after optimization.
+func Fig12(cfg Config) ([]Fig12Row, error) {
+	suites := []struct {
+		name  string
+		specs []*corpus.ProgramSpec
+	}{
+		{"Sysdig", corpus.Sysdig()},
+		{"Tetragon", corpus.Tetragon()},
+		{"Tracee", corpus.Tracee()},
+	}
+	var out []Fig12Row
+	for _, s := range suites {
+		origProgs, merlinProgs, err := buildProbePair(probeSample(s.specs, 10))
+		if err != nil {
+			return nil, err
+		}
+		orig, err := sysbench.Attach(origProgs)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := sysbench.Attach(merlinProgs)
+		if err != nil {
+			return nil, err
+		}
+		o, m := orig.PerEventStats, opt.PerEventStats
+		out = append(out, Fig12Row{
+			Suite:               s.name,
+			InstructionsPercent: 100 * float64(m.Instructions) / float64(o.Instructions),
+			CyclesPercent:       100 * float64(m.Cycles) / float64(o.Cycles),
+			CacheMissPercent:    percentOr100(m.CacheMisses, o.CacheMisses),
+			BranchMissPercent:   percentOr100(m.BranchMisses, o.BranchMisses),
+			InstructionsSaved:   float64(o.Instructions) - float64(m.Instructions),
+			CyclesSaved:         float64(o.Cycles) - float64(m.Cycles),
+		})
+	}
+	return out, nil
+}
+
+func percentOr100(m, o uint64) float64 {
+	if o == 0 {
+		return 100
+	}
+	return 100 * float64(m) / float64(o)
+}
+
+// Fig15Row is one cumulative stage of the Sysdig ablation.
+type Fig15Row struct {
+	Stage              string
+	NIReduction        float64
+	NPIReduction       float64
+	VerifTimeReduction float64
+	OverheadReduction  float64
+}
+
+// Fig15 applies the optimizers cumulatively to the Sysdig sample and
+// measures size, verifier cost and runtime overhead at each stage.
+func Fig15(cfg Config) ([]Fig15Row, error) {
+	specs := probeSample(corpus.Sysdig(), 8)
+	stages := []struct {
+		name   string
+		enable []core.Optimizer
+	}{
+		{"clang", []core.Optimizer{}},
+		{"+DAO", stageOrder[:1]},
+		{"+MoF", stageOrder[:2]},
+		{"+CP&DCE", stageOrder[:3]},
+		{"+SLM", stageOrder[:4]},
+		{"+CC", stageOrder[:5]},
+		{"+PO", stageOrder[:6]},
+	}
+	// Baselines.
+	var baseProgs []*ebpf.Program
+	var baseNI, baseNPI int
+	var baseVerifNS int64
+	for _, spec := range specs {
+		res, err := core.Build(spec.Mod, spec.Func, buildOpts(spec, []core.Optimizer{}, false))
+		if err != nil {
+			return nil, err
+		}
+		baseProgs = append(baseProgs, res.Prog)
+		baseNI += res.Prog.NI()
+		st := bestVerify(res.Prog)
+		if !st.Passed {
+			return nil, fmt.Errorf("fig15: baseline %s rejected: %v", spec.Name, st.Err)
+		}
+		baseNPI += st.NPI
+		baseVerifNS += st.Duration.Nanoseconds()
+	}
+	baseSet, err := sysbench.Attach(baseProgs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig15Row
+	for _, stg := range stages {
+		var progs []*ebpf.Program
+		ni, npi := 0, 0
+		var verifNS int64
+		for _, spec := range specs {
+			res, err := core.Build(spec.Mod, spec.Func, buildOpts(spec, stg.enable, false))
+			if err != nil {
+				return nil, err
+			}
+			progs = append(progs, res.Prog)
+			ni += res.Prog.NI()
+			st := bestVerify(res.Prog)
+			if !st.Passed {
+				return nil, fmt.Errorf("fig15: %s@%s rejected: %v", spec.Name, stg.name, st.Err)
+			}
+			npi += st.NPI
+			verifNS += st.Duration.Nanoseconds()
+		}
+		set, err := sysbench.Attach(progs)
+		if err != nil {
+			return nil, err
+		}
+		// Overhead reduction on the postmark macro test vs the baseline set.
+		wo := sysbench.PostmarkVanillaS + float64(sysbench.PostmarkEvents)*baseSet.PerEventCycles/sysbench.CPUHz
+		w := sysbench.PostmarkVanillaS + float64(sysbench.PostmarkEvents)*set.PerEventCycles/sysbench.CPUHz
+		rows = append(rows, Fig15Row{
+			Stage:              stg.name,
+			NIReduction:        reduction(float64(baseNI), float64(ni)),
+			NPIReduction:       reduction(float64(baseNPI), float64(npi)),
+			VerifTimeReduction: reduction(float64(baseVerifNS), float64(verifNS)),
+			OverheadReduction:  sysbench.OverheadReduction(sysbench.PostmarkVanillaS, wo, w),
+		})
+	}
+	return rows, nil
+}

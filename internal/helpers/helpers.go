@@ -1,0 +1,115 @@
+// Package helpers defines the kernel helper-function API surface shared by
+// the VM (which executes helpers) and the verifier (which type-checks calls
+// against their signatures). IDs follow the Linux UAPI numbering.
+package helpers
+
+import "merlin/internal/ebpf"
+
+// Helper function IDs (subset used by the corpus).
+const (
+	MapLookupElem     = 1
+	MapUpdateElem     = 2
+	MapDeleteElem     = 3
+	ProbeRead         = 4
+	KtimeGetNS        = 5
+	TracePrintk       = 6
+	GetPrandomU32     = 7
+	GetSmpProcessorID = 8
+	GetCurrentPidTgid = 14
+	GetCurrentComm    = 16
+	Redirect          = 23
+	PerfEventOutput   = 25
+	RedirectMap       = 51
+)
+
+// ArgKind classifies a helper argument for verification.
+type ArgKind uint8
+
+// Argument kinds.
+const (
+	ArgNone     ArgKind = iota
+	ArgScalar           // any integer
+	ArgCtx              // program context pointer
+	ArgMap              // map handle from a pseudo lddw
+	ArgMapKey           // memory of the map's key size
+	ArgMapValue         // memory of the map's value size
+	ArgMem              // memory region; paired with a following ArgSize
+	ArgSize             // byte count bounding the previous ArgMem
+)
+
+// RetKind classifies a helper's return value.
+type RetKind uint8
+
+// Return kinds.
+const (
+	RetScalar         RetKind = iota
+	RetMapValueOrNull         // pointer into the map's value area, or null
+)
+
+// Spec is a helper signature.
+type Spec struct {
+	ID   int
+	Name string
+	Args []ArgKind
+	Ret  RetKind
+	// Hooks restricts availability; empty means all hook types.
+	Hooks []ebpf.HookType
+	// Cost is the cycle cost the VM charges per invocation.
+	Cost uint64
+	// WritesMem marks helpers whose ArgMem argument is written rather than
+	// read (probe_read's destination); the verifier then initializes the
+	// region instead of requiring it initialized.
+	WritesMem bool
+}
+
+// Table maps helper IDs to their specs.
+var Table = map[int]Spec{
+	MapLookupElem: {ID: MapLookupElem, Name: "map_lookup_elem",
+		Args: []ArgKind{ArgMap, ArgMapKey}, Ret: RetMapValueOrNull, Cost: 18},
+	MapUpdateElem: {ID: MapUpdateElem, Name: "map_update_elem",
+		Args: []ArgKind{ArgMap, ArgMapKey, ArgMapValue, ArgScalar}, Ret: RetScalar, Cost: 30},
+	MapDeleteElem: {ID: MapDeleteElem, Name: "map_delete_elem",
+		Args: []ArgKind{ArgMap, ArgMapKey}, Ret: RetScalar, Cost: 25},
+	ProbeRead: {ID: ProbeRead, Name: "probe_read",
+		Args: []ArgKind{ArgMem, ArgSize, ArgScalar}, Ret: RetScalar, Cost: 40, WritesMem: true,
+		Hooks: []ebpf.HookType{ebpf.HookTracepoint, ebpf.HookKprobe}},
+	KtimeGetNS: {ID: KtimeGetNS, Name: "ktime_get_ns",
+		Args: nil, Ret: RetScalar, Cost: 12},
+	TracePrintk: {ID: TracePrintk, Name: "trace_printk",
+		Args: []ArgKind{ArgMem, ArgSize}, Ret: RetScalar, Cost: 100},
+	GetPrandomU32: {ID: GetPrandomU32, Name: "get_prandom_u32",
+		Args: nil, Ret: RetScalar, Cost: 8},
+	GetSmpProcessorID: {ID: GetSmpProcessorID, Name: "get_smp_processor_id",
+		Args: nil, Ret: RetScalar, Cost: 4},
+	GetCurrentPidTgid: {ID: GetCurrentPidTgid, Name: "get_current_pid_tgid",
+		Args: nil, Ret: RetScalar, Cost: 6,
+		Hooks: []ebpf.HookType{ebpf.HookTracepoint, ebpf.HookKprobe}},
+	GetCurrentComm: {ID: GetCurrentComm, Name: "get_current_comm",
+		Args: []ArgKind{ArgMem, ArgSize}, Ret: RetScalar, Cost: 20, WritesMem: true,
+		Hooks: []ebpf.HookType{ebpf.HookTracepoint, ebpf.HookKprobe}},
+	Redirect: {ID: Redirect, Name: "redirect",
+		Args: []ArgKind{ArgScalar, ArgScalar}, Ret: RetScalar, Cost: 15,
+		Hooks: []ebpf.HookType{ebpf.HookXDP}},
+	PerfEventOutput: {ID: PerfEventOutput, Name: "perf_event_output",
+		Args: []ArgKind{ArgCtx, ArgMap, ArgScalar, ArgMem, ArgSize}, Ret: RetScalar, Cost: 60},
+	RedirectMap: {ID: RedirectMap, Name: "redirect_map",
+		Args: []ArgKind{ArgMap, ArgScalar, ArgScalar}, Ret: RetScalar, Cost: 15,
+		Hooks: []ebpf.HookType{ebpf.HookXDP}},
+}
+
+// AllowedAt reports whether helper id may be called from hook h.
+func AllowedAt(id int, h ebpf.HookType) bool {
+	spec, ok := Table[id]
+	if !ok {
+		return false
+	}
+	if len(spec.Hooks) == 0 {
+		return true
+	}
+	for _, hh := range spec.Hooks {
+		if hh == h {
+			return true
+		}
+	}
+	return false
+}

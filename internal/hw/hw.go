@@ -1,0 +1,119 @@
+// Package hw provides the deterministic microarchitecture models backing the
+// paper's hardware-performance-counter experiments (Figs 11 and 12): a
+// set-associative LRU cache and a two-bit saturating branch predictor.
+// They are driven by the VM on every memory access and branch, so optimized
+// programs that touch less memory and branch less produce the counter
+// movements the paper reports.
+package hw
+
+// Cache is a set-associative cache with LRU replacement. The zero value is
+// not usable; use NewCache.
+type Cache struct {
+	sets      int
+	ways      int
+	lineShift uint
+	tags      [][]uint64
+	age       [][]uint64
+	tick      uint64
+
+	Refs   uint64 // total accesses
+	Misses uint64
+}
+
+// NewCache builds a cache of the given geometry. lineBytes must be a power
+// of two.
+func NewCache(sets, ways, lineBytes int) *Cache {
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	c := &Cache{sets: sets, ways: ways, lineShift: shift}
+	c.tags = make([][]uint64, sets)
+	c.age = make([][]uint64, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, ways)
+		c.age[i] = make([]uint64, ways)
+	}
+	return c
+}
+
+// NewL1D returns a 32 KiB, 8-way, 64-byte-line cache — the paper's test
+// CPUs' L1D geometry.
+func NewL1D() *Cache { return NewCache(64, 8, 64) }
+
+// Access touches addr and reports whether it hit. Lines are never
+// invalidated; the model is a warm, single-level data cache.
+func (c *Cache) Access(addr uint64) bool {
+	c.tick++
+	c.Refs++
+	line := addr >> c.lineShift
+	set := int(line) & (c.sets - 1)
+	tag := line | 1 // bias so the zero tag never matches an empty way
+	oldest, oldestAge := 0, ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[set][w] == tag {
+			c.age[set][w] = c.tick
+			return true
+		}
+		if c.age[set][w] < oldestAge {
+			oldest, oldestAge = w, c.age[set][w]
+		}
+	}
+	c.Misses++
+	c.tags[set][oldest] = tag
+	c.age[set][oldest] = c.tick
+	return false
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		for j := range c.tags[i] {
+			c.tags[i][j] = 0
+			c.age[i][j] = 0
+		}
+	}
+	c.tick, c.Refs, c.Misses = 0, 0, 0
+}
+
+// BranchPredictor is a table of two-bit saturating counters indexed by
+// branch site.
+type BranchPredictor struct {
+	table []uint8
+
+	Branches uint64
+	Misses   uint64
+}
+
+// NewBranchPredictor builds a predictor with 2^bits entries.
+func NewBranchPredictor() *BranchPredictor {
+	return &BranchPredictor{table: make([]uint8, 4096)}
+}
+
+// Predict consumes the outcome of the branch at the given site and reports
+// whether the predictor had guessed correctly.
+func (p *BranchPredictor) Predict(site int, taken bool) bool {
+	p.Branches++
+	idx := site & (len(p.table) - 1)
+	state := p.table[idx]
+	predictTaken := state >= 2
+	if taken && state < 3 {
+		p.table[idx] = state + 1
+	}
+	if !taken && state > 0 {
+		p.table[idx] = state - 1
+	}
+	if predictTaken != taken {
+		p.Misses++
+		return false
+	}
+	return true
+}
+
+// Reset clears state and counters.
+func (p *BranchPredictor) Reset() {
+	for i := range p.table {
+		p.table[i] = 0
+	}
+	p.Branches, p.Misses = 0, 0
+}

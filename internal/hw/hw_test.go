@@ -1,0 +1,100 @@
+package hw
+
+import "testing"
+
+func TestCacheHitsAfterWarm(t *testing.T) {
+	c := NewL1D()
+	if c.Access(0x1000) {
+		t.Fatal("cold access should miss")
+	}
+	if !c.Access(0x1000) || !c.Access(0x1010) {
+		t.Fatal("same line should hit")
+	}
+	if c.Refs != 3 || c.Misses != 1 {
+		t.Fatalf("refs=%d misses=%d", c.Refs, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(1, 2, 64) // one set, two ways
+	c.Access(0x0000)
+	c.Access(0x1000)
+	c.Access(0x0000) // refresh line 0
+	c.Access(0x2000) // evicts 0x1000
+	if !c.Access(0x0000) {
+		t.Error("most recently used line was evicted")
+	}
+	if c.Access(0x1000) {
+		t.Error("LRU line should have been evicted")
+	}
+}
+
+func TestCacheDistinctSets(t *testing.T) {
+	c := NewCache(64, 8, 64)
+	for i := 0; i < 64; i++ {
+		c.Access(uint64(i * 64))
+	}
+	if c.Misses != 64 {
+		t.Fatalf("misses = %d, want 64 cold misses", c.Misses)
+	}
+	for i := 0; i < 64; i++ {
+		c.Access(uint64(i * 64))
+	}
+	if c.Misses != 64 {
+		t.Fatalf("warm pass should not miss; misses = %d", c.Misses)
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewL1D()
+	c.Access(0x40)
+	c.Reset()
+	if c.Refs != 0 || c.Misses != 0 {
+		t.Fatal("counters not cleared")
+	}
+	if c.Access(0x40) {
+		t.Fatal("contents not cleared")
+	}
+}
+
+func TestBranchPredictorLearnsLoop(t *testing.T) {
+	p := NewBranchPredictor()
+	misses := 0
+	for i := 0; i < 100; i++ {
+		if !p.Predict(7, true) {
+			misses++
+		}
+	}
+	if misses > 2 {
+		t.Fatalf("predictor failed to learn always-taken: %d misses", misses)
+	}
+	if p.Branches != 100 {
+		t.Fatalf("branches = %d", p.Branches)
+	}
+}
+
+func TestBranchPredictorAlternating(t *testing.T) {
+	p := NewBranchPredictor()
+	for i := 0; i < 100; i++ {
+		p.Predict(3, i%2 == 0)
+	}
+	// A 2-bit counter mispredicts often on alternation but not always.
+	if p.Misses == 0 || p.Misses > 100 {
+		t.Fatalf("misses = %d", p.Misses)
+	}
+}
+
+func TestBranchPredictorSeparateSites(t *testing.T) {
+	p := NewBranchPredictor()
+	for i := 0; i < 50; i++ {
+		p.Predict(1, true)
+		p.Predict(2, false)
+	}
+	if p.Misses > 4 {
+		t.Fatalf("independent sites should both train: %d misses", p.Misses)
+	}
+	p.Reset()
+	if p.Branches != 0 || p.Misses != 0 {
+		t.Fatal("reset failed")
+	}
+}

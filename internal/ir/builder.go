@@ -1,0 +1,159 @@
+package ir
+
+import "fmt"
+
+// Builder constructs IR with automatic value naming. It tracks an insertion
+// block; every emit method appends there.
+type Builder struct {
+	Mod  *Module
+	Fn   *Function
+	Cur  *Block
+	next int
+}
+
+// NewModule creates an empty module and a builder over it.
+func NewModule(name string) *Builder {
+	return &Builder{Mod: &Module{Name: name}}
+}
+
+// DeclareMap adds a map definition to the module.
+func (bld *Builder) DeclareMap(name string, kind MapKind, keySize, valueSize, maxEntries int) *MapDef {
+	md := &MapDef{Name: name, Kind: kind, KeySize: keySize, ValueSize: valueSize, MaxEntries: maxEntries}
+	bld.Mod.Maps = append(bld.Mod.Maps, md)
+	return md
+}
+
+// NewFunc starts a function with the given parameters and positions the
+// builder at a fresh entry block.
+func (bld *Builder) NewFunc(name string, params ...*Param) *Function {
+	f := &Function{Name: name, Params: params}
+	bld.Mod.Funcs = append(bld.Mod.Funcs, f)
+	bld.Fn = f
+	bld.next = 0
+	bld.Cur = f.AddBlock("entry")
+	return f
+}
+
+// Block creates a new block in the current function without moving the
+// insertion point.
+func (bld *Builder) Block(name string) *Block { return bld.Fn.AddBlock(name) }
+
+// SetBlock moves the insertion point.
+func (bld *Builder) SetBlock(b *Block) { bld.Cur = b }
+
+func (bld *Builder) autoName() string {
+	bld.next++
+	return fmt.Sprintf("v%d", bld.next)
+}
+
+func (bld *Builder) emit(in *Instr) *Instr {
+	if in.HasResult() && in.Name == "" {
+		in.Name = bld.autoName()
+	}
+	return bld.Cur.Append(in)
+}
+
+// Alloca reserves size bytes of stack with the given alignment. Allocas are
+// always placed in the entry block (after any existing leading allocas), the
+// way clang emits them, so the slot is function-scoped regardless of where
+// the builder currently is.
+func (bld *Builder) Alloca(size, align int) *Instr {
+	in := &Instr{Op: OpAlloca, Size: size, Align: align, Name: bld.autoName()}
+	entry := bld.Fn.Entry()
+	pos := 0
+	for pos < len(entry.Instrs) && entry.Instrs[pos].Op == OpAlloca {
+		pos++
+	}
+	entry.Instrs = append(entry.Instrs, nil)
+	copy(entry.Instrs[pos+1:], entry.Instrs[pos:])
+	entry.Instrs[pos] = in
+	in.Parent = entry
+	return in
+}
+
+// Load reads ty from ptr with the given alignment attribute.
+func (bld *Builder) Load(ty Type, ptr Value, align int) *Instr {
+	return bld.emit(&Instr{Op: OpLoad, Ty: ty, Align: align, Args: []Value{ptr}})
+}
+
+// Store writes val to ptr with the given alignment attribute.
+func (bld *Builder) Store(ptr, val Value, align int) *Instr {
+	return bld.emit(&Instr{Op: OpStore, Align: align, Args: []Value{ptr, val}})
+}
+
+// Bin emits a binary operation of the given result type.
+func (bld *Builder) Bin(kind BinKind, ty Type, a, b Value) *Instr {
+	return bld.emit(&Instr{Op: OpBin, Bin: kind, Ty: ty, Args: []Value{a, b}})
+}
+
+// ICmp emits a comparison producing i64 0/1.
+func (bld *Builder) ICmp(pred CmpPred, a, b Value) *Instr {
+	return bld.emit(&Instr{Op: OpICmp, Pred: pred, Args: []Value{a, b}})
+}
+
+// GEP emits pointer arithmetic: ptr + off bytes.
+func (bld *Builder) GEP(ptr, off Value) *Instr {
+	return bld.emit(&Instr{Op: OpGEP, Args: []Value{ptr, off}})
+}
+
+// GEPc emits ptr + constant byte offset.
+func (bld *Builder) GEPc(ptr Value, off int64) *Instr {
+	return bld.GEP(ptr, ConstInt(I64, off))
+}
+
+// ZExt zero-extends v to ty.
+func (bld *Builder) ZExt(ty Type, v Value) *Instr {
+	return bld.emit(&Instr{Op: OpZExt, Ty: ty, Args: []Value{v}})
+}
+
+// SExt sign-extends v to ty.
+func (bld *Builder) SExt(ty Type, v Value) *Instr {
+	return bld.emit(&Instr{Op: OpSExt, Ty: ty, Args: []Value{v}})
+}
+
+// Bswap reverses the byte order of v at width ty (i16/i32/i64), the
+// htons/htonl family network code leans on.
+func (bld *Builder) Bswap(ty Type, v Value) *Instr {
+	return bld.emit(&Instr{Op: OpBswap, Ty: ty, Args: []Value{v}})
+}
+
+// Trunc truncates v to ty.
+func (bld *Builder) Trunc(ty Type, v Value) *Instr {
+	return bld.emit(&Instr{Op: OpTrunc, Ty: ty, Args: []Value{v}})
+}
+
+// Call emits a helper call.
+func (bld *Builder) Call(helper int, args ...Value) *Instr {
+	return bld.emit(&Instr{Op: OpCall, Helper: helper, Args: args})
+}
+
+// CallLocal emits a call to another function in the same module; the
+// inliner splices it away before code generation.
+func (bld *Builder) CallLocal(target string, args ...Value) *Instr {
+	return bld.emit(&Instr{Op: OpCallLocal, Target: target, Args: args})
+}
+
+// AtomicRMW emits a locked read-modify-write (no result).
+func (bld *Builder) AtomicRMW(kind BinKind, ty Type, ptr, val Value, align int) *Instr {
+	return bld.emit(&Instr{Op: OpAtomicRMW, Bin: kind, Ty: ty, Align: align, Args: []Value{ptr, val}})
+}
+
+// MapPtr emits a reference to a declared map.
+func (bld *Builder) MapPtr(md *MapDef) *Instr {
+	return bld.emit(&Instr{Op: OpMapPtr, Map: md})
+}
+
+// Br emits an unconditional branch.
+func (bld *Builder) Br(target *Block) *Instr {
+	return bld.emit(&Instr{Op: OpBr, Blocks: []*Block{target}})
+}
+
+// CondBr branches to t when cond is non-zero, else to f.
+func (bld *Builder) CondBr(cond Value, t, f *Block) *Instr {
+	return bld.emit(&Instr{Op: OpCondBr, Args: []Value{cond}, Blocks: []*Block{t, f}})
+}
+
+// Ret returns v from the program.
+func (bld *Builder) Ret(v Value) *Instr {
+	return bld.emit(&Instr{Op: OpRet, Args: []Value{v}})
+}

@@ -1,0 +1,77 @@
+package ir
+
+// Clone deep-copies a module: new instructions, blocks, functions and maps,
+// with all internal references (operands, branch targets, map refs)
+// repointed into the copy. Optimization pipelines clone before mutating so
+// callers can compile the same module under different option sets.
+func Clone(m *Module) *Module {
+	out := &Module{Name: m.Name}
+	mapOf := map[*MapDef]*MapDef{}
+	for _, md := range m.Maps {
+		c := *md
+		out.Maps = append(out.Maps, &c)
+		mapOf[md] = &c
+	}
+	for _, f := range m.Funcs {
+		out.Funcs = append(out.Funcs, cloneFunc(f, mapOf))
+	}
+	return out
+}
+
+func cloneFunc(f *Function, mapOf map[*MapDef]*MapDef) *Function {
+	nf := &Function{Name: f.Name}
+	valOf := map[Value]Value{}
+	for _, p := range f.Params {
+		np := &Param{Name: p.Name, Ty: p.Ty}
+		nf.Params = append(nf.Params, np)
+		valOf[p] = np
+	}
+	blockOf := map[*Block]*Block{}
+	for _, b := range f.Blocks {
+		nb := nf.AddBlock(b.Name)
+		blockOf[b] = nb
+	}
+	// First pass: create instruction copies so forward value references
+	// (which cannot occur, but map refs can) resolve uniformly.
+	for _, b := range f.Blocks {
+		nb := blockOf[b]
+		for _, in := range b.Instrs {
+			ni := &Instr{
+				Name: in.Name, Op: in.Op, Ty: in.Ty, Bin: in.Bin, Pred: in.Pred,
+				Align: in.Align, Size: in.Size, Helper: in.Helper, Target: in.Target,
+			}
+			if in.Map != nil {
+				ni.Map = mapOf[in.Map]
+				if ni.Map == nil {
+					ni.Map = in.Map
+				}
+			}
+			nb.Append(ni)
+			if in.HasResult() {
+				valOf[in] = ni
+			} else {
+				valOf[in] = ni // terminators aren't referenced, harmless
+			}
+		}
+	}
+	// Second pass: rewrite operands and block targets.
+	for _, b := range f.Blocks {
+		nb := blockOf[b]
+		for i, in := range b.Instrs {
+			ni := nb.Instrs[i]
+			for _, a := range in.Args {
+				switch v := a.(type) {
+				case *Const:
+					c := *v
+					ni.Args = append(ni.Args, &c)
+				default:
+					ni.Args = append(ni.Args, valOf[a])
+				}
+			}
+			for _, t := range in.Blocks {
+				ni.Blocks = append(ni.Blocks, blockOf[t])
+			}
+		}
+	}
+	return nf
+}

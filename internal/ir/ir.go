@@ -1,0 +1,418 @@
+// Package ir defines the intermediate representation Merlin's IR-tier
+// optimizations operate on. It is deliberately LLVM-flavoured: typed values,
+// basic blocks, explicit loads and stores with alignment attributes, and an
+// atomicrmw instruction. Unlike LLVM it has no phi nodes: values produced by
+// instructions are block-local, and cross-block dataflow goes through stack
+// slots created by alloca. This mirrors pre-mem2reg LLVM output and is what
+// produces the redundant load/store patterns the paper's bytecode-tier
+// optimizations clean up.
+package ir
+
+import "fmt"
+
+// Type is a first-class IR type.
+type Type uint8
+
+// IR types. Pointers are untyped byte pointers (getelementptr arithmetic is
+// in bytes), matching how eBPF programs treat ctx/packet/stack memory.
+const (
+	I8 Type = iota
+	I16
+	I32
+	I64
+	Ptr
+)
+
+func (t Type) String() string {
+	switch t {
+	case I8:
+		return "i8"
+	case I16:
+		return "i16"
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case Ptr:
+		return "ptr"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Bytes returns the storage width of t; pointers are 8 bytes.
+func (t Type) Bytes() int {
+	switch t {
+	case I8:
+		return 1
+	case I16:
+		return 2
+	case I32:
+		return 4
+	case I64, Ptr:
+		return 8
+	}
+	return 0
+}
+
+// IsInt reports whether t is an integer type.
+func (t Type) IsInt() bool { return t != Ptr }
+
+// TypeForBytes returns the integer type of width n bytes.
+func TypeForBytes(n int) (Type, bool) {
+	switch n {
+	case 1:
+		return I8, true
+	case 2:
+		return I16, true
+	case 4:
+		return I32, true
+	case 8:
+		return I64, true
+	}
+	return I64, false
+}
+
+// Value is anything an instruction can consume: constants, parameters, and
+// the results of other instructions.
+type Value interface {
+	Type() Type
+	// Ref renders the value as an operand reference (%name, constant, etc).
+	Ref() string
+}
+
+// Const is an integer constant.
+type Const struct {
+	Ty  Type
+	Val int64
+}
+
+// ConstInt builds a constant of the given type.
+func ConstInt(ty Type, v int64) *Const { return &Const{Ty: ty, Val: v} }
+
+// Type implements Value.
+func (c *Const) Type() Type { return c.Ty }
+
+// Ref implements Value.
+func (c *Const) Ref() string { return fmt.Sprintf("%d", c.Val) }
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Ty   Type
+}
+
+// Type implements Value.
+func (p *Param) Type() Type { return p.Ty }
+
+// Ref implements Value.
+func (p *Param) Ref() string { return "%" + p.Name }
+
+// Op identifies an instruction kind.
+type Op uint8
+
+// Instruction opcodes.
+const (
+	OpAlloca Op = iota
+	OpLoad
+	OpStore
+	OpBin
+	OpICmp
+	OpGEP
+	OpZExt
+	OpSExt
+	OpTrunc
+	OpCall
+	OpCallLocal
+	OpBswap
+	OpAtomicRMW
+	OpMapPtr
+	OpBr
+	OpCondBr
+	OpRet
+)
+
+// BinKind is the operation of an OpBin instruction.
+type BinKind uint8
+
+// Binary operations. Division and remainder are unsigned, as in eBPF.
+const (
+	Add BinKind = iota
+	Sub
+	Mul
+	UDiv
+	URem
+	And
+	Or
+	Xor
+	Shl
+	LShr
+	AShr
+)
+
+func (k BinKind) String() string {
+	return [...]string{"add", "sub", "mul", "udiv", "urem", "and", "or", "xor", "shl", "lshr", "ashr"}[k]
+}
+
+// ParseBinKind maps a mnemonic back to a BinKind.
+func ParseBinKind(s string) (BinKind, bool) {
+	for k := Add; k <= AShr; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// CmpPred is an icmp predicate.
+type CmpPred uint8
+
+// Comparison predicates (LLVM naming).
+const (
+	EQ CmpPred = iota
+	NE
+	ULT
+	ULE
+	UGT
+	UGE
+	SLT
+	SLE
+	SGT
+	SGE
+)
+
+func (p CmpPred) String() string {
+	return [...]string{"eq", "ne", "ult", "ule", "ugt", "uge", "slt", "sle", "sgt", "sge"}[p]
+}
+
+// ParseCmpPred maps a mnemonic back to a predicate.
+func ParseCmpPred(s string) (CmpPred, bool) {
+	for p := EQ; p <= SGE; p++ {
+		if p.String() == s {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// Inverse returns the negated predicate.
+func (p CmpPred) Inverse() CmpPred {
+	switch p {
+	case EQ:
+		return NE
+	case NE:
+		return EQ
+	case ULT:
+		return UGE
+	case ULE:
+		return UGT
+	case UGT:
+		return ULE
+	case UGE:
+		return ULT
+	case SLT:
+		return SGE
+	case SLE:
+		return SGT
+	case SGT:
+		return SLE
+	case SGE:
+		return SLT
+	}
+	return p
+}
+
+// Instr is a single IR instruction. Which fields are meaningful depends on Op:
+//
+//	Alloca:    Size, Align (result: Ptr)
+//	Load:      Ty, Args[0]=ptr, Align
+//	Store:     Args[0]=ptr, Args[1]=value, Align
+//	Bin:       Bin, Ty, Args[0], Args[1]
+//	ICmp:      Pred, Args[0], Args[1] (result: i64 0/1)
+//	GEP:       Args[0]=ptr, Args[1]=byte offset (result: Ptr)
+//	ZExt/SExt/Trunc: Ty=result type, Args[0]
+//	Call:      Helper, Args (result: i64)
+//	CallLocal: Target (function name), Args (result: i64); must be inlined
+//	           by irpass.Inline before code generation
+//	AtomicRMW: Bin (Add/And/Or/Xor), Args[0]=ptr, Args[1]=value, Ty, Align
+//	MapPtr:    Map (result: Ptr)
+//	Br:        Blocks[0]
+//	CondBr:    Args[0]=cond, Blocks[0]=true, Blocks[1]=false
+//	Ret:       Args[0]
+type Instr struct {
+	Name   string // SSA-style result name; empty for void instructions
+	Op     Op
+	Ty     Type
+	Bin    BinKind
+	Pred   CmpPred
+	Align  int
+	Size   int    // alloca size in bytes
+	Helper int    // helper number for OpCall
+	Target string // callee name for OpCallLocal
+	Map    *MapDef
+	Args   []Value
+	Blocks []*Block
+
+	// Parent is the containing block, maintained by Block append/edit helpers.
+	Parent *Block
+}
+
+// Type implements Value, returning the result type.
+func (in *Instr) Type() Type {
+	switch in.Op {
+	case OpAlloca, OpGEP, OpMapPtr:
+		return Ptr
+	case OpLoad, OpBin, OpZExt, OpSExt, OpTrunc, OpBswap:
+		return in.Ty
+	case OpICmp, OpCall, OpCallLocal:
+		return I64
+	case OpAtomicRMW:
+		return in.Ty
+	}
+	return I64
+}
+
+// Ref implements Value.
+func (in *Instr) Ref() string { return "%" + in.Name }
+
+// IsTerminator reports whether the instruction ends a block.
+func (in *Instr) IsTerminator() bool {
+	return in.Op == OpBr || in.Op == OpCondBr || in.Op == OpRet
+}
+
+// HasResult reports whether the instruction produces a value.
+func (in *Instr) HasResult() bool {
+	switch in.Op {
+	case OpStore, OpBr, OpCondBr, OpRet:
+		return false
+	case OpAtomicRMW:
+		// Our atomicrmw is fire-and-forget (lowered to xadd, which does not
+		// return the old value), so it produces no usable result.
+		return false
+	}
+	return true
+}
+
+// Block is a basic block: a named sequence of instructions ending in a
+// terminator.
+type Block struct {
+	Name   string
+	Instrs []*Instr
+	Fn     *Function
+}
+
+// Append adds an instruction to the end of the block.
+func (b *Block) Append(in *Instr) *Instr {
+	in.Parent = b
+	b.Instrs = append(b.Instrs, in)
+	return in
+}
+
+// Terminator returns the final instruction, or nil if the block is empty or
+// unterminated.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	t := b.Instrs[len(b.Instrs)-1]
+	if !t.IsTerminator() {
+		return nil
+	}
+	return t
+}
+
+// MapKind distinguishes the map implementations in internal/maps.
+type MapKind uint8
+
+// Map kinds.
+const (
+	MapArray MapKind = iota
+	MapHash
+	MapPerCPUArray
+	MapRingBuf
+)
+
+func (k MapKind) String() string {
+	switch k {
+	case MapArray:
+		return "array"
+	case MapHash:
+		return "hash"
+	case MapPerCPUArray:
+		return "percpu_array"
+	case MapRingBuf:
+		return "ringbuf"
+	}
+	return fmt.Sprintf("mapkind(%d)", uint8(k))
+}
+
+// ParseMapKind maps a kind name back to a MapKind.
+func ParseMapKind(s string) (MapKind, bool) {
+	for k := MapArray; k <= MapRingBuf; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// MapDef declares an eBPF map used by a module.
+type MapDef struct {
+	Name       string
+	Kind       MapKind
+	KeySize    int
+	ValueSize  int
+	MaxEntries int
+}
+
+// Function is a single eBPF program entry point.
+type Function struct {
+	Name   string
+	Params []*Param
+	Blocks []*Block
+}
+
+// Entry returns the entry block.
+func (f *Function) Entry() *Block { return f.Blocks[0] }
+
+// AddBlock appends a new named block.
+func (f *Function) AddBlock(name string) *Block {
+	b := &Block{Name: name, Fn: f}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// NumInstrs returns the total instruction count across all blocks.
+func (f *Function) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// Module is a compilation unit: maps plus functions.
+type Module struct {
+	Name  string
+	Maps  []*MapDef
+	Funcs []*Function
+}
+
+// Map returns the map named name, or nil.
+func (m *Module) Map(name string) *MapDef {
+	for _, md := range m.Maps {
+		if md.Name == name {
+			return md
+		}
+	}
+	return nil
+}
+
+// Func returns the function named name, or nil.
+func (m *Module) Func(name string) *Function {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,512 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the textual IR format produced by Print. It returns a
+// validated module or a descriptive error with a line number.
+func Parse(src string) (*Module, error) {
+	p := &parser{lines: strings.Split(src, "\n")}
+	m, err := p.module()
+	if err != nil {
+		return nil, fmt.Errorf("ir: line %d: %w", p.ln, err)
+	}
+	// Resolve map references against the module's declarations.
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != OpMapPtr {
+					continue
+				}
+				md := m.Map(in.Map.Name)
+				if md == nil {
+					return nil, fmt.Errorf("ir: func %s: mapptr @%s: map not declared", f.Name, in.Map.Name)
+				}
+				in.Map = md
+			}
+		}
+	}
+	if err := Validate(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+type parser struct {
+	lines []string
+	pos   int
+	ln    int // 1-based line of the most recently consumed line
+}
+
+// next returns the next non-blank line with comments stripped, or "" at EOF.
+func (p *parser) next() string {
+	for p.pos < len(p.lines) {
+		line := p.lines[p.pos]
+		p.pos++
+		p.ln = p.pos
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line != "" {
+			return line
+		}
+	}
+	return ""
+}
+
+func (p *parser) module() (*Module, error) {
+	line := p.next()
+	if !strings.HasPrefix(line, "module ") {
+		return nil, fmt.Errorf("expected module header, got %q", line)
+	}
+	name, err := strconv.Unquote(strings.TrimSpace(strings.TrimPrefix(line, "module ")))
+	if err != nil {
+		return nil, fmt.Errorf("bad module name: %v", err)
+	}
+	m := &Module{Name: name}
+	for {
+		line = p.next()
+		switch {
+		case line == "":
+			if len(m.Funcs) == 0 {
+				return nil, fmt.Errorf("module has no functions")
+			}
+			return m, nil
+		case strings.HasPrefix(line, "map "):
+			md, err := parseMap(line)
+			if err != nil {
+				return nil, err
+			}
+			m.Maps = append(m.Maps, md)
+		case strings.HasPrefix(line, "func "):
+			if err := p.function(m, line); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("unexpected line %q", line)
+		}
+	}
+}
+
+// parseMap parses: map @name : kind key=N value=N max=N
+func parseMap(line string) (*MapDef, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 7 || fields[2] != ":" || !strings.HasPrefix(fields[1], "@") {
+		return nil, fmt.Errorf("bad map declaration %q", line)
+	}
+	kind, ok := ParseMapKind(fields[3])
+	if !ok {
+		return nil, fmt.Errorf("unknown map kind %q", fields[3])
+	}
+	md := &MapDef{Name: fields[1][1:], Kind: kind}
+	for i, dst := range []*int{&md.KeySize, &md.ValueSize, &md.MaxEntries} {
+		kv := strings.SplitN(fields[4+i], "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad map attribute %q", fields[4+i])
+		}
+		n, err := strconv.Atoi(kv[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad map attribute %q", fields[4+i])
+		}
+		*dst = n
+	}
+	return md, nil
+}
+
+func parseType(s string) (Type, error) {
+	switch s {
+	case "i8":
+		return I8, nil
+	case "i16":
+		return I16, nil
+	case "i32":
+		return I32, nil
+	case "i64":
+		return I64, nil
+	case "ptr":
+		return Ptr, nil
+	}
+	return I64, fmt.Errorf("unknown type %q", s)
+}
+
+type funcParser struct {
+	p       *parser
+	fn      *Function
+	vals    map[string]Value  // %name → value
+	blocks  map[string]*Block // label → block
+	defined map[string]bool   // labels that actually appeared
+	// forward references: block names used by branches, verified against
+	// defined labels once the function body is complete
+	fixups []string
+}
+
+func (p *parser) function(m *Module, header string) error {
+	// func name(%a: ptr, %b: i64) -> i64 {
+	rest := strings.TrimPrefix(header, "func ")
+	open := strings.Index(rest, "(")
+	closeP := strings.Index(rest, ")")
+	if open < 0 || closeP < open || !strings.HasSuffix(rest, "{") {
+		return fmt.Errorf("bad function header %q", header)
+	}
+	f := &Function{Name: strings.TrimSpace(rest[:open])}
+	fp := &funcParser{p: p, fn: f, vals: map[string]Value{}, blocks: map[string]*Block{}, defined: map[string]bool{}}
+	params := strings.TrimSpace(rest[open+1 : closeP])
+	if params != "" {
+		for _, ps := range strings.Split(params, ",") {
+			nameTy := strings.SplitN(strings.TrimSpace(ps), ":", 2)
+			if len(nameTy) != 2 || !strings.HasPrefix(nameTy[0], "%") {
+				return fmt.Errorf("bad parameter %q", ps)
+			}
+			ty, err := parseType(strings.TrimSpace(nameTy[1]))
+			if err != nil {
+				return err
+			}
+			prm := &Param{Name: strings.TrimSpace(nameTy[0])[1:], Ty: ty}
+			f.Params = append(f.Params, prm)
+			fp.vals[prm.Name] = prm
+		}
+	}
+	var cur *Block
+	for {
+		line := p.next()
+		if line == "" {
+			return fmt.Errorf("unterminated function %s", f.Name)
+		}
+		if line == "}" {
+			break
+		}
+		if strings.HasSuffix(line, ":") && !strings.Contains(line, " ") {
+			label := strings.TrimSuffix(line, ":")
+			if fp.defined[label] {
+				return fmt.Errorf("duplicate block label %q", label)
+			}
+			fp.defined[label] = true
+			cur = fp.block(label)
+			f.Blocks = append(f.Blocks, cur)
+			continue
+		}
+		if cur == nil {
+			return fmt.Errorf("instruction before first label: %q", line)
+		}
+		in, err := fp.instr(line)
+		if err != nil {
+			return err
+		}
+		cur.Append(in)
+		if in.HasResult() {
+			if _, dup := fp.vals[in.Name]; dup {
+				return fmt.Errorf("duplicate value name %%%s", in.Name)
+			}
+			fp.vals[in.Name] = in
+		}
+	}
+	for _, name := range fp.fixups {
+		if !fp.defined[name] {
+			return fmt.Errorf("branch to unknown block %q in %s", name, f.Name)
+		}
+	}
+	m.Funcs = append(m.Funcs, f)
+	// Attach module so mapptr can resolve; done in instr via fp.p? maps were
+	// resolved eagerly against m in instr below.
+	return nil
+}
+
+// block returns the Block for a label, creating a placeholder when the label
+// is referenced before it is defined.
+func (fp *funcParser) block(label string) *Block {
+	if b, ok := fp.blocks[label]; ok {
+		b.Fn = fp.fn
+		return b
+	}
+	b := &Block{Name: label, Fn: fp.fn}
+	fp.blocks[label] = b
+	return b
+}
+
+// operand parses %name or an integer constant typed ty.
+func (fp *funcParser) operand(tok string, ty Type) (Value, error) {
+	tok = strings.TrimSpace(tok)
+	if strings.HasPrefix(tok, "%") {
+		v, ok := fp.vals[tok[1:]]
+		if !ok {
+			return nil, fmt.Errorf("use of undefined value %s", tok)
+		}
+		return v, nil
+	}
+	n, err := strconv.ParseInt(tok, 0, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad operand %q", tok)
+	}
+	return ConstInt(ty, n), nil
+}
+
+func splitArgs(s string) []string {
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// parseAlign parses a trailing "align N" argument.
+func parseAlign(tok string) (int, error) {
+	fields := strings.Fields(tok)
+	if len(fields) != 2 || fields[0] != "align" {
+		return 0, fmt.Errorf("expected align attribute, got %q", tok)
+	}
+	return strconv.Atoi(fields[1])
+}
+
+func (fp *funcParser) instr(line string) (*Instr, error) {
+	name := ""
+	if strings.HasPrefix(line, "%") {
+		eq := strings.Index(line, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("bad instruction %q", line)
+		}
+		name = strings.TrimSpace(line[1:eq])
+		line = strings.TrimSpace(line[eq+1:])
+	}
+	sp := strings.IndexByte(line, ' ')
+	op := line
+	rest := ""
+	if sp >= 0 {
+		op, rest = line[:sp], strings.TrimSpace(line[sp+1:])
+	}
+	in := &Instr{Name: name}
+	args := splitArgs(rest)
+	switch op {
+	case "alloca":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("alloca wants size and align: %q", line)
+		}
+		size, err := strconv.Atoi(args[0])
+		if err != nil {
+			return nil, err
+		}
+		align, err := parseAlign(args[1])
+		if err != nil {
+			return nil, err
+		}
+		in.Op, in.Size, in.Align = OpAlloca, size, align
+	case "load":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("load wants type, ptr, align: %q", line)
+		}
+		ty, err := parseType(args[0])
+		if err != nil {
+			return nil, err
+		}
+		ptr, err := fp.operand(args[1], Ptr)
+		if err != nil {
+			return nil, err
+		}
+		align, err := parseAlign(args[2])
+		if err != nil {
+			return nil, err
+		}
+		in.Op, in.Ty, in.Align, in.Args = OpLoad, ty, align, []Value{ptr}
+	case "store":
+		// store <ty> <ptr>, <val>, align N
+		tySp := strings.IndexByte(rest, ' ')
+		if tySp < 0 {
+			return nil, fmt.Errorf("bad store %q", line)
+		}
+		ty, err := parseType(rest[:tySp])
+		if err != nil {
+			return nil, err
+		}
+		args = splitArgs(strings.TrimSpace(rest[tySp+1:]))
+		if len(args) != 3 {
+			return nil, fmt.Errorf("store wants ptr, val, align: %q", line)
+		}
+		ptr, err := fp.operand(args[0], Ptr)
+		if err != nil {
+			return nil, err
+		}
+		val, err := fp.operand(args[1], ty)
+		if err != nil {
+			return nil, err
+		}
+		align, err := parseAlign(args[2])
+		if err != nil {
+			return nil, err
+		}
+		in.Op, in.Align, in.Args = OpStore, align, []Value{ptr, val}
+	case "bin", "atomicrmw":
+		// bin <kind> <ty> a, b   |   atomicrmw <kind> <ty> ptr, val, align N
+		fields := strings.SplitN(rest, " ", 3)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad %s %q", op, line)
+		}
+		kind, ok := ParseBinKind(fields[0])
+		if !ok {
+			return nil, fmt.Errorf("unknown bin kind %q", fields[0])
+		}
+		ty, err := parseType(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		args = splitArgs(fields[2])
+		if op == "bin" {
+			if len(args) != 2 {
+				return nil, fmt.Errorf("bin wants two operands: %q", line)
+			}
+			a, err := fp.operand(args[0], ty)
+			if err != nil {
+				return nil, err
+			}
+			b, err := fp.operand(args[1], ty)
+			if err != nil {
+				return nil, err
+			}
+			in.Op, in.Bin, in.Ty, in.Args = OpBin, kind, ty, []Value{a, b}
+		} else {
+			if len(args) != 3 {
+				return nil, fmt.Errorf("atomicrmw wants ptr, val, align: %q", line)
+			}
+			ptr, err := fp.operand(args[0], Ptr)
+			if err != nil {
+				return nil, err
+			}
+			val, err := fp.operand(args[1], ty)
+			if err != nil {
+				return nil, err
+			}
+			align, err := parseAlign(args[2])
+			if err != nil {
+				return nil, err
+			}
+			in.Op, in.Bin, in.Ty, in.Align, in.Args = OpAtomicRMW, kind, ty, align, []Value{ptr, val}
+		}
+	case "icmp":
+		fields := strings.SplitN(rest, " ", 3)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad icmp %q", line)
+		}
+		pred, ok := ParseCmpPred(fields[0])
+		if !ok {
+			return nil, fmt.Errorf("unknown predicate %q", fields[0])
+		}
+		ty, err := parseType(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		args = splitArgs(fields[2])
+		if len(args) != 2 {
+			return nil, fmt.Errorf("icmp wants two operands: %q", line)
+		}
+		a, err := fp.operand(args[0], ty)
+		if err != nil {
+			return nil, err
+		}
+		b, err := fp.operand(args[1], ty)
+		if err != nil {
+			return nil, err
+		}
+		in.Op, in.Pred, in.Args = OpICmp, pred, []Value{a, b}
+	case "gep":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("gep wants ptr, offset: %q", line)
+		}
+		ptr, err := fp.operand(args[0], Ptr)
+		if err != nil {
+			return nil, err
+		}
+		off, err := fp.operand(args[1], I64)
+		if err != nil {
+			return nil, err
+		}
+		in.Op, in.Args = OpGEP, []Value{ptr, off}
+	case "zext", "sext", "trunc", "bswap":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("%s wants type, value: %q", op, line)
+		}
+		ty, err := parseType(args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := fp.operand(args[1], ty)
+		if err != nil {
+			return nil, err
+		}
+		in.Ty, in.Args = ty, []Value{v}
+		switch op {
+		case "zext":
+			in.Op = OpZExt
+		case "sext":
+			in.Op = OpSExt
+		case "bswap":
+			in.Op = OpBswap
+		default:
+			in.Op = OpTrunc
+		}
+	case "call_local":
+		if len(args) < 1 || !strings.HasPrefix(args[0], "@") {
+			return nil, fmt.Errorf("call_local wants @function: %q", line)
+		}
+		in.Op, in.Target = OpCallLocal, args[0][1:]
+		for _, a := range args[1:] {
+			v, err := fp.operand(a, I64)
+			if err != nil {
+				return nil, err
+			}
+			in.Args = append(in.Args, v)
+		}
+	case "call":
+		if len(args) < 1 {
+			return nil, fmt.Errorf("call wants a helper number: %q", line)
+		}
+		helper, err := strconv.Atoi(args[0])
+		if err != nil {
+			return nil, err
+		}
+		in.Op, in.Helper = OpCall, helper
+		for _, a := range args[1:] {
+			v, err := fp.operand(a, I64)
+			if err != nil {
+				return nil, err
+			}
+			in.Args = append(in.Args, v)
+		}
+	case "mapptr":
+		if len(args) != 1 || !strings.HasPrefix(args[0], "@") {
+			return nil, fmt.Errorf("mapptr wants @map: %q", line)
+		}
+		in.Op = OpMapPtr
+		in.Map = &MapDef{Name: args[0][1:]} // resolved by Validate/link step
+	case "br":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("br wants a label: %q", line)
+		}
+		in.Op, in.Blocks = OpBr, []*Block{fp.block(args[0])}
+		fp.fixups = append(fp.fixups, args[0])
+	case "condbr":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("condbr wants cond, t, f: %q", line)
+		}
+		c, err := fp.operand(args[0], I64)
+		if err != nil {
+			return nil, err
+		}
+		in.Op, in.Args = OpCondBr, []Value{c}
+		in.Blocks = []*Block{fp.block(args[1]), fp.block(args[2])}
+		fp.fixups = append(fp.fixups, args[1], args[2])
+	case "ret":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("ret wants a value: %q", line)
+		}
+		v, err := fp.operand(args[0], I64)
+		if err != nil {
+			return nil, err
+		}
+		in.Op, in.Args = OpRet, []Value{v}
+	default:
+		return nil, fmt.Errorf("unknown instruction %q", op)
+	}
+	return in, nil
+}

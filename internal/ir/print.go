@@ -1,0 +1,113 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the module in the textual IR format accepted by Parse.
+func Print(m *Module) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %q\n", m.Name)
+	for _, md := range m.Maps {
+		fmt.Fprintf(&b, "map @%s : %s key=%d value=%d max=%d\n",
+			md.Name, md.Kind, md.KeySize, md.ValueSize, md.MaxEntries)
+	}
+	for _, f := range m.Funcs {
+		b.WriteString("\n")
+		printFunc(&b, f)
+	}
+	return b.String()
+}
+
+func printFunc(b *strings.Builder, f *Function) {
+	fmt.Fprintf(b, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%%%s: %s", p.Name, p.Ty)
+	}
+	b.WriteString(") -> i64 {\n")
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(b, "%s:\n", blk.Name)
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(b, "  %s\n", FormatInstr(in))
+		}
+	}
+	b.WriteString("}\n")
+}
+
+// FormatInstr renders one instruction in the textual format.
+func FormatInstr(in *Instr) string {
+	lhs := ""
+	if in.HasResult() {
+		lhs = "%" + in.Name + " = "
+	}
+	switch in.Op {
+	case OpAlloca:
+		return fmt.Sprintf("%salloca %d, align %d", lhs, in.Size, in.Align)
+	case OpLoad:
+		return fmt.Sprintf("%sload %s, %s, align %d", lhs, in.Ty, in.Args[0].Ref(), in.Align)
+	case OpStore:
+		return fmt.Sprintf("store %s %s, %s, align %d", storeType(in), in.Args[0].Ref(), in.Args[1].Ref(), in.Align)
+	case OpBin:
+		return fmt.Sprintf("%sbin %s %s %s, %s", lhs, in.Bin, in.Ty, in.Args[0].Ref(), in.Args[1].Ref())
+	case OpICmp:
+		return fmt.Sprintf("%sicmp %s %s %s, %s", lhs, in.Pred, cmpType(in), in.Args[0].Ref(), in.Args[1].Ref())
+	case OpGEP:
+		return fmt.Sprintf("%sgep %s, %s", lhs, in.Args[0].Ref(), in.Args[1].Ref())
+	case OpZExt:
+		return fmt.Sprintf("%szext %s, %s", lhs, in.Ty, in.Args[0].Ref())
+	case OpSExt:
+		return fmt.Sprintf("%ssext %s, %s", lhs, in.Ty, in.Args[0].Ref())
+	case OpTrunc:
+		return fmt.Sprintf("%strunc %s, %s", lhs, in.Ty, in.Args[0].Ref())
+	case OpBswap:
+		return fmt.Sprintf("%sbswap %s, %s", lhs, in.Ty, in.Args[0].Ref())
+	case OpCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = a.Ref()
+		}
+		s := fmt.Sprintf("%scall %d", lhs, in.Helper)
+		if len(args) > 0 {
+			s += ", " + strings.Join(args, ", ")
+		}
+		return s
+	case OpCallLocal:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = a.Ref()
+		}
+		s := fmt.Sprintf("%scall_local @%s", lhs, in.Target)
+		if len(args) > 0 {
+			s += ", " + strings.Join(args, ", ")
+		}
+		return s
+	case OpAtomicRMW:
+		return fmt.Sprintf("atomicrmw %s %s %s, %s, align %d", in.Bin, in.Ty, in.Args[0].Ref(), in.Args[1].Ref(), in.Align)
+	case OpMapPtr:
+		return fmt.Sprintf("%smapptr @%s", lhs, in.Map.Name)
+	case OpBr:
+		return fmt.Sprintf("br %s", in.Blocks[0].Name)
+	case OpCondBr:
+		return fmt.Sprintf("condbr %s, %s, %s", in.Args[0].Ref(), in.Blocks[0].Name, in.Blocks[1].Name)
+	case OpRet:
+		return fmt.Sprintf("ret %s", in.Args[0].Ref())
+	}
+	return fmt.Sprintf("<?op %d>", in.Op)
+}
+
+// storeType returns the stored value's type so constants can be parsed back
+// at the right width.
+func storeType(in *Instr) Type { return in.Args[1].Type() }
+
+// cmpType returns the operand type used for icmp, preferring a non-constant
+// operand so parsing can re-type constant operands.
+func cmpType(in *Instr) Type {
+	if _, ok := in.Args[0].(*Const); !ok {
+		return in.Args[0].Type()
+	}
+	return in.Args[1].Type()
+}

@@ -1,0 +1,358 @@
+package irpass
+
+import "merlin/internal/ir"
+
+// truncTo masks v to the width of ty (no-op for i64).
+func truncTo(ty ir.Type, v uint64) uint64 {
+	switch ty.Bytes() {
+	case 1:
+		return v & 0xff
+	case 2:
+		return v & 0xffff
+	case 4:
+		return v & 0xffffffff
+	}
+	return v
+}
+
+// signExtend interprets the low width bits of v as signed.
+func signExtend(ty ir.Type, v uint64) int64 {
+	switch ty.Bytes() {
+	case 1:
+		return int64(int8(v))
+	case 2:
+		return int64(int16(v))
+	case 4:
+		return int64(int32(v))
+	}
+	return int64(v)
+}
+
+// EvalBin computes a binary operation at the given width with eBPF
+// semantics: wrapping arithmetic, division by zero yields zero, shift
+// amounts are taken modulo the width. It is shared with the VM so constant
+// folding and execution can never disagree.
+func EvalBin(kind ir.BinKind, ty ir.Type, a, b uint64) uint64 {
+	a, b = truncTo(ty, a), truncTo(ty, b)
+	bits := uint64(ty.Bytes()) * 8
+	var r uint64
+	switch kind {
+	case ir.Add:
+		r = a + b
+	case ir.Sub:
+		r = a - b
+	case ir.Mul:
+		r = a * b
+	case ir.UDiv:
+		if b == 0 {
+			r = 0
+		} else {
+			r = a / b
+		}
+	case ir.URem:
+		if b == 0 {
+			r = a
+		} else {
+			r = a % b
+		}
+	case ir.And:
+		r = a & b
+	case ir.Or:
+		r = a | b
+	case ir.Xor:
+		r = a ^ b
+	case ir.Shl:
+		r = a << (b & (bits - 1))
+	case ir.LShr:
+		r = a >> (b & (bits - 1))
+	case ir.AShr:
+		r = uint64(signExtend(ty, a) >> (b & (bits - 1)))
+	}
+	return truncTo(ty, r)
+}
+
+// EvalCmp computes an icmp at the width of ty.
+func EvalCmp(pred ir.CmpPred, ty ir.Type, a, b uint64) bool {
+	ua, ub := truncTo(ty, a), truncTo(ty, b)
+	sa, sb := signExtend(ty, a), signExtend(ty, b)
+	switch pred {
+	case ir.EQ:
+		return ua == ub
+	case ir.NE:
+		return ua != ub
+	case ir.ULT:
+		return ua < ub
+	case ir.ULE:
+		return ua <= ub
+	case ir.UGT:
+		return ua > ub
+	case ir.UGE:
+		return ua >= ub
+	case ir.SLT:
+		return sa < sb
+	case ir.SLE:
+		return sa <= sb
+	case ir.SGT:
+		return sa > sb
+	case ir.SGE:
+		return sa >= sb
+	}
+	return false
+}
+
+// ConstFold folds constant expressions and applies algebraic identities
+// (x+0, x*1, x&x, or-with-zero, shifts by zero, gep by zero). It is part of
+// the generic pre-Merlin pipeline, mirroring what clang -O2 already does.
+func ConstFold(f *ir.Function) int {
+	applied := 0
+	for {
+		changed := 0
+		for _, b := range f.Blocks {
+			// Apply folds immediately so later instructions in the block see
+			// already-simplified operands; operands precede uses, so a single
+			// top-down sweep propagates whole chains.
+			for i := 0; i < len(b.Instrs); {
+				in := b.Instrs[i]
+				v, ok := foldInstr(in)
+				if !ok {
+					i++
+					continue
+				}
+				replaceUses(f, in, v)
+				b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+				changed++
+			}
+		}
+		if changed == 0 {
+			return applied
+		}
+		applied += changed
+	}
+}
+
+func constOf(v ir.Value) (uint64, bool) {
+	c, ok := v.(*ir.Const)
+	if !ok {
+		return 0, false
+	}
+	return uint64(c.Val), true
+}
+
+// foldInstr returns a replacement value for in when it can be simplified.
+func foldInstr(in *ir.Instr) (ir.Value, bool) {
+	switch in.Op {
+	case ir.OpBin:
+		a, aok := constOf(in.Args[0])
+		b, bok := constOf(in.Args[1])
+		if aok && bok {
+			return ir.ConstInt(in.Ty, int64(EvalBin(in.Bin, in.Ty, a, b))), true
+		}
+		if bok {
+			switch {
+			case b == 0 && (in.Bin == ir.Add || in.Bin == ir.Sub || in.Bin == ir.Or ||
+				in.Bin == ir.Xor || in.Bin == ir.Shl || in.Bin == ir.LShr || in.Bin == ir.AShr):
+				return in.Args[0], true
+			case b == 1 && (in.Bin == ir.Mul || in.Bin == ir.UDiv):
+				return in.Args[0], true
+			case b == 0 && (in.Bin == ir.Mul || in.Bin == ir.And):
+				return ir.ConstInt(in.Ty, 0), true
+			}
+		}
+		if aok && a == 0 && (in.Bin == ir.Add || in.Bin == ir.Or || in.Bin == ir.Xor) {
+			return in.Args[1], true
+		}
+	case ir.OpICmp:
+		a, aok := constOf(in.Args[0])
+		b, bok := constOf(in.Args[1])
+		if aok && bok {
+			ty := ir.I64
+			if ai, ok := in.Args[0].(*ir.Const); ok {
+				ty = ai.Ty
+			}
+			if EvalCmp(in.Pred, ty, a, b) {
+				return ir.ConstInt(ir.I64, 1), true
+			}
+			return ir.ConstInt(ir.I64, 0), true
+		}
+	case ir.OpZExt:
+		if a, ok := constOf(in.Args[0]); ok {
+			src := in.Args[0].(*ir.Const).Ty
+			return ir.ConstInt(in.Ty, int64(truncTo(src, a))), true
+		}
+	case ir.OpSExt:
+		if a, ok := constOf(in.Args[0]); ok {
+			src := in.Args[0].(*ir.Const).Ty
+			return ir.ConstInt(in.Ty, int64(truncTo(in.Ty, uint64(signExtend(src, a))))), true
+		}
+	case ir.OpTrunc:
+		if a, ok := constOf(in.Args[0]); ok {
+			return ir.ConstInt(in.Ty, int64(truncTo(in.Ty, a))), true
+		}
+	case ir.OpBswap:
+		if a, ok := constOf(in.Args[0]); ok {
+			v := truncTo(in.Ty, a)
+			r := uint64(0)
+			for i := 0; i < in.Ty.Bytes(); i++ {
+				r = r<<8 | (v >> (8 * i) & 0xff)
+			}
+			return ir.ConstInt(in.Ty, int64(r)), true
+		}
+	case ir.OpGEP:
+		if off, ok := constOf(in.Args[1]); ok && off == 0 {
+			return in.Args[0], true
+		}
+	}
+	return nil, false
+}
+
+// sideEffectFree reports whether an unused instruction can be deleted.
+// Loads are removable like in LLVM: eBPF loads have no observable side
+// effects, and the verifier checks safety independently.
+func sideEffectFree(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpAlloca, ir.OpLoad, ir.OpBin, ir.OpICmp, ir.OpGEP,
+		ir.OpZExt, ir.OpSExt, ir.OpTrunc, ir.OpBswap, ir.OpMapPtr:
+		return true
+	}
+	return false
+}
+
+// DCE deletes instructions whose results are never used and that have no
+// side effects, iterating to a fixpoint. Unused allocas are deleted together
+// with the stores into them (the stores are unobservable once the slot has
+// no loads and never escapes).
+func DCE(f *ir.Function) int {
+	applied := 0
+	for {
+		uses := useCounts(f)
+		// Identify allocas that never escape and are never loaded: stores to
+		// them are dead too.
+		deadSlotStores := deadAllocaStores(f)
+		var victims []*ir.Instr
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if deadSlotStores[in] {
+					victims = append(victims, in)
+					continue
+				}
+				if in.HasResult() && uses[in] == 0 && sideEffectFree(in) {
+					victims = append(victims, in)
+				}
+			}
+		}
+		if len(victims) == 0 {
+			return applied
+		}
+		for _, v := range victims {
+			removeInstr(v)
+		}
+		applied += len(victims)
+	}
+}
+
+// deadAllocaStores finds stores whose target alloca never escapes and is
+// never loaded from.
+func deadAllocaStores(f *ir.Function) map[*ir.Instr]bool {
+	type slotInfo struct {
+		escapes bool
+		loaded  bool
+		stores  []*ir.Instr
+	}
+	slots := map[*ir.Instr]*slotInfo{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpAlloca {
+				slots[in] = &slotInfo{}
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				al, ok := a.(*ir.Instr)
+				if !ok {
+					continue
+				}
+				si, ok := slots[al]
+				if !ok {
+					continue
+				}
+				switch {
+				case in.Op == ir.OpLoad:
+					si.loaded = true
+				case in.Op == ir.OpStore && i == 0:
+					si.stores = append(si.stores, in)
+				default:
+					// Address passed to a call, gep, stored as a value,
+					// compared, etc: treat as escaping.
+					si.escapes = true
+				}
+			}
+		}
+	}
+	dead := map[*ir.Instr]bool{}
+	for _, si := range slots {
+		if si.escapes || si.loaded {
+			continue
+		}
+		for _, st := range si.stores {
+			dead[st] = true
+		}
+	}
+	return dead
+}
+
+// StoreToLoadForward replaces loads from non-escaping allocas with the most
+// recent value stored to them within the same block (a lightweight slice of
+// mem2reg/GVN). Widths must match exactly.
+func StoreToLoadForward(f *ir.Function) int {
+	escaped := escapedAllocas(f)
+	applied := 0
+	for _, b := range f.Blocks {
+		last := map[*ir.Instr]*ir.Instr{} // alloca → latest store in block
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpStore:
+				if al, ok := in.Args[0].(*ir.Instr); ok && al.Op == ir.OpAlloca && !escaped[al] {
+					last[al] = in
+				}
+			case ir.OpLoad:
+				al, ok := in.Args[0].(*ir.Instr)
+				if !ok || al.Op != ir.OpAlloca || escaped[al] {
+					continue
+				}
+				st := last[al]
+				if st == nil {
+					continue
+				}
+				val := st.Args[1]
+				if val.Type().Bytes() != in.Ty.Bytes() {
+					continue
+				}
+				replaceUses(f, in, val)
+				applied++
+			}
+		}
+	}
+	return applied
+}
+
+// escapedAllocas reports allocas whose address leaves direct load/store use.
+func escapedAllocas(f *ir.Function) map[*ir.Instr]bool {
+	escaped := map[*ir.Instr]bool{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				al, ok := a.(*ir.Instr)
+				if !ok || al.Op != ir.OpAlloca {
+					continue
+				}
+				direct := (in.Op == ir.OpLoad && i == 0) || (in.Op == ir.OpStore && i == 0)
+				if !direct {
+					escaped[al] = true
+				}
+			}
+		}
+	}
+	return escaped
+}

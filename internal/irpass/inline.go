@@ -1,0 +1,288 @@
+package irpass
+
+import (
+	"fmt"
+
+	"merlin/internal/ir"
+)
+
+// Inline splices every local-function call site into its caller. eBPF
+// programs frequently factor helpers (hash functions, header parsers) into
+// local functions; the kernel verifier checks them inside their callers
+// (the paper's Table 1 notes 7 such program-local functions), and our code
+// generator requires a single flat function — so the generic pipeline
+// inlines all local calls before optimization.
+//
+// A local call is an ir.OpCallLocal instruction naming another function in
+// the same module. Restrictions (checked here):
+//
+//   - no recursion (direct or mutual);
+//   - callee parameters are i64/ptr scalars, matching the call's operands;
+//   - the callee returns through its ret instructions, whose operand
+//     replaces the call's result value.
+//
+// Inlining clones the callee body, maps its parameters to the call
+// arguments, funnels every callee return through a join block with the
+// result passed in a dedicated stack slot (the IR has no phis), and hoists
+// callee allocas into the caller's entry block.
+func Inline(mod *ir.Module) (int, error) {
+	inlined := 0
+	for _, f := range mod.Funcs {
+		n, err := inlineFunc(mod, f, map[string]bool{f.Name: true})
+		if err != nil {
+			return inlined, err
+		}
+		inlined += n
+	}
+	return inlined, nil
+}
+
+func inlineFunc(mod *ir.Module, f *ir.Function, stack map[string]bool) (int, error) {
+	inlined := 0
+	for {
+		site := findCallSite(f)
+		if site == nil {
+			return inlined, nil
+		}
+		callee := mod.Func(site.Callee)
+		if callee == nil {
+			return inlined, fmt.Errorf("irpass: %s calls unknown local function %q", f.Name, site.Callee)
+		}
+		if stack[callee.Name] {
+			return inlined, fmt.Errorf("irpass: recursive local call to %s", callee.Name)
+		}
+		// Make sure the callee itself is call-free first.
+		stack[callee.Name] = true
+		if _, err := inlineFunc(mod, callee, stack); err != nil {
+			return inlined, err
+		}
+		delete(stack, callee.Name)
+		if err := spliceCall(f, site, callee); err != nil {
+			return inlined, err
+		}
+		inlined++
+	}
+}
+
+type callSite struct {
+	Block  *ir.Block
+	Index  int
+	Instr  *ir.Instr
+	Callee string
+}
+
+func findCallSite(f *ir.Function) *callSite {
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			if in.Op == ir.OpCallLocal {
+				return &callSite{Block: b, Index: i, Instr: in, Callee: in.Target}
+			}
+		}
+	}
+	return nil
+}
+
+// spliceCall replaces one call site with the callee's cloned body.
+func spliceCall(f *ir.Function, site *callSite, callee *ir.Function) error {
+	if len(site.Instr.Args) != len(callee.Params) {
+		return fmt.Errorf("irpass: call to %s passes %d args, callee takes %d",
+			callee.Name, len(site.Instr.Args), len(callee.Params))
+	}
+	suffix := fmt.Sprintf(".%s.%d", callee.Name, nameCounter(f))
+
+	// Result slot: callee rets store here; the continuation loads it.
+	entry := f.Entry()
+	retSlot := &ir.Instr{Name: "ret" + suffix, Op: ir.OpAlloca, Size: 8, Align: 8}
+	insertAllocaTop(entry, retSlot)
+
+	// Argument slots: parameters become allocas initialized at the call
+	// site, and parameter uses in the cloned body load from them. This
+	// respects the IR's alloca-mediated cross-block dataflow rule without
+	// needing dominance analysis.
+	argSlots := make([]*ir.Instr, len(callee.Params))
+	for i := range callee.Params {
+		s := &ir.Instr{Name: fmt.Sprintf("arg%d%s", i, suffix), Op: ir.OpAlloca, Size: 8, Align: 8}
+		insertAllocaTop(entry, s)
+		argSlots[i] = s
+	}
+
+	// Alloca insertions shift positions when the call lives in the entry
+	// block, so locate the call by identity rather than trusting the index.
+	callIdx := indexOfInstr(site.Block, site.Instr)
+	if callIdx < 0 {
+		return fmt.Errorf("irpass: call site vanished during inlining")
+	}
+
+	// Split the call block: instructions after the call move to a
+	// continuation block that starts by loading the return slot.
+	cont := f.AddBlock(site.Block.Name + ".cont" + suffix)
+	tail := append([]*ir.Instr(nil), site.Block.Instrs[callIdx+1:]...)
+	retLoad := &ir.Instr{Name: "rv" + suffix, Op: ir.OpLoad, Ty: ir.I64, Align: 8, Args: []ir.Value{retSlot}}
+	cont.Append(retLoad)
+	for _, in := range tail {
+		in.Parent = cont
+		cont.Instrs = append(cont.Instrs, in)
+	}
+
+	// Clone the callee body with fresh names; parameter loads substitute
+	// for parameter references.
+	cloneBlocks, err := cloneBody(f, callee, suffix, argSlots, retSlot, cont)
+	if err != nil {
+		return err
+	}
+
+	// Rewrite the call block: store the arguments, then branch to the
+	// cloned entry. cloneBody may have hoisted callee allocas into the
+	// entry block, shifting positions again — recompute the index.
+	callIdx = indexOfInstr(site.Block, site.Instr)
+	if callIdx < 0 {
+		return fmt.Errorf("irpass: call site vanished during body cloning")
+	}
+	site.Block.Instrs = site.Block.Instrs[:callIdx]
+	for i, arg := range site.Instr.Args {
+		st := &ir.Instr{Op: ir.OpStore, Align: 8, Args: []ir.Value{argSlots[i], arg}}
+		site.Block.Append(st)
+	}
+	site.Block.Append(&ir.Instr{Op: ir.OpBr, Blocks: []*ir.Block{cloneBlocks[0]}})
+
+	// Uses of the call's result become uses of the continuation's load.
+	replaceUses(f, site.Instr, retLoad)
+	return nil
+}
+
+// cloneBody copies the callee's blocks into f. Every cloned block starts by
+// loading the callee's parameters from the argument slots (unused loads are
+// swept by the generic DCE that runs after inlining), so parameter
+// references always resolve to an earlier in-block definition. Each ret
+// stores to retSlot and branches to cont.
+func cloneBody(f *ir.Function, callee *ir.Function, suffix string, argSlots []*ir.Instr, retSlot *ir.Instr, cont *ir.Block) ([]*ir.Block, error) {
+	blockOf := map[*ir.Block]*ir.Block{}
+	paramOf := map[*ir.Block]map[*ir.Param]*ir.Instr{}
+	var clones []*ir.Block
+	for _, b := range callee.Blocks {
+		nb := f.AddBlock(b.Name + suffix)
+		blockOf[b] = nb
+		clones = append(clones, nb)
+		// Per-block parameter reloads.
+		loads := map[*ir.Param]*ir.Instr{}
+		for i, p := range callee.Params {
+			ld := &ir.Instr{
+				Name: fmt.Sprintf("%s.%s%s", p.Name, b.Name, suffix),
+				Op:   ir.OpLoad, Ty: paramLoadType(p), Align: 8,
+				Args: []ir.Value{argSlots[i]},
+			}
+			nb.Append(ld)
+			loads[p] = ld
+		}
+		paramOf[nb] = loads
+	}
+	valOf := map[ir.Value]ir.Value{}
+	// First pass: copy instructions (operands patched in pass two).
+	for _, b := range callee.Blocks {
+		nb := blockOf[b]
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpRet {
+				continue // handled in pass two
+			}
+			ni := &ir.Instr{
+				Op: in.Op, Ty: in.Ty, Bin: in.Bin, Pred: in.Pred,
+				Align: in.Align, Size: in.Size, Helper: in.Helper,
+				Map: in.Map, Target: in.Target,
+			}
+			if in.HasResult() {
+				ni.Name = in.Name + suffix
+			}
+			if in.Op == ir.OpAlloca {
+				// Hoist into the caller's entry so the slot stays
+				// function-scoped.
+				insertAllocaTop(f.Entry(), ni)
+			} else {
+				nb.Append(ni)
+			}
+			valOf[in] = ni
+		}
+	}
+	// Second pass: patch operands, block targets, and synthesize returns.
+	for _, b := range callee.Blocks {
+		nb := blockOf[b]
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpAlloca {
+				continue
+			}
+			if in.Op == ir.OpRet {
+				rv, err := mapOperand(in.Args[0], valOf, paramOf[nb])
+				if err != nil {
+					return nil, err
+				}
+				nb.Append(&ir.Instr{Op: ir.OpStore, Align: 8, Args: []ir.Value{retSlot, rv}})
+				nb.Append(&ir.Instr{Op: ir.OpBr, Blocks: []*ir.Block{cont}})
+				continue
+			}
+			ni := valOf[in].(*ir.Instr)
+			for _, a := range in.Args {
+				na, err := mapOperand(a, valOf, paramOf[nb])
+				if err != nil {
+					return nil, err
+				}
+				ni.Args = append(ni.Args, na)
+			}
+			for _, t := range in.Blocks {
+				ni.Blocks = append(ni.Blocks, blockOf[t])
+			}
+		}
+	}
+	return clones, nil
+}
+
+// mapOperand resolves a callee operand in the cloned context.
+func mapOperand(a ir.Value, valOf map[ir.Value]ir.Value, params map[*ir.Param]*ir.Instr) (ir.Value, error) {
+	switch v := a.(type) {
+	case *ir.Const:
+		c := *v
+		return &c, nil
+	case *ir.Param:
+		if ld, ok := params[v]; ok {
+			return ld, nil
+		}
+		return nil, fmt.Errorf("irpass: unknown parameter %%%s", v.Name)
+	case *ir.Instr:
+		nv, ok := valOf[v]
+		if !ok {
+			return nil, fmt.Errorf("irpass: operand %%%s not cloned", v.Name)
+		}
+		return nv, nil
+	}
+	return nil, fmt.Errorf("irpass: unsupported operand %T", a)
+}
+
+func paramLoadType(p *ir.Param) ir.Type {
+	if p.Ty == ir.Ptr {
+		return ir.Ptr
+	}
+	return ir.I64
+}
+
+// indexOfInstr finds in within b, or -1.
+func indexOfInstr(b *ir.Block, in *ir.Instr) int {
+	for i, x := range b.Instrs {
+		if x == in {
+			return i
+		}
+	}
+	return -1
+}
+
+// insertAllocaTop places in after existing leading allocas of entry.
+func insertAllocaTop(entry *ir.Block, in *ir.Instr) {
+	pos := 0
+	for pos < len(entry.Instrs) && entry.Instrs[pos].Op == ir.OpAlloca {
+		pos++
+	}
+	entry.Instrs = append(entry.Instrs, nil)
+	copy(entry.Instrs[pos+1:], entry.Instrs[pos:])
+	entry.Instrs[pos] = in
+	in.Parent = entry
+}
+
+// nameCounter derives a unique-ish counter from the function's size.
+func nameCounter(f *ir.Function) int { return f.NumInstrs() }

@@ -1,0 +1,185 @@
+package irpass
+
+import (
+	"strings"
+	"testing"
+
+	"merlin/internal/ir"
+)
+
+const inlineSrc = `module "in"
+func helper(%a: i64, %b: i64) -> i64 {
+entry:
+  %s = bin add i64 %a, %b
+  %c = icmp ugt i64 %s, 100
+  condbr %c, big, small
+big:
+  ret 100
+small:
+  %a2 = load i64, %aslot, align 8
+  ret %a2
+}
+
+func main(%ctx: ptr) -> i64 {
+entry:
+  %x = load i64, %ctx, align 8
+  %r = call_local @helper, %x, 5
+  %out = bin add i64 %r, 1
+  ret %out
+}
+`
+
+// The helper above references %aslot which doesn't exist — build a correct
+// version programmatically instead; the string form documents the syntax.
+func buildInlineModule(t *testing.T) *ir.Module {
+	t.Helper()
+	b := ir.NewModule("in")
+
+	pa := &ir.Param{Name: "a", Ty: ir.I64}
+	pb2 := &ir.Param{Name: "b", Ty: ir.I64}
+	b.NewFunc("helper", pa, pb2)
+	s := b.Bin(ir.Add, ir.I64, pa, pb2)
+	c := b.ICmp(ir.UGT, s, ir.ConstInt(ir.I64, 100))
+	big := b.Block("big")
+	small := b.Block("small")
+	b.CondBr(c, big, small)
+	b.SetBlock(big)
+	b.Ret(ir.ConstInt(ir.I64, 100))
+	b.SetBlock(small)
+	// Cross-block rule: reload the parameter, which is function-scoped.
+	s2 := b.Bin(ir.Mul, ir.I64, pa, ir.ConstInt(ir.I64, 2))
+	b.Ret(s2)
+
+	ctx := &ir.Param{Name: "ctx", Ty: ir.Ptr}
+	b.NewFunc("main", ctx)
+	x := b.Load(ir.I64, ctx, 8)
+	r := b.CallLocal("helper", x, ir.ConstInt(ir.I64, 5))
+	out := b.Bin(ir.Add, ir.I64, r, ir.ConstInt(ir.I64, 1))
+	b.Ret(out)
+
+	if err := ir.Validate(b.Mod); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	return b.Mod
+}
+
+func TestInlineSplicesCall(t *testing.T) {
+	mod := buildInlineModule(t)
+	n, err := Inline(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("inlined %d, want 1", n)
+	}
+	main := mod.Func("main")
+	for _, blk := range main.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.OpCallLocal {
+				t.Fatalf("call survived inlining:\n%s", ir.Print(mod))
+			}
+		}
+	}
+	if err := ir.Validate(mod); err != nil {
+		t.Fatalf("post-inline IR invalid: %v\n%s", err, ir.Print(mod))
+	}
+	// Both helper arms must now exist inside main.
+	text := ir.Print(mod)
+	if !strings.Contains(text, "big.helper") || !strings.Contains(text, "small.helper") {
+		t.Fatalf("helper blocks missing from main:\n%s", text)
+	}
+}
+
+func TestInlineRejectsRecursion(t *testing.T) {
+	b := ir.NewModule("rec")
+	ctx := &ir.Param{Name: "ctx", Ty: ir.Ptr}
+	b.NewFunc("loopy", ctx)
+	b.CallLocal("loopy", ctx)
+	b.Ret(ir.ConstInt(ir.I64, 0))
+	if _, err := Inline(b.Mod); err == nil || !strings.Contains(err.Error(), "recursive") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInlineUnknownCallee(t *testing.T) {
+	b := ir.NewModule("u")
+	ctx := &ir.Param{Name: "ctx", Ty: ir.Ptr}
+	b.NewFunc("f", ctx)
+	b.Cur.Append(&ir.Instr{Name: "x", Op: ir.OpCallLocal, Target: "ghost"})
+	b.Ret(ir.ConstInt(ir.I64, 0))
+	if _, err := Inline(b.Mod); err == nil || !strings.Contains(err.Error(), "unknown local function") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInlineNestedCalls(t *testing.T) {
+	b := ir.NewModule("nest")
+	a := &ir.Param{Name: "a", Ty: ir.I64}
+	b.NewFunc("leaf", a)
+	v := b.Bin(ir.Add, ir.I64, a, ir.ConstInt(ir.I64, 1))
+	b.Ret(v)
+
+	x := &ir.Param{Name: "x", Ty: ir.I64}
+	b.NewFunc("mid", x)
+	r := b.CallLocal("leaf", x)
+	r2 := b.Bin(ir.Mul, ir.I64, r, ir.ConstInt(ir.I64, 3))
+	b.Ret(r2)
+
+	ctx := &ir.Param{Name: "ctx", Ty: ir.Ptr}
+	b.NewFunc("main", ctx)
+	y := b.Load(ir.I64, ctx, 8)
+	z := b.CallLocal("mid", y)
+	b.Ret(z)
+
+	if err := ir.Validate(b.Mod); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Inline(b.Mod)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, ir.Print(b.Mod))
+	}
+	if n < 2 {
+		t.Fatalf("inlined %d, want >= 2 (nested)", n)
+	}
+	if err := ir.Validate(b.Mod); err != nil {
+		t.Fatalf("post-inline invalid: %v\n%s", err, ir.Print(b.Mod))
+	}
+}
+
+func TestCallLocalParsePrint(t *testing.T) {
+	src := `module "clp"
+func helper(%a: i64) -> i64 {
+entry:
+  %r = bin add i64 %a, 7
+  ret %r
+}
+
+func main(%ctx: ptr) -> i64 {
+entry:
+  %x = load i64, %ctx, align 8
+  %r = call_local @helper, %x
+  ret %r
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ir.Parse(ir.Print(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Print(m) != ir.Print(again) {
+		t.Fatal("call_local round trip mismatch")
+	}
+	// Undefined callee rejected by the validator.
+	bad := strings.Replace(src, "@helper, %x", "@ghost, %x", 1)
+	if _, err := ir.Parse(bad); err == nil {
+		t.Fatal("call_local to ghost accepted")
+	}
+	// Arity mismatch rejected.
+	bad2 := strings.Replace(src, "@helper, %x", "@helper, %x, %x", 1)
+	if _, err := ir.Parse(bad2); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}

@@ -1,0 +1,102 @@
+// Package irpass implements the IR-tier optimizations of the Merlin
+// pipeline: a handful of generic clang-O2-style cleanups (constant folding,
+// dead code elimination, store-to-load forwarding) and the two passes the
+// paper contributes at this tier — data alignment optimization (Opt 3) and
+// macro-op fusion into atomic read-modify-writes (Opt 4).
+package irpass
+
+import (
+	"time"
+
+	"merlin/internal/ir"
+)
+
+// Pass is a function-level transformation. It returns the number of rewrites
+// it performed (zero means the function was left untouched).
+type Pass struct {
+	Name string
+	Run  func(*ir.Function) int
+}
+
+// Stat records one pass execution for the compilation-cost experiments.
+type Stat struct {
+	Pass     string
+	Applied  int
+	Duration time.Duration
+}
+
+// Manager runs a pipeline of passes over every function of a module and
+// accumulates per-pass statistics.
+type Manager struct {
+	Passes []Pass
+	Stats  []Stat
+}
+
+// Generic returns the clang-O2-analog pipeline that runs before Merlin's own
+// IR optimizers (Fig 1: "the IR first undergoes optimizations by clang").
+func Generic() []Pass {
+	return []Pass{
+		{Name: "constfold", Run: ConstFold},
+		{Name: "s2lforward", Run: StoreToLoadForward},
+		{Name: "dce", Run: DCE},
+	}
+}
+
+// Merlin returns the paper's IR-tier optimizers (§4.1).
+func Merlin() []Pass {
+	return []Pass{
+		{Name: "DAO", Run: DataAlignment},
+		{Name: "MoF", Run: MacroOpFusion},
+	}
+}
+
+// Run applies every pass to every function, in order, recording stats.
+func (m *Manager) Run(mod *ir.Module) {
+	for _, p := range m.Passes {
+		start := time.Now()
+		applied := 0
+		for _, f := range mod.Funcs {
+			applied += p.Run(f)
+		}
+		m.Stats = append(m.Stats, Stat{Pass: p.Name, Applied: applied, Duration: time.Since(start)})
+	}
+}
+
+// useCounts returns how many operand slots reference each instruction value.
+func useCounts(f *ir.Function) map[*ir.Instr]int {
+	uses := map[*ir.Instr]int{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if ai, ok := a.(*ir.Instr); ok {
+					uses[ai]++
+				}
+			}
+		}
+	}
+	return uses
+}
+
+// replaceUses rewrites every operand referencing old to new.
+func replaceUses(f *ir.Function, old, new ir.Value) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				if a == old {
+					in.Args[i] = new
+				}
+			}
+		}
+	}
+}
+
+// removeInstr deletes in from its block.
+func removeInstr(in *ir.Instr) {
+	b := in.Parent
+	for i, x := range b.Instrs {
+		if x == in {
+			b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+			return
+		}
+	}
+}

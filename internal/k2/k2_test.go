@@ -1,0 +1,164 @@
+package k2
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"merlin/internal/ebpf"
+	"merlin/internal/helpers"
+	"merlin/internal/verifier"
+	"merlin/internal/vm"
+)
+
+// wastefulProg contains easy-to-find slack: a dead mov and a two-step store.
+func wastefulProg() *ebpf.Program {
+	return &ebpf.Program{
+		Name: "waste",
+		Hook: ebpf.HookXDP,
+		Insns: []ebpf.Instruction{
+			ebpf.Mov64Imm(ebpf.R4, 99), // dead
+			ebpf.Mov64Imm(ebpf.R1, 1),
+			ebpf.StoreMem(ebpf.SizeDW, ebpf.R10, -8, ebpf.R1),
+			ebpf.LoadMem(ebpf.SizeDW, ebpf.R0, ebpf.R10, -8),
+			ebpf.ALU64Imm(ebpf.ALUAdd, ebpf.R0, 1),
+			ebpf.Exit(),
+		},
+	}
+}
+
+func TestOptimizeFindsImprovements(t *testing.T) {
+	prog := wastefulProg()
+	out, st, err := Optimize(prog, Options{Seed: 1, Iterations: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NIAfter > st.NIBefore {
+		t.Fatalf("K2 made the program bigger: %d → %d", st.NIBefore, st.NIAfter)
+	}
+	if st.NIAfter >= st.NIBefore {
+		t.Logf("no improvement found in budget (NI %d); acceptable but unusual", st.NIAfter)
+	}
+	// The result must still verify and be semantically equal.
+	if !verifier.Verify(out, verifier.Options{}).Passed {
+		t.Fatal("K2 output rejected by verifier")
+	}
+	for _, n := range []int{1, 14, 60} {
+		pkt := make([]byte, n)
+		want := run(t, prog, pkt)
+		got := run(t, out, pkt)
+		if want != got {
+			t.Fatalf("pkt len %d: want %d, got %d", n, want, got)
+		}
+	}
+}
+
+func run(t *testing.T, p *ebpf.Program, pkt []byte) int64 {
+	t.Helper()
+	m, err := vm.New(p, vm.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, _, err := m.Run(vm.BuildXDPContext(len(pkt)), pkt)
+	if err != nil {
+		t.Fatalf("vm: %v", err)
+	}
+	return ret
+}
+
+func TestOptimizeDeterministic(t *testing.T) {
+	a, sa, err := Optimize(wastefulProg(), Options{Seed: 42, Iterations: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, sb, err := Optimize(wastefulProg(), Options{Seed: 42, Iterations: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.NIAfter != sb.NIAfter || a.NI() != b.NI() {
+		t.Fatalf("same seed diverged: %d vs %d", a.NI(), b.NI())
+	}
+}
+
+func TestSupportsRestrictions(t *testing.T) {
+	tp := wastefulProg()
+	tp.Hook = ebpf.HookTracepoint
+	if err := Supports(tp); err == nil || !strings.Contains(err.Error(), "XDP") {
+		t.Fatalf("err = %v, want XDP restriction", err)
+	}
+
+	v3 := wastefulProg()
+	v3.Insns[1] = ebpf.Mov32Imm(ebpf.R1, 1)
+	if err := Supports(v3); err == nil || !strings.Contains(err.Error(), "v2") {
+		t.Fatalf("err = %v, want v2 restriction", err)
+	}
+
+	helper := wastefulProg()
+	helper.Insns = append([]ebpf.Instruction{ebpf.Call(helpers.GetPrandomU32)}, helper.Insns...)
+	if err := Supports(helper); err == nil || !strings.Contains(err.Error(), "formalized") {
+		t.Fatalf("err = %v, want helper restriction", err)
+	}
+
+	big := wastefulProg()
+	for len(big.Insns) < MaxProgramSize+10 {
+		big.Insns = append(big.Insns[:len(big.Insns)-1], ebpf.Mov64Imm(ebpf.R3, 0), ebpf.Exit())
+	}
+	if err := Supports(big); err == nil || !strings.Contains(err.Error(), "too large") {
+		t.Fatalf("err = %v, want size restriction", err)
+	}
+}
+
+func TestModeledSearchTimeCalibration(t *testing.T) {
+	small := ModeledSearchTime(18)
+	if small < 30*time.Second || small > 5*time.Minute {
+		t.Fatalf("18-insn model = %v", small)
+	}
+	big := ModeledSearchTime(1771)
+	if big < 36*time.Hour || big > 96*time.Hour {
+		t.Fatalf("1771-insn model = %v, want ≈ 2-3 days", big)
+	}
+	if ModeledSearchTime(100) >= ModeledSearchTime(1000) {
+		t.Fatal("model must grow with size")
+	}
+}
+
+func TestOptimizePreservesMapSemantics(t *testing.T) {
+	prog := &ebpf.Program{
+		Name: "mapcount",
+		Hook: ebpf.HookXDP,
+		Insns: []ebpf.Instruction{
+			ebpf.Mov64Imm(ebpf.R1, 0),
+			ebpf.StoreMem(ebpf.SizeW, ebpf.R10, -4, ebpf.R1),
+			ebpf.LoadMapPtr(ebpf.R1, 0),
+			ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+			ebpf.ALU64Imm(ebpf.ALUAdd, ebpf.R2, -4),
+			ebpf.Call(helpers.MapLookupElem),
+			ebpf.JumpImm(ebpf.JumpNE, ebpf.R0, 0, 2),
+			ebpf.Mov64Imm(ebpf.R0, 1),
+			ebpf.Exit(),
+			ebpf.Mov64Imm(ebpf.R1, 1),
+			ebpf.Atomic(ebpf.SizeDW, ebpf.AtomicAdd, ebpf.R0, 0, ebpf.R1),
+			ebpf.Mov64Imm(ebpf.R0, 2),
+			ebpf.Exit(),
+		},
+		Maps: []ebpf.MapSpec{{Name: "c", Kind: 0, KeySize: 4, ValueSize: 8, MaxEntries: 2}},
+	}
+	out, _, err := Optimize(prog, Options{Seed: 3, Iterations: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count with both and compare map contents.
+	check := func(p *ebpf.Program) byte {
+		m, _ := vm.New(p, vm.Config{Seed: 7})
+		for i := 0; i < 3; i++ {
+			pkt := make([]byte, 20)
+			if _, _, err := m.Run(vm.BuildXDPContext(len(pkt)), pkt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m.Map(0).Backing()[0]
+	}
+	if check(prog) != check(out) {
+		t.Fatal("map side effects diverged")
+	}
+}

@@ -1,0 +1,206 @@
+// Package maps implements the eBPF map types the corpus programs use:
+// arrays, per-CPU arrays, hash maps, and a perf-event ring buffer. Values
+// live in stable backing stores so the VM can hand out pointers into them,
+// exactly like the kernel returns direct value pointers from
+// bpf_map_lookup_elem.
+package maps
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"merlin/internal/ebpf"
+)
+
+// Map is the common interface of all map kinds.
+type Map interface {
+	Spec() ebpf.MapSpec
+	// Backing returns the stable store that value pointers point into.
+	Backing() []byte
+	// Lookup returns the offset of the value for key within Backing, or -1.
+	// cpu selects the slice for per-CPU maps.
+	Lookup(key []byte, cpu int) int
+	// Update writes value for key. Returns an error when the map is full or
+	// the key/value sizes are wrong.
+	Update(key, value []byte, cpu int) error
+	// Delete removes key; it is a no-op for array maps.
+	Delete(key []byte) error
+}
+
+// New instantiates a map from its spec. ncpu sizes per-CPU maps.
+func New(spec ebpf.MapSpec, ncpu int) (Map, error) {
+	if spec.MaxEntries <= 0 || spec.ValueSize <= 0 {
+		return nil, fmt.Errorf("maps: %s: non-positive size", spec.Name)
+	}
+	switch spec.Kind {
+	case 0: // ir.MapArray
+		if spec.KeySize != 4 {
+			return nil, fmt.Errorf("maps: array %s: key size must be 4", spec.Name)
+		}
+		return &Array{spec: spec, store: make([]byte, spec.ValueSize*spec.MaxEntries), cpus: 1}, nil
+	case 2: // ir.MapPerCPUArray
+		if spec.KeySize != 4 {
+			return nil, fmt.Errorf("maps: percpu array %s: key size must be 4", spec.Name)
+		}
+		return &Array{spec: spec, store: make([]byte, spec.ValueSize*spec.MaxEntries*ncpu), cpus: ncpu}, nil
+	case 1: // ir.MapHash
+		return &Hash{
+			spec:  spec,
+			store: make([]byte, spec.ValueSize*spec.MaxEntries),
+			slots: map[string]int{},
+			free:  nil,
+		}, nil
+	case 3: // ir.MapRingBuf
+		return &RingBuf{spec: spec, store: make([]byte, spec.ValueSize*spec.MaxEntries)}, nil
+	}
+	return nil, fmt.Errorf("maps: %s: unknown kind %d", spec.Name, spec.Kind)
+}
+
+// Array is BPF_MAP_TYPE_ARRAY / PERCPU_ARRAY.
+type Array struct {
+	spec  ebpf.MapSpec
+	store []byte
+	cpus  int
+}
+
+// Spec implements Map.
+func (a *Array) Spec() ebpf.MapSpec { return a.spec }
+
+// Backing implements Map.
+func (a *Array) Backing() []byte { return a.store }
+
+// Lookup implements Map; keys are little-endian u32 indices.
+func (a *Array) Lookup(key []byte, cpu int) int {
+	if len(key) < 4 {
+		return -1
+	}
+	idx := int(binary.LittleEndian.Uint32(key))
+	if idx >= a.spec.MaxEntries {
+		return -1
+	}
+	if a.cpus > 1 {
+		return (cpu*a.spec.MaxEntries + idx) * a.spec.ValueSize
+	}
+	return idx * a.spec.ValueSize
+}
+
+// Update implements Map.
+func (a *Array) Update(key, value []byte, cpu int) error {
+	off := a.Lookup(key, cpu)
+	if off < 0 {
+		return fmt.Errorf("maps: %s: index out of range", a.spec.Name)
+	}
+	if len(value) != a.spec.ValueSize {
+		return fmt.Errorf("maps: %s: value size %d != %d", a.spec.Name, len(value), a.spec.ValueSize)
+	}
+	copy(a.store[off:], value)
+	return nil
+}
+
+// Delete implements Map; array entries cannot be deleted.
+func (a *Array) Delete([]byte) error { return nil }
+
+// Hash is BPF_MAP_TYPE_HASH with stable value slots.
+type Hash struct {
+	spec  ebpf.MapSpec
+	store []byte
+	slots map[string]int // key bytes → slot index
+	free  []int
+	next  int
+}
+
+// Spec implements Map.
+func (h *Hash) Spec() ebpf.MapSpec { return h.spec }
+
+// Backing implements Map.
+func (h *Hash) Backing() []byte { return h.store }
+
+// Lookup implements Map.
+func (h *Hash) Lookup(key []byte, _ int) int {
+	if len(key) != h.spec.KeySize {
+		return -1
+	}
+	slot, ok := h.slots[string(key)]
+	if !ok {
+		return -1
+	}
+	return slot * h.spec.ValueSize
+}
+
+// Update implements Map.
+func (h *Hash) Update(key, value []byte, _ int) error {
+	if len(key) != h.spec.KeySize {
+		return fmt.Errorf("maps: %s: key size %d != %d", h.spec.Name, len(key), h.spec.KeySize)
+	}
+	if len(value) != h.spec.ValueSize {
+		return fmt.Errorf("maps: %s: value size %d != %d", h.spec.Name, len(value), h.spec.ValueSize)
+	}
+	if slot, ok := h.slots[string(key)]; ok {
+		copy(h.store[slot*h.spec.ValueSize:], value)
+		return nil
+	}
+	var slot int
+	switch {
+	case len(h.free) > 0:
+		slot = h.free[len(h.free)-1]
+		h.free = h.free[:len(h.free)-1]
+	case h.next < h.spec.MaxEntries:
+		slot = h.next
+		h.next++
+	default:
+		return fmt.Errorf("maps: %s: full", h.spec.Name)
+	}
+	h.slots[string(key)] = slot
+	copy(h.store[slot*h.spec.ValueSize:], value)
+	return nil
+}
+
+// Delete implements Map.
+func (h *Hash) Delete(key []byte) error {
+	slot, ok := h.slots[string(key)]
+	if !ok {
+		return fmt.Errorf("maps: %s: no such key", h.spec.Name)
+	}
+	delete(h.slots, string(key))
+	h.free = append(h.free, slot)
+	return nil
+}
+
+// Len returns the number of live entries (test/inspection helper).
+func (h *Hash) Len() int { return len(h.slots) }
+
+// RingBuf is a byte ring used as the perf-event output channel.
+type RingBuf struct {
+	spec   ebpf.MapSpec
+	store  []byte
+	head   int
+	Events uint64
+	Bytes  uint64
+}
+
+// Spec implements Map.
+func (r *RingBuf) Spec() ebpf.MapSpec { return r.spec }
+
+// Backing implements Map.
+func (r *RingBuf) Backing() []byte { return r.store }
+
+// Lookup implements Map; ring buffers are not lookup-able.
+func (r *RingBuf) Lookup([]byte, int) int { return -1 }
+
+// Update implements Map; rings are written via Output.
+func (r *RingBuf) Update([]byte, []byte, int) error {
+	return fmt.Errorf("maps: %s: ring buffers use output, not update", r.spec.Name)
+}
+
+// Delete implements Map.
+func (r *RingBuf) Delete([]byte) error { return nil }
+
+// Output appends an event record, wrapping at the ring's end.
+func (r *RingBuf) Output(data []byte) {
+	r.Events++
+	r.Bytes += uint64(len(data))
+	for _, b := range data {
+		r.store[r.head] = b
+		r.head = (r.head + 1) % len(r.store)
+	}
+}

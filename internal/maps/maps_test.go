@@ -1,0 +1,182 @@
+package maps
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"merlin/internal/ebpf"
+)
+
+func key32(i uint32) []byte {
+	k := make([]byte, 4)
+	binary.LittleEndian.PutUint32(k, i)
+	return k
+}
+
+func TestArrayMap(t *testing.T) {
+	m, err := New(ebpf.MapSpec{Name: "a", Kind: 0, KeySize: 4, ValueSize: 8, MaxEntries: 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off := m.Lookup(key32(2), 0); off != 16 {
+		t.Fatalf("lookup off = %d", off)
+	}
+	if off := m.Lookup(key32(4), 0); off != -1 {
+		t.Fatal("out-of-range index should miss")
+	}
+	val := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := m.Update(key32(2), val, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Backing()[16:24]; !bytes.Equal(got, val) {
+		t.Fatalf("backing = %v", got)
+	}
+	if err := m.Update(key32(9), val, 0); err == nil {
+		t.Fatal("update out of range should fail")
+	}
+	if err := m.Update(key32(1), []byte{1}, 0); err == nil {
+		t.Fatal("short value should fail")
+	}
+	if err := m.Delete(key32(1)); err != nil {
+		t.Fatal("array delete should be a no-op")
+	}
+}
+
+func TestPerCPUArrayIsolation(t *testing.T) {
+	m, err := New(ebpf.MapSpec{Name: "p", Kind: 2, KeySize: 4, ValueSize: 8, MaxEntries: 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []byte{9, 0, 0, 0, 0, 0, 0, 0}
+	if err := m.Update(key32(1), v, 3); err != nil {
+		t.Fatal(err)
+	}
+	off0 := m.Lookup(key32(1), 0)
+	off3 := m.Lookup(key32(1), 3)
+	if off0 == off3 {
+		t.Fatal("per-cpu slots must differ")
+	}
+	if m.Backing()[off3] != 9 || m.Backing()[off0] == 9 {
+		t.Fatal("per-cpu write leaked")
+	}
+}
+
+func TestHashMapBasics(t *testing.T) {
+	m, err := New(ebpf.MapSpec{Name: "h", Kind: 1, KeySize: 8, ValueSize: 4, MaxEntries: 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.(*Hash)
+	k1 := []byte{1, 0, 0, 0, 0, 0, 0, 0}
+	k2 := []byte{2, 0, 0, 0, 0, 0, 0, 0}
+	k3 := []byte{3, 0, 0, 0, 0, 0, 0, 0}
+	if off := m.Lookup(k1, 0); off != -1 {
+		t.Fatal("empty map should miss")
+	}
+	if err := m.Update(k1, []byte{1, 1, 1, 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(k2, []byte{2, 2, 2, 2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(k3, []byte{3, 3, 3, 3}, 0); err == nil {
+		t.Fatal("full map should reject")
+	}
+	if err := m.Delete(k1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(k3, []byte{3, 3, 3, 3}, 0); err != nil {
+		t.Fatal("freed slot should be reusable")
+	}
+	if h.Len() != 2 {
+		t.Fatalf("len = %d", h.Len())
+	}
+	off := m.Lookup(k3, 0)
+	if off < 0 || m.Backing()[off] != 3 {
+		t.Fatal("lookup after reuse broken")
+	}
+	if err := m.Delete(k1); err == nil {
+		t.Fatal("double delete should fail")
+	}
+}
+
+// Property: hash map behaves like a Go map under random workloads.
+func TestHashMapModelProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		spec := ebpf.MapSpec{Name: "h", Kind: 1, KeySize: 2, ValueSize: 2, MaxEntries: 16}
+		m, err := New(spec, 1)
+		if err != nil {
+			return false
+		}
+		model := map[uint16]uint16{}
+		for i, op := range ops {
+			key := make([]byte, 2)
+			binary.LittleEndian.PutUint16(key, op%32)
+			switch i % 3 {
+			case 0, 1: // update
+				val := make([]byte, 2)
+				binary.LittleEndian.PutUint16(val, uint16(i))
+				if err := m.Update(key, val, 0); err == nil {
+					model[op%32] = uint16(i)
+				} else if len(model) < 16 {
+					return false // rejected despite free space
+				}
+			case 2: // delete
+				err := m.Delete(key)
+				_, had := model[op%32]
+				if had != (err == nil) {
+					return false
+				}
+				delete(model, op%32)
+			}
+		}
+		for k, v := range model {
+			key := make([]byte, 2)
+			binary.LittleEndian.PutUint16(key, k)
+			off := m.Lookup(key, 0)
+			if off < 0 {
+				return false
+			}
+			if binary.LittleEndian.Uint16(m.Backing()[off:]) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingBuf(t *testing.T) {
+	m, err := New(ebpf.MapSpec{Name: "r", Kind: 3, KeySize: 0, ValueSize: 16, MaxEntries: 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := m.(*RingBuf)
+	rb.Output([]byte("hello"))
+	rb.Output(make([]byte, 100)) // wraps
+	if rb.Events != 2 || rb.Bytes != 105 {
+		t.Fatalf("events=%d bytes=%d", rb.Events, rb.Bytes)
+	}
+	if m.Lookup(nil, 0) != -1 {
+		t.Fatal("ring lookup should miss")
+	}
+	if err := m.Update(nil, nil, 0); err == nil {
+		t.Fatal("ring update should fail")
+	}
+}
+
+func TestNewRejectsBadSpecs(t *testing.T) {
+	if _, err := New(ebpf.MapSpec{Name: "x", Kind: 0, KeySize: 8, ValueSize: 8, MaxEntries: 1}, 1); err == nil {
+		t.Error("array with key!=4 should fail")
+	}
+	if _, err := New(ebpf.MapSpec{Name: "x", Kind: 9, KeySize: 4, ValueSize: 8, MaxEntries: 1}, 1); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if _, err := New(ebpf.MapSpec{Name: "x", Kind: 0, KeySize: 4, ValueSize: 0, MaxEntries: 1}, 1); err == nil {
+		t.Error("zero value size should fail")
+	}
+}

@@ -1,0 +1,126 @@
+package netbench
+
+import (
+	"testing"
+
+	"merlin/internal/ebpf"
+)
+
+// cheapProg drops everything after a header check.
+func cheapProg() *ebpf.Program {
+	return &ebpf.Program{Name: "cheap", Hook: ebpf.HookXDP, Insns: []ebpf.Instruction{
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R2, ebpf.R1, 0),
+		ebpf.Mov64Imm(ebpf.R0, 1),
+		ebpf.Exit(),
+	}}
+}
+
+// expensiveProg burns cycles on memory traffic.
+func expensiveProg() *ebpf.Program {
+	insns := []ebpf.Instruction{ebpf.LoadMem(ebpf.SizeDW, ebpf.R2, ebpf.R1, 0)}
+	for i := 0; i < 40; i++ {
+		insns = append(insns,
+			ebpf.Mov64Imm(ebpf.R3, int32(i)),
+			ebpf.StoreMem(ebpf.SizeDW, ebpf.R10, int16(-8*(i%32+1)), ebpf.R3),
+			ebpf.LoadMem(ebpf.SizeDW, ebpf.R4, ebpf.R10, int16(-8*(i%32+1))),
+		)
+	}
+	insns = append(insns, ebpf.Mov64Imm(ebpf.R0, 1), ebpf.Exit())
+	return &ebpf.Program{Name: "expensive", Hook: ebpf.HookXDP, Insns: insns}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	a, b := NewTrace(50, 3), NewTrace(50, 3)
+	for i := range a.Packets {
+		if string(a.Packets[i]) != string(b.Packets[i]) {
+			t.Fatal("traces differ for the same seed")
+		}
+		if len(a.Packets[i]) != 64 {
+			t.Fatalf("packet %d size %d, want 64", i, len(a.Packets[i]))
+		}
+	}
+	c := NewTrace(50, 4)
+	if string(a.Packets[0]) == string(c.Packets[0]) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestProfileThroughputOrdering(t *testing.T) {
+	tr := NewTrace(100, 1)
+	cheap, err := ProfileProgram(cheapProg(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ProfileProgram(expensiveProg(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cheap.ThroughputMpps() <= exp.ThroughputMpps() {
+		t.Fatalf("cheap %.3f Mpps should beat expensive %.3f Mpps",
+			cheap.ThroughputMpps(), exp.ThroughputMpps())
+	}
+	if cheap.MeanCycles <= 0 || exp.MeanCycles <= cheap.MeanCycles {
+		t.Fatalf("cycle ordering wrong: %f vs %f", cheap.MeanCycles, exp.MeanCycles)
+	}
+}
+
+func TestLatencyMonotoneInLoad(t *testing.T) {
+	tr := NewTrace(100, 1)
+	pr, err := ProfileProgram(cheapProg(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clang := pr.ThroughputMpps() * 0.8 // pretend baseline
+	best := pr.ThroughputMpps()
+	prev := 0.0
+	for l := LoadLow; l <= LoadSaturate; l++ {
+		lat := pr.LatencyUS(OfferedRate(l, clang, best))
+		if lat <= 0 {
+			t.Fatalf("%s latency = %f", l, lat)
+		}
+		if lat < prev {
+			t.Fatalf("latency decreased at %s: %f < %f", l, lat, prev)
+		}
+		prev = lat
+	}
+	// The queueing component must explode at saturation (the wire component
+	// is constant, so compare queueing delays).
+	low := pr.LatencyUS(OfferedRate(LoadLow, clang, best)) - wireLatencyUS
+	sat := pr.LatencyUS(OfferedRate(LoadSaturate, clang, best)) - wireLatencyUS
+	if sat < low*100 {
+		t.Fatalf("saturate queueing %.3f should dwarf low %.3f", sat, low)
+	}
+}
+
+func TestContextSwitchesScaleWithProgramCost(t *testing.T) {
+	tr := NewTrace(100, 1)
+	cheap, _ := ProfileProgram(cheapProg(), tr)
+	exp, _ := ProfileProgram(expensiveProg(), tr)
+	rate := 1e6 // same offered load
+	if cheap.ContextSwitches(rate, 5) >= exp.ContextSwitches(rate, 5) {
+		t.Fatal("longer programs should context-switch more at equal load")
+	}
+}
+
+func TestHWCountersPopulated(t *testing.T) {
+	tr := NewTrace(100, 1)
+	pr, err := ProfileProgram(expensiveProg(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.CacheRefsPer1k() <= 0 {
+		t.Fatal("cache refs missing")
+	}
+	if pr.BranchMissesPer1k() < 0 {
+		t.Fatal("branch misses negative")
+	}
+}
+
+func TestLoadStrings(t *testing.T) {
+	want := []string{"low", "medium", "high", "saturate"}
+	for i, l := range []Load{LoadLow, LoadMedium, LoadHigh, LoadSaturate} {
+		if l.String() != want[i] {
+			t.Errorf("load %d = %q", i, l.String())
+		}
+	}
+}

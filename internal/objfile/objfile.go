@@ -1,0 +1,82 @@
+// Package objfile defines the on-disk container the command-line tools
+// exchange: a JSON envelope carrying a program's metadata, map specs, and
+// hex-encoded instruction stream. merlinc writes it; merlin-objdump and
+// merlin-verify read it.
+package objfile
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"merlin/internal/ebpf"
+)
+
+// File is the serialized form of one compiled program.
+type File struct {
+	Name  string         `json:"name"`
+	Hook  string         `json:"hook"`
+	MCPU  int            `json:"mcpu"`
+	Maps  []ebpf.MapSpec `json:"maps,omitempty"`
+	Insns string         `json:"insns"` // hex of the wire encoding
+}
+
+// hookNames maps between HookType and its serialized name.
+var hookNames = map[string]ebpf.HookType{
+	"xdp":           ebpf.HookXDP,
+	"tracepoint":    ebpf.HookTracepoint,
+	"kprobe":        ebpf.HookKprobe,
+	"socket_filter": ebpf.HookSocketFilter,
+}
+
+// Marshal serializes a program.
+func Marshal(p *ebpf.Program) ([]byte, error) {
+	f := File{
+		Name:  p.Name,
+		Hook:  p.Hook.String(),
+		MCPU:  p.MCPU,
+		Maps:  p.Maps,
+		Insns: hex.EncodeToString(p.Encode()),
+	}
+	return json.MarshalIndent(f, "", "  ")
+}
+
+// Unmarshal parses a serialized program.
+func Unmarshal(data []byte) (*ebpf.Program, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("objfile: %w", err)
+	}
+	hook, ok := hookNames[f.Hook]
+	if !ok {
+		return nil, fmt.Errorf("objfile: unknown hook %q", f.Hook)
+	}
+	raw, err := hex.DecodeString(f.Insns)
+	if err != nil {
+		return nil, fmt.Errorf("objfile: bad instruction hex: %w", err)
+	}
+	insns, err := ebpf.Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	return &ebpf.Program{Name: f.Name, Hook: hook, MCPU: f.MCPU, Maps: f.Maps, Insns: insns}, nil
+}
+
+// Write saves a program to path.
+func Write(path string, p *ebpf.Program) error {
+	data, err := Marshal(p)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Read loads a program from path.
+func Read(path string) (*ebpf.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(data)
+}

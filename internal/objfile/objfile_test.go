@@ -1,0 +1,78 @@
+package objfile
+
+import (
+	"path/filepath"
+	"testing"
+
+	"merlin/internal/ebpf"
+)
+
+func sampleProg() *ebpf.Program {
+	return &ebpf.Program{
+		Name: "sample",
+		Hook: ebpf.HookXDP,
+		MCPU: 2,
+		Insns: []ebpf.Instruction{
+			ebpf.LoadMapPtr(ebpf.R1, 0),
+			ebpf.LoadImm64(ebpf.R2, 0x1122334455667788),
+			ebpf.Mov64Imm(ebpf.R0, 2),
+			ebpf.Exit(),
+		},
+		Maps: []ebpf.MapSpec{{Name: "m", Kind: 1, KeySize: 4, ValueSize: 8, MaxEntries: 16}},
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	p := sampleProg()
+	data, err := Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != p.Name || q.Hook != p.Hook || q.MCPU != p.MCPU || q.NI() != p.NI() {
+		t.Fatalf("metadata mismatch: %+v", q)
+	}
+	if len(q.Maps) != 1 || q.Maps[0] != p.Maps[0] {
+		t.Fatalf("maps mismatch: %+v", q.Maps)
+	}
+	for i := range p.Insns {
+		if ebpf.Mnemonic(q.Insns[i]) != ebpf.Mnemonic(p.Insns[i]) {
+			t.Fatalf("insn %d mismatch", i)
+		}
+	}
+	if !q.Insns[0].IsMapLoad() {
+		t.Fatal("map pseudo load lost")
+	}
+}
+
+func TestWriteRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.json")
+	if err := Write(path, sampleProg()); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NI() != 6 {
+		t.Fatalf("NI = %d", q.NI())
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte("{")); err == nil {
+		t.Error("bad json accepted")
+	}
+	if _, err := Unmarshal([]byte(`{"hook":"nope","insns":""}`)); err == nil {
+		t.Error("bad hook accepted")
+	}
+	if _, err := Unmarshal([]byte(`{"hook":"xdp","insns":"zz"}`)); err == nil {
+		t.Error("bad hex accepted")
+	}
+	if _, err := Unmarshal([]byte(`{"hook":"xdp","insns":"00"}`)); err == nil {
+		t.Error("truncated insns accepted")
+	}
+}

@@ -1,0 +1,170 @@
+// Package sysbench reproduces the paper's runtime-overhead testbed (§5.4):
+// lmbench-style micro operations and a postmark-style macro workload, run
+// against a machine with a security suite's eBPF probes attached. Each
+// operation triggers a number of probe events; the probes' VM cycle costs
+// become the observability overhead, and Equation 1 turns the three
+// configurations (vanilla / original probes / Merlin probes) into an
+// overhead-reduction percentage.
+package sysbench
+
+import (
+	"fmt"
+
+	"merlin/internal/ebpf"
+	"merlin/internal/vm"
+)
+
+// CPUHz is the modelled application-server frequency (Ryzen 6800H class).
+const CPUHz = 3.2e9
+
+// MicroOp is one lmbench test: its vanilla latency (µs, straight from
+// Table 4's vanilla column) and how many probe events it triggers.
+type MicroOp struct {
+	Name      string
+	VanillaUS float64
+	Events    int
+}
+
+// LmbenchOps returns the fifteen Table 4 micro tests.
+func LmbenchOps() []MicroOp {
+	return []MicroOp{
+		{"NULL call", 0.06, 2},
+		{"NULL I/O", 0.12, 4},
+		{"stat", 0.36, 4},
+		{"open/close file", 0.79, 8},
+		{"signal install", 0.10, 2},
+		{"signal handle", 0.83, 4},
+		{"fork process", 72.87, 60},
+		{"exec process", 321.53, 260},
+		{"shell process", 738.76, 560},
+		{"file create (0k)", 4.78, 12},
+		{"file delete (0k)", 3.02, 8},
+		{"file create (10k)", 9.73, 22},
+		{"file delete (10k)", 5.00, 12},
+		{"AF_UNIX", 3.42, 14},
+		{"pipe", 5.24, 12},
+	}
+}
+
+// PostmarkVanillaS is the vanilla postmark wall time (Table 4).
+const PostmarkVanillaS = 58.86
+
+// PostmarkEvents is the number of probe events a postmark run triggers
+// (file-server transaction mix: creates, writes, reads, deletes).
+const PostmarkEvents = 2_400_000
+
+// ProbeSet is an attached collection of programs with measured per-event
+// costs.
+type ProbeSet struct {
+	machines []*vm.Machine
+	// PerEventCycles is the average cycles one event costs across the
+	// attached probe mix.
+	PerEventCycles float64
+	// PerEventStats aggregates the VM counters of one averaged event.
+	PerEventStats vm.Stats
+}
+
+// Attach loads a representative sample of suite programs and measures their
+// per-event cost with warmed caches. Real deployments attach hundreds of
+// probes but each syscall fires only its own handlers; the sample models
+// the handlers on the hot paths.
+func Attach(progs []*ebpf.Program) (*ProbeSet, error) {
+	if len(progs) == 0 {
+		return nil, fmt.Errorf("sysbench: empty probe set")
+	}
+	ps := &ProbeSet{}
+	var total vm.Stats
+	events := 0
+	for _, p := range progs {
+		m, err := vm.New(p, vm.Config{Seed: 77, UseHW: true})
+		if err != nil {
+			return nil, err
+		}
+		ps.machines = append(ps.machines, m)
+		// Warm.
+		for w := 0; w < 4; w++ {
+			ctx := vm.TracepointContext(uint64(w), 100, 2000, 3, 4, 5, 6, 7)
+			if _, _, err := m.Run(ctx, nil); err != nil {
+				return nil, fmt.Errorf("sysbench: %s: %w", p.Name, err)
+			}
+		}
+		for e := 0; e < 8; e++ {
+			ctx := vm.TracepointContext(uint64(e%6), uint64(40+e), 4096, 7, 9, 11, 13, 15)
+			_, st, err := m.Run(ctx, nil)
+			if err != nil {
+				return nil, fmt.Errorf("sysbench: %s: %w", p.Name, err)
+			}
+			total.Add(st)
+			events++
+		}
+	}
+	ps.PerEventCycles = float64(total.Cycles) / float64(events)
+	ps.PerEventStats = vm.Stats{
+		Instructions: total.Instructions / uint64(events),
+		Cycles:       total.Cycles / uint64(events),
+		CacheRefs:    total.CacheRefs / uint64(events),
+		CacheMisses:  total.CacheMisses / uint64(events),
+		Branches:     total.Branches / uint64(events),
+		BranchMisses: total.BranchMisses / uint64(events),
+	}
+	return ps, nil
+}
+
+// perEventUS converts the probe cost to microseconds.
+func (ps *ProbeSet) perEventUS() float64 {
+	return ps.PerEventCycles / CPUHz * 1e6
+}
+
+// MicroResult is one Table 4 row for one suite.
+type MicroResult struct {
+	Op        MicroOp
+	VanillaUS float64
+	WithoutUS float64 // original probes attached
+	WithUS    float64 // Merlin-optimized probes attached
+	Reduction float64 // Equation 1
+}
+
+// OverheadReduction implements Equation 1.
+func OverheadReduction(vanilla, without, with float64) float64 {
+	if without <= vanilla {
+		return 0
+	}
+	return 1 - (with/vanilla-1)/(without/vanilla-1)
+}
+
+// RunMicro evaluates the lmbench table for a pair of probe sets.
+func RunMicro(orig, merlin *ProbeSet) []MicroResult {
+	var out []MicroResult
+	for _, op := range LmbenchOps() {
+		wo := op.VanillaUS + float64(op.Events)*orig.perEventUS()
+		w := op.VanillaUS + float64(op.Events)*merlin.perEventUS()
+		out = append(out, MicroResult{
+			Op:        op,
+			VanillaUS: op.VanillaUS,
+			WithoutUS: wo,
+			WithUS:    w,
+			Reduction: OverheadReduction(op.VanillaUS, wo, w),
+		})
+	}
+	return out
+}
+
+// MacroResult is the postmark row.
+type MacroResult struct {
+	VanillaS  float64
+	WithoutS  float64
+	WithS     float64
+	Reduction float64
+}
+
+// RunPostmark evaluates the postmark macro test.
+func RunPostmark(orig, merlin *ProbeSet) MacroResult {
+	wo := PostmarkVanillaS + float64(PostmarkEvents)*orig.perEventUS()/1e6
+	w := PostmarkVanillaS + float64(PostmarkEvents)*merlin.perEventUS()/1e6
+	return MacroResult{
+		VanillaS:  PostmarkVanillaS,
+		WithoutS:  wo,
+		WithS:     w,
+		Reduction: OverheadReduction(PostmarkVanillaS, wo, w),
+	}
+}

@@ -1,0 +1,130 @@
+package sysbench
+
+import (
+	"math"
+	"testing"
+
+	"merlin/internal/ebpf"
+	"merlin/internal/helpers"
+)
+
+// probe builds a tracing program with n busywork store/load pairs.
+func probe(n int) *ebpf.Program {
+	insns := []ebpf.Instruction{
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R2, ebpf.R1, 0),
+	}
+	for i := 0; i < n; i++ {
+		insns = append(insns,
+			ebpf.Mov64Imm(ebpf.R3, int32(i)),
+			ebpf.StoreMem(ebpf.SizeDW, ebpf.R10, int16(-8*(i%16+1)), ebpf.R3),
+			ebpf.LoadMem(ebpf.SizeDW, ebpf.R4, ebpf.R10, int16(-8*(i%16+1))),
+		)
+	}
+	insns = append(insns, ebpf.Call(helpers.GetCurrentPidTgid), ebpf.Exit())
+	return &ebpf.Program{Name: "probe", Hook: ebpf.HookTracepoint, Insns: insns}
+}
+
+func TestAttachMeasuresCost(t *testing.T) {
+	small, err := Attach([]*ebpf.Program{probe(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Attach([]*ebpf.Program{probe(60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.PerEventCycles <= 0 || big.PerEventCycles <= small.PerEventCycles {
+		t.Fatalf("cost ordering wrong: %f vs %f", small.PerEventCycles, big.PerEventCycles)
+	}
+	if small.PerEventStats.Instructions == 0 {
+		t.Fatal("stats not populated")
+	}
+}
+
+func TestAttachEmptyFails(t *testing.T) {
+	if _, err := Attach(nil); err == nil {
+		t.Fatal("empty probe set accepted")
+	}
+}
+
+func TestOverheadReductionEquation(t *testing.T) {
+	// Paper Eq. 1 sanity: vanilla 1.0, original probes double the time,
+	// optimized probes add only half the overhead → 50% reduction.
+	if got := OverheadReduction(1.0, 2.0, 1.5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("reduction = %f, want 0.5", got)
+	}
+	// No overhead at all → full reduction.
+	if got := OverheadReduction(1.0, 2.0, 1.0); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("reduction = %f, want 1.0", got)
+	}
+	// Degenerate: probes add nothing.
+	if got := OverheadReduction(1.0, 1.0, 1.0); got != 0 {
+		t.Fatalf("degenerate reduction = %f", got)
+	}
+}
+
+func TestRunMicroOrdering(t *testing.T) {
+	orig, err := Attach([]*ebpf.Program{probe(60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Attach([]*ebpf.Program{probe(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := RunMicro(orig, opt)
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.WithUS >= r.WithoutUS {
+			t.Fatalf("%s: optimized not faster (%.3f vs %.3f)", r.Op.Name, r.WithUS, r.WithoutUS)
+		}
+		if r.Reduction <= 0 || r.Reduction > 1 {
+			t.Fatalf("%s: reduction %.3f out of range", r.Op.Name, r.Reduction)
+		}
+		if r.VanillaUS != r.Op.VanillaUS {
+			t.Fatalf("%s: vanilla mismatch", r.Op.Name)
+		}
+	}
+	// Cheap ops are dominated by probe cost → larger relative reduction for
+	// NULL call than for shell process.
+	var null, shell MicroResult
+	for _, r := range rows {
+		switch r.Op.Name {
+		case "NULL call":
+			null = r
+		case "shell process":
+			shell = r
+		}
+	}
+	nullOverhead := null.WithoutUS / null.VanillaUS
+	shellOverhead := shell.WithoutUS / shell.VanillaUS
+	if nullOverhead <= shellOverhead {
+		t.Fatalf("probe overhead should dominate cheap ops: %f vs %f", nullOverhead, shellOverhead)
+	}
+}
+
+func TestRunPostmark(t *testing.T) {
+	orig, _ := Attach([]*ebpf.Program{probe(60)})
+	opt, _ := Attach([]*ebpf.Program{probe(10)})
+	pm := RunPostmark(orig, opt)
+	if pm.WithoutS <= pm.VanillaS || pm.WithS <= pm.VanillaS {
+		t.Fatalf("postmark overhead missing: %+v", pm)
+	}
+	if pm.WithS >= pm.WithoutS || pm.Reduction <= 0 {
+		t.Fatalf("postmark reduction wrong: %+v", pm)
+	}
+}
+
+func TestLmbenchTableShape(t *testing.T) {
+	ops := LmbenchOps()
+	if len(ops) != 15 {
+		t.Fatalf("ops = %d", len(ops))
+	}
+	for _, op := range ops {
+		if op.VanillaUS <= 0 || op.Events <= 0 {
+			t.Fatalf("bad op %+v", op)
+		}
+	}
+}

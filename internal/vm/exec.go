@@ -1,0 +1,487 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"merlin/internal/ebpf"
+	"merlin/internal/helpers"
+)
+
+// BuildXDPContext returns the xdp_md-style context for a packet: two 64-bit
+// fields holding the packet data and data_end addresses.
+func BuildXDPContext(pktLen int) []byte {
+	ctx := make([]byte, 16)
+	binary.LittleEndian.PutUint64(ctx[0:], pktBase)
+	binary.LittleEndian.PutUint64(ctx[8:], pktBase+uint64(pktLen))
+	return ctx
+}
+
+// TracepointContext builds a raw-args context: each argument occupies eight
+// bytes. Pointer arguments into the machine's Kmem should be passed as
+// KmemAddr offsets.
+func TracepointContext(args ...uint64) []byte {
+	ctx := make([]byte, 8*len(args))
+	for i, a := range args {
+		binary.LittleEndian.PutUint64(ctx[8*i:], a)
+	}
+	return ctx
+}
+
+// KmemAddr converts an offset into Machine.Kmem to a VM address.
+func KmemAddr(off int) uint64 { return kmemBase + uint64(off) }
+
+// Run executes the loaded program against a context and (for XDP) a packet
+// buffer. It returns r0 and the per-run stats.
+func (m *Machine) Run(ctx, pkt []byte) (int64, Stats, error) {
+	var regs [ebpf.NumRegisters]uint64
+	regs[1] = ctxBase
+	regs[10] = stackBase
+	var st Stats
+	c := &m.cfg.Costs
+	insns := m.prog.Insns
+	slotOf := m.prog.SlotIndex()
+	// Map slot targets back to elements for branch resolution.
+	elemAt := make(map[int]int, len(insns))
+	for i := range insns {
+		elemAt[slotOf[i]] = i
+	}
+	m.ktime += 1000
+
+	memAccess := func(addr uint64, size int, write bool) ([]byte, int, error) {
+		buf, off, err := m.region(addr, size, ctx, pkt)
+		if err != nil {
+			return nil, 0, err
+		}
+		st.CacheRefs++
+		if m.Cache != nil {
+			if !m.Cache.Access(addr) {
+				st.CacheMisses++
+				st.Cycles += c.CacheMiss
+			}
+		}
+		return buf, off, nil
+	}
+
+	branch := func(i int, taken bool) {
+		st.Branches++
+		st.Cycles += c.Branch
+		if m.Pred != nil {
+			if !m.Pred.Predict(slotOf[i], taken) {
+				st.BranchMisses++
+				st.Cycles += c.BranchMiss
+			}
+		}
+	}
+
+	pc := 0
+	for step := 0; ; step++ {
+		if step >= m.cfg.StepLimit {
+			return 0, st, fmt.Errorf("vm: step limit exceeded")
+		}
+		if pc < 0 || pc >= len(insns) {
+			return 0, st, fmt.Errorf("vm: pc %d out of range", pc)
+		}
+		ins := insns[pc]
+		st.Instructions += uint64(ins.Slots())
+
+		switch ins.Class() {
+		case ebpf.ClassALU64:
+			st.Cycles += c.ALU
+			if err := execALU(&regs, ins, false, m); err != nil {
+				return 0, st, err
+			}
+		case ebpf.ClassALU:
+			st.Cycles += c.ALU
+			if err := execALU(&regs, ins, true, m); err != nil {
+				return 0, st, err
+			}
+		case ebpf.ClassLD:
+			if !ins.IsWide() {
+				return 0, st, fmt.Errorf("vm: unsupported legacy ld at %d", pc)
+			}
+			st.Cycles += c.WideImm
+			if ins.IsMapLoad() {
+				regs[ins.Dst] = mapHandle + uint64(ins.Imm64)
+			} else {
+				regs[ins.Dst] = uint64(ins.Imm64)
+			}
+		case ebpf.ClassLDX:
+			st.Cycles += c.Load
+			size := ins.SizeField().Bytes()
+			buf, off, err := memAccess(regs[ins.Src]+uint64(int64(ins.Offset)), size, false)
+			if err != nil {
+				return 0, st, fmt.Errorf("vm: insn %d (%s): %w", pc, ebpf.Mnemonic(ins), err)
+			}
+			regs[ins.Dst] = loadBytes(buf[off:], size)
+		case ebpf.ClassST, ebpf.ClassSTX:
+			size := ins.SizeField().Bytes()
+			addr := regs[ins.Dst] + uint64(int64(ins.Offset))
+			if ins.IsAtomic() {
+				st.Cycles += c.Atomic
+				buf, off, err := memAccess(addr, size, true)
+				if err != nil {
+					return 0, st, fmt.Errorf("vm: insn %d (%s): %w", pc, ebpf.Mnemonic(ins), err)
+				}
+				old := loadBytes(buf[off:], size)
+				var nv uint64
+				switch ebpf.AtomicOp(ins.Imm) {
+				case ebpf.AtomicAdd:
+					nv = old + regs[ins.Src]
+				case ebpf.AtomicOr:
+					nv = old | regs[ins.Src]
+				case ebpf.AtomicAnd:
+					nv = old & regs[ins.Src]
+				case ebpf.AtomicXor:
+					nv = old ^ regs[ins.Src]
+				default:
+					return 0, st, fmt.Errorf("vm: unknown atomic op %#x", ins.Imm)
+				}
+				storeBytes(buf[off:], size, nv)
+			} else {
+				st.Cycles += c.Store
+				buf, off, err := memAccess(addr, size, true)
+				if err != nil {
+					return 0, st, fmt.Errorf("vm: insn %d (%s): %w", pc, ebpf.Mnemonic(ins), err)
+				}
+				val := regs[ins.Src]
+				if ins.Class() == ebpf.ClassST {
+					val = uint64(int64(ins.Imm))
+				}
+				storeBytes(buf[off:], size, val)
+			}
+		case ebpf.ClassJMP, ebpf.ClassJMP32:
+			op := ins.JumpOpField()
+			switch op {
+			case ebpf.JumpExit:
+				st.Cycles += c.Branch
+				m.Total.Add(st)
+				return int64(regs[0]), st, nil
+			case ebpf.JumpCall:
+				st.Cycles += c.CallBase
+				st.HelperCalls++
+				if err := m.call(&regs, ins.Imm, &st, ctx, pkt); err != nil {
+					return 0, st, fmt.Errorf("vm: insn %d: %w", pc, err)
+				}
+			case ebpf.JumpAlways:
+				st.Cycles += c.Branch
+				tgt, ok := elemAt[slotOf[pc]+ins.Slots()+int(ins.Offset)]
+				if !ok {
+					return 0, st, fmt.Errorf("vm: bad jump target at %d", pc)
+				}
+				pc = tgt
+				continue
+			default:
+				taken := evalJump(ins, regs)
+				branch(pc, taken)
+				if taken {
+					tgt, ok := elemAt[slotOf[pc]+ins.Slots()+int(ins.Offset)]
+					if !ok {
+						return 0, st, fmt.Errorf("vm: bad branch target at %d", pc)
+					}
+					pc = tgt
+					continue
+				}
+			}
+		default:
+			return 0, st, fmt.Errorf("vm: unsupported class %s at %d", ins.Class(), pc)
+		}
+		pc++
+	}
+}
+
+func loadBytes(b []byte, size int) uint64 {
+	switch size {
+	case 1:
+		return uint64(b[0])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b))
+	default:
+		return binary.LittleEndian.Uint64(b)
+	}
+}
+
+func storeBytes(b []byte, size int, v uint64) {
+	switch size {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(b, v)
+	}
+}
+
+func execALU(regs *[ebpf.NumRegisters]uint64, ins ebpf.Instruction, is32 bool, m *Machine) error {
+	dst := ins.Dst
+	var src uint64
+	if ins.SourceField() == ebpf.SourceX {
+		src = regs[ins.Src]
+	} else {
+		src = uint64(int64(ins.Imm))
+	}
+	a := regs[dst]
+	if ins.ALUOpField() == ebpf.ALUEnd {
+		// Byte swap of the low imm bits, zero-extended (bswap16/32/64).
+		regs[dst] = bswapBits(a, ins.Imm)
+		return nil
+	}
+	if is32 {
+		a &= 0xffffffff
+		src &= 0xffffffff
+	}
+	bits := uint64(64)
+	if is32 {
+		bits = 32
+	}
+	var r uint64
+	switch ins.ALUOpField() {
+	case ebpf.ALUAdd:
+		r = a + src
+	case ebpf.ALUSub:
+		r = a - src
+	case ebpf.ALUMul:
+		r = a * src
+	case ebpf.ALUDiv:
+		if src == 0 {
+			r = 0
+		} else {
+			r = a / src
+		}
+	case ebpf.ALUMod:
+		if src == 0 {
+			r = a
+		} else {
+			r = a % src
+		}
+	case ebpf.ALUOr:
+		r = a | src
+	case ebpf.ALUAnd:
+		r = a & src
+	case ebpf.ALUXor:
+		r = a ^ src
+	case ebpf.ALULsh:
+		r = a << (src & (bits - 1))
+	case ebpf.ALURsh:
+		r = a >> (src & (bits - 1))
+	case ebpf.ALUArsh:
+		if is32 {
+			r = uint64(uint32(int32(uint32(a)) >> (src & 31)))
+		} else {
+			r = uint64(int64(a) >> (src & 63))
+		}
+	case ebpf.ALUNeg:
+		r = -a
+	case ebpf.ALUMov:
+		r = src
+	default:
+		return fmt.Errorf("vm: unsupported alu op %#x", ins.Opcode)
+	}
+	if is32 {
+		r &= 0xffffffff
+	}
+	regs[dst] = r
+	return nil
+}
+
+// bswapBits reverses the byte order of the low `bits` bits of v.
+func bswapBits(v uint64, bits int32) uint64 {
+	switch bits {
+	case 16:
+		return uint64(uint16(v)>>8 | uint16(v)<<8)
+	case 32:
+		x := uint32(v)
+		return uint64(x>>24 | x>>8&0xff00 | x<<8&0xff0000 | x<<24)
+	default:
+		r := uint64(0)
+		for i := 0; i < 8; i++ {
+			r = r<<8 | (v >> (8 * i) & 0xff)
+		}
+		return r
+	}
+}
+
+func evalJump(ins ebpf.Instruction, regs [ebpf.NumRegisters]uint64) bool {
+	a := regs[ins.Dst]
+	var b uint64
+	if ins.SourceField() == ebpf.SourceX {
+		b = regs[ins.Src]
+	} else {
+		b = uint64(int64(ins.Imm))
+	}
+	var sa, sb int64
+	if ins.Class() == ebpf.ClassJMP32 {
+		a &= 0xffffffff
+		b &= 0xffffffff
+		sa, sb = int64(int32(uint32(a))), int64(int32(uint32(b)))
+	} else {
+		sa, sb = int64(a), int64(b)
+	}
+	switch ins.JumpOpField() {
+	case ebpf.JumpEq:
+		return a == b
+	case ebpf.JumpNE:
+		return a != b
+	case ebpf.JumpGT:
+		return a > b
+	case ebpf.JumpGE:
+		return a >= b
+	case ebpf.JumpLT:
+		return a < b
+	case ebpf.JumpLE:
+		return a <= b
+	case ebpf.JumpSet:
+		return a&b != 0
+	case ebpf.JumpSGT:
+		return sa > sb
+	case ebpf.JumpSGE:
+		return sa >= sb
+	case ebpf.JumpSLT:
+		return sa < sb
+	case ebpf.JumpSLE:
+		return sa <= sb
+	}
+	return false
+}
+
+// call dispatches a helper invocation.
+func (m *Machine) call(regs *[ebpf.NumRegisters]uint64, id int32, st *Stats, ctx, pkt []byte) error {
+	spec, ok := helpers.Table[int(id)]
+	if !ok {
+		return fmt.Errorf("unknown helper %d", id)
+	}
+	st.Cycles += spec.Cost
+	r := func(i int) uint64 { return regs[i] }
+
+	mapArg := func(h uint64) (int, error) {
+		idx := int(h - mapHandle)
+		if h < mapHandle || idx >= len(m.maps) {
+			return 0, fmt.Errorf("%s: bad map handle %#x", spec.Name, h)
+		}
+		return idx, nil
+	}
+	readMem := func(addr uint64, n int) ([]byte, error) {
+		buf, off, err := m.region(addr, n, ctx, pkt)
+		if err != nil {
+			return nil, err
+		}
+		return buf[off : off+n], nil
+	}
+
+	switch int(id) {
+	case helpers.MapLookupElem:
+		idx, err := mapArg(r(1))
+		if err != nil {
+			return err
+		}
+		mp := m.maps[idx]
+		key, err := readMem(r(2), mp.Spec().KeySize)
+		if err != nil {
+			return err
+		}
+		off := mp.Lookup(key, m.cfg.CPU)
+		if off < 0 {
+			regs[0] = 0
+		} else {
+			regs[0] = mapValBase + uint64(idx)*mapValStep + uint64(off)
+		}
+	case helpers.MapUpdateElem:
+		idx, err := mapArg(r(1))
+		if err != nil {
+			return err
+		}
+		mp := m.maps[idx]
+		key, err := readMem(r(2), mp.Spec().KeySize)
+		if err != nil {
+			return err
+		}
+		val, err := readMem(r(3), mp.Spec().ValueSize)
+		if err != nil {
+			return err
+		}
+		if err := mp.Update(key, val, m.cfg.CPU); err != nil {
+			regs[0] = ^uint64(0) // -1
+		} else {
+			regs[0] = 0
+		}
+	case helpers.MapDeleteElem:
+		idx, err := mapArg(r(1))
+		if err != nil {
+			return err
+		}
+		mp := m.maps[idx]
+		key, err := readMem(r(2), mp.Spec().KeySize)
+		if err != nil {
+			return err
+		}
+		if err := mp.Delete(key); err != nil {
+			regs[0] = ^uint64(0)
+		} else {
+			regs[0] = 0
+		}
+	case helpers.ProbeRead:
+		n := int(r(2))
+		dst, err := readMem(r(1), n)
+		if err != nil {
+			return err
+		}
+		src, err := readMem(r(3), n)
+		if err != nil {
+			regs[0] = ^uint64(0)
+			return nil
+		}
+		copy(dst, src)
+		regs[0] = 0
+	case helpers.KtimeGetNS:
+		m.ktime += 137
+		regs[0] = m.ktime
+	case helpers.TracePrintk:
+		regs[0] = r(2)
+	case helpers.GetPrandomU32:
+		regs[0] = m.prandom() & 0xffffffff
+	case helpers.GetSmpProcessorID:
+		regs[0] = uint64(m.cfg.CPU)
+	case helpers.GetCurrentPidTgid:
+		regs[0] = (uint64(4242) << 32) | 4242
+	case helpers.GetCurrentComm:
+		n := int(r(2))
+		dst, err := readMem(r(1), n)
+		if err != nil {
+			return err
+		}
+		copy(dst, "comm")
+		regs[0] = 0
+	case helpers.Redirect:
+		regs[0] = uint64(ebpf.XDPRedirect)
+	case helpers.RedirectMap:
+		if _, err := mapArg(r(1)); err != nil {
+			return err
+		}
+		regs[0] = uint64(ebpf.XDPRedirect)
+	case helpers.PerfEventOutput:
+		idx, err := mapArg(r(2))
+		if err != nil {
+			return err
+		}
+		rb, ok := m.maps[idx].(interface{ Output([]byte) })
+		if !ok {
+			return fmt.Errorf("perf_event_output into non-ring map")
+		}
+		n := int(r(5))
+		data, err := readMem(r(4), n)
+		if err != nil {
+			return err
+		}
+		rb.Output(data)
+		regs[0] = 0
+	default:
+		return fmt.Errorf("helper %s not implemented", spec.Name)
+	}
+	// Helpers clobber the caller-saved registers.
+	regs[1], regs[2], regs[3], regs[4], regs[5] = 0xdead1, 0xdead2, 0xdead3, 0xdead4, 0xdead5
+	return nil
+}

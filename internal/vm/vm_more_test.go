@@ -1,0 +1,206 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"merlin/internal/ebpf"
+	"merlin/internal/helpers"
+)
+
+func TestBswapExecution(t *testing.T) {
+	bswap := func(dst ebpf.Register, bits int32) ebpf.Instruction {
+		return ebpf.Instruction{
+			Opcode: uint8(ebpf.ClassALU) | uint8(ebpf.SourceX) | uint8(ebpf.ALUEnd),
+			Dst:    dst, Imm: bits,
+		}
+	}
+	cases := []struct {
+		in   int64
+		bits int32
+		want uint64
+	}{
+		{0x1234, 16, 0x3412},
+		{0x12345678, 32, 0x78563412},
+		{0x0102030405060708, 64, 0x0807060504030201},
+		{-1, 16, 0xffff}, // swap truncates to its width and zero-extends
+	}
+	for _, c := range cases {
+		ret, _ := run(t, []ebpf.Instruction{
+			ebpf.LoadImm64(ebpf.R0, c.in),
+			bswap(ebpf.R0, c.bits),
+			ebpf.Exit(),
+		}, nil, nil)
+		if uint64(ret) != c.want {
+			t.Errorf("bswap%d(%#x) = %#x, want %#x", c.bits, c.in, uint64(ret), c.want)
+		}
+	}
+}
+
+func TestALU32Variants(t *testing.T) {
+	// arsh32 on a negative 32-bit value keeps the sign within 32 bits and
+	// zero-extends the result.
+	ret, _ := run(t, []ebpf.Instruction{
+		ebpf.Mov32Imm(ebpf.R0, -8), // w0 = 0xfffffff8
+		ebpf.ALU32Imm(ebpf.ALUArsh, ebpf.R0, 2),
+		ebpf.Exit(),
+	}, nil, nil)
+	if uint64(ret) != 0xfffffffe {
+		t.Fatalf("arsh32 = %#x, want 0xfffffffe", uint64(ret))
+	}
+	// div32/mod32 operate on the low halves only.
+	ret, _ = run(t, []ebpf.Instruction{
+		ebpf.LoadImm64(ebpf.R0, 0xf_0000_0064), // low half 100
+		ebpf.ALU32Imm(ebpf.ALUDiv, ebpf.R0, 7),
+		ebpf.Exit(),
+	}, nil, nil)
+	if ret != 14 {
+		t.Fatalf("div32 = %d, want 14", ret)
+	}
+}
+
+func TestMoreHelpers(t *testing.T) {
+	p := &ebpf.Program{Name: "h", Hook: ebpf.HookKprobe, Insns: []ebpf.Instruction{
+		ebpf.Call(helpers.GetSmpProcessorID),
+		ebpf.Mov64Reg(ebpf.R6, ebpf.R0),
+		ebpf.Call(helpers.GetCurrentPidTgid),
+		ebpf.ALU64Reg(ebpf.ALUAdd, ebpf.R6, ebpf.R0),
+		// get_current_comm(fp-16, 8)
+		ebpf.Mov64Reg(ebpf.R1, ebpf.R10),
+		ebpf.ALU64Imm(ebpf.ALUAdd, ebpf.R1, -16),
+		ebpf.Mov64Imm(ebpf.R2, 8),
+		ebpf.Call(helpers.GetCurrentComm),
+		ebpf.LoadMem(ebpf.SizeB, ebpf.R7, ebpf.R10, -16),
+		ebpf.ALU64Reg(ebpf.ALUAdd, ebpf.R6, ebpf.R7),
+		ebpf.Mov64Reg(ebpf.R0, ebpf.R6),
+		ebpf.Exit(),
+	}}
+	m, err := New(p, Config{CPU: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, _, err := m.Run(make([]byte, 64), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(3) + (4242<<32 | 4242) + int64('c')
+	if ret != want {
+		t.Fatalf("ret = %d, want %d", ret, want)
+	}
+}
+
+func TestProbeReadFromKmem(t *testing.T) {
+	p := &ebpf.Program{Name: "pr", Hook: ebpf.HookKprobe, Insns: []ebpf.Instruction{
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R3, ebpf.R1, 0), // src addr from ctx
+		ebpf.Mov64Reg(ebpf.R1, ebpf.R10),
+		ebpf.ALU64Imm(ebpf.ALUAdd, ebpf.R1, -8),
+		ebpf.Mov64Imm(ebpf.R2, 8),
+		ebpf.Call(helpers.ProbeRead),
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R0, ebpf.R10, -8),
+		ebpf.Exit(),
+	}}
+	m, err := New(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(m.Kmem[128:], []byte{0xaa, 0xbb, 0, 0, 0, 0, 0, 0})
+	ctx := TracepointContext(KmemAddr(128))
+	ret, _, err := m.Run(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(ret) != 0xbbaa {
+		t.Fatalf("ret = %#x", uint64(ret))
+	}
+	// probe_read of a bad address returns -1 without faulting.
+	ctx = TracepointContext(0xdead_0000)
+	ret, _, err = m.Run(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 0 { // r0 from the final load: dst untouched on failed read
+		t.Logf("ret = %d (dst retains old contents)", ret)
+	}
+}
+
+func TestRedirectHelpers(t *testing.T) {
+	ret, _ := run(t, []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R1, 3),
+		ebpf.Mov64Imm(ebpf.R2, 0),
+		ebpf.Call(helpers.Redirect),
+		ebpf.Exit(),
+	}, nil, nil)
+	if ret != ebpf.XDPRedirect {
+		t.Fatalf("redirect = %d", ret)
+	}
+}
+
+func TestTracePrintk(t *testing.T) {
+	ret, _ := run(t, []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R3, 0),
+		ebpf.StoreMem(ebpf.SizeDW, ebpf.R10, -8, ebpf.R3),
+		ebpf.Mov64Reg(ebpf.R1, ebpf.R10),
+		ebpf.ALU64Imm(ebpf.ALUAdd, ebpf.R1, -8),
+		ebpf.Mov64Imm(ebpf.R2, 8),
+		ebpf.Call(helpers.TracePrintk),
+		ebpf.Exit(),
+	}, nil, nil)
+	if ret != 8 {
+		t.Fatalf("trace_printk = %d", ret)
+	}
+}
+
+func TestUnknownHelperFails(t *testing.T) {
+	m, _ := New(&ebpf.Program{Name: "u", Insns: []ebpf.Instruction{
+		ebpf.Call(424242),
+		ebpf.Exit(),
+	}}, Config{})
+	if _, _, err := m.Run(nil, nil); err == nil || !strings.Contains(err.Error(), "unknown helper") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBadMapHandleFails(t *testing.T) {
+	m, _ := New(&ebpf.Program{
+		Name: "bm",
+		Insns: []ebpf.Instruction{
+			ebpf.Mov64Imm(ebpf.R1, 5), // not a map handle
+			ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+			ebpf.ALU64Imm(ebpf.ALUAdd, ebpf.R2, -4),
+			ebpf.Mov64Imm(ebpf.R3, 0),
+			ebpf.StoreMem(ebpf.SizeW, ebpf.R10, -4, ebpf.R3),
+			ebpf.Call(helpers.MapLookupElem),
+			ebpf.Exit(),
+		},
+		Maps: []ebpf.MapSpec{{Name: "m", Kind: 0, KeySize: 4, ValueSize: 8, MaxEntries: 1}},
+	}, Config{})
+	if _, _, err := m.Run(nil, nil); err == nil || !strings.Contains(err.Error(), "bad map handle") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNegAndArsh64(t *testing.T) {
+	ret, _ := run(t, []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R0, 5),
+		{Opcode: uint8(ebpf.ClassALU64) | uint8(ebpf.ALUNeg), Dst: ebpf.R0},
+		ebpf.ALU64Imm(ebpf.ALUArsh, ebpf.R0, 1),
+		ebpf.Exit(),
+	}, nil, nil)
+	if ret != -3 { // -5 >> 1 arithmetic
+		t.Fatalf("ret = %d, want -3", ret)
+	}
+}
+
+func TestMapByName(t *testing.T) {
+	m, _ := New(&ebpf.Program{
+		Name:  "n",
+		Insns: []ebpf.Instruction{ebpf.Mov64Imm(ebpf.R0, 0), ebpf.Exit()},
+		Maps:  []ebpf.MapSpec{{Name: "stats", Kind: 0, KeySize: 4, ValueSize: 8, MaxEntries: 1}},
+	}, Config{})
+	if m.MapByName("stats") == nil || m.MapByName("nope") != nil {
+		t.Fatal("MapByName broken")
+	}
+	if m.Program().Name != "n" {
+		t.Fatal("Program() broken")
+	}
+}

@@ -1,0 +1,400 @@
+package vm
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"merlin/internal/ebpf"
+	"merlin/internal/helpers"
+)
+
+func run(t *testing.T, insns []ebpf.Instruction, ctx, pkt []byte) (int64, Stats) {
+	t.Helper()
+	m, err := New(&ebpf.Program{Name: "t", Insns: insns}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, st, err := m.Run(ctx, pkt)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return ret, st
+}
+
+func TestALUBasics(t *testing.T) {
+	ret, _ := run(t, []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R1, 10),
+		ebpf.ALU64Imm(ebpf.ALUMul, ebpf.R1, 7),
+		ebpf.ALU64Imm(ebpf.ALUSub, ebpf.R1, 5),
+		ebpf.Mov64Reg(ebpf.R0, ebpf.R1),
+		ebpf.Exit(),
+	}, nil, nil)
+	if ret != 65 {
+		t.Fatalf("ret = %d", ret)
+	}
+}
+
+func TestALU32ZeroExtends(t *testing.T) {
+	ret, _ := run(t, []ebpf.Instruction{
+		ebpf.LoadImm64(ebpf.R0, -1), // all ones
+		ebpf.Mov32Reg(ebpf.R0, ebpf.R0),
+		ebpf.Exit(),
+	}, nil, nil)
+	if uint64(ret) != 0xffffffff {
+		t.Fatalf("ret = %#x, want 0xffffffff", uint64(ret))
+	}
+}
+
+func TestDivModByZero(t *testing.T) {
+	ret, _ := run(t, []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R1, 7),
+		ebpf.Mov64Imm(ebpf.R2, 0),
+		ebpf.ALU64Reg(ebpf.ALUDiv, ebpf.R1, ebpf.R2), // → 0
+		ebpf.Mov64Imm(ebpf.R3, 9),
+		ebpf.ALU64Reg(ebpf.ALUMod, ebpf.R3, ebpf.R2), // → 9 (unchanged)
+		ebpf.Mov64Reg(ebpf.R0, ebpf.R1),
+		ebpf.ALU64Reg(ebpf.ALUAdd, ebpf.R0, ebpf.R3),
+		ebpf.Exit(),
+	}, nil, nil)
+	if ret != 9 {
+		t.Fatalf("ret = %d, want 9", ret)
+	}
+}
+
+func TestStackLoadStore(t *testing.T) {
+	ret, _ := run(t, []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R1, 0x1234),
+		ebpf.StoreMem(ebpf.SizeDW, ebpf.R10, -8, ebpf.R1),
+		ebpf.LoadMem(ebpf.SizeH, ebpf.R0, ebpf.R10, -8),
+		ebpf.Exit(),
+	}, nil, nil)
+	if ret != 0x1234 {
+		t.Fatalf("ret = %#x", ret)
+	}
+}
+
+func TestStoreImmAndByteAssembly(t *testing.T) {
+	// st.imm a u16; read back two bytes little-endian.
+	ret, _ := run(t, []ebpf.Instruction{
+		ebpf.StoreImm(ebpf.SizeH, ebpf.R10, -4, 0xbeef),
+		ebpf.LoadMem(ebpf.SizeB, ebpf.R1, ebpf.R10, -4),
+		ebpf.LoadMem(ebpf.SizeB, ebpf.R2, ebpf.R10, -3),
+		ebpf.ALU64Imm(ebpf.ALULsh, ebpf.R2, 8),
+		ebpf.ALU64Reg(ebpf.ALUOr, ebpf.R1, ebpf.R2),
+		ebpf.Mov64Reg(ebpf.R0, ebpf.R1),
+		ebpf.Exit(),
+	}, nil, nil)
+	if ret != 0xbeef {
+		t.Fatalf("ret = %#x", ret)
+	}
+}
+
+func TestXDPContextAndPacketAccess(t *testing.T) {
+	pkt := []byte{0xaa, 0xbb, 0xcc, 0xdd}
+	ctx := BuildXDPContext(len(pkt))
+	// Load data pointer from ctx, bounds-check, read first byte.
+	ret, _ := run(t, []ebpf.Instruction{
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R2, ebpf.R1, 0), // data
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R3, ebpf.R1, 8), // data_end
+		ebpf.Mov64Reg(ebpf.R4, ebpf.R2),
+		ebpf.ALU64Imm(ebpf.ALUAdd, ebpf.R4, 1),
+		ebpf.JumpReg(ebpf.JumpGT, ebpf.R4, ebpf.R3, 2), // out of bounds → drop
+		ebpf.LoadMem(ebpf.SizeB, ebpf.R0, ebpf.R2, 0),
+		ebpf.Exit(),
+		ebpf.Mov64Imm(ebpf.R0, 1),
+		ebpf.Exit(),
+	}, ctx, pkt)
+	if ret != 0xaa {
+		t.Fatalf("ret = %#x", ret)
+	}
+}
+
+func TestOutOfBoundsAccessFaults(t *testing.T) {
+	m, err := New(&ebpf.Program{Name: "t", Insns: []ebpf.Instruction{
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R2, ebpf.R1, 0),
+		ebpf.LoadMem(ebpf.SizeB, ebpf.R0, ebpf.R2, 100), // past packet end
+		ebpf.Exit(),
+	}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := []byte{1, 2, 3, 4}
+	if _, _, err := m.Run(BuildXDPContext(len(pkt)), pkt); err == nil {
+		t.Fatal("expected fault")
+	}
+}
+
+func TestAtomicAdd(t *testing.T) {
+	ret, _ := run(t, []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R1, 40),
+		ebpf.StoreMem(ebpf.SizeDW, ebpf.R10, -8, ebpf.R1),
+		ebpf.Mov64Imm(ebpf.R2, 2),
+		ebpf.Atomic(ebpf.SizeDW, ebpf.AtomicAdd, ebpf.R10, -8, ebpf.R2),
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R0, ebpf.R10, -8),
+		ebpf.Exit(),
+	}, nil, nil)
+	if ret != 42 {
+		t.Fatalf("ret = %d", ret)
+	}
+}
+
+func TestAtomicVariants(t *testing.T) {
+	cases := []struct {
+		op   ebpf.AtomicOp
+		want int64
+	}{
+		{ebpf.AtomicOr, 0xf0 | 0x0f},
+		{ebpf.AtomicAnd, 0xf0 & 0x3f},
+		{ebpf.AtomicXor, 0xf0 ^ 0x3f},
+	}
+	for _, c := range cases {
+		arg := int32(0x0f)
+		if c.op != ebpf.AtomicOr {
+			arg = 0x3f
+		}
+		ret, _ := run(t, []ebpf.Instruction{
+			ebpf.Mov64Imm(ebpf.R1, 0xf0),
+			ebpf.StoreMem(ebpf.SizeW, ebpf.R10, -4, ebpf.R1),
+			ebpf.Mov64Imm(ebpf.R2, arg),
+			ebpf.Atomic(ebpf.SizeW, c.op, ebpf.R10, -4, ebpf.R2),
+			ebpf.LoadMem(ebpf.SizeW, ebpf.R0, ebpf.R10, -4),
+			ebpf.Exit(),
+		}, nil, nil)
+		if ret != c.want {
+			t.Errorf("%v: ret = %#x, want %#x", c.op, ret, c.want)
+		}
+	}
+}
+
+func TestJumpsAndLoop(t *testing.T) {
+	// Sum 1..5 with a backwards jump.
+	ret, st := run(t, []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R1, 5),
+		ebpf.Mov64Imm(ebpf.R0, 0),
+		ebpf.ALU64Reg(ebpf.ALUAdd, ebpf.R0, ebpf.R1), // loop:
+		ebpf.ALU64Imm(ebpf.ALUSub, ebpf.R1, 1),
+		ebpf.JumpImm(ebpf.JumpGT, ebpf.R1, 0, -3),
+		ebpf.Exit(),
+	}, nil, nil)
+	if ret != 15 {
+		t.Fatalf("ret = %d", ret)
+	}
+	if st.Branches != 5 {
+		t.Fatalf("branches = %d, want 5", st.Branches)
+	}
+}
+
+func TestJump32ComparesLowHalf(t *testing.T) {
+	ret, _ := run(t, []ebpf.Instruction{
+		ebpf.LoadImm64(ebpf.R1, 0x1_00000005),
+		ebpf.Mov64Imm(ebpf.R0, 0),
+		ebpf.Jump32Imm(ebpf.JumpEq, ebpf.R1, 5, 1),
+		ebpf.Exit(),
+		ebpf.Mov64Imm(ebpf.R0, 1),
+		ebpf.Exit(),
+	}, nil, nil)
+	if ret != 1 {
+		t.Fatal("jmp32 must ignore upper bits")
+	}
+}
+
+func TestSignedCompare(t *testing.T) {
+	ret, _ := run(t, []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R1, -5),
+		ebpf.Mov64Imm(ebpf.R0, 0),
+		ebpf.JumpImm(ebpf.JumpSLT, ebpf.R1, 0, 1),
+		ebpf.Exit(),
+		ebpf.Mov64Imm(ebpf.R0, 1),
+		ebpf.Exit(),
+	}, nil, nil)
+	if ret != 1 {
+		t.Fatal("-5 s< 0 should be taken")
+	}
+}
+
+func TestWideImmAndBranchOverIt(t *testing.T) {
+	// Branch over a lddw: offsets are slot-based.
+	ret, _ := run(t, []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R1, 1),
+		ebpf.JumpImm(ebpf.JumpEq, ebpf.R1, 1, 3), // skip lddw + mov
+		ebpf.LoadImm64(ebpf.R0, 0x123456789),
+		ebpf.Mov64Imm(ebpf.R0, 7),
+		ebpf.Exit(),
+	}, nil, nil)
+	if ret != 0 {
+		t.Fatalf("ret = %d, want 0 (r0 untouched)", ret)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	m, err := New(&ebpf.Program{Name: "t", Insns: []ebpf.Instruction{
+		ebpf.Jump(-1),
+		ebpf.Exit(),
+	}}, Config{StepLimit: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Run(nil, nil); err == nil {
+		t.Fatal("infinite loop must hit the step limit")
+	}
+}
+
+func mapProg() *ebpf.Program {
+	return &ebpf.Program{
+		Name: "m",
+		Insns: []ebpf.Instruction{
+			// key = 1 at fp-4
+			ebpf.Mov64Imm(ebpf.R1, 1),
+			ebpf.StoreMem(ebpf.SizeW, ebpf.R10, -4, ebpf.R1),
+			ebpf.LoadMapPtr(ebpf.R1, 0),
+			ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+			ebpf.ALU64Imm(ebpf.ALUAdd, ebpf.R2, -4),
+			ebpf.Call(helpers.MapLookupElem),
+			ebpf.JumpImm(ebpf.JumpNE, ebpf.R0, 0, 1),
+			ebpf.Exit(),
+			// *value += 5
+			ebpf.Mov64Imm(ebpf.R1, 5),
+			ebpf.Atomic(ebpf.SizeDW, ebpf.AtomicAdd, ebpf.R0, 0, ebpf.R1),
+			ebpf.LoadMem(ebpf.SizeDW, ebpf.R0, ebpf.R0, 0),
+			ebpf.Exit(),
+		},
+		Maps: []ebpf.MapSpec{{Name: "counts", Kind: 0, KeySize: 4, ValueSize: 8, MaxEntries: 4}},
+	}
+}
+
+func TestMapLookupAndIncrement(t *testing.T) {
+	m, err := New(mapProg(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		ret, _, err := m.Run(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ret != int64(5*i) {
+			t.Fatalf("run %d: ret = %d, want %d", i, ret, 5*i)
+		}
+	}
+	// The map's backing store has the value at index 1.
+	got := binary.LittleEndian.Uint64(m.Map(0).Backing()[8:])
+	if got != 15 {
+		t.Fatalf("map value = %d", got)
+	}
+}
+
+func TestHelperClobbersCallerRegs(t *testing.T) {
+	m, err := New(&ebpf.Program{Name: "t", Insns: []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R1, 99),
+		ebpf.Call(helpers.KtimeGetNS),
+		ebpf.Mov64Reg(ebpf.R0, ebpf.R1), // r1 is garbage now
+		ebpf.JumpImm(ebpf.JumpEq, ebpf.R0, 99, 2),
+		ebpf.Mov64Imm(ebpf.R0, 0),
+		ebpf.Exit(),
+		ebpf.Mov64Imm(ebpf.R0, 1),
+		ebpf.Exit(),
+	}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, _, err := m.Run(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 0 {
+		t.Fatal("r1 must be clobbered across helper calls")
+	}
+}
+
+func TestPerfEventOutput(t *testing.T) {
+	prog := &ebpf.Program{
+		Name: "p",
+		Insns: []ebpf.Instruction{
+			ebpf.Mov64Imm(ebpf.R3, 0x11),
+			ebpf.StoreMem(ebpf.SizeDW, ebpf.R10, -8, ebpf.R3),
+			// perf_event_output(ctx, map, flags, data, size)
+			ebpf.Mov64Reg(ebpf.R1, ebpf.R10), // ctx arg unused by model
+			ebpf.LoadMapPtr(ebpf.R2, 0),
+			ebpf.Mov64Imm(ebpf.R3, 0),
+			ebpf.Mov64Reg(ebpf.R4, ebpf.R10),
+			ebpf.ALU64Imm(ebpf.ALUAdd, ebpf.R4, -8),
+			ebpf.Mov64Imm(ebpf.R5, 8),
+			ebpf.Call(helpers.PerfEventOutput),
+			ebpf.Exit(),
+		},
+		Maps: []ebpf.MapSpec{{Name: "events", Kind: 3, KeySize: 0, ValueSize: 64, MaxEntries: 16}},
+	}
+	m, err := New(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Run(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	back := m.Map(0).Backing()
+	if back[0] != 0x11 {
+		t.Fatalf("ring contents = %v", back[:8])
+	}
+}
+
+func TestStatsCountCyclesAndInstructions(t *testing.T) {
+	_, st := run(t, []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R0, 1),
+		ebpf.LoadImm64(ebpf.R1, 5),
+		ebpf.Exit(),
+	}, nil, nil)
+	if st.Instructions != 4 { // mov(1) + lddw(2) + exit(1)
+		t.Fatalf("instructions = %d, want 4", st.Instructions)
+	}
+	if st.Cycles == 0 {
+		t.Fatal("cycles not counted")
+	}
+}
+
+func TestHWModelsEngage(t *testing.T) {
+	prog := &ebpf.Program{Name: "h", Insns: []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R1, 7),
+		ebpf.StoreMem(ebpf.SizeDW, ebpf.R10, -8, ebpf.R1),
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R0, ebpf.R10, -8),
+		ebpf.Exit(),
+	}}
+	m, err := New(prog, Config{UseHW: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := m.Run(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheRefs != 2 || st.CacheMisses == 0 {
+		t.Fatalf("cache refs=%d misses=%d", st.CacheRefs, st.CacheMisses)
+	}
+	// Second run: cache is warm.
+	_, st2, err := m.Run(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.CacheMisses != 0 {
+		t.Fatalf("warm run missed %d times", st2.CacheMisses)
+	}
+	if m.Total.Instructions != st.Instructions+st2.Instructions {
+		t.Fatal("Total not accumulated")
+	}
+}
+
+func TestPrandomDeterminism(t *testing.T) {
+	mk := func() uint64 {
+		m, _ := New(&ebpf.Program{Name: "r", Insns: []ebpf.Instruction{
+			ebpf.Call(helpers.GetPrandomU32),
+			ebpf.Exit(),
+		}}, Config{Seed: 42})
+		ret, _, err := m.Run(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return uint64(ret)
+	}
+	if mk() != mk() {
+		t.Fatal("same seed must give same sequence")
+	}
+}
