@@ -4,17 +4,31 @@
 // heuristics, and executes baseline vs optimized differentially. Any
 // divergence prints the offending seed and both disassemblies.
 //
-// Usage: merlin-fuzz [-seeds N] [-start S] [-maps] [-v]
+// With -inject, each seed additionally derives a deterministic fault
+// injector that provokes a failure (panic, stall, semantic corruption,
+// structural corruption or an unverifiable rewrite) inside one Merlin pass;
+// the build then runs guarded, and the fuzzer checks containment: the final
+// program must still verify and match the baseline, with the fault recorded
+// in the result.
+//
+// Usage: merlin-fuzz [-seeds N] [-start S] [-seed S] [-maps] [-v]
+//
+//	[-inject mode] [-guard] [-guard-diff-inputs N] [-pass-timeout d]
+//
+// Every failure line includes the seed; re-run exactly one seed with
+// -seed S.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"merlin/internal/core"
 	"merlin/internal/difftest"
 	"merlin/internal/ebpf"
+	"merlin/internal/guard"
 	"merlin/internal/verifier"
 	"merlin/internal/vm"
 )
@@ -22,37 +36,112 @@ import (
 func main() {
 	seeds := flag.Int("seeds", 200, "number of seeds to run")
 	start := flag.Int64("start", 0, "first seed")
+	oneSeed := flag.Int64("seed", -1, "run exactly this seed (overrides -seeds/-start)")
 	useMaps := flag.Bool("maps", true, "include map operations")
 	verbose := flag.Bool("v", false, "print per-seed stats")
+	useGuard := flag.Bool("guard", false, "build with pass-level fault isolation")
+	injectMode := flag.String("inject", "", "inject per-seed faults: panic|stall|corrupt|badbranch|unverifiable|auto (implies -guard)")
+	guardDiff := flag.Int("guard-diff-inputs", 5, "sampled inputs for per-pass differential validation under -guard")
+	passTimeout := flag.Duration("pass-timeout", 200*time.Millisecond, "per-pass budget under -guard")
 	flag.Parse()
 
-	failures := 0
-	var totalBase, totalOpt int
-	for seed := *start; seed < *start+int64(*seeds); seed++ {
-		if err := runSeed(seed, *useMaps, *verbose, &totalBase, &totalOpt); err != nil {
-			failures++
-			fmt.Fprintf(os.Stderr, "seed %d: FAIL: %v\n", seed, err)
+	cfg := fuzzConfig{
+		useMaps: *useMaps, verbose: *verbose,
+		guard: *useGuard, guardDiff: *guardDiff, passTimeout: *passTimeout,
+	}
+	if *injectMode != "" {
+		cfg.guard = true
+		cfg.inject = true
+		if *injectMode != "auto" {
+			m, ok := guard.ParseFaultMode(*injectMode)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "merlin-fuzz: unknown -inject mode %q (want %v or auto)\n", *injectMode, guard.Modes())
+				os.Exit(2)
+			}
+			cfg.mode = m
 		}
 	}
+
+	first, count := *start, int64(*seeds)
+	if *oneSeed >= 0 {
+		first, count = *oneSeed, 1
+	}
+	failures := 0
+	var totalBase, totalOpt int
+	for seed := first; seed < first+count; seed++ {
+		if err := runSeed(seed, cfg, &totalBase, &totalOpt); err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "seed %d: FAIL: %v\nreproduce with: merlin-fuzz -seed %d%s\n",
+				seed, err, seed, cfg.repro())
+		}
+	}
+	reduction := 0.0
+	if totalBase > 0 {
+		reduction = 100 * float64(totalBase-totalOpt) / float64(totalBase)
+	}
 	fmt.Printf("%d seeds, %d failures; aggregate NI %d -> %d (%.1f%% reduction)\n",
-		*seeds, failures, totalBase, totalOpt,
-		100*float64(totalBase-totalOpt)/float64(totalBase))
+		count, failures, totalBase, totalOpt, reduction)
 	if failures > 0 {
 		os.Exit(1)
 	}
 }
 
-func runSeed(seed int64, useMaps, verbose bool, totalBase, totalOpt *int) error {
-	mod := difftest.Generate(seed, difftest.GenOptions{UseMaps: useMaps})
+type fuzzConfig struct {
+	useMaps     bool
+	verbose     bool
+	guard       bool
+	inject      bool
+	mode        guard.FaultMode // empty = derive per seed ("auto")
+	guardDiff   int
+	passTimeout time.Duration
+}
+
+// repro renders the flags needed to reproduce a failing seed exactly.
+func (c fuzzConfig) repro() string {
+	s := ""
+	if !c.useMaps {
+		s += " -maps=false"
+	}
+	if c.inject {
+		mode := "auto"
+		if c.mode != "" {
+			mode = string(c.mode)
+		}
+		s += " -inject " + mode
+	} else if c.guard {
+		s += " -guard"
+	}
+	return s
+}
+
+func runSeed(seed int64, cfg fuzzConfig, totalBase, totalOpt *int) error {
+	mod := difftest.Generate(seed, difftest.GenOptions{UseMaps: cfg.useMaps})
 	mcpu := 2
 	if seed%3 == 0 {
 		mcpu = 3
 	}
-	res, err := core.Build(mod, mod.Funcs[0].Name, core.Options{
+	opts := core.Options{
 		Hook: ebpf.HookTracepoint, MCPU: mcpu, KernelALU32: true, Verify: true,
-	})
+		Guard: cfg.guard, GuardDiffInputs: cfg.guardDiff, PassTimeout: cfg.passTimeout,
+	}
+	if !cfg.guard {
+		opts.GuardDiffInputs = 0
+	}
+	var inj *guard.FaultInjector
+	if cfg.inject {
+		inj = guard.NewFaultInjector(seed)
+		if cfg.mode != "" {
+			inj.Mode = cfg.mode
+		}
+		inj.StallFor = 2 * cfg.passTimeout
+		opts.Injector = inj
+	}
+	res, err := core.Build(mod, mod.Funcs[0].Name, opts)
 	if err != nil {
 		return fmt.Errorf("build: %w", err)
+	}
+	if inj.Fired() > 0 && len(res.PassFailures) == 0 && len(res.Culprits) == 0 {
+		return fmt.Errorf("injected %s in %s fired but no failure recorded", inj.Mode, inj.Pass)
 	}
 	if st := verifier.Verify(res.Prog, verifier.Options{Version: verifier.V519}); !st.Passed {
 		return fmt.Errorf("v5.19 rejected: %w", st.Err)
@@ -87,8 +176,14 @@ func runSeed(seed int64, useMaps, verbose bool, totalBase, totalOpt *int) error 
 			return fmt.Errorf("map %d diverged", i)
 		}
 	}
-	if verbose {
-		fmt.Printf("seed %d: NI %d -> %d ok\n", seed, res.Baseline.NI(), res.Prog.NI())
+	if cfg.verbose {
+		note := ""
+		if inj.Fired() > 0 {
+			note = fmt.Sprintf("  [injected %s in %s: contained]", inj.Mode, inj.Pass)
+		} else if res.FellBack != "" {
+			note = fmt.Sprintf("  [%s fallback]", res.FellBack)
+		}
+		fmt.Printf("seed %d: NI %d -> %d ok%s\n", seed, res.Baseline.NI(), res.Prog.NI(), note)
 	}
 	return nil
 }

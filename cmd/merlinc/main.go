@@ -16,6 +16,13 @@
 //	-no-verify     skip the simulated kernel verifier
 //	-disable list  comma-separated optimizers to disable
 //	               (DAO, MoF, CP&DCE, SLM, CC, PO)
+//	-guard         run every Merlin pass under fault isolation: panics,
+//	               stalls and invalid outputs roll back to the pre-pass
+//	               snapshot, and a final verifier rejection bisects the
+//	               optimizer set instead of failing the build
+//	-guard-diff-inputs N  sampled inputs for per-pass differential
+//	               validation under -guard (0 disables; default 4)
+//	-pass-timeout d       per-pass wall-clock budget under -guard
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 
 	"merlin/internal/core"
 	"merlin/internal/ebpf"
+	"merlin/internal/guard"
 	"merlin/internal/ir"
 	"merlin/internal/objfile"
 )
@@ -46,6 +54,9 @@ func run() error {
 	disasm := flag.Bool("S", false, "print optimized disassembly")
 	noVerify := flag.Bool("no-verify", false, "skip verification")
 	disable := flag.String("disable", "", "comma-separated optimizers to disable")
+	useGuard := flag.Bool("guard", false, "fault-isolate every Merlin pass with validated rollback")
+	guardDiff := flag.Int("guard-diff-inputs", 4, "sampled inputs for per-pass differential validation (0 disables)")
+	passTimeout := flag.Duration("pass-timeout", guard.DefaultTimeout, "per-pass wall-clock budget under -guard")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -74,7 +85,10 @@ func run() error {
 		return fmt.Errorf("unknown hook %q", *hookName)
 	}
 
-	opts := core.Options{Hook: hook, MCPU: *mcpu, KernelALU32: true, Verify: !*noVerify}
+	opts := core.Options{
+		Hook: hook, MCPU: *mcpu, KernelALU32: true, Verify: !*noVerify,
+		Guard: *useGuard, GuardDiffInputs: *guardDiff, PassTimeout: *passTimeout,
+	}
 	if *disable != "" {
 		disabled := map[string]bool{}
 		for _, d := range strings.Split(*disable, ",") {
@@ -98,8 +112,20 @@ func run() error {
 	for _, st := range res.Stats {
 		fmt.Printf("%-14s %6s %10d %10s\n", st.Name, st.Tier, st.Applied, st.Duration.Round(0))
 	}
+	for _, f := range res.PassFailures {
+		fmt.Fprintf(os.Stderr, "guard: %s\n", f)
+	}
+	if len(res.Culprits) > 0 {
+		fmt.Fprintf(os.Stderr, "guard: culprit optimizers: %v\n", res.Culprits)
+	}
+	if res.FellBack != "" {
+		fmt.Fprintf(os.Stderr, "guard: degraded build (%s fallback)\n", res.FellBack)
+	}
 	fmt.Printf("\nNI: %d -> %d  (%.1f%% reduction)\n",
 		res.Baseline.NI(), res.Prog.NI(), res.NIReduction()*100)
+	if !*noVerify && !res.BaselineVerification.Passed {
+		fmt.Fprintf(os.Stderr, "warning: baseline rejected by verifier: %v\n", res.BaselineVerification.Err)
+	}
 	if !*noVerify {
 		fmt.Printf("verifier: NPI %d -> %d, states %d -> %d, %s -> %s\n",
 			res.BaselineVerification.NPI, res.Verification.NPI,

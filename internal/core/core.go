@@ -3,6 +3,15 @@
 // eBPF bytecode (llc), and Merlin's bytecode refinement — then optionally
 // checks the result against the simulated kernel verifier. It is the public
 // API the command-line tools, examples and every experiment build on.
+//
+// With Options.Guard set, every Merlin pass runs inside internal/guard:
+// panics are recovered, a wall-clock budget is enforced, pass outputs are
+// validated (structural invariants plus optional differential execution) and
+// any failure rolls the pipeline back to the pre-pass snapshot instead of
+// aborting the build. If the final program is still rejected by the
+// verifier, Build delta-debugs the enabled optimizer set to find the culprit
+// passes and returns the best program that verifies — the baseline in the
+// worst case — rather than an error.
 package core
 
 import (
@@ -13,6 +22,7 @@ import (
 	"merlin/internal/bopt"
 	"merlin/internal/codegen"
 	"merlin/internal/ebpf"
+	"merlin/internal/guard"
 	"merlin/internal/ir"
 	"merlin/internal/irpass"
 	"merlin/internal/verifier"
@@ -48,11 +58,33 @@ type Options struct {
 	KernelALU32 bool
 	// Enable holds the optimizers to run; nil means all of them.
 	Enable []Optimizer
-	// Verify runs the simulated kernel verifier on the optimized program
-	// and fails the build if it is rejected.
+	// Verify runs the simulated kernel verifier on the optimized program.
+	// Without Guard, a rejected optimized program fails the build; with
+	// Guard, it triggers culprit bisection instead. A rejected *baseline* is
+	// only recorded in Result.BaselineVerification, never an error.
 	Verify bool
 	// VerifierVersion selects pruning heuristics when Verify is set.
 	VerifierVersion verifier.KernelVersion
+	// VerifierLimits overrides the kernel complexity limits when Verify is
+	// set; the zero value means verifier.DefaultLimits. Deployments tune
+	// this to match older kernels' smaller budgets.
+	VerifierLimits verifier.Limits
+
+	// Guard enables pass-level fault isolation: each Merlin pass runs inside
+	// internal/guard with panic containment, a time budget and validated
+	// rollback, recording failures in Result.PassFailures instead of
+	// aborting the build.
+	Guard bool
+	// GuardDiffInputs is the number of sampled inputs used to differentially
+	// validate each guarded pass output against its input. Zero disables the
+	// differential check; structural invariants always run.
+	GuardDiffInputs int
+	// PassTimeout is the per-pass wall-clock budget for guarded passes.
+	// Zero means guard.DefaultTimeout.
+	PassTimeout time.Duration
+	// Injector deterministically injects faults into guarded passes; tests
+	// and merlin-fuzz use it to prove containment. Nil injects nothing.
+	Injector *guard.FaultInjector
 }
 
 // DefaultOptions returns the paper's default configuration.
@@ -97,6 +129,17 @@ type Result struct {
 	Verification verifier.Stats
 	// BaselineVerification holds verifier stats for the baseline.
 	BaselineVerification verifier.Stats
+
+	// PassFailures records passes that failed under guarding and were rolled
+	// back to their pre-pass snapshot (empty for clean builds).
+	PassFailures []guard.PassFailure
+	// Culprits holds the optimizers culprit bisection identified as
+	// responsible for a final verifier rejection.
+	Culprits []Optimizer
+	// FellBack reports how a guarded build degraded: "" for a normal build,
+	// "bisect" when culprit bisection chose an optimizer subset, "baseline"
+	// when no optimized candidate verified (or the pipeline itself failed).
+	FellBack string
 }
 
 // NIReduction returns the paper's compactness metric: the fraction of
@@ -109,6 +152,9 @@ func (r *Result) NIReduction() float64 {
 	return float64(b-r.Prog.NI()) / float64(b)
 }
 
+// guardDiffSeed seeds the sampled inputs of guarded differential checks.
+const guardDiffSeed = 1
+
 // Build compiles function fnName of mod through the full Merlin pipeline.
 // The input module is never mutated.
 func Build(mod *ir.Module, fnName string, opts Options) (*Result, error) {
@@ -119,7 +165,8 @@ func Build(mod *ir.Module, fnName string, opts Options) (*Result, error) {
 
 	// Baseline: clang -O2 analog + llc only. Local functions are inlined
 	// first (the verifier checks them inside their callers; our llc analog
-	// requires a single flat function).
+	// requires a single flat function). Baseline failures are fatal even
+	// under guarding: with no baseline there is nothing to degrade to.
 	baseMod := ir.Clone(mod)
 	if _, err := irpass.Inline(baseMod); err != nil {
 		return nil, fmt.Errorf("core: inline: %w", err)
@@ -133,6 +180,58 @@ func Build(mod *ir.Module, fnName string, opts Options) (*Result, error) {
 	res.Baseline = baseline
 
 	// Merlin pipeline: generic + IR refinement + llc + bytecode refinement.
+	po, err := runPipeline(mod, fnName, opts, opts.enabled)
+	if err != nil {
+		if !opts.Guard {
+			return nil, err
+		}
+		// The guarded pipeline only errors on its non-Merlin stages (inline,
+		// generic cleanup, lowering); degrade to the baseline program.
+		res.PassFailures = append(res.PassFailures, guard.PassFailure{
+			Pass: "pipeline", Tier: "core", Kind: guard.FailError, Detail: err.Error(),
+		})
+		res.FellBack = "baseline"
+		res.Prog = baseline.Clone()
+	} else {
+		res.Prog = po.prog
+		res.Stats = po.stats
+		res.MerlinTime = po.merlin
+		res.PassFailures = po.failures
+	}
+
+	if opts.Verify {
+		vopts := verifier.Options{Version: opts.VerifierVersion, Limits: opts.VerifierLimits}
+		res.BaselineVerification = verifier.Verify(baseline, vopts)
+		res.Verification = verifier.Verify(res.Prog, vopts)
+		if !res.Verification.Passed {
+			if !opts.Guard {
+				return nil, fmt.Errorf("core: optimized program rejected by verifier: %w", res.Verification.Err)
+			}
+			res.PassFailures = append(res.PassFailures, guard.PassFailure{
+				Pass: "verify", Tier: "final", Kind: guard.FailVerifier,
+				Detail: fmt.Sprintf("optimized program rejected: %v", res.Verification.Err),
+			})
+			bisectCulprits(mod, fnName, opts, vopts, res)
+		}
+	}
+	return res, nil
+}
+
+// pipeOut is the outcome of one optimized-pipeline run.
+type pipeOut struct {
+	prog     *ebpf.Program
+	stats    []PassStat
+	merlin   time.Duration
+	failures []guard.PassFailure
+}
+
+// runPipeline runs the optimized path — inline, generic cleanup, IR
+// refinement, lowering, bytecode refinement — over a clone of mod, with the
+// optimizer set restricted by enabled. With opts.Guard set, every Merlin
+// pass is guarded and rolled back on failure; errors are then only possible
+// from the shared non-Merlin stages.
+func runPipeline(mod *ir.Module, fnName string, opts Options, enabled func(Optimizer) bool) (*pipeOut, error) {
+	out := &pipeOut{}
 	optMod := ir.Clone(mod)
 	if _, err := irpass.Inline(optMod); err != nil {
 		return nil, fmt.Errorf("core: inline: %w", err)
@@ -140,17 +239,23 @@ func Build(mod *ir.Module, fnName string, opts Options) (*Result, error) {
 	(&irpass.Manager{Passes: irpass.Generic()}).Run(optMod)
 
 	var irPasses []irpass.Pass
-	if opts.enabled(DAO) {
+	if enabled(DAO) {
 		irPasses = append(irPasses, irpass.Pass{Name: string(DAO), Run: irpass.DataAlignment})
 	}
-	if opts.enabled(MoF) {
+	if enabled(MoF) {
 		irPasses = append(irPasses, irpass.Pass{Name: string(MoF), Run: irpass.MacroOpFusion})
 	}
-	irMgr := &irpass.Manager{Passes: irPasses}
-	irMgr.Run(optMod)
-	for _, s := range irMgr.Stats {
-		res.Stats = append(res.Stats, PassStat{Name: s.Pass, Tier: "ir", Applied: s.Applied, Duration: s.Duration})
-		res.MerlinTime += s.Duration
+	if !opts.Guard {
+		irMgr := &irpass.Manager{Passes: irPasses}
+		irMgr.Run(optMod)
+		for _, s := range irMgr.Stats {
+			out.stats = append(out.stats, PassStat{Name: s.Pass, Tier: "ir", Applied: s.Applied, Duration: s.Duration})
+			out.merlin += s.Duration
+		}
+	} else {
+		for _, p := range irPasses {
+			optMod = runGuardedIRPass(optMod, p, fnName, opts, out)
+		}
 	}
 
 	prog, err := codegen.Compile(optMod, fnName, codegen.Options{MCPU: opts.MCPU, Hook: opts.Hook})
@@ -161,59 +266,204 @@ func Build(mod *ir.Module, fnName string, opts Options) (*Result, error) {
 	bopts := bopt.Options{ALU32: opts.KernelALU32}
 	var bcPasses []bopt.Pass
 	for _, p := range bopt.Pipeline() {
-		if opts.enabled(Optimizer(p.Name)) {
+		if enabled(Optimizer(p.Name)) {
 			bcPasses = append(bcPasses, p)
 		}
 	}
 	// Dep analysis is charged whenever any bytecode pass runs.
 	if len(bcPasses) > 0 {
-		cur, stats, err := runByteTier(prog, bcPasses, bopts)
+		depStart := time.Now()
+		cur := prog.Clone()
+		cfg, err := analysis.BuildCFG(cur)
 		if err != nil {
-			return nil, fmt.Errorf("core: bytecode refinement: %w", err)
+			if !opts.Guard {
+				return nil, fmt.Errorf("core: bytecode refinement: %w", err)
+			}
+			out.failures = append(out.failures, guard.PassFailure{
+				Pass: "Dep", Tier: "bytecode", Kind: guard.FailError, Detail: err.Error(),
+			})
+			out.prog = prog
+			return out, nil
+		}
+		analysis.Liveness(cfg)
+		analysis.Constants(cfg)
+		out.stats = append(out.stats, PassStat{Name: "Dep", Tier: "bytecode", Duration: time.Since(depStart)})
+		out.merlin += time.Since(depStart)
+
+		for _, p := range bcPasses {
+			if !opts.Guard {
+				start := time.Now()
+				next, applied, err := p.Run(cur, bopts)
+				if err != nil {
+					return nil, fmt.Errorf("core: bytecode refinement: %w", err)
+				}
+				cur = next
+				out.stats = append(out.stats, PassStat{Name: p.Name, Tier: "bytecode", Applied: applied, Duration: time.Since(start)})
+				out.merlin += time.Since(start)
+			} else {
+				cur = runGuardedBytecodePass(cur, p, bopts, opts, out)
+			}
 		}
 		prog = cur
-		for _, s := range stats {
-			res.Stats = append(res.Stats, PassStat{Name: s.Pass, Tier: "bytecode", Applied: s.Applied, Duration: s.Duration})
-			res.MerlinTime += s.Duration
-		}
 	}
-	res.Prog = prog
-
-	if opts.Verify {
-		vopts := verifier.Options{Version: opts.VerifierVersion}
-		res.Verification = verifier.Verify(prog, vopts)
-		if !res.Verification.Passed {
-			return nil, fmt.Errorf("core: optimized program rejected by verifier: %w", res.Verification.Err)
-		}
-		res.BaselineVerification = verifier.Verify(baseline, vopts)
-		if !res.BaselineVerification.Passed {
-			return nil, fmt.Errorf("core: baseline program rejected by verifier: %w", res.BaselineVerification.Err)
-		}
-	}
-	return res, nil
+	out.prog = prog
+	return out, nil
 }
 
-// runByteTier mirrors bopt.RunAll but with a pass subset. The shared
-// dependency analysis (Dep) is charged once up front, as in Fig 13a.
-func runByteTier(prog *ebpf.Program, passes []bopt.Pass, opts bopt.Options) (*ebpf.Program, []bopt.Stat, error) {
-	cur := prog.Clone()
-	var stats []bopt.Stat
-	depStart := time.Now()
-	cfg, err := analysis.BuildCFG(cur)
-	if err != nil {
-		return nil, nil, err
-	}
-	analysis.Liveness(cfg)
-	analysis.Constants(cfg)
-	stats = append(stats, bopt.Stat{Pass: "Dep", Duration: time.Since(depStart)})
-	for _, p := range passes {
-		start := time.Now()
-		next, applied, err := p.Run(cur, opts)
-		if err != nil {
-			return nil, nil, err
+// runGuardedIRPass applies one IR-tier pass to a private clone of cur under
+// the guard, validates the result (well-formedness, lowering, optional
+// differential execution) and returns the new module — or cur unchanged,
+// recording the failure, when any containment path fires.
+func runGuardedIRPass(cur *ir.Module, p irpass.Pass, fnName string, opts Options, out *pipeOut) *ir.Module {
+	work := ir.Clone(cur)
+	applied := 0
+	start := time.Now()
+	fail := guard.Exec(p.Name, "ir", opts.PassTimeout, func() error {
+		opts.Injector.Before(p.Name, opts.PassTimeout)
+		for _, f := range work.Funcs {
+			applied += p.Run(f)
 		}
-		cur = next
-		stats = append(stats, bopt.Stat{Pass: p.Name, Applied: applied, Duration: time.Since(start)})
+		opts.Injector.MutateIR(p.Name, work)
+		return nil
+	})
+	dur := time.Since(start)
+
+	var compiled *ebpf.Program
+	if fail == nil {
+		if err := ir.Validate(work); err != nil {
+			fail = &guard.PassFailure{Pass: p.Name, Tier: "ir", Kind: guard.FailInvariant, Detail: err.Error()}
+		}
 	}
-	return cur, stats, nil
+	if fail == nil {
+		// Validated lowering: an output module that no longer compiles is a
+		// pass fault, not a build failure.
+		c, err := codegen.Compile(work, fnName, codegen.Options{MCPU: opts.MCPU, Hook: opts.Hook})
+		if err != nil {
+			fail = &guard.PassFailure{Pass: p.Name, Tier: "ir", Kind: guard.FailInvariant, Detail: fmt.Sprintf("does not lower: %v", err)}
+		} else {
+			compiled = c
+		}
+	}
+	if fail == nil && opts.GuardDiffInputs > 0 {
+		// Differential execution of post-pass vs pre-pass code. If the
+		// reference module fails to compile the check is skipped — the pass
+		// cannot be blamed for a pre-existing problem.
+		if ref, err := codegen.Compile(cur, fnName, codegen.Options{MCPU: opts.MCPU, Hook: opts.Hook}); err == nil {
+			inputs := guard.Inputs(opts.Hook, opts.GuardDiffInputs, guardDiffSeed)
+			if derr := guard.DiffPrograms(ref, compiled, inputs); derr != nil {
+				fail = &guard.PassFailure{Pass: p.Name, Tier: "ir", Kind: guard.FailDiff, Detail: derr.Error()}
+			}
+		}
+	}
+	if fail != nil {
+		out.failures = append(out.failures, *fail)
+		return cur
+	}
+	out.stats = append(out.stats, PassStat{Name: p.Name, Tier: "ir", Applied: applied, Duration: dur})
+	out.merlin += dur
+	return work
+}
+
+// runGuardedBytecodePass applies one bytecode-tier pass to a private clone of
+// cur under the guard, validates the result and returns it — or cur
+// unchanged, recording the failure, when any containment path fires.
+func runGuardedBytecodePass(cur *ebpf.Program, p bopt.Pass, bopts bopt.Options, opts Options, out *pipeOut) *ebpf.Program {
+	work := cur.Clone()
+	var next *ebpf.Program
+	applied := 0
+	start := time.Now()
+	fail := guard.Exec(p.Name, "bytecode", opts.PassTimeout, func() error {
+		opts.Injector.Before(p.Name, opts.PassTimeout)
+		n, a, err := p.Run(work, bopts)
+		if err != nil {
+			return err
+		}
+		next = opts.Injector.MutateBytecode(p.Name, n)
+		applied = a
+		return nil
+	})
+	dur := time.Since(start)
+
+	if fail == nil {
+		if err := guard.ValidateProgram(next); err != nil {
+			fail = &guard.PassFailure{Pass: p.Name, Tier: "bytecode", Kind: guard.FailInvariant, Detail: err.Error()}
+		}
+	}
+	if fail == nil && opts.GuardDiffInputs > 0 {
+		inputs := guard.Inputs(opts.Hook, opts.GuardDiffInputs, guardDiffSeed)
+		if err := guard.DiffPrograms(cur, next, inputs); err != nil {
+			fail = &guard.PassFailure{Pass: p.Name, Tier: "bytecode", Kind: guard.FailDiff, Detail: err.Error()}
+		}
+	}
+	if fail != nil {
+		out.failures = append(out.failures, *fail)
+		return cur
+	}
+	out.stats = append(out.stats, PassStat{Name: p.Name, Tier: "bytecode", Applied: applied, Duration: dur})
+	out.merlin += dur
+	return next
+}
+
+// bisectCulprits delta-debugs a final verifier rejection over the enabled
+// optimizer set: starting from the empty set it re-adds optimizers in
+// pipeline order, keeping each only while the rebuilt program still
+// verifies. The rejected additions are the minimal culprit set under this
+// greedy order; the surviving subset yields the best program that verifies.
+// With nothing survivable, Prog falls back to the (already compiled)
+// baseline. res is updated in place.
+func bisectCulprits(mod *ir.Module, fnName string, opts Options, vopts verifier.Options, res *Result) {
+	var enabledList []Optimizer
+	for _, o := range AllOptimizers() {
+		if opts.enabled(o) {
+			enabledList = append(enabledList, o)
+		}
+	}
+
+	kept := []Optimizer{}
+	var best *pipeOut
+	var bestStats verifier.Stats
+	inSet := func(set []Optimizer) func(Optimizer) bool {
+		return func(o Optimizer) bool {
+			for _, e := range set {
+				if e == o {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	for _, o := range enabledList {
+		trial := append(append([]Optimizer{}, kept...), o)
+		po, err := runPipeline(mod, fnName, opts, inSet(trial))
+		if err != nil {
+			res.Culprits = append(res.Culprits, o)
+			continue
+		}
+		st := verifier.Verify(po.prog, vopts)
+		if st.Passed {
+			kept = trial
+			best = po
+			bestStats = st
+		} else {
+			res.Culprits = append(res.Culprits, o)
+		}
+	}
+
+	if best == nil {
+		// Even the empty pipeline output was never built verifying; the
+		// baseline is the last resort (returned even if itself rejected —
+		// the rejection is recorded in BaselineVerification).
+		res.Prog = res.Baseline.Clone()
+		res.Stats = nil
+		res.MerlinTime = 0
+		res.Verification = res.BaselineVerification
+		res.FellBack = "baseline"
+		return
+	}
+	res.Prog = best.prog
+	res.Stats = best.stats
+	res.MerlinTime = best.merlin
+	res.PassFailures = append(res.PassFailures, best.failures...)
+	res.Verification = bestStats
+	res.FellBack = "bisect"
 }

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"merlin/internal/bopt"
+	"merlin/internal/ebpf"
+	"merlin/internal/guard"
+	"merlin/internal/irpass"
+	"merlin/internal/verifier"
+)
+
+func guardedOpts(inj *guard.FaultInjector) Options {
+	o := DefaultOptions()
+	o.Guard = true
+	o.GuardDiffInputs = 6
+	o.PassTimeout = 80 * time.Millisecond
+	o.Injector = inj
+	return o
+}
+
+// named reports whether pass appears in the result's failure records or
+// bisection culprits.
+func named(res *Result, pass string) bool {
+	for _, f := range res.PassFailures {
+		if f.Pass == pass {
+			return true
+		}
+	}
+	for _, c := range res.Culprits {
+		if string(c) == pass {
+			return true
+		}
+	}
+	return false
+}
+
+// TestGuardContainsEveryFailureMode is the issue's acceptance matrix: for
+// every injected failure mode in every guarded pass, a guarded Build must
+// still return a program that passes the simulated verifier and behaves like
+// the baseline on sampled inputs, with the offending pass named in Result —
+// never an aborted build.
+func TestGuardContainsEveryFailureMode(t *testing.T) {
+	passes := guard.DefaultPassNames()
+	for _, mode := range guard.Modes() {
+		for _, pass := range passes {
+			t.Run(fmt.Sprintf("%s/%s", mode, pass), func(t *testing.T) {
+				m := parseDemo(t)
+				inj := &guard.FaultInjector{Pass: pass, Mode: mode}
+				res, err := Build(m, "count", guardedOpts(inj))
+				if err != nil {
+					t.Fatalf("guarded build aborted: %v", err)
+				}
+				if inj.Fired() == 0 {
+					t.Fatalf("injector never fired for %s/%s", mode, pass)
+				}
+				if !res.Verification.Passed {
+					t.Fatalf("final program rejected: %v", res.Verification.Err)
+				}
+				if !named(res, pass) {
+					t.Fatalf("offending pass %s not named; failures=%v culprits=%v",
+						pass, res.PassFailures, res.Culprits)
+				}
+				inputs := guard.Inputs(res.Prog.Hook, 8, 1234)
+				if derr := guard.DiffPrograms(res.Baseline, res.Prog, inputs); derr != nil {
+					t.Fatalf("final program diverges from baseline: %v", derr)
+				}
+			})
+		}
+	}
+}
+
+// TestGuardFailureKinds pins each injection mode to the containment path
+// that must catch it.
+func TestGuardFailureKinds(t *testing.T) {
+	cases := []struct {
+		mode guard.FaultMode
+		pass string
+		want guard.FailureKind
+	}{
+		{guard.FaultPanic, "SLM", guard.FailPanic},
+		{guard.FaultPanic, "DAO", guard.FailPanic},
+		{guard.FaultStall, "CC", guard.FailTimeout},
+		{guard.FaultStall, "MoF", guard.FailTimeout},
+		{guard.FaultCorrupt, "PO", guard.FailDiff},
+		{guard.FaultCorrupt, "MoF", guard.FailDiff},
+		{guard.FaultBadBranch, "CP&DCE", guard.FailInvariant},
+		{guard.FaultBadBranch, "DAO", guard.FailInvariant},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("%s/%s", c.mode, c.pass), func(t *testing.T) {
+			m := parseDemo(t)
+			inj := &guard.FaultInjector{Pass: c.pass, Mode: c.mode}
+			res, err := Build(m, "count", guardedOpts(inj))
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, f := range res.PassFailures {
+				if f.Pass == c.pass && f.Kind == c.want {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("want %s failure for %s, have %v", c.want, c.pass, res.PassFailures)
+			}
+		})
+	}
+}
+
+// TestGuardCleanBuildMatchesUnguarded checks the guard is a no-op for a
+// healthy pipeline: same final program, no failure records.
+func TestGuardCleanBuildMatchesUnguarded(t *testing.T) {
+	m := parseDemo(t)
+	plain, err := Build(m, "count", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded, err := Build(parseDemo(t), "count", guardedOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(guarded.PassFailures) != 0 || guarded.FellBack != "" || len(guarded.Culprits) != 0 {
+		t.Fatalf("clean guarded build recorded failures: %+v", guarded)
+	}
+	if guarded.Prog.NI() != plain.Prog.NI() {
+		t.Fatalf("guarded result differs: NI %d vs %d", guarded.Prog.NI(), plain.Prog.NI())
+	}
+	if string(guarded.Prog.Encode()) != string(plain.Prog.Encode()) {
+		t.Fatal("guarded and unguarded programs differ")
+	}
+}
+
+// TestBisectNamesCulpritAndRecovers forces a corruption the per-pass checks
+// cannot see (verifier-only, diff disabled) and checks culprit bisection
+// identifies exactly the offending pass and returns a verifying program.
+func TestBisectNamesCulpritAndRecovers(t *testing.T) {
+	for _, pass := range []string{"SLM", "CC"} {
+		t.Run(pass, func(t *testing.T) {
+			m := parseDemo(t)
+			opts := guardedOpts(&guard.FaultInjector{Pass: pass, Mode: guard.FaultUnverifiable})
+			opts.GuardDiffInputs = 0 // blind the differential check on purpose
+			res, err := Build(m, "count", opts)
+			if err != nil {
+				t.Fatalf("guarded build aborted: %v", err)
+			}
+			if res.FellBack != "bisect" {
+				t.Fatalf("want bisect fallback, got %q (failures=%v)", res.FellBack, res.PassFailures)
+			}
+			if len(res.Culprits) != 1 || string(res.Culprits[0]) != pass {
+				t.Fatalf("want culprits=[%s], got %v", pass, res.Culprits)
+			}
+			if !res.Verification.Passed {
+				t.Fatalf("bisected program still rejected: %v", res.Verification.Err)
+			}
+			inputs := guard.Inputs(res.Prog.Hook, 8, 77)
+			if derr := guard.DiffPrograms(res.Baseline, res.Prog, inputs); derr != nil {
+				t.Fatalf("bisected program diverges from baseline: %v", derr)
+			}
+			// The surviving subset must still have optimized something.
+			if res.Prog.NI() >= res.Baseline.NI() {
+				t.Fatalf("bisect kept nothing: NI %d vs baseline %d", res.Prog.NI(), res.Baseline.NI())
+			}
+		})
+	}
+}
+
+// TestGuardWorstCaseFallsBackToBaseline poisons every pass so that nothing
+// survivable remains; the build must still return the baseline program
+// rather than an error.
+func TestGuardWorstCaseFallsBackToBaseline(t *testing.T) {
+	m := parseDemo(t)
+	opts := guardedOpts(&guard.FaultInjector{Pass: "*", Mode: guard.FaultUnverifiable})
+	opts.GuardDiffInputs = 0
+	res, err := Build(m, "count", opts)
+	if err != nil {
+		t.Fatalf("guarded build aborted: %v", err)
+	}
+	if res.FellBack != "baseline" {
+		t.Fatalf("want baseline fallback, got %q (culprits=%v)", res.FellBack, res.Culprits)
+	}
+	if res.Prog.NI() != res.Baseline.NI() {
+		t.Fatal("baseline fallback did not return the baseline")
+	}
+	if !res.Verification.Passed {
+		t.Fatalf("baseline fallback rejected: %v", res.Verification.Err)
+	}
+}
+
+// TestBaselineRejectionIsRecordedNotFatal is the satellite fix: a baseline
+// that the verifier rejects must not fail the build when the optimized
+// program verifies. A complexity limit between the optimized and baseline
+// NPI makes exactly that split.
+func TestBaselineRejectionIsRecordedNotFatal(t *testing.T) {
+	m := parseDemo(t)
+	ref, err := Build(m, "count", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	optNPI, baseNPI := ref.Verification.NPI, ref.BaselineVerification.NPI
+	if optNPI >= baseNPI {
+		t.Skipf("demo NPIs do not split: opt=%d base=%d", optNPI, baseNPI)
+	}
+	opts := DefaultOptions()
+	opts.VerifierLimits = verifier.Limits{MaxProcessedInsns: optNPI + 1, MaxStates: 100_000}
+	res, err := Build(parseDemo(t), "count", opts)
+	if err != nil {
+		t.Fatalf("baseline rejection aborted the build: %v", err)
+	}
+	if !res.Verification.Passed {
+		t.Fatalf("optimized program should pass under limit %d: %v", optNPI+1, res.Verification.Err)
+	}
+	if res.BaselineVerification.Passed {
+		t.Fatal("baseline should have been rejected under the tight limit")
+	}
+}
+
+// TestOptimizerNamesConsistent pins the core.Optimizer names to the names
+// the pass pipelines actually use, so Options.Enable subsets can never
+// silently filter out a renamed pass.
+func TestOptimizerNamesConsistent(t *testing.T) {
+	wantBC := []Optimizer{CPDCE, SLM, CC, PO}
+	got := bopt.Pipeline()
+	if len(got) != len(wantBC) {
+		t.Fatalf("bopt.Pipeline has %d passes, core knows %d", len(got), len(wantBC))
+	}
+	for i, p := range got {
+		if string(wantBC[i]) != p.Name {
+			t.Errorf("bytecode pass %d: core %q vs bopt %q", i, wantBC[i], p.Name)
+		}
+	}
+	wantIR := []Optimizer{DAO, MoF}
+	gotIR := irpass.Merlin()
+	if len(gotIR) != len(wantIR) {
+		t.Fatalf("irpass.Merlin has %d passes, core knows %d", len(gotIR), len(wantIR))
+	}
+	for i, p := range gotIR {
+		if string(wantIR[i]) != p.Name {
+			t.Errorf("IR pass %d: core %q vs irpass %q", i, wantIR[i], p.Name)
+		}
+	}
+	// Every optimizer must belong to exactly one tier list.
+	if len(AllOptimizers()) != len(wantBC)+len(wantIR) {
+		t.Errorf("AllOptimizers out of sync with the tier pipelines")
+	}
+	// The injector's default pass universe must match too, or fault-injection
+	// fuzzing would silently target nonexistent passes.
+	univ := map[string]bool{}
+	for _, n := range guard.DefaultPassNames() {
+		univ[n] = true
+	}
+	for _, o := range AllOptimizers() {
+		if !univ[string(o)] {
+			t.Errorf("guard.DefaultPassNames missing %s", o)
+		}
+	}
+}
+
+// TestGuardedBuildOnTracepointHook runs the containment matrix's riskiest
+// modes on a non-XDP hook to cover the tracepoint input sampler.
+func TestGuardedBuildOnTracepointHook(t *testing.T) {
+	specNames := []string{"CP&DCE", "MoF"}
+	for _, pass := range specNames {
+		m := parseDemo(t)
+		opts := guardedOpts(&guard.FaultInjector{Pass: pass, Mode: guard.FaultCorrupt})
+		opts.Hook = ebpf.HookTracepoint
+		res, err := Build(m, "count", opts)
+		if err != nil {
+			t.Fatalf("%s: %v", pass, err)
+		}
+		if !named(res, pass) {
+			t.Fatalf("%s: corruption not caught on tracepoint hook: %+v", pass, res.PassFailures)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"merlin/internal/corpus"
+	"merlin/internal/guard"
+)
+
+// subsetSpecs samples programs from every corpus suite so the subset matrix
+// stays fast while still covering both packet-processing and tracing hooks.
+func subsetSpecs(t *testing.T) []*corpus.ProgramSpec {
+	t.Helper()
+	var specs []*corpus.ProgramSpec
+	xdp := corpus.XDP()
+	for _, i := range []int{0, 4, 9, 14} {
+		specs = append(specs, xdp[i%len(xdp)])
+	}
+	for _, suite := range [][]*corpus.ProgramSpec{corpus.Sysdig(), corpus.Tetragon(), corpus.Tracee()} {
+		for _, i := range []int{1, len(suite) / 2} {
+			specs = append(specs, suite[i])
+		}
+	}
+	return specs
+}
+
+// optimizerSubsets enumerates every single optimizer and every unordered
+// pair — the subsets the paper's ablation (Fig 9) toggles.
+func optimizerSubsets() [][]Optimizer {
+	all := AllOptimizers()
+	var out [][]Optimizer
+	for i, a := range all {
+		out = append(out, []Optimizer{a})
+		for _, b := range all[i+1:] {
+			out = append(out, []Optimizer{a, b})
+		}
+	}
+	return out
+}
+
+func subsetName(set []Optimizer) string {
+	s := ""
+	for i, o := range set {
+		if i > 0 {
+			s += "+"
+		}
+		s += string(o)
+	}
+	return s
+}
+
+// TestOptimizerSubsetsDifferential builds every sampled corpus program under
+// every single-optimizer and pairwise subset and checks the result agrees
+// with the fully unoptimized build on sampled inputs: no optimizer may
+// change observable behaviour, alone or in combination.
+func TestOptimizerSubsetsDifferential(t *testing.T) {
+	specs := subsetSpecs(t)
+	subsets := optimizerSubsets()
+	if testing.Short() {
+		specs = specs[:3]
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Suite+"/"+spec.Name, func(t *testing.T) {
+			base := Options{Hook: spec.Hook, MCPU: spec.MCPU, KernelALU32: spec.MCPU >= 3,
+				Enable: []Optimizer{}}
+			ref, err := Build(spec.Mod, spec.Func, base)
+			if err != nil {
+				t.Fatalf("unoptimized build: %v", err)
+			}
+			inputs := guard.Inputs(spec.Hook, 8, 42)
+			for _, set := range subsets {
+				opts := base
+				opts.Enable = set
+				res, err := Build(spec.Mod, spec.Func, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", subsetName(set), err)
+				}
+				if derr := guard.DiffPrograms(ref.Prog, res.Prog, inputs); derr != nil {
+					t.Errorf("%s: diverges from unoptimized program: %v", subsetName(set), derr)
+				}
+			}
+		})
+	}
+}
+
+// TestOptimizerSubsetCountsSanity pins the subset enumeration itself: six
+// singles plus fifteen pairs.
+func TestOptimizerSubsetCountsSanity(t *testing.T) {
+	subsets := optimizerSubsets()
+	if want := 6 + 15; len(subsets) != want {
+		t.Fatalf("want %d subsets, got %d", want, len(subsets))
+	}
+	seen := map[string]bool{}
+	for _, s := range subsets {
+		n := subsetName(s)
+		if seen[n] {
+			t.Fatalf("duplicate subset %s", n)
+		}
+		seen[n] = true
+	}
+	if !seen[fmt.Sprintf("%s+%s", DAO, PO)] || !seen[string(SLM)] {
+		t.Fatal("expected subsets missing")
+	}
+}

@@ -1,0 +1,105 @@
+// Package guard provides pass-level fault isolation for the Merlin pipeline.
+// Merlin's optimizers run between clang and bpf(), so a buggy rewrite must
+// never take the build down with it: each pass executes inside a guard that
+// contains panics, enforces a wall-clock budget, validates the pass output
+// with cheap structural invariants and optional differential execution, and
+// lets the caller roll back to the pre-pass snapshot on any failure. The
+// package also ships a deterministic FaultInjector so tests and merlin-fuzz
+// can prove each containment path actually fires.
+package guard
+
+import (
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// FailureKind classifies how a guarded pass failed.
+type FailureKind string
+
+// The containment paths a guarded pass can trip.
+const (
+	// FailPanic: the pass panicked and was recovered.
+	FailPanic FailureKind = "panic"
+	// FailError: the pass returned an error.
+	FailError FailureKind = "error"
+	// FailTimeout: the pass exceeded its wall-clock budget.
+	FailTimeout FailureKind = "timeout"
+	// FailInvariant: the pass output broke a structural invariant
+	// (encode/decode roundtrip, branch targets, CFG construction, IR
+	// well-formedness, or lowering).
+	FailInvariant FailureKind = "invariant"
+	// FailDiff: the pass output diverged from its input under differential
+	// execution on sampled inputs.
+	FailDiff FailureKind = "diff"
+	// FailVerifier: the final program was rejected by the simulated kernel
+	// verifier (recorded by core.Build before culprit bisection).
+	FailVerifier FailureKind = "verifier"
+)
+
+// PassFailure is the structured record of one contained pass failure.
+type PassFailure struct {
+	// Pass is the name of the offending pass ("DAO", "SLM", ...).
+	Pass string
+	// Tier is "ir", "bytecode", or "final" for post-pipeline failures.
+	Tier string
+	// Kind is the containment path that fired.
+	Kind FailureKind
+	// Detail is a human-readable description (panic value, invariant text,
+	// first diverging input, ...).
+	Detail string
+	// Stack holds the recovered goroutine stack when Kind is FailPanic.
+	Stack string
+}
+
+func (f PassFailure) String() string {
+	return fmt.Sprintf("%s pass %s: %s: %s", f.Tier, f.Pass, f.Kind, f.Detail)
+}
+
+// DefaultTimeout is the per-pass wall-clock budget when none is configured.
+const DefaultTimeout = 2 * time.Second
+
+// Budget normalizes a configured per-pass timeout.
+func Budget(timeout time.Duration) time.Duration {
+	if timeout <= 0 {
+		return DefaultTimeout
+	}
+	return timeout
+}
+
+// Exec runs fn with panic containment and a wall-clock budget. It returns nil
+// when fn completes cleanly, and a PassFailure describing the containment
+// otherwise. On timeout the runaway goroutine is abandoned (it may still be
+// running); callers must therefore hand fn private copies of any data they
+// keep using — the pipeline passes each guarded stage a clone and adopts it
+// only on success.
+func Exec(pass, tier string, timeout time.Duration, fn func() error) *PassFailure {
+	timeout = Budget(timeout)
+	done := make(chan *PassFailure, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- &PassFailure{
+					Pass: pass, Tier: tier, Kind: FailPanic,
+					Detail: fmt.Sprint(r), Stack: string(debug.Stack()),
+				}
+			}
+		}()
+		if err := fn(); err != nil {
+			done <- &PassFailure{Pass: pass, Tier: tier, Kind: FailError, Detail: err.Error()}
+			return
+		}
+		done <- nil
+	}()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case f := <-done:
+		return f
+	case <-t.C:
+		return &PassFailure{
+			Pass: pass, Tier: tier, Kind: FailTimeout,
+			Detail: fmt.Sprintf("exceeded %v budget", timeout),
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package guard
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"merlin/internal/analysis"
+	"merlin/internal/ebpf"
+	"merlin/internal/vm"
+)
+
+// ValidateProgram checks the cheap structural invariants every pass output
+// must satisfy before it is allowed to replace the pre-pass program:
+//
+//   - the program is non-empty and cannot fall off the end
+//   - it survives an encode/decode roundtrip through the wire format
+//   - every branch target lands on an instruction boundary in range
+//   - a control-flow graph can still be built over it
+func ValidateProgram(prog *ebpf.Program) error {
+	if prog == nil || len(prog.Insns) == 0 {
+		return fmt.Errorf("guard: empty program")
+	}
+	if last := prog.Insns[len(prog.Insns)-1]; !last.Terminates() {
+		return fmt.Errorf("guard: program falls off the end (%s)", ebpf.Mnemonic(last))
+	}
+	raw := prog.Encode()
+	insns, err := ebpf.Decode(raw)
+	if err != nil {
+		return fmt.Errorf("guard: roundtrip decode: %w", err)
+	}
+	if len(insns) != len(prog.Insns) {
+		return fmt.Errorf("guard: roundtrip length %d != %d", len(insns), len(prog.Insns))
+	}
+	re := (&ebpf.Program{Insns: insns}).Encode()
+	if !bytes.Equal(raw, re) {
+		return fmt.Errorf("guard: encode/decode roundtrip mismatch")
+	}
+	if _, err := ebpf.MakeEditable(prog); err != nil {
+		return fmt.Errorf("guard: branch targets: %w", err)
+	}
+	if _, err := analysis.BuildCFG(prog); err != nil {
+		return fmt.Errorf("guard: cfg: %w", err)
+	}
+	return nil
+}
+
+// Input is one sampled VM input for differential validation.
+type Input struct {
+	Ctx []byte
+	Pkt []byte
+}
+
+// Inputs generates n deterministic sampled inputs appropriate for the hook:
+// packet mixes for XDP/socket-filter programs (varying length, ethertype and
+// payload), scalar argument blocks for tracepoint/kprobe programs. The same
+// (hook, n, seed) always yields the same inputs.
+func Inputs(hook ebpf.HookType, n int, seed int64) []Input {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Input, 0, n)
+	switch hook {
+	case ebpf.HookXDP, ebpf.HookSocketFilter:
+		lens := []int{14, 34, 60, 64, 96, 128, 256, 640}
+		for i := 0; i < n; i++ {
+			pkt := make([]byte, lens[i%len(lens)])
+			fill := byte(rng.Intn(256))
+			for j := range pkt {
+				pkt[j] = byte(j) ^ fill
+			}
+			if len(pkt) >= 14 {
+				// Bias toward IPv4 so parse paths get exercised.
+				if rng.Intn(2) == 0 {
+					pkt[12], pkt[13] = 0x08, 0x00
+				}
+				if len(pkt) >= 34 {
+					pkt[14] = 0x45
+					pkt[14+9] = []byte{6, 17, 1}[rng.Intn(3)]
+				}
+			}
+			out = append(out, Input{Ctx: vm.BuildXDPContext(len(pkt)), Pkt: pkt})
+		}
+	default:
+		for i := 0; i < n; i++ {
+			args := make([]uint64, 8)
+			for j := range args {
+				args[j] = rng.Uint64() >> uint(rng.Intn(33))
+			}
+			out = append(out, Input{Ctx: vm.TracepointContext(args...)})
+		}
+	}
+	return out
+}
+
+// DiffPrograms executes pre and post on the sampled inputs with identical VM
+// seeds and reports the first divergence in return value, error behaviour, or
+// final map contents. A nil return means the programs are observationally
+// equivalent on these inputs.
+func DiffPrograms(pre, post *ebpf.Program, inputs []Input) error {
+	if len(pre.Maps) != len(post.Maps) {
+		return fmt.Errorf("guard: map count changed: %d -> %d", len(pre.Maps), len(post.Maps))
+	}
+	a, err := vm.New(pre, vm.Config{Seed: 7})
+	if err != nil {
+		return fmt.Errorf("guard: load pre: %w", err)
+	}
+	b, err := vm.New(post, vm.Config{Seed: 7})
+	if err != nil {
+		return fmt.Errorf("guard: load post: %w", err)
+	}
+	for i, in := range inputs {
+		ra, _, errA := a.Run(in.Ctx, in.Pkt)
+		rb, _, errB := b.Run(in.Ctx, in.Pkt)
+		if (errA == nil) != (errB == nil) {
+			return fmt.Errorf("guard: input %d: error divergence: %v vs %v", i, errA, errB)
+		}
+		if ra != rb {
+			return fmt.Errorf("guard: input %d: result %d vs %d", i, ra, rb)
+		}
+	}
+	for i := range pre.Maps {
+		if !bytes.Equal(a.Map(i).Backing(), b.Map(i).Backing()) {
+			return fmt.Errorf("guard: map %d (%s) diverged", i, pre.Maps[i].Name)
+		}
+	}
+	return nil
+}
