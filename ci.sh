@@ -1,8 +1,30 @@
 #!/bin/sh
-# CI gate: static checks, full build, and the test suite under the race
-# detector. Run from the repository root.
+# CI gate: formatting, static checks, full build, the test suite under the
+# race detector, and a merlind lifecycle smoke run. Run from the repository
+# root.
 set -eux
+
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
 
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Lifecycle smoke: deploy → mirror traffic → hot-swap → rollback must all
+# answer "ok" (merlind exits non-zero if any command fails).
+printf '%s\n' \
+    'deploy smoke corpus:xdp1' \
+    'traffic smoke 4' \
+    'deploy smoke corpus:xdp1' \
+    'traffic smoke 10' \
+    'promote smoke' \
+    'rollback smoke' \
+    'status' \
+    'events smoke' \
+    'quit' \
+    | go run ./cmd/merlind -shadow 4 -canary 4

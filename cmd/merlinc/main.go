@@ -84,15 +84,29 @@ func run() error {
 	if !ok {
 		return fmt.Errorf("unknown hook %q", *hookName)
 	}
+	if *passTimeout <= 0 {
+		return fmt.Errorf("-pass-timeout must be positive (got %v)", *passTimeout)
+	}
 
 	opts := core.Options{
 		Hook: hook, MCPU: *mcpu, KernelALU32: true, Verify: !*noVerify,
 		Guard: *useGuard, GuardDiffInputs: *guardDiff, PassTimeout: *passTimeout,
 	}
 	if *disable != "" {
+		valid := map[string]bool{}
+		for _, o := range core.AllOptimizers() {
+			valid[string(o)] = true
+		}
 		disabled := map[string]bool{}
 		for _, d := range strings.Split(*disable, ",") {
-			disabled[strings.TrimSpace(d)] = true
+			d = strings.TrimSpace(d)
+			if d == "" {
+				continue
+			}
+			if !valid[d] {
+				return fmt.Errorf("unknown optimizer %q in -disable (valid: %v)", d, core.AllOptimizers())
+			}
+			disabled[d] = true
 		}
 		enable := []core.Optimizer{} // non-nil: empty means "none", nil means "all"
 		for _, o := range core.AllOptimizers() {

@@ -1,0 +1,287 @@
+// Command merlind is the runtime program-lifecycle daemon: it owns named
+// program slots, builds deployments through the guarded Merlin pipeline
+// (core.BuildForDeploy), takes every candidate through the
+// staged → shadow → canary → live state machine of internal/lifecycle, and
+// drives synthetic XDP traffic so hot-swaps can be exercised end to end
+// without a kernel. Commands arrive as lines on stdin; every command answers
+// with one "ok ..." or "err ..." line, and the process exits non-zero if any
+// command failed (CI smoke runs rely on this).
+//
+// Usage:
+//
+//	merlind [flags] < script
+//
+// Commands:
+//
+//	deploy <slot> <file.mir|corpus:NAME> [func]   build + stage a candidate
+//	traffic <slot> <n>                            serve n synthetic packets
+//	promote <slot> [force]                        hot-swap candidate to live
+//	rollback <slot>                               restore previous live program
+//	status                                        one line per slot
+//	events <slot>                                 dump the slot's event ring
+//	tick                                          let quarantined slots retry
+//	quit                                          exit
+//
+// Flags tune the lifecycle gates: -shadow/-canary (clean mirrored runs per
+// stage), -cycle-slack (tolerated canary cycle regression), -insn-budget and
+// -cycle-budget (watchdog per-run caps), -retries/-backoff (quarantine
+// rebuild policy), -auto-promote, and the usual build knobs (-hook, -mcpu,
+// -guard-diff-inputs, -pass-timeout).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"merlin/internal/core"
+	"merlin/internal/corpus"
+	"merlin/internal/ebpf"
+	"merlin/internal/guard"
+	"merlin/internal/ir"
+	"merlin/internal/lifecycle"
+	"merlin/internal/vm"
+)
+
+type daemon struct {
+	mgr       *lifecycle.Manager
+	buildOpts core.Options
+	seed      int64
+	traffic   int64 // packets generated so far, advances the input stream
+}
+
+func main() {
+	hookName := flag.String("hook", "xdp", "attachment hook for deployed builds")
+	mcpu := flag.Int("mcpu", 2, "instruction set level (2 or 3)")
+	shadow := flag.Int("shadow", 32, "clean mirrored runs to clear shadow")
+	canary := flag.Int("canary", 32, "clean mirrored runs to clear canary")
+	cycleSlack := flag.Float64("cycle-slack", 0.10, "tolerated canary cycle-cost regression")
+	insnBudget := flag.Uint64("insn-budget", 0, "watchdog per-run instruction cap (0 = off)")
+	cycleBudget := flag.Uint64("cycle-budget", 0, "watchdog per-run cycle cap (0 = off)")
+	retries := flag.Int("retries", 3, "quarantine rebuild attempts")
+	backoff := flag.Duration("backoff", 100*time.Millisecond, "first quarantine backoff (doubles per retry)")
+	autoPromote := flag.Bool("auto-promote", false, "hot-swap automatically once canary clears")
+	guardDiff := flag.Int("guard-diff-inputs", 4, "sampled inputs for build-time differential validation")
+	passTimeout := flag.Duration("pass-timeout", guard.DefaultTimeout, "per-pass wall-clock budget")
+	seed := flag.Int64("seed", 1, "synthetic traffic seed")
+	flag.Parse()
+
+	hooks := map[string]ebpf.HookType{
+		"xdp": ebpf.HookXDP, "tracepoint": ebpf.HookTracepoint,
+		"kprobe": ebpf.HookKprobe, "socket_filter": ebpf.HookSocketFilter,
+	}
+	hook, ok := hooks[*hookName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "merlind: unknown hook %q\n", *hookName)
+		os.Exit(2)
+	}
+	if *passTimeout <= 0 {
+		fmt.Fprintln(os.Stderr, "merlind: -pass-timeout must be positive")
+		os.Exit(2)
+	}
+
+	d := &daemon{
+		mgr: lifecycle.NewManager(lifecycle.Config{
+			ShadowRuns:  *shadow,
+			CanaryRuns:  *canary,
+			CycleSlack:  *cycleSlack,
+			InsnBudget:  *insnBudget,
+			CycleBudget: *cycleBudget,
+			MaxRetries:  *retries,
+			BackoffBase: *backoff,
+			AutoPromote: *autoPromote,
+			VM:          vm.Config{Seed: uint64(*seed)},
+		}),
+		buildOpts: core.Options{
+			Hook: hook, MCPU: *mcpu, KernelALU32: true,
+			GuardDiffInputs: *guardDiff, PassTimeout: *passTimeout,
+		},
+		seed: *seed,
+	}
+
+	failed := false
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "quit" {
+			break
+		}
+		if err := d.dispatch(line); err != nil {
+			failed = true
+			fmt.Printf("err %s: %v\n", strings.Fields(line)[0], err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "merlind: stdin:", err)
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func (d *daemon) dispatch(line string) error {
+	args := strings.Fields(line)
+	cmd, args := args[0], args[1:]
+	switch cmd {
+	case "deploy":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: deploy <slot> <file.mir|corpus:NAME> [func]")
+		}
+		return d.deploy(args[0], args[1], args[2:])
+	case "traffic":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: traffic <slot> <n>")
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("traffic count must be a positive integer")
+		}
+		return d.drive(args[0], n)
+	case "promote":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: promote <slot> [force]")
+		}
+		force := len(args) > 1 && args[1] == "force"
+		if err := d.mgr.Promote(args[0], force); err != nil {
+			return err
+		}
+		st, _ := d.mgr.StatusOf(args[0])
+		fmt.Printf("ok promote %s live=gen%d\n", args[0], st.LiveGeneration)
+		return nil
+	case "rollback":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: rollback <slot>")
+		}
+		if err := d.mgr.Rollback(args[0]); err != nil {
+			return err
+		}
+		st, _ := d.mgr.StatusOf(args[0])
+		fmt.Printf("ok rollback %s live=gen%d\n", args[0], st.LiveGeneration)
+		return nil
+	case "status":
+		for _, st := range d.mgr.Status() {
+			fmt.Println(st)
+		}
+		fmt.Println("ok status")
+		return nil
+	case "events":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: events <slot>")
+		}
+		for _, ev := range d.mgr.Events(args[0]) {
+			fmt.Println(ev)
+		}
+		fmt.Printf("ok events %s\n", args[0])
+		return nil
+	case "tick":
+		d.mgr.Tick()
+		fmt.Println("ok tick")
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// deploy stages a candidate from a textual IR file or a named corpus program.
+func (d *daemon) deploy(slot, src string, rest []string) error {
+	var mod *ir.Module
+	var fn string
+	opts := d.buildOpts
+	if name, ok := strings.CutPrefix(src, "corpus:"); ok {
+		spec := findCorpus(name)
+		if spec == nil {
+			return fmt.Errorf("no corpus program %q", name)
+		}
+		mod, fn = spec.Mod, spec.Func
+		opts.Hook, opts.MCPU = spec.Hook, spec.MCPU
+	} else {
+		text, err := os.ReadFile(src)
+		if err != nil {
+			return err
+		}
+		mod, err = ir.Parse(string(text))
+		if err != nil {
+			return err
+		}
+		if len(mod.Funcs) == 0 {
+			return fmt.Errorf("module has no functions")
+		}
+		fn = mod.Funcs[0].Name
+	}
+	if len(rest) > 0 {
+		fn = rest[0]
+	}
+	if err := d.mgr.Deploy(slot, lifecycle.ModuleSource(mod, fn, opts)); err != nil {
+		return err
+	}
+	st, _ := d.mgr.StatusOf(slot)
+	fmt.Printf("ok deploy %s stage=%s live=gen%d", slot, st.Stage, st.LiveGeneration)
+	if st.CandidateGeneration > 0 {
+		fmt.Printf(" candidate=gen%d", st.CandidateGeneration)
+	}
+	fmt.Println()
+	return nil
+}
+
+// drive serves n synthetic XDP packets through the slot, mirroring them into
+// any in-flight candidate, and reports the verdict histogram.
+func (d *daemon) drive(slot string, n int) error {
+	inputs := guard.Inputs(ebpf.HookXDP, n, d.seed+d.traffic)
+	d.traffic += int64(n)
+	verdicts := map[int64]int{}
+	for _, in := range inputs {
+		rv, _, err := d.mgr.Serve(slot, in.Ctx, in.Pkt)
+		if err != nil {
+			return err
+		}
+		verdicts[rv]++
+	}
+	st, _ := d.mgr.StatusOf(slot)
+	var vparts []string
+	for _, v := range []int64{ebpf.XDPAborted, ebpf.XDPDrop, ebpf.XDPPass, ebpf.XDPTx, ebpf.XDPRedirect} {
+		if c := verdicts[v]; c > 0 {
+			vparts = append(vparts, fmt.Sprintf("%s=%d", verdictName(v), c))
+			delete(verdicts, v)
+		}
+	}
+	for v, c := range verdicts {
+		vparts = append(vparts, fmt.Sprintf("%d=%d", v, c))
+	}
+	fmt.Printf("ok traffic %s n=%d stage=%s served=%d mirrored=%d verdicts[%s]\n",
+		slot, n, st.Stage, st.Served, st.Mirrored, strings.Join(vparts, " "))
+	return nil
+}
+
+func verdictName(v int64) string {
+	switch v {
+	case ebpf.XDPAborted:
+		return "aborted"
+	case ebpf.XDPDrop:
+		return "drop"
+	case ebpf.XDPPass:
+		return "pass"
+	case ebpf.XDPTx:
+		return "tx"
+	case ebpf.XDPRedirect:
+		return "redirect"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func findCorpus(name string) *corpus.ProgramSpec {
+	for _, spec := range corpus.XDP() {
+		if spec.Name == name {
+			return spec
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package clitest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildMerlind compiles the lifecycle daemon once per test.
+func buildMerlind(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "merlind")
+	cmd := exec.Command("go", "build", "-o", bin, "merlin/cmd/merlind")
+	cmd.Dir = repoRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building merlind: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// runScript feeds a command script to merlind over stdin and returns its
+// combined output plus whether it exited cleanly.
+func runScript(t *testing.T, bin, script string, flags ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(bin, flags...)
+	cmd.Stdin = strings.NewReader(script)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestMerlindHotSwapFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildMerlind(t)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "count.mir")
+	if err := os.WriteFile(src, []byte(sampleIR), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The second deploy rebuilds the same module: semantically equivalent, so
+	// it survives shadow/canary mirroring and becomes promotable.
+	script := strings.Join([]string{
+		"deploy lb " + src,
+		"traffic lb 4",
+		"deploy lb " + src,
+		"traffic lb 12",
+		"promote lb",
+		"status",
+		"rollback lb",
+		"events lb",
+		"quit",
+	}, "\n") + "\n"
+
+	out, err := runScript(t, bin, script, "-shadow", "4", "-canary", "4")
+	if err != nil {
+		t.Fatalf("merlind failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"ok deploy lb stage=live live=gen1",
+		"candidate=gen2",
+		"ok promote lb live=gen2",
+		"ok rollback lb live=gen1",
+		"promoted: promoted after canary",
+		"rolled-back: gen 2 → gen 1",
+		"ok events lb",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMerlindRejectsPrematurePromotion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildMerlind(t)
+	script := strings.Join([]string{
+		"deploy lb corpus:xdp1",
+		"deploy lb corpus:xdp2",
+		"promote lb", // canary has seen no traffic: must refuse
+		"quit",
+	}, "\n") + "\n"
+	out, err := runScript(t, bin, script)
+	if err == nil {
+		t.Fatalf("premature promote accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "err promote") {
+		t.Errorf("missing promote error line:\n%s", out)
+	}
+	// force must override the gate.
+	out, err = runScript(t, bin, strings.ReplaceAll(script, "promote lb", "promote lb force"))
+	if err != nil {
+		t.Fatalf("forced promote refused: %v\n%s", err, out)
+	}
+}
+
+func TestMerlindUnknownCommandFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildMerlind(t)
+	out, err := runScript(t, bin, "frobnicate\nquit\n")
+	if err == nil {
+		t.Fatalf("unknown command accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "err frobnicate") {
+		t.Errorf("missing error line:\n%s", out)
+	}
+}
+
+func TestMerlincRejectsBadFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildTools(t)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "count.mir")
+	if err := os.WriteFile(src, []byte(sampleIR), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"-disable", "BOGUS", src},
+		{"-disable", "DAO,NOPE", src},
+		{"-pass-timeout", "-1s", src},
+		{"-pass-timeout", "0s", src},
+	}
+	for _, args := range cases {
+		cmd := exec.Command(filepath.Join(bins, "merlinc"), args...)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Errorf("merlinc %v accepted:\n%s", args, out)
+		}
+		if msg := string(out); !strings.Contains(msg, "unknown optimizer") &&
+			!strings.Contains(msg, "-pass-timeout must be positive") {
+			t.Errorf("merlinc %v: unhelpful error:\n%s", args, msg)
+		}
+	}
+}

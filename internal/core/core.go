@@ -217,6 +217,19 @@ func Build(mod *ir.Module, fnName string, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// BuildForDeploy is the load-time entry point used by the runtime lifecycle
+// manager (internal/lifecycle): it is Build with guarding and verification
+// forced on, because a deployment build must degrade — to a smaller optimizer
+// subset or the baseline — rather than abort for an optimizer-caused
+// failure, and must never stage a program the simulated verifier rejects
+// without recording it. Differential-validation depth, the per-pass budget
+// and the optimizer set still follow opts.
+func BuildForDeploy(mod *ir.Module, fnName string, opts Options) (*Result, error) {
+	opts.Guard = true
+	opts.Verify = true
+	return Build(mod, fnName, opts)
+}
+
 // pipeOut is the outcome of one optimized-pipeline run.
 type pipeOut struct {
 	prog     *ebpf.Program

@@ -1,0 +1,483 @@
+// Package lifecycle manages the runtime life of optimized eBPF programs.
+// Merlin's bytecode tier rewrites programs just before the bpf() syscall;
+// this package models what happens after it: named program slots whose
+// freshly built candidates move staged → shadow → canary → live, with the
+// incumbent vm.Machine serving every packet until the candidate is
+// atomically promoted. In shadow and canary the candidate runs on mirrored
+// copies of the live traffic and is rejected on any return-value divergence,
+// runtime fault, or cycle-cost regression beyond a configurable slack — the
+// online continuation of the build-time differential validation in
+// internal/guard. A per-slot watchdog quarantines deployments that fault or
+// blow their instruction/cycle budget at any stage and rebuilds them with
+// exponential backoff, degrading to the last-known-good program or the clang
+// baseline so the slot never stops serving.
+package lifecycle
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"merlin/internal/core"
+	"merlin/internal/ebpf"
+	"merlin/internal/ir"
+	"merlin/internal/vm"
+)
+
+// Config parameterizes a Manager.
+type Config struct {
+	// ShadowRuns / CanaryRuns are the clean mirrored runs a candidate needs
+	// to clear each stage (default 32 each).
+	ShadowRuns int
+	CanaryRuns int
+	// CycleSlack is the tolerated relative mean cycle-cost regression of the
+	// candidate over the canary window (default 0.10 = 10%).
+	CycleSlack float64
+	// InsnBudget / CycleBudget cap a single run of any deployment — live or
+	// mirrored. Exceeding either quarantines a candidate and degrades an
+	// incumbent. Zero disables the respective cap.
+	InsnBudget  uint64
+	CycleBudget uint64
+	// MaxRetries bounds the watchdog's rebuild attempts per quarantine
+	// episode (default 3).
+	MaxRetries int
+	// BackoffBase is the first rebuild delay; it doubles per attempt
+	// (default 100ms).
+	BackoffBase time.Duration
+	// AutoPromote hot-swaps a candidate as soon as it clears canary instead
+	// of waiting for an explicit Promote.
+	AutoPromote bool
+	// VM configures every machine the manager instantiates.
+	VM vm.Config
+	// Now is the watchdog clock (default time.Now); tests inject a fake.
+	Now func() time.Time
+	// MaxEvents caps each slot's event ring (default 64).
+	MaxEvents int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ShadowRuns <= 0 {
+		c.ShadowRuns = 32
+	}
+	if c.CanaryRuns <= 0 {
+		c.CanaryRuns = 32
+	}
+	if c.CycleSlack <= 0 {
+		c.CycleSlack = 0.10
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 100 * time.Millisecond
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = 64
+	}
+	return c
+}
+
+// Source produces a deployable build. The watchdog re-invokes it on every
+// quarantine retry, so a Source must be safe to call repeatedly.
+type Source func() (*core.Result, error)
+
+// ModuleSource adapts an IR module to a Source via core.BuildForDeploy.
+func ModuleSource(mod *ir.Module, fnName string, opts core.Options) Source {
+	return func() (*core.Result, error) {
+		return core.BuildForDeploy(mod, fnName, opts)
+	}
+}
+
+// deployment is one build loaded into a machine. The machine accumulates
+// warm state (maps, caches) across runs, so a promoted candidate has already
+// soaked on mirrored traffic.
+type deployment struct {
+	prog    *ebpf.Program
+	machine *vm.Machine
+	gen     int
+	stage   Stage
+	cleared bool
+	// Clean mirrored runs in the current stage, plus the cycle sums backing
+	// the canary regression gate.
+	runs       int
+	incCycles  uint64
+	candCycles uint64
+}
+
+// quarantineState is the watchdog's per-slot backoff ledger.
+type quarantineState struct {
+	attempts  int
+	notBefore time.Time
+	dead      bool
+	reason    string
+}
+
+// slot is one named program slot.
+type slot struct {
+	name    string
+	source  Source
+	nextGen int
+
+	live     *deployment // serving; nil until the first deploy
+	lastGood *deployment // previous incumbent, for rollback
+	baseline *deployment // clang-only fallback from the last good build
+	cand     *deployment // staged/shadow/canary candidate
+
+	quarantine *quarantineState
+
+	served   uint64
+	mirrored uint64
+	events   []Event
+	seq      int
+}
+
+// Manager owns a set of named program slots. All methods are safe for
+// concurrent use; the hot-swap in Promote is a single pointer update under
+// the manager lock, so there is no serving gap.
+type Manager struct {
+	mu    sync.Mutex
+	cfg   Config
+	slots map[string]*slot
+	order []string
+}
+
+// NewManager returns a Manager with cfg's zero fields defaulted.
+func NewManager(cfg Config) *Manager {
+	return &Manager{cfg: cfg.withDefaults(), slots: map[string]*slot{}}
+}
+
+// Deploy builds src into a fresh candidate for the named slot (creating the
+// slot if needed). The first deployment of a slot goes live immediately —
+// there is no incumbent to mirror against; every later one is staged and
+// must earn promotion through shadow and canary. Build-contained pass
+// failures are surfaced as EventBuildFault events; an outright build failure
+// quarantines the slot for a watchdog retry.
+func (m *Manager) Deploy(name string, src Source) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.slots[name]
+	if s == nil {
+		s = &slot{name: name}
+		m.slots[name] = s
+		m.order = append(m.order, name)
+	}
+	s.source = src
+	s.quarantine = nil
+	s.cand = nil
+	return m.buildCandidateLocked(s)
+}
+
+// buildCandidateLocked runs the slot's source and stages the result.
+func (m *Manager) buildCandidateLocked(s *slot) error {
+	res, err := s.source()
+	if err != nil {
+		m.quarantineLocked(s, StageStaged, "", fmt.Sprintf("build failed: %v", err))
+		return fmt.Errorf("lifecycle: slot %s: build: %w", s.name, err)
+	}
+	for _, pf := range res.PassFailures {
+		m.eventLocked(s, Event{Kind: EventBuildFault, Stage: StageStaged,
+			Generation: s.nextGen + 1, Detail: pf.String()})
+	}
+	if len(res.Culprits) > 0 {
+		m.eventLocked(s, Event{Kind: EventBuildFault, Stage: StageStaged,
+			Generation: s.nextGen + 1,
+			Detail:     fmt.Sprintf("verifier culprits %v (%s fallback)", res.Culprits, res.FellBack)})
+	}
+
+	s.nextGen++
+	d, err := m.newDeployment(res.Prog, s.nextGen)
+	if err != nil {
+		m.quarantineLocked(s, StageStaged, "", fmt.Sprintf("load failed: %v", err))
+		return fmt.Errorf("lifecycle: slot %s: load: %w", s.name, err)
+	}
+	if res.Baseline != nil {
+		// The clang baseline is the slot's fallback of last resort; keep the
+		// one from the most recent successful build.
+		if bl, err := m.newDeployment(res.Baseline, 0); err == nil {
+			s.baseline = bl
+		}
+	}
+
+	if s.live == nil {
+		s.live = d
+		d.stage = StageLive
+		m.eventLocked(s, Event{Kind: EventPromoted, Stage: StageLive, Generation: d.gen,
+			Detail: "initial deployment, no incumbent to shadow"})
+		return nil
+	}
+	d.stage = StageStaged
+	s.cand = d
+	m.eventLocked(s, Event{Kind: EventDeployed, Stage: StageStaged, Generation: d.gen,
+		Detail: fmt.Sprintf("NI %d vs live NI %d", d.prog.NI(), s.live.prog.NI())})
+	return nil
+}
+
+func (m *Manager) newDeployment(prog *ebpf.Program, gen int) (*deployment, error) {
+	mach, err := vm.New(prog, m.cfg.VM)
+	if err != nil {
+		return nil, err
+	}
+	return &deployment{prog: prog, machine: mach, gen: gen}, nil
+}
+
+// Serve runs one unit of traffic through the slot's live program and — when
+// a candidate is in shadow or canary — mirrors a pristine copy of the input
+// through the candidate, replaying the incumbent's helper-nondeterminism
+// stream so divergence is attributable to the code. The incumbent's verdict
+// is always the one returned; an incumbent fault degrades the slot to the
+// last-known-good program or the baseline and answers from there.
+func (m *Manager) Serve(name string, ctx, pkt []byte) (int64, vm.Stats, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.slots[name]
+	if s == nil {
+		return 0, vm.Stats{}, fmt.Errorf("lifecycle: unknown slot %q", name)
+	}
+	m.retryLocked(s)
+	if s.live == nil {
+		return 0, vm.Stats{}, fmt.Errorf("lifecycle: slot %q has nothing deployed", name)
+	}
+
+	if s.cand != nil && s.cand.stage == StageStaged {
+		s.cand.stage = StageShadow
+		m.eventLocked(s, Event{Kind: EventStageAdvance, Stage: StageShadow,
+			Generation: s.cand.gen, Detail: "staged → shadow"})
+	}
+	mirroring := s.cand != nil &&
+		(s.cand.stage == StageShadow || s.cand.stage == StageCanary)
+
+	// Programs rewrite ctx/pkt in place, so the mirror (and a fallback
+	// replay after an incumbent fault) needs pristine copies taken before
+	// the incumbent runs.
+	var mctx, mpkt []byte
+	if mirroring || s.lastGood != nil || s.baseline != nil {
+		mctx = append([]byte(nil), ctx...)
+		mpkt = append([]byte(nil), pkt...)
+	}
+	var rng, ktime uint64
+	if mirroring {
+		rng, ktime = s.live.machine.HelperState()
+	}
+
+	rv, st, err := s.live.machine.Run(ctx, pkt)
+	if err != nil || m.overBudget(st) {
+		return m.degradeLocked(s, mctx, mpkt, err, st)
+	}
+	s.served++
+
+	if mirroring {
+		cand := s.cand
+		cand.machine.SetHelperState(rng, ktime)
+		crv, cst, cerr := cand.machine.Run(mctx, mpkt)
+		s.mirrored++
+		switch {
+		case cerr != nil:
+			kind, detail := classifyFault(cerr, cst)
+			m.quarantineLocked(s, cand.stage, kind, detail)
+		case m.overBudget(cst):
+			m.quarantineLocked(s, cand.stage, FaultBudget,
+				fmt.Sprintf("budget blown: %d insns / %d cycles", cst.Instructions, cst.Cycles))
+		case crv != rv:
+			m.rejectLocked(s, fmt.Sprintf("return divergence: incumbent %d, candidate %d", rv, crv))
+		default:
+			cand.runs++
+			cand.incCycles += st.Cycles
+			cand.candCycles += cst.Cycles
+			m.advanceLocked(s)
+		}
+	}
+	return rv, st, nil
+}
+
+// advanceLocked moves a clean candidate through the stage gates.
+func (m *Manager) advanceLocked(s *slot) {
+	c := s.cand
+	switch c.stage {
+	case StageShadow:
+		if c.runs >= m.cfg.ShadowRuns {
+			c.stage = StageCanary
+			c.runs, c.incCycles, c.candCycles = 0, 0, 0
+			m.eventLocked(s, Event{Kind: EventStageAdvance, Stage: StageCanary,
+				Generation: c.gen, Detail: "shadow → canary"})
+		}
+	case StageCanary:
+		if c.runs < m.cfg.CanaryRuns || c.cleared {
+			return
+		}
+		limit := float64(c.incCycles) * (1 + m.cfg.CycleSlack)
+		if float64(c.candCycles) > limit {
+			m.rejectLocked(s, fmt.Sprintf(
+				"cycle regression: candidate %d vs incumbent %d cycles over %d runs (slack %.0f%%)",
+				c.candCycles, c.incCycles, c.runs, m.cfg.CycleSlack*100))
+			return
+		}
+		c.cleared = true
+		m.eventLocked(s, Event{Kind: EventStageAdvance, Stage: StageCanary,
+			Generation: c.gen,
+			Detail: fmt.Sprintf("canary cleared (%d vs %d cycles); promotable",
+				c.candCycles, c.incCycles)})
+		if m.cfg.AutoPromote {
+			m.promoteLocked(s, "auto-promote after canary")
+		}
+	}
+}
+
+// Promote atomically hot-swaps the slot's candidate to live. Unless force is
+// set the candidate must have cleared canary. The previous incumbent is kept
+// as last-known-good for Rollback.
+func (m *Manager) Promote(name string, force bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.slots[name]
+	if s == nil {
+		return fmt.Errorf("lifecycle: unknown slot %q", name)
+	}
+	if s.cand == nil {
+		return fmt.Errorf("lifecycle: slot %q has no candidate to promote", name)
+	}
+	if !s.cand.cleared && !force {
+		return fmt.Errorf("lifecycle: slot %q candidate gen %d has not cleared canary (stage %s, %d clean runs)",
+			name, s.cand.gen, s.cand.stage, s.cand.runs)
+	}
+	why := "promoted after canary"
+	if !s.cand.cleared {
+		why = "forced promotion"
+	}
+	m.promoteLocked(s, why)
+	return nil
+}
+
+func (m *Manager) promoteLocked(s *slot, why string) {
+	s.lastGood = s.live
+	s.live = s.cand
+	s.live.stage = StageLive
+	s.cand = nil
+	s.quarantine = nil
+	m.eventLocked(s, Event{Kind: EventPromoted, Stage: StageLive,
+		Generation: s.live.gen, Detail: why})
+}
+
+// Rollback restores the previous live program and discards any in-flight
+// candidate.
+func (m *Manager) Rollback(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.slots[name]
+	if s == nil {
+		return fmt.Errorf("lifecycle: unknown slot %q", name)
+	}
+	if s.lastGood == nil {
+		return fmt.Errorf("lifecycle: slot %q has no previous program to roll back to", name)
+	}
+	from := s.live.gen
+	s.live = s.lastGood
+	s.live.stage = StageLive
+	s.lastGood = nil
+	s.cand = nil
+	s.quarantine = nil
+	m.eventLocked(s, Event{Kind: EventRolledBack, Stage: StageLive, Generation: s.live.gen,
+		Detail: fmt.Sprintf("gen %d → gen %d", from, s.live.gen)})
+	return nil
+}
+
+// rejectLocked discards the candidate for a deterministic failure
+// (divergence or cycle regression): rebuilding the same module would produce
+// the same program, so the watchdog does not retry.
+func (m *Manager) rejectLocked(s *slot, detail string) {
+	m.eventLocked(s, Event{Kind: EventRejected, Stage: s.cand.stage,
+		Generation: s.cand.gen, Detail: detail})
+	s.cand = nil
+}
+
+// Tick gives quarantined slots a chance to retry without waiting for
+// traffic.
+func (m *Manager) Tick() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, name := range m.order {
+		m.retryLocked(m.slots[name])
+	}
+}
+
+// Slots lists the slot names in creation order.
+func (m *Manager) Slots() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.order...)
+}
+
+// Status reports a snapshot of every slot in creation order.
+func (m *Manager) Status() []SlotStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]SlotStatus, 0, len(m.order))
+	for _, name := range m.order {
+		out = append(out, m.statusLocked(m.slots[name]))
+	}
+	return out
+}
+
+// StatusOf reports a snapshot of one slot.
+func (m *Manager) StatusOf(name string) (SlotStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.slots[name]
+	if s == nil {
+		return SlotStatus{}, fmt.Errorf("lifecycle: unknown slot %q", name)
+	}
+	return m.statusLocked(s), nil
+}
+
+func (m *Manager) statusLocked(s *slot) SlotStatus {
+	st := SlotStatus{
+		Slot:           s.name,
+		Stage:          StageLive,
+		LiveGeneration: 0,
+		LiveNI:         -1,
+		Served:         s.served,
+		Mirrored:       s.mirrored,
+		Events:         append([]Event(nil), s.events...),
+	}
+	if s.live != nil {
+		st.LiveGeneration = s.live.gen
+		st.LiveNI = s.live.prog.NI()
+	}
+	if s.cand != nil {
+		st.Stage = s.cand.stage
+		st.CandidateGeneration = s.cand.gen
+		st.CandidateStage = s.cand.stage
+		st.CandidateRuns = s.cand.runs
+		st.Cleared = s.cand.cleared
+	} else if s.quarantine != nil {
+		st.Stage = StageQuarantined
+	}
+	if q := s.quarantine; q != nil {
+		st.Retries = q.attempts
+		st.Dead = q.dead
+	}
+	return st
+}
+
+// Events returns a copy of the slot's event ring (oldest first).
+func (m *Manager) Events(name string) []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.slots[name]
+	if s == nil {
+		return nil
+	}
+	return append([]Event(nil), s.events...)
+}
+
+func (m *Manager) eventLocked(s *slot, ev Event) {
+	s.seq++
+	ev.Seq = s.seq
+	ev.Slot = s.name
+	s.events = append(s.events, ev)
+	if n := len(s.events); n > m.cfg.MaxEvents {
+		s.events = append(s.events[:0:0], s.events[n-m.cfg.MaxEvents:]...)
+	}
+}

@@ -1,0 +1,634 @@
+package lifecycle
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"merlin/internal/core"
+	"merlin/internal/ebpf"
+	"merlin/internal/guard"
+	"merlin/internal/ir"
+	"merlin/internal/vm"
+)
+
+// ---- hand-built programs ------------------------------------------------
+//
+// All of these read the packet-data pointer and the first packet byte, then
+// return XDP_PASS (2), so every variant agrees on clean traffic. The
+// "poison" variant additionally dereferences 4096 bytes past the 16-byte
+// context when pkt[0] == 0x55, which the VM reports as a bad-memory fault.
+
+func goodProg() *ebpf.Program {
+	return &ebpf.Program{Name: "good", Hook: ebpf.HookXDP, Insns: []ebpf.Instruction{
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R6, ebpf.R1, 0),
+		ebpf.LoadMem(ebpf.SizeB, ebpf.R7, ebpf.R6, 0),
+		ebpf.Mov64Imm(ebpf.R0, 2),
+		ebpf.Exit(),
+	}}
+}
+
+// slowProg computes the same verdict with a long tail of dead ALU work.
+func slowProg(extra int) *ebpf.Program {
+	insns := []ebpf.Instruction{
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R6, ebpf.R1, 0),
+		ebpf.LoadMem(ebpf.SizeB, ebpf.R7, ebpf.R6, 0),
+	}
+	for i := 0; i < extra; i++ {
+		insns = append(insns, ebpf.ALU64Imm(ebpf.ALUAdd, ebpf.R8, 1))
+	}
+	insns = append(insns, ebpf.Mov64Imm(ebpf.R0, 2), ebpf.Exit())
+	return &ebpf.Program{Name: "slow", Hook: ebpf.HookXDP, Insns: insns}
+}
+
+// divergentProg returns XDP_DROP (1) instead of XDP_PASS.
+func divergentProg() *ebpf.Program {
+	return &ebpf.Program{Name: "divergent", Hook: ebpf.HookXDP, Insns: []ebpf.Instruction{
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R6, ebpf.R1, 0),
+		ebpf.LoadMem(ebpf.SizeB, ebpf.R7, ebpf.R6, 0),
+		ebpf.Mov64Imm(ebpf.R0, 1),
+		ebpf.Exit(),
+	}}
+}
+
+// poisonProg faults on packets whose first byte is 0x55.
+func poisonProg() *ebpf.Program {
+	return &ebpf.Program{Name: "poison", Hook: ebpf.HookXDP, Insns: []ebpf.Instruction{
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R6, ebpf.R1, 0),
+		ebpf.LoadMem(ebpf.SizeB, ebpf.R7, ebpf.R6, 0),
+		ebpf.JumpImm(ebpf.JumpNE, ebpf.R7, 0x55, 1),
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R0, ebpf.R1, 4096),
+		ebpf.Mov64Imm(ebpf.R0, 2),
+		ebpf.Exit(),
+	}}
+}
+
+// faultingProg faults on every input.
+func faultingProg() *ebpf.Program {
+	return &ebpf.Program{Name: "faulting", Hook: ebpf.HookXDP, Insns: []ebpf.Instruction{
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R0, ebpf.R1, 4096),
+		ebpf.Exit(),
+	}}
+}
+
+// progSource fabricates a deployable build result without running the
+// pipeline, so tests can stage arbitrary bytecode.
+func progSource(prog, baseline *ebpf.Program) Source {
+	return func() (*core.Result, error) {
+		return &core.Result{Prog: prog, Baseline: baseline}, nil
+	}
+}
+
+// packet returns a 64-byte packet whose first byte is b, plus its context.
+func packet(b byte) ([]byte, []byte) {
+	pkt := make([]byte, 64)
+	for i := range pkt {
+		pkt[i] = byte(i)
+	}
+	pkt[0] = b
+	return vm.BuildXDPContext(len(pkt)), pkt
+}
+
+// serveClean pushes n clean packets and asserts the incumbent's verdict (2)
+// is served on every single one — the invariant the whole package exists
+// to protect.
+func serveClean(t *testing.T, m *Manager, slot string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		ctx, pkt := packet(0)
+		rv, _, err := m.Serve(slot, ctx, pkt)
+		if err != nil {
+			t.Fatalf("serve %d: %v", i, err)
+		}
+		if rv != 2 {
+			t.Fatalf("serve %d: verdict %d, want 2 (incumbent verdict changed)", i, rv)
+		}
+	}
+}
+
+func eventKinds(evs []Event) []EventKind {
+	out := make([]EventKind, len(evs))
+	for i, ev := range evs {
+		out[i] = ev.Kind
+	}
+	return out
+}
+
+func findEvent(evs []Event, kind EventKind) (Event, bool) {
+	for _, ev := range evs {
+		if ev.Kind == kind {
+			return ev, true
+		}
+	}
+	return Event{}, false
+}
+
+// ---- state machine ------------------------------------------------------
+
+func TestPromotionFlow(t *testing.T) {
+	m := NewManager(Config{ShadowRuns: 4, CanaryRuns: 4})
+	if err := m.Deploy("s", progSource(slowProg(50), nil)); err != nil {
+		t.Fatal(err)
+	}
+	// Candidate is the cheaper program: shadow and canary must both clear.
+	if err := m.Deploy("s", progSource(goodProg(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Promote("s", false); err == nil {
+		t.Fatal("promotion before canary cleared must fail")
+	}
+	serveClean(t, m, "s", 10)
+	st, err := m.StatusOf("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Cleared {
+		t.Fatalf("candidate not cleared after 10 clean runs: %+v", st)
+	}
+	if st.Mirrored == 0 || st.Served != 10 {
+		t.Fatalf("served=%d mirrored=%d, want 10 and >0", st.Served, st.Mirrored)
+	}
+	if err := m.Promote("s", false); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = m.StatusOf("s")
+	if st.LiveGeneration != 2 || st.Stage != StageLive {
+		t.Fatalf("after promote: %+v", st)
+	}
+	// The old incumbent is retained: rollback restores it.
+	if err := m.Rollback("s"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = m.StatusOf("s")
+	if st.LiveGeneration != 1 {
+		t.Fatalf("after rollback live gen = %d, want 1", st.LiveGeneration)
+	}
+	if _, ok := findEvent(m.Events("s"), EventRolledBack); !ok {
+		t.Fatalf("no rolled-back event: %v", eventKinds(m.Events("s")))
+	}
+	serveClean(t, m, "s", 3)
+}
+
+func TestDivergenceTriggersRollback(t *testing.T) {
+	m := NewManager(Config{ShadowRuns: 4, CanaryRuns: 4})
+	if err := m.Deploy("s", progSource(goodProg(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Deploy("s", progSource(divergentProg(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	serveClean(t, m, "s", 5) // first mirrored packet rejects the candidate
+	ev, ok := findEvent(m.Events("s"), EventRejected)
+	if !ok {
+		t.Fatalf("no rejected event: %v", eventKinds(m.Events("s")))
+	}
+	if !strings.Contains(ev.Detail, "divergence") {
+		t.Fatalf("rejection not attributed to divergence: %s", ev.Detail)
+	}
+	if ev.Stage != StageShadow {
+		t.Fatalf("rejected at stage %s, want shadow", ev.Stage)
+	}
+	st, _ := m.StatusOf("s")
+	if st.CandidateGeneration != 0 || st.LiveGeneration != 1 {
+		t.Fatalf("candidate not discarded: %+v", st)
+	}
+	// Deterministic failures are not retried by the watchdog.
+	if st.Retries != 0 || st.Stage == StageQuarantined {
+		t.Fatalf("divergence must not quarantine: %+v", st)
+	}
+}
+
+func TestCycleRegressionRejectedAtCanary(t *testing.T) {
+	m := NewManager(Config{ShadowRuns: 2, CanaryRuns: 2, CycleSlack: 0.25})
+	if err := m.Deploy("s", progSource(goodProg(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Deploy("s", progSource(slowProg(200), nil)); err != nil {
+		t.Fatal(err)
+	}
+	serveClean(t, m, "s", 8)
+	ev, ok := findEvent(m.Events("s"), EventRejected)
+	if !ok {
+		t.Fatalf("no rejected event: %v", eventKinds(m.Events("s")))
+	}
+	if !strings.Contains(ev.Detail, "cycle regression") {
+		t.Fatalf("rejection not attributed to cycle cost: %s", ev.Detail)
+	}
+	if ev.Stage != StageCanary {
+		t.Fatalf("rejected at stage %s, want canary", ev.Stage)
+	}
+}
+
+func TestCanaryStageFaultQuarantines(t *testing.T) {
+	m := NewManager(Config{ShadowRuns: 3, CanaryRuns: 8})
+	if err := m.Deploy("s", progSource(goodProg(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Deploy("s", progSource(poisonProg(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	serveClean(t, m, "s", 5) // clears shadow (3 runs), then 2 canary runs
+	st, _ := m.StatusOf("s")
+	if st.CandidateStage != StageCanary {
+		t.Fatalf("candidate stage = %s, want canary: %+v", st.CandidateStage, st)
+	}
+	// The poison packet faults the candidate mid-canary; the incumbent must
+	// still serve it with its usual verdict.
+	ctx, pkt := packet(0x55)
+	rv, _, err := m.Serve("s", ctx, pkt)
+	if err != nil || rv != 2 {
+		t.Fatalf("poison packet: rv=%d err=%v, want 2/nil from incumbent", rv, err)
+	}
+	ev, ok := findEvent(m.Events("s"), EventQuarantined)
+	if !ok {
+		t.Fatalf("no quarantined event: %v", eventKinds(m.Events("s")))
+	}
+	if ev.Stage != StageCanary {
+		t.Fatalf("quarantined at stage %s, want canary", ev.Stage)
+	}
+	if ev.Fault != vm.FaultBadMemory {
+		t.Fatalf("fault kind %s, want %s (typed, not string-matched)", ev.Fault, vm.FaultBadMemory)
+	}
+	serveClean(t, m, "s", 3)
+}
+
+func TestBudgetBlowoutQuarantines(t *testing.T) {
+	// goodProg costs ~4 instructions per run; the slow candidate blows the
+	// per-run instruction budget and must be quarantined, not promoted.
+	m := NewManager(Config{ShadowRuns: 2, CanaryRuns: 2, InsnBudget: 50})
+	if err := m.Deploy("s", progSource(goodProg(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Deploy("s", progSource(slowProg(200), nil)); err != nil {
+		t.Fatal(err)
+	}
+	serveClean(t, m, "s", 4)
+	ev, ok := findEvent(m.Events("s"), EventQuarantined)
+	if !ok {
+		t.Fatalf("no quarantined event: %v", eventKinds(m.Events("s")))
+	}
+	if ev.Fault != FaultBudget {
+		t.Fatalf("fault kind %s, want %s", ev.Fault, FaultBudget)
+	}
+}
+
+// ---- watchdog: quarantine, backoff, retry, degradation ------------------
+
+func TestQuarantineBackoffAndRetry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	cfg := Config{
+		ShadowRuns: 2, CanaryRuns: 2,
+		MaxRetries: 3, BackoffBase: 100 * time.Millisecond,
+		Now: func() time.Time { return now },
+	}
+	m := NewManager(cfg)
+	if err := m.Deploy("s", progSource(goodProg(), nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	builds := 0
+	flaky := func() (*core.Result, error) {
+		builds++
+		if builds <= 2 {
+			return &core.Result{Prog: faultingProg()}, nil
+		}
+		return &core.Result{Prog: goodProg()}, nil
+	}
+	if err := m.Deploy("s", flaky); err != nil {
+		t.Fatal(err)
+	}
+	serveClean(t, m, "s", 1) // candidate faults on first mirror → quarantine
+	st, _ := m.StatusOf("s")
+	if st.Stage != StageQuarantined {
+		t.Fatalf("stage = %s, want quarantined", st.Stage)
+	}
+
+	// Backoff not yet expired: no rebuild happens.
+	serveClean(t, m, "s", 2)
+	if builds != 1 {
+		t.Fatalf("rebuilt before backoff expired (builds=%d)", builds)
+	}
+
+	// First retry: rebuild is still faulty → re-quarantined, backoff doubles.
+	now = now.Add(150 * time.Millisecond)
+	serveClean(t, m, "s", 1)
+	if builds != 2 {
+		t.Fatalf("retry did not rebuild (builds=%d)", builds)
+	}
+	// 150ms later the doubled (200ms) backoff has not expired.
+	now = now.Add(150 * time.Millisecond)
+	serveClean(t, m, "s", 1)
+	if builds != 2 {
+		t.Fatalf("backoff did not grow (builds=%d)", builds)
+	}
+	// Second retry succeeds and the fresh candidate clears the pipeline.
+	now = now.Add(100 * time.Millisecond)
+	serveClean(t, m, "s", 6)
+	if builds != 3 {
+		t.Fatalf("second retry missing (builds=%d)", builds)
+	}
+	st, _ = m.StatusOf("s")
+	if !st.Cleared {
+		t.Fatalf("recovered candidate not cleared: %+v", st)
+	}
+	if err := m.Promote("s", false); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = m.StatusOf("s")
+	if st.Retries != 0 || st.Stage != StageLive {
+		t.Fatalf("promotion must clear the quarantine ledger: %+v", st)
+	}
+
+	kinds := eventKinds(m.Events("s"))
+	var quarantines, retries int
+	for _, k := range kinds {
+		switch k {
+		case EventQuarantined:
+			quarantines++
+		case EventRetry:
+			retries++
+		}
+	}
+	if quarantines != 2 || retries != 2 {
+		t.Fatalf("quarantined=%d retries=%d, want 2/2: %v", quarantines, retries, kinds)
+	}
+}
+
+func TestRetryExhaustionGivesUp(t *testing.T) {
+	now := time.Unix(1000, 0)
+	m := NewManager(Config{
+		ShadowRuns: 2, CanaryRuns: 2,
+		MaxRetries: 1, BackoffBase: 10 * time.Millisecond,
+		Now: func() time.Time { return now },
+	})
+	if err := m.Deploy("s", progSource(goodProg(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Deploy("s", progSource(faultingProg(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	serveClean(t, m, "s", 1) // quarantine #1
+	now = now.Add(time.Second)
+	serveClean(t, m, "s", 1) // retry #1 → faults again → exhausted
+	if _, ok := findEvent(m.Events("s"), EventGaveUp); !ok {
+		t.Fatalf("no gave-up event: %v", eventKinds(m.Events("s")))
+	}
+	now = now.Add(time.Hour)
+	serveClean(t, m, "s", 5) // no more retries, incumbent serves forever
+	st, _ := m.StatusOf("s")
+	if !st.Dead || st.Retries != 1 {
+		t.Fatalf("retries must stay exhausted: %+v", st)
+	}
+}
+
+func TestIncumbentFaultDegradesToBaseline(t *testing.T) {
+	// The first deploy goes live unshadowed; when it faults, the slot must
+	// fall back to the build's clang baseline and answer from it.
+	m := NewManager(Config{})
+	if err := m.Deploy("s", progSource(poisonProg(), goodProg())); err != nil {
+		t.Fatal(err)
+	}
+	serveClean(t, m, "s", 2)
+	ctx, pkt := packet(0x55)
+	rv, _, err := m.Serve("s", ctx, pkt)
+	if err != nil {
+		t.Fatalf("degraded serve failed: %v", err)
+	}
+	if rv != 2 {
+		t.Fatalf("fallback verdict %d, want 2", rv)
+	}
+	ev, ok := findEvent(m.Events("s"), EventDegraded)
+	if !ok {
+		t.Fatalf("no degraded event: %v", eventKinds(m.Events("s")))
+	}
+	if ev.Fault != vm.FaultBadMemory || !strings.Contains(ev.Detail, "baseline") {
+		t.Fatalf("degradation event wrong: %+v", ev)
+	}
+	serveClean(t, m, "s", 3) // baseline is now live
+}
+
+func TestIncumbentFaultDegradesToLastKnownGood(t *testing.T) {
+	m := NewManager(Config{ShadowRuns: 1, CanaryRuns: 1})
+	if err := m.Deploy("s", progSource(goodProg(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Deploy("s", progSource(poisonProg(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	serveClean(t, m, "s", 4)
+	if err := m.Promote("s", false); err != nil {
+		t.Fatal(err)
+	}
+	// The promoted program faults on poison: last-known-good takes over.
+	ctx, pkt := packet(0x55)
+	rv, _, err := m.Serve("s", ctx, pkt)
+	if err != nil || rv != 2 {
+		t.Fatalf("degraded serve: rv=%d err=%v", rv, err)
+	}
+	ev, ok := findEvent(m.Events("s"), EventDegraded)
+	if !ok {
+		t.Fatalf("no degraded event: %v", eventKinds(m.Events("s")))
+	}
+	if !strings.Contains(ev.Detail, "last-known-good") {
+		t.Fatalf("expected last-known-good fallback: %s", ev.Detail)
+	}
+	st, _ := m.StatusOf("s")
+	if st.LiveGeneration != 1 {
+		t.Fatalf("live gen = %d, want 1 (previous incumbent)", st.LiveGeneration)
+	}
+}
+
+func TestBuildFailureQuarantinesAndRetries(t *testing.T) {
+	now := time.Unix(1000, 0)
+	m := NewManager(Config{
+		ShadowRuns: 1, CanaryRuns: 1,
+		MaxRetries: 2, BackoffBase: 10 * time.Millisecond,
+		Now: func() time.Time { return now },
+	})
+	if err := m.Deploy("s", progSource(goodProg(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	builds := 0
+	src := func() (*core.Result, error) {
+		builds++
+		if builds == 1 {
+			return nil, fmt.Errorf("transient toolchain failure")
+		}
+		return &core.Result{Prog: goodProg()}, nil
+	}
+	if err := m.Deploy("s", src); err == nil {
+		t.Fatal("failing build must surface an error")
+	}
+	serveClean(t, m, "s", 1)
+	now = now.Add(time.Second)
+	serveClean(t, m, "s", 4)
+	if builds != 2 {
+		t.Fatalf("builds = %d, want 2 (one retry)", builds)
+	}
+	st, _ := m.StatusOf("s")
+	if !st.Cleared {
+		t.Fatalf("retried candidate should have cleared: %+v", st)
+	}
+}
+
+// ---- guard-injector matrix ----------------------------------------------
+
+// matrixIR is a small XDP-ish program (bounds check + per-key counter) that
+// exercises every Merlin tier, so an injected pass fault has somewhere to
+// land.
+const matrixIR = `module "matrix"
+map @hits : array key=4 value=8 max=4
+
+func count(%ctx: ptr) -> i64 {
+entry:
+  %key = alloca 4, align 4
+  %vslot = alloca 8, align 8
+  store i32 %key, 0, align 4
+  %data = load ptr, %ctx, align 8
+  %endp = gep %ctx, 8
+  %end = load ptr, %endp, align 8
+  %lim = bin add i64 %data, 14
+  %short = icmp ugt i64 %lim, %end
+  condbr %short, drop, count
+drop:
+  ret 1
+count:
+  %mp = mapptr @hits
+  %v = call 1, %mp, %key
+  store i64 %vslot, %v, align 8
+  %null = icmp eq i64 %v, 0
+  condbr %null, drop, bump
+bump:
+  %vp = load ptr, %vslot, align 8
+  %old = load i64, %vp, align 8
+  %new = bin add i64 %old, 1
+  store i64 %vp, %new, align 8
+  ret 2
+}
+`
+
+// TestInjectorMatrix drives a seeded guard fault into the candidate's build
+// for every injectable mode and proves the acceptance invariant: the
+// incumbent serves 100% of the traffic with unchanged return values, and
+// every injected fault surfaces as a structured build-fault or rollback
+// event — never as a serving gap.
+func TestInjectorMatrix(t *testing.T) {
+	mod, err := ir.Parse(matrixIR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected containment per mode: the event kind that must appear and a
+	// substring of its detail.
+	expect := map[guard.FaultMode]struct {
+		kind   EventKind
+		detail string
+	}{
+		guard.FaultPanic:        {EventBuildFault, "panic"},
+		guard.FaultStall:        {EventBuildFault, "timeout"},
+		guard.FaultCorrupt:      {EventRejected, "divergence"},
+		guard.FaultBadBranch:    {EventBuildFault, "invariant"},
+		guard.FaultUnverifiable: {EventBuildFault, "verifier"},
+	}
+	for _, mode := range guard.Modes() {
+		t.Run(string(mode), func(t *testing.T) {
+			opts := core.Options{Hook: ebpf.HookXDP, MCPU: 2, KernelALU32: true}
+			clean, err := core.BuildForDeploy(mod, "count", opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Reference machine: what the incumbent alone would answer.
+			ref, err := vm.New(clean.Prog.Clone(), vm.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			m := NewManager(Config{ShadowRuns: 4, CanaryRuns: 4})
+			if err := m.Deploy("s", progSource(clean.Prog, clean.Baseline)); err != nil {
+				t.Fatal(err)
+			}
+			// Candidate build carries the injected fault. Differential
+			// validation at build time is off (GuardDiffInputs 0) so
+			// semantic corruption reaches the shadow tier — the online
+			// mirror must be the gate that catches it.
+			injOpts := opts
+			injOpts.GuardDiffInputs = 0
+			injOpts.PassTimeout = 30 * time.Millisecond
+			injOpts.Injector = &guard.FaultInjector{Pass: "CP&DCE", Mode: mode}
+			if err := m.Deploy("s", ModuleSource(mod, "count", injOpts)); err != nil {
+				t.Fatal(err)
+			}
+
+			inputs := guard.Inputs(ebpf.HookXDP, 12, 99)
+			for i, in := range inputs {
+				want, _, werr := ref.Run(
+					append([]byte(nil), in.Ctx...), append([]byte(nil), in.Pkt...))
+				if werr != nil {
+					t.Fatalf("reference run %d: %v", i, werr)
+				}
+				got, _, gerr := m.Serve("s",
+					append([]byte(nil), in.Ctx...), append([]byte(nil), in.Pkt...))
+				if gerr != nil {
+					t.Fatalf("input %d: incumbent stopped serving: %v", i, gerr)
+				}
+				if got != want {
+					t.Fatalf("input %d: served verdict %d, incumbent's is %d", i, got, want)
+				}
+			}
+			st, _ := m.StatusOf("s")
+			if st.Served != uint64(len(inputs)) {
+				t.Fatalf("served %d of %d", st.Served, len(inputs))
+			}
+
+			exp := expect[mode]
+			evs := m.Events("s")
+			found := false
+			for _, ev := range evs {
+				if ev.Kind == exp.kind && strings.Contains(ev.Detail, exp.detail) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("mode %s: no %s event mentioning %q in %v", mode, exp.kind, exp.detail, evs)
+			}
+			// Whatever the mode did, the slot's live program is untouched.
+			if st.LiveGeneration != 1 {
+				t.Fatalf("mode %s: live generation changed to %d", mode, st.LiveGeneration)
+			}
+		})
+	}
+}
+
+// TestHelperStateMirroring proves the mirroring hook: a candidate using
+// get_prandom_u32 must see the incumbent's exact helper stream, otherwise
+// identical programs would false-diverge in shadow.
+func TestHelperStateMirroring(t *testing.T) {
+	prandProg := func(name string) *ebpf.Program {
+		return &ebpf.Program{Name: name, Hook: ebpf.HookXDP, Insns: []ebpf.Instruction{
+			ebpf.Call(7), // get_prandom_u32
+			ebpf.ALU64Imm(ebpf.ALUAnd, ebpf.R0, 1),
+			ebpf.Exit(),
+		}}
+	}
+	m := NewManager(Config{ShadowRuns: 8, CanaryRuns: 8})
+	if err := m.Deploy("s", progSource(prandProg("a"), nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Deploy("s", progSource(prandProg("b"), nil)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, pkt := packet(0)
+	for i := 0; i < 20; i++ {
+		if _, _, err := m.Serve("s", append([]byte(nil), ctx...), append([]byte(nil), pkt...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ev, rejected := findEvent(m.Events("s"), EventRejected); rejected {
+		t.Fatalf("identical prandom programs diverged: %s", ev.Detail)
+	}
+	st, _ := m.StatusOf("s")
+	if !st.Cleared {
+		t.Fatalf("candidate should have cleared: %+v", st)
+	}
+}

@@ -1,0 +1,117 @@
+package lifecycle
+
+import (
+	"fmt"
+
+	"merlin/internal/vm"
+)
+
+// The watchdog half of the manager: per-run budget enforcement, quarantine
+// with exponential-backoff rebuilds, and incumbent degradation. Everything
+// here runs under the manager lock.
+
+// overBudget reports whether a single run blew the configured caps.
+func (m *Manager) overBudget(st vm.Stats) bool {
+	return (m.cfg.InsnBudget > 0 && st.Instructions > m.cfg.InsnBudget) ||
+		(m.cfg.CycleBudget > 0 && st.Cycles > m.cfg.CycleBudget)
+}
+
+// classifyFault maps a run error to the watchdog's fault taxonomy.
+func classifyFault(err error, st vm.Stats) (vm.FaultKind, string) {
+	if err == nil {
+		return FaultBudget, fmt.Sprintf("budget blown: %d insns / %d cycles", st.Instructions, st.Cycles)
+	}
+	if re, ok := vm.AsRuntimeError(err); ok {
+		return re.Kind, re.Error()
+	}
+	return vm.FaultKind("error"), err.Error()
+}
+
+// quarantineLocked tears the candidate down and schedules a rebuild after an
+// exponential backoff, or gives up once MaxRetries rebuilds have been
+// consumed. The incumbent is untouched and keeps serving.
+func (m *Manager) quarantineLocked(s *slot, at Stage, kind vm.FaultKind, detail string) {
+	gen := s.nextGen
+	if s.cand != nil {
+		gen = s.cand.gen
+	}
+	s.cand = nil
+	if s.quarantine == nil {
+		s.quarantine = &quarantineState{}
+	}
+	q := s.quarantine
+	q.reason = detail
+	m.eventLocked(s, Event{Kind: EventQuarantined, Stage: at, Generation: gen,
+		Fault: kind, Detail: detail})
+	if q.attempts >= m.cfg.MaxRetries {
+		q.dead = true
+		liveGen := 0
+		if s.live != nil {
+			liveGen = s.live.gen
+		}
+		m.eventLocked(s, Event{Kind: EventGaveUp, Stage: StageQuarantined, Generation: gen,
+			Detail: fmt.Sprintf("%d rebuild attempts exhausted; serving gen %d indefinitely",
+				q.attempts, liveGen)})
+		return
+	}
+	backoff := m.cfg.BackoffBase << q.attempts
+	q.notBefore = m.cfg.Now().Add(backoff)
+}
+
+// retryLocked rebuilds a quarantined slot once its backoff has expired. The
+// quarantine ledger survives a successful rebuild — if the fresh candidate
+// faults again the backoff keeps growing — and is only cleared by a
+// promotion, rollback or a new Deploy.
+func (m *Manager) retryLocked(s *slot) {
+	q := s.quarantine
+	if q == nil || q.dead || s.source == nil || s.cand != nil {
+		return
+	}
+	if m.cfg.Now().Before(q.notBefore) {
+		return
+	}
+	q.attempts++
+	m.eventLocked(s, Event{Kind: EventRetry, Stage: StageQuarantined,
+		Detail: fmt.Sprintf("rebuild attempt %d/%d after %q", q.attempts, m.cfg.MaxRetries, q.reason)})
+	// A failed rebuild re-quarantines inside buildCandidateLocked; the error
+	// itself has nowhere to go mid-Serve and is already recorded as events.
+	_ = m.buildCandidateLocked(s)
+}
+
+// degradeLocked handles an incumbent fault: swap in the last-known-good
+// program (or the clang baseline) and answer the request from it, replaying
+// the pristine input copies. This is the graceful-degradation floor — the
+// slot keeps serving even when the live program is broken.
+func (m *Manager) degradeLocked(s *slot, ctx, pkt []byte, err error, st vm.Stats) (int64, vm.Stats, error) {
+	kind, detail := classifyFault(err, st)
+	faulted := s.live
+	var fb *deployment
+	var fbName string
+	switch {
+	case s.lastGood != nil && s.lastGood != faulted:
+		fb, fbName = s.lastGood, "last-known-good"
+		s.lastGood = nil
+	case s.baseline != nil && s.baseline != faulted:
+		fb, fbName = s.baseline, "baseline"
+	}
+	if fb == nil {
+		m.eventLocked(s, Event{Kind: EventDegraded, Stage: StageLive, Generation: faulted.gen,
+			Fault: kind, Detail: detail + " (no fallback available)"})
+		if err == nil {
+			err = fmt.Errorf("lifecycle: slot %q: %s", s.name, detail)
+		}
+		return 0, st, err
+	}
+	s.live = fb
+	fb.stage = StageLive
+	m.eventLocked(s, Event{Kind: EventDegraded, Stage: StageLive, Generation: faulted.gen,
+		Fault: kind,
+		Detail: fmt.Sprintf("incumbent gen %d faulted (%s); degraded to %s gen %d",
+			faulted.gen, detail, fbName, fb.gen)})
+	rv, fst, ferr := fb.machine.Run(ctx, pkt)
+	if ferr != nil {
+		return 0, fst, fmt.Errorf("lifecycle: slot %q: fallback also faulted: %w", s.name, ferr)
+	}
+	s.served++
+	return rv, fst, nil
+}

@@ -77,10 +77,10 @@ func (m *Machine) Run(ctx, pkt []byte) (int64, Stats, error) {
 	pc := 0
 	for step := 0; ; step++ {
 		if step >= m.cfg.StepLimit {
-			return 0, st, fmt.Errorf("vm: step limit exceeded")
+			return 0, st, faultf(FaultStepLimit, pc, "step limit %d exceeded", m.cfg.StepLimit)
 		}
 		if pc < 0 || pc >= len(insns) {
-			return 0, st, fmt.Errorf("vm: pc %d out of range", pc)
+			return 0, st, faultf(FaultBadPC, -1, "pc %d out of range", pc)
 		}
 		ins := insns[pc]
 		st.Instructions += uint64(ins.Slots())
@@ -89,16 +89,16 @@ func (m *Machine) Run(ctx, pkt []byte) (int64, Stats, error) {
 		case ebpf.ClassALU64:
 			st.Cycles += c.ALU
 			if err := execALU(&regs, ins, false, m); err != nil {
-				return 0, st, err
+				return 0, st, wrapFault(err, FaultBadInstruction, pc, "")
 			}
 		case ebpf.ClassALU:
 			st.Cycles += c.ALU
 			if err := execALU(&regs, ins, true, m); err != nil {
-				return 0, st, err
+				return 0, st, wrapFault(err, FaultBadInstruction, pc, "")
 			}
 		case ebpf.ClassLD:
 			if !ins.IsWide() {
-				return 0, st, fmt.Errorf("vm: unsupported legacy ld at %d", pc)
+				return 0, st, faultf(FaultBadInstruction, pc, "unsupported legacy ld")
 			}
 			st.Cycles += c.WideImm
 			if ins.IsMapLoad() {
@@ -111,7 +111,7 @@ func (m *Machine) Run(ctx, pkt []byte) (int64, Stats, error) {
 			size := ins.SizeField().Bytes()
 			buf, off, err := memAccess(regs[ins.Src]+uint64(int64(ins.Offset)), size, false)
 			if err != nil {
-				return 0, st, fmt.Errorf("vm: insn %d (%s): %w", pc, ebpf.Mnemonic(ins), err)
+				return 0, st, wrapFault(err, FaultBadMemory, pc, ebpf.Mnemonic(ins))
 			}
 			regs[ins.Dst] = loadBytes(buf[off:], size)
 		case ebpf.ClassST, ebpf.ClassSTX:
@@ -121,7 +121,7 @@ func (m *Machine) Run(ctx, pkt []byte) (int64, Stats, error) {
 				st.Cycles += c.Atomic
 				buf, off, err := memAccess(addr, size, true)
 				if err != nil {
-					return 0, st, fmt.Errorf("vm: insn %d (%s): %w", pc, ebpf.Mnemonic(ins), err)
+					return 0, st, wrapFault(err, FaultBadMemory, pc, ebpf.Mnemonic(ins))
 				}
 				old := loadBytes(buf[off:], size)
 				var nv uint64
@@ -135,14 +135,14 @@ func (m *Machine) Run(ctx, pkt []byte) (int64, Stats, error) {
 				case ebpf.AtomicXor:
 					nv = old ^ regs[ins.Src]
 				default:
-					return 0, st, fmt.Errorf("vm: unknown atomic op %#x", ins.Imm)
+					return 0, st, faultf(FaultBadInstruction, pc, "unknown atomic op %#x", ins.Imm)
 				}
 				storeBytes(buf[off:], size, nv)
 			} else {
 				st.Cycles += c.Store
 				buf, off, err := memAccess(addr, size, true)
 				if err != nil {
-					return 0, st, fmt.Errorf("vm: insn %d (%s): %w", pc, ebpf.Mnemonic(ins), err)
+					return 0, st, wrapFault(err, FaultBadMemory, pc, ebpf.Mnemonic(ins))
 				}
 				val := regs[ins.Src]
 				if ins.Class() == ebpf.ClassST {
@@ -161,13 +161,13 @@ func (m *Machine) Run(ctx, pkt []byte) (int64, Stats, error) {
 				st.Cycles += c.CallBase
 				st.HelperCalls++
 				if err := m.call(&regs, ins.Imm, &st, ctx, pkt); err != nil {
-					return 0, st, fmt.Errorf("vm: insn %d: %w", pc, err)
+					return 0, st, wrapFault(err, FaultHelper, pc, "")
 				}
 			case ebpf.JumpAlways:
 				st.Cycles += c.Branch
 				tgt, ok := elemAt[slotOf[pc]+ins.Slots()+int(ins.Offset)]
 				if !ok {
-					return 0, st, fmt.Errorf("vm: bad jump target at %d", pc)
+					return 0, st, faultf(FaultBadPC, pc, "bad jump target")
 				}
 				pc = tgt
 				continue
@@ -177,14 +177,14 @@ func (m *Machine) Run(ctx, pkt []byte) (int64, Stats, error) {
 				if taken {
 					tgt, ok := elemAt[slotOf[pc]+ins.Slots()+int(ins.Offset)]
 					if !ok {
-						return 0, st, fmt.Errorf("vm: bad branch target at %d", pc)
+						return 0, st, faultf(FaultBadPC, pc, "bad branch target")
 					}
 					pc = tgt
 					continue
 				}
 			}
 		default:
-			return 0, st, fmt.Errorf("vm: unsupported class %s at %d", ins.Class(), pc)
+			return 0, st, faultf(FaultBadInstruction, pc, "unsupported class %s", ins.Class())
 		}
 		pc++
 	}
@@ -279,7 +279,7 @@ func execALU(regs *[ebpf.NumRegisters]uint64, ins ebpf.Instruction, is32 bool, m
 	case ebpf.ALUMov:
 		r = src
 	default:
-		return fmt.Errorf("vm: unsupported alu op %#x", ins.Opcode)
+		return faultf(FaultBadInstruction, -1, "unsupported alu op %#x", ins.Opcode)
 	}
 	if is32 {
 		r &= 0xffffffff

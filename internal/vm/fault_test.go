@@ -1,0 +1,72 @@
+package vm
+
+import (
+	"testing"
+
+	"merlin/internal/ebpf"
+)
+
+// faultRun executes insns and returns the typed fault, failing if none fires.
+func faultRun(t *testing.T, insns []ebpf.Instruction, cfg Config, ctx, pkt []byte) *RuntimeError {
+	t.Helper()
+	m, err := New(&ebpf.Program{Name: "fault", Insns: insns}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, rerr := m.Run(ctx, pkt)
+	if rerr == nil {
+		t.Fatal("program expected to fault")
+	}
+	re, ok := AsRuntimeError(rerr)
+	if !ok {
+		t.Fatalf("fault is not a RuntimeError: %v", rerr)
+	}
+	return re
+}
+
+func TestFaultStepLimit(t *testing.T) {
+	re := faultRun(t, []ebpf.Instruction{
+		ebpf.Jump(-1),
+		ebpf.Exit(),
+	}, Config{StepLimit: 64}, nil, nil)
+	if re.Kind != FaultStepLimit {
+		t.Fatalf("kind = %s, want %s", re.Kind, FaultStepLimit)
+	}
+}
+
+func TestFaultBadMemoryCarriesPC(t *testing.T) {
+	re := faultRun(t, []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R0, 0),
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R0, ebpf.R1, 4096), // ctx is 16 bytes
+		ebpf.Exit(),
+	}, Config{}, BuildXDPContext(64), make([]byte, 64))
+	if re.Kind != FaultBadMemory {
+		t.Fatalf("kind = %s, want %s", re.Kind, FaultBadMemory)
+	}
+	if re.PC != 1 {
+		t.Fatalf("pc = %d, want 1", re.PC)
+	}
+}
+
+func TestFaultBadPC(t *testing.T) {
+	re := faultRun(t, []ebpf.Instruction{
+		ebpf.Jump(100),
+		ebpf.Exit(),
+	}, Config{}, nil, nil)
+	if re.Kind != FaultBadPC {
+		t.Fatalf("kind = %s, want %s", re.Kind, FaultBadPC)
+	}
+}
+
+func TestFaultHelperUnknown(t *testing.T) {
+	re := faultRun(t, []ebpf.Instruction{
+		ebpf.Call(9999),
+		ebpf.Exit(),
+	}, Config{}, nil, nil)
+	if re.Kind != FaultHelper {
+		t.Fatalf("kind = %s, want %s", re.Kind, FaultHelper)
+	}
+	if re.PC != 0 {
+		t.Fatalf("pc = %d, want 0", re.PC)
+	}
+}

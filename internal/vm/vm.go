@@ -181,8 +181,18 @@ func (m *Machine) region(addr uint64, size int, ctx, pkt []byte) ([]byte, int, e
 			}
 		}
 	}
-	return nil, 0, fmt.Errorf("vm: bad memory access at %#x size %d", addr, size)
+	return nil, 0, &RuntimeError{Kind: FaultBadMemory, PC: -1,
+		Detail: fmt.Sprintf("bad memory access at %#x size %d", addr, size)}
 }
+
+// HelperState snapshots the nondeterministic helper state (the PRNG behind
+// get_prandom_u32 and the synthetic ktime clock).
+func (m *Machine) HelperState() (rng, ktime uint64) { return m.rng, m.ktime }
+
+// SetHelperState overwrites the helper state. The lifecycle manager uses it
+// to replay the incumbent's helper stream into a mirrored candidate, so a
+// return-value divergence means the programs differ — not their dice rolls.
+func (m *Machine) SetHelperState(rng, ktime uint64) { m.rng, m.ktime = rng, ktime }
 
 func (m *Machine) prandom() uint64 {
 	// xorshift64*
