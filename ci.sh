@@ -15,9 +15,15 @@ go vet ./...
 go build ./...
 go test -race ./...
 
+# The multi-slot telemetry stress test gets an extra -count=2 pass under the
+# race detector: it is the one test that races live traffic against
+# deploy/promote/rollback churn while sampling the registry.
+go test -race -count=2 -run 'TestMultiSlotStress' ./internal/lifecycle/
+
 # Lifecycle smoke: deploy → mirror traffic → hot-swap → rollback must all
-# answer "ok" (merlind exits non-zero if any command fails).
-printf '%s\n' \
+# answer "ok" (merlind exits non-zero if any command fails), and the metrics
+# dump must account for every one of the 4+10 packets driven above.
+SMOKE_OUT=$(printf '%s\n' \
     'deploy smoke corpus:xdp1' \
     'traffic smoke 4' \
     'deploy smoke corpus:xdp1' \
@@ -26,5 +32,8 @@ printf '%s\n' \
     'rollback smoke' \
     'status' \
     'events smoke' \
+    'metrics' \
     'quit' \
-    | go run ./cmd/merlind -shadow 4 -canary 4
+    | go run ./cmd/merlind -shadow 4 -canary 4)
+echo "$SMOKE_OUT"
+echo "$SMOKE_OUT" | grep -q 'merlin_lifecycle_served_total{slot="smoke"} 14'

@@ -23,6 +23,9 @@
 //	-guard-diff-inputs N  sampled inputs for per-pass differential
 //	               validation under -guard (0 disables; default 4)
 //	-pass-timeout d       per-pass wall-clock budget under -guard
+//	-metrics       print a build-pipeline metrics summary (Prometheus text
+//	               format: per-pass wall time, rollbacks, bisections,
+//	               verifier verdicts) after compilation
 package main
 
 import (
@@ -35,6 +38,7 @@ import (
 	"merlin/internal/ebpf"
 	"merlin/internal/guard"
 	"merlin/internal/ir"
+	"merlin/internal/metrics"
 	"merlin/internal/objfile"
 )
 
@@ -57,6 +61,7 @@ func run() error {
 	useGuard := flag.Bool("guard", false, "fault-isolate every Merlin pass with validated rollback")
 	guardDiff := flag.Int("guard-diff-inputs", 4, "sampled inputs for per-pass differential validation (0 disables)")
 	passTimeout := flag.Duration("pass-timeout", guard.DefaultTimeout, "per-pass wall-clock budget under -guard")
+	showMetrics := flag.Bool("metrics", false, "print a build-pipeline metrics summary after compilation")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -91,6 +96,11 @@ func run() error {
 	opts := core.Options{
 		Hook: hook, MCPU: *mcpu, KernelALU32: true, Verify: !*noVerify,
 		Guard: *useGuard, GuardDiffInputs: *guardDiff, PassTimeout: *passTimeout,
+	}
+	var reg *metrics.Registry
+	if *showMetrics {
+		reg = metrics.New()
+		opts.Metrics = core.NewMetrics(reg)
 	}
 	if *disable != "" {
 		valid := map[string]bool{}
@@ -148,6 +158,12 @@ func run() error {
 	}
 	if *disasm {
 		fmt.Println("\n" + ebpf.Disassemble(res.Prog))
+	}
+	if reg != nil {
+		fmt.Println("\n-- build metrics --")
+		if err := reg.WriteText(os.Stdout); err != nil {
+			return err
+		}
 	}
 	if *out != "" {
 		if err := objfile.Write(*out, res.Prog); err != nil {

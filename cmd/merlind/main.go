@@ -19,8 +19,16 @@
 //	rollback <slot>                               restore previous live program
 //	status                                        one line per slot
 //	events <slot>                                 dump the slot's event ring
+//	metrics                                       dump the metrics registry
+//	                                              (Prometheus text format)
 //	tick                                          let quarantined slots retry
 //	quit                                          exit
+//
+// Every layer reports into one metrics registry: the VM (per-run cycles,
+// instructions, fault kinds), the build pipeline (per-pass wall time,
+// rollbacks, verifier verdicts) and the lifecycle manager (per-slot serve
+// and mirror counters, per-EventKind counters drained losslessly from the
+// event rings, canary cycle histograms). `metrics` encodes the whole thing.
 //
 // Flags tune the lifecycle gates: -shadow/-canary (clean mirrored runs per
 // stage), -cycle-slack (tolerated canary cycle regression), -insn-budget and
@@ -44,11 +52,13 @@ import (
 	"merlin/internal/guard"
 	"merlin/internal/ir"
 	"merlin/internal/lifecycle"
+	"merlin/internal/metrics"
 	"merlin/internal/vm"
 )
 
 type daemon struct {
 	mgr       *lifecycle.Manager
+	reg       *metrics.Registry
 	buildOpts core.Options
 	seed      int64
 	traffic   int64 // packets generated so far, advances the input stream
@@ -84,6 +94,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	reg := metrics.New()
 	d := &daemon{
 		mgr: lifecycle.NewManager(lifecycle.Config{
 			ShadowRuns:  *shadow,
@@ -94,11 +105,14 @@ func main() {
 			MaxRetries:  *retries,
 			BackoffBase: *backoff,
 			AutoPromote: *autoPromote,
-			VM:          vm.Config{Seed: uint64(*seed)},
+			Metrics:     reg,
+			VM:          vm.Config{Seed: uint64(*seed), Metrics: vm.NewMetrics(reg)},
 		}),
+		reg: reg,
 		buildOpts: core.Options{
 			Hook: hook, MCPU: *mcpu, KernelALU32: true,
 			GuardDiffInputs: *guardDiff, PassTimeout: *passTimeout,
+			Metrics: core.NewMetrics(reg),
 		},
 		seed: *seed,
 	}
@@ -181,6 +195,13 @@ func (d *daemon) dispatch(line string) error {
 			fmt.Println(ev)
 		}
 		fmt.Printf("ok events %s\n", args[0])
+		return nil
+	case "metrics":
+		d.mgr.CollectMetrics()
+		if err := d.reg.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println("ok metrics")
 		return nil
 	case "tick":
 		d.mgr.Tick()

@@ -4,6 +4,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -72,6 +74,125 @@ func TestMerlindHotSwapFlow(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// promSeries matches one Prometheus text-exposition sample line:
+// name{labels} value, with the label block optional.
+var promSeries = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?\d+$`)
+
+// parseMetrics extracts the metric lines from a merlind transcript (between
+// the first exposition line and the "ok metrics" ack) and asserts every
+// sample parses.
+func parseMetrics(t *testing.T, out string) map[string]int64 {
+	t.Helper()
+	series := map[string]int64{}
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "ok ") ||
+			strings.HasPrefix(line, "err ") || strings.HasPrefix(line, "slot=") ||
+			strings.HasPrefix(line, "slot ") {
+			continue
+		}
+		if !strings.HasPrefix(line, "merlin_") {
+			continue
+		}
+		if !promSeries.MatchString(line) {
+			t.Errorf("unparseable metric line %q", line)
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseInt(line[sp+1:], 10, 64)
+		if err != nil {
+			t.Errorf("bad value in %q: %v", line, err)
+			continue
+		}
+		series[line[:sp]] = v
+	}
+	if len(series) == 0 {
+		t.Fatalf("no metric series found in output:\n%s", out)
+	}
+	return series
+}
+
+func TestMerlindMetricsCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildMerlind(t)
+	// deploy → mirrored traffic → promote → more traffic → metrics: the
+	// exported values must be consistent with the driven traffic.
+	script := strings.Join([]string{
+		"deploy lb corpus:xdp1",
+		"traffic lb 6",
+		"deploy lb corpus:xdp1",
+		"traffic lb 10",
+		"promote lb",
+		"traffic lb 4",
+		"metrics",
+		"quit",
+	}, "\n") + "\n"
+	out, err := runScript(t, bin, script, "-shadow", "4", "-canary", "4")
+	if err != nil {
+		t.Fatalf("merlind failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "ok metrics") {
+		t.Fatalf("missing metrics ack:\n%s", out)
+	}
+	series := parseMetrics(t, out)
+
+	// 6 + 10 + 4 packets served; the middle 10 were mirrored into the
+	// candidate; every served and mirrored packet is one VM run.
+	for key, want := range map[string]int64{
+		`merlin_lifecycle_served_total{slot="lb"}`:                                 20,
+		`merlin_lifecycle_mirrored_total{slot="lb"}`:                               10,
+		`merlin_vm_runs_total`:                                                     30,
+		`merlin_lifecycle_events_total{kind="promoted",slot="lb"}`:                 2,
+		`merlin_lifecycle_mirror_divergence_total{slot="lb"}`:                      0,
+		`merlin_build_total`:                                                       2,
+		`merlin_build_verifier_verdicts_total{program="optimized",verdict="pass"}`: 2,
+	} {
+		got, ok := series[key]
+		if !ok {
+			t.Errorf("metric %s missing from output", key)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %d, want %d", key, got, want)
+		}
+	}
+	// Structural families must be present for every instrumented layer.
+	for _, family := range []string{
+		"# TYPE merlin_vm_run_cycles histogram",
+		"# TYPE merlin_lifecycle_canary_cycles histogram",
+		"# TYPE merlin_build_pass_duration_us histogram",
+		"# TYPE merlin_lifecycle_live_generation gauge",
+	} {
+		if !strings.Contains(out, family) {
+			t.Errorf("output missing %q", family)
+		}
+	}
+}
+
+func TestMerlincMetricsFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildTools(t)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "count.mir")
+	if err := os.WriteFile(src, []byte(sampleIR), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, filepath.Join(bins, "merlinc"), "-metrics", src)
+	for _, want := range []string{
+		"-- build metrics --",
+		"merlin_build_total 1",
+		`merlin_build_verifier_verdicts_total{program="optimized",verdict="pass"} 1`,
+		`merlin_build_pass_duration_us_count{pass="DAO",tier="ir"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merlinc -metrics output missing %q:\n%s", want, out)
 		}
 	}
 }

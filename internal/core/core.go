@@ -85,6 +85,11 @@ type Options struct {
 	// Injector deterministically injects faults into guarded passes; tests
 	// and merlin-fuzz use it to prove containment. Nil injects nothing.
 	Injector *guard.FaultInjector
+
+	// Metrics, when set, records build telemetry (builds, per-pass wall
+	// time, rollbacks, bisections, fallbacks, verifier verdicts) into its
+	// registry after every Build.
+	Metrics *Metrics
 }
 
 // DefaultOptions returns the paper's default configuration.
@@ -158,6 +163,12 @@ const guardDiffSeed = 1
 // Build compiles function fnName of mod through the full Merlin pipeline.
 // The input module is never mutated.
 func Build(mod *ir.Module, fnName string, opts Options) (*Result, error) {
+	res, err := build(mod, fnName, opts)
+	opts.Metrics.record(opts, res, err)
+	return res, err
+}
+
+func build(mod *ir.Module, fnName string, opts Options) (*Result, error) {
 	if opts.MCPU == 0 {
 		opts.MCPU = 2
 	}

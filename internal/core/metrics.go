@@ -1,0 +1,80 @@
+package core
+
+import (
+	"merlin/internal/metrics"
+)
+
+// Metrics aggregates build-pipeline telemetry into a metrics.Registry:
+// builds and build errors, per-pass wall time, guarded-pass rollbacks,
+// culprit bisections, degradation fallbacks, and verifier verdicts. The
+// build path is not a packet path, so per-pass series (labeled by pass name)
+// may be created lazily under the registry lock.
+type Metrics struct {
+	reg        *metrics.Registry
+	builds     *metrics.Counter
+	errors     *metrics.Counter
+	bisections *metrics.Counter
+	merlinUS   *metrics.Counter
+}
+
+// NewMetrics registers the build metric families in reg.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		reg: reg,
+		builds: reg.Counter("merlin_build_total",
+			"core.Build invocations, including failed ones."),
+		errors: reg.Counter("merlin_build_errors_total",
+			"core.Build invocations that returned an error."),
+		bisections: reg.Counter("merlin_build_bisections_total",
+			"Builds whose final verifier rejection triggered culprit bisection."),
+		merlinUS: reg.Counter("merlin_build_optimizer_us_total",
+			"Total microseconds spent in Merlin optimizer passes."),
+	}
+}
+
+// record accounts one finished build. Safe on a nil receiver.
+func (m *Metrics) record(opts Options, res *Result, err error) {
+	if m == nil {
+		return
+	}
+	m.builds.Inc()
+	if err != nil {
+		m.errors.Inc()
+	}
+	if res == nil {
+		return
+	}
+	for _, st := range res.Stats {
+		m.reg.Histogram("merlin_build_pass_duration_us",
+			"Per-pass wall time in microseconds (log2 buckets).",
+			"pass", st.Name, "tier", st.Tier).Observe(uint64(st.Duration.Microseconds()))
+	}
+	for _, pf := range res.PassFailures {
+		m.reg.Counter("merlin_build_pass_rollbacks_total",
+			"Guarded passes rolled back to their pre-pass snapshot, by pass and containment kind.",
+			"pass", pf.Pass, "kind", string(pf.Kind)).Inc()
+	}
+	if len(res.Culprits) > 0 {
+		m.bisections.Inc()
+	}
+	if res.FellBack != "" {
+		m.reg.Counter("merlin_build_fallback_total",
+			"Guarded builds that degraded, by fallback mode.",
+			"mode", res.FellBack).Inc()
+	}
+	if opts.Verify {
+		m.verdict("optimized", res.Verification.Passed)
+		m.verdict("baseline", res.BaselineVerification.Passed)
+	}
+	m.merlinUS.Add(uint64(res.MerlinTime.Microseconds()))
+}
+
+func (m *Metrics) verdict(program string, passed bool) {
+	v := "reject"
+	if passed {
+		v = "pass"
+	}
+	m.reg.Counter("merlin_build_verifier_verdicts_total",
+		"Simulated kernel verifier verdicts per program flavor.",
+		"program", program, "verdict", v).Inc()
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"merlin/internal/guard"
+	"merlin/internal/metrics"
+)
+
+func TestBuildRecordsMetrics(t *testing.T) {
+	reg := metrics.New()
+	opts := DefaultOptions()
+	opts.Metrics = NewMetrics(reg)
+
+	if _, err := Build(parseDemo(t), "count", opts); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap["merlin_build_total"]; got != 1 {
+		t.Fatalf("merlin_build_total = %d, want 1", got)
+	}
+	if got := snap["merlin_build_errors_total"]; got != 0 {
+		t.Fatalf("merlin_build_errors_total = %d, want 0", got)
+	}
+	for _, key := range []string{
+		`merlin_build_verifier_verdicts_total{program="optimized",verdict="pass"}`,
+		`merlin_build_verifier_verdicts_total{program="baseline",verdict="pass"}`,
+	} {
+		if got := snap[key]; got != 1 {
+			t.Errorf("%s = %d, want 1 (snapshot %v)", key, got, snap)
+		}
+	}
+	// Every recorded pass gets a wall-time histogram series.
+	text := reg.Text()
+	for _, pass := range []string{"DAO", "SLM", "CP&DCE"} {
+		if !strings.Contains(text, `merlin_build_pass_duration_us_count{pass="`+pass+`"`) {
+			t.Errorf("no pass duration series for %s:\n%s", pass, text)
+		}
+	}
+}
+
+func TestGuardedRollbackRecordsMetrics(t *testing.T) {
+	reg := metrics.New()
+	opts := DefaultOptions()
+	opts.Guard = true
+	opts.Metrics = NewMetrics(reg)
+	opts.Injector = &guard.FaultInjector{Pass: string(SLM), Mode: guard.FaultPanic}
+
+	res, err := Build(parseDemo(t), "count", opts)
+	if err != nil {
+		t.Fatalf("guarded build must contain the injected panic: %v", err)
+	}
+	if len(res.PassFailures) == 0 {
+		t.Fatal("injected fault produced no PassFailures")
+	}
+	snap := reg.Snapshot()
+	if got := snap[`merlin_build_pass_rollbacks_total{kind="panic",pass="SLM"}`]; got != 1 {
+		t.Fatalf("rollback counter = %d, want 1 (snapshot %v)", got, snap)
+	}
+}

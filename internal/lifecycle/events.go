@@ -126,6 +126,9 @@ type SlotStatus struct {
 	// are exhausted.
 	Retries int
 	Dead    bool
+	// EventSeq is the total number of events the slot has ever emitted (the
+	// Seq of the newest event); the bounded ring below may hold fewer.
+	EventSeq int
 	// Events is a copy of the slot's recent event ring (oldest first).
 	Events []Event
 }

@@ -21,6 +21,7 @@ import (
 	"merlin/internal/core"
 	"merlin/internal/ebpf"
 	"merlin/internal/ir"
+	"merlin/internal/metrics"
 	"merlin/internal/vm"
 )
 
@@ -53,6 +54,12 @@ type Config struct {
 	Now func() time.Time
 	// MaxEvents caps each slot's event ring (default 64).
 	MaxEvents int
+	// Metrics, when set, receives the manager's telemetry: per-slot
+	// serve/mirror/divergence counters, canary cycle histograms, gauges,
+	// and per-EventKind counters drained losslessly from the event rings.
+	// Nil disables recording. Pair it with VM.Metrics to also capture
+	// per-run machine telemetry.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +139,12 @@ type slot struct {
 	mirrored uint64
 	events   []Event
 	seq      int
+
+	// met holds the slot's registry handles (nil when metrics are off);
+	// metricsSeq is the drain watermark — the highest event Seq already
+	// counted into the registry.
+	met        *slotMetrics
+	metricsSeq int
 }
 
 // Manager owns a set of named program slots. All methods are safe for
@@ -161,6 +174,9 @@ func (m *Manager) Deploy(name string, src Source) error {
 	s := m.slots[name]
 	if s == nil {
 		s = &slot{name: name}
+		if m.cfg.Metrics != nil {
+			s.met = newSlotMetrics(m.cfg.Metrics, name)
+		}
 		m.slots[name] = s
 		m.order = append(m.order, name)
 	}
@@ -267,12 +283,17 @@ func (m *Manager) Serve(name string, ctx, pkt []byte) (int64, vm.Stats, error) {
 		return m.degradeLocked(s, mctx, mpkt, err, st)
 	}
 	s.served++
+	s.met.servedInc()
 
 	if mirroring {
 		cand := s.cand
 		cand.machine.SetHelperState(rng, ktime)
 		crv, cst, cerr := cand.machine.Run(mctx, mpkt)
 		s.mirrored++
+		s.met.mirroredInc()
+		if cand.stage == StageCanary {
+			s.met.observeCanaryCycles(cst.Cycles)
+		}
 		switch {
 		case cerr != nil:
 			kind, detail := classifyFault(cerr, cst)
@@ -281,6 +302,7 @@ func (m *Manager) Serve(name string, ctx, pkt []byte) (int64, vm.Stats, error) {
 			m.quarantineLocked(s, cand.stage, FaultBudget,
 				fmt.Sprintf("budget blown: %d insns / %d cycles", cst.Instructions, cst.Cycles))
 		case crv != rv:
+			s.met.divergenceInc()
 			m.rejectLocked(s, fmt.Sprintf("return divergence: incumbent %d, candidate %d", rv, crv))
 		default:
 			cand.runs++
@@ -439,6 +461,7 @@ func (m *Manager) statusLocked(s *slot) SlotStatus {
 		LiveNI:         -1,
 		Served:         s.served,
 		Mirrored:       s.mirrored,
+		EventSeq:       s.seq,
 		Events:         append([]Event(nil), s.events...),
 	}
 	if s.live != nil {
@@ -478,6 +501,11 @@ func (m *Manager) eventLocked(s *slot, ev Event) {
 	ev.Slot = s.name
 	s.events = append(s.events, ev)
 	if n := len(s.events); n > m.cfg.MaxEvents {
+		// Drain the events about to fall off the ring into the metrics
+		// registry first: the bounded ring may evict faster than anything
+		// scrapes, and the registry must never lose an event. The watermark
+		// keeps a later CollectMetrics from counting them again.
+		m.drainEventsLocked(s, s.events[:n-m.cfg.MaxEvents])
 		s.events = append(s.events[:0:0], s.events[n-m.cfg.MaxEvents:]...)
 	}
 }

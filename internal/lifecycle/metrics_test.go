@@ -1,0 +1,146 @@
+package lifecycle
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"merlin/internal/metrics"
+)
+
+// sumEventCounters totals every merlin_lifecycle_events_total series of one
+// slot from a registry snapshot.
+func sumEventCounters(snap map[string]int64, slot string) int64 {
+	var sum int64
+	for key, v := range snap {
+		if strings.HasPrefix(key, "merlin_lifecycle_events_total{") &&
+			strings.Contains(key, `slot="`+slot+`"`) {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// TestMetricsDrainDoesNotPerturbEvents is the regression test for the
+// export path: draining the event ring into the registry must not consume,
+// reorder or truncate it, and draining twice must count nothing twice.
+func TestMetricsDrainDoesNotPerturbEvents(t *testing.T) {
+	reg := metrics.New()
+	m := NewManager(Config{ShadowRuns: 2, CanaryRuns: 2, Metrics: reg})
+	if err := m.Deploy("s", progSource(slowProg(50), nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Deploy("s", progSource(goodProg(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	serveClean(t, m, "s", 6) // staged → shadow → canary → cleared
+	if err := m.Promote("s", false); err != nil {
+		t.Fatal(err)
+	}
+
+	before := m.Events("s")
+	if len(before) == 0 {
+		t.Fatal("no events to drain")
+	}
+
+	m.CollectMetrics()
+	text1 := reg.Text()
+	evs1 := m.Events("s")
+
+	m.CollectMetrics()
+	text2 := reg.Text()
+	evs2 := m.Events("s")
+
+	if !reflect.DeepEqual(before, evs1) || !reflect.DeepEqual(evs1, evs2) {
+		t.Fatalf("export perturbed event history:\nbefore: %v\nafter1: %v\nafter2: %v",
+			eventKinds(before), eventKinds(evs1), eventKinds(evs2))
+	}
+	if text1 != text2 {
+		t.Fatalf("second export changed counter values (double-counted drain):\n--- first\n%s\n--- second\n%s",
+			text1, text2)
+	}
+
+	st, err := m.StatusOf("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := sumEventCounters(snap, "s"); got != int64(st.EventSeq) {
+		t.Fatalf("event counters total %d, want %d (EventSeq)", got, st.EventSeq)
+	}
+}
+
+// TestMetricsSurviveRingEviction pins the no-lost-events guarantee: when the
+// bounded ring evicts faster than anything scrapes, evicted events must
+// already be in the registry.
+func TestMetricsSurviveRingEviction(t *testing.T) {
+	reg := metrics.New()
+	m := NewManager(Config{ShadowRuns: 1, CanaryRuns: 1, MaxEvents: 3, Metrics: reg})
+	if err := m.Deploy("s", progSource(goodProg(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	// Each redeploy+serve cycle emits several events through a 3-slot ring.
+	for i := 0; i < 8; i++ {
+		if err := m.Deploy("s", progSource(goodProg(), nil)); err != nil {
+			t.Fatal(err)
+		}
+		serveClean(t, m, "s", 3)
+		if err := m.Promote("s", true); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st, err := m.StatusOf("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Events) >= st.EventSeq {
+		t.Fatalf("test did not evict: ring %d, total %d", len(st.Events), st.EventSeq)
+	}
+
+	m.CollectMetrics()
+	snap := reg.Snapshot()
+	if got := sumEventCounters(snap, "s"); got != int64(st.EventSeq) {
+		t.Fatalf("lost events: counters total %d, want %d (ring holds %d)",
+			got, st.EventSeq, len(st.Events))
+	}
+}
+
+// TestServeMetricsCounters checks the hot-path counters against the manager's
+// own bookkeeping and the registry's divergence/canary series.
+func TestServeMetricsCounters(t *testing.T) {
+	reg := metrics.New()
+	m := NewManager(Config{ShadowRuns: 2, CanaryRuns: 4, Metrics: reg})
+	if err := m.Deploy("s", progSource(goodProg(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Deploy("s", progSource(goodProg(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	serveClean(t, m, "s", 5) // 2 shadow + 3 canary mirrored runs
+	m.CollectMetrics()
+	snap := reg.Snapshot()
+	if got := snap[`merlin_lifecycle_served_total{slot="s"}`]; got != 5 {
+		t.Fatalf("served counter = %d, want 5", got)
+	}
+	if got := snap[`merlin_lifecycle_mirrored_total{slot="s"}`]; got != 5 {
+		t.Fatalf("mirrored counter = %d, want 5", got)
+	}
+	if got := snap[`merlin_lifecycle_canary_cycles_count{slot="s"}`]; got != 3 {
+		t.Fatalf("canary cycle observations = %d, want 3", got)
+	}
+
+	// A divergent candidate bumps the divergence counter on rejection.
+	if err := m.Deploy("s", progSource(divergentProg(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	serveClean(t, m, "s", 1)
+	m.CollectMetrics()
+	snap = reg.Snapshot()
+	if got := snap[`merlin_lifecycle_mirror_divergence_total{slot="s"}`]; got != 1 {
+		t.Fatalf("divergence counter = %d, want 1", got)
+	}
+	if got := snap[`merlin_lifecycle_events_total{kind="rejected",slot="s"}`]; got != 1 {
+		t.Fatalf("rejected event counter = %d, want 1", got)
+	}
+}

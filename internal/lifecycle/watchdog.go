@@ -113,5 +113,7 @@ func (m *Manager) degradeLocked(s *slot, ctx, pkt []byte, err error, st vm.Stats
 		return 0, fst, fmt.Errorf("lifecycle: slot %q: fallback also faulted: %w", s.name, ferr)
 	}
 	s.served++
+	s.met.servedInc()
+	s.met.degradedInc()
 	return rv, fst, nil
 }

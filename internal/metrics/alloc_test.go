@@ -1,0 +1,29 @@
+package metrics
+
+import "testing"
+
+// The increment path is used on the VM packet path: any per-observation heap
+// allocation would turn into garbage pressure proportional to traffic, so
+// zero allocations is an API guarantee, not an optimization.
+
+func TestCounterAddAllocationFree(t *testing.T) {
+	c := New().Counter("hot_total", "")
+	if n := testing.AllocsPerRun(1000, func() { c.Add(3) }); n != 0 {
+		t.Fatalf("Counter.Add allocates %.1f objects per call", n)
+	}
+}
+
+func TestGaugeSetAllocationFree(t *testing.T) {
+	g := New().Gauge("g", "")
+	if n := testing.AllocsPerRun(1000, func() { g.Set(7); g.Add(-1) }); n != 0 {
+		t.Fatalf("Gauge.Set/Add allocates %.1f objects per call", n)
+	}
+}
+
+func TestHistogramObserveAllocationFree(t *testing.T) {
+	h := New().Histogram("h", "")
+	v := uint64(0)
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(v); v += 97 }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %.1f objects per call", n)
+	}
+}

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// renderFamily is an immutable copy of a family's structure taken under the
+// registry lock, so encoding can proceed while other goroutines register new
+// series. The metric pointers themselves are safe to read concurrently —
+// their state is atomic.
+type renderFamily struct {
+	name, help string
+	kind       kind
+	labelSets  []string
+	series     []any
+}
+
+// render snapshots the registry structure under the lock.
+func (r *Registry) render() []renderFamily {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]renderFamily, 0, len(names))
+	for _, name := range names {
+		f := r.fams[name]
+		rf := renderFamily{name: f.name, help: f.help, kind: f.kind}
+		for ls := range f.series {
+			rf.labelSets = append(rf.labelSets, ls)
+		}
+		sort.Strings(rf.labelSets)
+		for _, ls := range rf.labelSets {
+			rf.series = append(rf.series, f.series[ls])
+		}
+		out = append(out, rf)
+	}
+	return out
+}
+
+// WriteText encodes the registry in Prometheus text exposition format.
+// Output is deterministic: families sorted by name, series sorted by their
+// canonical label string, histogram buckets in ascending bound order.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, f := range r.render() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for i, ls := range f.labelSets {
+			if err := writeSeries(w, f.name, ls, f.series[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Text returns the full text exposition as a string.
+func (r *Registry) Text() string {
+	var b strings.Builder
+	_ = r.WriteText(&b)
+	return b.String()
+}
+
+func writeSeries(w io.Writer, name, ls string, m any) error {
+	switch v := m.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesName(name, ls), v.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesName(name, ls), v.Value())
+		return err
+	case *Histogram:
+		snap := v.Snapshot()
+		var cum uint64
+		for i, n := range snap.Buckets {
+			cum += n
+			le := "+Inf"
+			if i < NumBuckets {
+				_, hi := BucketRange(i)
+				le = strconv.FormatUint(hi, 10)
+			}
+			bls := joinLabels(ls, `le=`+strconv.Quote(le))
+			if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(name+"_bucket", bls), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(name+"_sum", ls), snap.Sum); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesName(name+"_count", ls), snap.Count)
+		return err
+	}
+	return fmt.Errorf("metrics: unknown series type %T", m)
+}
+
+// seriesName renders `name` or `name{labels}`.
+func seriesName(name, ls string) string {
+	if ls == "" {
+		return name
+	}
+	return name + "{" + ls + "}"
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+// Snapshot flattens every series into a map keyed `name{labels}` (labels in
+// canonical sorted order, omitted when empty). Counters and gauges map to
+// their value; each histogram contributes `name_count{...}` and
+// `name_sum{...}` entries. Intended for test assertions.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := map[string]int64{}
+	for _, f := range r.fams {
+		for ls, m := range f.series {
+			switch v := m.(type) {
+			case *Counter:
+				out[seriesName(f.name, ls)] = int64(v.Value())
+			case *Gauge:
+				out[seriesName(f.name, ls)] = v.Value()
+			case *Histogram:
+				out[seriesName(f.name+"_count", ls)] = int64(v.Count())
+				out[seriesName(f.name+"_sum", ls)] = int64(v.Sum())
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the number of finite log2 buckets. Bucket 0 holds exactly
+// the value 0 and bucket i (1 ≤ i < NumBuckets) holds [2^(i-1), 2^i), so the
+// finite buckets tile [0, 2^40) contiguously with no gaps or overlaps. One
+// extra overflow bucket (index NumBuckets) catches everything ≥ 2^40.
+const NumBuckets = 41
+
+// Histogram is a fixed-bucket log2 histogram of uint64 observations (cycle
+// and latency counts). Observe is three atomic adds: bucket, sum, count —
+// cheap enough for the packet path. Reads (Snapshot, encoding) are
+// eventually consistent with respect to in-flight observations, but every
+// observation lands in exactly one bucket and is counted exactly once.
+type Histogram struct {
+	buckets [NumBuckets + 1]uint64
+	sum     uint64
+	count   uint64
+}
+
+// bucketIndex maps an observation to its unique bucket.
+func bucketIndex(v uint64) int {
+	if i := bits.Len64(v); i < NumBuckets {
+		return i
+	}
+	return NumBuckets
+}
+
+// BucketRange returns the inclusive [lo, hi] value range of bucket i.
+func BucketRange(i int) (lo, hi uint64) {
+	switch {
+	case i <= 0:
+		return 0, 0
+	case i < NumBuckets:
+		return 1 << (i - 1), 1<<i - 1
+	default:
+		return 1 << (NumBuckets - 1), math.MaxUint64
+	}
+}
+
+// Observe records one value. Lock-free and allocation-free.
+func (h *Histogram) Observe(v uint64) {
+	atomic.AddUint64(&h.buckets[bucketIndex(v)], 1)
+	atomic.AddUint64(&h.sum, v)
+	atomic.AddUint64(&h.count, 1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return atomic.LoadUint64(&h.count) }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return atomic.LoadUint64(&h.sum) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	// Buckets holds the per-bucket observation counts; the last entry is
+	// the overflow bucket.
+	Buckets [NumBuckets + 1]uint64
+	Count   uint64
+	Sum     uint64
+}
+
+// Snapshot copies the histogram state. Individual fields are each read
+// atomically; the snapshot as a whole is eventually consistent under
+// concurrent observation.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = atomic.LoadUint64(&h.buckets[i])
+	}
+	s.Count = atomic.LoadUint64(&h.count)
+	s.Sum = atomic.LoadUint64(&h.sum)
+	return s
+}

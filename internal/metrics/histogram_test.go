@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestHistogramBucketsPartitionRange is the property test backing the
+// histogram design: the finite buckets tile [0, 2^40) contiguously, every
+// random observation lands in exactly one bucket, and Sum/Count agree with a
+// scalar re-aggregation of the same stream.
+func TestHistogramBucketsPartitionRange(t *testing.T) {
+	// Contiguity: bucket i ends exactly where bucket i+1 begins.
+	lo0, hi0 := BucketRange(0)
+	if lo0 != 0 || hi0 != 0 {
+		t.Fatalf("bucket 0 = [%d, %d], want [0, 0]", lo0, hi0)
+	}
+	prevHi := hi0
+	for i := 1; i < NumBuckets; i++ {
+		lo, hi := BucketRange(i)
+		if lo != prevHi+1 {
+			t.Fatalf("bucket %d starts at %d, want %d (gap or overlap)", i, lo, prevHi+1)
+		}
+		if hi < lo {
+			t.Fatalf("bucket %d = [%d, %d] is empty", i, lo, hi)
+		}
+		prevHi = hi
+	}
+	if prevHi != 1<<40-1 {
+		t.Fatalf("finite range ends at %d, want 2^40-1", prevHi)
+	}
+	if lo, hi := BucketRange(NumBuckets); lo != 1<<40 || hi != math.MaxUint64 {
+		t.Fatalf("overflow bucket = [%d, %d]", lo, hi)
+	}
+
+	h := &Histogram{}
+	rng := rand.New(rand.NewSource(40))
+	const n = 20000
+	var wantSum uint64
+	wantPerBucket := make([]uint64, NumBuckets+1)
+	for i := 0; i < n; i++ {
+		v := rng.Uint64() & (1<<40 - 1) // uniform in [0, 2^40)
+		// Exactly one bucket's range contains v.
+		owner := -1
+		for b := 0; b <= NumBuckets; b++ {
+			if lo, hi := BucketRange(b); v >= lo && v <= hi {
+				if owner != -1 {
+					t.Fatalf("value %d in buckets %d and %d", v, owner, b)
+				}
+				owner = b
+			}
+		}
+		if owner == -1 {
+			t.Fatalf("value %d in no bucket", v)
+		}
+		if got := bucketIndex(v); got != owner {
+			t.Fatalf("bucketIndex(%d) = %d, but range scan says %d", v, got, owner)
+		}
+		h.Observe(v)
+		wantSum += v
+		wantPerBucket[owner]++
+	}
+
+	snap := h.Snapshot()
+	if snap.Count != n {
+		t.Fatalf("Count = %d, want %d", snap.Count, n)
+	}
+	if snap.Sum != wantSum {
+		t.Fatalf("Sum = %d, want %d", snap.Sum, wantSum)
+	}
+	var total uint64
+	for b, want := range wantPerBucket {
+		if snap.Buckets[b] != want {
+			t.Fatalf("bucket %d = %d, want %d", b, snap.Buckets[b], want)
+		}
+		total += snap.Buckets[b]
+	}
+	if total != n {
+		t.Fatalf("bucket totals %d, want %d (an observation was double-counted or dropped)", total, n)
+	}
+}
+
+// TestHistogramOverflowBucket pins values at and beyond the finite range
+// into the overflow bucket.
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []uint64{1 << 40, 1<<40 + 1, math.MaxUint64} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	if snap.Buckets[NumBuckets] != 3 {
+		t.Fatalf("overflow bucket = %d, want 3", snap.Buckets[NumBuckets])
+	}
+	// Boundary: 2^40-1 is the last finite value.
+	h2 := &Histogram{}
+	h2.Observe(1<<40 - 1)
+	if got := h2.Snapshot().Buckets[NumBuckets-1]; got != 1 {
+		t.Fatalf("2^40-1 not in last finite bucket (got %d)", got)
+	}
+}

@@ -1,0 +1,170 @@
+// Package metrics is a dependency-free, goroutine-safe metrics registry for
+// the build and runtime pipeline: sharded atomic counters, gauges, and
+// fixed-bucket log2 histograms, with a Prometheus-style text exposition
+// encoder and a snapshot API for tests.
+//
+// The increment path is built for the packet path: Counter.Add,
+// Gauge.Set/Add and Histogram.Observe are single atomic operations on
+// preallocated cells — no locks, no map lookups, no per-observation heap
+// allocation. All the locking lives in handle creation (Registry.Counter and
+// friends), which callers do once at setup and then keep the returned
+// pointer. Counters are sharded across cache-line-padded cells keyed by a
+// cheap per-goroutine hash, so concurrent writers on different cores do not
+// serialize on one contended word.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// numShards is the counter stripe width; must be a power of two.
+const numShards = 16
+
+// cell is one counter stripe, padded to a cache line so adjacent shards do
+// not false-share.
+type cell struct {
+	n uint64
+	_ [56]byte
+}
+
+// shardIndex picks a stripe for the calling goroutine. Goroutine stacks are
+// disjoint, so the address of a local variable is an allocation-free proxy
+// for goroutine identity: concurrent writers spread across stripes instead
+// of colliding on one cache line. Collisions are harmless — every stripe is
+// still updated atomically.
+func shardIndex() int {
+	var probe byte
+	return int(uintptr(unsafe.Pointer(&probe))>>10) & (numShards - 1)
+}
+
+// Counter is a monotonically increasing sharded counter.
+type Counter struct {
+	shards [numShards]cell
+}
+
+// Add increments the counter by n. Lock-free and allocation-free.
+func (c *Counter) Add(n uint64) {
+	atomic.AddUint64(&c.shards[shardIndex()].n, n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total across all shards.
+func (c *Counter) Value() uint64 {
+	var sum uint64
+	for i := range c.shards {
+		sum += atomic.LoadUint64(&c.shards[i].n)
+	}
+	return sum
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	v int64
+}
+
+// Set stores v. Lock-free and allocation-free.
+func (g *Gauge) Set(v int64) { atomic.StoreInt64(&g.v, v) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) { atomic.AddInt64(&g.v, d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return atomic.LoadInt64(&g.v) }
+
+// kind discriminates metric families.
+type kind string
+
+const (
+	kindCounter   kind = "counter"
+	kindGauge     kind = "gauge"
+	kindHistogram kind = "histogram"
+)
+
+// family groups every labeled series of one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	series map[string]any // canonical label string → *Counter/*Gauge/*Histogram
+}
+
+// Registry is a set of named metric families. Handle creation is mutex
+// protected and idempotent: asking for the same name+labels returns the same
+// underlying metric, so independent subsystems can share series.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+// Counter returns (creating if needed) the counter for name and the given
+// alternating key, value label pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return r.metric(name, help, kindCounter, labels, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns (creating if needed) the gauge for name and labels.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	return r.metric(name, help, kindGauge, labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns (creating if needed) the histogram for name and labels.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	return r.metric(name, help, kindHistogram, labels, func() any { return &Histogram{} }).(*Histogram)
+}
+
+func (r *Registry) metric(name, help string, k kind, labels []string, mk func() any) any {
+	ls := labelString(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, series: map[string]any{}}
+		r.fams[name] = f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.kind, k))
+	}
+	m := f.series[ls]
+	if m == nil {
+		m = mk()
+		f.series[ls] = m
+	}
+	return m
+}
+
+// labelString canonicalizes alternating key, value pairs into a
+// deterministic `k1="v1",k2="v2"` form (keys sorted).
+func labelString(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("metrics: odd label list %q", labels))
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, pair{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	return b.String()
+}

@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("requests_total", "Requests served.")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+	// Same name+labels must return the same underlying counter.
+	if again := r.Counter("requests_total", "Requests served."); again != c {
+		t.Fatal("re-registering returned a different counter")
+	}
+	// Different labels are distinct series.
+	other := r.Counter("requests_total", "Requests served.", "slot", "a")
+	if other == c {
+		t.Fatal("labeled series aliases the unlabeled one")
+	}
+	other.Add(7)
+	if c.Value() != 42 || other.Value() != 7 {
+		t.Fatalf("series bled: %d / %d", c.Value(), other.Value())
+	}
+}
+
+func TestLabelCanonicalization(t *testing.T) {
+	r := New()
+	a := r.Counter("x_total", "", "slot", "s", "kind", "k")
+	b := r.Counter("x_total", "", "kind", "k", "slot", "s")
+	if a != b {
+		t.Fatal("label order changed series identity")
+	}
+	a.Inc()
+	if !strings.Contains(r.Text(), `x_total{kind="k",slot="s"} 1`) {
+		t.Fatalf("canonical label encoding missing:\n%s", r.Text())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := New()
+	g := r.Gauge("depth", "Ring depth.")
+	g.Set(5)
+	g.Add(-2)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("Value = %d, want 3", got)
+	}
+	g.Set(-7)
+	if !strings.Contains(r.Text(), "depth -7") {
+		t.Fatalf("negative gauge not encoded:\n%s", r.Text())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind mismatch")
+		}
+	}()
+	r := New()
+	r.Counter("m", "")
+	r.Gauge("m", "")
+}
+
+func TestOddLabelsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on odd label list")
+		}
+	}()
+	New().Counter("m", "", "key-without-value")
+}
+
+// TestConcurrentCounters proves no lost updates: the sharded counter must
+// total exactly the sum of everything every goroutine added.
+func TestConcurrentCounters(t *testing.T) {
+	r := New()
+	c := r.Counter("hot_total", "")
+	g := r.Gauge("adj", "")
+	h := r.Histogram("obs", "")
+	const workers, perWorker = 32, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d (lost updates)", got, workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestTextEncodingDeterministic(t *testing.T) {
+	r := New()
+	r.Counter("b_total", "B.", "slot", "y").Add(2)
+	r.Counter("b_total", "B.", "slot", "x").Add(1)
+	r.Gauge("a_gauge", "A.").Set(3)
+	r.Histogram("c_cycles", "C.").Observe(5)
+
+	text := r.Text()
+	if text != r.Text() {
+		t.Fatal("encoding is not deterministic")
+	}
+	for _, want := range []string{
+		"# HELP a_gauge A.\n# TYPE a_gauge gauge\na_gauge 3\n",
+		"# TYPE b_total counter\n" + `b_total{slot="x"} 1` + "\n" + `b_total{slot="y"} 2`,
+		"# TYPE c_cycles histogram",
+		`c_cycles_bucket{le="0"} 0`,
+		`c_cycles_bucket{le="7"} 1`, // 5 ∈ [4,8) → cumulative 1 at le=7
+		`c_cycles_bucket{le="+Inf"} 1`,
+		"c_cycles_sum 5",
+		"c_cycles_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("encoding missing %q:\n%s", want, text)
+		}
+	}
+	// Families must be sorted by name.
+	ia, ib, ic := strings.Index(text, "a_gauge"), strings.Index(text, "b_total"), strings.Index(text, "c_cycles")
+	if !(ia < ib && ib < ic) {
+		t.Fatalf("families out of order: %d %d %d\n%s", ia, ib, ic, text)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := New()
+	r.Counter("served_total", "", "slot", "a").Add(9)
+	r.Gauge("gen", "").Set(4)
+	h := r.Histogram("lat", "")
+	h.Observe(3)
+	h.Observe(5)
+
+	snap := r.Snapshot()
+	for key, want := range map[string]int64{
+		`served_total{slot="a"}`: 9,
+		"gen":                    4,
+		"lat_count":              2,
+		"lat_sum":                8,
+	} {
+		if got := snap[key]; got != want {
+			t.Errorf("snapshot[%q] = %d, want %d (snapshot: %v)", key, got, want, snap)
+		}
+	}
+}

@@ -32,8 +32,16 @@ func TracepointContext(args ...uint64) []byte {
 func KmemAddr(off int) uint64 { return kmemBase + uint64(off) }
 
 // Run executes the loaded program against a context and (for XDP) a packet
-// buffer. It returns r0 and the per-run stats.
+// buffer. It returns r0 and the per-run stats. When Config.Metrics is set
+// the run is also recorded there (counters, cycle/instruction histograms,
+// fault kinds) without any per-run heap allocation.
 func (m *Machine) Run(ctx, pkt []byte) (int64, Stats, error) {
+	rv, st, err := m.run(ctx, pkt)
+	m.cfg.Metrics.record(st, err)
+	return rv, st, err
+}
+
+func (m *Machine) run(ctx, pkt []byte) (int64, Stats, error) {
 	var regs [ebpf.NumRegisters]uint64
 	regs[1] = ctxBase
 	regs[10] = stackBase

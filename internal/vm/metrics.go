@@ -1,0 +1,71 @@
+package vm
+
+import "merlin/internal/metrics"
+
+// Metrics holds preresolved registry handles for per-run VM telemetry.
+// Handles are looked up once at construction; recording a run is a handful
+// of atomic adds with no locks and no heap allocation, cheap enough for the
+// packet path (guarded by TestRunMetricsAllocationFree). One Metrics value
+// is typically shared by every Machine a deployment manager creates, so the
+// counters aggregate across live and mirrored programs.
+type Metrics struct {
+	runs      *metrics.Counter
+	insns     *metrics.Counter
+	cycles    *metrics.Counter
+	helpers   *metrics.Counter
+	runCycles *metrics.Histogram
+	runInsns  *metrics.Histogram
+	faults    map[FaultKind]*metrics.Counter
+	faultMisc *metrics.Counter
+}
+
+// NewMetrics registers the VM metric family in reg and returns the handles.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	m := &Metrics{
+		runs: reg.Counter("merlin_vm_runs_total",
+			"Machine.Run invocations, including faulted runs."),
+		insns: reg.Counter("merlin_vm_instructions_total",
+			"eBPF instructions executed across all runs."),
+		cycles: reg.Counter("merlin_vm_cycles_total",
+			"Modeled cycles consumed across all runs."),
+		helpers: reg.Counter("merlin_vm_helper_calls_total",
+			"Helper invocations across all runs."),
+		runCycles: reg.Histogram("merlin_vm_run_cycles",
+			"Per-run modeled cycle cost (log2 buckets)."),
+		runInsns: reg.Histogram("merlin_vm_run_instructions",
+			"Per-run executed instruction count (log2 buckets)."),
+		faults: map[FaultKind]*metrics.Counter{},
+		faultMisc: reg.Counter("merlin_vm_faults_total",
+			"Runtime faults by kind.", "kind", "other"),
+	}
+	for _, k := range []FaultKind{
+		FaultStepLimit, FaultBadPC, FaultBadMemory, FaultBadInstruction, FaultHelper,
+	} {
+		m.faults[k] = reg.Counter("merlin_vm_faults_total",
+			"Runtime faults by kind.", "kind", string(k))
+	}
+	return m
+}
+
+// record accounts one finished run. Safe on a nil receiver so Machine.Run
+// does not branch on configuration.
+func (m *Metrics) record(st Stats, err error) {
+	if m == nil {
+		return
+	}
+	m.runs.Add(1)
+	m.insns.Add(st.Instructions)
+	m.cycles.Add(st.Cycles)
+	m.helpers.Add(st.HelperCalls)
+	m.runCycles.Observe(st.Cycles)
+	m.runInsns.Observe(st.Instructions)
+	if err != nil {
+		c := m.faultMisc
+		if re, ok := AsRuntimeError(err); ok {
+			if fc := m.faults[re.Kind]; fc != nil {
+				c = fc
+			}
+		}
+		c.Add(1)
+	}
+}

@@ -1,0 +1,112 @@
+package vm
+
+import (
+	"testing"
+
+	"merlin/internal/ebpf"
+	"merlin/internal/metrics"
+)
+
+func passProg() *ebpf.Program {
+	return &ebpf.Program{Name: "pass", Hook: ebpf.HookXDP, Insns: []ebpf.Instruction{
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R6, ebpf.R1, 0),
+		ebpf.Mov64Imm(ebpf.R0, 2),
+		ebpf.Exit(),
+	}}
+}
+
+func badMemProg() *ebpf.Program {
+	return &ebpf.Program{Name: "boom", Hook: ebpf.HookXDP, Insns: []ebpf.Instruction{
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R0, ebpf.R1, 4096),
+		ebpf.Exit(),
+	}}
+}
+
+func TestRunMetricsCounters(t *testing.T) {
+	reg := metrics.New()
+	mm := NewMetrics(reg)
+	m, err := New(passProg(), Config{Metrics: mm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := make([]byte, 64)
+	ctx := BuildXDPContext(len(pkt))
+	var wantInsns, wantCycles uint64
+	const runs = 5
+	for i := 0; i < runs; i++ {
+		_, st, err := m.Run(ctx, pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantInsns += st.Instructions
+		wantCycles += st.Cycles
+	}
+
+	snap := reg.Snapshot()
+	for key, want := range map[string]int64{
+		"merlin_vm_runs_total":         runs,
+		"merlin_vm_instructions_total": int64(wantInsns),
+		"merlin_vm_cycles_total":       int64(wantCycles),
+		"merlin_vm_run_cycles_count":   runs,
+		"merlin_vm_run_cycles_sum":     int64(wantCycles),
+	} {
+		if got := snap[key]; got != want {
+			t.Errorf("%s = %d, want %d", key, got, want)
+		}
+	}
+	if got := snap[`merlin_vm_faults_total{kind="bad-memory"}`]; got != 0 {
+		t.Errorf("clean runs recorded %d bad-memory faults", got)
+	}
+}
+
+func TestRunMetricsFaultKinds(t *testing.T) {
+	reg := metrics.New()
+	mm := NewMetrics(reg)
+	m, err := New(badMemProg(), Config{Metrics: mm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := make([]byte, 16)
+	ctx := BuildXDPContext(len(pkt))
+	if _, _, err := m.Run(ctx, pkt); err == nil {
+		t.Fatal("bad-memory program did not fault")
+	}
+	snap := reg.Snapshot()
+	if got := snap[`merlin_vm_faults_total{kind="bad-memory"}`]; got != 1 {
+		t.Fatalf("bad-memory faults = %d, want 1 (snapshot %v)", got, snap)
+	}
+	if got := snap["merlin_vm_runs_total"]; got != 1 {
+		t.Fatalf("faulted run not counted: runs = %d", got)
+	}
+}
+
+// TestRunMetricsAllocationFree is the packet-path guarantee: attaching
+// metrics to a machine must not add a single per-run heap allocation over an
+// uninstrumented machine.
+func TestRunMetricsAllocationFree(t *testing.T) {
+	pkt := make([]byte, 64)
+	ctx := BuildXDPContext(len(pkt))
+
+	bare, err := New(passProg(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrumented, err := New(passProg(), Config{Metrics: NewMetrics(metrics.New())})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runAllocs := func(m *Machine) float64 {
+		return testing.AllocsPerRun(200, func() {
+			if _, _, err := m.Run(ctx, pkt); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	base := runAllocs(bare)
+	withMetrics := runAllocs(instrumented)
+	if withMetrics > base {
+		t.Fatalf("metrics add %.1f allocations per run (bare %.1f, instrumented %.1f)",
+			withMetrics-base, base, withMetrics)
+	}
+}

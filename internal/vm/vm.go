@@ -93,6 +93,11 @@ type Config struct {
 	UseHW bool
 	// StepLimit aborts runaway programs (default 1<<22 steps).
 	StepLimit int
+	// Metrics, when set, receives per-run telemetry (run/instruction/cycle
+	// counters, cycle and instruction histograms, fault kinds). Recording
+	// is lock-free and allocation-free; one Metrics is typically shared by
+	// every machine of a deployment.
+	Metrics *Metrics
 }
 
 // Machine holds a loaded program plus its maps and microarchitectural state.
