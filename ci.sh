@@ -37,3 +37,43 @@ SMOKE_OUT=$(printf '%s\n' \
     | go run ./cmd/merlind -shadow 4 -canary 4)
 echo "$SMOKE_OUT"
 echo "$SMOKE_OUT" | grep -q 'merlin_lifecycle_served_total{slot="smoke"} 14'
+
+# Crash-recovery smoke: deploy → promote with a -state-dir, SIGKILL the
+# daemon (no flush, no cleanup), restart on the same state dir, and the
+# promoted generation plus a non-zero recovered_slots metric must come back.
+go build -o /tmp/merlind-smoke ./cmd/merlind
+STATE_DIR=$(mktemp -d)
+SMOKE_FIFO=$(mktemp -u)
+mkfifo "$SMOKE_FIFO"
+/tmp/merlind-smoke -state-dir "$STATE_DIR" -shadow 2 -canary 2 \
+    < "$SMOKE_FIFO" > /tmp/merlind-smoke-out &
+SMOKE_PID=$!
+exec 9> "$SMOKE_FIFO"
+printf '%s\n' \
+    'deploy smoke corpus:xdp_pktcntr' \
+    'traffic smoke 6' \
+    'deploy smoke corpus:xdp_pktcntr' \
+    'traffic smoke 6' \
+    'promote smoke' \
+    'traffic smoke 4' \
+    'maps smoke' >&9
+# Wait for the last command's ack so the journal holds the promoted state,
+# then kill hard: SIGKILL leaves no chance to flush or clean up.
+for _ in $(seq 1 100); do
+    grep -q 'ok maps smoke' /tmp/merlind-smoke-out && break
+    sleep 0.1
+done
+grep -q 'ok promote smoke live=gen2' /tmp/merlind-smoke-out
+kill -9 "$SMOKE_PID"
+exec 9>&-
+rm -f "$SMOKE_FIFO"
+wait "$SMOKE_PID" || true
+
+RECOVER_OUT=$(printf '%s\n' 'status' 'maps smoke' 'metrics' 'quit' \
+    | /tmp/merlind-smoke -state-dir "$STATE_DIR" -shadow 2 -canary 2)
+echo "$RECOVER_OUT"
+echo "$RECOVER_OUT" | grep -q 'ok recover slots=1'
+echo "$RECOVER_OUT" | grep -q 'slot=smoke stage=live live=gen2'
+echo "$RECOVER_OUT" | grep -q 'map cntrs_array bytes=256 u64\[0\]=16'
+echo "$RECOVER_OUT" | grep -q 'merlin_lifecycle_recovered_slots 1'
+rm -rf "$STATE_DIR" /tmp/merlind-smoke /tmp/merlind-smoke-out

@@ -19,6 +19,7 @@
 //	rollback <slot>                               restore previous live program
 //	status                                        one line per slot
 //	events <slot>                                 dump the slot's event ring
+//	maps <slot>                                   dump the live program's maps
 //	metrics                                       dump the metrics registry
 //	                                              (Prometheus text format)
 //	tick                                          let quarantined slots retry
@@ -33,8 +34,18 @@
 // Flags tune the lifecycle gates: -shadow/-canary (clean mirrored runs per
 // stage), -cycle-slack (tolerated canary cycle regression), -insn-budget and
 // -cycle-budget (watchdog per-run caps), -retries/-backoff (quarantine
-// rebuild policy), -auto-promote, and the usual build knobs (-hook, -mcpu,
+// rebuild policy), -auto-promote, -canary-fraction (hash-routed live share
+// answered by the canary), and the usual build knobs (-hook, -mcpu,
 // -guard-diff-inputs, -pass-timeout).
+//
+// With -state-dir the daemon is crash-safe: every mutating command is
+// journaled (fsynced on stage transitions), map contents are flushed after
+// traffic and on SIGINT/SIGTERM, and on startup the previous state —
+// live slots, generations, last-known-good programs, quarantine backoffs,
+// map contents — is recovered from the journal and reported as one
+// "ok recover ..." line. A corrupt or torn journal degrades to whatever
+// prefix was intact (at worst a fresh ledger); it never prevents startup.
+// An empty -state-dir (the default) keeps everything in memory.
 package main
 
 import (
@@ -42,8 +53,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"merlin/internal/core"
@@ -51,17 +64,20 @@ import (
 	"merlin/internal/ebpf"
 	"merlin/internal/guard"
 	"merlin/internal/ir"
+	"merlin/internal/journal"
 	"merlin/internal/lifecycle"
 	"merlin/internal/metrics"
 	"merlin/internal/vm"
 )
 
 type daemon struct {
-	mgr       *lifecycle.Manager
-	reg       *metrics.Registry
-	buildOpts core.Options
-	seed      int64
-	traffic   int64 // packets generated so far, advances the input stream
+	mgr        *lifecycle.Manager
+	reg        *metrics.Registry
+	jl         *journal.Log
+	buildOpts  core.Options
+	deployOpts lifecycle.DeployOptions
+	seed       int64
+	traffic    int64 // packets generated so far, advances the input stream
 }
 
 func main() {
@@ -75,9 +91,12 @@ func main() {
 	retries := flag.Int("retries", 3, "quarantine rebuild attempts")
 	backoff := flag.Duration("backoff", 100*time.Millisecond, "first quarantine backoff (doubles per retry)")
 	autoPromote := flag.Bool("auto-promote", false, "hot-swap automatically once canary clears")
+	canaryFraction := flag.Float64("canary-fraction", 0, "hash-routed share of live packets answered by a canary (0..1)")
 	guardDiff := flag.Int("guard-diff-inputs", 4, "sampled inputs for build-time differential validation")
 	passTimeout := flag.Duration("pass-timeout", guard.DefaultTimeout, "per-pass wall-clock budget")
 	seed := flag.Int64("seed", 1, "synthetic traffic seed")
+	stateDir := flag.String("state-dir", "", "directory for the crash-safe state journal (empty = in-memory)")
+	compactEvery := flag.Int("compact-every", 256, "journal records between snapshot compactions")
 	flag.Parse()
 
 	hooks := map[string]ebpf.HookType{
@@ -93,28 +112,78 @@ func main() {
 		fmt.Fprintln(os.Stderr, "merlind: -pass-timeout must be positive")
 		os.Exit(2)
 	}
+	if *canaryFraction < 0 || *canaryFraction > 1 {
+		fmt.Fprintln(os.Stderr, "merlind: -canary-fraction must be in [0, 1]")
+		os.Exit(2)
+	}
 
 	reg := metrics.New()
 	d := &daemon{
-		mgr: lifecycle.NewManager(lifecycle.Config{
-			ShadowRuns:  *shadow,
-			CanaryRuns:  *canary,
-			CycleSlack:  *cycleSlack,
-			InsnBudget:  *insnBudget,
-			CycleBudget: *cycleBudget,
-			MaxRetries:  *retries,
-			BackoffBase: *backoff,
-			AutoPromote: *autoPromote,
-			Metrics:     reg,
-			VM:          vm.Config{Seed: uint64(*seed), Metrics: vm.NewMetrics(reg)},
-		}),
 		reg: reg,
 		buildOpts: core.Options{
 			Hook: hook, MCPU: *mcpu, KernelALU32: true,
 			GuardDiffInputs: *guardDiff, PassTimeout: *passTimeout,
 			Metrics: core.NewMetrics(reg),
 		},
-		seed: *seed,
+		deployOpts: lifecycle.DeployOptions{CanaryFraction: *canaryFraction},
+		seed:       *seed,
+	}
+	cfg := lifecycle.Config{
+		ShadowRuns:   *shadow,
+		CanaryRuns:   *canary,
+		CycleSlack:   *cycleSlack,
+		InsnBudget:   *insnBudget,
+		CycleBudget:  *cycleBudget,
+		MaxRetries:   *retries,
+		BackoffBase:  *backoff,
+		AutoPromote:  *autoPromote,
+		Metrics:      reg,
+		CompactEvery: *compactEvery,
+		VM:           vm.Config{Seed: uint64(*seed), Metrics: vm.NewMetrics(reg)},
+	}
+	if *stateDir != "" {
+		jl, err := journal.Open(*stateDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "merlind: -state-dir:", err)
+			os.Exit(2)
+		}
+		d.jl = jl
+		cfg.Journal = jl
+		cfg.ResolveSource = d.resolveSource
+	}
+	d.mgr = lifecycle.NewManager(cfg)
+
+	if d.jl != nil {
+		rs, err := d.mgr.Recover()
+		if err != nil {
+			// Only impossible configuration errors land here; corrupt state
+			// is degraded and counted inside Recover.
+			fmt.Fprintln(os.Stderr, "merlind: recover:", err)
+			os.Exit(2)
+		}
+		if rs.CorruptRecords > 0 {
+			fmt.Fprintf(os.Stderr, "merlind: state recovered with %d corrupt records discarded\n",
+				rs.CorruptRecords)
+		}
+		fmt.Printf("ok recover %s\n", rs)
+		for _, st := range d.mgr.Status() {
+			fmt.Println(st)
+		}
+
+		// A flush on SIGINT/SIGTERM captures map mutations since the last
+		// transition, then compacts so the next boot replays one snapshot.
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+		go func() {
+			<-sigc
+			if err := d.mgr.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "merlind: flush on shutdown:", err)
+				os.Exit(1)
+			}
+			d.mgr.Compact()
+			d.jl.Close()
+			os.Exit(0)
+		}()
 	}
 
 	failed := false
@@ -136,6 +205,14 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "merlind: stdin:", err)
 		os.Exit(2)
+	}
+	if d.jl != nil {
+		if err := d.mgr.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "merlind: flush on exit:", err)
+			failed = true
+		}
+		d.mgr.Compact()
+		d.jl.Close()
 	}
 	if failed {
 		os.Exit(1)
@@ -196,6 +273,27 @@ func (d *daemon) dispatch(line string) error {
 		}
 		fmt.Printf("ok events %s\n", args[0])
 		return nil
+	case "maps":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: maps <slot>")
+		}
+		dumps, err := d.mgr.LiveMaps(args[0])
+		if err != nil {
+			return err
+		}
+		for _, md := range dumps {
+			line := fmt.Sprintf("map %s bytes=%d", md.Name, len(md.Data))
+			if len(md.Data) >= 8 {
+				var v uint64
+				for i := 7; i >= 0; i-- {
+					v = v<<8 | uint64(md.Data[i])
+				}
+				line += fmt.Sprintf(" u64[0]=%d", v)
+			}
+			fmt.Println(line)
+		}
+		fmt.Printf("ok maps %s\n", args[0])
+		return nil
 	case "metrics":
 		d.mgr.CollectMetrics()
 		if err := d.reg.WriteText(os.Stdout); err != nil {
@@ -212,36 +310,59 @@ func (d *daemon) dispatch(line string) error {
 	}
 }
 
-// deploy stages a candidate from a textual IR file or a named corpus program.
-func (d *daemon) deploy(slot, src string, rest []string) error {
+// moduleSource resolves a deploy operand (file path or corpus:NAME, plus an
+// optional function name) into a lifecycle Source. The same resolution backs
+// ResolveSource, so a journaled SourceDesc rebuilds exactly like the deploy
+// command that produced it.
+func (d *daemon) moduleSource(src string, rest []string) (lifecycle.Source, error) {
 	var mod *ir.Module
 	var fn string
 	opts := d.buildOpts
 	if name, ok := strings.CutPrefix(src, "corpus:"); ok {
 		spec := findCorpus(name)
 		if spec == nil {
-			return fmt.Errorf("no corpus program %q", name)
+			return nil, fmt.Errorf("no corpus program %q", name)
 		}
 		mod, fn = spec.Mod, spec.Func
 		opts.Hook, opts.MCPU = spec.Hook, spec.MCPU
 	} else {
 		text, err := os.ReadFile(src)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		mod, err = ir.Parse(string(text))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if len(mod.Funcs) == 0 {
-			return fmt.Errorf("module has no functions")
+			return nil, fmt.Errorf("module has no functions")
 		}
 		fn = mod.Funcs[0].Name
 	}
 	if len(rest) > 0 {
 		fn = rest[0]
 	}
-	if err := d.mgr.Deploy(slot, lifecycle.ModuleSource(mod, fn, opts)); err != nil {
+	return lifecycle.ModuleSource(mod, fn, opts), nil
+}
+
+// resolveSource reattaches a journaled SourceDesc after recovery.
+func (d *daemon) resolveSource(desc string) (lifecycle.Source, error) {
+	fields := strings.Fields(desc)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("empty source descriptor")
+	}
+	return d.moduleSource(fields[0], fields[1:])
+}
+
+// deploy stages a candidate from a textual IR file or a named corpus program.
+func (d *daemon) deploy(slot, src string, rest []string) error {
+	source, err := d.moduleSource(src, rest)
+	if err != nil {
+		return err
+	}
+	opts := d.deployOpts
+	opts.SourceDesc = strings.TrimSpace(src + " " + strings.Join(rest, " "))
+	if err := d.mgr.DeployWith(slot, source, opts); err != nil {
 		return err
 	}
 	st, _ := d.mgr.StatusOf(slot)
@@ -265,6 +386,11 @@ func (d *daemon) drive(slot string, n int) error {
 			return err
 		}
 		verdicts[rv]++
+	}
+	// Traffic mutates map state without lifecycle transitions; flush so the
+	// counters survive a crash between commands.
+	if err := d.mgr.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "merlind: flush after traffic:", err)
 	}
 	st, _ := d.mgr.StatusOf(slot)
 	var vparts []string

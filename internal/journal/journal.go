@@ -1,0 +1,327 @@
+// Package journal is a durable, crash-tolerant state store: an append-only,
+// length-prefixed, CRC32C-checksummed record log paired with an atomically
+// replaced snapshot file. It is the persistence floor under the lifecycle
+// manager — slot transitions are appended as they happen, the full state is
+// periodically compacted into the snapshot, and recovery replays
+// snapshot + journal.
+//
+// The design goal is that corruption is never fatal. A torn write (the
+// process was SIGKILLed mid-append, the disk filled, the file was truncated)
+// leaves a record whose length prefix, checksum, or payload is incomplete;
+// Open detects the damage, counts it, discards the broken tail, and truncates
+// the file back to its last intact record so subsequent appends start from a
+// clean boundary. A corrupt or missing snapshot degrades to "no snapshot".
+// The caller always gets a working log plus an honest accounting of what was
+// lost — it never gets an error that would prevent startup.
+//
+// On-disk format, both files:
+//
+//	record := u32le payload length | u32le CRC32C(payload) | payload
+//
+// The journal is a sequence of records; the snapshot file holds exactly one.
+// Payload contents are opaque to this package.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+const (
+	journalName  = "journal.log"
+	snapshotName = "snapshot.db"
+	snapshotTmp  = "snapshot.tmp"
+
+	headerSize = 8 // u32 length + u32 crc
+
+	// maxRecordSize bounds a single record so a corrupt length prefix cannot
+	// drive a multi-gigabyte allocation during replay.
+	maxRecordSize = 1 << 28
+)
+
+// castagnoli is the CRC32C polynomial table (iSCSI/ext4 flavor, hardware
+// accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32C of payload (exposed for tests).
+func Checksum(payload []byte) uint32 { return crc32.Checksum(payload, castagnoli) }
+
+// Stats accounts for what Open and Replay observed.
+type Stats struct {
+	// Records is the number of intact journal records found at Open.
+	Records int
+	// CorruptRecords counts discarded damage: a torn/corrupt journal tail
+	// (counted once per Open that finds one) and an unreadable snapshot.
+	CorruptRecords int
+	// TruncatedBytes is how many trailing journal bytes were discarded.
+	TruncatedBytes int64
+	// SnapshotBytes is the size of the valid snapshot payload (0 if none).
+	SnapshotBytes int
+}
+
+// Log is an open state directory. All methods are safe for concurrent use.
+type Log struct {
+	mu    sync.Mutex
+	dir   string
+	f     *os.File
+	size  int64 // current journal size in bytes
+	recs  int   // records appended since Open or the last Compact
+	stats Stats
+}
+
+// Open opens (creating if needed) the state directory and its journal,
+// repairing any torn tail. It never fails because of corrupt contents — only
+// on real I/O errors (permissions, not a directory, ...).
+func Open(dir string) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	// A leftover snapshot.tmp is a compaction that died before its atomic
+	// rename; the snapshot proper is still the authoritative previous one.
+	_ = os.Remove(filepath.Join(dir, snapshotTmp))
+
+	l := &Log{dir: dir}
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	l.f = f
+
+	valid, recs, err := scanRecords(f, nil)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: scanning %s: %w", path, err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if torn := fi.Size() - valid; torn > 0 {
+		// Torn or corrupt tail: discard it so the next append lands on a
+		// record boundary.
+		l.stats.CorruptRecords++
+		l.stats.TruncatedBytes = torn
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	l.size = valid
+	l.recs = recs
+	l.stats.Records = recs
+	return l, nil
+}
+
+// scanRecords walks the record stream in r, invoking fn (when non-nil) with
+// each intact payload. It returns the byte offset of the end of the last
+// intact record and the record count. Damage is not an error — the scan just
+// stops at it.
+func scanRecords(r io.ReadSeeker, fn func(payload []byte) error) (valid int64, records int, err error) {
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, err
+	}
+	var hdr [headerSize]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			// Clean EOF or a torn header: either way the stream ends here.
+			return valid, records, nil
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxRecordSize {
+			return valid, records, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return valid, records, nil // torn payload
+		}
+		if Checksum(payload) != want {
+			return valid, records, nil // bit rot or a torn overwrite
+		}
+		valid += headerSize + int64(n)
+		records++
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return valid, records, err
+			}
+		}
+	}
+}
+
+// Append writes one record to the journal. With sync set the record is
+// fsynced before returning — use it for transitions that must survive a
+// machine crash, not just a process crash.
+func (l *Log) Append(payload []byte, sync bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("journal: closed")
+	}
+	buf := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], Checksum(payload))
+	copy(buf[headerSize:], payload)
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	l.size += int64(len(buf))
+	l.recs++
+	if sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("journal: fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sync flushes the journal file to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("journal: closed")
+	}
+	return l.f.Sync()
+}
+
+// Replay invokes fn with every intact journal record in append order. It
+// stops early if fn returns an error and returns that error.
+func (l *Log) Replay(fn func(payload []byte) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("journal: closed")
+	}
+	_, _, err := scanRecords(l.f, fn)
+	// Reposition for appends whether or not fn failed.
+	if _, serr := l.f.Seek(0, io.SeekEnd); err == nil && serr != nil {
+		err = fmt.Errorf("journal: %w", serr)
+	}
+	return err
+}
+
+// Snapshot returns the payload of the snapshot file, or ok=false when there
+// is none (missing, torn, or corrupt — corruption is counted, not fatal).
+func (l *Log) Snapshot() (payload []byte, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	path := filepath.Join(l.dir, snapshotName)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	var got []byte
+	valid, records, _ := scanRecords(f, func(p []byte) error {
+		got = p
+		return nil
+	})
+	if records == 0 {
+		// A snapshot file exists but holds no intact record: corruption.
+		l.stats.CorruptRecords++
+		return nil, false
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > valid {
+		// Trailing garbage after the record — count it, keep the record.
+		l.stats.CorruptRecords++
+	}
+	l.stats.SnapshotBytes = len(got)
+	return got, true
+}
+
+// Compact atomically replaces the snapshot with payload and truncates the
+// journal: write snapshot.tmp, fsync, rename over snapshot.db, fsync the
+// directory, then cut the journal back to empty. A crash at any point leaves
+// either the old snapshot + old journal or the new snapshot (+ the old
+// journal, whose records are then harmlessly re-applied on top of the newer
+// snapshot — callers' records must be idempotent upserts, which the
+// lifecycle's full-slot-state records are).
+func (l *Log) Compact(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("journal: closed")
+	}
+	tmp := filepath.Join(l.dir, snapshotTmp)
+	buf := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], Checksum(payload))
+	copy(buf[headerSize:], payload)
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	tf, err := os.Open(tmp)
+	if err == nil {
+		_ = tf.Sync()
+		tf.Close()
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapshotName)); err != nil {
+		return fmt.Errorf("journal: compact rename: %w", err)
+	}
+	if dh, err := os.Open(l.dir); err == nil {
+		_ = dh.Sync() // best effort; not all filesystems support dir fsync
+		dh.Close()
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("journal: compact truncate: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	l.size = 0
+	l.recs = 0
+	l.stats.SnapshotBytes = len(payload)
+	return nil
+}
+
+// Size returns the journal's current size in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Records returns the journal records appended since Open or the last
+// Compact (including the intact records found at Open).
+func (l *Log) Records() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recs
+}
+
+// Stats returns the accounting accumulated so far.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Dir returns the state directory path.
+func (l *Log) Dir() string { return l.dir }
+
+// Close syncs and closes the journal file. The Log is unusable afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

@@ -66,6 +66,11 @@ const (
 	// EventDegraded: the *incumbent* faulted and the slot fell back to the
 	// last-known-good program or the clang baseline.
 	EventDegraded EventKind = "degraded"
+	// EventRecovered: the slot was reconstructed from the journal after a
+	// restart (Manager.Recover). Any in-flight candidate from before the
+	// crash was rolled back to last-known-good — i.e. dropped, with the
+	// journaled incumbent still live.
+	EventRecovered EventKind = "recovered"
 )
 
 // Event is the structured record of one lifecycle transition, the runtime
@@ -122,6 +127,9 @@ type SlotStatus struct {
 	// Served / Mirrored count incumbent runs and candidate mirror runs.
 	Served   uint64
 	Mirrored uint64
+	// CanaryRouted counts live packets whose verdict was answered by the
+	// canary under DeployOptions.CanaryFraction.
+	CanaryRouted uint64
 	// Retries is the number of rebuild attempts consumed; Dead means they
 	// are exhausted.
 	Retries int
@@ -139,6 +147,9 @@ func (s SlotStatus) String() string {
 	if s.CandidateGeneration > 0 {
 		out += fmt.Sprintf(" candidate=gen%d/%s runs=%d cleared=%v",
 			s.CandidateGeneration, s.CandidateStage, s.CandidateRuns, s.Cleared)
+	}
+	if s.CanaryRouted > 0 {
+		out += fmt.Sprintf(" canary_routed=%d", s.CanaryRouted)
 	}
 	if s.Retries > 0 || s.Dead {
 		out += fmt.Sprintf(" retries=%d dead=%v", s.Retries, s.Dead)

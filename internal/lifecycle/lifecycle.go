@@ -21,6 +21,7 @@ import (
 	"merlin/internal/core"
 	"merlin/internal/ebpf"
 	"merlin/internal/ir"
+	"merlin/internal/journal"
 	"merlin/internal/metrics"
 	"merlin/internal/vm"
 )
@@ -60,6 +61,22 @@ type Config struct {
 	// Nil disables recording. Pair it with VM.Metrics to also capture
 	// per-run machine telemetry.
 	Metrics *metrics.Registry
+	// Journal, when set, makes slot state durable: every stage transition,
+	// generation bump, quarantine ledger change, and the serialized bytecode
+	// and map contents of the live / last-known-good / baseline deployments
+	// are appended as they happen (fsynced on stage transitions), and
+	// Manager.Recover replays snapshot+journal on startup. Nil keeps the
+	// manager fully in-memory (the previous behavior).
+	Journal *journal.Log
+	// CompactEvery bounds journal growth: after this many appended records
+	// the full state is compacted into the snapshot and the journal is
+	// truncated (default 256).
+	CompactEvery int
+	// ResolveSource, when set, reattaches build Sources to recovered slots
+	// from the opaque DeployOptions.SourceDesc journaled with each slot.
+	// Without it (or on a resolve error) a recovered slot still serves its
+	// journaled program, but the watchdog cannot rebuild it.
+	ResolveSource func(desc string) (Source, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -84,7 +101,23 @@ func (c Config) withDefaults() Config {
 	if c.MaxEvents <= 0 {
 		c.MaxEvents = 64
 	}
+	if c.CompactEvery <= 0 {
+		c.CompactEvery = 256
+	}
 	return c
+}
+
+// DeployOptions tune one slot's deployment policy.
+type DeployOptions struct {
+	// CanaryFraction in [0, 1] routes a deterministic hash-based share of
+	// live packets to a canary-stage candidate: both programs still run and
+	// divergence still demotes the candidate, but for the routed share the
+	// canary's verdict is the one answered. 0 (the default) keeps canary
+	// mirror-only.
+	CanaryFraction float64
+	// SourceDesc is an opaque descriptor of the slot's Source, journaled
+	// with the slot so Config.ResolveSource can reattach it after Recover.
+	SourceDesc string
 }
 
 // Source produces a deployable build. The watchdog re-invokes it on every
@@ -126,6 +159,7 @@ type quarantineState struct {
 type slot struct {
 	name    string
 	source  Source
+	opts    DeployOptions
 	nextGen int
 
 	live     *deployment // serving; nil until the first deploy
@@ -135,10 +169,16 @@ type slot struct {
 
 	quarantine *quarantineState
 
-	served   uint64
-	mirrored uint64
-	events   []Event
-	seq      int
+	served       uint64
+	mirrored     uint64
+	canaryRouted uint64
+	events       []Event
+	seq          int
+
+	// mctx / mpkt are the slot's scratch buffers for mirrored packets and
+	// fallback replay: one allocation amortized over the slot's lifetime
+	// instead of two fresh copies per served packet.
+	mctx, mpkt []byte
 
 	// met holds the slot's registry handles (nil when metrics are off);
 	// metricsSeq is the drain watermark — the highest event Seq already
@@ -155,11 +195,19 @@ type Manager struct {
 	cfg   Config
 	slots map[string]*slot
 	order []string
+
+	// jmet holds the persistence telemetry handles (nil when metrics or the
+	// journal are off).
+	jmet *journalMetrics
 }
 
 // NewManager returns a Manager with cfg's zero fields defaulted.
 func NewManager(cfg Config) *Manager {
-	return &Manager{cfg: cfg.withDefaults(), slots: map[string]*slot{}}
+	m := &Manager{cfg: cfg.withDefaults(), slots: map[string]*slot{}}
+	if m.cfg.Metrics != nil && m.cfg.Journal != nil {
+		m.jmet = newJournalMetrics(m.cfg.Metrics)
+	}
+	return m
 }
 
 // Deploy builds src into a fresh candidate for the named slot (creating the
@@ -169,8 +217,27 @@ func NewManager(cfg Config) *Manager {
 // failures are surfaced as EventBuildFault events; an outright build failure
 // quarantines the slot for a watchdog retry.
 func (m *Manager) Deploy(name string, src Source) error {
+	return m.DeployWith(name, src, DeployOptions{})
+}
+
+// DeployWith is Deploy with per-slot policy options.
+func (m *Manager) DeployWith(name string, src Source, opts DeployOptions) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	s := m.slotLocked(name)
+	s.source = src
+	s.opts = opts
+	s.quarantine = nil
+	s.cand = nil
+	err := m.buildCandidateLocked(s)
+	// A failed build still mutated the ledger (generation bump, quarantine);
+	// journal either way, fsynced — deploys are stage transitions.
+	m.journalSlotLocked(s, true)
+	return err
+}
+
+// slotLocked returns (creating if needed) the named slot.
+func (m *Manager) slotLocked(name string) *slot {
 	s := m.slots[name]
 	if s == nil {
 		s = &slot{name: name}
@@ -180,10 +247,7 @@ func (m *Manager) Deploy(name string, src Source) error {
 		m.slots[name] = s
 		m.order = append(m.order, name)
 	}
-	s.source = src
-	s.quarantine = nil
-	s.cand = nil
-	return m.buildCandidateLocked(s)
+	return s
 }
 
 // buildCandidateLocked runs the slot's source and stages the result.
@@ -252,6 +316,15 @@ func (m *Manager) Serve(name string, ctx, pkt []byte) (int64, vm.Stats, error) {
 	if s == nil {
 		return 0, vm.Stats{}, fmt.Errorf("lifecycle: unknown slot %q", name)
 	}
+	// Journal any transition this packet triggers (stage advance,
+	// quarantine, divergence rejection, degradation) — transitions are rare,
+	// so the steady-state serve path never touches the journal.
+	seqBefore := s.seq
+	defer func() {
+		if s.seq != seqBefore {
+			m.journalSlotLocked(s, true)
+		}
+	}()
 	m.retryLocked(s)
 	if s.live == nil {
 		return 0, vm.Stats{}, fmt.Errorf("lifecycle: slot %q has nothing deployed", name)
@@ -267,11 +340,13 @@ func (m *Manager) Serve(name string, ctx, pkt []byte) (int64, vm.Stats, error) {
 
 	// Programs rewrite ctx/pkt in place, so the mirror (and a fallback
 	// replay after an incumbent fault) needs pristine copies taken before
-	// the incumbent runs.
+	// the incumbent runs. The slot's scratch buffers are reused across
+	// packets: zero copies allocated on the steady-state serve path.
 	var mctx, mpkt []byte
 	if mirroring || s.lastGood != nil || s.baseline != nil {
-		mctx = append([]byte(nil), ctx...)
-		mpkt = append([]byte(nil), pkt...)
+		s.mctx = append(s.mctx[:0], ctx...)
+		s.mpkt = append(s.mpkt[:0], pkt...)
+		mctx, mpkt = s.mctx, s.mpkt
 	}
 	var rng, ktime uint64
 	if mirroring {
@@ -287,6 +362,11 @@ func (m *Manager) Serve(name string, ctx, pkt []byte) (int64, vm.Stats, error) {
 
 	if mirroring {
 		cand := s.cand
+		// Deterministic hash-based canary routing: decided before the runs
+		// from the pristine input bytes, so the same packet always routes
+		// the same way regardless of timing.
+		routed := cand.stage == StageCanary && s.opts.CanaryFraction > 0 &&
+			routeHash(mctx, mpkt) < s.opts.CanaryFraction
 		cand.machine.SetHelperState(rng, ktime)
 		crv, cst, cerr := cand.machine.Run(mctx, mpkt)
 		s.mirrored++
@@ -309,9 +389,30 @@ func (m *Manager) Serve(name string, ctx, pkt []byte) (int64, vm.Stats, error) {
 			cand.incCycles += st.Cycles
 			cand.candCycles += cst.Cycles
 			m.advanceLocked(s)
+			if routed {
+				// The canary cleared every gate for this packet; its verdict
+				// is the one answered. The incumbent's view of the traffic
+				// (maps, helper stream) is unchanged — it already ran.
+				s.canaryRouted++
+				s.met.canaryRoutedInc()
+				return crv, cst, nil
+			}
 		}
 	}
 	return rv, st, nil
+}
+
+// routeHash maps a packet deterministically to [0, 1) via FNV-1a over the
+// pristine ctx and pkt bytes. Allocation-free.
+func routeHash(ctx, pkt []byte) float64 {
+	h := uint64(14695981039346656037)
+	for _, b := range ctx {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	for _, b := range pkt {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return float64(h>>11) / float64(uint64(1)<<53)
 }
 
 // advanceLocked moves a clean candidate through the stage gates.
@@ -369,10 +470,21 @@ func (m *Manager) Promote(name string, force bool) error {
 		why = "forced promotion"
 	}
 	m.promoteLocked(s, why)
+	m.journalSlotLocked(s, true)
 	return nil
 }
 
+// promoteLocked hot-swaps the candidate to live. Before the cutover the
+// incumbent's map state is transferred into the candidate's machine
+// (matched by name and spec), so the promoted program continues from the
+// incumbent's counters instead of zeroed maps. The swap itself remains a
+// single pointer update — there is no serving gap.
 func (m *Manager) promoteLocked(s *slot, why string) {
+	if n, err := s.cand.machine.TransferMapsFrom(s.live.machine); err != nil {
+		why += fmt.Sprintf(" (map transfer failed after %d maps: %v)", n, err)
+	} else if n > 0 {
+		why += fmt.Sprintf(" (%d maps transferred)", n)
+	}
 	s.lastGood = s.live
 	s.live = s.cand
 	s.live.stage = StageLive
@@ -395,13 +507,23 @@ func (m *Manager) Rollback(name string) error {
 		return fmt.Errorf("lifecycle: slot %q has no previous program to roll back to", name)
 	}
 	from := s.live.gen
+	detail := fmt.Sprintf("gen %d → gen %d", from, s.lastGood.gen)
+	// Carry the outgoing incumbent's map state back: an explicit rollback is
+	// a healthy-program decision (unlike degradation after a fault), so its
+	// counters are trustworthy and fresher than last-known-good's.
+	if n, err := s.lastGood.machine.TransferMapsFrom(s.live.machine); err != nil {
+		detail += fmt.Sprintf(" (map transfer failed: %v)", err)
+	} else if n > 0 {
+		detail += fmt.Sprintf(" (%d maps transferred)", n)
+	}
 	s.live = s.lastGood
 	s.live.stage = StageLive
 	s.lastGood = nil
 	s.cand = nil
 	s.quarantine = nil
 	m.eventLocked(s, Event{Kind: EventRolledBack, Stage: StageLive, Generation: s.live.gen,
-		Detail: fmt.Sprintf("gen %d → gen %d", from, s.live.gen)})
+		Detail: detail})
+	m.journalSlotLocked(s, true)
 	return nil
 }
 
@@ -420,7 +542,12 @@ func (m *Manager) Tick() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, name := range m.order {
-		m.retryLocked(m.slots[name])
+		s := m.slots[name]
+		seqBefore := s.seq
+		m.retryLocked(s)
+		if s.seq != seqBefore {
+			m.journalSlotLocked(s, true)
+		}
 	}
 }
 
@@ -461,6 +588,7 @@ func (m *Manager) statusLocked(s *slot) SlotStatus {
 		LiveNI:         -1,
 		Served:         s.served,
 		Mirrored:       s.mirrored,
+		CanaryRouted:   s.canaryRouted,
 		EventSeq:       s.seq,
 		Events:         append([]Event(nil), s.events...),
 	}
@@ -482,6 +610,38 @@ func (m *Manager) statusLocked(s *slot) SlotStatus {
 		st.Dead = q.dead
 	}
 	return st
+}
+
+// MapDump is one map's backing bytes, copied out of a live machine.
+type MapDump struct {
+	Name string
+	Data []byte
+}
+
+// LiveMaps returns a copy of every map in the slot's live machine, in map
+// declaration order — the observability hook behind merlind's `maps`
+// command, and the easiest way to check that counters survived a promotion
+// or a restart.
+func (m *Manager) LiveMaps(name string) ([]MapDump, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.slots[name]
+	if s == nil {
+		return nil, fmt.Errorf("lifecycle: unknown slot %q", name)
+	}
+	if s.live == nil {
+		return nil, fmt.Errorf("lifecycle: slot %q has nothing deployed", name)
+	}
+	mach := s.live.machine
+	out := make([]MapDump, 0, mach.NumMaps())
+	for i := 0; i < mach.NumMaps(); i++ {
+		mp := mach.Map(i)
+		out = append(out, MapDump{
+			Name: mp.Spec().Name,
+			Data: append([]byte(nil), mp.Backing()...),
+		})
+	}
+	return out, nil
 }
 
 // Events returns a copy of the slot's event ring (oldest first).

@@ -22,11 +22,12 @@ type slotMetrics struct {
 	reg  *metrics.Registry
 	slot string
 
-	served     *metrics.Counter
-	mirrored   *metrics.Counter
-	divergence *metrics.Counter
-	degraded   *metrics.Counter
-	canaryCyc  *metrics.Histogram
+	served       *metrics.Counter
+	mirrored     *metrics.Counter
+	divergence   *metrics.Counter
+	degraded     *metrics.Counter
+	canaryRouted *metrics.Counter
+	canaryCyc    *metrics.Histogram
 
 	events map[EventKind]*metrics.Counter
 	stages map[Stage]*metrics.Counter
@@ -49,6 +50,8 @@ func newSlotMetrics(reg *metrics.Registry, slot string) *slotMetrics {
 			"Mirrored runs whose candidate verdict diverged from the incumbent.", "slot", slot),
 		degraded: reg.Counter("merlin_lifecycle_degraded_serves_total",
 			"Packets answered by a fallback after an incumbent fault.", "slot", slot),
+		canaryRouted: reg.Counter("merlin_lifecycle_canary_routed_total",
+			"Live packets whose verdict was answered by the canary (CanaryFraction routing).", "slot", slot),
 		canaryCyc: reg.Histogram("merlin_lifecycle_canary_cycles",
 			"Candidate cycle cost per mirrored canary run (log2 buckets).", "slot", slot),
 		events: map[EventKind]*metrics.Counter{},
@@ -90,9 +93,76 @@ func (sm *slotMetrics) degradedInc() {
 	}
 }
 
+func (sm *slotMetrics) canaryRoutedInc() {
+	if sm != nil {
+		sm.canaryRouted.Inc()
+	}
+}
+
 func (sm *slotMetrics) observeCanaryCycles(cycles uint64) {
 	if sm != nil {
 		sm.canaryCyc.Observe(cycles)
+	}
+}
+
+// journalMetrics holds the manager-level persistence telemetry (no slot
+// label — the journal is shared).
+type journalMetrics struct {
+	appends     *metrics.Counter
+	appendErrs  *metrics.Counter
+	compactions *metrics.Counter
+	corrupt     *metrics.Counter
+	replayed    *metrics.Counter
+	snapBytes   *metrics.Gauge
+	journBytes  *metrics.Gauge
+	recovered   *metrics.Gauge
+	recoveredDs *metrics.Gauge
+}
+
+func newJournalMetrics(reg *metrics.Registry) *journalMetrics {
+	return &journalMetrics{
+		appends: reg.Counter("merlin_journal_appends_total",
+			"Slot-state records appended to the journal."),
+		appendErrs: reg.Counter("merlin_journal_append_errors_total",
+			"Journal appends or compactions that failed (state may lag disk)."),
+		compactions: reg.Counter("merlin_journal_compactions_total",
+			"Snapshot compactions (journal truncations)."),
+		corrupt: reg.Counter("merlin_journal_corrupt_records_total",
+			"Corrupt or torn journal/snapshot records discarded during open, replay, or decode."),
+		replayed: reg.Counter("merlin_journal_replayed_records_total",
+			"Journal records replayed by Recover."),
+		snapBytes: reg.Gauge("merlin_journal_snapshot_bytes",
+			"Payload size of the last written or recovered snapshot."),
+		journBytes: reg.Gauge("merlin_journal_bytes",
+			"Current journal file size."),
+		recovered: reg.Gauge("merlin_lifecycle_recovered_slots",
+			"Slots reconstructed from the journal by the last Recover."),
+		recoveredDs: reg.Gauge("merlin_lifecycle_recovered_deployments",
+			"Deployments (live/last-known-good/baseline) reconstructed by the last Recover."),
+	}
+}
+
+func (jm *journalMetrics) appendInc() {
+	if jm != nil {
+		jm.appends.Inc()
+	}
+}
+
+func (jm *journalMetrics) appendErrInc() {
+	if jm != nil {
+		jm.appendErrs.Inc()
+	}
+}
+
+func (jm *journalMetrics) compactionInc() {
+	if jm != nil {
+		jm.compactions.Inc()
+	}
+}
+
+func (jm *journalMetrics) corruptAdd(n int) {
+	if jm != nil && n > 0 {
+		jm.corrupt.Add(uint64(n))
 	}
 }
 
@@ -177,5 +247,8 @@ func (m *Manager) CollectMetrics() {
 		s := m.slots[name]
 		m.drainEventsLocked(s, s.events)
 		m.refreshGaugesLocked(s)
+	}
+	if m.jmet != nil && m.cfg.Journal != nil {
+		m.jmet.journBytes.Set(m.cfg.Journal.Size())
 	}
 }

@@ -1,0 +1,411 @@
+package lifecycle
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"merlin/internal/ebpf"
+)
+
+// The persistence half of the manager. Slot state is journaled as JSON
+// payloads inside the journal's checksummed records: every mutating
+// transition appends the affected slot's complete persisted state (an
+// idempotent upsert — replay order is the only thing that matters), and the
+// full ledger is periodically compacted into the snapshot. Recovery is
+// snapshot + journal replay, with every corruption counted and tolerated:
+// a record that fails to decode is skipped, a deployment whose program
+// cannot be reloaded falls back to last-known-good, and a slot with nothing
+// restorable is dropped — Recover never returns an error for bad state, only
+// for impossible configuration.
+//
+// What is deliberately NOT persisted:
+//   - in-flight candidates (staged/shadow/canary): their mirrored-run
+//     validation history would be stale after a restart, so a crash rolls a
+//     mid-promotion slot back to its last-known-good incumbent and the
+//     candidate must re-earn promotion;
+//   - registry metrics: Prometheus counters are expected to reset on
+//     process restart (slot status counters — served/mirrored — ARE durable);
+//   - build Sources: closures cannot be serialized; the opaque
+//     DeployOptions.SourceDesc is journaled instead and reattached through
+//     Config.ResolveSource.
+
+// persistVersion guards the snapshot/record schema.
+const persistVersion = 1
+
+// persistedDeployment is one serialized deployment: bytecode, map contents,
+// and the helper-nondeterminism state, enough to rebuild a warm machine.
+type persistedDeployment struct {
+	Gen   int
+	Prog  *ebpf.Program
+	Maps  [][]byte
+	Rng   uint64
+	Ktime uint64
+}
+
+// persistedQuarantine is the watchdog ledger. NotBefore is absolute, so the
+// remaining backoff survives a restart (a backoff that expired while the
+// daemon was down allows an immediate retry).
+type persistedQuarantine struct {
+	Attempts  int
+	NotBefore int64 // UnixNano; 0 = none
+	Dead      bool
+	Reason    string
+}
+
+// persistedSlot is a slot's complete durable state.
+type persistedSlot struct {
+	Version        int
+	Name           string
+	SourceDesc     string
+	CanaryFraction float64
+	NextGen        int
+	Live           *persistedDeployment
+	LastGood       *persistedDeployment
+	Baseline       *persistedDeployment
+	Quarantine     *persistedQuarantine
+	Served         uint64
+	Mirrored       uint64
+	CanaryRouted   uint64
+	Seq            int
+	Events         []Event
+}
+
+// persistedRecord is one journal payload.
+type persistedRecord struct {
+	Kind string // "slot"
+	Slot *persistedSlot
+}
+
+// persistedSnapshot is the compacted full state.
+type persistedSnapshot struct {
+	Version int
+	Slots   []*persistedSlot
+}
+
+func encodeDeployment(d *deployment) *persistedDeployment {
+	if d == nil {
+		return nil
+	}
+	rng, ktime := d.machine.HelperState()
+	return &persistedDeployment{
+		Gen:   d.gen,
+		Prog:  d.prog,
+		Maps:  d.machine.MapStates(),
+		Rng:   rng,
+		Ktime: ktime,
+	}
+}
+
+func (m *Manager) encodeSlotLocked(s *slot) *persistedSlot {
+	ps := &persistedSlot{
+		Version:        persistVersion,
+		Name:           s.name,
+		SourceDesc:     s.opts.SourceDesc,
+		CanaryFraction: s.opts.CanaryFraction,
+		NextGen:        s.nextGen,
+		Live:           encodeDeployment(s.live),
+		LastGood:       encodeDeployment(s.lastGood),
+		Baseline:       encodeDeployment(s.baseline),
+		Served:         s.served,
+		Mirrored:       s.mirrored,
+		CanaryRouted:   s.canaryRouted,
+		Seq:            s.seq,
+		Events:         append([]Event(nil), s.events...),
+	}
+	if q := s.quarantine; q != nil {
+		pq := &persistedQuarantine{Attempts: q.attempts, Dead: q.dead, Reason: q.reason}
+		if !q.notBefore.IsZero() {
+			pq.NotBefore = q.notBefore.UnixNano()
+		}
+		ps.Quarantine = pq
+	}
+	return ps
+}
+
+// journalSlotLocked appends the slot's current state to the journal (no-op
+// without one). sync forces an fsync — used on stage transitions so they
+// survive machine crashes, not just process crashes. Persistence failures
+// are counted, never propagated: serving always wins over durability.
+func (m *Manager) journalSlotLocked(s *slot, sync bool) {
+	j := m.cfg.Journal
+	if j == nil {
+		return
+	}
+	payload, err := json.Marshal(persistedRecord{Kind: "slot", Slot: m.encodeSlotLocked(s)})
+	if err != nil {
+		m.jmet.appendErrInc()
+		return
+	}
+	if err := j.Append(payload, sync); err != nil {
+		m.jmet.appendErrInc()
+		return
+	}
+	m.jmet.appendInc()
+	if j.Records() >= m.cfg.CompactEvery {
+		m.compactLocked()
+	}
+}
+
+// compactLocked writes the full ledger as the snapshot and truncates the
+// journal.
+func (m *Manager) compactLocked() {
+	j := m.cfg.Journal
+	if j == nil {
+		return
+	}
+	snap := persistedSnapshot{Version: persistVersion}
+	for _, name := range m.order {
+		snap.Slots = append(snap.Slots, m.encodeSlotLocked(m.slots[name]))
+	}
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		m.jmet.appendErrInc()
+		return
+	}
+	if err := j.Compact(payload); err != nil {
+		m.jmet.appendErrInc()
+		return
+	}
+	m.jmet.compactionInc()
+	if m.jmet != nil {
+		m.jmet.snapBytes.Set(int64(len(payload)))
+	}
+}
+
+// Flush journals the current state of every slot (map contents included) and
+// syncs the journal. merlind calls it after traffic (map mutations happen
+// without lifecycle transitions) and on SIGINT/SIGTERM.
+func (m *Manager) Flush() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.cfg.Journal
+	if j == nil {
+		return nil
+	}
+	for _, name := range m.order {
+		m.journalSlotLocked(m.slots[name], false)
+	}
+	return j.Sync()
+}
+
+// Compact forces a snapshot compaction (exposed for shutdown paths: one
+// snapshot instead of a long journal to replay on the next boot).
+func (m *Manager) Compact() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.compactLocked()
+}
+
+// RecoverStats reports what Recover reconstructed and what it had to drop.
+type RecoverStats struct {
+	// Slots / Deployments are the recovered slot and machine counts.
+	Slots       int
+	Deployments int
+	// ReplayedRecords counts intact journal records applied on top of the
+	// snapshot; SnapshotBytes is the snapshot payload size (0 = none).
+	ReplayedRecords int
+	SnapshotBytes   int
+	// CorruptRecords counts everything discarded: torn journal tails, bad
+	// checksums, undecodable payloads, wrong-version records.
+	CorruptRecords int
+	// DroppedSlots counts journaled slots with no restorable deployment;
+	// DroppedCandidates would always be 0 (candidates are never persisted)
+	// and is omitted.
+	DroppedSlots int
+	// UnresolvedSources counts recovered slots whose SourceDesc could not be
+	// reattached (watchdog rebuilds disabled for them).
+	UnresolvedSources int
+}
+
+func (rs RecoverStats) String() string {
+	return fmt.Sprintf("slots=%d deployments=%d replayed=%d snapshot_bytes=%d corrupt=%d dropped=%d unresolved_sources=%d",
+		rs.Slots, rs.Deployments, rs.ReplayedRecords, rs.SnapshotBytes,
+		rs.CorruptRecords, rs.DroppedSlots, rs.UnresolvedSources)
+}
+
+// Recover rebuilds the manager's slots from the journal's snapshot + record
+// replay. Call it once, on startup, before serving. Corrupt state degrades:
+// damaged records are skipped and counted, a live deployment that cannot be
+// reloaded falls back to last-known-good (the "mid-promotion rolls back"
+// guarantee), and at worst the manager starts with a fresh ledger. The
+// returned stats are also published to the metrics registry when configured.
+func (m *Manager) Recover() (RecoverStats, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var rs RecoverStats
+	j := m.cfg.Journal
+	if j == nil {
+		return rs, fmt.Errorf("lifecycle: Recover needs Config.Journal")
+	}
+	if len(m.slots) > 0 {
+		return rs, fmt.Errorf("lifecycle: Recover must run before any Deploy")
+	}
+
+	// Latest-wins upsert of persisted slots: snapshot first, then journal
+	// records in append order.
+	latest := map[string]*persistedSlot{}
+	var order []string
+	upsert := func(ps *persistedSlot) {
+		if ps == nil || ps.Name == "" {
+			rs.CorruptRecords++
+			return
+		}
+		if ps.Version != persistVersion {
+			rs.CorruptRecords++
+			return
+		}
+		if _, ok := latest[ps.Name]; !ok {
+			order = append(order, ps.Name)
+		}
+		latest[ps.Name] = ps
+	}
+
+	if payload, ok := j.Snapshot(); ok {
+		var snap persistedSnapshot
+		if err := json.Unmarshal(payload, &snap); err != nil || snap.Version != persistVersion {
+			rs.CorruptRecords++
+		} else {
+			rs.SnapshotBytes = len(payload)
+			for _, ps := range snap.Slots {
+				upsert(ps)
+			}
+		}
+	}
+	_ = j.Replay(func(payload []byte) error {
+		var rec persistedRecord
+		if err := json.Unmarshal(payload, &rec); err != nil || rec.Kind != "slot" {
+			rs.CorruptRecords++
+			return nil
+		}
+		rs.ReplayedRecords++
+		upsert(rec.Slot)
+		return nil
+	})
+	// Framing-level damage found by the journal itself (torn tails, bad
+	// checksums) joins the decode-level count.
+	rs.CorruptRecords += j.Stats().CorruptRecords
+
+	for _, name := range order {
+		ps := latest[name]
+		s, nds, err := m.restoreSlotLocked(ps)
+		if err != nil {
+			rs.DroppedSlots++
+			continue
+		}
+		rs.Slots++
+		rs.Deployments += nds
+		if ps.SourceDesc != "" && s.source == nil {
+			rs.UnresolvedSources++
+		}
+	}
+
+	m.publishRecoverLocked(rs)
+	return rs, nil
+}
+
+// restoreDeployment rebuilds one machine from its persisted form.
+func (m *Manager) restoreDeployment(pd *persistedDeployment) (*deployment, error) {
+	if pd == nil {
+		return nil, nil
+	}
+	if pd.Prog == nil {
+		return nil, fmt.Errorf("lifecycle: persisted deployment gen %d has no program", pd.Gen)
+	}
+	d, err := m.newDeployment(pd.Prog, pd.Gen)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.machine.SetMapStates(pd.Maps); err != nil {
+		return nil, err
+	}
+	d.machine.SetHelperState(pd.Rng, pd.Ktime)
+	return d, nil
+}
+
+// restoreSlotLocked reconstructs one slot. The live deployment is restored
+// from Live, falling back to LastGood then Baseline; a slot with no
+// restorable deployment is dropped with an error.
+func (m *Manager) restoreSlotLocked(ps *persistedSlot) (*slot, int, error) {
+	var live, lastGood, baseline *deployment
+	nds := 0
+	rolledBack := ""
+
+	if d, err := m.restoreDeployment(ps.Live); err == nil && d != nil {
+		live, nds = d, nds+1
+	} else if err != nil {
+		rolledBack = fmt.Sprintf("live gen %d unrestorable (%v); ", ps.Live.Gen, err)
+	}
+	if d, err := m.restoreDeployment(ps.LastGood); err == nil && d != nil {
+		if live == nil {
+			live = d
+		} else {
+			lastGood = d
+		}
+		nds++
+	}
+	if d, err := m.restoreDeployment(ps.Baseline); err == nil && d != nil {
+		baseline, nds = d, nds+1
+		if live == nil {
+			live = baseline
+		}
+	}
+	if live == nil {
+		return nil, 0, fmt.Errorf("lifecycle: slot %s: no restorable deployment", ps.Name)
+	}
+	live.stage = StageLive
+
+	s := m.slotLocked(ps.Name)
+	s.opts = DeployOptions{CanaryFraction: ps.CanaryFraction, SourceDesc: ps.SourceDesc}
+	s.nextGen = ps.NextGen
+	s.live, s.lastGood, s.baseline = live, lastGood, baseline
+	s.served, s.mirrored, s.canaryRouted = ps.Served, ps.Mirrored, ps.CanaryRouted
+	s.seq = ps.Seq
+	if n := len(ps.Events); n > m.cfg.MaxEvents {
+		ps.Events = ps.Events[n-m.cfg.MaxEvents:]
+	}
+	s.events = append([]Event(nil), ps.Events...)
+	if pq := ps.Quarantine; pq != nil {
+		q := &quarantineState{attempts: pq.Attempts, dead: pq.Dead, reason: pq.Reason}
+		if pq.NotBefore != 0 {
+			q.notBefore = time.Unix(0, pq.NotBefore)
+		}
+		s.quarantine = q
+	}
+	if ps.SourceDesc != "" && m.cfg.ResolveSource != nil {
+		if src, err := m.cfg.ResolveSource(ps.SourceDesc); err == nil {
+			s.source = src
+		}
+	}
+
+	detail := fmt.Sprintf("%srecovered live gen %d (served=%d, %d events)",
+		rolledBack, s.live.gen, s.served, len(s.events))
+	if q := s.quarantine; q != nil {
+		remaining := time.Duration(0)
+		if !q.notBefore.IsZero() {
+			if left := q.notBefore.Sub(m.cfg.Now()); left > 0 {
+				remaining = left
+			}
+		}
+		detail += fmt.Sprintf("; quarantined (attempts=%d dead=%v backoff_left=%s)",
+			q.attempts, q.dead, remaining)
+	}
+	m.eventLocked(s, Event{Kind: EventRecovered, Stage: StageLive,
+		Generation: s.live.gen, Detail: detail})
+	return s, nds, nil
+}
+
+// publishRecoverLocked pushes recovery stats into the registry.
+func (m *Manager) publishRecoverLocked(rs RecoverStats) {
+	jm := m.jmet
+	if jm == nil {
+		return
+	}
+	jm.recovered.Set(int64(rs.Slots))
+	jm.recoveredDs.Set(int64(rs.Deployments))
+	jm.snapBytes.Set(int64(rs.SnapshotBytes))
+	jm.corruptAdd(rs.CorruptRecords)
+	if rs.ReplayedRecords > 0 {
+		jm.replayed.Add(uint64(rs.ReplayedRecords))
+	}
+}

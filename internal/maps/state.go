@@ -1,0 +1,251 @@
+package maps
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Map state serialization: an opaque binary snapshot of a map's contents,
+// used for two things that must behave identically — transferring incumbent
+// map state into a freshly promoted program (so hot-swap does not zero
+// counters) and journaling map contents for crash recovery. The format
+// preserves internal layout exactly (hash slot assignment, free list, ring
+// head), so a restored map is byte-for-byte the map that was saved: value
+// pointers the VM hands out resolve to the same offsets.
+//
+// Layout (all integers little-endian):
+//
+//	u8  kind tag (matching ebpf.MapSpec.Kind)
+//	u32 len(store) | store bytes
+//	then per kind:
+//	  hash:  u32 next, u32 nfree | free slots (u32 each),
+//	         u32 nentries | per entry: key bytes (KeySize), u32 slot
+//	  ring:  u32 head, u64 events, u64 bytes
+//	  array: nothing further
+
+// SaveState serializes m's contents. The result is only loadable into a map
+// with an identical Spec.
+func SaveState(m Map) []byte {
+	switch v := m.(type) {
+	case *Array:
+		return v.saveState()
+	case *Hash:
+		return v.saveState()
+	case *RingBuf:
+		return v.saveState()
+	}
+	return nil
+}
+
+// LoadState restores contents produced by SaveState into m, replacing
+// whatever it held. It fails (leaving m untouched on structural errors) when
+// the data does not match m's kind and spec.
+func LoadState(m Map, data []byte) error {
+	switch v := m.(type) {
+	case *Array:
+		return v.loadState(data)
+	case *Hash:
+		return v.loadState(data)
+	case *RingBuf:
+		return v.loadState(data)
+	}
+	return fmt.Errorf("maps: LoadState: unsupported map type %T", m)
+}
+
+// Transfer copies src's contents into dst. The two maps must have identical
+// specs; the caller matches them by name.
+func Transfer(dst, src Map) error {
+	if dst.Spec() != src.Spec() {
+		return fmt.Errorf("maps: transfer %s: spec mismatch (%+v vs %+v)",
+			dst.Spec().Name, dst.Spec(), src.Spec())
+	}
+	return LoadState(dst, SaveState(src))
+}
+
+// cursor is a bounds-checked little-endian reader over a state blob.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) u8() uint8 {
+	if c.err != nil || c.off+1 > len(c.b) {
+		c.fail()
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	if c.err != nil || c.off+4 > len(c.b) {
+		c.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if c.err != nil || c.off+8 > len(c.b) {
+		c.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v
+}
+
+func (c *cursor) bytes(n int) []byte {
+	if c.err != nil || n < 0 || c.off+n > len(c.b) {
+		c.fail()
+		return nil
+	}
+	v := c.b[c.off : c.off+n]
+	c.off += n
+	return v
+}
+
+func (c *cursor) fail() {
+	if c.err == nil {
+		c.err = fmt.Errorf("maps: truncated state blob at offset %d", c.off)
+	}
+}
+
+func (c *cursor) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.off != len(c.b) {
+		return fmt.Errorf("maps: %d trailing bytes in state blob", len(c.b)-c.off)
+	}
+	return nil
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func (a *Array) saveState() []byte {
+	out := make([]byte, 0, 1+4+len(a.store))
+	out = append(out, byte(a.spec.Kind))
+	out = appendU32(out, uint32(len(a.store)))
+	return append(out, a.store...)
+}
+
+func (a *Array) loadState(data []byte) error {
+	c := &cursor{b: data}
+	if kind := c.u8(); c.err == nil && int(kind) != a.spec.Kind {
+		return fmt.Errorf("maps: %s: state kind %d != %d", a.spec.Name, kind, a.spec.Kind)
+	}
+	store := c.bytes(int(c.u32()))
+	if err := c.done(); err != nil {
+		return err
+	}
+	if len(store) != len(a.store) {
+		return fmt.Errorf("maps: %s: state store %d bytes != %d", a.spec.Name, len(store), len(a.store))
+	}
+	copy(a.store, store)
+	return nil
+}
+
+func (h *Hash) saveState() []byte {
+	out := make([]byte, 0, 1+4+len(h.store)+16*len(h.slots))
+	out = append(out, byte(h.spec.Kind))
+	out = appendU32(out, uint32(len(h.store)))
+	out = append(out, h.store...)
+	out = appendU32(out, uint32(h.next))
+	out = appendU32(out, uint32(len(h.free)))
+	for _, s := range h.free {
+		out = appendU32(out, uint32(s))
+	}
+	out = appendU32(out, uint32(len(h.slots)))
+	for k, s := range h.slots {
+		out = append(out, k...)
+		out = appendU32(out, uint32(s))
+	}
+	return out
+}
+
+func (h *Hash) loadState(data []byte) error {
+	c := &cursor{b: data}
+	if kind := c.u8(); c.err == nil && int(kind) != h.spec.Kind {
+		return fmt.Errorf("maps: %s: state kind %d != %d", h.spec.Name, kind, h.spec.Kind)
+	}
+	store := c.bytes(int(c.u32()))
+	next := int(c.u32())
+	free := make([]int, 0, 8)
+	for i, n := 0, int(c.u32()); i < n && c.err == nil; i++ {
+		free = append(free, int(c.u32()))
+	}
+	slots := map[string]int{}
+	for i, n := 0, int(c.u32()); i < n && c.err == nil; i++ {
+		key := c.bytes(h.spec.KeySize)
+		slot := int(c.u32())
+		if c.err == nil {
+			slots[string(key)] = slot
+		}
+	}
+	if err := c.done(); err != nil {
+		return err
+	}
+	if len(store) != len(h.store) {
+		return fmt.Errorf("maps: %s: state store %d bytes != %d", h.spec.Name, len(store), len(h.store))
+	}
+	if next < 0 || next > h.spec.MaxEntries {
+		return fmt.Errorf("maps: %s: state next %d out of range", h.spec.Name, next)
+	}
+	for _, s := range slots {
+		if s < 0 || s >= h.spec.MaxEntries {
+			return fmt.Errorf("maps: %s: state slot %d out of range", h.spec.Name, s)
+		}
+	}
+	copy(h.store, store)
+	h.next = next
+	h.free = free
+	h.slots = slots
+	return nil
+}
+
+func (r *RingBuf) saveState() []byte {
+	out := make([]byte, 0, 1+4+len(r.store)+20)
+	out = append(out, byte(r.spec.Kind))
+	out = appendU32(out, uint32(len(r.store)))
+	out = append(out, r.store...)
+	out = appendU32(out, uint32(r.head))
+	out = appendU64(out, r.Events)
+	out = appendU64(out, r.Bytes)
+	return out
+}
+
+func (r *RingBuf) loadState(data []byte) error {
+	c := &cursor{b: data}
+	if kind := c.u8(); c.err == nil && int(kind) != r.spec.Kind {
+		return fmt.Errorf("maps: %s: state kind %d != %d", r.spec.Name, kind, r.spec.Kind)
+	}
+	store := c.bytes(int(c.u32()))
+	head := int(c.u32())
+	events := c.u64()
+	bytes := c.u64()
+	if err := c.done(); err != nil {
+		return err
+	}
+	if len(store) != len(r.store) {
+		return fmt.Errorf("maps: %s: state store %d bytes != %d", r.spec.Name, len(store), len(r.store))
+	}
+	if head < 0 || head >= len(r.store) {
+		return fmt.Errorf("maps: %s: state head %d out of range", r.spec.Name, head)
+	}
+	copy(r.store, store)
+	r.head = head
+	r.Events = events
+	r.Bytes = bytes
+	return nil
+}

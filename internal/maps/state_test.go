@@ -1,0 +1,167 @@
+package maps
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"merlin/internal/ebpf"
+)
+
+func mustNew(t *testing.T, spec ebpf.MapSpec, ncpu int) Map {
+	t.Helper()
+	m, err := New(spec, ncpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func u32key(v uint32) []byte {
+	k := make([]byte, 4)
+	binary.LittleEndian.PutUint32(k, v)
+	return k
+}
+
+func TestArrayStateRoundTrip(t *testing.T) {
+	spec := ebpf.MapSpec{Name: "arr", Kind: 0, KeySize: 4, ValueSize: 8, MaxEntries: 4}
+	src := mustNew(t, spec, 1)
+	val := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := src.Update(u32key(2), val, 0); err != nil {
+		t.Fatal(err)
+	}
+	dst := mustNew(t, spec, 1)
+	if err := Transfer(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	off := dst.Lookup(u32key(2), 0)
+	if off < 0 || !bytes.Equal(dst.Backing()[off:off+8], val) {
+		t.Fatalf("transferred array lost value: off=%d", off)
+	}
+}
+
+func TestPerCPUArrayStateRoundTrip(t *testing.T) {
+	spec := ebpf.MapSpec{Name: "pc", Kind: 2, KeySize: 4, ValueSize: 8, MaxEntries: 2}
+	src := mustNew(t, spec, 4)
+	for cpu := 0; cpu < 4; cpu++ {
+		v := bytes.Repeat([]byte{byte(cpu + 1)}, 8)
+		if err := src.Update(u32key(1), v, cpu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := mustNew(t, spec, 4)
+	if err := Transfer(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	for cpu := 0; cpu < 4; cpu++ {
+		off := dst.Lookup(u32key(1), cpu)
+		want := bytes.Repeat([]byte{byte(cpu + 1)}, 8)
+		if off < 0 || !bytes.Equal(dst.Backing()[off:off+8], want) {
+			t.Fatalf("cpu %d slice lost", cpu)
+		}
+	}
+}
+
+// TestHashStateRoundTrip includes a delete so the free list and slot
+// assignment survive serialization exactly — value pointers the VM computed
+// from slot offsets must stay valid across a restore.
+func TestHashStateRoundTrip(t *testing.T) {
+	spec := ebpf.MapSpec{Name: "h", Kind: 1, KeySize: 4, ValueSize: 4, MaxEntries: 8}
+	src := mustNew(t, spec, 1).(*Hash)
+	for i := uint32(0); i < 5; i++ {
+		if err := src.Update(u32key(i), u32key(i*100), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.Delete(u32key(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := mustNew(t, spec, 1).(*Hash)
+	if err := Transfer(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != src.Len() {
+		t.Fatalf("len %d != %d", dst.Len(), src.Len())
+	}
+	for i := uint32(0); i < 5; i++ {
+		so, do := src.Lookup(u32key(i), 0), dst.Lookup(u32key(i), 0)
+		if so != do {
+			t.Fatalf("key %d: slot offset %d != %d (layout not preserved)", i, do, so)
+		}
+		if so >= 0 && !bytes.Equal(dst.Backing()[do:do+4], src.Backing()[so:so+4]) {
+			t.Fatalf("key %d: value differs", i)
+		}
+	}
+	// The restored free list must be reused identically: inserting a new key
+	// into both maps must land in the same slot.
+	if err := src.Update(u32key(99), u32key(9), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Update(u32key(99), u32key(9), 0); err != nil {
+		t.Fatal(err)
+	}
+	if src.Lookup(u32key(99), 0) != dst.Lookup(u32key(99), 0) {
+		t.Fatal("free-list reuse diverged after restore")
+	}
+}
+
+func TestRingBufStateRoundTrip(t *testing.T) {
+	spec := ebpf.MapSpec{Name: "rb", Kind: 3, KeySize: 0, ValueSize: 1, MaxEntries: 16}
+	src := mustNew(t, spec, 1).(*RingBuf)
+	src.Output([]byte("hello"))
+	src.Output([]byte("world!"))
+
+	dst := mustNew(t, spec, 1).(*RingBuf)
+	if err := Transfer(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Events != 2 || dst.Bytes != 11 || dst.head != src.head {
+		t.Fatalf("ring counters lost: events=%d bytes=%d head=%d", dst.Events, dst.Bytes, dst.head)
+	}
+	if !bytes.Equal(dst.Backing(), src.Backing()) {
+		t.Fatal("ring contents differ")
+	}
+}
+
+func TestTransferSpecMismatchRejected(t *testing.T) {
+	a := mustNew(t, ebpf.MapSpec{Name: "a", Kind: 0, KeySize: 4, ValueSize: 8, MaxEntries: 4}, 1)
+	b := mustNew(t, ebpf.MapSpec{Name: "a", Kind: 0, KeySize: 4, ValueSize: 8, MaxEntries: 8}, 1)
+	if err := Transfer(b, a); err == nil {
+		t.Fatal("spec mismatch accepted")
+	}
+}
+
+// TestLoadStateRejectsGarbage drives LoadState with hostile blobs: wrong
+// kind, truncations at every offset, trailing junk. A structural error must
+// be reported and must never panic.
+func TestLoadStateRejectsGarbage(t *testing.T) {
+	spec := ebpf.MapSpec{Name: "h", Kind: 1, KeySize: 4, ValueSize: 4, MaxEntries: 8}
+	src := mustNew(t, spec, 1).(*Hash)
+	for i := uint32(0); i < 3; i++ {
+		if err := src.Update(u32key(i), u32key(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob := SaveState(src)
+
+	for cut := 0; cut < len(blob); cut++ {
+		dst := mustNew(t, spec, 1)
+		if err := LoadState(dst, blob[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	dst := mustNew(t, spec, 1)
+	if err := LoadState(dst, append(append([]byte(nil), blob...), 0xaa)); err == nil {
+		t.Error("trailing junk accepted")
+	}
+	wrongKind := append([]byte(nil), blob...)
+	wrongKind[0] = 3
+	if err := LoadState(dst, wrongKind); err == nil {
+		t.Error("wrong kind tag accepted")
+	}
+	// A full valid blob still loads after all the rejected attempts.
+	if err := LoadState(dst, blob); err != nil {
+		t.Fatalf("valid blob rejected after garbage: %v", err)
+	}
+}

@@ -77,3 +77,50 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	s.Sum = atomic.LoadUint64(&h.sum)
 	return s
 }
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the observations. The
+// estimate locates the bucket holding the rank-⌈q·count⌉ observation and
+// interpolates linearly within its value range, so it always falls in the
+// same log2 bucket as the exact order statistic — a relative error bounded
+// by the bucket width (≤ 2×). The bench harnesses use this for p50/p99
+// reporting without retaining raw samples. Returns 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) uint64 { return h.Snapshot().Quantile(q) }
+
+// Quantile is the snapshot-side estimator; see Histogram.Quantile.
+func (s HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	switch {
+	case q < 0:
+		q = 0
+	case q > 1:
+		q = 1
+	}
+	// rank is 1-based: the rank-th smallest observation.
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if seen+n < rank {
+			seen += n
+			continue
+		}
+		lo, hi := BucketRange(i)
+		if i >= NumBuckets {
+			// Overflow bucket: its upper edge is unbounded, so report the
+			// lower edge rather than inventing a midpoint.
+			return lo
+		}
+		// Interpolate the rank's position inside the bucket.
+		frac := (float64(rank-seen) - 0.5) / float64(n)
+		return lo + uint64(frac*float64(hi-lo)+0.5)
+	}
+	lo, _ := BucketRange(NumBuckets)
+	return lo
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile returns the rank-⌈q·n⌉ order statistic of vals.
+func exactQuantile(vals []uint64, q float64) uint64 {
+	sorted := append([]uint64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// TestQuantileBucketAgreement is the estimator's contract: for any
+// distribution, Quantile(q) lands in the same log2 bucket as the exact order
+// statistic, because the bucket is located by exact cumulative counts and
+// only the within-bucket position is interpolated.
+func TestQuantileBucketAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	distributions := map[string]func(n int) []uint64{
+		"constant": func(n int) []uint64 {
+			vals := make([]uint64, n)
+			for i := range vals {
+				vals[i] = 777
+			}
+			return vals
+		},
+		"uniform": func(n int) []uint64 {
+			vals := make([]uint64, n)
+			for i := range vals {
+				vals[i] = uint64(rng.Intn(100000))
+			}
+			return vals
+		},
+		"exponential": func(n int) []uint64 {
+			vals := make([]uint64, n)
+			for i := range vals {
+				vals[i] = uint64(rng.ExpFloat64() * 5000)
+			}
+			return vals
+		},
+		"bimodal": func(n int) []uint64 {
+			vals := make([]uint64, n)
+			for i := range vals {
+				if i%2 == 0 {
+					vals[i] = uint64(10 + rng.Intn(5))
+				} else {
+					vals[i] = uint64(1 << 20)
+				}
+			}
+			return vals
+		},
+		"with-zeros": func(n int) []uint64 {
+			vals := make([]uint64, n)
+			for i := range vals {
+				vals[i] = uint64(rng.Intn(3)) // heavy mass on 0, 1, 2
+			}
+			return vals
+		},
+	}
+	quantiles := []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 1}
+	for name, gen := range distributions {
+		for _, n := range []int{1, 7, 1000} {
+			vals := gen(n)
+			var h Histogram
+			for _, v := range vals {
+				h.Observe(v)
+			}
+			for _, q := range quantiles {
+				got := h.Quantile(q)
+				want := exactQuantile(vals, q)
+				if bucketIndex(got) != bucketIndex(want) {
+					t.Errorf("%s n=%d q=%.2f: estimate %d (bucket %d) vs exact %d (bucket %d)",
+						name, n, q, got, bucketIndex(got), want, bucketIndex(want))
+				}
+			}
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %d, want 0", got)
+	}
+
+	var h Histogram
+	h.Observe(42)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} { // out-of-range q clamps
+		if got := h.Quantile(q); bucketIndex(got) != bucketIndex(42) {
+			t.Errorf("single-observation quantile(%v) = %d, not in 42's bucket", q, got)
+		}
+	}
+
+	// Overflow bucket: values ≥ 2^40 report the bucket's lower edge.
+	var ov Histogram
+	ov.Observe(1 << 50)
+	lo, _ := BucketRange(NumBuckets)
+	if got := ov.Quantile(0.5); got != lo {
+		t.Errorf("overflow quantile = %d, want lower edge %d", got, lo)
+	}
+
+	// Interpolation is monotone in q.
+	var m Histogram
+	for v := uint64(1); v <= 4096; v++ {
+		m.Observe(v)
+	}
+	prev := uint64(0)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		cur := m.Quantile(q)
+		if cur < prev {
+			t.Errorf("quantile not monotone: q=%.2f gives %d after %d", q, cur, prev)
+		}
+		prev = cur
+	}
+}

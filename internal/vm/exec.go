@@ -48,12 +48,7 @@ func (m *Machine) run(ctx, pkt []byte) (int64, Stats, error) {
 	var st Stats
 	c := &m.cfg.Costs
 	insns := m.prog.Insns
-	slotOf := m.prog.SlotIndex()
-	// Map slot targets back to elements for branch resolution.
-	elemAt := make(map[int]int, len(insns))
-	for i := range insns {
-		elemAt[slotOf[i]] = i
-	}
+	slotOf, elemAt := m.slotOf, m.elemAt
 	m.ktime += 1000
 
 	memAccess := func(addr uint64, size int, write bool) ([]byte, int, error) {

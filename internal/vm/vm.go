@@ -114,6 +114,11 @@ type Machine struct {
 	// (task structs, filenames, ...). Harnesses populate it per event.
 	Kmem []byte
 
+	// slotOf / elemAt are the branch-resolution tables, computed once at
+	// load time (the program is immutable) so Run allocates nothing.
+	slotOf []int
+	elemAt map[int]int
+
 	rng   uint64
 	ktime uint64
 	stack [StackSize]byte
@@ -134,6 +139,11 @@ func New(prog *ebpf.Program, cfg Config) (*Machine, error) {
 		cfg.Costs = DefaultCosts()
 	}
 	m := &Machine{prog: prog, cfg: cfg, rng: cfg.Seed*2654435761 + 1, Kmem: make([]byte, 4096)}
+	m.slotOf = prog.SlotIndex()
+	m.elemAt = make(map[int]int, len(prog.Insns))
+	for i := range prog.Insns {
+		m.elemAt[m.slotOf[i]] = i
+	}
 	for _, spec := range prog.Maps {
 		mp, err := maps.New(spec, cfg.NCPU)
 		if err != nil {
@@ -150,6 +160,54 @@ func New(prog *ebpf.Program, cfg Config) (*Machine, error) {
 
 // Map returns the instantiated map at index i (for harness inspection).
 func (m *Machine) Map(i int) maps.Map { return m.maps[i] }
+
+// NumMaps returns the number of instantiated maps.
+func (m *Machine) NumMaps() int { return len(m.maps) }
+
+// MapStates serializes every map's contents in declaration order, for
+// journaling and state transfer at promotion.
+func (m *Machine) MapStates() [][]byte {
+	out := make([][]byte, len(m.maps))
+	for i, mp := range m.maps {
+		out[i] = maps.SaveState(mp)
+	}
+	return out
+}
+
+// SetMapStates restores contents produced by MapStates. The map list must
+// match (same count, same specs) — it does for a program journaled and
+// reloaded unchanged.
+func (m *Machine) SetMapStates(states [][]byte) error {
+	if len(states) != len(m.maps) {
+		return fmt.Errorf("vm: %d map states for %d maps", len(states), len(m.maps))
+	}
+	for i, st := range states {
+		if err := maps.LoadState(m.maps[i], st); err != nil {
+			return fmt.Errorf("vm: map %d (%s): %w", i, m.maps[i].Spec().Name, err)
+		}
+	}
+	return nil
+}
+
+// TransferMapsFrom copies the contents of every map in src that has a
+// same-named, identically-specced map in m. Maps without a match (the new
+// program added or dropped one) are left as they are; the count of maps
+// actually transferred is returned. The lifecycle manager calls this at
+// promotion so a hot-swapped program inherits the incumbent's counters.
+func (m *Machine) TransferMapsFrom(src *Machine) (int, error) {
+	n := 0
+	for _, dst := range m.maps {
+		s := src.MapByName(dst.Spec().Name)
+		if s == nil || s.Spec() != dst.Spec() {
+			continue
+		}
+		if err := maps.Transfer(dst, s); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
 
 // MapByName returns the named map, or nil.
 func (m *Machine) MapByName(name string) maps.Map {
