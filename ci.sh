@@ -77,3 +77,46 @@ echo "$RECOVER_OUT" | grep -q 'slot=smoke stage=live live=gen2'
 echo "$RECOVER_OUT" | grep -q 'map cntrs_array bytes=256 u64\[0\]=16'
 echo "$RECOVER_OUT" | grep -q 'merlin_lifecycle_recovered_slots 1'
 rm -rf "$STATE_DIR" /tmp/merlind-smoke /tmp/merlind-smoke-out
+
+# Superoptimizer smoke: a cold build against an empty cache must search and
+# find at least one rewrite on this ALU-chain module; a second build against
+# the same cache must be fully warm — at least one hit and zero searches.
+SO_DIR=$(mktemp -d)
+cat > "$SO_DIR/sochain.mir" <<'EOF'
+module "sochain"
+
+func fold(%ctx: ptr) -> i64 {
+entry:
+  %data = load ptr, %ctx, align 8
+  %endp = gep %ctx, 8
+  %end = load ptr, %endp, align 8
+  %lim = bin add i64 %data, 14
+  %short = icmp ugt i64 %lim, %end
+  condbr %short, drop, work
+drop:
+  ret 1
+work:
+  %p = load ptr, %ctx, align 8
+  %v = load i64, %p, align 8
+  %a = bin add i64 %v, 5
+  %b = bin add i64 %a, 3
+  %c = bin add i64 %b, 7
+  %d = bin mul i64 %c, 1
+  %e = bin xor i64 %d, 0
+  %f = bin add i64 %e, 0
+  ret %f
+}
+EOF
+COLD_OUT=$(go run ./cmd/merlinc -superopt -superopt-cache "$SO_DIR/cache" "$SO_DIR/sochain.mir")
+echo "$COLD_OUT"
+echo "$COLD_OUT" | grep -q 'superopt: .*hits=0 '
+echo "$COLD_OUT" | grep -Eq 'superopt: .*rewrites=[1-9]'
+WARM_OUT=$(go run ./cmd/merlinc -superopt -superopt-cache "$SO_DIR/cache" "$SO_DIR/sochain.mir")
+echo "$WARM_OUT"
+echo "$WARM_OUT" | grep -Eq 'superopt: .*hits=[1-9]'
+echo "$WARM_OUT" | grep -q 'searches=0 '
+rm -rf "$SO_DIR"
+
+# Superoptimizer differential fuzz: a short randomized hunt for any program
+# where the superopt build diverges from the Merlin-only build.
+go test -run FuzzSuperopt -fuzz FuzzSuperopt -fuzztime 20s ./internal/difftest/

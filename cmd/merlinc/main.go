@@ -26,6 +26,12 @@
 //	-metrics       print a build-pipeline metrics summary (Prometheus text
 //	               format: per-pass wall time, rollbacks, bisections,
 //	               verifier verdicts) after compilation
+//	-superopt      run the caching peephole superoptimizer tier after the
+//	               Merlin passes (prints a one-line summary)
+//	-superopt-cache dir   persist superoptimizer verdicts across builds in
+//	               dir (warm builds skip the enumerative search entirely)
+//	-superopt-budget N    candidate budget per search (determinism knob;
+//	               part of the cache key)
 package main
 
 import (
@@ -40,6 +46,7 @@ import (
 	"merlin/internal/ir"
 	"merlin/internal/metrics"
 	"merlin/internal/objfile"
+	"merlin/internal/superopt"
 )
 
 func main() {
@@ -62,6 +69,9 @@ func run() error {
 	guardDiff := flag.Int("guard-diff-inputs", 4, "sampled inputs for per-pass differential validation (0 disables)")
 	passTimeout := flag.Duration("pass-timeout", guard.DefaultTimeout, "per-pass wall-clock budget under -guard")
 	showMetrics := flag.Bool("metrics", false, "print a build-pipeline metrics summary after compilation")
+	useSuperopt := flag.Bool("superopt", false, "run the superoptimizer tier after the Merlin passes")
+	superoptCache := flag.String("superopt-cache", "", "persistent verdict cache directory for -superopt")
+	superoptBudget := flag.Int("superopt-budget", superopt.DefaultBudget, "candidate budget per superoptimizer search")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -101,6 +111,21 @@ func run() error {
 	if *showMetrics {
 		reg = metrics.New()
 		opts.Metrics = core.NewMetrics(reg)
+	}
+	if *useSuperopt {
+		socfg := &superopt.Config{Budget: *superoptBudget}
+		if *superoptCache != "" {
+			cache, err := superopt.OpenCache(*superoptCache)
+			if err != nil {
+				return fmt.Errorf("-superopt-cache: %w", err)
+			}
+			defer cache.Close()
+			socfg.Cache = cache
+		}
+		if reg != nil {
+			socfg.Metrics = superopt.NewMetrics(reg)
+		}
+		opts.Superopt = socfg
 	}
 	if *disable != "" {
 		valid := map[string]bool{}
@@ -144,6 +169,13 @@ func run() error {
 	}
 	if res.FellBack != "" {
 		fmt.Fprintf(os.Stderr, "guard: degraded build (%s fallback)\n", res.FellBack)
+	}
+	if st := res.Superopt; st != nil {
+		fmt.Printf("superopt: windows=%d hits=%d misses=%d searches=%d rewrites=%d insns-saved=%d cycles-saved=%d\n",
+			st.Windows, st.CacheHits, st.CacheMisses, st.Searches, st.Rewrites, st.InsnsSaved, st.CyclesSaved)
+		if st.Reverted {
+			fmt.Fprintln(os.Stderr, "warning: superopt rewrites reverted (whole-program recheck failed)")
+		}
 	}
 	fmt.Printf("\nNI: %d -> %d  (%.1f%% reduction)\n",
 		res.Baseline.NI(), res.Prog.NI(), res.NIReduction()*100)

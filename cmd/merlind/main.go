@@ -45,13 +45,29 @@
 // map contents — is recovered from the journal and reported as one
 // "ok recover ..." line. A corrupt or torn journal degrades to whatever
 // prefix was intact (at worst a fresh ledger); it never prevents startup.
-// An empty -state-dir (the default) keeps everything in memory.
+// An empty -state-dir (the default) keeps everything in memory. The state
+// directory is flock-guarded: a second daemon pointed at the same -state-dir
+// fails fast at startup instead of interleaving journal appends.
+//
+// With -listen the daemon also serves GET /metrics over HTTP (Prometheus
+// text exposition format, same registry as the `metrics` command) and prints
+// "ok listen <addr>" with the resolved address, so scripts can pass :0 and
+// scrape the chosen port.
+//
+// With -superopt every deploy additionally runs the caching peephole
+// superoptimizer tier (internal/superopt) after the Merlin passes; the
+// guarded pipeline and quarantine machinery protect the incumbent exactly as
+// they do for the rule-based optimizers. -superopt-cache persists search
+// verdicts across restarts (it must be a different directory from
+// -state-dir; each is exclusively locked).
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -67,6 +83,7 @@ import (
 	"merlin/internal/journal"
 	"merlin/internal/lifecycle"
 	"merlin/internal/metrics"
+	"merlin/internal/superopt"
 	"merlin/internal/vm"
 )
 
@@ -74,10 +91,23 @@ type daemon struct {
 	mgr        *lifecycle.Manager
 	reg        *metrics.Registry
 	jl         *journal.Log
+	socache    *superopt.Cache // nil unless -superopt-cache
 	buildOpts  core.Options
 	deployOpts lifecycle.DeployOptions
 	seed       int64
 	traffic    int64 // packets generated so far, advances the input stream
+}
+
+// shutdown flushes and closes everything the daemon owns durable state in.
+func (d *daemon) shutdown() {
+	if d.socache != nil {
+		d.socache.Close()
+		d.socache = nil
+	}
+	if d.jl != nil {
+		d.jl.Close()
+		d.jl = nil
+	}
 }
 
 func main() {
@@ -97,6 +127,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "synthetic traffic seed")
 	stateDir := flag.String("state-dir", "", "directory for the crash-safe state journal (empty = in-memory)")
 	compactEvery := flag.Int("compact-every", 256, "journal records between snapshot compactions")
+	listen := flag.String("listen", "", "serve GET /metrics on this TCP address (empty = no HTTP)")
+	useSuperopt := flag.Bool("superopt", false, "run the superoptimizer tier on every deploy build")
+	superoptCache := flag.String("superopt-cache", "", "persistent superoptimizer verdict cache directory")
+	superoptBudget := flag.Int("superopt-budget", superopt.DefaultBudget, "candidate budget per superoptimizer search")
 	flag.Parse()
 
 	hooks := map[string]ebpf.HookType{
@@ -116,6 +150,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "merlind: -canary-fraction must be in [0, 1]")
 		os.Exit(2)
 	}
+	if *superoptCache != "" && !*useSuperopt {
+		fmt.Fprintln(os.Stderr, "merlind: -superopt-cache requires -superopt")
+		os.Exit(2)
+	}
+	if *superoptCache != "" && *superoptCache == *stateDir {
+		fmt.Fprintln(os.Stderr, "merlind: -superopt-cache and -state-dir must be different directories (each is exclusively locked)")
+		os.Exit(2)
+	}
 
 	reg := metrics.New()
 	d := &daemon{
@@ -127,6 +169,22 @@ func main() {
 		},
 		deployOpts: lifecycle.DeployOptions{CanaryFraction: *canaryFraction},
 		seed:       *seed,
+	}
+	if *useSuperopt {
+		socfg := &superopt.Config{
+			Budget:  *superoptBudget,
+			Metrics: superopt.NewMetrics(reg),
+		}
+		if *superoptCache != "" {
+			cache, err := superopt.OpenCache(*superoptCache)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "merlind: -superopt-cache:", err)
+				os.Exit(2)
+			}
+			d.socache = cache
+			socfg.Cache = cache
+		}
+		d.buildOpts.Superopt = socfg
 	}
 	cfg := lifecycle.Config{
 		ShadowRuns:   *shadow,
@@ -181,8 +239,26 @@ func main() {
 				os.Exit(1)
 			}
 			d.mgr.Compact()
-			d.jl.Close()
+			d.shutdown()
 			os.Exit(0)
+		}()
+	}
+
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "merlind: -listen:", err)
+			os.Exit(2)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", d.serveMetrics)
+		// Announce the resolved address so scripts can pass :0 and scrape the
+		// chosen port.
+		fmt.Printf("ok listen %s\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "merlind: http:", err)
+			}
 		}()
 	}
 
@@ -212,10 +288,26 @@ func main() {
 			failed = true
 		}
 		d.mgr.Compact()
-		d.jl.Close()
 	}
+	d.shutdown()
 	if failed {
 		os.Exit(1)
+	}
+}
+
+// serveMetrics answers GET /metrics with the shared registry in Prometheus
+// text exposition format. CollectMetrics and WriteText are both safe against
+// the command loop, so a scrape never blocks traffic.
+func (d *daemon) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	d.mgr.CollectMetrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := d.reg.WriteText(w); err != nil {
+		// The response is already streaming; nothing useful left to do.
+		return
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"merlin/internal/guard"
 	"merlin/internal/ir"
 	"merlin/internal/irpass"
+	"merlin/internal/superopt"
 	"merlin/internal/verifier"
 )
 
@@ -86,6 +87,13 @@ type Options struct {
 	// and merlin-fuzz use it to prove containment. Nil injects nothing.
 	Injector *guard.FaultInjector
 
+	// Superopt, when set, runs the caching peephole superoptimizer tier
+	// (internal/superopt) after the bytecode refinement, recorded as the
+	// "SO" pass. ALU32 replacements are additionally allowed whenever
+	// KernelALU32 is set. During culprit bisection the tier is disabled:
+	// bisection isolates the paper's six optimizers.
+	Superopt *superopt.Config
+
 	// Metrics, when set, records build telemetry (builds, per-pass wall
 	// time, rollbacks, bisections, fallbacks, verifier verdicts) into its
 	// registry after every Build.
@@ -138,6 +146,9 @@ type Result struct {
 	// PassFailures records passes that failed under guarding and were rolled
 	// back to their pre-pass snapshot (empty for clean builds).
 	PassFailures []guard.PassFailure
+	// Superopt holds the superoptimizer tier's stats when Options.Superopt
+	// was set (nil after a bisection fallback, which disables the tier).
+	Superopt *superopt.Stats
 	// Culprits holds the optimizers culprit bisection identified as
 	// responsible for a final verifier rejection.
 	Culprits []Optimizer
@@ -208,6 +219,7 @@ func build(mod *ir.Module, fnName string, opts Options) (*Result, error) {
 		res.Stats = po.stats
 		res.MerlinTime = po.merlin
 		res.PassFailures = po.failures
+		res.Superopt = po.superopt
 	}
 
 	if opts.Verify {
@@ -247,6 +259,7 @@ type pipeOut struct {
 	stats    []PassStat
 	merlin   time.Duration
 	failures []guard.PassFailure
+	superopt *superopt.Stats
 }
 
 // runPipeline runs the optimized path — inline, generic cleanup, IR
@@ -329,6 +342,32 @@ func runPipeline(mod *ir.Module, fnName string, opts Options, enabled func(Optim
 			}
 		}
 		prog = cur
+	}
+
+	// Superoptimizer tier: runs after the rule-based refinement as the "SO"
+	// pass, guarded exactly like any bytecode pass when guarding is on.
+	if opts.Superopt != nil {
+		socfg := *opts.Superopt
+		socfg.ALU32 = socfg.ALU32 || opts.KernelALU32
+		var last superopt.Stats
+		pass := bopt.Pass{Name: "SO", Run: func(p *ebpf.Program, _ bopt.Options) (*ebpf.Program, int, error) {
+			np, st, err := superopt.Optimize(p, socfg)
+			last = st
+			return np, st.Rewrites, err
+		}}
+		if !opts.Guard {
+			start := time.Now()
+			next, applied, err := pass.Run(prog, bopts)
+			if err != nil {
+				return nil, fmt.Errorf("core: superopt: %w", err)
+			}
+			prog = next
+			out.stats = append(out.stats, PassStat{Name: "SO", Tier: "bytecode", Applied: applied, Duration: time.Since(start)})
+			out.merlin += time.Since(start)
+		} else {
+			prog = runGuardedBytecodePass(prog, pass, bopts, opts, out)
+		}
+		out.superopt = &last
 	}
 	out.prog = prog
 	return out, nil
@@ -436,6 +475,11 @@ func runGuardedBytecodePass(cur *ebpf.Program, p bopt.Pass, bopts bopt.Options, 
 // With nothing survivable, Prog falls back to the (already compiled)
 // baseline. res is updated in place.
 func bisectCulprits(mod *ir.Module, fnName string, opts Options, vopts verifier.Options, res *Result) {
+	// Bisection isolates the six paper optimizers; the superopt tier is
+	// switched off for the trials (and for the chosen fallback output) so it
+	// can neither mask nor be blamed for a rule-based culprit.
+	opts.Superopt = nil
+	res.Superopt = nil
 	var enabledList []Optimizer
 	for _, o := range AllOptimizers() {
 		if opts.enabled(o) {

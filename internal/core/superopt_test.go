@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"merlin/internal/corpus"
+	"merlin/internal/guard"
+	"merlin/internal/superopt"
+)
+
+// TestBuildWithSuperopt: the tier runs as the "SO" pass, its stats surface on
+// the Result, the output never grows, and it stays semantically identical to
+// the Merlin-only build.
+func TestBuildWithSuperopt(t *testing.T) {
+	spec := corpus.XDP()[0]
+	for _, s := range corpus.XDP() {
+		if s.Name == "xdp2" {
+			spec = s
+		}
+	}
+	plain, err := Build(spec.Mod, spec.Func, Options{Hook: spec.Hook, MCPU: spec.MCPU, KernelALU32: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(spec.Mod, spec.Func, Options{
+		Hook: spec.Hook, MCPU: spec.MCPU, KernelALU32: true, Verify: true,
+		Superopt: &superopt.Config{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Superopt == nil {
+		t.Fatal("Result.Superopt not populated")
+	}
+	if res.Superopt.Windows == 0 {
+		t.Error("no windows extracted")
+	}
+	var found bool
+	for _, s := range res.Stats {
+		if s.Name == "SO" && s.Tier == "bytecode" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no SO pass stat recorded: %+v", res.Stats)
+	}
+	if res.Prog.NI() > plain.Prog.NI() {
+		t.Errorf("superopt grew the program: %d -> %d", plain.Prog.NI(), res.Prog.NI())
+	}
+	if !res.Verification.Passed {
+		t.Errorf("superopt output rejected by verifier: %v", res.Verification.Err)
+	}
+	if err := guard.DiffPrograms(plain.Prog, res.Prog, guard.Inputs(spec.Hook, 24, 5)); err != nil {
+		t.Errorf("superopt build diverges from Merlin-only build: %v", err)
+	}
+}
+
+// TestBuildWithSuperoptGuarded: under guarding the tier is wrapped like any
+// bytecode pass — a clean run records no failures and still optimizes.
+func TestBuildWithSuperoptGuarded(t *testing.T) {
+	spec := corpus.XDP()[0]
+	res, err := BuildForDeploy(spec.Mod, spec.Func, Options{
+		Hook: spec.Hook, MCPU: spec.MCPU, KernelALU32: true,
+		GuardDiffInputs: 8,
+		Superopt:        &superopt.Config{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PassFailures) != 0 {
+		t.Errorf("unexpected pass failures: %+v", res.PassFailures)
+	}
+	if res.Superopt == nil {
+		t.Fatal("Result.Superopt not populated")
+	}
+}
+
+// TestBuildSuperoptWarmCache: two builds sharing one cache — the second
+// performs zero enumerative searches and produces the identical program.
+func TestBuildSuperoptWarmCache(t *testing.T) {
+	spec := corpus.XDP()[0]
+	cache := superopt.NewMemCache()
+	opts := Options{
+		Hook: spec.Hook, MCPU: spec.MCPU, KernelALU32: true,
+		Superopt: &superopt.Config{Cache: cache},
+	}
+	cold, err := Build(spec.Mod, spec.Func, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Superopt.CacheMisses == 0 {
+		t.Fatal("cold build missed nothing — cache not exercised")
+	}
+	warm, err := Build(spec.Mod, spec.Func, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Superopt.Searches != 0 {
+		t.Errorf("warm build ran %d searches, want 0", warm.Superopt.Searches)
+	}
+	if warm.Superopt.CacheHits == 0 {
+		t.Error("warm build reported zero cache hits")
+	}
+	if warm.Prog.NI() != cold.Prog.NI() {
+		t.Errorf("warm build NI %d != cold %d", warm.Prog.NI(), cold.Prog.NI())
+	}
+}

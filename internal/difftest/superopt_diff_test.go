@@ -1,0 +1,78 @@
+package difftest
+
+import (
+	"testing"
+
+	"merlin/internal/core"
+	"merlin/internal/ebpf"
+	"merlin/internal/guard"
+	"merlin/internal/ir"
+	"merlin/internal/superopt"
+)
+
+// soCache is shared across seeds so the superoptimizer's memoization is
+// itself under test: a verdict cached for one generated program must stay
+// correct when a later program canonicalizes to the same window.
+var soCache = superopt.NewMemCache()
+
+// checkSuperoptEquivalence builds mod with and without the superoptimizer
+// tier and requires byte-identical behavior on sampled inputs.
+func checkSuperoptEquivalence(t *testing.T, seed int64, mod *ir.Module) {
+	t.Helper()
+	mcpu := 2
+	if seed%3 == 0 {
+		mcpu = 3
+	}
+	opts := core.Options{Hook: ebpf.HookTracepoint, MCPU: mcpu, KernelALU32: true}
+	plain, err := core.Build(mod, mod.Funcs[0].Name, opts)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	opts.Superopt = &superopt.Config{Cache: soCache, Budget: 5000}
+	sup, err := core.Build(mod, mod.Funcs[0].Name, opts)
+	if err != nil {
+		t.Fatalf("seed %d (superopt): %v", seed, err)
+	}
+	if sup.Prog.NI() > plain.Prog.NI() {
+		t.Fatalf("seed %d: superopt grew the program: %d -> %d",
+			seed, plain.Prog.NI(), sup.Prog.NI())
+	}
+	if err := guard.DiffPrograms(plain.Prog, sup.Prog, guard.Inputs(ebpf.HookTracepoint, 12, seed+7)); err != nil {
+		t.Fatalf("seed %d: superopt output diverges: %v\n--- plain ---\n%s--- superopt ---\n%s",
+			seed, err, ebpf.Disassemble(plain.Prog), ebpf.Disassemble(sup.Prog))
+	}
+}
+
+// TestSuperoptDifferential: across many generated programs the superopt
+// build must stay behaviorally identical to the Merlin-only build.
+func TestSuperoptDifferential(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 12
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		mod := Generate(seed, GenOptions{UseMaps: seed%2 == 0})
+		if err := ir.Validate(mod); err != nil {
+			t.Fatalf("seed %d: generated invalid IR: %v", seed, err)
+		}
+		checkSuperoptEquivalence(t, seed, mod)
+	}
+}
+
+// FuzzSuperopt drives the same check from the fuzzer: any seed where the
+// superoptimizer tier changes observable behavior is a soundness bug.
+func FuzzSuperopt(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if seed < 0 {
+			seed = -seed
+		}
+		mod := Generate(seed, GenOptions{UseMaps: seed%2 == 0})
+		if err := ir.Validate(mod); err != nil {
+			t.Skip("generator rejected seed")
+		}
+		checkSuperoptEquivalence(t, seed, mod)
+	})
+}

@@ -70,26 +70,35 @@ type Log struct {
 	mu    sync.Mutex
 	dir   string
 	f     *os.File
-	size  int64 // current journal size in bytes
-	recs  int   // records appended since Open or the last Compact
+	lock  *os.File // held flock on the state dir; see lock.go
+	size  int64    // current journal size in bytes
+	recs  int      // records appended since Open or the last Compact
 	stats Stats
 }
 
 // Open opens (creating if needed) the state directory and its journal,
 // repairing any torn tail. It never fails because of corrupt contents — only
-// on real I/O errors (permissions, not a directory, ...).
+// on real I/O errors (permissions, not a directory, ...) or when another
+// live process holds the directory's advisory lock (two daemons must not
+// share one journal; the error names the holder's pid). The lock dies with
+// the holding process, so a SIGKILLed owner never blocks a restart.
 func Open(dir string) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
+	}
+	lock, err := acquireLock(dir)
+	if err != nil {
+		return nil, err
 	}
 	// A leftover snapshot.tmp is a compaction that died before its atomic
 	// rename; the snapshot proper is still the authoritative previous one.
 	_ = os.Remove(filepath.Join(dir, snapshotTmp))
 
-	l := &Log{dir: dir}
+	l := &Log{dir: dir, lock: lock}
 	path := filepath.Join(dir, journalName)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
+		releaseLock(lock)
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	l.f = f
@@ -97,11 +106,13 @@ func Open(dir string) (*Log, error) {
 	valid, recs, err := scanRecords(f, nil)
 	if err != nil {
 		f.Close()
+		releaseLock(lock)
 		return nil, fmt.Errorf("journal: scanning %s: %w", path, err)
 	}
 	fi, err := f.Stat()
 	if err != nil {
 		f.Close()
+		releaseLock(lock)
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	if torn := fi.Size() - valid; torn > 0 {
@@ -111,11 +122,13 @@ func Open(dir string) (*Log, error) {
 		l.stats.TruncatedBytes = torn
 		if err := f.Truncate(valid); err != nil {
 			f.Close()
+			releaseLock(lock)
 			return nil, fmt.Errorf("journal: truncating torn tail: %w", err)
 		}
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		f.Close()
+		releaseLock(lock)
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	l.size = valid
@@ -311,7 +324,8 @@ func (l *Log) Stats() Stats {
 // Dir returns the state directory path.
 func (l *Log) Dir() string { return l.dir }
 
-// Close syncs and closes the journal file. The Log is unusable afterwards.
+// Close syncs and closes the journal file and releases the state-dir lock.
+// The Log is unusable afterwards.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -323,5 +337,7 @@ func (l *Log) Close() error {
 		err = cerr
 	}
 	l.f = nil
+	releaseLock(l.lock)
+	l.lock = nil
 	return err
 }

@@ -1,0 +1,51 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+)
+
+// lockName is the advisory lock file inside the state directory.
+const lockName = "journal.lock"
+
+// acquireLock takes a cross-process advisory flock on dir so two processes
+// can never interleave appends into one journal. flock (not O_EXCL alone) is
+// deliberate: the kernel releases it when the holder dies, so a SIGKILLed
+// daemon never wedges its state directory — exactly the crash the journal is
+// designed to survive. The holder's pid is written into the file purely as a
+// diagnostic for the contention error.
+func acquireLock(dir string) (*os.File, error) {
+	path := filepath.Join(dir, lockName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		holder := ""
+		buf := make([]byte, 32)
+		if n, _ := f.Read(buf); n > 0 {
+			holder = fmt.Sprintf(" (held by pid %s)", strings.TrimSpace(string(buf[:n])))
+		}
+		f.Close()
+		return nil, fmt.Errorf("journal: state dir %s is locked by another process%s: %w", dir, holder, err)
+	}
+	// Record our pid for the diagnostic above. Best-effort: the flock is the
+	// lock, the contents are commentary.
+	_ = f.Truncate(0)
+	_, _ = f.WriteAt([]byte(fmt.Sprintf("%d\n", os.Getpid())), 0)
+	return f, nil
+}
+
+// releaseLock drops the flock and closes the file. The lock file itself is
+// left in place: unlinking it would race a concurrent opener that already
+// holds an fd to the old inode.
+func releaseLock(f *os.File) {
+	if f == nil {
+		return
+	}
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	_ = f.Close()
+}

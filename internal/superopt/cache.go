@@ -1,0 +1,172 @@
+package superopt
+
+import (
+	"encoding/json"
+	"sync"
+
+	"merlin/internal/journal"
+)
+
+// compactThreshold bounds journal growth: once this many entries have been
+// appended since open, the cache folds everything into one snapshot record.
+const compactThreshold = 256
+
+// Cache is the content-addressed rewrite cache: canonical window key ->
+// Verdict. With a directory it persists through an internal/journal log
+// (CRC-framed records, torn-tail tolerant, atomically compacted), so warm
+// builds resolve every previously seen window without searching. Without a
+// directory it is a plain in-memory map.
+//
+// Damaged or undecodable entries degrade to cache misses — the cache is an
+// accelerator, never a source of truth: every verdict it returns was proven
+// before it was stored, and applied rewrites are still re-checked
+// whole-program on every build.
+type Cache struct {
+	mu       sync.Mutex
+	log      *journal.Log // nil for in-memory caches
+	entries  map[string]Verdict
+	appended int
+}
+
+// cacheEntry is the JSON record framing for one verdict.
+type cacheEntry struct {
+	Key      []byte
+	Improved bool
+	Repl     []byte `json:",omitempty"`
+}
+
+// NewMemCache returns a transient in-memory cache.
+func NewMemCache() *Cache {
+	return &Cache{entries: map[string]Verdict{}}
+}
+
+// OpenCache opens (creating if needed) a persistent cache in dir. The
+// underlying journal takes a cross-process advisory lock on dir, so a
+// concurrent build sharing the same cache directory fails fast with a clear
+// error rather than interleaving appends.
+func OpenCache(dir string) (*Cache, error) {
+	log, err := journal.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cache{log: log, entries: map[string]Verdict{}}
+	if snap, ok := log.Snapshot(); ok {
+		var es []cacheEntry
+		if json.Unmarshal(snap, &es) == nil {
+			for _, e := range es {
+				c.addEntry(e)
+			}
+		}
+	}
+	_ = log.Replay(func(payload []byte) error {
+		var e cacheEntry
+		if json.Unmarshal(payload, &e) == nil {
+			c.addEntry(e)
+		}
+		return nil
+	})
+	return c, nil
+}
+
+func (c *Cache) addEntry(e cacheEntry) {
+	if len(e.Key) == 0 {
+		return
+	}
+	repl, ok := decodeInsns(e.Repl)
+	if !ok {
+		return
+	}
+	c.entries[string(e.Key)] = Verdict{Improved: e.Improved, Repl: repl}
+}
+
+// Get returns the memoized verdict for key.
+func (c *Cache) Get(key string) (Verdict, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.entries[key]
+	return v, ok
+}
+
+// Put memoizes a verdict, appending it to the journal when persistent.
+// Re-putting a known key is a no-op.
+func (c *Cache) Put(key string, v Verdict) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	c.entries[key] = v
+	if c.log == nil {
+		return
+	}
+	var repl []byte
+	for _, ins := range v.Repl {
+		repl = appendInsn(repl, ins)
+	}
+	payload, err := json.Marshal(cacheEntry{Key: []byte(key), Improved: v.Improved, Repl: repl})
+	if err != nil {
+		return
+	}
+	if c.log.Append(payload, false) == nil {
+		c.appended++
+		if c.appended >= compactThreshold {
+			_ = c.compactLocked()
+		}
+	}
+}
+
+// Len returns the number of memoized windows.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *Cache) compactLocked() error {
+	if c.log == nil {
+		return nil
+	}
+	es := make([]cacheEntry, 0, len(c.entries))
+	for k, v := range c.entries {
+		var repl []byte
+		for _, ins := range v.Repl {
+			repl = appendInsn(repl, ins)
+		}
+		es = append(es, cacheEntry{Key: []byte(k), Improved: v.Improved, Repl: repl})
+	}
+	payload, err := json.Marshal(es)
+	if err != nil {
+		return err
+	}
+	if err := c.log.Compact(payload); err != nil {
+		return err
+	}
+	c.appended = 0
+	return nil
+}
+
+// Flush compacts any appended entries into the snapshot (durable and fast to
+// reload). No-op for in-memory caches.
+func (c *Cache) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.appended == 0 {
+		return nil
+	}
+	return c.compactLocked()
+}
+
+// Close flushes and releases the journal (and its state-dir lock).
+func (c *Cache) Close() error {
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.log == nil {
+		return nil
+	}
+	err := c.log.Close()
+	c.log = nil
+	return err
+}

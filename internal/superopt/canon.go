@@ -1,0 +1,108 @@
+package superopt
+
+import (
+	"encoding/binary"
+
+	"merlin/internal/analysis"
+	"merlin/internal/ebpf"
+)
+
+// canonWindow is a window with registers renamed to 0..nregs-1 in order of
+// first appearance. Two windows that differ only in register allocation (or
+// position) canonicalize identically and share one cache entry.
+type canonWindow struct {
+	insns   []ebpf.Instruction
+	nregs   int
+	liveIn  analysis.RegMask // canonical
+	defs    analysis.RegMask // canonical
+	liveOut analysis.RegMask // canonical
+	// toActual maps canonical register index back to the original register.
+	toActual [ebpf.NumRegisters]ebpf.Register
+}
+
+// canonicalize renames w's registers. The rename is a bijection on the
+// registers the window touches, so any replacement expressed in canonical
+// registers maps back losslessly via toActual.
+func canonicalize(w window) canonWindow {
+	cw := canonWindow{insns: make([]ebpf.Instruction, len(w.insns))}
+	var toCanon [ebpf.NumRegisters]int8
+	for i := range toCanon {
+		toCanon[i] = -1
+	}
+	rename := func(r ebpf.Register) ebpf.Register {
+		if toCanon[r] < 0 {
+			toCanon[r] = int8(cw.nregs)
+			cw.toActual[cw.nregs] = r
+			cw.nregs++
+		}
+		return ebpf.Register(toCanon[r])
+	}
+	for i, ins := range w.insns {
+		ins.Dst = rename(ins.Dst)
+		if ins.SourceField() == ebpf.SourceX {
+			ins.Src = rename(ins.Src)
+		}
+		cw.insns[i] = ins
+	}
+	remask := func(m analysis.RegMask) analysis.RegMask {
+		var out analysis.RegMask
+		for r := ebpf.Register(0); r < ebpf.NumRegisters; r++ {
+			if m.Has(r) && toCanon[r] >= 0 {
+				out = out.With(ebpf.Register(toCanon[r]))
+			}
+		}
+		return out
+	}
+	cw.liveIn = remask(w.liveIn)
+	cw.defs = remask(w.defs)
+	cw.liveOut = remask(w.liveOut)
+	return cw
+}
+
+// cacheKey serializes the canonical window plus everything the verdict
+// depends on: the live-out obligation, whether ALU32 replacements were
+// allowed, and the search budget (a verdict reached under a small budget
+// must not shadow a search under a larger one).
+func cacheKey(cw canonWindow, alu32 bool, budget int) string {
+	b := make([]byte, 0, 9*len(cw.insns)+8)
+	for _, ins := range cw.insns {
+		b = appendInsn(b, ins)
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(cw.liveOut))
+	var flags byte
+	if alu32 {
+		flags |= 1
+	}
+	b = append(b, flags)
+	b = binary.LittleEndian.AppendUint32(b, uint32(budget))
+	return string(b)
+}
+
+// appendInsn appends a 9-byte fixed encoding of one ALU instruction
+// (opcode, dst, src, offset, imm) — the on-disk codec for cache keys and
+// stored replacements.
+func appendInsn(b []byte, ins ebpf.Instruction) []byte {
+	b = append(b, ins.Opcode, byte(ins.Dst), byte(ins.Src))
+	b = binary.LittleEndian.AppendUint16(b, uint16(ins.Offset))
+	return binary.LittleEndian.AppendUint32(b, uint32(ins.Imm))
+}
+
+// decodeInsns reverses appendInsn over a replacement blob. It reports false
+// on any framing damage so a corrupt cache entry degrades to a miss.
+func decodeInsns(b []byte) ([]ebpf.Instruction, bool) {
+	if len(b)%9 != 0 {
+		return nil, false
+	}
+	out := make([]ebpf.Instruction, 0, len(b)/9)
+	for len(b) > 0 {
+		out = append(out, ebpf.Instruction{
+			Opcode: b[0],
+			Dst:    ebpf.Register(b[1]),
+			Src:    ebpf.Register(b[2]),
+			Offset: int16(binary.LittleEndian.Uint16(b[3:])),
+			Imm:    int32(binary.LittleEndian.Uint32(b[5:])),
+		})
+		b = b[9:]
+	}
+	return out, true
+}

@@ -1,0 +1,65 @@
+package superopt
+
+import (
+	"merlin/internal/ebpf"
+	"merlin/internal/vm"
+)
+
+// proveEquivalent checks a filter-surviving candidate against the real vm
+// interpreter: for every live-out register, a harness program loads the
+// live-in registers from a tracepoint-style context, runs the sequence, and
+// returns that register. Original and candidate harnesses must agree on
+// return value and error behavior for every proof vector.
+//
+// This is differential proof, not symbolic proof: the vectors are the
+// exhaustive small lattice plus seeded random values. The residual risk of a
+// coincidental match is further covered by the whole-program differential
+// recheck in Optimize.
+func proveEquivalent(orig, cand []ebpf.Instruction, liveIn, liveOut []ebpf.Register, vecs [][]uint64, seed int64) bool {
+	for _, out := range liveOut {
+		mo, err := harnessMachine(orig, liveIn, out, seed)
+		if err != nil {
+			return false
+		}
+		mc, err := harnessMachine(cand, liveIn, out, seed)
+		if err != nil {
+			return false
+		}
+		for _, vec := range vecs {
+			ctx := vm.TracepointContext(vec...)
+			r1, _, e1 := mo.Run(ctx, nil)
+			r2, _, e2 := mc.Run(ctx, nil)
+			if (e1 != nil) != (e2 != nil) {
+				return false
+			}
+			if e1 == nil && r1 != r2 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// harnessMachine builds a vm over: load live-ins from ctx (r1 last, since it
+// holds the context pointer), run body, return register out.
+func harnessMachine(body []ebpf.Instruction, liveIn []ebpf.Register, out ebpf.Register, seed int64) (*vm.Machine, error) {
+	insns := make([]ebpf.Instruction, 0, len(liveIn)+len(body)+2)
+	for i, r := range liveIn {
+		if r == ebpf.R1 {
+			continue
+		}
+		insns = append(insns, ebpf.LoadMem(ebpf.SizeDW, r, ebpf.R1, int16(8*i)))
+	}
+	for i, r := range liveIn {
+		if r == ebpf.R1 {
+			insns = append(insns, ebpf.LoadMem(ebpf.SizeDW, ebpf.R1, ebpf.R1, int16(8*i)))
+		}
+	}
+	insns = append(insns, body...)
+	if out != ebpf.R0 {
+		insns = append(insns, ebpf.Mov64Reg(ebpf.R0, out))
+	}
+	insns = append(insns, ebpf.Exit())
+	prog := &ebpf.Program{Name: "superopt-harness", Hook: ebpf.HookTracepoint, MCPU: 3, Insns: insns}
+	return vm.New(prog, vm.Config{Seed: uint64(seed)})
+}

@@ -1,0 +1,196 @@
+package superopt
+
+import (
+	"math/rand"
+
+	"merlin/internal/analysis"
+	"merlin/internal/ebpf"
+)
+
+// regFile is the register state used by the fast filter evaluator.
+type regFile [ebpf.NumRegisters]uint64
+
+// evalSeq executes a straight-line ALU sequence over regs, mirroring the
+// semantics of internal/vm's execALU exactly: div-by-zero yields 0,
+// mod-by-zero leaves dst, shifts mask the count by width-1, 32-bit ops
+// truncate then zero-extend, and ALUEnd byte-swaps the low imm bits.
+//
+// The evaluator is only a filter: any divergence from the vm is caught when
+// survivors are re-proven on the vm itself (a too-permissive evaluator costs
+// proof time, a too-strict one costs only missed rewrites — never
+// correctness).
+func evalSeq(insns []ebpf.Instruction, regs *regFile) {
+	for _, ins := range insns {
+		is32 := ins.Class() == ebpf.ClassALU
+		var src uint64
+		if ins.SourceField() == ebpf.SourceX {
+			src = regs[ins.Src]
+		} else {
+			src = uint64(int64(ins.Imm))
+		}
+		a := regs[ins.Dst]
+		if ins.ALUOpField() == ebpf.ALUEnd {
+			regs[ins.Dst] = bswapBits(a, ins.Imm)
+			continue
+		}
+		bits := uint64(64)
+		if is32 {
+			a &= 0xffffffff
+			src &= 0xffffffff
+			bits = 32
+		}
+		var r uint64
+		switch ins.ALUOpField() {
+		case ebpf.ALUAdd:
+			r = a + src
+		case ebpf.ALUSub:
+			r = a - src
+		case ebpf.ALUMul:
+			r = a * src
+		case ebpf.ALUDiv:
+			if src == 0 {
+				r = 0
+			} else {
+				r = a / src
+			}
+		case ebpf.ALUMod:
+			if src == 0 {
+				r = a
+			} else {
+				r = a % src
+			}
+		case ebpf.ALUOr:
+			r = a | src
+		case ebpf.ALUAnd:
+			r = a & src
+		case ebpf.ALUXor:
+			r = a ^ src
+		case ebpf.ALULsh:
+			r = a << (src & (bits - 1))
+		case ebpf.ALURsh:
+			r = a >> (src & (bits - 1))
+		case ebpf.ALUArsh:
+			if is32 {
+				r = uint64(uint32(int32(uint32(a)) >> (src & 31)))
+			} else {
+				r = uint64(int64(a) >> (src & 63))
+			}
+		case ebpf.ALUNeg:
+			r = -a
+		case ebpf.ALUMov:
+			r = src
+		}
+		if is32 {
+			r &= 0xffffffff
+		}
+		regs[ins.Dst] = r
+	}
+}
+
+// bswapBits reverses the byte order of the low bits of v (16/32/64),
+// matching the vm's ALUEnd semantics.
+func bswapBits(v uint64, bits int32) uint64 {
+	switch bits {
+	case 16:
+		return uint64(uint16(v)>>8 | uint16(v)<<8)
+	case 32:
+		x := uint32(v)
+		return uint64(x>>24 | x>>8&0xff00 | x<<8&0xff0000 | x<<24)
+	default:
+		r := uint64(0)
+		for i := 0; i < 8; i++ {
+			r = r<<8 | (v >> (8 * i) & 0xff)
+		}
+		return r
+	}
+}
+
+// lattice is the exhaustive small-input set: boundary values of every
+// operand width plus small naturals, chosen to separate sign extension,
+// truncation, shift-count masking and carry behavior.
+var lattice = []uint64{
+	0, 1, 2, 3, 7, 8, 31, 32, 63, 64,
+	0x7f, 0x80, 0xff, 0x7fff, 0x8000, 0xffff,
+	0x7fffffff, 0x80000000, 0xffffffff, 0x100000000,
+	0x7fffffffffffffff, 0x8000000000000000, 0xffffffffffffffff,
+}
+
+// regList expands a mask into ascending register order.
+func regList(m analysis.RegMask) []ebpf.Register {
+	var rs []ebpf.Register
+	for r := ebpf.Register(0); r < ebpf.NumRegisters; r++ {
+		if m.Has(r) {
+			rs = append(rs, r)
+		}
+	}
+	return rs
+}
+
+// buildVectors produces the live-in test vectors for a window with n live-in
+// registers: the full lattice cross-product when n <= 2 (the common case),
+// lattice rotations otherwise, plus seeded random vectors mixing full-range,
+// narrow and single-bit patterns.
+func buildVectors(n int, seed int64) [][]uint64 {
+	if n == 0 {
+		return [][]uint64{{}}
+	}
+	var vecs [][]uint64
+	switch n {
+	case 1:
+		for _, v := range lattice {
+			vecs = append(vecs, []uint64{v})
+		}
+	case 2:
+		for _, a := range lattice {
+			for _, b := range lattice {
+				vecs = append(vecs, []uint64{a, b})
+			}
+		}
+	default:
+		for j := range lattice {
+			vec := make([]uint64, n)
+			for i := range vec {
+				vec[i] = lattice[(i+j)%len(lattice)]
+			}
+			vecs = append(vecs, vec)
+		}
+	}
+	return append(vecs, randomVectors(n, seed, 32)...)
+}
+
+// randomVectors returns count seeded vectors of n values each.
+func randomVectors(n int, seed int64, count int) [][]uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	vecs := make([][]uint64, count)
+	for i := range vecs {
+		vec := make([]uint64, n)
+		for k := range vec {
+			v := rng.Uint64()
+			switch rng.Intn(4) {
+			case 0: // full range
+			case 1:
+				v &= 0xff
+			case 2:
+				v &= 0xffffffff
+			case 3:
+				v = 1 << (v & 63)
+			}
+			vec[k] = v
+		}
+		vecs[i] = vec
+	}
+	return vecs
+}
+
+// fillRegs loads a live-in vector into a register file. Registers outside
+// the live-in set get a poison pattern: every legal candidate is structurally
+// barred from reading them, so if a bug ever lets one through, the poison
+// makes the divergence visible instead of silently matching zeroes.
+func fillRegs(rf *regFile, liveIn []ebpf.Register, vec []uint64) {
+	for i := range rf {
+		rf[i] = 0xbad0bad000000000 | uint64(i)
+	}
+	for i, r := range liveIn {
+		rf[r] = vec[i]
+	}
+}

@@ -1,0 +1,69 @@
+package superopt
+
+import (
+	"time"
+
+	"merlin/internal/metrics"
+)
+
+// Metrics publishes superoptimizer telemetry into a metrics.Registry. All
+// methods are nil-receiver safe so the instrumented paths need no guards.
+type Metrics struct {
+	windows     *metrics.Counter
+	unique      *metrics.Counter
+	hits        *metrics.Counter
+	misses      *metrics.Counter
+	searches    *metrics.Counter
+	candidates  *metrics.Counter
+	rewrites    *metrics.Counter
+	reverts     *metrics.Counter
+	searchDur   *metrics.Histogram
+	cyclesSaved *metrics.Histogram
+}
+
+// NewMetrics registers the merlin_superopt_* families on reg.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		windows:     reg.Counter("merlin_superopt_windows_total", "Candidate windows extracted by the superoptimizer tier."),
+		unique:      reg.Counter("merlin_superopt_unique_windows_total", "Distinct canonical windows after deduplication."),
+		hits:        reg.Counter("merlin_superopt_cache_hits_total", "Window verdicts served from the rewrite cache."),
+		misses:      reg.Counter("merlin_superopt_cache_misses_total", "Window verdicts that required an enumerative search."),
+		searches:    reg.Counter("merlin_superopt_searches_total", "Enumerative searches run (one per cache miss)."),
+		candidates:  reg.Counter("merlin_superopt_candidates_total", "Candidate sequences constructed across all searches."),
+		rewrites:    reg.Counter("merlin_superopt_rewrites_total", "Windows replaced by a proven shorter sequence."),
+		reverts:     reg.Counter("merlin_superopt_reverts_total", "Builds whose rewrites were dropped by the whole-program recheck."),
+		searchDur:   reg.Histogram("merlin_superopt_search_duration_us", "Per-window enumerative search time in microseconds."),
+		cyclesSaved: reg.Histogram("merlin_superopt_cycles_saved", "Modeled VM cycles saved per build with applied rewrites."),
+	}
+}
+
+// observeSearch records one window search's duration.
+func (m *Metrics) observeSearch(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.searchDur.Observe(uint64(d.Microseconds()))
+}
+
+// record folds one Optimize call's stats into the registry.
+func (m *Metrics) record(st *Stats) {
+	if m == nil {
+		return
+	}
+	m.windows.Add(uint64(st.Windows))
+	m.unique.Add(uint64(st.UniqueWindows))
+	m.hits.Add(uint64(st.CacheHits))
+	m.misses.Add(uint64(st.CacheMisses))
+	m.searches.Add(uint64(st.Searches))
+	m.candidates.Add(uint64(st.Candidates))
+	m.rewrites.Add(uint64(st.Rewrites))
+	if st.Reverted {
+		m.reverts.Inc()
+	}
+	if st.Rewrites > 0 {
+		m.cyclesSaved.Observe(st.CyclesSaved)
+	}
+}

@@ -1,0 +1,262 @@
+package superopt
+
+import (
+	"sort"
+
+	"merlin/internal/analysis"
+	"merlin/internal/ebpf"
+)
+
+// Verdict is the memoized outcome of one window search.
+type Verdict struct {
+	// Improved reports that Repl (possibly empty) is a proven, strictly
+	// shorter replacement for the canonical window.
+	Improved bool
+	// Repl is the replacement in canonical registers.
+	Repl []ebpf.Instruction
+}
+
+// searchOps is the replacement vocabulary, most-likely-useful first. Div and
+// mod never shorten ALU windows under the uniform cost model and are
+// excluded.
+var searchOps = []ebpf.ALUOp{
+	ebpf.ALUMov, ebpf.ALUAdd, ebpf.ALUSub, ebpf.ALUAnd, ebpf.ALUOr,
+	ebpf.ALUXor, ebpf.ALULsh, ebpf.ALURsh, ebpf.ALUArsh, ebpf.ALUMul,
+	ebpf.ALUNeg,
+}
+
+// searchWindow resolves one canonical window: it enumerates candidate
+// sequences strictly shorter than the window, filters them on the test
+// vectors with the fast evaluator, and proves survivors on the vm. It
+// returns the verdict plus the number of candidates constructed.
+func searchWindow(cw canonWindow, cfg Config) (Verdict, int) {
+	if cw.liveOut == 0 {
+		// Nothing the window defines is live: it is dead code and the empty
+		// sequence replaces it (pure ALU has no side effects to preserve).
+		return Verdict{Improved: true}, 0
+	}
+	s := newSearcher(cw, cfg)
+	repl, ok := s.run()
+	if !ok {
+		return Verdict{}, s.candidates
+	}
+	return Verdict{Improved: true, Repl: repl}, s.candidates
+}
+
+type searcher struct {
+	cw         canonWindow
+	cfg        Config
+	liveIn     []ebpf.Register
+	liveOut    []ebpf.Register
+	defs       []ebpf.Register
+	imms       []int32
+	vectors    [][]uint64
+	baseline   [][]uint64 // expected live-out values per vector
+	proofVecs  [][]uint64
+	candidates int
+}
+
+func newSearcher(cw canonWindow, cfg Config) *searcher {
+	s := &searcher{
+		cw:      cw,
+		cfg:     cfg,
+		liveIn:  regList(cw.liveIn),
+		liveOut: regList(cw.liveOut),
+		defs:    regList(cw.defs),
+		imms:    immPool(cw.insns),
+	}
+	s.vectors = buildVectors(len(s.liveIn), cfg.Seed)
+	s.proofVecs = append(s.vectors, randomVectors(len(s.liveIn), cfg.Seed+0x517e, 32)...)
+	s.baseline = make([][]uint64, len(s.vectors))
+	var rf regFile
+	for vi, vec := range s.vectors {
+		fillRegs(&rf, s.liveIn, vec)
+		evalSeq(cw.insns, &rf)
+		outs := make([]uint64, len(s.liveOut))
+		for oi, r := range s.liveOut {
+			outs[oi] = rf[r]
+		}
+		s.baseline[vi] = outs
+	}
+	return s
+}
+
+// immPool builds the immediate vocabulary: the window's own immediates,
+// 0/1/-1, and the pairwise arithmetic closure of the window immediates so
+// foldable constants (add 5; add 3 -> add 8) are reachable in one step.
+func immPool(insns []ebpf.Instruction) []int32 {
+	seen := map[int32]bool{0: true, 1: true, -1: true}
+	var window []int32
+	for _, ins := range insns {
+		if ins.SourceField() == ebpf.SourceK && ins.ALUOpField() != ebpf.ALUEnd && ins.ALUOpField() != ebpf.ALUNeg {
+			if !seen[ins.Imm] {
+				seen[ins.Imm] = true
+			}
+			window = append(window, ins.Imm)
+		}
+	}
+	for _, a := range window {
+		for _, b := range window {
+			for _, v := range [...]int32{a + b, a - b, a * b, a | b, a & b, a ^ b} {
+				seen[v] = true
+			}
+		}
+	}
+	pool := make([]int32, 0, len(seen))
+	for v := range seen {
+		pool = append(pool, v)
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+	const maxImms = 32
+	if len(pool) > maxImms {
+		pool = pool[:maxImms]
+	}
+	return pool
+}
+
+// run searches lengths 0..len(window)-1 in order, so the first hit is the
+// minimal-length replacement and the outcome is deterministic.
+func (s *searcher) run() ([]ebpf.Instruction, bool) {
+	for l := 0; l < len(s.cw.insns); l++ {
+		seq := make([]ebpf.Instruction, l)
+		found, abort := s.dfs(seq, 0, s.cw.liveIn)
+		if found {
+			return seq, true
+		}
+		if abort {
+			break
+		}
+	}
+	return nil, false
+}
+
+// dfs fills seq[depth:] from the vocabulary. readable tracks which canonical
+// registers hold defined values (live-ins plus everything the candidate has
+// written); reading outside it would make the candidate's behavior depend on
+// garbage, so such sequences are never constructed.
+func (s *searcher) dfs(seq []ebpf.Instruction, depth int, readable analysis.RegMask) (found, abort bool) {
+	if depth == len(seq) {
+		s.candidates++
+		if s.candidates > s.cfg.Budget {
+			return false, true
+		}
+		if s.accept(seq) && proveEquivalent(s.cw.insns, seq, s.liveIn, s.liveOut, s.proofVecs, s.cfg.Seed) {
+			return true, false
+		}
+		return false, false
+	}
+	last := depth == len(seq)-1
+	try := func(ins ebpf.Instruction) (bool, bool) {
+		seq[depth] = ins
+		return s.dfs(seq, depth+1, readable.With(ins.Dst))
+	}
+	for _, dst := range s.defs {
+		if last && !s.cw.liveOut.Has(dst) {
+			continue // a final insn defining a dead register is wasted
+		}
+		dstReadable := readable.Has(dst)
+		prevDefined := depth > 0 && seq[depth-1].Dst == dst
+		for _, op := range searchOps {
+			switch op {
+			case ebpf.ALUNeg:
+				if !dstReadable {
+					continue
+				}
+				if f, a := try(ebpf.ALU64Imm(ebpf.ALUNeg, dst, 0)); f || a {
+					return f, a
+				}
+			case ebpf.ALUMov:
+				if prevDefined {
+					continue // would kill the previous insn's only effect
+				}
+				for _, src := range s.defs {
+					if src == dst || !readable.Has(src) {
+						continue
+					}
+					if f, a := try(ebpf.Mov64Reg(dst, src)); f || a {
+						return f, a
+					}
+					if s.cfg.ALU32 {
+						if f, a := try(ebpf.Mov32Reg(dst, src)); f || a {
+							return f, a
+						}
+					}
+				}
+				if s.cfg.ALU32 && dstReadable {
+					// movl dst, dst: the zero-extension idiom.
+					if f, a := try(ebpf.Mov32Reg(dst, dst)); f || a {
+						return f, a
+					}
+				}
+				for _, imm := range s.imms {
+					if f, a := try(ebpf.Mov64Imm(dst, imm)); f || a {
+						return f, a
+					}
+				}
+			default:
+				if !dstReadable {
+					continue // binary ops read dst
+				}
+				for _, src := range s.defs {
+					if !readable.Has(src) {
+						continue
+					}
+					if src == dst && !selfOpUseful(op) {
+						continue
+					}
+					if f, a := try(ebpf.ALU64Reg(op, dst, src)); f || a {
+						return f, a
+					}
+				}
+				for _, imm := range s.imms {
+					if immIdentity(op, imm) {
+						continue
+					}
+					if f, a := try(ebpf.ALU64Imm(op, dst, imm)); f || a {
+						return f, a
+					}
+				}
+			}
+		}
+	}
+	return false, false
+}
+
+// selfOpUseful reports whether op with src == dst computes something a
+// shorter form doesn't: add (doubling) and mul (squaring) do; and/or are
+// identities; sub/xor/shifts are redundant with mov 0 or rarely useful.
+func selfOpUseful(op ebpf.ALUOp) bool {
+	return op == ebpf.ALUAdd || op == ebpf.ALUMul
+}
+
+// immIdentity reports op with this immediate is a no-op (or redundant with a
+// plain mov), so no minimal sequence contains it.
+func immIdentity(op ebpf.ALUOp, imm int32) bool {
+	switch op {
+	case ebpf.ALUAdd, ebpf.ALUSub, ebpf.ALUOr, ebpf.ALUXor,
+		ebpf.ALULsh, ebpf.ALURsh, ebpf.ALUArsh:
+		return imm == 0
+	case ebpf.ALUMul:
+		return imm == 1 || imm == 0
+	case ebpf.ALUAnd:
+		return imm == -1 || imm == 0
+	}
+	return false
+}
+
+// accept runs the fast evaluator over every test vector, comparing the
+// candidate's live-out registers against the window's.
+func (s *searcher) accept(seq []ebpf.Instruction) bool {
+	var rf regFile
+	for vi, vec := range s.vectors {
+		fillRegs(&rf, s.liveIn, vec)
+		evalSeq(seq, &rf)
+		base := s.baseline[vi]
+		for oi, r := range s.liveOut {
+			if rf[r] != base[oi] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,99 @@
+package superopt
+
+import (
+	"merlin/internal/analysis"
+	"merlin/internal/ebpf"
+)
+
+// Window length bounds. Singleton windows are pointless (the only shorter
+// sequence is empty, which plain DCE already finds); beyond five instructions
+// the search space dwarfs any practical budget.
+const (
+	minWindow = 2
+	maxWindow = 5
+)
+
+// window is one candidate region: elements [start,end) of the program, all
+// pure ALU, all inside a single basic block so no branch lands in the
+// interior.
+type window struct {
+	start, end int
+	insns      []ebpf.Instruction
+	// liveIn is the registers the window reads before writing.
+	liveIn analysis.RegMask
+	// defs is everything the window writes.
+	defs analysis.RegMask
+	// liveOut is the subset of defs still live after the window — the only
+	// registers a replacement must reproduce.
+	liveOut analysis.RegMask
+}
+
+// windowable reports whether ins may be part of a window: a register ALU
+// instruction with no memory, control-flow or frame-pointer involvement.
+func windowable(ins ebpf.Instruction) bool {
+	switch ins.Class() {
+	case ebpf.ClassALU, ebpf.ClassALU64:
+	default:
+		return false
+	}
+	if ins.ALUOpField() > ebpf.ALUEnd {
+		return false
+	}
+	if ins.Dst == ebpf.R10 {
+		return false
+	}
+	if ins.SourceField() == ebpf.SourceX && ins.Src == ebpf.R10 {
+		return false
+	}
+	return true
+}
+
+// extractWindows enumerates every candidate window of prog: all lengths
+// [minWindow,maxWindow] at all positions inside maximal ALU runs within
+// basic blocks, annotated with the dependency facts (live-in set, defs,
+// live-out set) from internal/analysis.
+func extractWindows(prog *ebpf.Program) ([]window, error) {
+	cfg, err := analysis.BuildCFG(prog)
+	if err != nil {
+		return nil, err
+	}
+	live := analysis.Liveness(cfg)
+
+	var ws []window
+	for _, blk := range cfg.Blocks {
+		i := blk[0]
+		for i < blk[1] {
+			if !windowable(prog.Insns[i]) {
+				i++
+				continue
+			}
+			j := i
+			for j < blk[1] && windowable(prog.Insns[j]) {
+				j++
+			}
+			for s := i; s+minWindow <= j; s++ {
+				max := j - s
+				if max > maxWindow {
+					max = maxWindow
+				}
+				for l := max; l >= minWindow; l-- {
+					ws = append(ws, makeWindow(prog, live, s, s+l))
+				}
+			}
+			i = j
+		}
+	}
+	return ws, nil
+}
+
+// makeWindow computes the dependency facts for elements [start,end).
+func makeWindow(prog *ebpf.Program, live []analysis.RegMask, start, end int) window {
+	w := window{start: start, end: end, insns: prog.Insns[start:end]}
+	for _, ins := range w.insns {
+		eff := analysis.InsnEffects(ins)
+		w.liveIn |= eff.Uses &^ w.defs
+		w.defs |= eff.Defs
+	}
+	w.liveOut = w.defs & live[end-1]
+	return w
+}

@@ -17,6 +17,12 @@ type Metrics struct {
 	runInsns  *metrics.Histogram
 	faults    map[FaultKind]*metrics.Counter
 	faultMisc *metrics.Counter
+	// lastFaultPC gauges act as exemplars: the instruction index of the most
+	// recent fault of each kind, so an operator reading a scrape can jump from
+	// "faults are climbing" straight to the offending instruction without
+	// trawling logs. -1 means the fault had no attributable instruction.
+	lastFaultPC   map[FaultKind]*metrics.Gauge
+	lastFaultMisc *metrics.Gauge
 }
 
 // NewMetrics registers the VM metric family in reg and returns the handles.
@@ -37,12 +43,19 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 		faults: map[FaultKind]*metrics.Counter{},
 		faultMisc: reg.Counter("merlin_vm_faults_total",
 			"Runtime faults by kind.", "kind", "other"),
+		lastFaultPC: map[FaultKind]*metrics.Gauge{},
+		lastFaultMisc: reg.Gauge("merlin_vm_last_fault_pc",
+			"Instruction index of the most recent fault of each kind (-1: unattributed).",
+			"kind", "other"),
 	}
 	for _, k := range []FaultKind{
 		FaultStepLimit, FaultBadPC, FaultBadMemory, FaultBadInstruction, FaultHelper,
 	} {
 		m.faults[k] = reg.Counter("merlin_vm_faults_total",
 			"Runtime faults by kind.", "kind", string(k))
+		m.lastFaultPC[k] = reg.Gauge("merlin_vm_last_fault_pc",
+			"Instruction index of the most recent fault of each kind (-1: unattributed).",
+			"kind", string(k))
 	}
 	return m
 }
@@ -60,12 +73,15 @@ func (m *Metrics) record(st Stats, err error) {
 	m.runCycles.Observe(st.Cycles)
 	m.runInsns.Observe(st.Instructions)
 	if err != nil {
-		c := m.faultMisc
+		c, g, pc := m.faultMisc, m.lastFaultMisc, -1
 		if re, ok := AsRuntimeError(err); ok {
+			pc = re.PC
 			if fc := m.faults[re.Kind]; fc != nil {
 				c = fc
+				g = m.lastFaultPC[re.Kind]
 			}
 		}
 		c.Add(1)
+		g.Set(int64(pc))
 	}
 }

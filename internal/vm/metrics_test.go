@@ -80,6 +80,41 @@ func TestRunMetricsFaultKinds(t *testing.T) {
 	}
 }
 
+// TestRunMetricsLastFaultPC: the exemplar gauge pins the most recent fault of
+// each kind to its instruction index, and later faults of the same kind
+// overwrite it.
+func TestRunMetricsLastFaultPC(t *testing.T) {
+	reg := metrics.New()
+	mm := NewMetrics(reg)
+
+	run := func(p *ebpf.Program) {
+		t.Helper()
+		m, err := New(p, Config{Metrics: mm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkt := make([]byte, 16)
+		if _, _, err := m.Run(BuildXDPContext(len(pkt)), pkt); err == nil {
+			t.Fatal("program did not fault")
+		}
+	}
+
+	run(badMemProg()) // faults at insn 0
+	if got := reg.Snapshot()[`merlin_vm_last_fault_pc{kind="bad-memory"}`]; got != 0 {
+		t.Errorf("last bad-memory fault pc = %d, want 0", got)
+	}
+
+	// Same kind, different pc: the gauge tracks the most recent fault.
+	run(&ebpf.Program{Name: "boom2", Hook: ebpf.HookXDP, Insns: []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R0, 2),
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R2, ebpf.R1, 4096),
+		ebpf.Exit(),
+	}})
+	if got := reg.Snapshot()[`merlin_vm_last_fault_pc{kind="bad-memory"}`]; got != 1 {
+		t.Errorf("last bad-memory fault pc = %d, want 1", got)
+	}
+}
+
 // TestRunMetricsAllocationFree is the packet-path guarantee: attaching
 // metrics to a machine must not add a single per-run heap allocation over an
 // uninstrumented machine.
