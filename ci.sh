@@ -120,3 +120,30 @@ rm -rf "$SO_DIR"
 # Superoptimizer differential fuzz: a short randomized hunt for any program
 # where the superopt build diverges from the Merlin-only build.
 go test -run FuzzSuperopt -fuzz FuzzSuperopt -fuzztime 20s ./internal/difftest/
+
+# Storage-chaos soak: seeded faults (ENOSPC/EIO/torn writes) at ~1% on every
+# journal I/O site while concurrent traffic races deploy/promote/rollback
+# churn, under the race detector. The incumbent must never fail a serve, and
+# the post-soak audit replays a truncation-prefix sweep across every
+# surviving journal segment.
+MERLIN_SOAK_OPS=200 MERLIN_SOAK_SEEDS=2 \
+    go test -race -run 'TestChaosSoak|TestSoakGroupCommitBatches' ./internal/soak/
+
+# Degraded-mode smoke: an uncreatable -state-dir (a regular file blocks the
+# path, which fails MkdirAll even for root) must not stop merlind from
+# serving, and the outage must be visible in status and the metrics dump.
+DEG_DIR=$(mktemp -d)
+touch "$DEG_DIR/blocker"
+DEG_OUT=$(printf '%s\n' \
+    'deploy deg corpus:xdp1' \
+    'traffic deg 4' \
+    'status' \
+    'metrics' \
+    'quit' \
+    | go run ./cmd/merlind -state-dir "$DEG_DIR/blocker/state" -shadow 2 -canary 2 2>&1)
+echo "$DEG_OUT"
+echo "$DEG_OUT" | grep -q 'serving in-memory (degraded)'
+echo "$DEG_OUT" | grep -q 'ok traffic deg'
+echo "$DEG_OUT" | grep -q 'journal=degraded'
+echo "$DEG_OUT" | grep -q 'merlin_journal_degraded 1'
+rm -rf "$DEG_DIR"

@@ -49,6 +49,17 @@
 // directory is flock-guarded: a second daemon pointed at the same -state-dir
 // fails fast at startup instead of interleaving journal appends.
 //
+// The journal rotates into bounded segments (-journal-segment-bytes) and its
+// durability is tunable with -fsync-policy: sync-every-record (default),
+// group-commit (a background committer batches fsyncs every -fsync-interval
+// or -fsync-batch records), or async (fsync only on stage transitions and
+// compaction). Stage transitions are individually fsynced under every
+// policy. If the state dir is unavailable at startup (for any reason other
+// than another daemon's lock) or fails persistently at runtime, merlind
+// keeps serving from memory in a degraded mode — reported by the
+// merlin_journal_degraded gauge and the status command — and re-attaches
+// with exponential backoff once storage recovers.
+//
 // With -listen the daemon also serves GET /metrics over HTTP (Prometheus
 // text exposition format, same registry as the `metrics` command) and prints
 // "ok listen <addr>" with the resolved address, so scripts can pass :0 and
@@ -64,14 +75,17 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -90,7 +104,8 @@ import (
 type daemon struct {
 	mgr        *lifecycle.Manager
 	reg        *metrics.Registry
-	jl         *journal.Log
+	jlmu       sync.Mutex      // guards jl: the reattach loop sets it concurrently
+	jl         *journal.Log    // nil while the state dir is unavailable
 	socache    *superopt.Cache // nil unless -superopt-cache
 	buildOpts  core.Options
 	deployOpts lifecycle.DeployOptions
@@ -104,9 +119,40 @@ func (d *daemon) shutdown() {
 		d.socache.Close()
 		d.socache = nil
 	}
-	if d.jl != nil {
-		d.jl.Close()
-		d.jl = nil
+	d.jlmu.Lock()
+	jl := d.jl
+	d.jl = nil
+	d.jlmu.Unlock()
+	if jl != nil {
+		jl.Close()
+	}
+}
+
+// reattachLoop retries opening an unavailable state dir with exponential
+// backoff. On success it hands the journal to the lifecycle manager, which
+// writes a recovery marker and re-journals every slot's current state.
+func (d *daemon) reattachLoop(dir string, o journal.Options) {
+	backoff := 250 * time.Millisecond
+	for {
+		time.Sleep(backoff)
+		jl, err := journal.OpenWith(dir, o)
+		if err != nil {
+			if backoff *= 2; backoff > time.Minute {
+				backoff = time.Minute
+			}
+			continue
+		}
+		if err := d.mgr.AttachJournal(jl); err != nil {
+			// Opened but the marker write failed: the manager keeps the
+			// journal and probes it on its own backoff schedule from here.
+			fmt.Fprintln(os.Stderr, "merlind: journal re-attach probe:", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "merlind: state dir recovered, journal re-attached")
+		}
+		d.jlmu.Lock()
+		d.jl = jl
+		d.jlmu.Unlock()
+		return
 	}
 }
 
@@ -127,6 +173,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "synthetic traffic seed")
 	stateDir := flag.String("state-dir", "", "directory for the crash-safe state journal (empty = in-memory)")
 	compactEvery := flag.Int("compact-every", 256, "journal records between snapshot compactions")
+	fsyncPolicy := flag.String("fsync-policy", "sync-every-record",
+		"journal durability policy: sync-every-record | group-commit | async (stage transitions always fsync)")
+	fsyncInterval := flag.Duration("fsync-interval", 2*time.Millisecond, "group-commit background flush interval")
+	fsyncBatch := flag.Int("fsync-batch", 32, "group-commit max unsynced records before an inline flush")
+	segmentBytes := flag.Int64("journal-segment-bytes", journal.DefaultSegmentBytes,
+		"journal segment rotation threshold in bytes")
 	listen := flag.String("listen", "", "serve GET /metrics on this TCP address (empty = no HTTP)")
 	useSuperopt := flag.Bool("superopt", false, "run the superoptimizer tier on every deploy build")
 	superoptCache := flag.String("superopt-cache", "", "persistent superoptimizer verdict cache directory")
@@ -146,10 +198,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, "merlind: -pass-timeout must be positive")
 		os.Exit(2)
 	}
-	if *canaryFraction < 0 || *canaryFraction > 1 {
-		fmt.Fprintln(os.Stderr, "merlind: -canary-fraction must be in [0, 1]")
+	if math.IsNaN(*canaryFraction) || *canaryFraction < 0 || *canaryFraction > 1 {
+		fmt.Fprintf(os.Stderr, "merlind: -canary-fraction must be in [0, 1], got %v\n", *canaryFraction)
 		os.Exit(2)
 	}
+	if *compactEvery <= 0 {
+		fmt.Fprintf(os.Stderr, "merlind: -compact-every must be positive, got %d\n", *compactEvery)
+		os.Exit(2)
+	}
+	if *backoff <= 0 {
+		fmt.Fprintf(os.Stderr, "merlind: -backoff must be positive, got %v\n", *backoff)
+		os.Exit(2)
+	}
+	pol, err := journal.ParsePolicy(*fsyncPolicy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "merlind: -fsync-policy:", err)
+		os.Exit(2)
+	}
+	if *fsyncInterval <= 0 {
+		fmt.Fprintf(os.Stderr, "merlind: -fsync-interval must be positive, got %v\n", *fsyncInterval)
+		os.Exit(2)
+	}
+	if *fsyncBatch <= 0 {
+		fmt.Fprintf(os.Stderr, "merlind: -fsync-batch must be positive, got %d\n", *fsyncBatch)
+		os.Exit(2)
+	}
+	if *segmentBytes <= 0 {
+		fmt.Fprintf(os.Stderr, "merlind: -journal-segment-bytes must be positive, got %d\n", *segmentBytes)
+		os.Exit(2)
+	}
+	pol.Interval, pol.MaxBatch = *fsyncInterval, *fsyncBatch
 	if *superoptCache != "" && !*useSuperopt {
 		fmt.Fprintln(os.Stderr, "merlind: -superopt-cache requires -superopt")
 		os.Exit(2)
@@ -199,17 +277,32 @@ func main() {
 		CompactEvery: *compactEvery,
 		VM:           vm.Config{Seed: uint64(*seed), Metrics: vm.NewMetrics(reg)},
 	}
+	jopts := journal.Options{SegmentBytes: *segmentBytes, Policy: pol}
+	var degradedReason string
 	if *stateDir != "" {
-		jl, err := journal.Open(*stateDir)
-		if err != nil {
+		jl, err := journal.OpenWith(*stateDir, jopts)
+		switch {
+		case err == nil:
+			d.jl = jl
+			cfg.Journal = jl
+		case errors.Is(err, journal.ErrLocked):
+			// Another daemon owns the state dir; interleaving appends would
+			// corrupt it, so this stays fatal.
 			fmt.Fprintln(os.Stderr, "merlind: -state-dir:", err)
 			os.Exit(2)
+		default:
+			// Storage is broken, not contended: serve in-memory (degraded)
+			// and keep retrying in the background rather than refusing to
+			// start.
+			fmt.Fprintln(os.Stderr, "merlind: -state-dir unavailable, serving in-memory (degraded):", err)
+			degradedReason = err.Error()
 		}
-		d.jl = jl
-		cfg.Journal = jl
 		cfg.ResolveSource = d.resolveSource
 	}
 	d.mgr = lifecycle.NewManager(cfg)
+	if *stateDir != "" && d.jl == nil {
+		d.mgr.MarkJournalUnavailable(degradedReason)
+	}
 
 	if d.jl != nil {
 		rs, err := d.mgr.Recover()
@@ -227,9 +320,19 @@ func main() {
 		for _, st := range d.mgr.Status() {
 			fmt.Println(st)
 		}
+	}
 
+	if *stateDir != "" && d.jl == nil {
+		// Launched only after the startup reads of d.jl above: from here on
+		// the field is accessed under jlmu.
+		go d.reattachLoop(*stateDir, jopts)
+	}
+
+	if *stateDir != "" {
 		// A flush on SIGINT/SIGTERM captures map mutations since the last
 		// transition, then compacts so the next boot replays one snapshot.
+		// Installed even when storage is degraded: the journal may have
+		// re-attached by the time the signal arrives.
 		sigc := make(chan os.Signal, 1)
 		signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 		go func() {
@@ -282,7 +385,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "merlind: stdin:", err)
 		os.Exit(2)
 	}
-	if d.jl != nil {
+	if *stateDir != "" {
 		if err := d.mgr.Flush(); err != nil {
 			fmt.Fprintln(os.Stderr, "merlind: flush on exit:", err)
 			failed = true
@@ -353,6 +456,9 @@ func (d *daemon) dispatch(line string) error {
 	case "status":
 		for _, st := range d.mgr.Status() {
 			fmt.Println(st)
+		}
+		if h := d.mgr.JournalHealth(); h.Configured {
+			fmt.Println(h)
 		}
 		fmt.Println("ok status")
 		return nil

@@ -1,0 +1,398 @@
+// Package chaos is a fault-injecting filesystem abstraction for durability
+// testing. The persistence layers (internal/journal and, through it, the
+// superoptimizer's verdict cache) perform every file operation through the FS
+// interface here, so a test — or a long-running soak — can interpose a
+// deterministic, seeded fault injector that produces the storage failures
+// real disks produce: ENOSPC, EIO on writes and fsyncs, torn (partial)
+// writes, failed renames, and slow I/O.
+//
+// Two implementations ship:
+//
+//   - OS() is the real thing: a thin adapter over the os package.
+//   - Wrap(fs, plan) interposes an Injector whose Plan decides, operation by
+//     operation, whether to let the call through, fail it, or tear it.
+//
+// Plans are deterministic. NewRate is a seeded Bernoulli schedule (same seed
+// → same fault sequence), NewSchedule fires an explicit script of faults
+// ("the 3rd fsync fails with EIO"). Injected errors are realistic: they are
+// *os.PathError values wrapping syscall.EIO / syscall.ENOSPC, so production
+// code that inspects errors sees exactly what a real kernel would return.
+package chaos
+
+import (
+	"io"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Op names one injectable filesystem operation.
+type Op string
+
+const (
+	OpOpen     Op = "open"
+	OpRead     Op = "read"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpTruncate Op = "truncate"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpMkdir    Op = "mkdir"
+	OpReadDir  Op = "readdir"
+	OpStat     Op = "stat"
+)
+
+// Fault is a plan's decision for one operation.
+type Fault int
+
+const (
+	// None lets the operation through untouched.
+	None Fault = iota
+	// EIO fails the operation with syscall.EIO.
+	EIO
+	// ENOSPC fails the operation with syscall.ENOSPC.
+	ENOSPC
+	// Torn applies to writes: half the buffer reaches the file, then the
+	// write fails with ENOSPC — the classic disk-full torn record. On
+	// non-write operations it degrades to ENOSPC.
+	Torn
+	// Slow delays the operation briefly (Injector.SlowDelay), then lets it
+	// succeed — the brown-out failure mode.
+	Slow
+)
+
+func (f Fault) String() string {
+	switch f {
+	case None:
+		return "none"
+	case EIO:
+		return "eio"
+	case ENOSPC:
+		return "enospc"
+	case Torn:
+		return "torn"
+	case Slow:
+		return "slow"
+	}
+	return "unknown"
+}
+
+// File is the file handle surface the journal needs. *os.File satisfies it.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Truncate(size int64) error
+	Sync() error
+	Stat() (os.FileInfo, error)
+	Name() string
+}
+
+// FS is the filesystem surface the journal needs.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	Stat(name string) (os.FileInfo, error)
+}
+
+// ---- the real filesystem -------------------------------------------------
+
+type osFS struct{}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+
+// ---- plans ---------------------------------------------------------------
+
+// Plan decides the fate of each operation. Implementations must be safe for
+// concurrent use when the wrapped FS is used concurrently (the Injector
+// serializes calls into the plan under its own lock, so plans written against
+// that guarantee need no locking of their own).
+type Plan interface {
+	Next(op Op, name string) Fault
+}
+
+// RatePlan injects faults with a seeded Bernoulli schedule: each operation
+// independently faults with probability Rate, drawing the fault kind from a
+// fixed mix. The same seed always yields the same decision sequence.
+type RatePlan struct {
+	rng  uint64
+	rate float64
+	mix  []Fault
+}
+
+// NewRate returns a plan faulting each operation with the given probability,
+// cycling kinds from mix (default: EIO, ENOSPC, Torn, Slow).
+func NewRate(seed int64, rate float64, mix ...Fault) *RatePlan {
+	if len(mix) == 0 {
+		mix = []Fault{EIO, ENOSPC, Torn, Slow}
+	}
+	return &RatePlan{rng: uint64(seed), rate: rate, mix: mix}
+}
+
+// splitmix64 is the PRNG step — tiny, seedable, and good enough for fault
+// scheduling.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (p *RatePlan) Next(op Op, name string) Fault {
+	u := splitmix64(&p.rng)
+	if float64(u>>11)/float64(uint64(1)<<53) >= p.rate {
+		return None
+	}
+	return p.mix[int(splitmix64(&p.rng)%uint64(len(p.mix)))]
+}
+
+// Step is one scripted fault: after Skip matching operations pass through,
+// the next one fires Fault. Name, when non-empty, must be a substring of the
+// operation's path for the step to match.
+type Step struct {
+	Op    Op
+	Name  string
+	Skip  int
+	Fault Fault
+}
+
+// SchedulePlan fires an explicit sequence of faults, in order. Operations
+// not matched by the current step pass through.
+type SchedulePlan struct {
+	steps []Step
+	idx   int
+	seen  int
+}
+
+// NewSchedule returns a plan that fires steps in order and then goes quiet.
+func NewSchedule(steps ...Step) *SchedulePlan {
+	return &SchedulePlan{steps: steps}
+}
+
+func (p *SchedulePlan) Next(op Op, name string) Fault {
+	if p.idx >= len(p.steps) {
+		return None
+	}
+	st := p.steps[p.idx]
+	if st.Op != op || (st.Name != "" && !contains(name, st.Name)) {
+		return None
+	}
+	if p.seen < st.Skip {
+		p.seen++
+		return None
+	}
+	p.idx++
+	p.seen = 0
+	return st.Fault
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- the injector --------------------------------------------------------
+
+// Stats accounts for what the injector saw and did.
+type Stats struct {
+	// Ops counts operations by kind (faulted or not).
+	Ops map[Op]int
+	// Faults counts injected faults by operation kind.
+	Faults map[Op]int
+	// Injected is the total number of injected faults; TornWrites the subset
+	// that tore a write buffer in half.
+	Injected   int
+	TornWrites int
+	// Slowed counts operations delayed by a Slow fault.
+	Slowed int
+}
+
+// Injector wraps an FS and applies a Plan's faults to every operation. Safe
+// for concurrent use.
+type Injector struct {
+	inner FS
+	// SlowDelay is how long a Slow fault stalls (default 200µs). Set it
+	// before handing the injector out; it is read without synchronization.
+	SlowDelay time.Duration
+
+	mu    sync.Mutex
+	plan  Plan
+	stats Stats
+}
+
+// Wrap interposes plan between callers and fs.
+func Wrap(fs FS, plan Plan) *Injector {
+	return &Injector{
+		inner:     fs,
+		plan:      plan,
+		SlowDelay: 200 * time.Microsecond,
+		stats:     Stats{Ops: map[Op]int{}, Faults: map[Op]int{}},
+	}
+}
+
+// Stats returns a copy of the accounting so far.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st := in.stats
+	st.Ops = map[Op]int{}
+	st.Faults = map[Op]int{}
+	for k, v := range in.stats.Ops {
+		st.Ops[k] = v
+	}
+	for k, v := range in.stats.Faults {
+		st.Faults[k] = v
+	}
+	return st
+}
+
+// decide consults the plan and updates the books. A Slow fault sleeps here
+// (outside the lock would race the plan; the delay is tiny) and reports None
+// to the caller.
+func (in *Injector) decide(op Op, name string) Fault {
+	in.mu.Lock()
+	in.stats.Ops[op]++
+	f := in.plan.Next(op, name)
+	if f != None {
+		in.stats.Faults[op]++
+		in.stats.Injected++
+		if f == Slow {
+			in.stats.Slowed++
+		}
+	}
+	in.mu.Unlock()
+	if f == Slow {
+		time.Sleep(in.SlowDelay)
+		return None
+	}
+	return f
+}
+
+// pathErr fabricates the error a real kernel would hand back.
+func pathErr(op Op, name string, f Fault) error {
+	errno := syscall.EIO
+	if f == ENOSPC || f == Torn {
+		errno = syscall.ENOSPC
+	}
+	return &os.PathError{Op: string(op), Path: name, Err: errno}
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if f := in.decide(OpOpen, name); f != None {
+		return nil, pathErr(OpOpen, name, f)
+	}
+	inner, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: inner, name: name}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if f := in.decide(OpRename, oldpath); f != None {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: syscall.EIO}
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if f := in.decide(OpRemove, name); f != None {
+		return pathErr(OpRemove, name, f)
+	}
+	return in.inner.Remove(name)
+}
+
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if f := in.decide(OpMkdir, path); f != None {
+		return pathErr(OpMkdir, path, f)
+	}
+	return in.inner.MkdirAll(path, perm)
+}
+
+func (in *Injector) ReadDir(name string) ([]os.DirEntry, error) {
+	if f := in.decide(OpReadDir, name); f != None {
+		return nil, pathErr(OpReadDir, name, f)
+	}
+	return in.inner.ReadDir(name)
+}
+
+func (in *Injector) Stat(name string) (os.FileInfo, error) {
+	if f := in.decide(OpStat, name); f != None {
+		return nil, pathErr(OpStat, name, f)
+	}
+	return in.inner.Stat(name)
+}
+
+// injFile applies faults to per-handle operations.
+type injFile struct {
+	in   *Injector
+	f    File
+	name string
+}
+
+func (jf *injFile) Read(p []byte) (int, error) {
+	if f := jf.in.decide(OpRead, jf.name); f != None {
+		return 0, pathErr(OpRead, jf.name, f)
+	}
+	return jf.f.Read(p)
+}
+
+func (jf *injFile) Write(p []byte) (int, error) {
+	switch f := jf.in.decide(OpWrite, jf.name); f {
+	case None:
+	case Torn:
+		// Half the buffer lands, then the disk is full: the canonical torn
+		// record. The underlying write's own error (if any) is subsumed.
+		n, _ := jf.f.Write(p[:len(p)/2])
+		jf.in.mu.Lock()
+		jf.in.stats.TornWrites++
+		jf.in.mu.Unlock()
+		return n, pathErr(OpWrite, jf.name, f)
+	default:
+		return 0, pathErr(OpWrite, jf.name, f)
+	}
+	return jf.f.Write(p)
+}
+
+func (jf *injFile) Seek(offset int64, whence int) (int64, error) {
+	return jf.f.Seek(offset, whence)
+}
+
+func (jf *injFile) Close() error { return jf.f.Close() }
+
+func (jf *injFile) Truncate(size int64) error {
+	if f := jf.in.decide(OpTruncate, jf.name); f != None {
+		return pathErr(OpTruncate, jf.name, f)
+	}
+	return jf.f.Truncate(size)
+}
+
+func (jf *injFile) Sync() error {
+	if f := jf.in.decide(OpSync, jf.name); f != None {
+		return pathErr(OpSync, jf.name, f)
+	}
+	return jf.f.Sync()
+}
+
+func (jf *injFile) Stat() (os.FileInfo, error) { return jf.f.Stat() }
+func (jf *injFile) Name() string               { return jf.name }

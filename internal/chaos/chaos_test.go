@@ -1,0 +1,195 @@
+package chaos
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestOSRoundTrip: the OS adapter is a faithful passthrough.
+func TestOSRoundTrip(t *testing.T) {
+	fs := OS()
+	dir := t.TempDir()
+	if err := fs.MkdirAll(filepath.Join(dir, "a/b"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "a/b/f.txt")
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	n, _ := f.Read(buf)
+	if string(buf[:n]) != "hell" {
+		t.Fatalf("read %q, want hell", buf[:n])
+	}
+	f.Close()
+	if err := fs.Rename(path, filepath.Join(dir, "a/b/g.txt")); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fs.ReadDir(filepath.Join(dir, "a/b"))
+	if err != nil || len(ents) != 1 || ents[0].Name() != "g.txt" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := fs.Remove(filepath.Join(dir, "a/b/g.txt")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRatePlanDeterminism: same seed → identical fault sequence; different
+// seed → (almost surely) a different one.
+func TestRatePlanDeterminism(t *testing.T) {
+	seq := func(seed int64) []Fault {
+		p := NewRate(seed, 0.3)
+		out := make([]Fault, 200)
+		for i := range out {
+			out[i] = p.Next(OpWrite, "f")
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 7 diverged at op %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := seq(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical schedules")
+	}
+	faults := 0
+	for _, f := range a {
+		if f != None {
+			faults++
+		}
+	}
+	if faults == 0 || faults == len(a) {
+		t.Fatalf("rate 0.3 injected %d/%d faults; want a non-degenerate count", faults, len(a))
+	}
+}
+
+// TestScheduleFiresNthOp: a scripted plan fails exactly the chosen op.
+func TestScheduleFiresNthOp(t *testing.T) {
+	dir := t.TempDir()
+	fs := Wrap(OS(), NewSchedule(
+		Step{Op: OpSync, Skip: 1, Fault: EIO}, // second fsync fails
+		Step{Op: OpRename, Fault: ENOSPC},     // then the next rename
+	))
+	f, err := fs.OpenFile(filepath.Join(dir, "x"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("first sync must pass: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("second sync = %v, want EIO", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("third sync must pass again: %v", err)
+	}
+	if err := fs.Rename(filepath.Join(dir, "x"), filepath.Join(dir, "y")); err == nil {
+		t.Fatal("scripted rename fault did not fire")
+	}
+	if err := fs.Rename(filepath.Join(dir, "x"), filepath.Join(dir, "y")); err != nil {
+		t.Fatalf("rename after script drained: %v", err)
+	}
+	st := fs.Stats()
+	if st.Injected != 2 || st.Faults[OpSync] != 1 || st.Faults[OpRename] != 1 {
+		t.Fatalf("stats = %+v, want 2 injected (1 sync, 1 rename)", st)
+	}
+	f.Close()
+}
+
+// TestTornWriteLeavesPrefix: a torn write persists exactly half the buffer
+// and reports ENOSPC.
+func TestTornWriteLeavesPrefix(t *testing.T) {
+	dir := t.TempDir()
+	fs := Wrap(OS(), NewSchedule(Step{Op: OpWrite, Fault: Torn}))
+	f, err := fs.OpenFile(filepath.Join(dir, "x"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789")
+	n, err := f.Write(payload)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("torn write error = %v, want ENOSPC", err)
+	}
+	if n != len(payload)/2 {
+		t.Fatalf("torn write reported %d bytes, want %d", n, len(payload)/2)
+	}
+	f.Close()
+	got, err := os.ReadFile(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Fatalf("file holds %q after torn write, want 01234", got)
+	}
+	if st := fs.Stats(); st.TornWrites != 1 {
+		t.Fatalf("TornWrites = %d, want 1", st.TornWrites)
+	}
+}
+
+// TestInjectedErrorsAreRealistic: errors.Is sees the underlying errno, the
+// way real storage-error handling expects.
+func TestInjectedErrorsAreRealistic(t *testing.T) {
+	fs := Wrap(OS(), NewSchedule(
+		Step{Op: OpOpen, Fault: ENOSPC},
+		Step{Op: OpOpen, Fault: EIO},
+	))
+	_, err := fs.OpenFile("/nonexistent/zzz", os.O_RDONLY, 0)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+	_, err = fs.OpenFile("/nonexistent/zzz", os.O_RDONLY, 0)
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want EIO, got %v", err)
+	}
+	var pe *os.PathError
+	if !errors.As(err, &pe) || pe.Path != "/nonexistent/zzz" {
+		t.Fatalf("injected error is not a *os.PathError naming the path: %v", err)
+	}
+}
+
+// TestSlowIsTransparent: Slow delays but never fails.
+func TestSlowIsTransparent(t *testing.T) {
+	dir := t.TempDir()
+	fs := Wrap(OS(), NewRate(1, 1.0, Slow)) // every op slow, none failing
+	fs.SlowDelay = 0
+	f, err := fs.OpenFile(filepath.Join(dir, "x"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if st := fs.Stats(); st.Slowed < 3 {
+		t.Fatalf("Slowed = %d, want >= 3 (open, write, sync)", st.Slowed)
+	}
+}

@@ -9,16 +9,46 @@
 // process was SIGKILLed mid-append, the disk filled, the file was truncated)
 // leaves a record whose length prefix, checksum, or payload is incomplete;
 // Open detects the damage, counts it, discards the broken tail, and truncates
-// the file back to its last intact record so subsequent appends start from a
-// clean boundary. A corrupt or missing snapshot degrades to "no snapshot".
-// The caller always gets a working log plus an honest accounting of what was
-// lost — it never gets an error that would prevent startup.
+// the active segment back to its last intact record so subsequent appends
+// start from a clean boundary. A corrupt or missing snapshot degrades to "no
+// snapshot". The caller always gets a working log plus an honest accounting
+// of what was lost — it never gets an error that would prevent startup.
 //
-// On-disk format, both files:
+// For long-lived daemons the log is split into bounded segments:
+//
+//	journal.log        the base segment (segment 0, also the whole journal
+//	                   when rotation never triggers)
+//	journal.000001 …   rotated segments, oldest number first
+//
+// Append rotates to a fresh segment once the active one crosses
+// Options.SegmentBytes, so no file ever grows without bound; Compact retires
+// whole segments at once. Damage inside a retired (non-active) segment is
+// counted and skipped — the scan resumes at the next segment — and a gap in
+// the segment numbering (a missing middle segment) is likewise counted
+// loudly and tolerated: records are idempotent upserts, so replaying what
+// survived yields a consistent, possibly older, state.
+//
+// Durability is a policy (Options.Policy). Appends the caller marks sync are
+// always individually fsynced regardless of policy — those are stage
+// transitions that must survive a machine crash. For the rest:
+//
+//	ModeSync   every record is fsynced before Append returns (default).
+//	ModeGroup  group commit: records accumulate and a background committer
+//	           fsyncs the batch every Interval; a batch reaching MaxBatch is
+//	           fsynced inline by the appender, which doubles as backpressure
+//	           — the in-flight window is bounded at MaxBatch records.
+//	ModeAsync  no fsync until a forced append, Sync, Compact, or Close; a
+//	           power cut can lose everything since the last barrier.
+//
+// Every file operation goes through a chaos.FS (Options.FS), so tests and
+// soak harnesses inject ENOSPC, EIO, torn writes, rename failures, and slow
+// I/O at every site the journal touches storage.
+//
+// On-disk format, segments and snapshot alike:
 //
 //	record := u32le payload length | u32le CRC32C(payload) | payload
 //
-// The journal is a sequence of records; the snapshot file holds exactly one.
+// Each segment is a sequence of records; the snapshot file holds exactly one.
 // Payload contents are opaque to this package.
 package journal
 
@@ -30,11 +60,18 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"time"
+
+	"merlin/internal/chaos"
 )
 
 const (
 	journalName  = "journal.log"
+	segDot       = "journal."
 	snapshotName = "snapshot.db"
 	snapshotTmp  = "snapshot.tmp"
 
@@ -45,6 +82,83 @@ const (
 	maxRecordSize = 1 << 28
 )
 
+// DefaultSegmentBytes is the rotation threshold when Options.SegmentBytes is
+// zero: big enough that short-lived tools never rotate, small enough that a
+// weeks-old daemon's active segment stays cheap to scan and truncate.
+const DefaultSegmentBytes = 4 << 20
+
+// Mode selects the durability policy for unforced appends.
+type Mode int
+
+const (
+	// ModeSync fsyncs every record before Append returns.
+	ModeSync Mode = iota
+	// ModeGroup batches fsyncs: a background committer flushes every
+	// Interval, and a batch reaching MaxBatch is flushed inline.
+	ModeGroup
+	// ModeAsync never fsyncs unforced appends; only forced appends, Sync,
+	// Compact and Close are barriers.
+	ModeAsync
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeSync:
+		return "sync-every-record"
+	case ModeGroup:
+		return "group-commit"
+	case ModeAsync:
+		return "async"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Policy is a durability policy: the mode plus group-commit tuning.
+type Policy struct {
+	Mode Mode
+	// Interval is the group committer's flush period (default 2ms).
+	Interval time.Duration
+	// MaxBatch is the unsynced-record count that triggers an inline flush
+	// and bounds the in-flight window (default 32).
+	MaxBatch int
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Interval <= 0 {
+		p.Interval = 2 * time.Millisecond
+	}
+	if p.MaxBatch <= 0 {
+		p.MaxBatch = 32
+	}
+	return p
+}
+
+// ParsePolicy maps a -fsync-policy flag value to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "sync", "sync-every-record":
+		return Policy{Mode: ModeSync}, nil
+	case "group", "group-commit":
+		return Policy{Mode: ModeGroup}, nil
+	case "async":
+		return Policy{Mode: ModeAsync}, nil
+	}
+	return Policy{}, fmt.Errorf("journal: unknown fsync policy %q (want sync-every-record, group-commit, or async)", s)
+}
+
+// Options parameterize OpenWith.
+type Options struct {
+	// FS is the filesystem to operate through (default chaos.OS()). Tests
+	// pass a chaos.Injector to fault every file operation.
+	FS chaos.FS
+	// SegmentBytes is the rotation threshold for the active segment
+	// (default DefaultSegmentBytes). Appends larger than the threshold still
+	// land whole — a segment always holds at least one record.
+	SegmentBytes int64
+	// Policy is the durability policy for unforced appends.
+	Policy Policy
+}
+
 // castagnoli is the CRC32C polynomial table (iSCSI/ext4 flavor, hardware
 // accelerated on amd64/arm64).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -52,38 +166,87 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // Checksum returns the CRC32C of payload (exposed for tests).
 func Checksum(payload []byte) uint32 { return crc32.Checksum(payload, castagnoli) }
 
-// Stats accounts for what Open and Replay observed.
+// Stats accounts for what the log observed and did. All fields except
+// Segments are monotonic over the life of one Log.
 type Stats struct {
 	// Records is the number of intact journal records found at Open.
 	Records int
-	// CorruptRecords counts discarded damage: a torn/corrupt journal tail
-	// (counted once per Open that finds one) and an unreadable snapshot.
+	// CorruptRecords counts discarded damage: a torn/corrupt tail per
+	// segment, an unreadable snapshot, and one per missing middle segment.
 	CorruptRecords int
-	// TruncatedBytes is how many trailing journal bytes were discarded.
+	// TruncatedBytes is how many trailing journal bytes were discarded
+	// (truncated off the active segment, skipped in retired ones).
 	TruncatedBytes int64
 	// SnapshotBytes is the size of the valid snapshot payload (0 if none).
 	SnapshotBytes int
+	// Appends counts records appended through this handle.
+	Appends int
+	// Fsyncs counts successful fsyncs of segment files; ForcedFsyncs is the
+	// subset demanded by Append(..., true). FsyncErrors counts failed ones.
+	Fsyncs       int
+	ForcedFsyncs int
+	FsyncErrors  int
+	// Rotations counts segment rollovers; Segments is the current segment
+	// file count.
+	Rotations int
+	Segments  int
+	// CompactSoftErrors counts best-effort durability steps that failed
+	// during Compact (snapshot-file fsync, directory fsync, retired-segment
+	// removal). The compaction itself still committed; the errors mean the
+	// result may not survive a power cut until the next successful barrier.
+	CompactSoftErrors int
+	// RotateSoftErrors counts best-effort failures during rotation (old
+	// segment fsync, directory fsync, or segment creation — in which case
+	// the active segment simply keeps growing).
+	RotateSoftErrors int
+	// WedgeRepairs counts torn appends successfully rolled back (the file
+	// was truncated to the last record boundary after a failed write).
+	WedgeRepairs int
 }
 
 // Log is an open state directory. All methods are safe for concurrent use.
 type Log struct {
-	mu    sync.Mutex
-	dir   string
-	f     *os.File
-	lock  *os.File // held flock on the state dir; see lock.go
-	size  int64    // current journal size in bytes
-	recs  int      // records appended since Open or the last Compact
-	stats Stats
+	mu       sync.Mutex
+	dir      string
+	fs       chaos.FS
+	policy   Policy
+	segBytes int64
+	f        chaos.File // active segment
+	lock     *os.File   // held flock on the state dir; see lock.go
+	segs     []string   // segment file names, oldest first; last is active
+	segNum   int64      // number of the active segment (0 = journal.log)
+	size     int64      // active segment size in bytes
+	total    int64      // intact bytes across all segments
+	recs     int        // records appended since Open or the last Compact
+	pending  int        // unforced records not yet fsynced
+	wedged   bool       // a torn append could not be rolled back; repair before next write
+	stats    Stats
+
+	stopc chan struct{} // closes the group committer
+	donec chan struct{} // committer exited
 }
 
-// Open opens (creating if needed) the state directory and its journal,
-// repairing any torn tail. It never fails because of corrupt contents — only
-// on real I/O errors (permissions, not a directory, ...) or when another
-// live process holds the directory's advisory lock (two daemons must not
-// share one journal; the error names the holder's pid). The lock dies with
-// the holding process, so a SIGKILLed owner never blocks a restart.
-func Open(dir string) (*Log, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// Open opens (creating if needed) the state directory and its journal with
+// default options: the real filesystem, default segment size, and the
+// sync-every-record policy.
+func Open(dir string) (*Log, error) { return OpenWith(dir, Options{}) }
+
+// OpenWith opens the state directory, repairing any torn tail. It never
+// fails because of corrupt contents — only on real I/O errors (permissions,
+// not a directory, a read that faults mid-scan, ...) or when another live
+// process holds the directory's advisory lock (two daemons must not share
+// one journal; the error names the holder's pid and matches ErrLocked). The
+// lock dies with the holding process, so a SIGKILLed owner never blocks a
+// restart.
+func OpenWith(dir string, o Options) (*Log, error) {
+	fs := o.FS
+	if fs == nil {
+		fs = chaos.OS()
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	lock, err := acquireLock(dir)
@@ -92,55 +255,157 @@ func Open(dir string) (*Log, error) {
 	}
 	// A leftover snapshot.tmp is a compaction that died before its atomic
 	// rename; the snapshot proper is still the authoritative previous one.
-	_ = os.Remove(filepath.Join(dir, snapshotTmp))
+	_ = fs.Remove(filepath.Join(dir, snapshotTmp))
 
-	l := &Log{dir: dir, lock: lock}
-	path := filepath.Join(dir, journalName)
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
+	l := &Log{dir: dir, fs: fs, policy: o.Policy.withDefaults(), segBytes: o.SegmentBytes, lock: lock}
+	if err := l.openSegments(); err != nil {
 		releaseLock(lock)
-		return nil, fmt.Errorf("journal: %w", err)
+		return nil, err
 	}
-	l.f = f
+	if l.policy.Mode == ModeGroup {
+		l.stopc = make(chan struct{})
+		l.donec = make(chan struct{})
+		go l.committer(l.stopc, l.donec, l.policy.Interval)
+	}
+	return l, nil
+}
 
-	valid, recs, err := scanRecords(f, nil)
-	if err != nil {
-		f.Close()
-		releaseLock(lock)
-		return nil, fmt.Errorf("journal: scanning %s: %w", path, err)
+// segName returns the file name of segment n.
+func segName(n int64) string {
+	if n == 0 {
+		return journalName
 	}
-	fi, err := f.Stat()
-	if err != nil {
-		f.Close()
-		releaseLock(lock)
-		return nil, fmt.Errorf("journal: %w", err)
+	return fmt.Sprintf("%s%06d", segDot, n)
+}
+
+// parseSegName maps a directory entry to its segment number, or ok=false.
+func parseSegName(name string) (int64, bool) {
+	if name == journalName {
+		return 0, true
 	}
-	if torn := fi.Size() - valid; torn > 0 {
-		// Torn or corrupt tail: discard it so the next append lands on a
-		// record boundary.
-		l.stats.CorruptRecords++
-		l.stats.TruncatedBytes = torn
-		if err := f.Truncate(valid); err != nil {
-			f.Close()
-			releaseLock(lock)
-			return nil, fmt.Errorf("journal: truncating torn tail: %w", err)
+	rest, found := strings.CutPrefix(name, segDot)
+	if !found || rest == "" {
+		return 0, false
+	}
+	for _, c := range rest {
+		if c < '0' || c > '9' {
+			return 0, false
 		}
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
-		releaseLock(lock)
-		return nil, fmt.Errorf("journal: %w", err)
+	n, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil || n == 0 {
+		return 0, false
 	}
-	l.size = valid
-	l.recs = recs
-	l.stats.Records = recs
-	return l, nil
+	return n, true
+}
+
+// listSegments returns the directory's segment numbers, ascending.
+func (l *Log) listSegments() ([]int64, error) {
+	ents, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		return nil, err
+	}
+	var nums []int64
+	for _, e := range ents {
+		if n, ok := parseSegName(e.Name()); ok {
+			nums = append(nums, n)
+		}
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	return nums, nil
+}
+
+// openSegments scans every segment, repairs the active one's tail, and
+// leaves l positioned to append.
+func (l *Log) openSegments() error {
+	nums, err := l.listSegments()
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if len(nums) == 0 {
+		nums = []int64{0}
+	}
+	// A hole in the numbering is a lost middle segment: replay what
+	// survives (records are idempotent upserts) but say so loudly.
+	for i := 1; i < len(nums); i++ {
+		if nums[i] != nums[i-1]+1 {
+			l.stats.CorruptRecords++
+		}
+	}
+
+	for i, n := range nums {
+		name := segName(n)
+		path := filepath.Join(l.dir, name)
+		active := i == len(nums)-1
+		flag := os.O_RDONLY
+		if active {
+			flag = os.O_RDWR | os.O_CREATE
+		}
+		f, err := l.fs.OpenFile(path, flag, 0o644)
+		if err != nil {
+			l.closeSegsOnErr()
+			return fmt.Errorf("journal: %w", err)
+		}
+		valid, recs, err := scanRecords(f, nil)
+		if err != nil {
+			f.Close()
+			l.closeSegsOnErr()
+			return fmt.Errorf("journal: scanning %s: %w", path, err)
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			l.closeSegsOnErr()
+			return fmt.Errorf("journal: %w", err)
+		}
+		if torn := fi.Size() - valid; torn > 0 {
+			// Torn or corrupt tail. In the active segment the damage is cut
+			// off so the next append lands on a record boundary; in a retired
+			// segment it is read-only — count it and move on.
+			l.stats.CorruptRecords++
+			l.stats.TruncatedBytes += torn
+			if active {
+				if err := f.Truncate(valid); err != nil {
+					f.Close()
+					l.closeSegsOnErr()
+					return fmt.Errorf("journal: truncating torn tail: %w", err)
+				}
+			}
+		}
+		l.recs += recs
+		l.total += valid
+		l.segs = append(l.segs, name)
+		if active {
+			if _, err := f.Seek(valid, io.SeekStart); err != nil {
+				f.Close()
+				l.closeSegsOnErr()
+				return fmt.Errorf("journal: %w", err)
+			}
+			l.f = f
+			l.segNum = n
+			l.size = valid
+		} else {
+			f.Close()
+		}
+	}
+	l.stats.Records = l.recs
+	l.stats.Segments = len(l.segs)
+	return nil
+}
+
+func (l *Log) closeSegsOnErr() {
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+	}
 }
 
 // scanRecords walks the record stream in r, invoking fn (when non-nil) with
 // each intact payload. It returns the byte offset of the end of the last
-// intact record and the record count. Damage is not an error — the scan just
-// stops at it.
+// intact record and the record count. Torn or corrupt data is not an error —
+// the scan just stops at it; only a real read fault (EIO mid-stream, as
+// opposed to EOF) is returned as an error, because truncating at a transient
+// read failure would destroy good records.
 func scanRecords(r io.ReadSeeker, fn func(payload []byte) error) (valid int64, records int, err error) {
 	if _, err := r.Seek(0, io.SeekStart); err != nil {
 		return 0, 0, err
@@ -148,8 +413,11 @@ func scanRecords(r io.ReadSeeker, fn func(payload []byte) error) (valid int64, r
 	var hdr [headerSize]byte
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			// Clean EOF or a torn header: either way the stream ends here.
-			return valid, records, nil
+			if isEOF(err) {
+				// Clean EOF or a torn header: the stream ends here.
+				return valid, records, nil
+			}
+			return valid, records, err
 		}
 		n := binary.LittleEndian.Uint32(hdr[0:4])
 		want := binary.LittleEndian.Uint32(hdr[4:8])
@@ -158,7 +426,10 @@ func scanRecords(r io.ReadSeeker, fn func(payload []byte) error) (valid int64, r
 		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(r, payload); err != nil {
-			return valid, records, nil // torn payload
+			if isEOF(err) {
+				return valid, records, nil // torn payload
+			}
+			return valid, records, err
 		}
 		if Checksum(payload) != want {
 			return valid, records, nil // bit rot or a torn overwrite
@@ -173,56 +444,238 @@ func scanRecords(r io.ReadSeeker, fn func(payload []byte) error) (valid int64, r
 	}
 }
 
+func isEOF(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// frame wraps payload in the on-disk record framing.
+func frame(payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], Checksum(payload))
+	copy(buf[headerSize:], payload)
+	return buf
+}
+
 // Append writes one record to the journal. With sync set the record is
-// fsynced before returning — use it for transitions that must survive a
-// machine crash, not just a process crash.
+// fsynced before returning regardless of policy — use it for transitions
+// that must survive a machine crash, not just a process crash. Without it
+// the configured durability policy decides when the record reaches stable
+// storage.
 func (l *Log) Append(payload []byte, sync bool) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return errors.New("journal: closed")
 	}
-	buf := make([]byte, headerSize+len(payload))
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[4:8], Checksum(payload))
-	copy(buf[headerSize:], payload)
+	if l.wedged && !l.repairLocked() {
+		return errors.New("journal: wedged by an unrepairable torn append")
+	}
+	if l.size > 0 && l.size >= l.segBytes {
+		l.rotateLocked()
+	}
+	buf := frame(payload)
 	if _, err := l.f.Write(buf); err != nil {
+		// The write may have landed partially; garbage after the last record
+		// boundary would otherwise hide every later append from the scanner.
+		// Roll the file back to the known-good end.
+		if terr := l.f.Truncate(l.size); terr != nil {
+			l.wedged = true
+		} else if _, serr := l.f.Seek(l.size, io.SeekStart); serr != nil {
+			l.wedged = true
+		} else {
+			l.stats.WedgeRepairs++
+		}
 		return fmt.Errorf("journal: append: %w", err)
 	}
 	l.size += int64(len(buf))
+	l.total += int64(len(buf))
 	l.recs++
+	l.stats.Appends++
 	if sync {
-		if err := l.f.Sync(); err != nil {
+		if err := l.fsyncLocked(true); err != nil {
 			return fmt.Errorf("journal: fsync: %w", err)
 		}
+		return nil
+	}
+	switch l.policy.Mode {
+	case ModeSync:
+		if err := l.fsyncLocked(false); err != nil {
+			return fmt.Errorf("journal: fsync: %w", err)
+		}
+	case ModeGroup:
+		l.pending++
+		if l.pending >= l.policy.MaxBatch {
+			// Inline flush at the batch bound: this is the backpressure —
+			// the in-flight window never exceeds MaxBatch records.
+			if err := l.fsyncLocked(false); err != nil {
+				return fmt.Errorf("journal: group fsync: %w", err)
+			}
+		}
+	case ModeAsync:
+		l.pending++
 	}
 	return nil
 }
 
-// Sync flushes the journal file to stable storage.
+// repairLocked retries the truncate a wedged log needs before it can accept
+// appends again.
+func (l *Log) repairLocked() bool {
+	if err := l.f.Truncate(l.size); err != nil {
+		return false
+	}
+	if _, err := l.f.Seek(l.size, io.SeekStart); err != nil {
+		return false
+	}
+	l.wedged = false
+	l.stats.WedgeRepairs++
+	return true
+}
+
+// fsyncLocked flushes the active segment and settles the pending window.
+func (l *Log) fsyncLocked(forced bool) error {
+	if err := l.f.Sync(); err != nil {
+		l.stats.FsyncErrors++
+		return err
+	}
+	l.stats.Fsyncs++
+	if forced {
+		l.stats.ForcedFsyncs++
+	}
+	l.pending = 0
+	return nil
+}
+
+// committer is the group-commit flusher: every interval it fsyncs whatever
+// records accumulated since the last barrier.
+func (l *Log) committer(stopc, donec chan struct{}, interval time.Duration) {
+	defer close(donec)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stopc:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if l.f != nil && l.pending > 0 {
+				_ = l.fsyncLocked(false) // failure counted; records stay pending-at-risk
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// rotateLocked rolls the journal onto a fresh segment. Rotation is
+// best-effort: if the new segment cannot be created the active one simply
+// keeps growing and the next append retries.
+func (l *Log) rotateLocked() {
+	next := l.segNum + 1
+	var nf chaos.File
+	for {
+		var err error
+		nf, err = l.fs.OpenFile(filepath.Join(l.dir, segName(next)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, os.ErrExist) {
+			// A stale segment left behind by an interrupted compaction;
+			// skip over it rather than appending into old data.
+			next++
+			continue
+		}
+		l.stats.RotateSoftErrors++
+		return
+	}
+	// The old segment's unsynced tail must be durable before appends move
+	// on — an fsync of the new file would not cover it.
+	if l.pending > 0 || l.policy.Mode == ModeSync {
+		if serr := l.f.Sync(); serr != nil {
+			l.stats.FsyncErrors++
+			l.stats.RotateSoftErrors++
+		} else {
+			l.stats.Fsyncs++
+			l.pending = 0
+		}
+	}
+	l.syncDir(&l.stats.RotateSoftErrors)
+	l.f.Close()
+	l.f = nf
+	l.segNum = next
+	l.size = 0
+	l.segs = append(l.segs, segName(next))
+	l.stats.Rotations++
+	l.stats.Segments = len(l.segs)
+}
+
+// syncDir fsyncs the state directory so renames and segment creations are
+// durable. Best effort — not every filesystem supports directory fsync; a
+// failure bumps the given soft-error counter.
+func (l *Log) syncDir(softCounter *int) {
+	dh, err := l.fs.OpenFile(l.dir, os.O_RDONLY, 0)
+	if err != nil {
+		*softCounter++
+		return
+	}
+	if err := dh.Sync(); err != nil {
+		*softCounter++
+	}
+	dh.Close()
+}
+
+// Sync flushes the journal's active segment to stable storage.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return errors.New("journal: closed")
 	}
-	return l.f.Sync()
+	return l.fsyncLocked(false)
 }
 
-// Replay invokes fn with every intact journal record in append order. It
-// stops early if fn returns an error and returns that error.
+// Replay invokes fn with every intact journal record in append order, oldest
+// segment first. It stops early if fn returns an error and returns that
+// error.
 func (l *Log) Replay(fn func(payload []byte) error) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return errors.New("journal: closed")
 	}
-	_, _, err := scanRecords(l.f, fn)
-	// Reposition for appends whether or not fn failed.
-	if _, serr := l.f.Seek(0, io.SeekEnd); err == nil && serr != nil {
-		err = fmt.Errorf("journal: %w", serr)
+	var ferr error
+	for i, name := range l.segs {
+		active := i == len(l.segs)-1
+		var r io.ReadSeeker
+		if active {
+			r = l.f
+		} else {
+			f, err := l.fs.OpenFile(filepath.Join(l.dir, name), os.O_RDONLY, 0)
+			if err != nil {
+				// The segment vanished or faulted since Open: skip it the way
+				// Open skips a damaged middle segment.
+				l.stats.CorruptRecords++
+				continue
+			}
+			r = f
+		}
+		_, _, err := scanRecords(r, fn)
+		if !active {
+			r.(io.Closer).Close()
+		} else if _, serr := l.f.Seek(l.size, io.SeekStart); serr != nil && err == nil {
+			err = fmt.Errorf("journal: %w", serr)
+		}
+		if err != nil {
+			ferr = err
+			break
+		}
 	}
-	return err
+	if ferr == nil && l.f != nil {
+		// Reposition for appends even when an early segment ended the loop.
+		if _, serr := l.f.Seek(l.size, io.SeekStart); serr != nil {
+			ferr = fmt.Errorf("journal: %w", serr)
+		}
+	}
+	return ferr
 }
 
 // Snapshot returns the payload of the snapshot file, or ok=false when there
@@ -231,7 +684,7 @@ func (l *Log) Snapshot() (payload []byte, ok bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	path := filepath.Join(l.dir, snapshotName)
-	f, err := os.Open(path)
+	f, err := l.fs.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return nil, false
 	}
@@ -254,13 +707,16 @@ func (l *Log) Snapshot() (payload []byte, ok bool) {
 	return got, true
 }
 
-// Compact atomically replaces the snapshot with payload and truncates the
-// journal: write snapshot.tmp, fsync, rename over snapshot.db, fsync the
-// directory, then cut the journal back to empty. A crash at any point leaves
-// either the old snapshot + old journal or the new snapshot (+ the old
-// journal, whose records are then harmlessly re-applied on top of the newer
-// snapshot — callers' records must be idempotent upserts, which the
-// lifecycle's full-slot-state records are).
+// Compact atomically replaces the snapshot with payload and retires the
+// journal's segments: write snapshot.tmp, fsync, rename over snapshot.db,
+// fsync the directory, then start a fresh active segment and remove the old
+// ones. A crash at any point leaves either the old snapshot + old segments
+// or the new snapshot (+ any old segments not yet removed, whose records are
+// then harmlessly re-applied on top of the newer snapshot — callers' records
+// must be idempotent upserts, which the lifecycle's full-slot-state records
+// are). Best-effort durability steps that fail (snapshot fsync, directory
+// fsync, segment removal) are counted in Stats.CompactSoftErrors instead of
+// being silently discarded.
 func (l *Log) Compact(payload []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -268,42 +724,89 @@ func (l *Log) Compact(payload []byte) error {
 		return errors.New("journal: closed")
 	}
 	tmp := filepath.Join(l.dir, snapshotTmp)
-	buf := make([]byte, headerSize+len(payload))
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[4:8], Checksum(payload))
-	copy(buf[headerSize:], payload)
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+	tf, err := l.fs.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return fmt.Errorf("journal: compact: %w", err)
 	}
-	tf, err := os.Open(tmp)
-	if err == nil {
-		_ = tf.Sync()
+	if _, err := tf.Write(frame(payload)); err != nil {
 		tf.Close()
+		return fmt.Errorf("journal: compact: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(l.dir, snapshotName)); err != nil {
+	if err := tf.Sync(); err != nil {
+		// The rename below is still atomic; the risk is losing the snapshot
+		// to a power cut, in which case the CRC framing degrades it to "no
+		// snapshot" and the not-yet-removed segments still replay.
+		l.stats.CompactSoftErrors++
+	}
+	if err := tf.Close(); err != nil {
+		l.stats.CompactSoftErrors++
+	}
+	if err := l.fs.Rename(tmp, filepath.Join(l.dir, snapshotName)); err != nil {
 		return fmt.Errorf("journal: compact rename: %w", err)
 	}
-	if dh, err := os.Open(l.dir); err == nil {
-		_ = dh.Sync() // best effort; not all filesystems support dir fsync
-		dh.Close()
+	l.syncDir(&l.stats.CompactSoftErrors)
+
+	// Retire the old segments and return to the base segment: every record
+	// now lives in the snapshot, so the journal restarts as an empty
+	// journal.log — the steady-state layout is always the single base file.
+	if l.segNum == 0 {
+		if err := l.f.Truncate(0); err != nil {
+			return fmt.Errorf("journal: compact truncate: %w", err)
+		}
+		if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+	} else {
+		nf, err := l.fs.OpenFile(filepath.Join(l.dir, journalName), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			// Keep the current active segment; truncate it in place instead.
+			if terr := l.f.Truncate(0); terr != nil {
+				return fmt.Errorf("journal: compact truncate: %w", terr)
+			}
+			if _, serr := l.f.Seek(0, io.SeekStart); serr != nil {
+				return fmt.Errorf("journal: %w", serr)
+			}
+			l.stats.CompactSoftErrors++
+		} else {
+			l.f.Close()
+			l.f = nf
+			l.segNum = 0
+		}
 	}
-	if err := l.f.Truncate(0); err != nil {
-		return fmt.Errorf("journal: compact truncate: %w", err)
+	l.segs = []string{segName(l.segNum)}
+	// Remove every retired segment still on disk — including leftovers from
+	// an earlier Compact whose removal failed, which the directory listing
+	// (not l.segs) resurfaces for retry.
+	if nums, lerr := l.listSegments(); lerr == nil {
+		for _, n := range nums {
+			if n == l.segNum {
+				continue
+			}
+			if rerr := l.fs.Remove(filepath.Join(l.dir, segName(n))); rerr != nil {
+				// The stale segment's records re-apply after the snapshot on
+				// the next boot — an older-but-consistent state.
+				l.stats.CompactSoftErrors++
+			}
+		}
+	} else {
+		l.stats.CompactSoftErrors++
 	}
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("journal: %w", err)
-	}
+	l.syncDir(&l.stats.CompactSoftErrors)
 	l.size = 0
+	l.total = 0
 	l.recs = 0
+	l.pending = 0
+	l.wedged = false
+	l.stats.Segments = len(l.segs)
 	l.stats.SnapshotBytes = len(payload)
 	return nil
 }
 
-// Size returns the journal's current size in bytes.
+// Size returns the journal's intact size in bytes across all segments.
 func (l *Log) Size() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.size
+	return l.total
 }
 
 // Records returns the journal records appended since Open or the last
@@ -313,6 +816,17 @@ func (l *Log) Records() int {
 	defer l.mu.Unlock()
 	return l.recs
 }
+
+// Segments returns the current segment file names, oldest first (exposed for
+// tests and the soak harness's prefix sweeps).
+func (l *Log) Segments() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.segs...)
+}
+
+// Policy returns the durability policy the log runs under.
+func (l *Log) Policy() Policy { return l.policy }
 
 // Stats returns the accounting accumulated so far.
 func (l *Log) Stats() Stats {
@@ -324,15 +838,30 @@ func (l *Log) Stats() Stats {
 // Dir returns the state directory path.
 func (l *Log) Dir() string { return l.dir }
 
-// Close syncs and closes the journal file and releases the state-dir lock.
-// The Log is unusable afterwards.
+// Close drains the committer, syncs and closes the active segment, and
+// releases the state-dir lock. The Log is unusable afterwards.
 func (l *Log) Close() error {
+	l.mu.Lock()
+	stopc, donec := l.stopc, l.donec
+	l.stopc, l.donec = nil, nil
+	l.mu.Unlock()
+	if stopc != nil {
+		close(stopc)
+		<-donec
+	}
+
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return nil
 	}
 	err := l.f.Sync()
+	if err == nil {
+		l.stats.Fsyncs++
+		l.pending = 0
+	} else {
+		l.stats.FsyncErrors++
+	}
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}

@@ -1,6 +1,7 @@
 package journal
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,6 +11,12 @@ import (
 
 // lockName is the advisory lock file inside the state directory.
 const lockName = "journal.lock"
+
+// ErrLocked is wrapped by the error Open returns when another live process
+// holds the state directory's advisory lock. Callers use it to distinguish
+// "two daemons on one journal" (a config error, fail fast) from storage
+// failure (degrade to in-memory and retry).
+var ErrLocked = errors.New("locked by another process")
 
 // acquireLock takes a cross-process advisory flock on dir so two processes
 // can never interleave appends into one journal. flock (not O_EXCL alone) is
@@ -30,7 +37,7 @@ func acquireLock(dir string) (*os.File, error) {
 			holder = fmt.Sprintf(" (held by pid %s)", strings.TrimSpace(string(buf[:n])))
 		}
 		f.Close()
-		return nil, fmt.Errorf("journal: state dir %s is locked by another process%s: %w", dir, holder, err)
+		return nil, fmt.Errorf("journal: state dir %s is %w%s: %s", dir, ErrLocked, holder, err)
 	}
 	// Record our pid for the diagnostic above. Best-effort: the flock is the
 	// lock, the contents are commentary.

@@ -1,0 +1,215 @@
+package lifecycle
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"merlin/internal/journal"
+)
+
+// The journal-degradation half of the manager: persistence is an amenity,
+// serving is the job. A single failed append is counted and tolerated (the
+// next transition re-journals the slot's complete state anyway — records are
+// idempotent upserts). Consecutive failures crossing
+// Config.JournalDegradeAfter mean the storage is actually gone — disk full,
+// device error, volume unmounted — so the manager detaches the journal and
+// runs fully in-memory, exactly as if Config.Journal were nil, without a
+// single serve being refused. While degraded it probes for re-attachment
+// with exponential backoff (the probe is a forced-fsync "reattach" marker
+// record); when the disk comes back it re-journals every slot's current
+// state on top of the marker, so the on-disk ledger is whole again minus
+// only the history from the outage window.
+//
+// merlind has one more degradation site this file covers: journal.Open
+// itself failing at startup (state dir unwritable). The daemon then has no
+// *journal.Log at all — it calls MarkJournalUnavailable to surface the
+// degraded health state and metrics, retries Open on its own backoff, and
+// hands the eventual handle to AttachJournal.
+
+// recoveryMarkerKind is the journal record kind appended when a degraded
+// journal is re-attached. Recover counts it as replayed, not corrupt.
+const recoveryMarkerKind = "reattach"
+
+// JournalHealth is the point-in-time durability health state, surfaced by
+// merlind's status output next to the per-slot SlotStatus lines.
+type JournalHealth struct {
+	// Configured reports whether this manager was ever given a journal (or
+	// told one was supposed to exist via MarkJournalUnavailable).
+	Configured bool
+	// Degraded means slot state is currently NOT being persisted: the
+	// journal is detached after persistent storage failures and serving
+	// continues in-memory.
+	Degraded bool
+	// ConsecutiveFailures counts the append/compact failures in the current
+	// run of bad luck (reset by any success).
+	ConsecutiveFailures int
+	// Reattaches counts successful re-attachments over the manager's life.
+	Reattaches int
+	// RetryIn is how long until the next re-attachment probe (0 when healthy
+	// or when a probe is already due).
+	RetryIn time.Duration
+}
+
+func (h JournalHealth) String() string {
+	if !h.Configured {
+		return "journal=off"
+	}
+	if !h.Degraded {
+		return fmt.Sprintf("journal=ok reattaches=%d", h.Reattaches)
+	}
+	return fmt.Sprintf("journal=degraded failures=%d retry_in=%s reattaches=%d",
+		h.ConsecutiveFailures, h.RetryIn.Round(time.Millisecond), h.Reattaches)
+}
+
+// JournalHealth reports the manager's durability health.
+func (m *Manager) JournalHealth() JournalHealth {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := JournalHealth{
+		Configured:          m.cfg.Journal != nil || m.jDegraded,
+		Degraded:            m.jDegraded,
+		ConsecutiveFailures: m.jFails,
+		Reattaches:          m.jReattaches,
+	}
+	if m.jDegraded {
+		if left := m.jNextRetry.Sub(m.cfg.Now()); left > 0 {
+			h.RetryIn = left
+		}
+	}
+	return h
+}
+
+// journalFailLocked records one append/compact failure and degrades once the
+// consecutive count crosses the threshold. s is the slot whose transition
+// triggered the write (nil for Flush/Compact paths).
+func (m *Manager) journalFailLocked(s *slot, op string, err error) {
+	m.jmet.appendErrInc()
+	m.jFails++
+	if m.jDegraded || m.jFails < m.cfg.JournalDegradeAfter {
+		return
+	}
+	m.jDegraded = true
+	m.jBackoff = m.cfg.JournalRetryBase
+	m.jNextRetry = m.cfg.Now().Add(m.jBackoff)
+	m.jmet.degradedSet(true)
+	m.jmet.degradationInc()
+	if s != nil {
+		m.eventLocked(s, Event{Kind: EventJournalDegraded, Stage: StageLive,
+			Detail: fmt.Sprintf("journal detached after %d consecutive %s failures (last: %v); serving in-memory, retrying in %s",
+				m.jFails, op, err, m.jBackoff)})
+	}
+}
+
+// journalOKLocked resets the consecutive-failure run after any success.
+func (m *Manager) journalOKLocked() { m.jFails = 0 }
+
+// maybeReattachLocked runs one re-attachment probe if the backoff has
+// expired: a forced-fsync recovery marker append. Success re-journals every
+// slot; failure doubles the backoff. Returns true when the journal is
+// healthy again.
+func (m *Manager) maybeReattachLocked() bool {
+	if !m.jDegraded {
+		return true
+	}
+	j := m.cfg.Journal
+	if j == nil {
+		// Startup-degraded: there is no handle to probe. merlind owns the
+		// re-open loop and will call AttachJournal.
+		return false
+	}
+	if m.cfg.Now().Before(m.jNextRetry) {
+		return false
+	}
+	if err := m.appendMarkerLocked(j); err != nil {
+		m.jBackoff *= 2
+		if m.jBackoff > m.cfg.JournalRetryMax {
+			m.jBackoff = m.cfg.JournalRetryMax
+		}
+		m.jNextRetry = m.cfg.Now().Add(m.jBackoff)
+		return false
+	}
+	m.reattachedLocked()
+	return true
+}
+
+// appendMarkerLocked journals the recovery marker, fsynced — the probe must
+// prove the whole write path (append + fsync), not just a buffered write.
+func (m *Manager) appendMarkerLocked(j *journal.Log) error {
+	payload, err := json.Marshal(persistedRecord{
+		Kind: recoveryMarkerKind,
+		At:   m.cfg.Now().UnixNano(),
+	})
+	if err != nil {
+		return err
+	}
+	return j.Append(payload, true)
+}
+
+// reattachedLocked flips the manager back to healthy and re-persists every
+// slot's current state so the on-disk ledger catches up with the outage.
+func (m *Manager) reattachedLocked() {
+	m.jDegraded = false
+	m.jFails = 0
+	m.jReattaches++
+	m.jmet.degradedSet(false)
+	m.jmet.reattachInc()
+	for _, name := range m.order {
+		s := m.slots[name]
+		m.eventLocked(s, Event{Kind: EventJournalReattached, Stage: StageLive,
+			Detail: fmt.Sprintf("journal re-attached (reattach #%d); state re-persisted", m.jReattaches)})
+		m.journalSlotLocked(s, false)
+	}
+	if j := m.cfg.Journal; j != nil {
+		_ = j.Sync()
+	}
+}
+
+// MarkJournalUnavailable puts a journal-less manager into the degraded
+// health state: merlind calls it when journal.Open fails at startup so the
+// outage is visible in /metrics and health output while the daemon serves
+// in-memory and retries the open.
+func (m *Manager) MarkJournalUnavailable(reason string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.jmet == nil && m.cfg.Metrics != nil {
+		m.jmet = newJournalMetrics(m.cfg.Metrics)
+	}
+	if m.jDegraded {
+		return
+	}
+	m.jDegraded = true
+	m.jFails = m.cfg.JournalDegradeAfter
+	m.jBackoff = m.cfg.JournalRetryBase
+	m.jNextRetry = m.cfg.Now().Add(m.jBackoff)
+	m.jmet.degradedSet(true)
+	m.jmet.degradationInc()
+	for _, name := range m.order {
+		m.eventLocked(m.slots[name], Event{Kind: EventJournalDegraded, Stage: StageLive,
+			Detail: "journal unavailable at startup: " + reason})
+	}
+}
+
+// AttachJournal hands the manager a (re)opened journal. It journals the
+// recovery marker and every slot's current state; on marker failure the
+// journal stays attached but degraded, and the manager's own backoff probes
+// take over. Also used by merlind's startup-degraded path once its Open
+// retry loop succeeds.
+func (m *Manager) AttachJournal(j *journal.Log) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cfg.Journal = j
+	m.lastJStats = journal.Stats{}
+	if m.jmet == nil && m.cfg.Metrics != nil {
+		m.jmet = newJournalMetrics(m.cfg.Metrics)
+	}
+	if !m.jDegraded {
+		return nil
+	}
+	if err := m.appendMarkerLocked(j); err != nil {
+		m.jNextRetry = m.cfg.Now().Add(m.jBackoff)
+		return fmt.Errorf("lifecycle: journal attach probe: %w", err)
+	}
+	m.reattachedLocked()
+	return nil
+}

@@ -1,0 +1,230 @@
+package lifecycle
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"merlin/internal/chaos"
+	"merlin/internal/journal"
+	"merlin/internal/metrics"
+)
+
+// fakeClock is an injectable Config.Now the degradation tests advance by
+// hand to step through the reattach backoff without sleeping.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+
+// writeFaultPlan fails every data write and nothing else — a disk that
+// mounts and lists fine but cannot persist a byte.
+type writeFaultPlan struct{}
+
+func (writeFaultPlan) Next(op chaos.Op, name string) chaos.Fault {
+	if op == chaos.OpWrite {
+		return chaos.EIO
+	}
+	return chaos.None
+}
+
+func sumOps(m map[chaos.Op]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// openChaosJournal opens a journal whose every file op goes through the
+// given plan.
+func openChaosJournal(t *testing.T, dir string, plan chaos.Plan) (*journal.Log, *chaos.Injector) {
+	t.Helper()
+	inj := chaos.Wrap(chaos.OS(), plan)
+	inj.SlowDelay = 0
+	jl, err := journal.OpenWith(dir, journal.Options{FS: inj})
+	if err != nil {
+		t.Fatalf("journal.OpenWith: %v", err)
+	}
+	return jl, inj
+}
+
+// TestJournalDegradesAndServes: persistent write failures detach the journal
+// after the configured threshold, the slot never stops serving, the degraded
+// gauge goes to 1, and a later healthy disk re-attaches with a recovery
+// marker plus re-journaled state that a fresh Recover reads back.
+func TestJournalDegradesAndServes(t *testing.T) {
+	dir := t.TempDir()
+	// The first journal write (the initial deploy) lands; the next 40 fail —
+	// enough to blow the degrade threshold and eat a run of probe attempts —
+	// then the "disk" heals as the schedule drains.
+	steps := []chaos.Step{{Op: chaos.OpWrite, Skip: 1, Fault: chaos.EIO}}
+	for i := 0; i < 39; i++ {
+		steps = append(steps, chaos.Step{Op: chaos.OpWrite, Fault: chaos.EIO})
+	}
+	jl, _ := openChaosJournal(t, dir, chaos.NewSchedule(steps...))
+	defer jl.Close()
+
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	reg := metrics.New()
+	m := NewManager(Config{
+		Journal:             jl,
+		Metrics:             reg,
+		Now:                 clk.Now,
+		JournalDegradeAfter: 2,
+		JournalRetryBase:    time.Second,
+	})
+	if err := m.Deploy("s", progSource(countProg("v1"), nil)); err != nil {
+		t.Fatal(err)
+	}
+	serveClean(t, m, "s", 3)
+
+	// Force journaled transitions while the disk is failing: deploys append
+	// with sync and will fail.
+	for i := 0; i < 4; i++ {
+		_ = m.Deploy("s", progSource(countProg("vX"), nil))
+	}
+	h := m.JournalHealth()
+	if !h.Degraded {
+		t.Fatalf("journal not degraded after persistent failures: %+v (stats %+v)", h, jl.Stats())
+	}
+	if _, ok := findLastEvent(m.Events("s"), EventJournalDegraded); !ok {
+		t.Fatalf("no journal-degraded event: %v", m.Events("s"))
+	}
+	m.CollectMetrics()
+	if !strings.Contains(reg.Text(), "merlin_journal_degraded 1") {
+		t.Fatal("merlin_journal_degraded gauge not raised")
+	}
+
+	// Serving must be unaffected throughout the outage.
+	serveClean(t, m, "s", 5)
+
+	// Too early: the backoff holds the probe back.
+	m.Tick()
+	if h := m.JournalHealth(); !h.Degraded {
+		t.Fatal("probe fired before the backoff expired")
+	}
+
+	// After the backoff, with the fault schedule drained, a probe re-attaches.
+	clk.advance(2 * time.Second)
+	deadline := time.Now().Add(time.Second)
+	for m.JournalHealth().Degraded {
+		m.Tick()
+		clk.advance(2 * time.Minute) // beyond any capped backoff
+		if time.Now().After(deadline) {
+			t.Fatalf("journal never re-attached: %+v", m.JournalHealth())
+		}
+	}
+	if _, ok := findLastEvent(m.Events("s"), EventJournalReattached); !ok {
+		t.Fatalf("no journal-reattached event: %v", m.Events("s"))
+	}
+	m.CollectMetrics()
+	dump := reg.Text()
+	if !strings.Contains(dump, "merlin_journal_degraded 0") {
+		t.Fatal("degraded gauge not cleared after reattach")
+	}
+	if !strings.Contains(dump, "merlin_journal_reattaches_total 1") {
+		t.Fatal("reattach counter not bumped")
+	}
+
+	// Post-outage state must be durable: a fresh manager recovers the slot
+	// and counts the recovery marker as replayed, not corrupt.
+	serveClean(t, m, "s", 1)
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	jl.Close()
+
+	jl2 := openJournal(t, dir)
+	defer jl2.Close()
+	m2 := NewManager(Config{Journal: jl2})
+	rs, err := m2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Slots != 1 {
+		t.Fatalf("recover after outage: %+v", rs)
+	}
+	ctx, pkt := packet(1)
+	if _, _, err := m2.Serve("s", ctx, pkt); err != nil {
+		t.Fatalf("recovered slot does not serve: %v", err)
+	}
+}
+
+// TestMarkJournalUnavailable: the startup-degraded path (journal.Open failed,
+// no handle at all) surfaces health + gauge, and AttachJournal heals it,
+// persisting the slots deployed during the outage.
+func TestMarkJournalUnavailable(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	reg := metrics.New()
+	m := NewManager(Config{Metrics: reg, Now: clk.Now})
+	if err := m.Deploy("s", progSource(countProg("v1"), nil)); err != nil {
+		t.Fatal(err)
+	}
+	m.MarkJournalUnavailable("state dir unwritable")
+	h := m.JournalHealth()
+	if !h.Configured || !h.Degraded {
+		t.Fatalf("health after MarkJournalUnavailable: %+v", h)
+	}
+	m.CollectMetrics()
+	if !strings.Contains(reg.Text(), "merlin_journal_degraded 1") {
+		t.Fatal("startup degradation not visible in metrics")
+	}
+	serveClean(t, m, "s", 3)
+
+	dir := t.TempDir()
+	jl := openJournal(t, dir)
+	defer jl.Close()
+	if err := m.AttachJournal(jl); err != nil {
+		t.Fatal(err)
+	}
+	if h := m.JournalHealth(); h.Degraded {
+		t.Fatalf("still degraded after AttachJournal: %+v", h)
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	jl.Close()
+
+	jl2 := openJournal(t, dir)
+	defer jl2.Close()
+	m2 := NewManager(Config{Journal: jl2})
+	rs, err := m2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Slots != 1 || rs.CorruptRecords != 0 {
+		t.Fatalf("recover after attach: %+v", rs)
+	}
+}
+
+// TestDegradedFlushIsCalm: Flush during an outage neither errors nor spams
+// the dead disk — it is just a probe tick.
+func TestDegradedFlushIsCalm(t *testing.T) {
+	dir := t.TempDir()
+	// All journal writes fail forever (a custom Plan: the dir itself opens
+	// fine, the data never lands).
+	jl, inj := openChaosJournal(t, dir, writeFaultPlan{})
+	defer jl.Close()
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	m := NewManager(Config{Journal: jl, Now: clk.Now, JournalDegradeAfter: 2, JournalRetryBase: time.Hour})
+	if err := m.Deploy("s", progSource(countProg("v1"), nil)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		_ = m.Deploy("s", progSource(countProg("vX"), nil))
+	}
+	if !m.JournalHealth().Degraded {
+		t.Fatalf("not degraded: %+v", jl.Stats())
+	}
+	before := sumOps(inj.Stats().Ops)
+	for i := 0; i < 10; i++ {
+		if err := m.Flush(); err != nil {
+			t.Fatalf("degraded Flush returned error: %v", err)
+		}
+	}
+	if after := sumOps(inj.Stats().Ops); after != before {
+		t.Fatalf("degraded Flush touched the disk %d times with the backoff pending", after-before)
+	}
+	serveClean(t, m, "s", 2)
+}

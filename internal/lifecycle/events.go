@@ -71,6 +71,13 @@ const (
 	// crash was rolled back to last-known-good — i.e. dropped, with the
 	// journaled incumbent still live.
 	EventRecovered EventKind = "recovered"
+	// EventJournalDegraded: persistent storage failures detached the journal;
+	// the manager keeps serving fully in-memory and retries re-attachment
+	// with exponential backoff.
+	EventJournalDegraded EventKind = "journal-degraded"
+	// EventJournalReattached: a re-attachment probe succeeded; a recovery
+	// marker was journaled and every slot's current state re-persisted.
+	EventJournalReattached EventKind = "journal-reattached"
 )
 
 // Event is the structured record of one lifecycle transition, the runtime

@@ -72,6 +72,16 @@ type Config struct {
 	// the full state is compacted into the snapshot and the journal is
 	// truncated (default 256).
 	CompactEvery int
+	// JournalDegradeAfter is the count of consecutive journal append/compact
+	// failures that detaches the journal — the manager keeps serving fully
+	// in-memory ("degraded") and probes for re-attachment with exponential
+	// backoff instead of hammering a dead disk on every transition
+	// (default 3).
+	JournalDegradeAfter int
+	// JournalRetryBase is the first re-attachment probe delay; it doubles
+	// per failed probe up to JournalRetryMax (defaults 1s / 60s).
+	JournalRetryBase time.Duration
+	JournalRetryMax  time.Duration
 	// ResolveSource, when set, reattaches build Sources to recovered slots
 	// from the opaque DeployOptions.SourceDesc journaled with each slot.
 	// Without it (or on a resolve error) a recovered slot still serves its
@@ -103,6 +113,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CompactEvery <= 0 {
 		c.CompactEvery = 256
+	}
+	if c.JournalDegradeAfter <= 0 {
+		c.JournalDegradeAfter = 3
+	}
+	if c.JournalRetryBase <= 0 {
+		c.JournalRetryBase = time.Second
+	}
+	if c.JournalRetryMax <= 0 {
+		c.JournalRetryMax = time.Minute
 	}
 	return c
 }
@@ -199,6 +218,18 @@ type Manager struct {
 	// jmet holds the persistence telemetry handles (nil when metrics or the
 	// journal are off).
 	jmet *journalMetrics
+
+	// Journal degradation ledger (see degrade.go): when consecutive
+	// append/compact failures cross JournalDegradeAfter the journal is
+	// detached and probed for re-attachment with exponential backoff.
+	jDegraded   bool
+	jFails      int
+	jBackoff    time.Duration
+	jNextRetry  time.Time
+	jReattaches int
+	// lastJStats is the journal.Stats watermark behind CollectMetrics' delta
+	// publication of fsync/rotation/soft-error counters.
+	lastJStats journal.Stats
 }
 
 // NewManager returns a Manager with cfg's zero fields defaulted.
@@ -537,7 +568,7 @@ func (m *Manager) rejectLocked(s *slot, detail string) {
 }
 
 // Tick gives quarantined slots a chance to retry without waiting for
-// traffic.
+// traffic, and drives the degraded journal's re-attachment probes.
 func (m *Manager) Tick() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -548,6 +579,9 @@ func (m *Manager) Tick() {
 		if s.seq != seqBefore {
 			m.journalSlotLocked(s, true)
 		}
+	}
+	if m.jDegraded {
+		m.maybeReattachLocked()
 	}
 }
 

@@ -71,10 +71,13 @@ type persistedSlot struct {
 	Events         []Event
 }
 
-// persistedRecord is one journal payload.
+// persistedRecord is one journal payload: a slot upsert, or the recovery
+// marker a degraded journal appends on re-attachment (Kind "reattach", At
+// set, Slot nil).
 type persistedRecord struct {
-	Kind string // "slot"
+	Kind string // "slot" | "reattach"
 	Slot *persistedSlot
+	At   int64 `json:",omitempty"` // UnixNano, recovery markers only
 }
 
 // persistedSnapshot is the compacted full state.
@@ -126,10 +129,17 @@ func (m *Manager) encodeSlotLocked(s *slot) *persistedSlot {
 // journalSlotLocked appends the slot's current state to the journal (no-op
 // without one). sync forces an fsync — used on stage transitions so they
 // survive machine crashes, not just process crashes. Persistence failures
-// are counted, never propagated: serving always wins over durability.
+// are counted, never propagated: serving always wins over durability. While
+// degraded the write is skipped entirely (the state lands when re-attachment
+// succeeds — re-attaching re-journals every slot), with each transition
+// doubling as a chance to run a due re-attachment probe.
 func (m *Manager) journalSlotLocked(s *slot, sync bool) {
 	j := m.cfg.Journal
 	if j == nil {
+		return
+	}
+	if m.jDegraded {
+		m.maybeReattachLocked()
 		return
 	}
 	payload, err := json.Marshal(persistedRecord{Kind: "slot", Slot: m.encodeSlotLocked(s)})
@@ -138,9 +148,10 @@ func (m *Manager) journalSlotLocked(s *slot, sync bool) {
 		return
 	}
 	if err := j.Append(payload, sync); err != nil {
-		m.jmet.appendErrInc()
+		m.journalFailLocked(s, "append", err)
 		return
 	}
+	m.journalOKLocked()
 	m.jmet.appendInc()
 	if j.Records() >= m.cfg.CompactEvery {
 		m.compactLocked()
@@ -151,7 +162,7 @@ func (m *Manager) journalSlotLocked(s *slot, sync bool) {
 // journal.
 func (m *Manager) compactLocked() {
 	j := m.cfg.Journal
-	if j == nil {
+	if j == nil || m.jDegraded {
 		return
 	}
 	snap := persistedSnapshot{Version: persistVersion}
@@ -164,9 +175,10 @@ func (m *Manager) compactLocked() {
 		return
 	}
 	if err := j.Compact(payload); err != nil {
-		m.jmet.appendErrInc()
+		m.journalFailLocked(nil, "compact", err)
 		return
 	}
+	m.journalOKLocked()
 	m.jmet.compactionInc()
 	if m.jmet != nil {
 		m.jmet.snapBytes.Set(int64(len(payload)))
@@ -183,10 +195,24 @@ func (m *Manager) Flush() error {
 	if j == nil {
 		return nil
 	}
+	if m.jDegraded {
+		// Nothing to flush while detached; use the call as a probe tick. A
+		// successful probe already re-journaled and synced everything.
+		m.maybeReattachLocked()
+		return nil
+	}
 	for _, name := range m.order {
 		m.journalSlotLocked(m.slots[name], false)
 	}
-	return j.Sync()
+	if m.jDegraded {
+		return nil // the loop above degraded us; state is in-memory now
+	}
+	if err := j.Sync(); err != nil {
+		m.journalFailLocked(nil, "sync", err)
+		return nil
+	}
+	m.journalOKLocked()
+	return nil
 }
 
 // Compact forces a snapshot compaction (exposed for shutdown paths: one
@@ -274,12 +300,20 @@ func (m *Manager) Recover() (RecoverStats, error) {
 	}
 	_ = j.Replay(func(payload []byte) error {
 		var rec persistedRecord
-		if err := json.Unmarshal(payload, &rec); err != nil || rec.Kind != "slot" {
+		err := json.Unmarshal(payload, &rec)
+		switch {
+		case err != nil:
 			rs.CorruptRecords++
-			return nil
+		case rec.Kind == "slot":
+			rs.ReplayedRecords++
+			upsert(rec.Slot)
+		case rec.Kind == recoveryMarkerKind:
+			// A past outage's re-attachment marker: healthy, carries no slot
+			// state.
+			rs.ReplayedRecords++
+		default:
+			rs.CorruptRecords++
 		}
-		rs.ReplayedRecords++
-		upsert(rec.Slot)
 		return nil
 	})
 	// Framing-level damage found by the journal itself (torn tails, bad

@@ -45,7 +45,15 @@ func NewMemCache() *Cache {
 // concurrent build sharing the same cache directory fails fast with a clear
 // error rather than interleaving appends.
 func OpenCache(dir string) (*Cache, error) {
-	log, err := journal.Open(dir)
+	return OpenCacheWith(dir, journal.Options{})
+}
+
+// OpenCacheWith is OpenCache with explicit journal options: a chaos.FS for
+// fault injection, a segment-rotation threshold, and the fsync policy. The
+// cache's appends are never forced — verdicts are re-provable, so the async
+// policies only risk re-searching a window, never wrong results.
+func OpenCacheWith(dir string, o journal.Options) (*Cache, error) {
+	log, err := journal.OpenWith(dir, o)
 	if err != nil {
 		return nil, err
 	}
