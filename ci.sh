@@ -147,3 +147,152 @@ echo "$DEG_OUT" | grep -q 'ok traffic deg'
 echo "$DEG_OUT" | grep -q 'journal=degraded'
 echo "$DEG_OUT" | grep -q 'merlin_journal_degraded 1'
 rm -rf "$DEG_DIR"
+
+# Fleet smoke: a controller and two worker merlinds over loopback TCP. A
+# rolling deploy must reach every worker; killing a worker mid-rollout must
+# halt and roll the fleet back (never half-promoted) while traffic reroutes
+# with zero drops and the fleet reports degraded; the worker rejoins clean;
+# killing the controller mid-rollout must recover the in-flight rollout from
+# its journal and drive it to completion.
+go build -o /tmp/merlind-fleet ./cmd/merlind
+FLEET_STATE=$(mktemp -d)
+CTL_FIFO=$(mktemp -u)
+mkfifo "$CTL_FIFO"
+/tmp/merlind-fleet -controller 127.0.0.1:0 -state-dir "$FLEET_STATE" \
+    < "$CTL_FIFO" > /tmp/fleet-ctl-out 2>&1 &
+CTL_PID=$!
+exec 8> "$CTL_FIFO"
+for _ in $(seq 1 100); do
+    grep -q 'ok controller ' /tmp/fleet-ctl-out && break
+    sleep 0.1
+done
+CTL_ADDR=$(grep 'ok controller ' /tmp/fleet-ctl-out | head -1 | awk '{print $3}')
+
+/tmp/merlind-fleet -join "$CTL_ADDR" -name w1 -rejoin-every 250ms \
+    -shadow 2 -canary 2 < /dev/null > /tmp/fleet-w1-out 2>&1 &
+W1_PID=$!
+/tmp/merlind-fleet -join "$CTL_ADDR" -name w2 -rejoin-every 250ms \
+    -shadow 2 -canary 2 < /dev/null > /tmp/fleet-w2-out 2>&1 &
+W2_PID=$!
+for _ in $(seq 1 100); do
+    printf 'workers\n' >&8
+    sleep 0.1
+    grep -q 'ok workers n=2' /tmp/fleet-ctl-out && break
+done
+grep -q 'ok workers n=2' /tmp/fleet-ctl-out
+
+# Rolling deploy to both workers, then fan traffic over the hash ring.
+printf 'fdeploy lb corpus:xdp1\nfwait\n' >&8
+for _ in $(seq 1 300); do
+    grep -q 'ok fwait ' /tmp/fleet-ctl-out && break
+    sleep 0.1
+done
+grep -q 'ok fwait .*phase=done' /tmp/fleet-ctl-out
+printf 'ftraffic lb 16\n' >&8
+for _ in $(seq 1 100); do
+    grep -q 'ok ftraffic lb ' /tmp/fleet-ctl-out && break
+    sleep 0.1
+done
+grep -q 'ok ftraffic lb sent=16 rerouted=0 dropped=0' /tmp/fleet-ctl-out
+
+# SIGKILL w2 mid-rollout: the rollout must halt and roll back rather than
+# promote a version only part of the fleet can run.
+printf 'fdeploy lb corpus:xdp1\n' >&8
+for _ in $(seq 1 100); do
+    grep -c 'ok fdeploy lb' /tmp/fleet-ctl-out | grep -q '^2$' && break
+    sleep 0.1
+done
+printf 'fstep 1\n' >&8
+for _ in $(seq 1 100); do
+    grep -q 'ok fstep ' /tmp/fleet-ctl-out && break
+    sleep 0.1
+done
+kill -9 "$W2_PID"
+wait "$W2_PID" || true
+printf 'fwait\n' >&8
+for _ in $(seq 1 600); do
+    grep -q 'ok fwait .*phase=failed' /tmp/fleet-ctl-out && break
+    sleep 0.1
+done
+grep -q 'ok fwait .*phase=failed' /tmp/fleet-ctl-out
+printf 'fevents\n' >&8
+for _ in $(seq 1 100); do
+    grep -q 'rollout-halted' /tmp/fleet-ctl-out && break
+    sleep 0.1
+done
+grep -q 'rollout-halted' /tmp/fleet-ctl-out
+# Traffic still flows around the dead worker with zero drops, and the fleet
+# reports itself degraded once consecutive failures take w2 down.
+for _ in $(seq 1 200); do
+    printf 'ftraffic lb 16\nfleet\n' >&8
+    sleep 0.1
+    grep -q 'degraded=true' /tmp/fleet-ctl-out && break
+done
+grep -q 'degraded=true' /tmp/fleet-ctl-out
+! grep -q 'dropped=[1-9]' /tmp/fleet-ctl-out
+printf 'fmetrics\n' >&8
+for _ in $(seq 1 100); do
+    grep -q 'merlin_fleet_degraded 1' /tmp/fleet-ctl-out && break
+    sleep 0.1
+done
+grep -q 'merlin_fleet_degraded 1' /tmp/fleet-ctl-out
+grep -q 'merlin_fleet_rollouts_rolled_back_total 1' /tmp/fleet-ctl-out
+
+# A fresh w2 under the same name rejoins via its announce loop; reconcile
+# pushes the blessed catalog version back onto it and degradation clears.
+/tmp/merlind-fleet -join "$CTL_ADDR" -name w2 -rejoin-every 250ms \
+    -shadow 2 -canary 2 < /dev/null > /tmp/fleet-w2b-out 2>&1 &
+W2_PID=$!
+for _ in $(seq 1 200); do
+    printf 'fleet\n' >&8
+    sleep 0.1
+    grep -q 'degraded=false' /tmp/fleet-ctl-out && break
+done
+grep -q 'degraded=false' /tmp/fleet-ctl-out
+
+# SIGKILL the controller mid-rollout; its successor on the same state dir
+# must recover the in-flight rollout from the journal and complete it.
+printf 'fdeploy lb corpus:xdp1\nfstep 2\n' >&8
+for _ in $(seq 1 100); do
+    grep -c 'ok fstep ' /tmp/fleet-ctl-out | grep -q '^2$' && break
+    sleep 0.1
+done
+kill -9 "$CTL_PID"
+exec 8>&-
+rm -f "$CTL_FIFO"
+wait "$CTL_PID" || true
+
+CTL2_FIFO=$(mktemp -u)
+mkfifo "$CTL2_FIFO"
+/tmp/merlind-fleet -controller "$CTL_ADDR" -state-dir "$FLEET_STATE" \
+    < "$CTL2_FIFO" > /tmp/fleet-ctl2-out 2>&1 &
+CTL2_PID=$!
+exec 8> "$CTL2_FIFO"
+for _ in $(seq 1 100); do
+    grep -q 'ok controller ' /tmp/fleet-ctl2-out && break
+    sleep 0.1
+done
+grep -q 'ok frecover workers=2 slots=1' /tmp/fleet-ctl2-out
+! grep -q 'rollout=none' /tmp/fleet-ctl2-out
+printf 'fwait\n' >&8
+for _ in $(seq 1 600); do
+    grep -q 'ok fwait ' /tmp/fleet-ctl2-out && break
+    sleep 0.1
+done
+grep -q 'ok fwait .*phase=done' /tmp/fleet-ctl2-out
+printf 'ftraffic lb 8\nfmetrics\nquit\n' >&8
+wait "$CTL2_PID"
+grep -q 'ok ftraffic lb sent=8 rerouted=0 dropped=0' /tmp/fleet-ctl2-out
+grep -q 'merlin_fleet_workers{' /tmp/fleet-ctl2-out
+grep -q 'worker="w1"' /tmp/fleet-ctl2-out
+kill -9 "$W1_PID" "$W2_PID" || true
+exec 8>&-
+rm -rf "$FLEET_STATE" "$CTL2_FIFO" /tmp/merlind-fleet \
+    /tmp/fleet-ctl-out /tmp/fleet-ctl2-out /tmp/fleet-w1-out /tmp/fleet-w2-out /tmp/fleet-w2b-out
+
+# Fleet soak: seeded worker SIGKILLs and one-way partitions against a live
+# fleet under the race detector. The audit fails the run if a fan-out drops a
+# packet while any continuously-reachable worker held the program, if a
+# diverging candidate is ever promoted fleet-wide, or if a slot stays lost
+# after the chaos heals.
+go test -race -run 'TestFleetSoak' ./internal/soak/

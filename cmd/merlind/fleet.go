@@ -1,0 +1,390 @@
+// The fleet faces of merlind: as a worker it serves its line protocol on a
+// TCP control listener and announces itself to a controller; with
+// -controller it becomes the fleet control plane itself, managing worker
+// merlinds over internal/fleet — consistent-hash traffic routing, rolling
+// canaried deploys, journal-backed recovery, per-worker circuit breakers.
+//
+// Controller commands (stdin and the control listener speak the same set):
+//
+//	join <name> <addr>      admit or re-admit a worker (workers send this)
+//	workers                 one line listing the known workers
+//	fleet                   full fleet status: workers, catalog, rollout
+//	fdeploy <slot> <src>    start a rolling deploy of src across the fleet
+//	fstep [n]               drive up to n rollout steps (default 1)
+//	fwait [max]             step until the rollout settles (default 1000)
+//	ftraffic <slot> <n>     fan n packets across the fleet's routable workers
+//	fevents                 dump the fleet event ring
+//	fmetrics                fleet-aggregated metrics (controller + workers)
+//	tick                    probe down workers, reconcile recovering ones
+//	quit                    flush and exit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"merlin/internal/fleet"
+	"merlin/internal/journal"
+	"merlin/internal/metrics"
+)
+
+// ---- worker side ----------------------------------------------------------
+
+// startControl serves the daemon's line protocol on a TCP listener: one
+// scanner loop per connection, each line dispatched exactly like stdin. The
+// accept loop logs and continues on transient errors; it never takes the
+// daemon down.
+func (d *daemon) startControl(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "merlind: control accept:", err)
+				time.Sleep(100 * time.Millisecond)
+				continue
+			}
+			go d.serveConn(conn)
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+func (d *daemon) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if err := d.dispatch(conn, line); err != nil {
+			fmt.Fprintf(conn, "err %s: %v\n", strings.Fields(line)[0], err)
+		}
+	}
+}
+
+// announceLoop keeps re-introducing this worker to the controller: the first
+// announcement admits it, later ones are cheap idempotent re-joins that pull
+// the worker back into the fleet after a controller restart or a healed
+// partition without waiting for a controller-side probe.
+func announceLoop(ctrlAddr, name, controlAddr string, every time.Duration) {
+	for {
+		if err := announce(ctrlAddr, name, controlAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "merlind: join:", err)
+		}
+		time.Sleep(every)
+	}
+}
+
+func announce(ctrlAddr, name, controlAddr string) error {
+	conn, err := net.DialTimeout("tcp", ctrlAddr, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := fmt.Fprintf(conn, "join %s %s\n", name, controlAddr); err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		l := sc.Text()
+		if l == "ok" || strings.HasPrefix(l, "ok ") {
+			return nil
+		}
+		if strings.HasPrefix(l, "err ") {
+			return fmt.Errorf("controller: %s", strings.TrimPrefix(l, "err "))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("controller closed connection mid-reply")
+}
+
+// ---- controller side ------------------------------------------------------
+
+type controllerOpts struct {
+	addr     string // control listener address (required)
+	stateDir string // controller journal home ("" = in-memory)
+	jopts    journal.Options
+	listen   string // HTTP /metrics address ("" = none)
+	seed     int64
+}
+
+// runController is merlind's -controller mode: a fleet control plane over
+// TCP. Worker merlinds announce themselves with join lines; operators drive
+// rollouts over stdin or the same listener; a background ticker probes down
+// workers and reconciles recovering ones.
+func runController(o controllerOpts) {
+	reg := metrics.New()
+	ctl := fleet.New(fleet.Config{Seed: uint64(o.seed) | 1, Metrics: reg}, &fleet.TCP{})
+
+	var jl *journal.Log
+	if o.stateDir != "" {
+		var err error
+		jl, err = journal.OpenWith(o.stateDir, o.jopts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "merlind: -state-dir:", err)
+			os.Exit(2)
+		}
+		ctl.AttachJournal(jl)
+		rs, err := ctl.Recover()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "merlind: controller recover:", err)
+			os.Exit(2)
+		}
+		// Re-admit the recovered fleet before announcing: recovered workers
+		// start Down with an expired breaker, and this first Tick is the
+		// probe+reconcile pass that brings the live ones back.
+		ctl.Tick()
+		phase := rs.RolloutPhase
+		if phase == "" {
+			phase = "none"
+		}
+		fmt.Printf("ok frecover workers=%d slots=%d rollout=%s\n", rs.Workers, rs.Slots, phase)
+	}
+
+	shutdown := func(code int) {
+		ctl.Flush()
+		if jl != nil {
+			jl.Close()
+		}
+		os.Exit(code)
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		shutdown(0)
+	}()
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "merlind: -controller:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("ok controller %s\n", ln.Addr())
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "merlind: controller accept:", err)
+				time.Sleep(100 * time.Millisecond)
+				continue
+			}
+			go serveControllerConn(ctl, conn)
+		}
+	}()
+
+	if o.listen != "" {
+		hln, err := net.Listen("tcp", o.listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "merlind: -listen:", err)
+			os.Exit(2)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet {
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = ctl.WriteMetrics(w)
+		})
+		fmt.Printf("ok listen %s\n", hln.Addr())
+		srv := &metrics.ResilientServer{
+			ServeErrors: reg.Counter("merlin_http_serve_errors_total",
+				"http accept-loop deaths survived by re-listening"),
+			OnError: func(err error) { fmt.Fprintln(os.Stderr, "merlind: http:", err) },
+		}
+		go srv.Serve(hln, mux)
+	}
+
+	// The maintenance ticker: re-probe down workers, reconcile recovering
+	// ones. Rollout stepping stays explicit (fstep/fwait) so scripts control
+	// exactly when the fleet moves.
+	go func() {
+		for {
+			time.Sleep(time.Second)
+			ctl.Tick()
+		}
+	}()
+
+	failed := false
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "quit" {
+			ctl.Flush()
+			if jl != nil {
+				jl.Close()
+			}
+			if failed {
+				os.Exit(1)
+			}
+			return
+		}
+		if err := dispatchController(ctl, os.Stdout, line); err != nil {
+			failed = true
+			fmt.Printf("err %s: %v\n", strings.Fields(line)[0], err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "merlind: stdin:", err)
+		shutdown(2)
+	}
+	// stdin has drained; keep serving workers until signaled.
+	select {}
+}
+
+func serveControllerConn(ctl *fleet.Controller, conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if err := dispatchController(ctl, conn, line); err != nil {
+			fmt.Fprintf(conn, "err %s: %v\n", strings.Fields(line)[0], err)
+		}
+	}
+}
+
+// dispatchController executes one controller command and writes its reply to
+// w. The Controller is safe for concurrent use, so worker joins keep landing
+// while stdin drives a rollout.
+func dispatchController(ctl *fleet.Controller, w io.Writer, line string) error {
+	args := strings.Fields(line)
+	cmd, args := args[0], args[1:]
+	switch cmd {
+	case "join":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: join <name> <addr>")
+		}
+		if err := ctl.Join(args[0], args[1]); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "ok join %s\n", args[0])
+		return nil
+	case "workers":
+		names := ctl.Workers()
+		fmt.Fprintf(w, "ok workers n=%d %s\n", len(names), strings.Join(names, " "))
+		return nil
+	case "fleet":
+		for _, l := range ctl.FleetStatus().Lines() {
+			fmt.Fprintln(w, l)
+		}
+		fmt.Fprintln(w, "ok fleet")
+		return nil
+	case "fdeploy":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: fdeploy <slot> <src...>")
+		}
+		if err := ctl.Deploy(args[0], strings.Join(args[1:], " ")); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "ok fdeploy %s\n", args[0])
+		return nil
+	case "fstep":
+		n := 1
+		if len(args) > 0 {
+			v, err := strconv.Atoi(args[0])
+			if err != nil || v <= 0 {
+				return fmt.Errorf("fstep count must be a positive integer")
+			}
+			n = v
+		}
+		var done bool
+		steps := 0
+		for ; steps < n; steps++ {
+			var err error
+			if done, err = ctl.Step(); err != nil {
+				return err
+			}
+			if done {
+				break
+			}
+		}
+		fmt.Fprintf(w, "ok fstep steps=%d done=%v phase=%s\n", steps, done, rolloutPhase(ctl))
+		return nil
+	case "fwait":
+		max := 1000
+		if len(args) > 0 {
+			v, err := strconv.Atoi(args[0])
+			if err != nil || v <= 0 {
+				return fmt.Errorf("fwait budget must be a positive integer")
+			}
+			max = v
+		}
+		steps := 0
+		for ; steps < max; steps++ {
+			done, err := ctl.Step()
+			if err != nil {
+				return err
+			}
+			if done {
+				break
+			}
+		}
+		fmt.Fprintf(w, "ok fwait steps=%d phase=%s\n", steps, rolloutPhase(ctl))
+		return nil
+	case "ftraffic":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: ftraffic <slot> <n>")
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("traffic count must be a positive integer")
+		}
+		rep := ctl.Traffic(args[0], n)
+		fmt.Fprintf(w, "ok ftraffic %s sent=%d rerouted=%d dropped=%d\n",
+			args[0], rep.Sent, rep.Rerouted, rep.Dropped)
+		return nil
+	case "fevents":
+		for _, ev := range ctl.Events() {
+			fmt.Fprintln(w, ev.String())
+		}
+		fmt.Fprintln(w, "ok fevents")
+		return nil
+	case "fmetrics":
+		if err := ctl.WriteMetrics(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "ok fmetrics")
+		return nil
+	case "tick":
+		ctl.Tick()
+		fmt.Fprintln(w, "ok tick")
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func rolloutPhase(ctl *fleet.Controller) string {
+	if r := ctl.RolloutStatus(); r != nil {
+		return r.Phase
+	}
+	return "none"
+}

@@ -17,6 +17,7 @@
 //	traffic <slot> <n>                            serve n synthetic packets
 //	promote <slot> [force]                        hot-swap candidate to live
 //	rollback <slot>                               restore previous live program
+//	abort <slot>                                  discard the staged candidate
 //	status                                        one line per slot
 //	events <slot>                                 dump the slot's event ring
 //	maps <slot>                                   dump the live program's maps
@@ -71,6 +72,36 @@
 // they do for the rule-based optimizers. -superopt-cache persists search
 // verdicts across restarts (it must be a different directory from
 // -state-dir; each is exclusively locked).
+//
+// The HTTP listener is resilient: if its accept loop dies (fd exhaustion, a
+// dying interface) the error is logged and counted (merlin_http_serve_errors
+// _total) and the listener re-opens with backoff instead of the goroutine
+// silently exiting; `status` reports a "listener addr=... up=..." line.
+//
+// -src-fault-rate (with -src-fault-seed) interposes the chaos filesystem on
+// the deploy source read path, injecting I/O errors at the given rate —
+// exercised by CI to prove a failed source read rejects the deploy without
+// disturbing the incumbent.
+//
+// Fleet modes (see internal/fleet and cmd/merlind/fleet.go):
+//
+//	merlind -controller <addr> [-state-dir DIR] [-listen ADDR]
+//
+// runs the fleet control plane instead of a local lifecycle daemon: workers
+// join over TCP, fdeploy drives a fleet-wide rolling deploy through each
+// worker's canary gate (halting and rolling back on divergence), ftraffic
+// fans packets out over the consistent-hash ring, and with -state-dir the
+// controller journals every transition and resumes in-flight rollouts after
+// a crash ("ok frecover ..."). Controller commands: join, workers, fleet,
+// fdeploy, fstep, fwait, ftraffic, fevents, fmetrics, tick, quit.
+//
+//	merlind -join <controller-addr> [-name N] [-control ADDR] [-rejoin-every D]
+//
+// runs a worker: the normal lifecycle daemon plus a control listener serving
+// the same command set over TCP, announcing itself to the controller every
+// -rejoin-every so restarts and healed partitions re-admit it automatically.
+// A worker keeps reading stdin too; with no script, it serves until `quit`
+// or a signal.
 package main
 
 import (
@@ -78,6 +109,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
@@ -89,6 +121,7 @@ import (
 	"syscall"
 	"time"
 
+	"merlin/internal/chaos"
 	"merlin/internal/core"
 	"merlin/internal/corpus"
 	"merlin/internal/ebpf"
@@ -102,11 +135,17 @@ import (
 )
 
 type daemon struct {
+	// mu serializes command dispatch: stdin and every control-listener
+	// connection share one daemon, and a command's reply lines must not
+	// interleave with another's manager mutations.
+	mu         sync.Mutex
 	mgr        *lifecycle.Manager
 	reg        *metrics.Registry
+	fs         chaos.FS        // source/objfile read path, fault-injectable
 	jlmu       sync.Mutex      // guards jl: the reattach loop sets it concurrently
 	jl         *journal.Log    // nil while the state dir is unavailable
 	socache    *superopt.Cache // nil unless -superopt-cache
+	httpSrv    *metrics.ResilientServer
 	buildOpts  core.Options
 	deployOpts lifecycle.DeployOptions
 	seed       int64
@@ -183,6 +222,13 @@ func main() {
 	useSuperopt := flag.Bool("superopt", false, "run the superoptimizer tier on every deploy build")
 	superoptCache := flag.String("superopt-cache", "", "persistent superoptimizer verdict cache directory")
 	superoptBudget := flag.Int("superopt-budget", superopt.DefaultBudget, "candidate budget per superoptimizer search")
+	controller := flag.String("controller", "", "run as fleet controller, listening for workers and commands on this TCP address")
+	joinAddr := flag.String("join", "", "announce this worker to a fleet controller at this address")
+	workerName := flag.String("name", "", "worker name announced to the controller (default w<pid>)")
+	control := flag.String("control", "", "serve the line protocol on this TCP address (default 127.0.0.1:0 with -join)")
+	rejoinEvery := flag.Duration("rejoin-every", 2*time.Second, "interval between join announcements to the controller")
+	srcFaultRate := flag.Float64("src-fault-rate", 0, "probability of an injected read fault per source-file operation (0 = off)")
+	srcFaultSeed := flag.Int64("src-fault-seed", 1, "seed for the source read fault schedule")
 	flag.Parse()
 
 	hooks := map[string]ebpf.HookType{
@@ -236,10 +282,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "merlind: -superopt-cache and -state-dir must be different directories (each is exclusively locked)")
 		os.Exit(2)
 	}
+	if math.IsNaN(*srcFaultRate) || *srcFaultRate < 0 || *srcFaultRate > 1 {
+		fmt.Fprintf(os.Stderr, "merlind: -src-fault-rate must be in [0, 1], got %v\n", *srcFaultRate)
+		os.Exit(2)
+	}
+	if *rejoinEvery <= 0 {
+		fmt.Fprintf(os.Stderr, "merlind: -rejoin-every must be positive, got %v\n", *rejoinEvery)
+		os.Exit(2)
+	}
+
+	if *controller != "" {
+		if *joinAddr != "" || *control != "" {
+			fmt.Fprintln(os.Stderr, "merlind: -controller cannot be combined with -join/-control")
+			os.Exit(2)
+		}
+		runController(controllerOpts{
+			addr:     *controller,
+			stateDir: *stateDir,
+			jopts:    journal.Options{SegmentBytes: *segmentBytes, Policy: pol},
+			listen:   *listen,
+			seed:     *seed,
+		})
+		return
+	}
+	if *control == "" && *joinAddr != "" {
+		*control = "127.0.0.1:0"
+	}
+	if *workerName == "" {
+		*workerName = fmt.Sprintf("w%d", os.Getpid())
+	}
 
 	reg := metrics.New()
 	d := &daemon{
 		reg: reg,
+		fs:  chaos.OS(),
 		buildOpts: core.Options{
 			Hook: hook, MCPU: *mcpu, KernelALU32: true,
 			GuardDiffInputs: *guardDiff, PassTimeout: *passTimeout,
@@ -247,6 +323,12 @@ func main() {
 		},
 		deployOpts: lifecycle.DeployOptions{CanaryFraction: *canaryFraction},
 		seed:       *seed,
+	}
+	if *srcFaultRate > 0 {
+		// Source reads go through a seeded fault injector: deploys see the
+		// EIO read failures a real disk produces, and the deploy path (not
+		// the incumbent program) absorbs them.
+		d.fs = chaos.Wrap(chaos.OS(), chaos.NewRate(*srcFaultSeed, *srcFaultRate, chaos.EIO))
 	}
 	if *useSuperopt {
 		socfg := &superopt.Config{
@@ -328,11 +410,13 @@ func main() {
 		go d.reattachLoop(*stateDir, jopts)
 	}
 
-	if *stateDir != "" {
+	serveMode := *control != ""
+	if *stateDir != "" || serveMode {
 		// A flush on SIGINT/SIGTERM captures map mutations since the last
 		// transition, then compacts so the next boot replays one snapshot.
 		// Installed even when storage is degraded: the journal may have
-		// re-attached by the time the signal arrives.
+		// re-attached by the time the signal arrives. In serve mode the
+		// signal is also the only orderly way out once stdin has drained.
 		sigc := make(chan os.Signal, 1)
 		signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 		go func() {
@@ -356,16 +440,32 @@ func main() {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/metrics", d.serveMetrics)
 		// Announce the resolved address so scripts can pass :0 and scrape the
-		// chosen port.
+		// chosen port. The serve loop is resilient: an accept-loop death is
+		// counted, logged, and the listener re-opened — the daemon never
+		// silently loses its scrape endpoint while the process lives on.
 		fmt.Printf("ok listen %s\n", ln.Addr())
-		go func() {
-			if err := http.Serve(ln, mux); err != nil {
-				fmt.Fprintln(os.Stderr, "merlind: http:", err)
-			}
-		}()
+		d.httpSrv = &metrics.ResilientServer{
+			ServeErrors: reg.Counter("merlin_http_serve_errors_total",
+				"http accept-loop deaths survived by re-listening"),
+			OnError: func(err error) { fmt.Fprintln(os.Stderr, "merlind: http:", err) },
+		}
+		go d.httpSrv.Serve(ln, mux)
+	}
+
+	if serveMode {
+		addr, err := d.startControl(*control)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "merlind: -control:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("ok control %s\n", addr)
+		if *joinAddr != "" {
+			go announceLoop(*joinAddr, *workerName, addr.String(), *rejoinEvery)
+		}
 	}
 
 	failed := false
+	quitSeen := false
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -374,9 +474,10 @@ func main() {
 			continue
 		}
 		if line == "quit" {
+			quitSeen = true
 			break
 		}
-		if err := d.dispatch(line); err != nil {
+		if err := d.dispatch(os.Stdout, line); err != nil {
 			failed = true
 			fmt.Printf("err %s: %v\n", strings.Fields(line)[0], err)
 		}
@@ -384,6 +485,12 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "merlind: stdin:", err)
 		os.Exit(2)
+	}
+	if serveMode && !quitSeen {
+		// The control listener outlives a closed stdin: a worker launched
+		// with its input redirected from /dev/null keeps serving the fleet
+		// until signaled. An explicit quit still exits.
+		select {}
 	}
 	if *stateDir != "" {
 		if err := d.mgr.Flush(); err != nil {
@@ -414,7 +521,12 @@ func (d *daemon) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (d *daemon) dispatch(line string) error {
+// dispatch executes one command line and writes its reply lines to w. The
+// daemon mutex makes each command atomic against the other input sources
+// (stdin and every control-listener connection share one daemon).
+func (d *daemon) dispatch(w io.Writer, line string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	args := strings.Fields(line)
 	cmd, args := args[0], args[1:]
 	switch cmd {
@@ -422,7 +534,7 @@ func (d *daemon) dispatch(line string) error {
 		if len(args) < 2 {
 			return fmt.Errorf("usage: deploy <slot> <file.mir|corpus:NAME> [func]")
 		}
-		return d.deploy(args[0], args[1], args[2:])
+		return d.deploy(w, args[0], args[1], args[2:])
 	case "traffic":
 		if len(args) != 2 {
 			return fmt.Errorf("usage: traffic <slot> <n>")
@@ -431,7 +543,7 @@ func (d *daemon) dispatch(line string) error {
 		if err != nil || n <= 0 {
 			return fmt.Errorf("traffic count must be a positive integer")
 		}
-		return d.drive(args[0], n)
+		return d.drive(w, args[0], n)
 	case "promote":
 		if len(args) < 1 {
 			return fmt.Errorf("usage: promote <slot> [force]")
@@ -441,7 +553,7 @@ func (d *daemon) dispatch(line string) error {
 			return err
 		}
 		st, _ := d.mgr.StatusOf(args[0])
-		fmt.Printf("ok promote %s live=gen%d\n", args[0], st.LiveGeneration)
+		fmt.Fprintf(w, "ok promote %s live=gen%d\n", args[0], st.LiveGeneration)
 		return nil
 	case "rollback":
 		if len(args) != 1 {
@@ -451,25 +563,38 @@ func (d *daemon) dispatch(line string) error {
 			return err
 		}
 		st, _ := d.mgr.StatusOf(args[0])
-		fmt.Printf("ok rollback %s live=gen%d\n", args[0], st.LiveGeneration)
+		fmt.Fprintf(w, "ok rollback %s live=gen%d\n", args[0], st.LiveGeneration)
+		return nil
+	case "abort":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: abort <slot>")
+		}
+		if err := d.mgr.Abort(args[0]); err != nil {
+			return err
+		}
+		st, _ := d.mgr.StatusOf(args[0])
+		fmt.Fprintf(w, "ok abort %s live=gen%d\n", args[0], st.LiveGeneration)
 		return nil
 	case "status":
 		for _, st := range d.mgr.Status() {
-			fmt.Println(st)
+			fmt.Fprintln(w, st)
 		}
 		if h := d.mgr.JournalHealth(); h.Configured {
-			fmt.Println(h)
+			fmt.Fprintln(w, h)
 		}
-		fmt.Println("ok status")
+		if d.httpSrv != nil {
+			fmt.Fprintln(w, d.httpSrv.Health())
+		}
+		fmt.Fprintln(w, "ok status")
 		return nil
 	case "events":
 		if len(args) != 1 {
 			return fmt.Errorf("usage: events <slot>")
 		}
 		for _, ev := range d.mgr.Events(args[0]) {
-			fmt.Println(ev)
+			fmt.Fprintln(w, ev)
 		}
-		fmt.Printf("ok events %s\n", args[0])
+		fmt.Fprintf(w, "ok events %s\n", args[0])
 		return nil
 	case "maps":
 		if len(args) != 1 {
@@ -488,20 +613,20 @@ func (d *daemon) dispatch(line string) error {
 				}
 				line += fmt.Sprintf(" u64[0]=%d", v)
 			}
-			fmt.Println(line)
+			fmt.Fprintln(w, line)
 		}
-		fmt.Printf("ok maps %s\n", args[0])
+		fmt.Fprintf(w, "ok maps %s\n", args[0])
 		return nil
 	case "metrics":
 		d.mgr.CollectMetrics()
-		if err := d.reg.WriteText(os.Stdout); err != nil {
+		if err := d.reg.WriteText(w); err != nil {
 			return err
 		}
-		fmt.Println("ok metrics")
+		fmt.Fprintln(w, "ok metrics")
 		return nil
 	case "tick":
 		d.mgr.Tick()
-		fmt.Println("ok tick")
+		fmt.Fprintln(w, "ok tick")
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
@@ -524,7 +649,7 @@ func (d *daemon) moduleSource(src string, rest []string) (lifecycle.Source, erro
 		mod, fn = spec.Mod, spec.Func
 		opts.Hook, opts.MCPU = spec.Hook, spec.MCPU
 	} else {
-		text, err := os.ReadFile(src)
+		text, err := chaos.ReadFile(d.fs, src)
 		if err != nil {
 			return nil, err
 		}
@@ -553,7 +678,7 @@ func (d *daemon) resolveSource(desc string) (lifecycle.Source, error) {
 }
 
 // deploy stages a candidate from a textual IR file or a named corpus program.
-func (d *daemon) deploy(slot, src string, rest []string) error {
+func (d *daemon) deploy(w io.Writer, slot, src string, rest []string) error {
 	source, err := d.moduleSource(src, rest)
 	if err != nil {
 		return err
@@ -564,17 +689,17 @@ func (d *daemon) deploy(slot, src string, rest []string) error {
 		return err
 	}
 	st, _ := d.mgr.StatusOf(slot)
-	fmt.Printf("ok deploy %s stage=%s live=gen%d", slot, st.Stage, st.LiveGeneration)
+	fmt.Fprintf(w, "ok deploy %s stage=%s live=gen%d", slot, st.Stage, st.LiveGeneration)
 	if st.CandidateGeneration > 0 {
-		fmt.Printf(" candidate=gen%d", st.CandidateGeneration)
+		fmt.Fprintf(w, " candidate=gen%d", st.CandidateGeneration)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	return nil
 }
 
 // drive serves n synthetic XDP packets through the slot, mirroring them into
 // any in-flight candidate, and reports the verdict histogram.
-func (d *daemon) drive(slot string, n int) error {
+func (d *daemon) drive(w io.Writer, slot string, n int) error {
 	inputs := guard.Inputs(ebpf.HookXDP, n, d.seed+d.traffic)
 	d.traffic += int64(n)
 	verdicts := map[int64]int{}
@@ -601,7 +726,7 @@ func (d *daemon) drive(slot string, n int) error {
 	for v, c := range verdicts {
 		vparts = append(vparts, fmt.Sprintf("%d=%d", v, c))
 	}
-	fmt.Printf("ok traffic %s n=%d stage=%s served=%d mirrored=%d verdicts[%s]\n",
+	fmt.Fprintf(w, "ok traffic %s n=%d stage=%s served=%d mirrored=%d verdicts[%s]\n",
 		slot, n, st.Stage, st.Served, st.Mirrored, strings.Join(vparts, " "))
 	return nil
 }

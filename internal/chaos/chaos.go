@@ -100,6 +100,31 @@ type FS interface {
 	Stat(name string) (os.FileInfo, error)
 }
 
+// ReadFile reads a whole file through fs, so read paths (program sources,
+// object files, corpora) see injected faults exactly like the journal does.
+func ReadFile(fs FS, name string) ([]byte, error) {
+	f, err := fs.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// WriteFile writes data to name through fs with the usual create/truncate
+// semantics.
+func WriteFile(fs FS, name string, data []byte, perm os.FileMode) error {
+	f, err := fs.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // ---- the real filesystem -------------------------------------------------
 
 type osFS struct{}

@@ -1,0 +1,218 @@
+package chaos
+
+import (
+	"sync"
+)
+
+// The network half of the chaos package: where chaos.FS models what disks do
+// to the journal, NetPlan models what networks do to the fleet controller's
+// RPCs. The fleet transport consults a NetPlan before and after every RPC it
+// carries and applies the returned fault, so a seeded soak can impose dropped
+// connections, brown-out delays, duplicated deliveries, one-way partitions
+// (the request reaches the worker and takes effect, but the reply is lost)
+// and mid-stream resets — the failure modes that make distributed rollouts
+// interesting — deterministically and without real sockets.
+
+// NetFault is a plan's decision for one RPC.
+type NetFault int
+
+const (
+	// NetNone lets the RPC through untouched.
+	NetNone NetFault = iota
+	// NetDrop fails the RPC before it reaches the worker: a refused or
+	// black-holed connection. No side effect lands.
+	NetDrop
+	// NetDelay stalls the RPC briefly, then lets it through: the brown-out.
+	NetDelay
+	// NetDup delivers the request twice; both executions take effect and the
+	// caller sees the second reply. Exercises idempotency.
+	NetDup
+	// NetOneWay is the one-way partition: the request reaches the worker and
+	// its side effects land, but the reply never comes back — the caller sees
+	// a timeout and cannot tell whether the operation happened.
+	NetOneWay
+	// NetReset delivers the request and then resets the connection mid-reply:
+	// like NetOneWay the side effects land, but the caller sees a hard
+	// connection error instead of a timeout.
+	NetReset
+)
+
+func (f NetFault) String() string {
+	switch f {
+	case NetNone:
+		return "none"
+	case NetDrop:
+		return "drop"
+	case NetDelay:
+		return "delay"
+	case NetDup:
+		return "dup"
+	case NetOneWay:
+		return "oneway"
+	case NetReset:
+		return "reset"
+	}
+	return "unknown"
+}
+
+// NetPlan decides the fate of each RPC, identified by the worker it targets
+// and the RPC's first token (its verb: "deploy", "status", "traffic", ...).
+// Implementations must be safe for concurrent use; the fleet transport may
+// carry RPCs from several goroutines.
+type NetPlan interface {
+	NextNet(worker, verb string) NetFault
+}
+
+// NetRatePlan faults each RPC independently with a seeded Bernoulli schedule,
+// cycling fault kinds from a fixed mix — the network twin of RatePlan. The
+// same seed always yields the same decision sequence (for the same RPC
+// order; concurrent callers serialize through the plan's lock).
+type NetRatePlan struct {
+	mu   sync.Mutex
+	rng  uint64
+	rate float64
+	mix  []NetFault
+}
+
+// NewNetRate returns a plan faulting each RPC with the given probability,
+// cycling kinds from mix (default: NetDrop, NetDelay, NetDup, NetOneWay,
+// NetReset).
+func NewNetRate(seed int64, rate float64, mix ...NetFault) *NetRatePlan {
+	if len(mix) == 0 {
+		mix = []NetFault{NetDrop, NetDelay, NetDup, NetOneWay, NetReset}
+	}
+	return &NetRatePlan{rng: uint64(seed), rate: rate, mix: mix}
+}
+
+func (p *NetRatePlan) NextNet(worker, verb string) NetFault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	u := splitmix64(&p.rng)
+	if float64(u>>11)/float64(uint64(1)<<53) >= p.rate {
+		return NetNone
+	}
+	return p.mix[int(splitmix64(&p.rng)%uint64(len(p.mix)))]
+}
+
+// NetStep is one scripted network fault: after Skip matching RPCs pass
+// through, the next one fires Fault. Worker and Verb, when non-empty, must
+// match the RPC's target worker (substring) and verb (exact) for the step to
+// count.
+type NetStep struct {
+	Worker string
+	Verb   string
+	Skip   int
+	Fault  NetFault
+}
+
+// NetSchedulePlan fires an explicit sequence of network faults, in order,
+// then goes quiet — the network twin of SchedulePlan.
+type NetSchedulePlan struct {
+	mu    sync.Mutex
+	steps []NetStep
+	idx   int
+	seen  int
+}
+
+// NewNetSchedule returns a plan that fires steps in order.
+func NewNetSchedule(steps ...NetStep) *NetSchedulePlan {
+	return &NetSchedulePlan{steps: steps}
+}
+
+func (p *NetSchedulePlan) NextNet(worker, verb string) NetFault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.idx >= len(p.steps) {
+		return NetNone
+	}
+	st := p.steps[p.idx]
+	if (st.Worker != "" && !contains(worker, st.Worker)) || (st.Verb != "" && st.Verb != verb) {
+		return NetNone
+	}
+	if p.seen < st.Skip {
+		p.seen++
+		return NetNone
+	}
+	p.idx++
+	p.seen = 0
+	return st.Fault
+}
+
+// Partition is a mutable set of partitioned workers: a soak isolates and
+// heals workers mid-run while the transport keeps consulting the same plan.
+// Each isolated worker is assigned the fault its RPCs receive — NetDrop
+// models a full partition (requests never arrive), NetOneWay the asymmetric
+// one (requests arrive, replies do not).
+type Partition struct {
+	mu       sync.Mutex
+	isolated map[string]NetFault
+}
+
+// NewPartition returns an empty partition set.
+func NewPartition() *Partition {
+	return &Partition{isolated: map[string]NetFault{}}
+}
+
+// Isolate places worker behind the partition with the given fault
+// (NetDrop or NetOneWay are the sensible choices).
+func (p *Partition) Isolate(worker string, fault NetFault) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.isolated[worker] = fault
+}
+
+// Heal removes worker from the partition.
+func (p *Partition) Heal(worker string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.isolated, worker)
+}
+
+// Isolated reports whether worker is currently partitioned.
+func (p *Partition) Isolated(worker string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.isolated[worker]
+	return ok
+}
+
+func (p *Partition) NextNet(worker, verb string) NetFault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.isolated[worker]; ok {
+		return f
+	}
+	return NetNone
+}
+
+// NetChain composes plans: the first non-NetNone decision wins. Every plan
+// is consulted for every RPC, so seeded plans advance deterministically
+// regardless of what earlier plans in the chain decide.
+type NetChain []NetPlan
+
+func (c NetChain) NextNet(worker, verb string) NetFault {
+	out := NetNone
+	for _, p := range c {
+		if f := p.NextNet(worker, verb); f != NetNone && out == NetNone {
+			out = f
+		}
+	}
+	return out
+}
+
+// NetStats accounts for what a chaos transport saw and did.
+type NetStats struct {
+	// RPCs counts RPCs carried (faulted or not); Faults counts injected
+	// faults by kind.
+	RPCs   int
+	Faults map[NetFault]int
+}
+
+// Injected is the total number of injected network faults.
+func (s NetStats) Injected() int {
+	n := 0
+	for _, v := range s.Faults {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,121 @@
+package chaos
+
+import "testing"
+
+func TestNetRateDeterministic(t *testing.T) {
+	a := NewNetRate(7, 0.5)
+	b := NewNetRate(7, 0.5)
+	var sa, sb []NetFault
+	for i := 0; i < 200; i++ {
+		sa = append(sa, a.NextNet("w1", "status"))
+		sb = append(sb, b.NextNet("w1", "status"))
+	}
+	faults := 0
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("seeded plans diverged at %d: %v vs %v", i, sa[i], sb[i])
+		}
+		if sa[i] != NetNone {
+			faults++
+		}
+	}
+	if faults == 0 || faults == len(sa) {
+		t.Fatalf("rate 0.5 produced %d/%d faults", faults, len(sa))
+	}
+}
+
+func TestNetRateZeroAndOne(t *testing.T) {
+	never := NewNetRate(1, 0)
+	always := NewNetRate(1, 1, NetDrop)
+	for i := 0; i < 50; i++ {
+		if f := never.NextNet("w", "x"); f != NetNone {
+			t.Fatalf("rate 0 injected %v", f)
+		}
+		if f := always.NextNet("w", "x"); f != NetDrop {
+			t.Fatalf("rate 1 mix=[drop] produced %v", f)
+		}
+	}
+}
+
+func TestNetSchedule(t *testing.T) {
+	p := NewNetSchedule(
+		NetStep{Worker: "w2", Verb: "promote", Skip: 1, Fault: NetOneWay},
+		NetStep{Fault: NetReset},
+	)
+	// Non-matching RPCs pass through without consuming the step.
+	if f := p.NextNet("w1", "promote"); f != NetNone {
+		t.Fatalf("wrong worker matched: %v", f)
+	}
+	if f := p.NextNet("w2", "status"); f != NetNone {
+		t.Fatalf("wrong verb matched: %v", f)
+	}
+	// First match is skipped, second fires.
+	if f := p.NextNet("w2", "promote"); f != NetNone {
+		t.Fatalf("skip not honored: %v", f)
+	}
+	if f := p.NextNet("w2", "promote"); f != NetOneWay {
+		t.Fatalf("want oneway, got %v", f)
+	}
+	// Next step matches anything.
+	if f := p.NextNet("w3", "traffic"); f != NetReset {
+		t.Fatalf("want reset, got %v", f)
+	}
+	// Exhausted: quiet forever.
+	if f := p.NextNet("w2", "promote"); f != NetNone {
+		t.Fatalf("exhausted plan fired %v", f)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	p := NewPartition()
+	if p.Isolated("w1") || p.NextNet("w1", "status") != NetNone {
+		t.Fatal("fresh partition isolates")
+	}
+	p.Isolate("w1", NetOneWay)
+	if !p.Isolated("w1") {
+		t.Fatal("Isolated(w1) = false after Isolate")
+	}
+	if f := p.NextNet("w1", "deploy"); f != NetOneWay {
+		t.Fatalf("isolated worker got %v", f)
+	}
+	if f := p.NextNet("w2", "deploy"); f != NetNone {
+		t.Fatalf("unisolated worker got %v", f)
+	}
+	p.Heal("w1")
+	if f := p.NextNet("w1", "deploy"); f != NetNone {
+		t.Fatalf("healed worker got %v", f)
+	}
+}
+
+func TestNetChain(t *testing.T) {
+	part := NewPartition()
+	part.Isolate("w2", NetDrop)
+	sched := NewNetSchedule(NetStep{Verb: "status", Fault: NetDelay})
+	chain := NetChain{part, sched}
+	// Partition wins for w2; the schedule still advances (and fires for the
+	// very same RPC had the partition not claimed it), so chain composition
+	// stays deterministic.
+	if f := chain.NextNet("w2", "status"); f != NetDrop {
+		t.Fatalf("chain = %v, want drop", f)
+	}
+	// The schedule's one step was consumed above even though the partition
+	// won; a later status RPC passes clean.
+	if f := chain.NextNet("w1", "status"); f != NetNone {
+		t.Fatalf("chain = %v, want none after schedule consumed", f)
+	}
+}
+
+func TestNetFaultString(t *testing.T) {
+	want := map[NetFault]string{
+		NetNone: "none", NetDrop: "drop", NetDelay: "delay",
+		NetDup: "dup", NetOneWay: "oneway", NetReset: "reset",
+	}
+	for f, s := range want {
+		if f.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", f, f.String(), s)
+		}
+	}
+	if (NetStats{}).Injected() != 0 {
+		t.Fatal("empty stats injected != 0")
+	}
+}

@@ -1,0 +1,230 @@
+package clitest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// collect reads daemon output until a line starts with terminator, returning
+// every line read including it. Unlike waitFor it hands back the intermediate
+// lines, which is what fleet/status assertions need.
+func (d *interactiveDaemon) collect(terminator string) []string {
+	d.t.Helper()
+	var lines []string
+	for d.sc.Scan() {
+		d.log.WriteString(d.sc.Text() + "\n")
+		lines = append(lines, d.sc.Text())
+		if strings.HasPrefix(d.sc.Text(), terminator) {
+			return lines
+		}
+	}
+	d.t.Fatalf("daemon exited before %q appeared:\n%s", terminator, d.log.String())
+	return nil
+}
+
+// TestMerlindFleet is the real-TCP end-to-end: a controller merlind and two
+// worker merlinds on loopback. It drives a fleet-wide rolling deploy, routes
+// traffic, SIGKILLs a worker and verifies graceful degradation plus rejoin,
+// then SIGKILLs the controller mid-rollout and verifies the journal-recovered
+// controller resumes and completes it.
+func TestMerlindFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildMerlind(t)
+	state := filepath.Join(t.TempDir(), "ctl-state")
+
+	ctl := startDaemon(t, bin, "-controller", "127.0.0.1:0", "-state-dir", state)
+	ctl.waitFor("ok frecover ")
+	ctlAddr := strings.TrimPrefix(ctl.waitFor("ok controller "), "ok controller ")
+
+	workerFlags := func(name string) []string {
+		return []string{"-join", ctlAddr, "-name", name, "-rejoin-every", "250ms",
+			"-shadow", "2", "-canary", "2"}
+	}
+	w1 := startDaemon(t, bin, append(workerFlags("w1"), "-listen", "127.0.0.1:0")...)
+	w1.waitFor("ok listen ")
+	w1.waitFor("ok control ")
+	w2 := startDaemon(t, bin, workerFlags("w2")...)
+	w2.waitFor("ok control ")
+
+	// The workers announce themselves; poll until both are admitted.
+	waitWorkers := func(n string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			ctl.send("workers")
+			line := ctl.waitFor("ok workers ")
+			if strings.Contains(line, "n="+n+" ") || strings.HasSuffix(line, "n="+n) {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("fleet never reached %s workers: %s", n, line)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	waitWorkers("2")
+
+	// Satellite check while we are here: the worker's status command reports
+	// its HTTP listener health.
+	w1.send("status")
+	found := false
+	for _, l := range w1.collect("ok status") {
+		if strings.HasPrefix(l, "listener addr=") && strings.Contains(l, "up=true") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("worker status lacks listener health line:\n%s", w1.log.String())
+	}
+
+	// A fleet-wide rolling deploy: every worker ends at the same version.
+	ctl.send("fdeploy lb corpus:xdp1")
+	ctl.waitFor("ok fdeploy lb")
+	ctl.send("fwait")
+	if line := ctl.waitFor("ok fwait "); !strings.Contains(line, "phase=done") {
+		ctl.send("fevents")
+		ctl.collect("ok fevents")
+		t.Fatalf("rollout did not complete: %s\n%s", line, ctl.log.String())
+	}
+
+	ctl.send("ftraffic lb 16")
+	if line := ctl.waitFor("ok ftraffic lb "); !strings.Contains(line, "sent=16") ||
+		!strings.Contains(line, "dropped=0") {
+		t.Fatalf("traffic fan-out = %s, want sent=16 dropped=0", line)
+	}
+
+	// SIGKILL w2: traffic reroutes with zero drops, the fleet degrades.
+	if err := w2.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = w2.cmd.Wait()
+	ctl.send("ftraffic lb 16")
+	if line := ctl.waitFor("ok ftraffic lb "); !strings.Contains(line, "sent=16") ||
+		!strings.Contains(line, "dropped=0") {
+		t.Fatalf("traffic with a dead worker = %s, want sent=16 dropped=0", line)
+	}
+	degraded := func() bool {
+		ctl.send("fleet")
+		for _, l := range ctl.collect("ok fleet") {
+			if l == "degraded=true" {
+				return true
+			}
+		}
+		return false
+	}
+	// One transport failure only makes w2 suspect; keep routing traffic so
+	// consecutive failures demote it to down and the fleet reports degraded.
+	deadline := time.Now().Add(10 * time.Second)
+	for !degraded() {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never degraded after worker kill:\n%s", ctl.log.String())
+		}
+		ctl.send("ftraffic lb 16")
+		if line := ctl.waitFor("ok ftraffic lb "); !strings.Contains(line, "dropped=0") {
+			t.Fatalf("traffic with a dead worker = %s, want dropped=0", line)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Restart w2 fresh under the same name: its announce loop re-admits it
+	// and reconcile pushes the blessed catalog version; degradation clears.
+	w2 = startDaemon(t, bin, workerFlags("w2")...)
+	w2.waitFor("ok control ")
+	deadline = time.Now().Add(15 * time.Second)
+	for degraded() {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never recovered after worker rejoin:\n%s", ctl.log.String())
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+
+	// Kill the controller mid-rollout; its successor must recover the
+	// rollout from the journal and drive it to completion.
+	ctl.send("fdeploy lb corpus:xdp1")
+	ctl.waitFor("ok fdeploy lb")
+	ctl.send("fstep 2")
+	ctl.waitFor("ok fstep ")
+	if err := ctl.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = ctl.cmd.Wait()
+
+	ctl2 := startDaemon(t, bin, "-controller", ctlAddr, "-state-dir", state)
+	line := ctl2.waitFor("ok frecover ")
+	if !strings.Contains(line, "workers=2") || !strings.Contains(line, "slots=1") ||
+		strings.Contains(line, "rollout=none") {
+		t.Fatalf("recovery = %s, want workers=2 slots=1 and an in-flight rollout", line)
+	}
+	ctl2.waitFor("ok controller ")
+	ctl2.send("fwait")
+	if line := ctl2.waitFor("ok fwait "); !strings.Contains(line, "phase=done") {
+		ctl2.send("fevents")
+		ctl2.collect("ok fevents")
+		t.Fatalf("recovered rollout did not complete: %s\n%s", line, ctl2.log.String())
+	}
+	ctl2.send("ftraffic lb 8")
+	if line := ctl2.waitFor("ok ftraffic lb "); !strings.Contains(line, "dropped=0") {
+		t.Fatalf("post-recovery traffic = %s, want dropped=0", line)
+	}
+
+	// Fleet-aggregated metrics: the controller's own series plus each
+	// worker's scrape re-labeled with worker="<name>".
+	ctl2.send("fmetrics")
+	var sawFleet, sawWorker bool
+	for _, l := range ctl2.collect("ok fmetrics") {
+		if strings.HasPrefix(l, "merlin_fleet_workers{") {
+			sawFleet = true
+		}
+		if strings.Contains(l, `worker="w1"`) {
+			sawWorker = true
+		}
+	}
+	if !sawFleet || !sawWorker {
+		t.Errorf("fmetrics lacks fleet gauges (%v) or relabeled worker series (%v)", sawFleet, sawWorker)
+	}
+
+	ctl2.send("quit")
+	if err := ctl2.cmd.Wait(); err != nil {
+		t.Fatalf("controller exited uncleanly: %v\n%s", err, ctl2.log.String())
+	}
+	w1.send("quit")
+	if err := w1.cmd.Wait(); err != nil {
+		t.Fatalf("worker exited uncleanly: %v\n%s", err, w1.log.String())
+	}
+}
+
+// TestMerlindSrcFaultInjection: -src-fault-rate interposes the chaos
+// filesystem on the source read path. At rate 1 every file deploy fails with
+// the injected EIO while corpus deploys (no file I/O) keep working.
+func TestMerlindSrcFaultInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildMerlind(t)
+	mir := filepath.Join(t.TempDir(), "prog.mir")
+	if err := os.WriteFile(mir, []byte("anything; the open faults first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	script := strings.Join([]string{
+		"deploy lb " + mir,
+		"deploy ok corpus:xdp1",
+		"traffic ok 4",
+		"quit",
+	}, "\n") + "\n"
+	out, err := runScript(t, bin, script,
+		"-shadow", "2", "-canary", "2", "-src-fault-rate", "1", "-src-fault-seed", "7")
+	if err == nil {
+		t.Fatalf("file deploy under fault injection succeeded:\n%s", out)
+	}
+	if !strings.Contains(out, "err deploy") || !strings.Contains(out, "input/output error") {
+		t.Fatalf("missing injected EIO diagnostic:\n%s", out)
+	}
+	if !strings.Contains(out, "ok deploy ok") || !strings.Contains(out, "ok traffic ok") {
+		t.Fatalf("corpus deploy did not survive source fault injection:\n%s", out)
+	}
+}

@@ -1,0 +1,858 @@
+// Package fleet is the control plane over a set of worker merlinds. A
+// Controller tracks worker health through a failure detector and per-worker
+// circuit breaker, routes slot traffic across the fleet on a consistent-hash
+// ring, runs rolling deploys that reuse each worker's canary state machine
+// (halting and rolling the whole fleet back when any node's divergence gate
+// fires), and journals its own state so a killed controller resumes an
+// in-flight rollout instead of forgetting it.
+//
+// Every worker interaction goes through the Transport interface using the
+// merlind line protocol, so the same controller drives real TCP daemons,
+// in-process workers (LocalTransport), and chaos-wrapped transports that
+// drop, delay, duplicate, and partition at will.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"merlin/internal/journal"
+	"merlin/internal/lifecycle"
+	"merlin/internal/metrics"
+)
+
+// Config tunes the controller. Zero fields take the documented defaults.
+type Config struct {
+	// RPCTimeout bounds every worker RPC (default 2s).
+	RPCTimeout time.Duration
+	// ReadRetries is how many times an idempotent (read) RPC is retried
+	// after a transport failure (default 3). Mutating RPCs never retry
+	// blindly — the rollout state machine resolves their ambiguity from a
+	// status read instead.
+	ReadRetries int
+	// RetryBase / RetryMax shape the jittered exponential backoff between
+	// read retries (defaults 50ms / 2s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// SuspectAfter / DownAfter are the consecutive transport-failure counts
+	// that demote a worker to suspect / down (defaults 1 / 3).
+	SuspectAfter int
+	DownAfter    int
+	// BreakerBase / BreakerMax bound the circuit breaker cooldown; it
+	// starts at base and doubles per failed probe (defaults 500ms / 30s).
+	BreakerBase time.Duration
+	BreakerMax  time.Duration
+	// VNodes is the number of hash-ring points per worker (default 64).
+	VNodes int
+	// TrafficBatch is the packets-per-chunk granularity of traffic fan-out
+	// (default 8): each chunk routes independently and fails over whole.
+	TrafficBatch int
+	// MaxCanarySteps bounds how many canary-feed steps the rollout spends
+	// on one worker before declaring it stalled (default 32).
+	MaxCanarySteps int
+	// CompactEvery compacts the controller journal after this many appends
+	// (default 128).
+	CompactEvery int
+	// MaxEvents caps the fleet event ring (default 128).
+	MaxEvents int
+	// Seed drives breaker/retry jitter deterministically.
+	Seed uint64
+	// Now is the controller clock (default time.Now); tests inject a fake.
+	Now func() time.Time
+	// Metrics, when set, receives fleet telemetry.
+	Metrics *metrics.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 2 * time.Second
+	}
+	if c.ReadRetries == 0 {
+		c.ReadRetries = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 2 * time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 1
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 3
+	}
+	if c.BreakerBase <= 0 {
+		c.BreakerBase = 500 * time.Millisecond
+	}
+	if c.BreakerMax <= 0 {
+		c.BreakerMax = 30 * time.Second
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.TrafficBatch <= 0 {
+		c.TrafficBatch = 8
+	}
+	if c.MaxCanarySteps <= 0 {
+		c.MaxCanarySteps = 32
+	}
+	if c.CompactEvery <= 0 {
+		c.CompactEvery = 128
+	}
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = 128
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// CatalogSlot is the fleet's blessed version of one slot: the source
+// descriptor every worker must run and the fleet generation that blessed it.
+// The catalog only advances when a rollout completes on every worker — a
+// halted rollout leaves it untouched, which is what makes reconcile roll a
+// partitioned half-promoted worker back instead of forward.
+type CatalogSlot struct {
+	Name string `json:"name"`
+	Src  string `json:"src"`
+	Gen  int    `json:"gen"`
+}
+
+// installedRec records what the controller last confirmed on a worker:
+// which fleet generation of a slot it promoted and the worker-local live
+// generation that corresponds to it. Reconcile compares a worker's actual
+// status against this and the catalog to decide whether to push, roll back,
+// or leave alone.
+type installedRec struct {
+	Worker   string `json:"worker"`
+	Slot     string `json:"slot"`
+	FleetGen int    `json:"fleetGen"`
+	LocalGen int    `json:"localGen"`
+}
+
+// worker is the controller's view of one merlind.
+type worker struct {
+	name string
+	addr string
+
+	health    Health
+	fails     int           // consecutive transport failures
+	cooldown  time.Duration // current breaker cooldown (down only)
+	openUntil time.Time     // breaker open until (down only)
+	lastErr   string
+}
+
+// errBreakerOpen marks RPCs rejected locally without touching the network.
+var errBreakerOpen = errors.New("circuit breaker open")
+
+// Controller is the fleet control plane. All exported methods are safe for
+// concurrent use: cheap state lives under mu (never held across an RPC),
+// while stepMu serializes the multi-RPC compound operations (Tick, Step) so
+// the rollout state machine and reconcile never interleave.
+type Controller struct {
+	cfg Config
+	tr  Transport
+	met *fleetMetrics
+
+	mu         sync.Mutex
+	workers    map[string]*worker
+	catalog    map[string]*CatalogSlot
+	installed  map[string]map[string]installedRec // worker → slot → rec
+	rollout    *Rollout
+	events     []Event
+	eventSeq   int
+	rng        uint64
+	trafficSeq int
+
+	jl       *journal.Log
+	jAppends int
+
+	stepMu sync.Mutex
+}
+
+// New returns a Controller speaking over tr.
+func New(cfg Config, tr Transport) *Controller {
+	cfg = cfg.withDefaults()
+	c := &Controller{
+		cfg:       cfg,
+		tr:        tr,
+		met:       newFleetMetrics(cfg.Metrics),
+		workers:   map[string]*worker{},
+		catalog:   map[string]*CatalogSlot{},
+		installed: map[string]map[string]installedRec{},
+		rng:       cfg.Seed | 1,
+	}
+	return c
+}
+
+// splitmix64 advances the jitter stream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// jitterLocked spreads d over [d/2, 3d/2) deterministically.
+func (c *Controller) jitterLocked(d time.Duration) time.Duration {
+	c.rng = splitmix64(c.rng)
+	if d <= 0 {
+		return 0
+	}
+	half := d / 2
+	return half + time.Duration(c.rng%uint64(d))
+}
+
+// ---- health & RPC --------------------------------------------------------
+
+// rpc performs one worker RPC with breaker gating, per-call deadline, and —
+// for idempotent reads — retry with jittered exponential backoff. The
+// worker's health machine is fed from the transport outcome.
+func (c *Controller) rpc(name, line string, read bool) ([]string, error) {
+	return c.rpcWith(name, line, read, false)
+}
+
+// rpcWith is rpc with an escape hatch: ignoreBreaker sends to a down worker
+// even inside its cooldown window. Traffic's last-resort path uses it when
+// the alternative is dropping packets — a success then doubles as a probe.
+func (c *Controller) rpcWith(name, line string, read, ignoreBreaker bool) ([]string, error) {
+	c.mu.Lock()
+	w := c.workers[name]
+	if w == nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("fleet: unknown worker %q", name)
+	}
+	addr := w.addr
+	attempts := 1
+	switch w.health {
+	case Down:
+		if !ignoreBreaker && c.cfg.Now().Before(w.openUntil) {
+			c.mu.Unlock()
+			if c.met != nil {
+				c.met.breakerFast.Inc()
+			}
+			return nil, fmt.Errorf("fleet: worker %s: %w", name, errBreakerOpen)
+		}
+		// Cooldown expired (or overridden): this RPC is the half-open probe.
+		// One shot.
+		if c.met != nil {
+			c.met.probes.Inc()
+		}
+	default:
+		if read {
+			attempts += c.cfg.ReadRetries
+		}
+	}
+	// Pre-compute the jittered backoff schedule under mu so the RPC loop
+	// never touches controller state.
+	backoffs := make([]time.Duration, 0, attempts-1)
+	d := c.cfg.RetryBase
+	for i := 1; i < attempts; i++ {
+		backoffs = append(backoffs, c.jitterLocked(d))
+		if d *= 2; d > c.cfg.RetryMax {
+			d = c.cfg.RetryMax
+		}
+	}
+	c.mu.Unlock()
+
+	var lines []string
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			if c.met != nil {
+				c.met.retries.Inc()
+			}
+			time.Sleep(backoffs[i-1])
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.RPCTimeout)
+		lines, err = c.tr.RPC(ctx, addr, line)
+		cancel()
+		if c.met != nil {
+			c.met.rpcs.Inc()
+		}
+		if err == nil {
+			break
+		}
+		if c.met != nil {
+			c.met.rpcFailures.Inc()
+		}
+	}
+
+	c.mu.Lock()
+	if w := c.workers[name]; w != nil {
+		if err != nil {
+			c.rpcFailedLocked(w, err)
+		} else {
+			c.rpcSucceededLocked(w)
+		}
+		c.gaugesLocked()
+	}
+	c.mu.Unlock()
+	return lines, err
+}
+
+func (c *Controller) rpcFailedLocked(w *worker, err error) {
+	w.fails++
+	w.lastErr = err.Error()
+	switch w.health {
+	case Healthy:
+		if w.fails >= c.cfg.SuspectAfter {
+			c.setHealthLocked(w, Suspect, err.Error())
+		}
+	case Suspect:
+		if w.fails >= c.cfg.DownAfter {
+			c.openBreakerLocked(w, c.cfg.BreakerBase, err.Error())
+		}
+	case Recovering:
+		c.openBreakerLocked(w, c.cfg.BreakerBase, err.Error())
+	case Down:
+		// Failed probe: double the cooldown and re-open.
+		next := w.cooldown * 2
+		if next > c.cfg.BreakerMax {
+			next = c.cfg.BreakerMax
+		}
+		c.openBreakerLocked(w, next, err.Error())
+	}
+}
+
+func (c *Controller) rpcSucceededLocked(w *worker) {
+	w.fails = 0
+	w.lastErr = ""
+	switch w.health {
+	case Suspect:
+		c.setHealthLocked(w, Healthy, "rpc recovered")
+	case Down:
+		// Probe answered: the worker is back, but it is not routed until
+		// reconcile has pushed the catalog at it (it may have restarted
+		// empty or be carrying a half-promoted rollout).
+		w.cooldown = 0
+		c.setHealthLocked(w, Recovering, "probe succeeded")
+	}
+}
+
+func (c *Controller) setHealthLocked(w *worker, h Health, why string) {
+	if w.health == h {
+		return
+	}
+	c.eventLocked(Event{Kind: EventHealthChange, Worker: w.name,
+		Detail: fmt.Sprintf("%s → %s: %s", w.health, h, why)})
+	w.health = h
+}
+
+func (c *Controller) openBreakerLocked(w *worker, cooldown time.Duration, why string) {
+	w.cooldown = cooldown
+	w.openUntil = c.cfg.Now().Add(c.jitterLocked(cooldown))
+	c.setHealthLocked(w, Down, why)
+}
+
+// ---- membership ----------------------------------------------------------
+
+// Join registers (or re-registers) a worker. Workers announce periodically;
+// a repeat announce from a routable worker at the same address is a cheap
+// heartbeat no-op. A new worker, a changed address, or an announce from a
+// worker the controller holds down all enter through Recovering: the
+// controller reconciles the worker against the catalog before routing to it.
+func (c *Controller) Join(name, addr string) error {
+	if name == "" || addr == "" {
+		return errors.New("fleet: join needs a name and an address")
+	}
+	c.mu.Lock()
+	w := c.workers[name]
+	if w != nil && w.addr == addr && w.health.eligible() {
+		c.mu.Unlock()
+		return nil // heartbeat
+	}
+	if w == nil {
+		w = &worker{name: name, addr: addr, health: Recovering}
+		c.workers[name] = w
+		c.eventLocked(Event{Kind: EventJoin, Worker: name, Detail: "addr=" + addr})
+	} else {
+		w.addr = addr
+		w.fails = 0
+		// An announce is the worker itself talking to us — as good as a
+		// successful probe.
+		c.setHealthLocked(w, Recovering, "worker announced")
+	}
+	c.journalLocked(record{Kind: recWorker, Worker: &workerRec{Name: name, Addr: addr}}, true)
+	c.gaugesLocked()
+	c.mu.Unlock()
+	// stepMu serializes this reconcile against rollout steps, so a rejoining
+	// worker can safely be caught up even on the slot a rollout owns.
+	c.stepMu.Lock()
+	defer c.stepMu.Unlock()
+	return c.reconcile(name)
+}
+
+// Workers returns the known worker names, sorted.
+func (c *Controller) Workers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.workerNamesLocked(func(*worker) bool { return true })
+}
+
+func (c *Controller) workerNamesLocked(keep func(*worker) bool) []string {
+	names := make([]string, 0, len(c.workers))
+	for n, w := range c.workers {
+		if keep(w) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ---- reconcile -----------------------------------------------------------
+
+// reconcile drives one worker to the catalog: every blessed slot must be
+// live at the generation the controller last confirmed — judged against the
+// worker's *actual* status reply, never the journal alone, so a worker that
+// promoted during a one-way partition (or restarted empty) converges no
+// matter what the controller missed. On a clean pass a recovering worker
+// becomes healthy and rejoins the ring.
+func (c *Controller) reconcile(name string) error {
+	if c.met != nil {
+		c.met.reconciles.Inc()
+	}
+	lines, err := c.rpc(name, "status", true)
+	if err != nil {
+		return err
+	}
+	live := map[string]lifecycle.SlotStatus{}
+	for _, l := range lines {
+		if st, perr := lifecycle.ParseSlotStatus(l); perr == nil {
+			live[st.Slot] = st
+		}
+	}
+
+	type action struct {
+		slot, src string
+		fleetGen  int
+		why       string
+	}
+	c.mu.Lock()
+	var acts []action
+	deferred := false
+	rolloutSlot := ""
+	rolloutGen := 0
+	rolloutCand := map[string]int{}
+	if c.rollout != nil && !c.rollout.terminal() {
+		rolloutSlot = c.rollout.Slot
+		rolloutGen = c.rollout.Gen
+		rolloutCand = c.rollout.CandGen
+	}
+	for slotName, cat := range c.catalog {
+		if slotName == rolloutSlot {
+			// The active rollout owns this slot, and reconcile runs under
+			// stepMu so it cannot race the rollout's own actions. A worker
+			// MISSING the slot entirely (it restarted empty) gets the blessed
+			// version pushed right away — it must keep serving traffic, and if
+			// the rollout later deploys here the candidate now stages against
+			// a real incumbent and pays the canary gate. A worker that HAS the
+			// slot is admitted only when its live program is one the control
+			// plane can vouch for: the version last installed (blessed, or
+			// promoted by this very rollout), or a candidate the rollout
+			// staged here that cleared the local canary gate (a promote whose
+			// reply was lost). A live program nothing accounts for — an
+			// ungated switch, a refused rollback — keeps the worker in
+			// Recovering until the rollout settles and a full pass repairs it.
+			inst, ok := c.installedLocked(name)[slotName]
+			st, present := live[slotName]
+			switch {
+			case !present:
+				acts = append(acts, action{slotName, cat.Src, cat.Gen, "slot missing mid-rollout"})
+			case (ok && st.LiveGeneration == inst.LocalGen &&
+				(inst.FleetGen == cat.Gen || inst.FleetGen == rolloutGen)) ||
+				(rolloutCand[name] != 0 && st.LiveGeneration == rolloutCand[name]):
+				// vouched: nothing to do
+			default:
+				deferred = true
+			}
+			continue
+		}
+		inst, ok := c.installedLocked(name)[slotName]
+		st, present := live[slotName]
+		switch {
+		case !present:
+			acts = append(acts, action{slotName, cat.Src, cat.Gen, "slot missing"})
+		case !ok || inst.FleetGen != cat.Gen || st.LiveGeneration != inst.LocalGen:
+			acts = append(acts, action{slotName, cat.Src, cat.Gen,
+				fmt.Sprintf("live=gen%d installed=%+v catalog=gen%d",
+					st.LiveGeneration, inst, cat.Gen)})
+		}
+	}
+	c.mu.Unlock()
+
+	for _, a := range acts {
+		liveGen, err := c.pushSlot(name, a.slot, a.src)
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		c.setInstalledLocked(name, a.slot, a.fleetGen, liveGen, true)
+		c.eventLocked(Event{Kind: EventReconciled, Worker: name, Slot: a.slot,
+			Detail: fmt.Sprintf("%s → pushed gen%d (live=gen%d)", a.why, a.fleetGen, liveGen)})
+		c.mu.Unlock()
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w := c.workers[name]; w != nil && w.health == Recovering && !deferred {
+		c.setHealthLocked(w, Healthy, "reconciled against catalog")
+		c.gaugesLocked()
+	}
+	return nil
+}
+
+// pushSlot deploys src on a worker and force-promotes it, returning the
+// resulting live generation. Used by reconcile, where the version being
+// pushed already earned fleet blessing — the per-worker canary gate was paid
+// during the rollout that blessed it.
+func (c *Controller) pushSlot(name, slot, src string) (int, error) {
+	lines, err := c.rpc(name, "deploy "+slot+" "+src, false)
+	if err != nil {
+		return 0, err
+	}
+	rep, ok := parseDeployReply(lines)
+	if !ok {
+		return 0, fmt.Errorf("fleet: deploy %s on %s: %s", slot, name, lastLine(lines))
+	}
+	if rep.candGen == 0 {
+		return rep.liveGen, nil // fresh slot: went live immediately
+	}
+	lines, err = c.rpc(name, "promote "+slot+" force", false)
+	if err != nil {
+		return 0, err
+	}
+	last, ok := ReplyOK(lines)
+	if !ok {
+		return 0, fmt.Errorf("fleet: promote %s on %s: %s", slot, name, lastLine(lines))
+	}
+	return parseLiveGen(last), nil
+}
+
+func (c *Controller) installedLocked(worker string) map[string]installedRec {
+	m := c.installed[worker]
+	if m == nil {
+		m = map[string]installedRec{}
+		c.installed[worker] = m
+	}
+	return m
+}
+
+func (c *Controller) setInstalledLocked(worker, slot string, fleetGen, localGen int, sync bool) {
+	rec := installedRec{Worker: worker, Slot: slot, FleetGen: fleetGen, LocalGen: localGen}
+	c.installedLocked(worker)[slot] = rec
+	c.journalLocked(record{Kind: recInstalled, Installed: &rec}, sync)
+}
+
+// ---- tick ----------------------------------------------------------------
+
+// Tick runs one maintenance pass: probe every down worker whose breaker
+// cooldown has expired, reconcile every recovering worker, republish gauges.
+// Call it periodically; it is also safe to call in a tight loop.
+func (c *Controller) Tick() {
+	c.stepMu.Lock()
+	defer c.stepMu.Unlock()
+
+	c.mu.Lock()
+	now := c.cfg.Now()
+	var probe, recon []string
+	for n, w := range c.workers {
+		switch w.health {
+		case Down:
+			if !now.Before(w.openUntil) {
+				probe = append(probe, n)
+			}
+		case Recovering:
+			recon = append(recon, n)
+		}
+	}
+	sort.Strings(probe)
+	sort.Strings(recon)
+	c.mu.Unlock()
+
+	for _, n := range probe {
+		// The status RPC doubles as the half-open probe; on success the
+		// health machine lands in Recovering and we reconcile right away.
+		if _, err := c.rpc(n, "status", false); err == nil {
+			recon = append(recon, n)
+		}
+	}
+	for _, n := range recon {
+		_ = c.reconcile(n) // failures re-open the breaker via the rpc path
+	}
+
+	c.mu.Lock()
+	c.gaugesLocked()
+	c.mu.Unlock()
+}
+
+// ---- traffic -------------------------------------------------------------
+
+// TrafficReport summarizes one fan-out.
+type TrafficReport struct {
+	Sent     int // packets that reached some worker
+	Rerouted int // chunks that failed over past their ring owner
+	Dropped  int // packets no worker accepted
+}
+
+// Traffic fans n synthetic packets for slot across the routable workers in
+// TrafficBatch chunks. Each chunk hashes to an owner on the consistent ring;
+// a transport or application failure reroutes the chunk down the ring's
+// failover order, and only when every routable worker refuses it is the
+// chunk counted dropped — graceful degradation, not an error.
+func (c *Controller) Traffic(slot string, n int) TrafficReport {
+	var rep TrafficReport
+	if n <= 0 {
+		return rep
+	}
+	c.mu.Lock()
+	eligible := c.workerNamesLocked(func(w *worker) bool { return w.health.eligible() })
+	r := buildRing(eligible, c.cfg.VNodes)
+	batch := c.cfg.TrafficBatch
+	chunks := (n + batch - 1) / batch
+	seq := c.trafficSeq
+	c.trafficSeq += chunks
+	c.mu.Unlock()
+
+	for i := 0; i < chunks; i++ {
+		size := batch
+		if i == chunks-1 {
+			size = n - batch*(chunks-1)
+		}
+		key := slot + "/" + strconv.Itoa(seq+i)
+		cmd := "traffic " + slot + " " + strconv.Itoa(size)
+		sent := false
+		for hop, name := range r.lookup(key, len(eligible)) {
+			lines, err := c.rpc(name, cmd, false)
+			if err == nil {
+				if _, ok := ReplyOK(lines); ok {
+					if hop > 0 {
+						rep.Rerouted++
+						if c.met != nil {
+							c.met.reroutes.Inc()
+						}
+					}
+					rep.Sent += size
+					if c.met != nil {
+						c.met.trafficSent.Add(uint64(size))
+					}
+					sent = true
+					break
+				}
+			}
+		}
+		if !sent {
+			// Last resort before dropping: every routable worker failed (or
+			// none existed), so try the unroutable ones, circuit breakers
+			// notwithstanding. A transiently-faulted worker often answers —
+			// packet loss is worse than hammering a dead one — and a success
+			// feeds the health machine like any probe.
+			c.mu.Lock()
+			rest := c.workerNamesLocked(func(w *worker) bool { return !w.health.eligible() })
+			c.mu.Unlock()
+			for _, name := range rest {
+				lines, err := c.rpcWith(name, cmd, false, true)
+				if err != nil {
+					continue
+				}
+				if _, ok := ReplyOK(lines); ok {
+					rep.Rerouted++
+					rep.Sent += size
+					if c.met != nil {
+						c.met.reroutes.Inc()
+						c.met.lastResort.Inc()
+						c.met.trafficSent.Add(uint64(size))
+					}
+					sent = true
+					break
+				}
+			}
+		}
+		if !sent {
+			rep.Dropped += size
+			if c.met != nil {
+				c.met.dropped.Add(uint64(size))
+			}
+		}
+	}
+	return rep
+}
+
+// ---- status --------------------------------------------------------------
+
+// WorkerInfo is one worker's row in the fleet status.
+type WorkerInfo struct {
+	Name    string
+	Addr    string
+	Health  Health
+	Fails   int
+	Breaker time.Duration // remaining breaker cooldown (down only)
+	LastErr string
+}
+
+// Status is a point-in-time fleet summary.
+type Status struct {
+	Workers  []WorkerInfo
+	Catalog  []CatalogSlot
+	Rollout  *Rollout // copy; nil when none was ever started
+	Degraded bool
+}
+
+// FleetStatus captures the controller's current view.
+func (c *Controller) FleetStatus() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var st Status
+	now := c.cfg.Now()
+	for _, n := range c.workerNamesLocked(func(*worker) bool { return true }) {
+		w := c.workers[n]
+		wi := WorkerInfo{Name: n, Addr: w.addr, Health: w.health,
+			Fails: w.fails, LastErr: w.lastErr}
+		if w.health == Down && w.openUntil.After(now) {
+			wi.Breaker = w.openUntil.Sub(now)
+		}
+		if !w.health.eligible() {
+			st.Degraded = true
+		}
+		st.Workers = append(st.Workers, wi)
+	}
+	slots := make([]string, 0, len(c.catalog))
+	for n := range c.catalog {
+		slots = append(slots, n)
+	}
+	sort.Strings(slots)
+	for _, n := range slots {
+		st.Catalog = append(st.Catalog, *c.catalog[n])
+	}
+	if c.rollout != nil {
+		cp := c.rollout.clone()
+		st.Rollout = &cp
+	}
+	return st
+}
+
+// Lines renders the status in the merlind line-protocol style, one line per
+// worker / slot / rollout, so the daemon and tests share formatting.
+func (s Status) Lines() []string {
+	var out []string
+	for _, w := range s.Workers {
+		l := fmt.Sprintf("worker=%s addr=%s health=%s fails=%d", w.Name, w.Addr, w.Health, w.Fails)
+		if w.Breaker > 0 {
+			l += fmt.Sprintf(" breaker=%s", w.Breaker.Round(time.Millisecond))
+		}
+		if w.LastErr != "" {
+			l += fmt.Sprintf(" err=%q", w.LastErr)
+		}
+		out = append(out, l)
+	}
+	for _, cs := range s.Catalog {
+		out = append(out, fmt.Sprintf("slot=%s gen=%d src=%q", cs.Name, cs.Gen, cs.Src))
+	}
+	if r := s.Rollout; r != nil {
+		l := fmt.Sprintf("rollout slot=%s gen=%d phase=%s worker=%d/%d promoted=%d",
+			r.Slot, r.Gen, r.Phase, r.Idx, len(r.Order), len(r.Promoted))
+		if r.Reason != "" {
+			l += fmt.Sprintf(" reason=%q", r.Reason)
+		}
+		out = append(out, l)
+	}
+	out = append(out, fmt.Sprintf("degraded=%v", s.Degraded))
+	return out
+}
+
+// ---- aggregated metrics --------------------------------------------------
+
+// WriteMetrics writes the controller's own registry followed by every
+// routable worker's scrape re-labeled with worker="<name>", giving a single
+// fleet-wide exposition endpoint. Unreachable workers are skipped — their
+// absence is itself visible through merlin_fleet_workers{state="down"}.
+func (c *Controller) WriteMetrics(w io.Writer) error {
+	if c.cfg.Metrics != nil {
+		if err := c.cfg.Metrics.WriteText(w); err != nil {
+			return err
+		}
+	}
+	c.mu.Lock()
+	names := c.workerNamesLocked(func(wk *worker) bool { return wk.health.eligible() })
+	c.mu.Unlock()
+	for _, n := range names {
+		lines, err := c.rpc(n, "metrics", true)
+		if err != nil {
+			continue
+		}
+		if _, ok := ReplyOK(lines); !ok {
+			continue
+		}
+		body := strings.Join(lines[:len(lines)-1], "\n")
+		if err := metrics.RelabelText(w, strings.NewReader(body), "worker", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- reply parsing -------------------------------------------------------
+
+type deployReply struct {
+	slot    string
+	stage   string
+	liveGen int
+	candGen int
+}
+
+// parseDeployReply parses "ok deploy <slot> stage=<s> live=genN
+// [candidate=genM]".
+func parseDeployReply(lines []string) (deployReply, bool) {
+	last, ok := ReplyOK(lines)
+	if !ok || !strings.HasPrefix(last, "ok deploy ") {
+		return deployReply{}, false
+	}
+	f := strings.Fields(last)
+	rep := deployReply{slot: f[2]}
+	for _, kv := range f[3:] {
+		k, v, _ := strings.Cut(kv, "=")
+		switch k {
+		case "stage":
+			rep.stage = v
+		case "live":
+			rep.liveGen = genOf(v)
+		case "candidate":
+			rep.candGen = genOf(v)
+		}
+	}
+	return rep, true
+}
+
+// parseLiveGen extracts live=genN from an ok line (promote / rollback).
+func parseLiveGen(line string) int {
+	for _, kv := range strings.Fields(line) {
+		if v, ok := strings.CutPrefix(kv, "live="); ok {
+			return genOf(v)
+		}
+	}
+	return 0
+}
+
+func genOf(v string) int {
+	v = strings.TrimPrefix(v, "gen")
+	n, _ := strconv.Atoi(v)
+	return n
+}
+
+func lastLine(lines []string) string {
+	if len(lines) == 0 {
+		return "(no reply)"
+	}
+	return lines[len(lines)-1]
+}

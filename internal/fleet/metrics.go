@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"merlin/internal/metrics"
+)
+
+// fleetMetrics holds the controller's registry handles. All families are
+// registered up front so a scrape sees zeros rather than absent series.
+type fleetMetrics struct {
+	workersState map[Health]*metrics.Gauge
+	degraded     *metrics.Gauge
+
+	rpcs        *metrics.Counter
+	rpcFailures *metrics.Counter
+	retries     *metrics.Counter
+	breakerFast *metrics.Counter
+	probes      *metrics.Counter
+
+	trafficSent *metrics.Counter
+	reroutes    *metrics.Counter
+	lastResort  *metrics.Counter
+	dropped     *metrics.Counter
+
+	rolloutsStarted   *metrics.Counter
+	rolloutsCompleted *metrics.Counter
+	rolloutsFailed    *metrics.Counter
+
+	reconciles      *metrics.Counter
+	journalFailures *metrics.Counter
+}
+
+func newFleetMetrics(r *metrics.Registry) *fleetMetrics {
+	if r == nil {
+		return nil
+	}
+	fm := &fleetMetrics{workersState: map[Health]*metrics.Gauge{}}
+	for _, h := range healthNames {
+		fm.workersState[h] = r.Gauge("merlin_fleet_workers",
+			"workers by health state", "state", h.String())
+	}
+	fm.degraded = r.Gauge("merlin_fleet_degraded",
+		"1 when any joined worker is not routable (down or recovering)")
+	fm.rpcs = r.Counter("merlin_fleet_rpcs_total", "worker RPC attempts")
+	fm.rpcFailures = r.Counter("merlin_fleet_rpc_failures_total",
+		"worker RPC transport failures")
+	fm.retries = r.Counter("merlin_fleet_rpc_retries_total",
+		"read RPC retry attempts after a transport failure")
+	fm.breakerFast = r.Counter("merlin_fleet_breaker_fastfails_total",
+		"RPCs rejected locally by an open circuit breaker")
+	fm.probes = r.Counter("merlin_fleet_probes_total",
+		"half-open probes sent to down workers")
+	fm.trafficSent = r.Counter("merlin_fleet_traffic_sent_total",
+		"packets fanned out to workers")
+	fm.reroutes = r.Counter("merlin_fleet_reroutes_total",
+		"traffic chunks rerouted to a failover worker")
+	fm.lastResort = r.Counter("merlin_fleet_traffic_last_resort_total",
+		"traffic chunks salvaged by trying breaker-open workers")
+	fm.dropped = r.Counter("merlin_fleet_dropped_packets_total",
+		"packets dropped because every candidate worker failed")
+	fm.rolloutsStarted = r.Counter("merlin_fleet_rollouts_started_total",
+		"fleet rollouts begun")
+	fm.rolloutsCompleted = r.Counter("merlin_fleet_rollouts_completed_total",
+		"fleet rollouts promoted on every worker")
+	fm.rolloutsFailed = r.Counter("merlin_fleet_rollouts_rolled_back_total",
+		"fleet rollouts halted and rolled back")
+	fm.reconciles = r.Counter("merlin_fleet_reconciles_total",
+		"worker reconcile passes against the fleet catalog")
+	fm.journalFailures = r.Counter("merlin_fleet_journal_failures_total",
+		"controller journal append/compact failures")
+	return fm
+}
+
+// gaugesLocked republishes the per-state worker gauges and the degraded flag.
+func (c *Controller) gaugesLocked() {
+	if c.met == nil {
+		return
+	}
+	counts := map[Health]int64{}
+	degraded := int64(0)
+	for _, w := range c.workers {
+		counts[w.health]++
+		if !w.health.eligible() {
+			degraded = 1
+		}
+	}
+	for _, h := range healthNames {
+		c.met.workersState[h].Set(counts[h])
+	}
+	c.met.degraded.Set(degraded)
+}

@@ -1,0 +1,245 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"merlin/internal/journal"
+)
+
+// The controller's durable state is four record kinds appended to a journal
+// (latest-wins per key on replay) plus a snapshot for compaction — the same
+// shape as the per-worker lifecycle journal one level down. What is NOT
+// persisted is health: a recovered controller assumes nothing about the
+// world and re-earns its view by probing every journaled worker.
+const (
+	recWorker    = "worker"
+	recCatalog   = "catalog"
+	recInstalled = "installed"
+	recRollout   = "rollout"
+)
+
+type workerRec struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+}
+
+type record struct {
+	Kind      string        `json:"kind"`
+	Worker    *workerRec    `json:"worker,omitempty"`
+	Catalog   *CatalogSlot  `json:"catalog,omitempty"`
+	Installed *installedRec `json:"installed,omitempty"`
+	Rollout   *Rollout      `json:"rollout,omitempty"`
+}
+
+type snapshot struct {
+	Version   int            `json:"version"`
+	Workers   []workerRec    `json:"workers"`
+	Catalog   []CatalogSlot  `json:"catalog"`
+	Installed []installedRec `json:"installed"`
+	Rollout   *Rollout       `json:"rollout,omitempty"`
+}
+
+const snapshotVersion = 1
+
+// AttachJournal makes the controller durable. Call before Recover and
+// before any Join/Deploy traffic.
+func (c *Controller) AttachJournal(j *journal.Log) {
+	c.mu.Lock()
+	c.jl = j
+	c.mu.Unlock()
+}
+
+// journalLocked appends one record. Journal failures are counted, never
+// fatal: the control plane keeps running in memory, exactly like a worker
+// in journal-degraded mode.
+func (c *Controller) journalLocked(rec record, sync bool) {
+	if c.jl == nil {
+		return
+	}
+	payload, err := json.Marshal(rec)
+	if err == nil {
+		err = c.jl.Append(payload, sync)
+	}
+	if err != nil {
+		if c.met != nil {
+			c.met.journalFailures.Inc()
+		}
+		return
+	}
+	if c.jAppends++; c.jAppends >= c.cfg.CompactEvery {
+		c.jAppends = 0
+		c.compactLocked()
+	}
+}
+
+func (c *Controller) journalRolloutLocked(sync bool) {
+	if c.rollout == nil {
+		return
+	}
+	cp := c.rollout.clone()
+	c.journalLocked(record{Kind: recRollout, Rollout: &cp}, sync)
+}
+
+func (c *Controller) snapshotLocked() snapshot {
+	snap := snapshot{Version: snapshotVersion}
+	for _, n := range c.workerNamesLocked(func(*worker) bool { return true }) {
+		w := c.workers[n]
+		snap.Workers = append(snap.Workers, workerRec{Name: n, Addr: w.addr})
+	}
+	for _, cat := range c.catalog {
+		snap.Catalog = append(snap.Catalog, *cat)
+	}
+	for _, slots := range c.installed {
+		for _, rec := range slots {
+			snap.Installed = append(snap.Installed, rec)
+		}
+	}
+	if c.rollout != nil {
+		cp := c.rollout.clone()
+		snap.Rollout = &cp
+	}
+	return snap
+}
+
+func (c *Controller) compactLocked() {
+	payload, err := json.Marshal(c.snapshotLocked())
+	if err == nil {
+		err = c.jl.Compact(payload)
+	}
+	if err != nil && c.met != nil {
+		c.met.journalFailures.Inc()
+	}
+}
+
+// Flush forces a snapshot compaction (tests and shutdown paths).
+func (c *Controller) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.jl != nil {
+		c.compactLocked()
+	}
+}
+
+// RecoverStats summarizes a journal recovery.
+type RecoverStats struct {
+	Workers   int
+	Slots     int
+	Installed int
+	Records   int
+	// RolloutPhase is the recovered rollout's phase, "" when none.
+	RolloutPhase string
+}
+
+// Recover rebuilds controller state from the attached journal: snapshot
+// first, then the record tail, latest-wins per key. Every recovered worker
+// starts Down with an already-expired breaker — the next Tick probes it
+// immediately and reconcile re-admits it. An in-flight rollout resumes from
+// its journaled phase; its idempotent steps re-discover any action whose
+// acknowledgement died with the previous controller.
+func (c *Controller) Recover() (RecoverStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var rs RecoverStats
+	if c.jl == nil {
+		return rs, nil
+	}
+	if payload, ok := c.jl.Snapshot(); ok {
+		var snap snapshot
+		if err := json.Unmarshal(payload, &snap); err != nil {
+			return rs, fmt.Errorf("fleet: corrupt controller snapshot: %w", err)
+		}
+		c.applySnapshotLocked(snap)
+	}
+	err := c.jl.Replay(func(payload []byte) error {
+		var rec record
+		if uerr := json.Unmarshal(payload, &rec); uerr != nil {
+			// A torn or foreign record: skip it, the journal layer already
+			// dropped truncated tails.
+			return nil
+		}
+		rs.Records++
+		c.applyRecordLocked(rec)
+		return nil
+	})
+	if err != nil {
+		return rs, err
+	}
+	rs.Workers = len(c.workers)
+	rs.Slots = len(c.catalog)
+	for _, slots := range c.installed {
+		rs.Installed += len(slots)
+	}
+	if c.rollout != nil {
+		rs.RolloutPhase = c.rollout.Phase
+	}
+	c.eventLocked(Event{Kind: EventRecovered, Detail: fmt.Sprintf(
+		"%d workers, %d catalog slots, %d records, rollout=%s",
+		rs.Workers, rs.Slots, rs.Records, orNone(rs.RolloutPhase))})
+	c.gaugesLocked()
+	return rs, nil
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+func (c *Controller) applySnapshotLocked(snap snapshot) {
+	for i := range snap.Workers {
+		c.applyRecordLocked(record{Kind: recWorker, Worker: &snap.Workers[i]})
+	}
+	for i := range snap.Catalog {
+		c.applyRecordLocked(record{Kind: recCatalog, Catalog: &snap.Catalog[i]})
+	}
+	for i := range snap.Installed {
+		c.applyRecordLocked(record{Kind: recInstalled, Installed: &snap.Installed[i]})
+	}
+	if snap.Rollout != nil {
+		c.applyRecordLocked(record{Kind: recRollout, Rollout: snap.Rollout})
+	}
+}
+
+func (c *Controller) applyRecordLocked(rec record) {
+	switch rec.Kind {
+	case recWorker:
+		if rec.Worker == nil {
+			return
+		}
+		w := c.workers[rec.Worker.Name]
+		if w == nil {
+			w = &worker{name: rec.Worker.Name}
+			c.workers[rec.Worker.Name] = w
+		}
+		w.addr = rec.Worker.Addr
+		// Guilty until probed: Down with an expired breaker means the next
+		// Tick tries it immediately but nothing routes to it before then.
+		w.health = Down
+		w.cooldown = c.cfg.BreakerBase
+	case recCatalog:
+		if rec.Catalog == nil {
+			return
+		}
+		cat := *rec.Catalog
+		c.catalog[cat.Name] = &cat
+	case recInstalled:
+		if rec.Installed == nil {
+			return
+		}
+		c.installedLocked(rec.Installed.Worker)[rec.Installed.Slot] = *rec.Installed
+	case recRollout:
+		if rec.Rollout == nil {
+			return
+		}
+		cp := rec.Rollout.clone()
+		if cp.CandGen == nil {
+			cp.CandGen = map[string]int{}
+		}
+		if cp.PrevLive == nil {
+			cp.PrevLive = map[string]int{}
+		}
+		c.rollout = &cp
+	}
+}

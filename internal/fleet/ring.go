@@ -1,0 +1,91 @@
+package fleet
+
+import (
+	"sort"
+)
+
+// The consistent-hash ring that spreads slot traffic across workers. Each
+// eligible worker contributes vnodes points on a uint64 ring (hash of
+// "name#i"); a routing key maps to the first point clockwise from its own
+// hash. When a worker goes down its points vanish and only the keys it owned
+// move — the property that makes re-routing under failure cheap and
+// deterministic instead of a full reshuffle.
+
+type ringPoint struct {
+	h uint64
+	w string
+}
+
+type ring struct {
+	points []ringPoint
+}
+
+// fnv64a hashes a string without allocating. Raw FNV-1a clusters badly for
+// short, similar strings ("w1#0" vs "w2#0"), which skews ring ownership, so
+// the output is finalized through a splitmix-style mix for avalanche.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// buildRing places vnodes points per worker.
+func buildRing(workers []string, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	r := &ring{points: make([]ringPoint, 0, len(workers)*vnodes)}
+	for _, w := range workers {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{fnv64a(w + "#" + itoa(i)), w})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.h != b.h {
+			return a.h < b.h
+		}
+		return a.w < b.w // deterministic tie-break on hash collisions
+	})
+	return r
+}
+
+// itoa avoids strconv in the hot ring-build path.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// lookup returns up to max distinct workers for key, in ring order starting
+// at the key's successor point. The first entry is the key's owner; the rest
+// are the failover order when the owner cannot serve.
+func (r *ring) lookup(key string, max int) []string {
+	if len(r.points) == 0 || max <= 0 {
+		return nil
+	}
+	h := fnv64a(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	out := make([]string, 0, max)
+	seen := map[string]bool{}
+	for i := 0; i < len(r.points) && len(out) < max; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.w] {
+			seen[p.w] = true
+			out = append(out, p.w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingLookupDistinctAndStable(t *testing.T) {
+	workers := []string{"w1", "w2", "w3"}
+	r := buildRing(workers, 64)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("slot/%d", i)
+		got := r.lookup(key, 3)
+		if len(got) != 3 {
+			t.Fatalf("lookup(%q) = %v, want 3 distinct workers", key, got)
+		}
+		seen := map[string]bool{}
+		for _, w := range got {
+			if seen[w] {
+				t.Fatalf("lookup(%q) repeated worker: %v", key, got)
+			}
+			seen[w] = true
+		}
+		// Same key, same ring → same order, every time.
+		again := r.lookup(key, 3)
+		for j := range got {
+			if got[j] != again[j] {
+				t.Fatalf("lookup(%q) unstable: %v vs %v", key, got, again)
+			}
+		}
+	}
+}
+
+// Removing one worker must only move the keys it owned: the consistent-hash
+// property the fleet's graceful degradation rests on.
+func TestRingRemovalMovesOnlyOwnedKeys(t *testing.T) {
+	full := buildRing([]string{"w1", "w2", "w3"}, 64)
+	reduced := buildRing([]string{"w1", "w3"}, 64)
+	moved, kept := 0, 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("slot/%d", i)
+		before := full.lookup(key, 1)[0]
+		after := reduced.lookup(key, 1)[0]
+		if before == "w2" {
+			if after == "w2" {
+				t.Fatalf("key %q still routed to removed worker", key)
+			}
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q owned by %s moved to %s though %s survived", key, before, after, before)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	workers := []string{"w1", "w2", "w3", "w4"}
+	r := buildRing(workers, 64)
+	counts := map[string]int{}
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		counts[r.lookup(fmt.Sprintf("s/%d", i), 1)[0]]++
+	}
+	for _, w := range workers {
+		if counts[w] < keys/len(workers)/3 {
+			t.Fatalf("worker %s starved: %v", w, counts)
+		}
+	}
+}
+
+func TestRingEmptyAndBounds(t *testing.T) {
+	if got := buildRing(nil, 64).lookup("k", 2); got != nil {
+		t.Fatalf("empty ring lookup = %v", got)
+	}
+	r := buildRing([]string{"only"}, 8)
+	if got := r.lookup("k", 5); len(got) != 1 || got[0] != "only" {
+		t.Fatalf("single-worker lookup = %v", got)
+	}
+	if got := r.lookup("k", 0); got != nil {
+		t.Fatalf("max=0 lookup = %v", got)
+	}
+}

@@ -1,0 +1,424 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+
+	"merlin/internal/lifecycle"
+)
+
+// Rollout phases. Forward progress is deploy → canary → promote per worker;
+// any gate failure pivots the whole rollout into rollback, which unwinds the
+// already-promoted workers in reverse order. done / failed are terminal.
+const (
+	PhaseDeploy   = "deploy"
+	PhaseCanary   = "canary"
+	PhasePromote  = "promote"
+	PhaseRollback = "rollback"
+	PhaseDone     = "done"
+	PhaseFailed   = "failed"
+)
+
+// Rollout is the journaled state of one fleet-wide rolling deploy. Every
+// field is exported for JSON round-tripping through the controller journal;
+// each Step() performs at most one worker action and journals the resulting
+// state, so a controller killed at any point resumes exactly one action deep.
+// The phases are idempotent against replayed or half-delivered RPCs: a
+// re-deploy replaces the candidate, and promote ambiguity (reply lost to a
+// partition) is resolved by reading the worker's status instead of guessing.
+type Rollout struct {
+	Slot string `json:"slot"`
+	Src  string `json:"src"`
+	// Gen is the fleet generation this rollout installs; the catalog only
+	// adopts it when every worker promoted.
+	Gen   int      `json:"gen"`
+	Order []string `json:"order"` // workers in deploy order
+	Idx   int      `json:"idx"`   // current worker index
+	Phase string   `json:"phase"`
+	// Promoted lists workers already running Gen, in promotion order.
+	Promoted []string `json:"promoted,omitempty"`
+	// CandGen / PrevLive track, per worker, the candidate generation the
+	// deploy staged and the live generation before it — the two anchors
+	// that disambiguate "promoted during a partition" from "rejected by
+	// the divergence gate" when reading status.
+	CandGen  map[string]int `json:"candGen,omitempty"`
+	PrevLive map[string]int `json:"prevLive,omitempty"`
+	// Canary counts canary-feed steps spent on the current worker.
+	Canary int `json:"canary"`
+	// Rollback bookkeeping: Aborted records that the in-flight candidate on
+	// the current worker was torn down; RbIdx indexes Promoted from the
+	// back; Skipped lists workers that were unreachable during rollback and
+	// are left for reconcile to restore when they rejoin.
+	Aborted bool     `json:"aborted,omitempty"`
+	RbIdx   int      `json:"rbIdx,omitempty"`
+	Skipped []string `json:"skipped,omitempty"`
+	Reason  string   `json:"reason,omitempty"`
+}
+
+func (r *Rollout) terminal() bool {
+	return r == nil || r.Phase == PhaseDone || r.Phase == PhaseFailed
+}
+
+func (r *Rollout) clone() Rollout {
+	cp := *r
+	cp.Order = append([]string(nil), r.Order...)
+	cp.Promoted = append([]string(nil), r.Promoted...)
+	cp.Skipped = append([]string(nil), r.Skipped...)
+	cp.CandGen = map[string]int{}
+	cp.PrevLive = map[string]int{}
+	for k, v := range r.CandGen {
+		cp.CandGen[k] = v
+	}
+	for k, v := range r.PrevLive {
+		cp.PrevLive[k] = v
+	}
+	return cp
+}
+
+// Deploy starts a fleet-wide rolling deploy of src into slot across every
+// currently-routable worker. It fails if a rollout is already in flight or
+// no worker is routable; the actual work happens one action per Step.
+func (c *Controller) Deploy(slot, src string) error {
+	if slot == "" || src == "" {
+		return errors.New("fleet: deploy needs a slot and a source")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rollout != nil && !c.rollout.terminal() {
+		return fmt.Errorf("fleet: rollout of %s already in flight (phase %s)",
+			c.rollout.Slot, c.rollout.Phase)
+	}
+	order := c.workerNamesLocked(func(w *worker) bool { return w.health.eligible() })
+	if len(order) == 0 {
+		return errors.New("fleet: no routable workers to deploy to")
+	}
+	gen := 1
+	if cat := c.catalog[slot]; cat != nil {
+		gen = cat.Gen + 1
+	}
+	c.rollout = &Rollout{
+		Slot: slot, Src: src, Gen: gen, Order: order, Phase: PhaseDeploy,
+		CandGen: map[string]int{}, PrevLive: map[string]int{},
+	}
+	c.journalRolloutLocked(true)
+	if c.met != nil {
+		c.met.rolloutsStarted.Inc()
+	}
+	c.eventLocked(Event{Kind: EventRolloutStarted, Slot: slot,
+		Detail: fmt.Sprintf("gen%d %q across %d workers", gen, src, len(order))})
+	return nil
+}
+
+// Step advances the in-flight rollout by at most one worker action and
+// journals the result. It returns true when no rollout is in flight or the
+// rollout reached a terminal phase. A transport failure makes no forward
+// decision — the same action retries next Step, unless the worker has gone
+// down, which halts the rollout into rollback.
+func (c *Controller) Step() (bool, error) {
+	c.stepMu.Lock()
+	defer c.stepMu.Unlock()
+
+	c.mu.Lock()
+	r := c.rollout
+	if r.terminal() {
+		c.mu.Unlock()
+		return true, nil
+	}
+	phase := r.Phase
+	c.mu.Unlock()
+
+	switch phase {
+	case PhaseDeploy:
+		c.stepDeploy(r)
+	case PhaseCanary:
+		c.stepCanary(r)
+	case PhasePromote:
+		c.stepPromote(r)
+	case PhaseRollback:
+		c.stepRollback(r)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.journalRolloutLocked(true)
+	return c.rollout.terminal(), nil
+}
+
+// currentWorker returns the rollout's current worker and whether it is
+// still routable, halting into rollback when it is not.
+func (c *Controller) currentWorker(r *Rollout) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r.Idx >= len(r.Order) {
+		c.finishLocked(r)
+		return "", false
+	}
+	name := r.Order[r.Idx]
+	w := c.workers[name]
+	if w == nil || w.health == Down {
+		c.haltLocked(r, fmt.Sprintf("worker %s is down", name))
+		return "", false
+	}
+	return name, true
+}
+
+func (c *Controller) stepDeploy(r *Rollout) {
+	name, ok := c.currentWorker(r)
+	if !ok {
+		return
+	}
+	lines, err := c.rpc(name, "deploy "+r.Slot+" "+r.Src, false)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		return // health machine recorded it; retry or halt next Step
+	}
+	rep, ok := parseDeployReply(lines)
+	if !ok {
+		c.haltLocked(r, fmt.Sprintf("deploy on %s: %s", name, lastLine(lines)))
+		return
+	}
+	if rep.candGen == 0 {
+		if c.catalog[r.Slot] != nil {
+			// The fleet has a blessed incumbent for this slot, but the deploy
+			// went live with no candidate staged: the worker lost its state
+			// (restarted empty mid-rollout) and the new version switched in
+			// without paying the canary gate. An ungated switch never counts
+			// as a promotion — halt the rollout, and park the worker in
+			// Recovering so reconcile pushes the blessed version back over
+			// the ungated one once the rollback settles.
+			if w := c.workers[name]; w != nil && w.health != Down {
+				c.setHealthLocked(w, Recovering, "ungated live switch during rollout")
+			}
+			c.haltLocked(r, fmt.Sprintf("ungated live switch on %s (incumbent lost)", name))
+			return
+		}
+		// Fresh slot fleet-wide: the bootstrap deploy goes live immediately
+		// (no incumbent anywhere to mirror against), which is a promotion in
+		// fleet terms.
+		c.markPromotedLocked(r, name, rep.liveGen)
+		return
+	}
+	r.CandGen[name] = rep.candGen
+	r.PrevLive[name] = rep.liveGen
+	r.Phase = PhaseCanary
+	r.Canary = 0
+}
+
+// stepCanary feeds the current worker's canary one batch of traffic, ticks
+// its watchdog, and reads the verdict from status. The worker's own canary
+// state machine is the gate — the controller only interprets it.
+func (c *Controller) stepCanary(r *Rollout) {
+	name, ok := c.currentWorker(r)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	batch := c.cfg.TrafficBatch
+	c.mu.Unlock()
+	if _, err := c.rpc(name, fmt.Sprintf("traffic %s %d", r.Slot, batch), false); err != nil {
+		return
+	}
+	_, _ = c.rpc(name, "tick", false)
+	c.judgeCandidate(r, name, true)
+}
+
+// judgeCandidate reads the worker's status and advances the rollout based on
+// what actually happened to the candidate. Shared by the canary and promote
+// phases — after a lost promote reply this is what discovers the truth.
+func (c *Controller) judgeCandidate(r *Rollout, name string, inCanary bool) {
+	lines, err := c.rpc(name, "status", true)
+	if err != nil {
+		return
+	}
+	var st lifecycle.SlotStatus
+	found := false
+	for _, l := range lines {
+		if s, perr := lifecycle.ParseSlotStatus(l); perr == nil && s.Slot == r.Slot {
+			st, found = s, true
+			break
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case !found:
+		c.haltLocked(r, fmt.Sprintf("slot %s vanished on %s", r.Slot, name))
+	case st.Stage == lifecycle.StageQuarantined:
+		c.haltLocked(r, fmt.Sprintf("candidate quarantined on %s", name))
+	case st.CandidateGeneration == 0 && st.LiveGeneration >= r.CandGen[name]:
+		// Candidate gone and the live generation reached (or passed) it:
+		// an earlier promote landed but its reply was lost to a partition.
+		c.markPromotedLocked(r, name, st.LiveGeneration)
+	case st.CandidateGeneration == 0:
+		// Candidate gone, live unchanged: the worker's divergence gate
+		// rejected it. One node's verdict halts the whole fleet.
+		c.haltLocked(r, fmt.Sprintf("candidate rejected by %s's gate", name))
+	case st.CandidateGeneration != r.CandGen[name]:
+		// A duplicated deploy staged a newer candidate; adopt it.
+		r.CandGen[name] = st.CandidateGeneration
+	case st.Cleared:
+		r.Phase = PhasePromote
+	default:
+		if inCanary {
+			if r.Canary++; r.Canary > c.cfg.MaxCanarySteps {
+				c.haltLocked(r, fmt.Sprintf("canary stalled on %s after %d steps",
+					name, c.cfg.MaxCanarySteps))
+			}
+		}
+	}
+}
+
+func (c *Controller) stepPromote(r *Rollout) {
+	name, ok := c.currentWorker(r)
+	if !ok {
+		return
+	}
+	lines, err := c.rpc(name, "promote "+r.Slot, false)
+	if err != nil {
+		// The promote may or may not have landed; the next Step re-enters
+		// this phase and judgeCandidate resolves it from status.
+		c.judgeCandidate(r, name, false)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if last, ok := ReplyOK(lines); ok {
+		c.markPromotedLocked(r, name, parseLiveGen(last))
+		return
+	}
+	// "err ... has not cleared canary": the candidate regressed between our
+	// status read and the promote (a mirrored run diverged or a quarantine
+	// hit). Fall back to the canary loop to re-judge it.
+	r.Phase = PhaseCanary
+}
+
+// markPromotedLocked records worker name as running r.Gen and moves the
+// rollout to the next worker (or completion).
+func (c *Controller) markPromotedLocked(r *Rollout, name string, liveGen int) {
+	c.setInstalledLocked(name, r.Slot, r.Gen, liveGen, true)
+	r.Promoted = append(r.Promoted, name)
+	c.eventLocked(Event{Kind: EventWorkerPromoted, Worker: name, Slot: r.Slot,
+		Detail: fmt.Sprintf("fleet gen%d live=gen%d (%d/%d)",
+			r.Gen, liveGen, len(r.Promoted), len(r.Order))})
+	r.Idx++
+	r.Canary = 0
+	if r.Idx >= len(r.Order) {
+		c.finishLocked(r)
+	} else {
+		r.Phase = PhaseDeploy
+	}
+}
+
+// finishLocked completes the rollout: the catalog adopts the new version,
+// making it the generation reconcile defends from now on.
+func (c *Controller) finishLocked(r *Rollout) {
+	r.Phase = PhaseDone
+	cat := &CatalogSlot{Name: r.Slot, Src: r.Src, Gen: r.Gen}
+	c.catalog[r.Slot] = cat
+	c.journalLocked(record{Kind: recCatalog, Catalog: cat}, true)
+	if c.met != nil {
+		c.met.rolloutsCompleted.Inc()
+	}
+	c.eventLocked(Event{Kind: EventRolloutDone, Slot: r.Slot,
+		Detail: fmt.Sprintf("gen%d live on %d workers", r.Gen, len(r.Promoted))})
+}
+
+// haltLocked pivots the rollout into rollback. The catalog was never
+// updated, so even workers we cannot reach right now converge back to the
+// old version through reconcile when they reappear.
+func (c *Controller) haltLocked(r *Rollout, reason string) {
+	if r.Phase == PhaseRollback {
+		return
+	}
+	r.Phase = PhaseRollback
+	r.Reason = reason
+	r.Aborted = false
+	r.RbIdx = 0
+	c.eventLocked(Event{Kind: EventRolloutHalted, Slot: r.Slot, Detail: reason})
+}
+
+func (c *Controller) stepRollback(r *Rollout) {
+	// First unwind action: tear down the in-flight candidate on the worker
+	// the rollout was parked on, so it cannot clear canary and self-promote
+	// state later. Best-effort — a dead worker's candidate dies with it.
+	if !r.Aborted {
+		c.mu.Lock()
+		var name string
+		if r.Idx < len(r.Order) {
+			name = r.Order[r.Idx]
+		}
+		staged := name != "" && r.CandGen[name] != 0
+		r.Aborted = true
+		c.mu.Unlock()
+		if staged {
+			_, _ = c.rpc(name, "abort "+r.Slot, false)
+			return
+		}
+	}
+
+	c.mu.Lock()
+	if r.RbIdx >= len(r.Promoted) {
+		r.Phase = PhaseFailed
+		if c.met != nil {
+			c.met.rolloutsFailed.Inc()
+		}
+		c.eventLocked(Event{Kind: EventRolloutFailed, Slot: r.Slot,
+			Detail: fmt.Sprintf("%s; rolled back %d workers, %d left to reconcile",
+				r.Reason, len(r.Promoted)-len(r.Skipped), len(r.Skipped))})
+		c.mu.Unlock()
+		return
+	}
+	name := r.Promoted[len(r.Promoted)-1-r.RbIdx]
+	w := c.workers[name]
+	oldGen := 0
+	if cat := c.catalog[r.Slot]; cat != nil {
+		oldGen = cat.Gen
+	}
+	if w == nil || w.health == Down {
+		// Unreachable: leave it to reconcile. Its installed record still
+		// says r.Gen, which no longer matches the catalog, so the moment it
+		// rejoins the old version is pushed back onto it.
+		r.Skipped = append(r.Skipped, name)
+		r.RbIdx++
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+
+	lines, err := c.rpc(name, "rollback "+r.Slot, false)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		return // retry next Step; if the worker went down we skip it then
+	}
+	if last, ok := ReplyOK(lines); ok {
+		c.setInstalledLocked(name, r.Slot, oldGen, parseLiveGen(last), true)
+		c.eventLocked(Event{Kind: EventWorkerRolled, Worker: name, Slot: r.Slot,
+			Detail: fmt.Sprintf("back to fleet gen%d", oldGen)})
+	} else {
+		// "err no previous program" or similar: this worker cannot unwind
+		// locally (e.g. the slot was fresh); reconcile restores it from the
+		// catalog if the catalog has a blessed version. Demote it so the next
+		// Tick actually runs that reconcile — a Healthy worker is never
+		// re-examined.
+		r.Skipped = append(r.Skipped, name)
+		if w := c.workers[name]; w != nil && w.health != Down {
+			c.setHealthLocked(w, Recovering, "rollback refused; awaiting reconcile")
+		}
+		c.eventLocked(Event{Kind: EventWorkerRolled, Worker: name, Slot: r.Slot,
+			Detail: "local rollback refused (" + lastLine(lines) + "); left to reconcile"})
+	}
+	r.RbIdx++
+}
+
+// RolloutStatus returns a copy of the current rollout, or nil.
+func (c *Controller) RolloutStatus() *Rollout {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rollout == nil {
+		return nil
+	}
+	cp := c.rollout.clone()
+	return &cp
+}

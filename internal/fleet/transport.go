@@ -1,0 +1,186 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"merlin/internal/chaos"
+)
+
+// Transport carries one line-protocol RPC to a worker merlind and returns
+// every response line up to and including the terminating "ok ..." or
+// "err ..." line. The returned error covers transport-level failures only
+// (dial, deadline, torn stream); an application-level failure is a normal
+// reply whose last line starts with "err " — the distinction matters because
+// only transport failures feed the circuit breaker and health machine.
+//
+// The controller performs every worker interaction through this interface,
+// so tests and soaks swap in LocalTransport (in-process workers) and
+// WithChaos (injected network faults) without a socket in sight.
+type Transport interface {
+	RPC(ctx context.Context, addr, line string) ([]string, error)
+}
+
+// ReplyOK returns the terminating line when the reply reports success.
+func ReplyOK(lines []string) (string, bool) {
+	if len(lines) == 0 {
+		return "", false
+	}
+	last := lines[len(lines)-1]
+	if last == "ok" || strings.HasPrefix(last, "ok ") {
+		return last, true
+	}
+	return "", false
+}
+
+// ReplyErr returns the terminating error line when the reply reports an
+// application-level failure.
+func ReplyErr(lines []string) (string, bool) {
+	if len(lines) == 0 {
+		return "", false
+	}
+	last := lines[len(lines)-1]
+	if strings.HasPrefix(last, "err ") {
+		return last, true
+	}
+	return "", false
+}
+
+// isTerminator reports whether a response line ends an RPC.
+func isTerminator(line string) bool {
+	return line == "ok" || strings.HasPrefix(line, "ok ") || strings.HasPrefix(line, "err ")
+}
+
+// TCP is the production transport: one connection per RPC over the worker's
+// control listener, with the context deadline applied to the whole exchange.
+// One-connection-per-RPC trades a little latency for a lot of partition
+// tolerance — there is no persistent connection to wedge half-open, and a
+// worker restart invalidates nothing.
+type TCP struct {
+	// Dialer's Timeout bounds connection establishment on top of the
+	// context deadline.
+	Dialer net.Dialer
+}
+
+func (t *TCP) RPC(ctx context.Context, addr, line string) ([]string, error) {
+	conn, err := t.Dialer.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(dl)
+	}
+	if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var lines []string
+	for sc.Scan() {
+		l := sc.Text()
+		lines = append(lines, l)
+		if isTerminator(l) {
+			return lines, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, errors.New("fleet: connection closed mid-reply")
+}
+
+// ---- chaos interposition -------------------------------------------------
+
+// ChaosTransport wraps a Transport and applies a chaos.NetPlan's faults to
+// every RPC: dropped connections fail before the worker sees the request,
+// one-way partitions and resets execute the request but lose the reply
+// (side effects land, the caller cannot tell), duplication executes it
+// twice, delays stall it. Deterministic given a deterministic plan and call
+// order.
+type ChaosTransport struct {
+	Inner Transport
+	Plan  chaos.NetPlan
+	// Delay is the NetDelay stall (default 2ms).
+	Delay time.Duration
+
+	mu    sync.Mutex
+	stats chaos.NetStats
+}
+
+// WithChaos interposes plan between the controller and inner.
+func WithChaos(inner Transport, plan chaos.NetPlan) *ChaosTransport {
+	return &ChaosTransport{
+		Inner: inner, Plan: plan, Delay: 2 * time.Millisecond,
+	}
+}
+
+// Stats returns a copy of the fault accounting so far.
+func (t *ChaosTransport) Stats() chaos.NetStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.stats
+	st.Faults = map[chaos.NetFault]int{}
+	for k, v := range t.stats.Faults {
+		st.Faults[k] = v
+	}
+	return st
+}
+
+func (t *ChaosTransport) record(f chaos.NetFault) {
+	t.mu.Lock()
+	t.stats.RPCs++
+	if f != chaos.NetNone {
+		if t.stats.Faults == nil {
+			t.stats.Faults = map[chaos.NetFault]int{}
+		}
+		t.stats.Faults[f]++
+	}
+	t.mu.Unlock()
+}
+
+// errPartition marks reply-lost faults; the controller sees an opaque
+// transport error, tests can errors.Is for it.
+var errPartition = errors.New("reply lost")
+
+func (t *ChaosTransport) RPC(ctx context.Context, addr, line string) ([]string, error) {
+	verb, _, _ := strings.Cut(line, " ")
+	f := t.Plan.NextNet(addr, verb)
+	t.record(f)
+	switch f {
+	case chaos.NetDrop:
+		return nil, fmt.Errorf("chaos: connection to %s dropped", addr)
+	case chaos.NetDelay:
+		d := t.Delay
+		if d <= 0 {
+			d = 2 * time.Millisecond
+		}
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return t.Inner.RPC(ctx, addr, line)
+	case chaos.NetDup:
+		// Both deliveries take effect; the caller sees the second reply —
+		// exactly what a retransmitted request does to a non-idempotent
+		// endpoint.
+		if _, err := t.Inner.RPC(ctx, addr, line); err != nil {
+			return nil, err
+		}
+		return t.Inner.RPC(ctx, addr, line)
+	case chaos.NetOneWay:
+		_, _ = t.Inner.RPC(ctx, addr, line)
+		return nil, fmt.Errorf("chaos: %s deadline exceeded: %w", addr, errPartition)
+	case chaos.NetReset:
+		_, _ = t.Inner.RPC(ctx, addr, line)
+		return nil, fmt.Errorf("chaos: connection to %s reset mid-reply: %w", addr, errPartition)
+	}
+	return t.Inner.RPC(ctx, addr, line)
+}

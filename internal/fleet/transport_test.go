@@ -1,0 +1,179 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"merlin/internal/chaos"
+	"merlin/internal/lifecycle"
+)
+
+func TestTCPTransportRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				line, _ := bufio.NewReader(c).ReadString('\n')
+				line = strings.TrimSpace(line)
+				switch line {
+				case "status":
+					fmt.Fprintln(c, "slot=s stage=live live=gen2 ni=4 served=1 mirrored=0")
+					fmt.Fprintln(c, "ok status")
+				case "hang":
+					time.Sleep(10 * time.Second)
+				default:
+					fmt.Fprintln(c, "err unknown")
+				}
+			}(conn)
+		}
+	}()
+
+	tr := &TCP{}
+	ctx := context.Background()
+	lines, err := tr.RPC(ctx, ln.Addr().String(), "status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if _, ok := ReplyOK(lines); !ok {
+		t.Fatalf("expected ok terminator: %v", lines)
+	}
+	st, err := lifecycle.ParseSlotStatus(lines[0])
+	if err != nil || st.LiveGeneration != 2 {
+		t.Fatalf("status line did not parse: %+v %v", st, err)
+	}
+
+	lines, err = tr.RPC(ctx, ln.Addr().String(), "bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errLine, ok := ReplyErr(lines); !ok || errLine != "err unknown" {
+		t.Fatalf("err reply = %v", lines)
+	}
+
+	// A server that never answers must fail by the context deadline, not
+	// block the control plane.
+	short, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := tr.RPC(short, ln.Addr().String(), "hang"); err == nil {
+		t.Fatal("hang RPC succeeded")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline not enforced")
+	}
+}
+
+func newChaosWorker(t *testing.T) (*LocalTransport, *LocalWorker) {
+	t.Helper()
+	lt := NewLocalTransport()
+	w := lt.AddWorker("w1", testWorkerConfig())
+	return lt, w
+}
+
+func deployGen(t *testing.T, lt *LocalTransport, name string) int {
+	t.Helper()
+	st, err := lt.Manager(name).StatusOf("s")
+	if err != nil {
+		return 0
+	}
+	if st.CandidateGeneration > 0 {
+		return st.CandidateGeneration
+	}
+	return st.LiveGeneration
+}
+
+func TestChaosTransportFaults(t *testing.T) {
+	ctx := context.Background()
+
+	t.Run("drop has no side effect", func(t *testing.T) {
+		lt, _ := newChaosWorker(t)
+		ct := WithChaos(lt, chaos.NewNetSchedule(chaos.NetStep{Verb: "deploy", Fault: chaos.NetDrop}))
+		if _, err := ct.RPC(ctx, "w1", "deploy s pass:0"); err == nil {
+			t.Fatal("dropped RPC succeeded")
+		}
+		if g := deployGen(t, lt, "w1"); g != 0 {
+			t.Fatalf("drop still deployed: gen=%d", g)
+		}
+		if ct.Stats().Faults[chaos.NetDrop] != 1 {
+			t.Fatalf("stats = %+v", ct.Stats())
+		}
+	})
+
+	t.Run("one-way loses the reply but lands the side effect", func(t *testing.T) {
+		lt, _ := newChaosWorker(t)
+		ct := WithChaos(lt, chaos.NewNetSchedule(chaos.NetStep{Verb: "deploy", Fault: chaos.NetOneWay}))
+		if _, err := ct.RPC(ctx, "w1", "deploy s pass:0"); err == nil {
+			t.Fatal("one-way RPC returned a reply")
+		}
+		if g := deployGen(t, lt, "w1"); g != 1 {
+			t.Fatalf("one-way lost the request too: gen=%d", g)
+		}
+	})
+
+	t.Run("dup executes twice", func(t *testing.T) {
+		lt, _ := newChaosWorker(t)
+		// First deploy cleanly (goes live), then a duplicated deploy: two
+		// more builds, candidate ends at gen 3.
+		if _, err := lt.RPC(ctx, "w1", "deploy s pass:0"); err != nil {
+			t.Fatal(err)
+		}
+		ct := WithChaos(lt, chaos.NewNetSchedule(chaos.NetStep{Verb: "deploy", Fault: chaos.NetDup}))
+		lines, err := ct.RPC(ctx, "w1", "deploy s pass:1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, ok := parseDeployReply(lines)
+		if !ok || rep.candGen != 3 {
+			t.Fatalf("dup deploy reply = %v (parsed %+v)", lines, rep)
+		}
+	})
+
+	t.Run("delay succeeds slower", func(t *testing.T) {
+		lt, _ := newChaosWorker(t)
+		ct := WithChaos(lt, chaos.NewNetSchedule(chaos.NetStep{Verb: "deploy", Fault: chaos.NetDelay}))
+		ct.Delay = 20 * time.Millisecond
+		start := time.Now()
+		if _, err := ct.RPC(ctx, "w1", "deploy s pass:0"); err != nil {
+			t.Fatal(err)
+		}
+		if time.Since(start) < 20*time.Millisecond {
+			t.Fatal("delay fault did not delay")
+		}
+	})
+
+	t.Run("partition isolates one worker", func(t *testing.T) {
+		lt := NewLocalTransport()
+		lt.AddWorker("w1", lifecycle.Config{})
+		lt.AddWorker("w2", lifecycle.Config{})
+		part := chaos.NewPartition()
+		part.Isolate("w2", chaos.NetOneWay)
+		ct := WithChaos(lt, part)
+		if _, err := ct.RPC(ctx, "w1", "status"); err != nil {
+			t.Fatalf("w1 should be reachable: %v", err)
+		}
+		if _, err := ct.RPC(ctx, "w2", "status"); err == nil {
+			t.Fatal("w2 should be partitioned")
+		}
+		part.Heal("w2")
+		if _, err := ct.RPC(ctx, "w2", "status"); err != nil {
+			t.Fatalf("healed partition still failing: %v", err)
+		}
+	})
+}

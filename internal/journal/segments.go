@@ -1,0 +1,35 @@
+package journal
+
+import (
+	"os"
+	"sort"
+)
+
+// SegmentFiles lists dir's journal segment file names in replay order: the
+// base journal.log first (when present), then numbered rotation segments
+// ascending. It reads the directory without opening a Log, so crash-audit
+// tooling (the soak prefix sweeps, the fleet controller's recovery tests)
+// can enumerate the surviving byte stream of a state dir that another
+// process may still hold locked.
+func SegmentFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type seg struct {
+		n    int64
+		name string
+	}
+	var segs []seg
+	for _, e := range ents {
+		if n, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, seg{n, e.Name()})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].n < segs[j].n })
+	names := make([]string, 0, len(segs))
+	for _, s := range segs {
+		names = append(names, s.name)
+	}
+	return names, nil
+}

@@ -1,0 +1,64 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSegmentFilesReplayOrder(t *testing.T) {
+	dir := t.TempDir()
+	// Unrelated files and the lock must be excluded; numbered segments sort
+	// numerically after the base log.
+	for _, name := range []string{"journal.000010", "journal.log", "journal.000002",
+		"journal.lock", "snapshot.db", "journal.notnum"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := SegmentFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"journal.log", "journal.000002", "journal.000010"}
+	if len(got) != len(want) {
+		t.Fatalf("SegmentFiles = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SegmentFiles = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSegmentFilesMatchesLiveLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenWith(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("r"), 48)
+	for i := 0; i < 6; i++ {
+		if err := l.Append(payload, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fromLog := l.Segments()
+	l.Close()
+	got, err := SegmentFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(fromLog) {
+		t.Fatalf("SegmentFiles = %v, Log.Segments = %v", got, fromLog)
+	}
+	for i := range got {
+		if got[i] != fromLog[i] {
+			t.Fatalf("SegmentFiles = %v, Log.Segments = %v", got, fromLog)
+		}
+	}
+	if len(got) < 2 {
+		t.Fatalf("expected rotation to produce multiple segments, got %v", got)
+	}
+}

@@ -63,6 +63,9 @@ const (
 	// EventRolledBack: an explicit rollback restored the previous live
 	// program.
 	EventRolledBack EventKind = "rolled-back"
+	// EventAborted: an operator (or the fleet controller halting a rollout)
+	// discarded the in-flight candidate without touching the incumbent.
+	EventAborted EventKind = "aborted"
 	// EventDegraded: the *incumbent* faulted and the slot fell back to the
 	// last-known-good program or the clang baseline.
 	EventDegraded EventKind = "degraded"

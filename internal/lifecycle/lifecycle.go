@@ -558,6 +558,36 @@ func (m *Manager) Rollback(name string) error {
 	return nil
 }
 
+// Abort discards the slot's in-flight candidate without touching the
+// incumbent — the operator-initiated twin of rejectLocked, used by the fleet
+// controller when another node's divergence gate halts a rollout and every
+// not-yet-promoted candidate must be withdrawn. Aborting also clears a
+// quarantine episode: the watchdog has nothing left to rebuild.
+func (m *Manager) Abort(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.slots[name]
+	if s == nil {
+		return fmt.Errorf("lifecycle: unknown slot %q", name)
+	}
+	if s.cand == nil && s.quarantine == nil {
+		return fmt.Errorf("lifecycle: slot %q has no candidate to abort", name)
+	}
+	var detail string
+	if s.cand != nil {
+		detail = fmt.Sprintf("candidate gen %d withdrawn at stage %s", s.cand.gen, s.cand.stage)
+		m.eventLocked(s, Event{Kind: EventAborted, Stage: s.cand.stage,
+			Generation: s.cand.gen, Detail: detail})
+	} else {
+		detail = fmt.Sprintf("quarantine cleared: %s", s.quarantine.reason)
+		m.eventLocked(s, Event{Kind: EventAborted, Stage: StageQuarantined, Detail: detail})
+	}
+	s.cand = nil
+	s.quarantine = nil
+	m.journalSlotLocked(s, true)
+	return nil
+}
+
 // rejectLocked discards the candidate for a deterministic failure
 // (divergence or cycle regression): rebuilding the same module would produce
 // the same program, so the watchdog does not retry.

@@ -1,0 +1,78 @@
+package lifecycle
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSlotStatus is the inverse of SlotStatus.String: it parses one
+// "slot=... stage=..." status line back into a SlotStatus. The fleet
+// controller drives worker merlinds over the line protocol and reconciles
+// against what `status` reports, so the textual status line is a wire format
+// and this parser is its other half. Fields the line omits (events, the
+// event sequence) stay zero.
+func ParseSlotStatus(line string) (SlotStatus, error) {
+	var st SlotStatus
+	st.LiveNI = -1
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 || !strings.HasPrefix(fields[0], "slot=") {
+		return st, fmt.Errorf("lifecycle: not a slot status line: %q", line)
+	}
+	for _, f := range fields {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return st, fmt.Errorf("lifecycle: bad status field %q in %q", f, line)
+		}
+		var err error
+		switch key {
+		case "slot":
+			st.Slot = val
+		case "stage":
+			st.Stage = Stage(val)
+		case "live":
+			st.LiveGeneration, err = parseGen(val)
+		case "ni":
+			st.LiveNI, err = strconv.Atoi(val)
+		case "served":
+			st.Served, err = strconv.ParseUint(val, 10, 64)
+		case "mirrored":
+			st.Mirrored, err = strconv.ParseUint(val, 10, 64)
+		case "candidate":
+			gen, stage, ok := strings.Cut(val, "/")
+			if !ok {
+				return st, fmt.Errorf("lifecycle: bad candidate field %q", f)
+			}
+			st.CandidateGeneration, err = parseGen(gen)
+			st.CandidateStage = Stage(stage)
+		case "runs":
+			st.CandidateRuns, err = strconv.Atoi(val)
+		case "cleared":
+			st.Cleared, err = strconv.ParseBool(val)
+		case "canary_routed":
+			st.CanaryRouted, err = strconv.ParseUint(val, 10, 64)
+		case "retries":
+			st.Retries, err = strconv.Atoi(val)
+		case "dead":
+			st.Dead, err = strconv.ParseBool(val)
+		default:
+			// Unknown fields are tolerated: newer workers may report more.
+		}
+		if err != nil {
+			return st, fmt.Errorf("lifecycle: bad status field %q: %v", f, err)
+		}
+	}
+	if st.Slot == "" {
+		return st, fmt.Errorf("lifecycle: status line missing slot name: %q", line)
+	}
+	return st, nil
+}
+
+// parseGen parses a "genN" token.
+func parseGen(s string) (int, error) {
+	rest, ok := strings.CutPrefix(s, "gen")
+	if !ok {
+		return 0, fmt.Errorf("want genN, got %q", s)
+	}
+	return strconv.Atoi(rest)
+}

@@ -1,0 +1,85 @@
+package lifecycle
+
+import "testing"
+
+func TestParseSlotStatusRoundTrip(t *testing.T) {
+	cases := []SlotStatus{
+		{Slot: "a", Stage: StageLive, LiveGeneration: 3, LiveNI: 17, Served: 120, Mirrored: 40},
+		{Slot: "b", Stage: StageCanary, LiveGeneration: 1, LiveNI: 9, Served: 5, Mirrored: 5,
+			CandidateGeneration: 2, CandidateStage: StageCanary, CandidateRuns: 7, Cleared: true},
+		{Slot: "c", Stage: StageQuarantined, LiveGeneration: 2, LiveNI: 4,
+			Retries: 2, Dead: true, CanaryRouted: 11},
+		{Slot: "fresh", Stage: StageLive, LiveGeneration: 0, LiveNI: -1},
+	}
+	for _, want := range cases {
+		got, err := ParseSlotStatus(want.String())
+		if err != nil {
+			t.Fatalf("ParseSlotStatus(%q): %v", want.String(), err)
+		}
+		if got.Slot != want.Slot || got.Stage != want.Stage ||
+			got.LiveGeneration != want.LiveGeneration || got.LiveNI != want.LiveNI ||
+			got.Served != want.Served || got.Mirrored != want.Mirrored ||
+			got.CandidateGeneration != want.CandidateGeneration ||
+			got.CandidateStage != want.CandidateStage ||
+			got.CandidateRuns != want.CandidateRuns || got.Cleared != want.Cleared ||
+			got.CanaryRouted != want.CanaryRouted ||
+			got.Retries != want.Retries || got.Dead != want.Dead {
+			t.Fatalf("round trip of %q lost fields:\n got %+v\nwant %+v", want.String(), got, want)
+		}
+	}
+}
+
+func TestParseSlotStatusRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"", "ok status", "journal=degraded", "slot=x stage=live live=banana",
+		"stage=live live=gen1", "slot=x candidate=gen2",
+	} {
+		if _, err := ParseSlotStatus(line); err == nil {
+			t.Fatalf("ParseSlotStatus(%q) accepted garbage", line)
+		}
+	}
+	// Unknown fields from a newer worker are tolerated.
+	st, err := ParseSlotStatus("slot=x stage=live live=gen2 ni=4 served=1 mirrored=0 future=42")
+	if err != nil || st.LiveGeneration != 2 {
+		t.Fatalf("forward-compat parse failed: %+v %v", st, err)
+	}
+}
+
+func TestAbortDiscardsCandidate(t *testing.T) {
+	m := NewManager(Config{ShadowRuns: 2, CanaryRuns: 2})
+	if err := m.Deploy("s", progSource(goodProg(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Deploy("s", progSource(goodProg(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := m.StatusOf("s")
+	if st.CandidateGeneration == 0 {
+		t.Fatal("no candidate staged")
+	}
+	if err := m.Abort("s"); err != nil {
+		t.Fatalf("Abort: %v", err)
+	}
+	st, _ = m.StatusOf("s")
+	if st.CandidateGeneration != 0 || st.Stage != StageLive {
+		t.Fatalf("candidate survived abort: %+v", st)
+	}
+	found := false
+	for _, ev := range m.Events("s") {
+		if ev.Kind == EventAborted {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no aborted event recorded")
+	}
+	// Nothing left to abort.
+	if err := m.Abort("s"); err == nil {
+		t.Fatal("second Abort succeeded with no candidate")
+	}
+	if err := m.Abort("nope"); err == nil {
+		t.Fatal("Abort of unknown slot succeeded")
+	}
+	// The incumbent still serves.
+	serveClean(t, m, "s", 1)
+}

@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ListenerHealth is a point-in-time report of a resilient HTTP listener —
+// merlind's `status` command prints one line per listener from it, so an
+// operator can see a flapping accept loop without grepping stderr.
+type ListenerHealth struct {
+	Addr       string
+	Up         bool
+	ServeCount int    // times the accept loop (re)started
+	Errors     uint64 // http.Serve returns observed
+	LastError  string
+}
+
+// String renders the health as one status-command line.
+func (h ListenerHealth) String() string {
+	s := fmt.Sprintf("listener addr=%s up=%v starts=%d errors=%d", h.Addr, h.Up, h.ServeCount, h.Errors)
+	if h.LastError != "" {
+		s += fmt.Sprintf(" err=%q", h.LastError)
+	}
+	return s
+}
+
+// ResilientServer wraps http.Serve with the behavior a daemon actually
+// wants: when Serve returns (a persistent accept error — file-descriptor
+// exhaustion, a dying interface), the error is counted and reported and the
+// listener is re-opened with backoff instead of the serving goroutine
+// silently dying while the process lives on. Close stops the loop.
+type ResilientServer struct {
+	// Listen re-opens the listener after a failure. Defaults to
+	// net.Listen("tcp", addr) with the address the server was started on.
+	Listen func() (net.Listener, error)
+	// Backoff between re-listen attempts (default 250ms).
+	Backoff time.Duration
+	// OnError observes every http.Serve return and failed re-listen
+	// (optional; errors are counted regardless).
+	OnError func(error)
+	// ServeErrors, when set, is incremented for every http.Serve return —
+	// wire it to a merlin_http_serve_errors_total counter.
+	ServeErrors *Counter
+
+	mu     sync.Mutex
+	addr   string
+	up     bool
+	starts int
+	errs   uint64
+	last   string
+	closed bool
+	ln     net.Listener
+}
+
+// Serve runs the accept loop until Close. It never returns before Close is
+// called: a Serve error logs, counts, and re-listens. Call it on its own
+// goroutine.
+func (s *ResilientServer) Serve(ln net.Listener, handler http.Handler) {
+	if s.Backoff <= 0 {
+		s.Backoff = 250 * time.Millisecond
+	}
+	addr := ln.Addr().String()
+	s.mu.Lock()
+	s.addr = addr
+	s.ln = ln
+	s.mu.Unlock()
+	if s.Listen == nil {
+		s.Listen = func() (net.Listener, error) { return net.Listen("tcp", addr) }
+	}
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		s.up = true
+		s.starts++
+		ln := s.ln
+		s.mu.Unlock()
+
+		err := http.Serve(ln, handler)
+
+		s.mu.Lock()
+		s.up = false
+		closed := s.closed
+		if !closed {
+			// A close tears the listener down under Serve deliberately; only
+			// spontaneous returns count as failures.
+			s.errs++
+			if err != nil {
+				s.last = err.Error()
+			}
+		}
+		s.mu.Unlock()
+		if closed {
+			return
+		}
+		if s.ServeErrors != nil {
+			s.ServeErrors.Inc()
+		}
+		if s.OnError != nil && err != nil {
+			s.OnError(err)
+		}
+		// Re-listen with backoff until it works or we are closed.
+		for {
+			time.Sleep(s.Backoff)
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			s.mu.Unlock()
+			nl, lerr := s.Listen()
+			if lerr == nil {
+				s.mu.Lock()
+				s.ln = nl
+				s.addr = nl.Addr().String()
+				s.mu.Unlock()
+				break
+			}
+			if s.OnError != nil {
+				s.OnError(lerr)
+			}
+		}
+	}
+}
+
+// Close stops the loop and closes the current listener.
+func (s *ResilientServer) Close() {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+}
+
+// Health reports the listener's current state.
+func (s *ResilientServer) Health() ListenerHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ListenerHealth{
+		Addr: s.addr, Up: s.up, ServeCount: s.starts,
+		Errors: s.errs, LastError: s.last,
+	}
+}

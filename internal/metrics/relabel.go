@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// RelabelText copies a Prometheus text exposition from src to dst, injecting
+// one extra label into every sample line. It is the merge primitive behind
+// fleet-aggregated metrics: the controller scrapes each worker's registry
+// over the line protocol and re-exposes every series tagged with
+// worker="name", so one /metrics endpoint shows the whole fleet without any
+// two workers' series colliding.
+//
+// Comment lines (# HELP / # TYPE) are dropped — the aggregate would repeat
+// them once per worker, which scrapers reject. Blank lines are skipped;
+// anything else is treated as a sample of the form `name value`,
+// `name{labels} value` or `name{labels} value timestamp` and rewritten to
+// `name{label="value",labels} ...`. Malformed lines are passed through
+// untouched rather than lost: a worker speaking a slightly different
+// dialect should be visible, not silently filtered.
+func RelabelText(dst io.Writer, src io.Reader, label, value string) error {
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	inj := label + `="` + escapeLabelValue(value) + `"`
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if _, err := io.WriteString(dst, relabelLine(trimmed, inj)+"\n"); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// relabelLine injects inj into one sample line, or returns the line
+// unchanged when it does not look like a sample.
+func relabelLine(line, inj string) string {
+	// `name{labels} rest` — inject before the existing labels.
+	if brace := strings.IndexByte(line, '{'); brace >= 0 {
+		end := strings.IndexByte(line[brace:], '}')
+		if end < 0 {
+			return line
+		}
+		if end == 1 { // empty label set: name{} v
+			return line[:brace+1] + inj + line[brace+end:]
+		}
+		return line[:brace+1] + inj + "," + line[brace+1:]
+	}
+	// `name rest` — wrap the bare name.
+	sp := strings.IndexAny(line, " \t")
+	if sp < 0 {
+		return line
+	}
+	return line[:sp] + "{" + inj + "}" + line[sp:]
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}

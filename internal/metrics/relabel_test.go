@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRelabelText(t *testing.T) {
+	in := strings.Join([]string{
+		"# HELP merlin_x helpful words",
+		"# TYPE merlin_x counter",
+		"merlin_x 42",
+		`merlin_y{slot="a"} 7`,
+		`merlin_z{} 1`,
+		"",
+		`merlin_h_bucket{slot="a",le="15"} 3`,
+	}, "\n")
+	var out strings.Builder
+	if err := RelabelText(&out, strings.NewReader(in), "worker", "w1"); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	want := []string{
+		`merlin_x{worker="w1"} 42`,
+		`merlin_y{worker="w1",slot="a"} 7`,
+		`merlin_z{worker="w1"} 1`,
+		`merlin_h_bucket{worker="w1",slot="a",le="15"} 3`,
+	}
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(want), got)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+	if strings.Contains(got, "#") {
+		t.Fatalf("comments leaked into relabeled output:\n%s", got)
+	}
+}
+
+func TestRelabelTextEscapesValue(t *testing.T) {
+	var out strings.Builder
+	if err := RelabelText(&out, strings.NewReader("m 1\n"), "worker", `a"b\c`); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(out.String()); got != `m{worker="a\"b\\c"} 1` {
+		t.Fatalf("escaped relabel = %q", got)
+	}
+}
+
+func TestRelabelTextRegistryOutputParses(t *testing.T) {
+	r := New()
+	r.Counter("merlin_a_total", "a").Inc()
+	r.Gauge("merlin_b", "b", "slot", "x").Set(3)
+	r.Histogram("merlin_c", "c").Observe(9)
+	var out strings.Builder
+	if err := RelabelText(&out, strings.NewReader(r.Text()), "worker", "w2"); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if !strings.Contains(line, `worker="w2"`) {
+			t.Fatalf("line missing injected label: %q", line)
+		}
+		// `name{labels} value` — two space-separated tokens.
+		if len(strings.Fields(line)) != 2 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+	}
+}
+
+func TestResilientServerSurvivesListenerDeath(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := New()
+	ctr := reg.Counter("merlin_http_serve_errors_total", "t")
+	srv := &ResilientServer{Backoff: 10 * time.Millisecond, ServeErrors: ctr}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ping", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "pong")
+	})
+	done := make(chan struct{})
+	go func() { srv.Serve(ln, mux); close(done) }()
+	defer srv.Close()
+
+	// Keep-alives off: a pooled connection accepted by the old Serve keeps
+	// answering after the listener dies, which is not the path under test.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	get := func() (string, error) {
+		h := srv.Health()
+		resp, err := client.Get("http://" + h.Addr + "/ping")
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b), nil
+	}
+	waitUp := func() {
+		for i := 0; i < 200; i++ {
+			if body, err := get(); err == nil && body == "pong" {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("listener never came up: %+v", srv.Health())
+	}
+	waitUp()
+
+	// Kill the listener out from under http.Serve: the old behavior was a
+	// dead serving goroutine; the resilient loop must count the error and
+	// come back on the same address.
+	ln.Close()
+	for i := 0; i < 200 && ctr.Value() == 0; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if ctr.Value() == 0 {
+		t.Fatalf("serve error never counted: %+v", srv.Health())
+	}
+	waitUp()
+	h := srv.Health()
+	if h.ServeCount < 2 || !h.Up || h.Errors == 0 {
+		t.Fatalf("health after recovery = %+v", h)
+	}
+
+	// Close stops the loop without counting another failure.
+	before := ctr.Value()
+	srv.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+	if ctr.Value() != before {
+		t.Fatalf("clean close counted as serve error: %d -> %d", before, ctr.Value())
+	}
+}

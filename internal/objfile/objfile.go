@@ -8,8 +8,8 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"os"
 
+	"merlin/internal/chaos"
 	"merlin/internal/ebpf"
 )
 
@@ -65,16 +65,27 @@ func Unmarshal(data []byte) (*ebpf.Program, error) {
 
 // Write saves a program to path.
 func Write(path string, p *ebpf.Program) error {
+	return WriteFS(chaos.OS(), path, p)
+}
+
+// WriteFS saves a program to path through fs, so storage faults injected by a
+// chaos plan surface exactly like real disk errors.
+func WriteFS(fs chaos.FS, path string, p *ebpf.Program) error {
 	data, err := Marshal(p)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return chaos.WriteFile(fs, path, append(data, '\n'), 0o644)
 }
 
 // Read loads a program from path.
 func Read(path string) (*ebpf.Program, error) {
-	data, err := os.ReadFile(path)
+	return ReadFS(chaos.OS(), path)
+}
+
+// ReadFS loads a program from path through fs.
+func ReadFS(fs chaos.FS, path string) (*ebpf.Program, error) {
+	data, err := chaos.ReadFile(fs, path)
 	if err != nil {
 		return nil, err
 	}

@@ -1,9 +1,12 @@
 package objfile
 
 import (
+	"errors"
 	"path/filepath"
+	"syscall"
 	"testing"
 
+	"merlin/internal/chaos"
 	"merlin/internal/ebpf"
 )
 
@@ -59,6 +62,50 @@ func TestWriteRead(t *testing.T) {
 	}
 	if q.NI() != 6 {
 		t.Fatalf("NI = %d", q.NI())
+	}
+}
+
+// TestReadWriteFSFaults drives the FS-parameterized paths through a chaos
+// plan: injected faults must surface as the errno a real disk would return,
+// a torn write must not be reported as success, and the same calls succeed
+// once the plan stops firing.
+func TestReadWriteFSFaults(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.json")
+
+	torn := chaos.Wrap(chaos.OS(), chaos.NewSchedule(
+		chaos.Step{Op: chaos.OpWrite, Fault: chaos.Torn},
+	))
+	if err := WriteFS(torn, path, sampleProg()); err == nil {
+		t.Fatal("torn write reported success")
+	}
+	// The torn half-file must not parse as a program.
+	if _, err := Read(path); err == nil {
+		t.Fatal("half-written objfile decoded cleanly")
+	}
+
+	if err := Write(path, sampleProg()); err != nil {
+		t.Fatal(err)
+	}
+	eio := chaos.Wrap(chaos.OS(), chaos.NewSchedule(
+		chaos.Step{Op: chaos.OpRead, Fault: chaos.EIO},
+	))
+	if _, err := ReadFS(eio, path); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("injected read fault surfaced as %v, want EIO", err)
+	}
+	// A schedule is finite: the retry on the same wrapped FS goes through.
+	q, err := ReadFS(eio, path)
+	if err != nil {
+		t.Fatalf("retry after fault: %v", err)
+	}
+	if q.NI() != 6 {
+		t.Fatalf("NI after retry = %d", q.NI())
+	}
+
+	enospc := chaos.Wrap(chaos.OS(), chaos.NewSchedule(
+		chaos.Step{Op: chaos.OpOpen, Fault: chaos.ENOSPC},
+	))
+	if err := WriteFS(enospc, path, sampleProg()); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("injected open fault surfaced as %v, want ENOSPC", err)
 	}
 }
 

@@ -1,0 +1,44 @@
+package soak
+
+import (
+	"testing"
+)
+
+// TestFleetSoak runs the seeded fleet soak: rolling deploys and traffic
+// against workers being killed, partitioned and restarted, with the
+// controller itself SIGKILLed and journal-recovered mid-run. RunFleet
+// returns an error on any audit violation — no drop while a reachable
+// worker holds the program, no divergent promotion,
+// journal-replays-to-observed-state — so the test just asserts the run was
+// actually eventful.
+func TestFleetSoak(t *testing.T) {
+	rep, err := RunFleet(FleetConfig{Dir: t.TempDir(), Seed: 1, Rounds: 40})
+	if err != nil {
+		t.Fatalf("fleet soak: %v\nreport: %s", err, rep)
+	}
+	t.Logf("fleet soak: %s", rep)
+	if rep.Sent == 0 || rep.Deploys < 3 {
+		t.Fatalf("soak was not eventful: %s", rep)
+	}
+	if rep.Kills == 0 && rep.Partitions == 0 {
+		t.Fatalf("no chaos was injected: %s", rep)
+	}
+	if rep.ControllerRecoveries == 0 {
+		t.Fatalf("controller was never killed: %s", rep)
+	}
+}
+
+// TestFleetSoakSeeds varies the schedule: different seeds walk different
+// kill/partition/deploy interleavings through the same audits.
+func TestFleetSoakSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep skipped in -short")
+	}
+	for _, seed := range []int64{2, 3} {
+		rep, err := RunFleet(FleetConfig{Dir: t.TempDir(), Seed: seed, Rounds: 25})
+		if err != nil {
+			t.Fatalf("seed %d: %v\nreport: %s", seed, err, rep)
+		}
+		t.Logf("seed %d: %s", seed, rep)
+	}
+}

@@ -19,8 +19,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -293,30 +291,9 @@ func VerifyRecovery(dir string) (lifecycle.RecoverStats, error) {
 	return rs, nil
 }
 
-// survivingSegments lists dir's journal segment files in replay order: the
-// base journal.log first, then numbered segments ascending.
+// survivingSegments lists dir's journal segment files in replay order.
 func survivingSegments(dir string) ([]string, error) {
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var names []string
-	for _, e := range ents {
-		n := e.Name()
-		if n == "journal.log" || (strings.HasPrefix(n, "journal.") && n != "journal.lock") {
-			names = append(names, n)
-		}
-	}
-	sort.Slice(names, func(i, j int) bool {
-		if names[i] == "journal.log" {
-			return true
-		}
-		if names[j] == "journal.log" {
-			return false
-		}
-		return names[i] < names[j]
-	})
-	return names, nil
+	return journal.SegmentFiles(dir)
 }
 
 // SweepPrefixes replays the crash at every point of the surviving byte
