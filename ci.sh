@@ -121,6 +121,21 @@ rm -rf "$SO_DIR"
 # where the superopt build diverges from the Merlin-only build.
 go test -run FuzzSuperopt -fuzz FuzzSuperopt -fuzztime 20s ./internal/difftest/
 
+# Execution-engine differential fuzz: the same hunt for any generated
+# program where the pre-decoded engine diverges from the reference switch
+# interpreter.
+go test -run FuzzVMEquivalence -fuzz FuzzVMEquivalence -fuzztime 20s ./internal/difftest/
+
+# Execution-engine throughput gate: batch serving on the pre-decoded engine
+# must beat the seed serving loop (reference interpreter, per-packet context
+# allocation) by at least MERLIN_VM_FLOOR on the corpus-aggregate ratio.
+# Measured headroom is ~4.5-4.8x on an idle machine; the default floor of
+# 3.0 absorbs shared-runner noise while still catching any real regression
+# to pre-engine throughput. Each run appends to the bench_vm.json
+# trajectory so throughput history survives across CI runs.
+MERLIN_VM_FLOOR="${MERLIN_VM_FLOOR:-3.0}"
+go run ./cmd/merlin-bench -vm-floor "$MERLIN_VM_FLOOR" -vm-json bench_vm.json vmbench
+
 # Storage-chaos soak: seeded faults (ENOSPC/EIO/torn writes) at ~1% on every
 # journal I/O site while concurrent traffic races deploy/promote/rollback
 # churn, under the race detector. The incumbent must never fail a serve, and

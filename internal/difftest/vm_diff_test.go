@@ -1,0 +1,283 @@
+package difftest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"merlin/internal/core"
+	"merlin/internal/corpus"
+	"merlin/internal/ebpf"
+	"merlin/internal/vm"
+)
+
+// This file is the cross-interpreter differential rig: it proves the
+// pre-decoded fast engine (vm.New) byte-for-byte equivalent to the reference
+// switch interpreter (vm.NewRef) — same r0, same Stats, same fault kind, pc
+// and detail, same post-run map bytes and helper state — over the whole
+// program corpus, generated random programs, boundary-lattice inputs and a
+// fuzz target. The reference interpreter is the oracle: any divergence is a
+// fast-engine bug by definition.
+
+// latticeU64 is the boundary lattice for scalar inputs: zeros, small values,
+// and every power-of-two sign/width boundary the ALU and jump paths care
+// about.
+var latticeU64 = []uint64{
+	0, 1, 2, 7, 0x7f, 0x80, 0xff, 0x100, 0x7fff, 0x8000, 0xffff,
+	0x7fff_ffff, 0x8000_0000, 0xffff_ffff, 0x1_0000_0000,
+	0x7fff_ffff_ffff_ffff, 0x8000_0000_0000_0000, 0xffff_ffff_ffff_ffff,
+}
+
+// enginePair is a fast/reference machine pair loaded from the same program
+// with the same configuration.
+type enginePair struct {
+	fast *vm.Machine
+	ref  *vm.RefMachine
+}
+
+func newEnginePair(t testing.TB, prog *ebpf.Program, cfg vm.Config) *enginePair {
+	t.Helper()
+	fast, err := vm.New(prog, cfg)
+	if err != nil {
+		t.Fatalf("vm.New: %v", err)
+	}
+	if fast.Engine() != "fast" {
+		t.Fatalf("program did not pre-decode (engine %q)", fast.Engine())
+	}
+	ref, err := vm.NewRef(prog, cfg)
+	if err != nil {
+		t.Fatalf("vm.NewRef: %v", err)
+	}
+	// Identical synthetic kernel memory so probe_read reads agree.
+	rng := rand.New(rand.NewSource(99))
+	rng.Read(fast.Kmem)
+	copy(ref.Kmem, fast.Kmem)
+	return &enginePair{fast: fast, ref: ref}
+}
+
+// runBoth executes one input on both engines and asserts every observable
+// output matches.
+func (p *enginePair) runBoth(t testing.TB, tag string, ctx, pkt []byte) {
+	t.Helper()
+	// The context and packet are mutable program memory: give each engine
+	// its own copy, then compare the copies afterwards.
+	ctxF, ctxR := append([]byte(nil), ctx...), append([]byte(nil), ctx...)
+	pktF, pktR := append([]byte(nil), pkt...), append([]byte(nil), pkt...)
+	rvF, stF, errF := p.fast.Run(ctxF, pktF)
+	rvR, stR, errR := p.ref.Run(ctxR, pktR)
+	sameFault(t, tag, errF, errR)
+	if errF == nil && rvF != rvR {
+		t.Fatalf("%s: r0 %d (fast) vs %d (ref)", tag, rvF, rvR)
+	}
+	if stF != stR {
+		t.Fatalf("%s: stats diverged\nfast %+v\nref  %+v", tag, stF, stR)
+	}
+	if string(ctxF) != string(ctxR) {
+		t.Fatalf("%s: post-run context bytes diverged", tag)
+	}
+	if string(pktF) != string(pktR) {
+		t.Fatalf("%s: post-run packet bytes diverged", tag)
+	}
+	for i := 0; i < p.fast.NumMaps(); i++ {
+		if string(p.fast.Map(i).Backing()) != string(p.ref.Map(i).Backing()) {
+			t.Fatalf("%s: map %d bytes diverged after run", tag, i)
+		}
+	}
+	rngF, ktF := p.fast.HelperState()
+	rngR, ktR := p.ref.HelperState()
+	if rngF != rngR || ktF != ktR {
+		t.Fatalf("%s: helper state diverged: rng %#x/%#x ktime %d/%d",
+			tag, rngF, rngR, ktF, ktR)
+	}
+}
+
+// sameFault asserts two run errors are either both nil or carry the same
+// fault kind, pc and detail.
+func sameFault(t testing.TB, tag string, e1, e2 error) {
+	t.Helper()
+	if (e1 == nil) != (e2 == nil) {
+		t.Fatalf("%s: fault divergence: %v (fast) vs %v (ref)", tag, e1, e2)
+	}
+	if e1 == nil {
+		return
+	}
+	var r1, r2 *vm.RuntimeError
+	if !errors.As(e1, &r1) || !errors.As(e2, &r2) {
+		if e1.Error() != e2.Error() {
+			t.Fatalf("%s: error divergence: %v vs %v", tag, e1, e2)
+		}
+		return
+	}
+	if r1.Kind != r2.Kind || r1.PC != r2.PC || r1.Detail != r2.Detail {
+		t.Fatalf("%s: fault divergence:\nfast kind=%s pc=%d detail=%q\nref  kind=%s pc=%d detail=%q",
+			tag, r1.Kind, r1.PC, r1.Detail, r2.Kind, r2.PC, r2.Detail)
+	}
+}
+
+// latticePackets builds the XDP input set: realistic Ethernet/IPv4 frames,
+// boundary-length frames (empty, truncated header, minimal, jumbo-ish) and
+// adversarial byte patterns.
+func latticePackets() [][]byte {
+	rng := rand.New(rand.NewSource(4242))
+	var pkts [][]byte
+	for _, n := range []int{0, 1, 13, 14, 20, 34, 54, 64, 128, 256} {
+		pkt := make([]byte, n)
+		rng.Read(pkt)
+		if n >= 14 {
+			pkt[12], pkt[13] = 0x08, 0x00
+		}
+		if n >= 34 {
+			pkt[14] = 0x45
+			pkt[14+9] = 17
+		}
+		pkts = append(pkts, pkt)
+	}
+	// Well-formed TCP and UDP frames plus non-IP and all-ones/all-zeros.
+	for i := 0; i < 8; i++ {
+		pkt := make([]byte, 64)
+		rng.Read(pkt)
+		switch i % 4 {
+		case 0:
+			pkt[12], pkt[13], pkt[14], pkt[14+9] = 0x08, 0x00, 0x45, 6
+		case 1:
+			pkt[12], pkt[13], pkt[14], pkt[14+9] = 0x08, 0x00, 0x45, 17
+		case 2:
+			pkt[12], pkt[13] = 0x86, 0xdd // IPv6
+		case 3:
+			pkt[12], pkt[13] = 0x08, 0x06 // ARP
+		}
+		pkts = append(pkts, pkt)
+	}
+	pkts = append(pkts, make([]byte, 64))
+	ones := make([]byte, 64)
+	for i := range ones {
+		ones[i] = 0xff
+	}
+	pkts = append(pkts, ones)
+	return pkts
+}
+
+// latticeArgs builds tracepoint argument vectors walking the boundary
+// lattice plus pseudo-random fill.
+func latticeArgs() [][]uint64 {
+	rng := rand.New(rand.NewSource(777))
+	var out [][]uint64
+	for i := 0; i < len(latticeU64); i++ {
+		args := make([]uint64, 8)
+		for j := range args {
+			args[j] = latticeU64[(i+j)%len(latticeU64)]
+		}
+		out = append(out, args)
+	}
+	for i := 0; i < 8; i++ {
+		args := make([]uint64, 8)
+		for j := range args {
+			args[j] = rng.Uint64()
+		}
+		out = append(out, args)
+	}
+	return out
+}
+
+// vmDiffConfigs is the configuration matrix the corpus sweep runs under:
+// the deployment shape (no hardware models), the modelled shape (cache and
+// branch predictor charged), and a tight step limit that expires mid-run —
+// often in the middle of a fused micro-op group — to prove the fallback
+// accounting matches.
+func vmDiffConfigs() []vm.Config {
+	return []vm.Config{
+		{Seed: 9},
+		{Seed: 9, UseHW: true},
+		{Seed: 9, StepLimit: 23},
+		{Seed: 9, UseHW: true, StepLimit: 7},
+	}
+}
+
+// TestVMEquivalenceCorpus drives every corpus program through both engines
+// on the boundary-lattice input set under each configuration.
+func TestVMEquivalenceCorpus(t *testing.T) {
+	specs := corpus.XDP()
+	specs = append(specs, corpus.Sysdig()...)
+	specs = append(specs, corpus.Tetragon()...)
+	specs = append(specs, corpus.Tracee()...)
+	if testing.Short() {
+		specs = specs[:6]
+	}
+	pkts := latticePackets()
+	argSets := latticeArgs()
+	for _, spec := range specs {
+		res, err := core.Build(spec.Mod, spec.Func, core.Options{
+			Hook: spec.Hook, MCPU: spec.MCPU, KernelALU32: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: build: %v", spec.Name, err)
+		}
+		for ci, cfg := range vmDiffConfigs() {
+			p := newEnginePair(t, res.Prog, cfg)
+			if spec.Hook == ebpf.HookXDP {
+				for pi, pkt := range pkts {
+					tag := fmt.Sprintf("%s cfg%d pkt%d", spec.Name, ci, pi)
+					p.runBoth(t, tag, vm.BuildXDPContext(len(pkt)), pkt)
+				}
+			} else {
+				for ai, args := range argSets {
+					tag := fmt.Sprintf("%s cfg%d args%d", spec.Name, ci, ai)
+					p.runBoth(t, tag, vm.TracepointContext(args...), nil)
+				}
+			}
+		}
+	}
+}
+
+// TestVMEquivalenceGenerated runs seeded random programs (both the baseline
+// and the optimized build of each) through both engines.
+func TestVMEquivalenceGenerated(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 12
+	}
+	argSets := latticeArgs()
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		mod := Generate(seed, GenOptions{UseMaps: seed%2 == 0})
+		res, err := core.Build(mod, mod.Funcs[0].Name, core.Options{
+			Hook: ebpf.HookTracepoint, MCPU: 2 + int(seed%2), KernelALU32: true,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for pi, prog := range []*ebpf.Program{res.Baseline, res.Prog} {
+			for ci, cfg := range vmDiffConfigs() {
+				p := newEnginePair(t, prog, cfg)
+				for ai := 0; ai < len(argSets); ai += 3 {
+					tag := fmt.Sprintf("seed %d prog%d cfg%d args%d", seed, pi, ci, ai)
+					p.runBoth(t, tag, vm.TracepointContext(argSets[ai]...), nil)
+				}
+			}
+		}
+	}
+}
+
+// FuzzVMEquivalence fuzzes the engine pair: the program shape comes from the
+// generator seed, the input from the fuzzed argument vector, and the step
+// limit (when tight) forces mid-group limit expiry.
+func FuzzVMEquivalence(f *testing.F) {
+	f.Add(int64(0), true, uint16(0), uint64(0), uint64(1), uint64(0xffff_ffff), uint64(0x8000_0000_0000_0000))
+	f.Add(int64(3), false, uint16(17), uint64(7), uint64(0x7f), uint64(0x100000000), uint64(42))
+	f.Add(int64(11), true, uint16(5), uint64(0xffffffffffffffff), uint64(0), uint64(0x8000), uint64(0x7fffffff))
+	f.Fuzz(func(t *testing.T, seed int64, useMaps bool, stepLimit uint16, a0, a1, a2, a3 uint64) {
+		mod := Generate(seed%512, GenOptions{UseMaps: useMaps})
+		res, err := core.Build(mod, mod.Funcs[0].Name, core.Options{
+			Hook: ebpf.HookTracepoint, MCPU: 2, KernelALU32: true,
+		})
+		if err != nil {
+			t.Skip() // generator emitted something the pipeline rejects
+		}
+		cfg := vm.Config{Seed: 13, UseHW: seed%2 == 0, StepLimit: int(stepLimit)}
+		p := newEnginePair(t, res.Prog, cfg)
+		ctx := vm.TracepointContext(a0, a1, a2, a3, a0^a3, a1+a2, a2>>1, ^a0)
+		p.runBoth(t, "fuzz", ctx, nil)
+		// Second run on the same pair: warm maps, advanced helper state.
+		p.runBoth(t, "fuzz-rerun", ctx, nil)
+	})
+}

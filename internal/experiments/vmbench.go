@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"merlin/internal/core"
+	"merlin/internal/corpus"
+	"merlin/internal/netbench"
+)
+
+// This experiment measures the host-side execution engine itself: how fast
+// the testbed serves traffic through a program, in wall-clock ns/packet,
+// under three serving loops over the XDP corpus.
+//
+//	seed    the pre-engine merlin-bench loop: reference switch interpreter,
+//	        a context allocated per packet, cache and branch models charged.
+//	single  the reference interpreter in deployment configuration (no
+//	        hardware models) — isolates the engine+batch win from the
+//	        modelling cost.
+//	batch   the pre-decoded direct-threaded engine via RunBatch with reused
+//	        context buffers — the serving path lifecycle.ServeBatch uses.
+//
+// The differential rig in internal/difftest proves the three loops compute
+// identical results; this experiment prices them.
+
+// VMBenchRow is one XDP program's measurement.
+type VMBenchRow struct {
+	Program  string  `json:"program"`
+	NI       int     `json:"ni"`
+	SeedNs   float64 `json:"seed_ns_per_pkt"`
+	SingleNs float64 `json:"single_ns_per_pkt"`
+	BatchNs  float64 `json:"batch_ns_per_pkt"`
+}
+
+// SeedSpeedup is the per-program seed-loop/batch-loop throughput ratio.
+func (r VMBenchRow) SeedSpeedup() float64 { return r.SeedNs / r.BatchNs }
+
+// SingleSpeedup is the per-program single-loop/batch-loop ratio.
+func (r VMBenchRow) SingleSpeedup() float64 { return r.SingleNs / r.BatchNs }
+
+// VMBenchResult aggregates the corpus sweep. The aggregate ns figures are
+// equal-packets sums: the cost of pushing one packet through every program
+// in the corpus (one corpus pass), weighting each program equally rather
+// than by how many packets its measurement window happened to fit.
+type VMBenchResult struct {
+	Rows      []VMBenchRow `json:"rows"`
+	BatchSize int          `json:"batch_size"`
+	SeedNs    float64      `json:"seed_ns_per_pass"`
+	SingleNs  float64      `json:"single_ns_per_pass"`
+	BatchNs   float64      `json:"batch_ns_per_pass"`
+}
+
+// SeedSpeedup is the corpus-aggregate seed/batch throughput ratio — the
+// headline before/after number and the CI gate's subject.
+func (res *VMBenchResult) SeedSpeedup() float64 { return res.SeedNs / res.BatchNs }
+
+// SingleSpeedup is the corpus-aggregate single/batch ratio.
+func (res *VMBenchResult) SingleSpeedup() float64 { return res.SingleNs / res.BatchNs }
+
+// VMBench sweeps the XDP corpus (always in full — the suite is small enough
+// that sampling would only add noise to the gate) with minDur of measurement
+// per serving loop per program.
+func VMBench(batchSize int, minDur time.Duration) (*VMBenchResult, error) {
+	if minDur <= 0 {
+		minDur = 30 * time.Millisecond
+	}
+	tr := netbench.NewTrace(256, 42)
+	res := &VMBenchResult{BatchSize: batchSize}
+	for _, spec := range corpus.XDP() {
+		built, err := core.Build(spec.Mod, spec.Func, core.Options{
+			Hook: spec.Hook, MCPU: spec.MCPU, KernelALU32: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("vmbench: %s: build: %w", spec.Name, err)
+		}
+		sd, err := netbench.MeasureHostSingleModelled(built.Prog, tr, minDur)
+		if err != nil {
+			return nil, fmt.Errorf("vmbench: %s: seed loop: %w", spec.Name, err)
+		}
+		sg, err := netbench.MeasureHostSingle(built.Prog, tr, minDur)
+		if err != nil {
+			return nil, fmt.Errorf("vmbench: %s: single loop: %w", spec.Name, err)
+		}
+		bt, err := netbench.MeasureHostBatch(built.Prog, tr, batchSize, minDur)
+		if err != nil {
+			return nil, fmt.Errorf("vmbench: %s: batch loop: %w", spec.Name, err)
+		}
+		if bt.Engine != "fast" {
+			return nil, fmt.Errorf("vmbench: %s: batch loop ran on %q engine (did not pre-decode)",
+				spec.Name, bt.Engine)
+		}
+		row := VMBenchRow{
+			Program: spec.Name, NI: built.Prog.NI(),
+			SeedNs: sd.NsPerPacket, SingleNs: sg.NsPerPacket, BatchNs: bt.NsPerPacket,
+		}
+		res.Rows = append(res.Rows, row)
+		res.SeedNs += row.SeedNs
+		res.SingleNs += row.SingleNs
+		res.BatchNs += row.BatchNs
+	}
+	return res, nil
+}
+
+// vmBenchRun is one bench_vm.json trajectory entry.
+type vmBenchRun struct {
+	Time          string  `json:"time"`
+	BatchSize     int     `json:"batch_size"`
+	SeedNs        float64 `json:"seed_ns_per_pass"`
+	SingleNs      float64 `json:"single_ns_per_pass"`
+	BatchNs       float64 `json:"batch_ns_per_pass"`
+	SeedSpeedup   float64 `json:"seed_speedup"`
+	SingleSpeedup float64 `json:"single_speedup"`
+
+	Rows []VMBenchRow `json:"rows"`
+}
+
+// AppendVMBenchJSON appends this run to the trajectory artifact at path (a
+// JSON array of runs, created if missing), so successive CI runs accumulate
+// a throughput history instead of overwriting a single sample.
+func AppendVMBenchJSON(path string, res *VMBenchResult) error {
+	var runs []vmBenchRun
+	if raw, err := os.ReadFile(path); err == nil {
+		// A corrupt or foreign file starts a fresh trajectory rather than
+		// failing the gate.
+		_ = json.Unmarshal(raw, &runs)
+	}
+	runs = append(runs, vmBenchRun{
+		Time:          time.Now().UTC().Format(time.RFC3339),
+		BatchSize:     res.BatchSize,
+		SeedNs:        res.SeedNs,
+		SingleNs:      res.SingleNs,
+		BatchNs:       res.BatchNs,
+		SeedSpeedup:   res.SeedSpeedup(),
+		SingleSpeedup: res.SingleSpeedup(),
+		Rows:          res.Rows,
+	})
+	raw, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

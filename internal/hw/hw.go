@@ -12,9 +12,12 @@ type Cache struct {
 	sets      int
 	ways      int
 	lineShift uint
-	tags      [][]uint64
-	age       [][]uint64
-	tick      uint64
+	// tags/age are flat set-major arrays (sets*ways entries); flat layout
+	// keeps Access to one cache line per set probe instead of chasing a
+	// slice header per set.
+	tags []uint64
+	age  []uint64
+	tick uint64
 
 	Refs   uint64 // total accesses
 	Misses uint64
@@ -28,12 +31,8 @@ func NewCache(sets, ways, lineBytes int) *Cache {
 		shift++
 	}
 	c := &Cache{sets: sets, ways: ways, lineShift: shift}
-	c.tags = make([][]uint64, sets)
-	c.age = make([][]uint64, sets)
-	for i := range c.tags {
-		c.tags[i] = make([]uint64, ways)
-		c.age[i] = make([]uint64, ways)
-	}
+	c.tags = make([]uint64, sets*ways)
+	c.age = make([]uint64, sets*ways)
 	return c
 }
 
@@ -49,29 +48,30 @@ func (c *Cache) Access(addr uint64) bool {
 	line := addr >> c.lineShift
 	set := int(line) & (c.sets - 1)
 	tag := line | 1 // bias so the zero tag never matches an empty way
+	base := set * c.ways
+	tags := c.tags[base : base+c.ways]
+	age := c.age[base : base+c.ways]
 	oldest, oldestAge := 0, ^uint64(0)
-	for w := 0; w < c.ways; w++ {
-		if c.tags[set][w] == tag {
-			c.age[set][w] = c.tick
+	for w := range tags {
+		if tags[w] == tag {
+			age[w] = c.tick
 			return true
 		}
-		if c.age[set][w] < oldestAge {
-			oldest, oldestAge = w, c.age[set][w]
+		if age[w] < oldestAge {
+			oldest, oldestAge = w, age[w]
 		}
 	}
 	c.Misses++
-	c.tags[set][oldest] = tag
-	c.age[set][oldest] = c.tick
+	tags[oldest] = tag
+	age[oldest] = c.tick
 	return false
 }
 
 // Reset clears contents and counters.
 func (c *Cache) Reset() {
 	for i := range c.tags {
-		for j := range c.tags[i] {
-			c.tags[i][j] = 0
-			c.age[i][j] = 0
-		}
+		c.tags[i] = 0
+		c.age[i] = 0
 	}
 	c.tick, c.Refs, c.Misses = 0, 0, 0
 }

@@ -1,0 +1,230 @@
+package lifecycle
+
+import (
+	"testing"
+
+	"merlin/internal/ebpf"
+	"merlin/internal/vm"
+)
+
+// ServeBatch must be observationally identical to the same packets pushed
+// through Serve one at a time: per-packet verdicts, stats and faults, the
+// served/mirrored counters, the event stream, helper state, and the caller's
+// buffers after the run. These tests drive both entry points on twin
+// managers over every interesting slot shape — clean steady state, helper
+// nondeterminism, mid-batch degradation to a fallback, unrecoverable
+// faults, and a candidate being mirrored — and diff everything.
+
+// prandVerdictProg returns a per-packet varying verdict (prandom & 1) + 2,
+// so helper-stream carryover across a batch is observable in the results.
+func prandVerdictProg() *ebpf.Program {
+	return &ebpf.Program{Name: "prand", Hook: ebpf.HookXDP, Insns: []ebpf.Instruction{
+		ebpf.Call(7), // get_prandom_u32
+		ebpf.ALU64Imm(ebpf.ALUAnd, ebpf.R0, 1),
+		ebpf.ALU64Imm(ebpf.ALUAdd, ebpf.R0, 2),
+		ebpf.Exit(),
+	}}
+}
+
+// cloneTraffic deep-copies a packet list and builds matching XDP contexts,
+// so each manager mutates its own buffers.
+func cloneTraffic(pkts [][]byte) (ctxs, out [][]byte) {
+	ctxs = make([][]byte, len(pkts))
+	out = make([][]byte, len(pkts))
+	for i, p := range pkts {
+		out[i] = append([]byte(nil), p...)
+		ctxs[i] = vm.BuildXDPContext(len(p))
+	}
+	return ctxs, out
+}
+
+// runBatchVsSequential deploys identical state into twin managers, pushes
+// pkts through Serve on one and a single ServeBatch on the other, and
+// asserts every observable output matches.
+func runBatchVsSequential(t *testing.T, cfg Config, deploy func(*Manager)) {
+	t.Helper()
+	// Packet 3 carries the poison byte (0x55); the rest are clean and
+	// pairwise distinct so buffer restoration mix-ups would be visible.
+	var pkts [][]byte
+	for i := 0; i < 8; i++ {
+		_, pkt := packet(byte(i))
+		if i == 3 {
+			pkt[0] = 0x55
+		}
+		pkts = append(pkts, pkt)
+	}
+
+	seq := NewManager(cfg)
+	bat := NewManager(cfg)
+	deploy(seq)
+	deploy(bat)
+
+	ctxS, pktS := cloneTraffic(pkts)
+	ctxB, pktB := cloneTraffic(pkts)
+
+	type result struct {
+		rv  int64
+		st  vm.Stats
+		err error
+	}
+	want := make([]result, len(pkts))
+	wantFaults := 0
+	for i := range pkts {
+		want[i].rv, want[i].st, want[i].err = seq.Serve("s", ctxS[i], pktS[i])
+		if want[i].err != nil {
+			wantFaults++
+		}
+	}
+
+	var out vm.Batch
+	faults, err := bat.ServeBatch("s", ctxB, pktB, &out)
+	if err != nil {
+		t.Fatalf("ServeBatch: %v", err)
+	}
+	if faults != wantFaults {
+		t.Errorf("faults = %d, want %d", faults, wantFaults)
+	}
+	for i := range pkts {
+		if out.RV[i] != want[i].rv {
+			t.Errorf("pkt %d: rv %d (batch) vs %d (sequential)", i, out.RV[i], want[i].rv)
+		}
+		if out.Stats[i] != want[i].st {
+			t.Errorf("pkt %d: stats diverged\nbatch %+v\nseq   %+v", i, out.Stats[i], want[i].st)
+		}
+		be, se := out.Errs[i], want[i].err
+		if (be == nil) != (se == nil) || (be != nil && be.Error() != se.Error()) {
+			t.Errorf("pkt %d: err %v (batch) vs %v (sequential)", i, be, se)
+		}
+		if string(ctxB[i]) != string(ctxS[i]) || string(pktB[i]) != string(pktS[i]) {
+			t.Errorf("pkt %d: post-run buffers diverged", i)
+		}
+	}
+
+	ss, bs := seq.slots["s"], bat.slots["s"]
+	if bs.served != ss.served {
+		t.Errorf("served = %d, want %d", bs.served, ss.served)
+	}
+	if bs.mirrored != ss.mirrored {
+		t.Errorf("mirrored = %d, want %d", bs.mirrored, ss.mirrored)
+	}
+	if bs.canaryRouted != ss.canaryRouted {
+		t.Errorf("canaryRouted = %d, want %d", bs.canaryRouted, ss.canaryRouted)
+	}
+	se, be := seq.Events("s"), bat.Events("s")
+	if len(se) != len(be) {
+		t.Fatalf("event streams diverged:\nbatch %v\nseq   %v", eventKinds(be), eventKinds(se))
+	}
+	for i := range se {
+		if se[i] != be[i] {
+			t.Errorf("event %d diverged:\nbatch %+v\nseq   %+v", i, be[i], se[i])
+		}
+	}
+	srng, sk := ss.live.machine.HelperState()
+	brng, bk := bs.live.machine.HelperState()
+	if srng != brng || sk != bk {
+		t.Errorf("live helper state diverged: rng %#x/%#x ktime %d/%d", brng, srng, bk, sk)
+	}
+}
+
+func TestServeBatchMatchesSequentialClean(t *testing.T) {
+	runBatchVsSequential(t, Config{}, func(m *Manager) {
+		if err := m.Deploy("s", progSource(goodProg(), goodProg())); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestServeBatchMatchesSequentialHelperState(t *testing.T) {
+	// The prandom verdict chains packet-to-packet through the live machine's
+	// helper state, so any reordering or duplicated run inside the batch
+	// path shows up as a wrong verdict.
+	runBatchVsSequential(t, Config{}, func(m *Manager) {
+		if err := m.Deploy("s", progSource(prandVerdictProg(), nil)); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestServeBatchMidBatchDegradeToBaseline(t *testing.T) {
+	// Packet 3 faults the poison incumbent mid-batch; the slot must degrade
+	// to the baseline, answer packet 3 from it, and replay the batch tail
+	// against it — identically to the sequential path.
+	runBatchVsSequential(t, Config{}, func(m *Manager) {
+		if err := m.Deploy("s", progSource(poisonProg(), goodProg())); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestServeBatchMidBatchDegradeToLastGood(t *testing.T) {
+	runBatchVsSequential(t, Config{}, func(m *Manager) {
+		if err := m.Deploy("s", progSource(goodProg(), nil)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Deploy("s", progSource(poisonProg(), nil)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Promote("s", true); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestServeBatchNoFallback(t *testing.T) {
+	// Every packet faults and there is nothing to degrade to: the batch
+	// reports every fault, the live program stays, and the event ledger
+	// matches the sequential one.
+	runBatchVsSequential(t, Config{}, func(m *Manager) {
+		if err := m.Deploy("s", progSource(faultingProg(), nil)); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestServeBatchMirrorsCandidate(t *testing.T) {
+	// A candidate in shadow forces the per-packet path; mirroring, stage
+	// advancement and gating must be indistinguishable from Serve.
+	runBatchVsSequential(t, Config{ShadowRuns: 3, CanaryRuns: 3}, func(m *Manager) {
+		if err := m.Deploy("s", progSource(goodProg(), nil)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Deploy("s", progSource(slowProg(4), nil)); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestServeBatchUnknownSlot(t *testing.T) {
+	m := NewManager(Config{})
+	var out vm.Batch
+	if _, err := m.ServeBatch("nope", nil, nil, &out); err == nil {
+		t.Fatal("expected unknown-slot error")
+	}
+}
+
+// TestServeBatchSteadyStateAllocs pins the steady-state batch serve path to
+// zero per-packet heap allocations once the slot's scratch buffers are warm.
+func TestServeBatchSteadyStateAllocs(t *testing.T) {
+	m := NewManager(Config{})
+	if err := m.Deploy("s", progSource(goodProg(), goodProg())); err != nil {
+		t.Fatal(err)
+	}
+	var pkts [][]byte
+	for i := 0; i < 32; i++ {
+		_, pkt := packet(byte(i))
+		pkts = append(pkts, pkt)
+	}
+	ctxs, pkts := cloneTraffic(pkts)
+	var out vm.Batch
+	if _, err := m.ServeBatch("s", ctxs, pkts, &out); err != nil {
+		t.Fatal(err) // warm the scratch buffers
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if _, err := m.ServeBatch("s", ctxs, pkts, &out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state ServeBatch allocates: %.1f allocs/batch", avg)
+	}
+}

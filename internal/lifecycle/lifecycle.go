@@ -196,8 +196,12 @@ type slot struct {
 
 	// mctx / mpkt are the slot's scratch buffers for mirrored packets and
 	// fallback replay: one allocation amortized over the slot's lifetime
-	// instead of two fresh copies per served packet.
+	// instead of two fresh copies per served packet. bctx / bpkt are their
+	// batch-serving counterparts: pristine per-packet copies taken before a
+	// ServeBatch run so a mid-batch incumbent fault can replay the batch
+	// tail against the fallback.
 	mctx, mpkt []byte
+	bctx, bpkt [][]byte
 
 	// met holds the slot's registry handles (nil when metrics are off);
 	// metricsSeq is the drain watermark — the highest event Seq already
@@ -343,9 +347,9 @@ func (m *Manager) newDeployment(prog *ebpf.Program, gen int) (*deployment, error
 func (m *Manager) Serve(name string, ctx, pkt []byte) (int64, vm.Stats, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	s := m.slots[name]
-	if s == nil {
-		return 0, vm.Stats{}, fmt.Errorf("lifecycle: unknown slot %q", name)
+	s, err := m.serveSlotLocked(name)
+	if err != nil {
+		return 0, vm.Stats{}, err
 	}
 	// Journal any transition this packet triggers (stage advance,
 	// quarantine, divergence rejection, degradation) — transitions are rare,
@@ -356,11 +360,28 @@ func (m *Manager) Serve(name string, ctx, pkt []byte) (int64, vm.Stats, error) {
 			m.journalSlotLocked(s, true)
 		}
 	}()
+	return m.servePacketLocked(s, ctx, pkt)
+}
+
+// serveSlotLocked resolves the slot for a serve call and runs the
+// per-call prologue shared by Serve and ServeBatch: quarantine retry and
+// the nothing-deployed check.
+func (m *Manager) serveSlotLocked(name string) (*slot, error) {
+	s := m.slots[name]
+	if s == nil {
+		return nil, fmt.Errorf("lifecycle: unknown slot %q", name)
+	}
 	m.retryLocked(s)
 	if s.live == nil {
-		return 0, vm.Stats{}, fmt.Errorf("lifecycle: slot %q has nothing deployed", name)
+		return nil, fmt.Errorf("lifecycle: slot %q has nothing deployed", name)
 	}
+	return s, nil
+}
 
+// servePacketLocked is the per-packet serve core: one incumbent run plus
+// mirroring, gating and degradation. Serve calls it once; ServeBatch calls
+// it for every packet whenever batch semantics need the sequential path.
+func (m *Manager) servePacketLocked(s *slot, ctx, pkt []byte) (int64, vm.Stats, error) {
 	if s.cand != nil && s.cand.stage == StageStaged {
 		s.cand.stage = StageShadow
 		m.eventLocked(s, Event{Kind: EventStageAdvance, Stage: StageShadow,
@@ -431,6 +452,162 @@ func (m *Manager) Serve(name string, ctx, pkt []byte) (int64, vm.Stats, error) {
 		}
 	}
 	return rv, st, nil
+}
+
+// ServeBatch serves a batch of traffic through the slot under one lock
+// acquisition and — in the steady state, with no candidate being mirrored —
+// a single RunBatch call on the live machine, which is where the batch
+// engine's throughput win comes from. Results land in out, one slot per
+// packet; the returned count is the number of packets whose Errs slot is
+// non-nil after degradation handling (matching vm.RunBatch's convention).
+//
+// Semantics match len(ctxs) sequential Serve calls: a mid-batch incumbent
+// fault degrades the slot exactly as Serve would, the faulting packet is
+// answered by the fallback when one exists, and the batch tail is replayed
+// from pristine input copies against the new live program. When a candidate
+// is staged, shadowing or canarying, the batch transparently takes the
+// per-packet path so mirroring, gating and canary routing behave
+// identically to Serve.
+//
+// One deliberate seam: the batch runs ahead of fault detection, so when a
+// fault does degrade the slot, the packets after it have already run once
+// on the now-discarded incumbent. That machine is unreachable after the
+// swap — its maps, caches and helper state go with it — but a vm-level
+// Metrics sink shared across deployments will have counted the speculative
+// runs.
+func (m *Manager) ServeBatch(name string, ctxs, pkts [][]byte, out *vm.Batch) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, err := m.serveSlotLocked(name)
+	if err != nil {
+		return 0, err
+	}
+	seqBefore := s.seq
+	defer func() {
+		if s.seq != seqBefore {
+			m.journalSlotLocked(s, true)
+		}
+	}()
+
+	n := len(ctxs)
+	// A candidate in flight means every packet interleaves an incumbent run
+	// with a mirrored candidate run and the routing/gating decisions between
+	// them: take the sequential path.
+	if s.cand != nil {
+		out.Reset(n)
+		faults := 0
+		for i := 0; i < n; i++ {
+			out.RV[i], out.Stats[i], out.Errs[i] = m.servePacketLocked(s, ctxs[i], pktAt(pkts, i))
+			if out.Errs[i] != nil {
+				faults++
+			}
+		}
+		return faults, nil
+	}
+
+	// Pristine copies for fallback replay; outer and inner buffers are
+	// reused across batches, so the steady state allocates nothing.
+	hasFB := s.lastGood != nil || s.baseline != nil
+	if hasFB {
+		s.bctx = copyBatchInto(s.bctx, ctxs, n)
+		s.bpkt = copyBatchInto(s.bpkt, pkts, n)
+	}
+
+	s.live.machine.RunBatch(ctxs, pkts, out)
+
+	// Find the first packet that would have tripped Serve's watchdog.
+	bad := -1
+	for i := 0; i < n; i++ {
+		if out.Errs[i] != nil || m.overBudget(out.Stats[i]) {
+			bad = i
+			break
+		}
+	}
+	if bad < 0 {
+		s.served += uint64(n)
+		s.met.servedAdd(uint64(n))
+		return 0, nil
+	}
+
+	// The packets before the fault served normally.
+	s.served += uint64(bad)
+	s.met.servedAdd(uint64(bad))
+
+	faults := 0
+	liveBefore := s.live
+	var fctx, fpkt []byte
+	if hasFB {
+		fctx, fpkt = s.bctx[bad], s.bpkt[bad]
+	}
+	out.RV[bad], out.Stats[bad], out.Errs[bad] =
+		m.degradeLocked(s, fctx, fpkt, out.Errs[bad], out.Stats[bad])
+	if out.Errs[bad] != nil {
+		faults++
+	}
+
+	if s.live != liveBefore {
+		// The slot degraded: the batch tail already ran on the discarded
+		// incumbent and mutated the caller's buffers. Restore them from the
+		// pristine copies and replay each packet against the new live
+		// program — a further fault degrades again, exactly as Serve would.
+		for i := bad + 1; i < n; i++ {
+			copy(ctxs[i], s.bctx[i])
+			var pkt []byte
+			if i < len(pkts) {
+				copy(pkts[i], s.bpkt[i])
+				pkt = pkts[i]
+			}
+			out.RV[i], out.Stats[i], out.Errs[i] = m.servePacketLocked(s, ctxs[i], pkt)
+			if out.Errs[i] != nil {
+				faults++
+			}
+		}
+		return faults, nil
+	}
+
+	// No usable fallback, so the live program is unchanged and the batch
+	// results for the tail stand — they are exactly what sequential serves
+	// would have produced. Route the remaining bad packets through the same
+	// bookkeeping Serve applies (events only; degradeLocked cannot find a
+	// fallback it just failed to find, and mutates nothing when it doesn't).
+	for i := bad + 1; i < n; i++ {
+		if out.Errs[i] != nil || m.overBudget(out.Stats[i]) {
+			out.RV[i], out.Stats[i], out.Errs[i] =
+				m.degradeLocked(s, nil, nil, out.Errs[i], out.Stats[i])
+			if out.Errs[i] != nil {
+				faults++
+			}
+			continue
+		}
+		s.served++
+		s.met.servedInc()
+	}
+	return faults, nil
+}
+
+// pktAt indexes a packet list that may be shorter than the context list
+// (tracepoint batches pass nil packets).
+func pktAt(pkts [][]byte, i int) []byte {
+	if i < len(pkts) {
+		return pkts[i]
+	}
+	return nil
+}
+
+// copyBatchInto refreshes dst as pristine copies of the first n entries of
+// src (missing entries become empty), reusing outer and inner buffers.
+func copyBatchInto(dst, src [][]byte, n int) [][]byte {
+	for len(dst) < n {
+		dst = append(dst, nil)
+	}
+	for i := 0; i < n; i++ {
+		var b []byte
+		if i < len(src) {
+			b = src[i]
+		}
+		dst[i] = append(dst[i][:0], b...)
+	}
+	return dst
 }
 
 // routeHash maps a packet deterministically to [0, 1) via FNV-1a over the

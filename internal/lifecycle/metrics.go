@@ -75,6 +75,13 @@ func (sm *slotMetrics) servedInc() {
 	}
 }
 
+// servedAdd counts a whole clean batch in one registry update.
+func (sm *slotMetrics) servedAdd(n uint64) {
+	if sm != nil && n > 0 {
+		sm.served.Add(n)
+	}
+}
+
 func (sm *slotMetrics) mirroredInc() {
 	if sm != nil {
 		sm.mirrored.Inc()

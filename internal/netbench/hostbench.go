@@ -1,0 +1,150 @@
+package netbench
+
+import (
+	"fmt"
+	"time"
+
+	"merlin/internal/ebpf"
+	"merlin/internal/vm"
+)
+
+// This file measures host-side interpreter speed — the wall-clock cost of
+// executing the XDP program on the machine running the testbed — as opposed
+// to Profile's modelled DUT cycles. It is the measurement behind the
+// pre-decoded engine's throughput gate: the batch serving path (RunBatch on
+// the pre-decoded engine, context buffers reused) against the seed serving
+// path (a context allocated per packet, fed to Run on the reference switch
+// interpreter).
+
+// DefaultBatchSize is the packets-per-RunBatch call used by batch serving.
+const DefaultBatchSize = 64
+
+// HostProfile reports wall-clock execution speed of a program over a trace.
+type HostProfile struct {
+	Mode        string // "single" (seed path) or "batch"
+	Engine      string // vm engine that executed ("ref" or "fast")
+	Packets     int
+	Elapsed     time.Duration
+	NsPerPacket float64
+}
+
+// HostMpps is the measured host throughput in millions of packets/second.
+func (p *HostProfile) HostMpps() float64 {
+	if p.NsPerPacket == 0 {
+		return 0
+	}
+	return 1e3 / p.NsPerPacket
+}
+
+// MeasureHostSingle replays the single-packet serving loop for at least
+// minDur: every packet gets a freshly allocated XDP context and one Run
+// call on the reference switch interpreter, in the deployment (no hardware
+// models) configuration. This isolates the engine+batch win against the
+// seed interpreter on equal footing.
+func MeasureHostSingle(prog *ebpf.Program, tr *Trace, minDur time.Duration) (*HostProfile, error) {
+	return measureHostSingle(prog, tr, minDur, "single", vm.Config{Seed: 1234})
+}
+
+// MeasureHostSingleModelled replays the seed merlin-bench serving loop
+// exactly as ProfileProgram ran it before batch serving existed: reference
+// interpreter, per-packet context allocation, cache and branch-predictor
+// models charged on every access. This is the "before" of the end-to-end
+// before/after comparison.
+func MeasureHostSingleModelled(prog *ebpf.Program, tr *Trace, minDur time.Duration) (*HostProfile, error) {
+	return measureHostSingle(prog, tr, minDur, "seed", vm.Config{Seed: 1234, UseHW: true})
+}
+
+func measureHostSingle(prog *ebpf.Program, tr *Trace, minDur time.Duration, mode string, cfg vm.Config) (*HostProfile, error) {
+	m, err := vm.NewRef(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Warm-up (map state, branch history in the program's own tables).
+	for _, pkt := range tr.Packets[:len(tr.Packets)/4+1] {
+		if _, _, err := m.Run(vm.BuildXDPContext(len(pkt)), pkt); err != nil {
+			return nil, fmt.Errorf("netbench: host single warmup: %w", err)
+		}
+	}
+	packets := 0
+	start := time.Now()
+	var elapsed time.Duration
+	for {
+		for _, pkt := range tr.Packets {
+			ctx := vm.BuildXDPContext(len(pkt))
+			if _, _, err := m.Run(ctx, pkt); err != nil {
+				return nil, fmt.Errorf("netbench: host single: %w", err)
+			}
+		}
+		packets += len(tr.Packets)
+		if elapsed = time.Since(start); elapsed >= minDur {
+			break
+		}
+	}
+	return &HostProfile{
+		Mode:        mode,
+		Engine:      m.Engine(),
+		Packets:     packets,
+		Elapsed:     elapsed,
+		NsPerPacket: float64(elapsed.Nanoseconds()) / float64(packets),
+	}, nil
+}
+
+// MeasureHostBatch serves the trace through RunBatch on the pre-decoded
+// engine for at least minDur, batchSize packets per call, refreshing the
+// reused context buffers in place between batches.
+func MeasureHostBatch(prog *ebpf.Program, tr *Trace, batchSize int, minDur time.Duration) (*HostProfile, error) {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	m, err := vm.New(prog, vm.Config{Seed: 1234})
+	if err != nil {
+		return nil, err
+	}
+	for _, pkt := range tr.Packets[:len(tr.Packets)/4+1] {
+		if _, _, err := m.Run(vm.BuildXDPContext(len(pkt)), pkt); err != nil {
+			return nil, fmt.Errorf("netbench: host batch warmup: %w", err)
+		}
+	}
+	ctxs := make([][]byte, batchSize)
+	pkts := make([][]byte, batchSize)
+	var out vm.Batch
+	packets := 0
+	start := time.Now()
+	var elapsed time.Duration
+	for {
+		for base := 0; base < len(tr.Packets); base += batchSize {
+			n := len(tr.Packets) - base
+			if n > batchSize {
+				n = batchSize
+			}
+			for i := 0; i < n; i++ {
+				pkts[i] = tr.Packets[base+i]
+				ctxs[i] = vm.BuildXDPContextInto(ctxs[i], len(pkts[i]))
+			}
+			if faults := m.RunBatch(ctxs[:n], pkts[:n], &out); faults != 0 {
+				return nil, fmt.Errorf("netbench: host batch: %d packets faulted: %v",
+					faults, firstBatchErr(out.Errs))
+			}
+			packets += n
+		}
+		if elapsed = time.Since(start); elapsed >= minDur {
+			break
+		}
+	}
+	return &HostProfile{
+		Mode:        "batch",
+		Engine:      m.Engine(),
+		Packets:     packets,
+		Elapsed:     elapsed,
+		NsPerPacket: float64(elapsed.Nanoseconds()) / float64(packets),
+	}, nil
+}
+
+func firstBatchErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

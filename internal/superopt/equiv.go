@@ -43,6 +43,13 @@ func proveEquivalent(orig, cand []ebpf.Instruction, liveIn, liveOut []ebpf.Regis
 // harnessMachine builds a vm over: load live-ins from ctx (r1 last, since it
 // holds the context pointer), run body, return register out.
 func harnessMachine(body []ebpf.Instruction, liveIn []ebpf.Register, out ebpf.Register, seed int64) (*vm.Machine, error) {
+	return vm.New(harnessProgram(body, liveIn, out), vm.Config{Seed: uint64(seed)})
+}
+
+// harnessProgram is the proof harness bytecode shared by the fast-engine
+// proof above and the engine-parity regression test, which replays it on
+// the reference interpreter.
+func harnessProgram(body []ebpf.Instruction, liveIn []ebpf.Register, out ebpf.Register) *ebpf.Program {
 	insns := make([]ebpf.Instruction, 0, len(liveIn)+len(body)+2)
 	for i, r := range liveIn {
 		if r == ebpf.R1 {
@@ -60,6 +67,5 @@ func harnessMachine(body []ebpf.Instruction, liveIn []ebpf.Register, out ebpf.Re
 		insns = append(insns, ebpf.Mov64Reg(ebpf.R0, out))
 	}
 	insns = append(insns, ebpf.Exit())
-	prog := &ebpf.Program{Name: "superopt-harness", Hook: ebpf.HookTracepoint, MCPU: 3, Insns: insns}
-	return vm.New(prog, vm.Config{Seed: uint64(seed)})
+	return &ebpf.Program{Name: "superopt-harness", Hook: ebpf.HookTracepoint, MCPU: 3, Insns: insns}
 }

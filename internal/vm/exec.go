@@ -17,6 +17,21 @@ func BuildXDPContext(pktLen int) []byte {
 	return ctx
 }
 
+// BuildXDPContextInto writes the xdp_md-style context into buf, reusing its
+// backing storage when it is large enough. Batch serving loops use it to
+// refresh per-packet contexts without allocating: programs may rewrite their
+// context in place, so every packet needs a pristine one, but not a fresh
+// allocation.
+func BuildXDPContextInto(buf []byte, pktLen int) []byte {
+	if cap(buf) < 16 {
+		return BuildXDPContext(pktLen)
+	}
+	ctx := buf[:16]
+	binary.LittleEndian.PutUint64(ctx[0:], pktBase)
+	binary.LittleEndian.PutUint64(ctx[8:], pktBase+uint64(pktLen))
+	return ctx
+}
+
 // TracepointContext builds a raw-args context: each argument occupies eight
 // bytes. Pointer arguments into the machine's Kmem should be passed as
 // KmemAddr offsets.
@@ -41,8 +56,23 @@ func (m *Machine) Run(ctx, pkt []byte) (int64, Stats, error) {
 	return rv, st, err
 }
 
+// run dispatches to the pre-decoded engine (decode.go) when the program
+// compiled, else to the reference switch interpreter below. RefMachine pins
+// m.code to nil so this always takes the reference path.
 func (m *Machine) run(ctx, pkt []byte) (int64, Stats, error) {
-	var regs [ebpf.NumRegisters]uint64
+	if m.code != nil {
+		rv, err := m.runFast(ctx, pkt, &m.fr.st)
+		return rv, m.fr.st, err
+	}
+	return m.runRef(ctx, pkt)
+}
+
+// runRef is the original switch interpreter — the VM's reference semantics
+// and the oracle for internal/difftest's cross-engine equivalence rig. Any
+// behavior change here must be mirrored in decode.go (the rig will catch a
+// divergence, but keep them in lockstep deliberately, not by test failure).
+func (m *Machine) runRef(ctx, pkt []byte) (int64, Stats, error) {
+	var regs [regSlots]uint64
 	regs[1] = ctxBase
 	regs[10] = stackBase
 	var st Stats
@@ -219,7 +249,7 @@ func storeBytes(b []byte, size int, v uint64) {
 	}
 }
 
-func execALU(regs *[ebpf.NumRegisters]uint64, ins ebpf.Instruction, is32 bool, m *Machine) error {
+func execALU(regs *[regSlots]uint64, ins ebpf.Instruction, is32 bool, m *Machine) error {
 	dst := ins.Dst
 	var src uint64
 	if ins.SourceField() == ebpf.SourceX {
@@ -308,7 +338,7 @@ func bswapBits(v uint64, bits int32) uint64 {
 	}
 }
 
-func evalJump(ins ebpf.Instruction, regs [ebpf.NumRegisters]uint64) bool {
+func evalJump(ins ebpf.Instruction, regs [regSlots]uint64) bool {
 	a := regs[ins.Dst]
 	var b uint64
 	if ins.SourceField() == ebpf.SourceX {
@@ -351,140 +381,17 @@ func evalJump(ins ebpf.Instruction, regs [ebpf.NumRegisters]uint64) bool {
 	return false
 }
 
-// call dispatches a helper invocation.
-func (m *Machine) call(regs *[ebpf.NumRegisters]uint64, id int32, st *Stats, ctx, pkt []byte) error {
+// call dispatches a helper invocation. Bodies live in helpers_exec.go and
+// are shared with the pre-decoded engine, which binds them at load time.
+func (m *Machine) call(regs *[regSlots]uint64, id int32, st *Stats, ctx, pkt []byte) error {
 	spec, ok := helpers.Table[int(id)]
 	if !ok {
 		return fmt.Errorf("unknown helper %d", id)
 	}
 	st.Cycles += spec.Cost
-	r := func(i int) uint64 { return regs[i] }
-
-	mapArg := func(h uint64) (int, error) {
-		idx := int(h - mapHandle)
-		if h < mapHandle || idx >= len(m.maps) {
-			return 0, fmt.Errorf("%s: bad map handle %#x", spec.Name, h)
-		}
-		return idx, nil
-	}
-	readMem := func(addr uint64, n int) ([]byte, error) {
-		buf, off, err := m.region(addr, n, ctx, pkt)
-		if err != nil {
-			return nil, err
-		}
-		return buf[off : off+n], nil
-	}
-
-	switch int(id) {
-	case helpers.MapLookupElem:
-		idx, err := mapArg(r(1))
-		if err != nil {
-			return err
-		}
-		mp := m.maps[idx]
-		key, err := readMem(r(2), mp.Spec().KeySize)
-		if err != nil {
-			return err
-		}
-		off := mp.Lookup(key, m.cfg.CPU)
-		if off < 0 {
-			regs[0] = 0
-		} else {
-			regs[0] = mapValBase + uint64(idx)*mapValStep + uint64(off)
-		}
-	case helpers.MapUpdateElem:
-		idx, err := mapArg(r(1))
-		if err != nil {
-			return err
-		}
-		mp := m.maps[idx]
-		key, err := readMem(r(2), mp.Spec().KeySize)
-		if err != nil {
-			return err
-		}
-		val, err := readMem(r(3), mp.Spec().ValueSize)
-		if err != nil {
-			return err
-		}
-		if err := mp.Update(key, val, m.cfg.CPU); err != nil {
-			regs[0] = ^uint64(0) // -1
-		} else {
-			regs[0] = 0
-		}
-	case helpers.MapDeleteElem:
-		idx, err := mapArg(r(1))
-		if err != nil {
-			return err
-		}
-		mp := m.maps[idx]
-		key, err := readMem(r(2), mp.Spec().KeySize)
-		if err != nil {
-			return err
-		}
-		if err := mp.Delete(key); err != nil {
-			regs[0] = ^uint64(0)
-		} else {
-			regs[0] = 0
-		}
-	case helpers.ProbeRead:
-		n := int(r(2))
-		dst, err := readMem(r(1), n)
-		if err != nil {
-			return err
-		}
-		src, err := readMem(r(3), n)
-		if err != nil {
-			regs[0] = ^uint64(0)
-			return nil
-		}
-		copy(dst, src)
-		regs[0] = 0
-	case helpers.KtimeGetNS:
-		m.ktime += 137
-		regs[0] = m.ktime
-	case helpers.TracePrintk:
-		regs[0] = r(2)
-	case helpers.GetPrandomU32:
-		regs[0] = m.prandom() & 0xffffffff
-	case helpers.GetSmpProcessorID:
-		regs[0] = uint64(m.cfg.CPU)
-	case helpers.GetCurrentPidTgid:
-		regs[0] = (uint64(4242) << 32) | 4242
-	case helpers.GetCurrentComm:
-		n := int(r(2))
-		dst, err := readMem(r(1), n)
-		if err != nil {
-			return err
-		}
-		copy(dst, "comm")
-		regs[0] = 0
-	case helpers.Redirect:
-		regs[0] = uint64(ebpf.XDPRedirect)
-	case helpers.RedirectMap:
-		if _, err := mapArg(r(1)); err != nil {
-			return err
-		}
-		regs[0] = uint64(ebpf.XDPRedirect)
-	case helpers.PerfEventOutput:
-		idx, err := mapArg(r(2))
-		if err != nil {
-			return err
-		}
-		rb, ok := m.maps[idx].(interface{ Output([]byte) })
-		if !ok {
-			return fmt.Errorf("perf_event_output into non-ring map")
-		}
-		n := int(r(5))
-		data, err := readMem(r(4), n)
-		if err != nil {
-			return err
-		}
-		rb.Output(data)
-		regs[0] = 0
-	default:
+	body, ok := helperBodies[int(id)]
+	if !ok {
 		return fmt.Errorf("helper %s not implemented", spec.Name)
 	}
-	// Helpers clobber the caller-saved registers.
-	regs[1], regs[2], regs[3], regs[4], regs[5] = 0xdead1, 0xdead2, 0xdead3, 0xdead4, 0xdead5
-	return nil
+	return body(m, regs, ctx, pkt)
 }

@@ -1,0 +1,130 @@
+package vm
+
+import (
+	"fmt"
+	"testing"
+
+	"merlin/internal/ebpf"
+)
+
+// hash7Insns is the unrolled hash-mix round the fuser collapses into a
+// single kFHash7 dispatch: three setup moves, then the 7-op group at
+// pc 3..9 (mov;xor;mov;sub;mov;lsh;rsh), then exit at pc 10.
+func hash7Insns() []ebpf.Instruction {
+	return []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R1, 0x1234),
+		ebpf.Mov64Imm(ebpf.R2, 0x77),
+		ebpf.Mov64Imm(ebpf.R3, 5),
+		ebpf.Mov64Reg(ebpf.R0, ebpf.R1),
+		ebpf.ALU64Reg(ebpf.ALUXor, ebpf.R0, ebpf.R2),
+		ebpf.Mov64Reg(ebpf.R4, ebpf.R0),
+		ebpf.ALU64Reg(ebpf.ALUSub, ebpf.R4, ebpf.R3),
+		ebpf.Mov64Reg(ebpf.R5, ebpf.R4),
+		ebpf.ALU64Imm(ebpf.ALULsh, ebpf.R5, 7),
+		ebpf.ALU64Imm(ebpf.ALURsh, ebpf.R5, 3),
+		ebpf.Mov64Reg(ebpf.R0, ebpf.R5),
+		ebpf.Exit(),
+	}
+}
+
+// TestHash7GroupFuses pins the fuser's output shape: if the pattern matcher
+// drifts, the step-limit and interior-entry tests below would silently stop
+// exercising the superinstruction paths.
+func TestHash7GroupFuses(t *testing.T) {
+	prog := &ebpf.Program{Name: "hash7", Insns: hash7Insns()}
+	m, err := New(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.code[3].exec != kFHash7 {
+		t.Fatalf("pc 3: kind = %d, want kFHash7 (%d)", m.code[3].exec, kFHash7)
+	}
+	// Interior slots keep executable forms for mid-group entry.
+	if m.code[4].exec != kXorR || m.code[5].exec != kFMovSub || m.code[7].exec != kFMovLshRsh {
+		t.Fatalf("interior slots lost their forms: %d %d %d",
+			m.code[4].exec, m.code[5].exec, m.code[7].exec)
+	}
+}
+
+// TestStepLimitMidFusedGroup expires the step limit at every offset inside
+// the fused 7-op group (and at the exit just past it): both engines must
+// report the identical step-limit fault pc — the fast engine falls back to
+// the retained per-op slots when the group cannot complete.
+func TestStepLimitMidFusedGroup(t *testing.T) {
+	prog := &ebpf.Program{Name: "hash7-limit", Insns: hash7Insns()}
+	for limit := 4; limit <= 11; limit++ {
+		t.Run(fmt.Sprintf("limit-%d", limit), func(t *testing.T) {
+			type outcome struct {
+				re *RuntimeError
+				st Stats
+			}
+			got := map[string]outcome{}
+			bothEngines(t, prog, Config{StepLimit: limit}, func(name string, m *Machine) {
+				_, st, err := m.Run(nil, nil)
+				if err == nil {
+					t.Fatalf("%s: expected step-limit fault", name)
+				}
+				re, ok := AsRuntimeError(err)
+				if !ok {
+					t.Fatalf("%s: not a RuntimeError: %v", name, err)
+				}
+				got[name] = outcome{re, st}
+			})
+			for name, o := range got {
+				if o.re.Kind != FaultStepLimit {
+					t.Errorf("%s: kind = %s, want %s", name, o.re.Kind, FaultStepLimit)
+				}
+				// One instruction per step from pc 0, so the limit
+				// expires exactly at pc == limit.
+				if o.re.PC != limit {
+					t.Errorf("%s: pc = %d, want %d", name, o.re.PC, limit)
+				}
+			}
+			f, r := got["fast"], got["ref"]
+			if f.re.Error() != r.re.Error() {
+				t.Errorf("error diverges: fast %q, ref %q", f.re.Error(), r.re.Error())
+			}
+			if f.st != r.st {
+				t.Errorf("partial stats diverge:\nfast %+v\nref  %+v", f.st, r.st)
+			}
+		})
+	}
+}
+
+// TestFusedGroupInteriorEntry jumps into the middle of the fused group —
+// every interior slot in turn — and checks both engines agree on r0 and
+// Stats: interior slots must stay executable in their original form.
+func TestFusedGroupInteriorEntry(t *testing.T) {
+	// entry is the slot offset into the 7-slot group at pc 6..12.
+	for entry := 0; entry <= 6; entry++ {
+		t.Run(fmt.Sprintf("entry-%d", entry), func(t *testing.T) {
+			insns := []ebpf.Instruction{
+				ebpf.Mov64Imm(ebpf.R1, 0x1234),
+				ebpf.Mov64Imm(ebpf.R2, 0x77),
+				ebpf.Mov64Imm(ebpf.R3, 5),
+				ebpf.Mov64Imm(ebpf.R4, 9),
+				ebpf.Mov64Imm(ebpf.R5, 21),
+				// Jump over the group head into an interior slot.
+				ebpf.Jump(int16(entry)), // pc 5, target = 6+entry
+			}
+			group := hash7Insns()[3:] // group + tail mov + exit at 6..14
+			insns = append(insns, group...)
+			rv := map[string]int64{}
+			st := map[string]Stats{}
+			prog := &ebpf.Program{Name: "hash7-entry", Insns: insns}
+			bothEngines(t, prog, Config{}, func(name string, m *Machine) {
+				r, s, err := m.Run(nil, nil)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				rv[name], st[name] = r, s
+			})
+			if rv["fast"] != rv["ref"] {
+				t.Errorf("r0 diverges: fast %d, ref %d", rv["fast"], rv["ref"])
+			}
+			if st["fast"] != st["ref"] {
+				t.Errorf("stats diverge:\nfast %+v\nref  %+v", st["fast"], st["ref"])
+			}
+		})
+	}
+}

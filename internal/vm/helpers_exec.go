@@ -1,0 +1,226 @@
+package vm
+
+import (
+	"fmt"
+
+	"merlin/internal/ebpf"
+	"merlin/internal/helpers"
+)
+
+// Helper implementations shared by both execution engines. The reference
+// interpreter dispatches through Machine.call's table lookup; the pre-decoded
+// engine binds the body once at load time (decode.go). Keeping a single body
+// per helper is what makes the engines' helper semantics identical by
+// construction — including the exact register-clobber and early-return
+// behavior the differential rig asserts on.
+//
+// Contract per body: on a nil return, r0 holds the helper's result and the
+// caller-saved registers r1-r5 are clobbered if and only if the body called
+// clobberCallerSaved (the kernel always clobbers; probe_read's source-fault
+// path historically returns -1 in r0 *without* reaching the clobber, and both
+// engines preserve that quirk). A non-nil return faults the program with
+// FaultHelper (or the body's own RuntimeError kind).
+
+// helperBody executes one helper invocation against the machine's state.
+type helperBody func(m *Machine, regs *[regSlots]uint64, ctx, pkt []byte) error
+
+// helperBodies maps helper IDs to implementations. A Table entry with no
+// body here faults as "not implemented", exactly as before the split.
+var helperBodies = map[int]helperBody{
+	helpers.MapLookupElem:     (*Machine).hMapLookupElem,
+	helpers.MapUpdateElem:     (*Machine).hMapUpdateElem,
+	helpers.MapDeleteElem:     (*Machine).hMapDeleteElem,
+	helpers.ProbeRead:         (*Machine).hProbeRead,
+	helpers.KtimeGetNS:        (*Machine).hKtimeGetNS,
+	helpers.TracePrintk:       (*Machine).hTracePrintk,
+	helpers.GetPrandomU32:     (*Machine).hGetPrandomU32,
+	helpers.GetSmpProcessorID: (*Machine).hGetSmpProcessorID,
+	helpers.GetCurrentPidTgid: (*Machine).hGetCurrentPidTgid,
+	helpers.GetCurrentComm:    (*Machine).hGetCurrentComm,
+	helpers.Redirect:          (*Machine).hRedirect,
+	helpers.RedirectMap:       (*Machine).hRedirectMap,
+	helpers.PerfEventOutput:   (*Machine).hPerfEventOutput,
+}
+
+// clobberCallerSaved poisons r1-r5 the way the kernel's calling convention
+// does after a helper returns.
+func clobberCallerSaved(regs *[regSlots]uint64) {
+	regs[1], regs[2], regs[3], regs[4], regs[5] = 0xdead1, 0xdead2, 0xdead3, 0xdead4, 0xdead5
+}
+
+// mapArg resolves a map handle register value to a map index.
+func (m *Machine) mapArg(h uint64, helperName string) (int, error) {
+	idx := int(h - mapHandle)
+	if h < mapHandle || idx >= len(m.maps) {
+		return 0, fmt.Errorf("%s: bad map handle %#x", helperName, h)
+	}
+	return idx, nil
+}
+
+// helperMem resolves an n-byte helper memory argument. Helper accesses are
+// not charged to the cache model (matching the original interpreter).
+func (m *Machine) helperMem(addr uint64, n int, ctx, pkt []byte) ([]byte, error) {
+	buf, off, err := m.region(addr, n, ctx, pkt)
+	if err != nil {
+		return nil, err
+	}
+	return buf[off : off+n], nil
+}
+
+func (m *Machine) hMapLookupElem(regs *[regSlots]uint64, ctx, pkt []byte) error {
+	idx, err := m.mapArg(regs[1], "map_lookup_elem")
+	if err != nil {
+		return err
+	}
+	mp := m.maps[idx]
+	key, err := m.helperMem(regs[2], m.mapKeySz[idx], ctx, pkt)
+	if err != nil {
+		return err
+	}
+	off := mp.Lookup(key, m.cfg.CPU)
+	if off < 0 {
+		regs[0] = 0
+	} else {
+		regs[0] = mapValBase + uint64(idx)*mapValStep + uint64(off)
+	}
+	clobberCallerSaved(regs)
+	return nil
+}
+
+func (m *Machine) hMapUpdateElem(regs *[regSlots]uint64, ctx, pkt []byte) error {
+	idx, err := m.mapArg(regs[1], "map_update_elem")
+	if err != nil {
+		return err
+	}
+	mp := m.maps[idx]
+	key, err := m.helperMem(regs[2], m.mapKeySz[idx], ctx, pkt)
+	if err != nil {
+		return err
+	}
+	val, err := m.helperMem(regs[3], m.mapValSz[idx], ctx, pkt)
+	if err != nil {
+		return err
+	}
+	if err := mp.Update(key, val, m.cfg.CPU); err != nil {
+		regs[0] = ^uint64(0) // -1
+	} else {
+		regs[0] = 0
+	}
+	clobberCallerSaved(regs)
+	return nil
+}
+
+func (m *Machine) hMapDeleteElem(regs *[regSlots]uint64, ctx, pkt []byte) error {
+	idx, err := m.mapArg(regs[1], "map_delete_elem")
+	if err != nil {
+		return err
+	}
+	mp := m.maps[idx]
+	key, err := m.helperMem(regs[2], m.mapKeySz[idx], ctx, pkt)
+	if err != nil {
+		return err
+	}
+	if err := mp.Delete(key); err != nil {
+		regs[0] = ^uint64(0)
+	} else {
+		regs[0] = 0
+	}
+	clobberCallerSaved(regs)
+	return nil
+}
+
+func (m *Machine) hProbeRead(regs *[regSlots]uint64, ctx, pkt []byte) error {
+	n := int(regs[2])
+	dst, err := m.helperMem(regs[1], n, ctx, pkt)
+	if err != nil {
+		return err
+	}
+	src, err := m.helperMem(regs[3], n, ctx, pkt)
+	if err != nil {
+		// Unreadable source: -1 to the program, registers NOT clobbered.
+		regs[0] = ^uint64(0)
+		return nil
+	}
+	copy(dst, src)
+	regs[0] = 0
+	clobberCallerSaved(regs)
+	return nil
+}
+
+func (m *Machine) hKtimeGetNS(regs *[regSlots]uint64, _, _ []byte) error {
+	m.ktime += 137
+	regs[0] = m.ktime
+	clobberCallerSaved(regs)
+	return nil
+}
+
+func (m *Machine) hTracePrintk(regs *[regSlots]uint64, _, _ []byte) error {
+	regs[0] = regs[2]
+	clobberCallerSaved(regs)
+	return nil
+}
+
+func (m *Machine) hGetPrandomU32(regs *[regSlots]uint64, _, _ []byte) error {
+	regs[0] = m.prandom() & 0xffffffff
+	clobberCallerSaved(regs)
+	return nil
+}
+
+func (m *Machine) hGetSmpProcessorID(regs *[regSlots]uint64, _, _ []byte) error {
+	regs[0] = uint64(m.cfg.CPU)
+	clobberCallerSaved(regs)
+	return nil
+}
+
+func (m *Machine) hGetCurrentPidTgid(regs *[regSlots]uint64, _, _ []byte) error {
+	regs[0] = (uint64(4242) << 32) | 4242
+	clobberCallerSaved(regs)
+	return nil
+}
+
+func (m *Machine) hGetCurrentComm(regs *[regSlots]uint64, ctx, pkt []byte) error {
+	n := int(regs[2])
+	dst, err := m.helperMem(regs[1], n, ctx, pkt)
+	if err != nil {
+		return err
+	}
+	copy(dst, "comm")
+	regs[0] = 0
+	clobberCallerSaved(regs)
+	return nil
+}
+
+func (m *Machine) hRedirect(regs *[regSlots]uint64, _, _ []byte) error {
+	regs[0] = uint64(ebpf.XDPRedirect)
+	clobberCallerSaved(regs)
+	return nil
+}
+
+func (m *Machine) hRedirectMap(regs *[regSlots]uint64, _, _ []byte) error {
+	if _, err := m.mapArg(regs[1], "redirect_map"); err != nil {
+		return err
+	}
+	regs[0] = uint64(ebpf.XDPRedirect)
+	clobberCallerSaved(regs)
+	return nil
+}
+
+func (m *Machine) hPerfEventOutput(regs *[regSlots]uint64, ctx, pkt []byte) error {
+	idx, err := m.mapArg(regs[2], "perf_event_output")
+	if err != nil {
+		return err
+	}
+	rb, ok := m.maps[idx].(interface{ Output([]byte) })
+	if !ok {
+		return fmt.Errorf("perf_event_output into non-ring map")
+	}
+	n := int(regs[5])
+	data, err := m.helperMem(regs[4], n, ctx, pkt)
+	if err != nil {
+		return err
+	}
+	rb.Output(data)
+	regs[0] = 0
+	clobberCallerSaved(regs)
+	return nil
+}

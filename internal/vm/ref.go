@@ -1,0 +1,35 @@
+package vm
+
+import "merlin/internal/ebpf"
+
+// RefMachine is a Machine pinned to the original switch interpreter
+// (exec.go). It is the reference semantics of the VM: the differential rig
+// in internal/difftest runs every program on both engines and asserts
+// identical r0, Stats, faults and map state, and New falls back to this
+// dispatch path if pre-decoding ever rejects a program.
+//
+// It embeds *Machine, so every harness API (Run, RunBatch, maps, helper
+// state) works identically; only the dispatch differs.
+type RefMachine struct {
+	*Machine
+}
+
+// NewRef loads prog into a machine that executes with the reference switch
+// interpreter, bypassing the pre-decoded engine.
+func NewRef(prog *ebpf.Program, cfg Config) (*RefMachine, error) {
+	m, err := New(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.code = nil
+	return &RefMachine{Machine: m}, nil
+}
+
+// Engine reports which dispatch path Run uses: "fast" for the pre-decoded
+// direct-threaded engine, "ref" for the switch interpreter.
+func (m *Machine) Engine() string {
+	if m.code != nil {
+		return "fast"
+	}
+	return "ref"
+}

@@ -119,6 +119,21 @@ type Machine struct {
 	slotOf []int
 	elemAt map[int]int
 
+	// mapKeySz / mapValSz cache per-map key and value sizes so the hot
+	// map helpers skip the Spec() interface call (and its struct copy).
+	mapKeySz []int
+	mapValSz []int
+
+	// code is the pre-decoded direct-threaded form (decode.go), compiled
+	// once at load, with rarely-touched per-element details split into the
+	// parallel cold table. nil code pins the reference switch interpreter
+	// (RefMachine, or the fallback when decoding rejects a program). fr is
+	// the fast engine's register file and accounting state, embedded here
+	// so runs allocate nothing.
+	code []uop
+	cold []coldOp
+	fr   frame
+
 	rng   uint64
 	ktime uint64
 	stack [StackSize]byte
@@ -150,10 +165,19 @@ func New(prog *ebpf.Program, cfg Config) (*Machine, error) {
 			return nil, err
 		}
 		m.maps = append(m.maps, mp)
+		m.mapKeySz = append(m.mapKeySz, spec.KeySize)
+		m.mapValSz = append(m.mapValSz, spec.ValueSize)
 	}
 	if cfg.UseHW {
 		m.Cache = hw.NewL1D()
 		m.Pred = hw.NewBranchPredictor()
+	}
+	// Pre-decode into the direct-threaded form. Decoding never rejects a
+	// program the reference interpreter accepts (would-be faults compile to
+	// fault closures), but if it ever does, the machine silently serves
+	// with the reference interpreter instead.
+	if code, cold, err := compile(m); err == nil {
+		m.code, m.cold = code, cold
 	}
 	return m, nil
 }
