@@ -302,12 +302,142 @@ grep -q 'merlin_fleet_workers{' /tmp/fleet-ctl2-out
 grep -q 'worker="w1"' /tmp/fleet-ctl2-out
 kill -9 "$W1_PID" "$W2_PID" || true
 exec 8>&-
-rm -rf "$FLEET_STATE" "$CTL2_FIFO" /tmp/merlind-fleet \
+rm -rf "$FLEET_STATE" "$CTL2_FIFO" \
     /tmp/fleet-ctl-out /tmp/fleet-ctl2-out /tmp/fleet-w1-out /tmp/fleet-w2-out /tmp/fleet-w2b-out
 
-# Fleet soak: seeded worker SIGKILLs and one-way partitions against a live
-# fleet under the race detector. The audit fails the run if a fan-out drops a
+# Placement smoke: 3 workers, replication 2, authenticated control plane.
+# Joins without the shared token must be refused; each slot lands on exactly
+# two workers; SIGKILLing one replica mid-traffic must drop zero fan-outs
+# (failover to the surviving replica) while the rebalancer repairs the slot
+# onto the third worker (under_replicated 1 -> 0); a SIGKILLed controller
+# must recover the placement map from its journal.
+PLACE_STATE=$(mktemp -d)
+PCTL_FIFO=$(mktemp -u)
+mkfifo "$PCTL_FIFO"
+/tmp/merlind-fleet -controller 127.0.0.1:0 -state-dir "$PLACE_STATE" \
+    -replication 2 -control-token s3cr3t \
+    < "$PCTL_FIFO" > /tmp/place-ctl-out 2>&1 &
+PCTL_PID=$!
+exec 8> "$PCTL_FIFO"
+for _ in $(seq 1 100); do
+    grep -q 'ok controller ' /tmp/place-ctl-out && break
+    sleep 0.1
+done
+PCTL_ADDR=$(grep 'ok controller ' /tmp/place-ctl-out | head -1 | awk '{print $3}')
+
+for i in 1 2 3; do
+    /tmp/merlind-fleet -join "$PCTL_ADDR" -name "w$i" -rejoin-every 250ms \
+        -control-token s3cr3t -shadow 2 -canary 2 \
+        < /dev/null > "/tmp/place-w$i-out" 2>&1 &
+    eval "PW${i}_PID=\$!"
+done
+for _ in $(seq 1 100); do
+    printf 'workers\n' >&8
+    sleep 0.1
+    grep -q 'ok workers n=3' /tmp/place-ctl-out && break
+done
+grep -q 'ok workers n=3' /tmp/place-ctl-out
+
+# A tokenless worker's joins must be refused: never admitted, and every
+# refusal counts in the controller's auth-failure series.
+/tmp/merlind-fleet -join "$PCTL_ADDR" -name intruder -rejoin-every 100ms \
+    -shadow 2 -canary 2 < /dev/null > /tmp/place-bad-out 2>&1 &
+PBAD_PID=$!
+for _ in $(seq 1 100); do
+    printf 'fmetrics\n' >&8
+    sleep 0.1
+    grep -q 'merlin_fleet_auth_failures_total [1-9]' /tmp/place-ctl-out && break
+done
+grep -q 'merlin_fleet_auth_failures_total [1-9]' /tmp/place-ctl-out
+kill -9 "$PBAD_PID" || true
+printf 'workers\n' >&8
+sleep 0.3
+! grep -q 'ok workers n=4' /tmp/place-ctl-out
+
+# Deploy: the slot must land on exactly two of the three workers.
+printf 'fdeploy lb corpus:xdp1\nfwait\n' >&8
+for _ in $(seq 1 300); do
+    grep -q 'ok fwait ' /tmp/place-ctl-out && break
+    sleep 0.1
+done
+grep -q 'ok fwait .*phase=done' /tmp/place-ctl-out
+printf 'placement\n' >&8
+for _ in $(seq 1 100); do
+    grep -q 'ok placement' /tmp/place-ctl-out && break
+    sleep 0.1
+done
+grep -q 'placement slot=lb ver=1 live=2/2 replicas=' /tmp/place-ctl-out
+VICTIM=$(grep 'placement slot=lb ' /tmp/place-ctl-out | head -1 \
+    | sed 's/.*replicas=//' | cut -d, -f1)
+eval "VICTIM_PID=\$PW${VICTIM#w}_PID"
+
+# SIGKILL one replica mid-traffic: zero dropped fan-outs throughout (a live
+# replica always holds the slot), the fleet notices the under-replication,
+# and the rebalancer repairs onto the spare worker through the gates.
+kill -9 "$VICTIM_PID"
+wait "$VICTIM_PID" || true
+for _ in $(seq 1 200); do
+    printf 'ftraffic lb 16\nfmetrics\n' >&8
+    sleep 0.1
+    grep -q 'merlin_fleet_under_replicated 1' /tmp/place-ctl-out && break
+done
+grep -q 'merlin_fleet_under_replicated 1' /tmp/place-ctl-out
+for _ in $(seq 1 600); do
+    printf 'ftraffic lb 16\nplacement\nfmetrics\n' >&8
+    sleep 0.1
+    grep -q 'merlin_fleet_repairs_completed_total{mode="[a-z]*"} [1-9]' /tmp/place-ctl-out \
+        && grep -q 'placement slot=lb ver=2 ' /tmp/place-ctl-out && break
+done
+grep -q 'merlin_fleet_repairs_completed_total{mode="[a-z]*"} [1-9]' /tmp/place-ctl-out
+grep 'placement slot=lb ver=2 ' /tmp/place-ctl-out | head -1 \
+    | sed 's/.*replicas=//' | grep -qv "$VICTIM"
+printf 'fmetrics\n' >&8
+for _ in $(seq 1 100); do
+    printf 'fmetrics\n' >&8
+    sleep 0.1
+    grep -q 'merlin_fleet_under_replicated 0' /tmp/place-ctl-out && break
+done
+grep -q 'merlin_fleet_under_replicated 0' /tmp/place-ctl-out
+! grep -q 'dropped=[1-9]' /tmp/place-ctl-out
+
+# The controller dies; its successor recovers the exact placement map.
+kill -9 "$PCTL_PID"
+exec 8>&-
+rm -f "$PCTL_FIFO"
+wait "$PCTL_PID" || true
+PCTL2_FIFO=$(mktemp -u)
+mkfifo "$PCTL2_FIFO"
+/tmp/merlind-fleet -controller "$PCTL_ADDR" -state-dir "$PLACE_STATE" \
+    -replication 2 -control-token s3cr3t \
+    < "$PCTL2_FIFO" > /tmp/place-ctl2-out 2>&1 &
+PCTL2_PID=$!
+exec 8> "$PCTL2_FIFO"
+for _ in $(seq 1 100); do
+    grep -q 'ok controller ' /tmp/place-ctl2-out && break
+    sleep 0.1
+done
+grep -q 'ok frecover workers=3 slots=1 placements=1' /tmp/place-ctl2-out
+for _ in $(seq 1 200); do
+    printf 'ftraffic lb 16\nplacement\n' >&8
+    sleep 0.1
+    grep -q 'ok placement' /tmp/place-ctl2-out && break
+done
+grep 'placement slot=lb ' /tmp/place-ctl2-out | head -1 \
+    | sed 's/.*replicas=//' | grep -qv "$VICTIM"
+! grep -q 'dropped=[1-9]' /tmp/place-ctl2-out
+printf 'quit\n' >&8
+wait "$PCTL2_PID"
+kill -9 "$PW1_PID" "$PW2_PID" "$PW3_PID" 2>/dev/null || true
+exec 8>&-
+rm -rf "$PLACE_STATE" "$PCTL2_FIFO" /tmp/merlind-fleet \
+    /tmp/place-ctl-out /tmp/place-ctl2-out /tmp/place-w1-out /tmp/place-w2-out \
+    /tmp/place-w3-out /tmp/place-bad-out
+
+# Fleet soaks: seeded worker SIGKILLs and one-way partitions against a live
+# fleet under the race detector, plus the replica-loss soak (R=2, token-armed,
+# one replica SIGKILLed and one partitioned with zero drops, self-healing
+# repair, controller recovery). The audits fail the run if a fan-out drops a
 # packet while any continuously-reachable worker held the program, if a
-# diverging candidate is ever promoted fleet-wide, or if a slot stays lost
-# after the chaos heals.
-go test -race -run 'TestFleetSoak' ./internal/soak/
+# diverging candidate is ever promoted fleet-wide, or if a slot stays lost or
+# under-replicated after the chaos heals.
+go test -race -run 'TestFleetSoak|TestReplicaLoss' ./internal/soak/

@@ -9,6 +9,8 @@
 //	join <name> <addr>      admit or re-admit a worker (workers send this)
 //	workers                 one line listing the known workers
 //	fleet                   full fleet status: workers, catalog, rollout
+//	placement               one line per slot: replicas, version, live count
+//	leave <worker>          drain a worker out of the fleet and its placements
 //	fdeploy <slot> <src>    start a rolling deploy of src across the fleet
 //	fstep [n]               drive up to n rollout steps (default 1)
 //	fwait [max]             step until the rollout settles (default 1000)
@@ -71,8 +73,17 @@ func (d *daemon) serveConn(conn net.Conn) {
 		if line == "" {
 			continue
 		}
-		if err := d.dispatch(conn, line); err != nil {
-			fmt.Fprintf(conn, "err %s: %v\n", strings.Fields(line)[0], err)
+		// Network callers must authenticate; stdin (the local operator,
+		// dispatched in main) is never challenged.
+		rest, authed := fleet.CheckAuth(d.token, line)
+		if !authed {
+			d.reg.Counter("merlin_fleet_auth_failures_total",
+				"control RPCs refused for a missing or wrong token").Inc()
+			fmt.Fprintln(conn, "err unauthorized")
+			continue
+		}
+		if err := d.dispatch(conn, rest); err != nil {
+			fmt.Fprintf(conn, "err %s: %v\n", strings.Fields(rest)[0], err)
 		}
 	}
 }
@@ -81,23 +92,24 @@ func (d *daemon) serveConn(conn net.Conn) {
 // announcement admits it, later ones are cheap idempotent re-joins that pull
 // the worker back into the fleet after a controller restart or a healed
 // partition without waiting for a controller-side probe.
-func announceLoop(ctrlAddr, name, controlAddr string, every time.Duration) {
+func announceLoop(ctrlAddr, name, controlAddr, token string, every time.Duration) {
 	for {
-		if err := announce(ctrlAddr, name, controlAddr); err != nil {
+		if err := announce(ctrlAddr, name, controlAddr, token); err != nil {
 			fmt.Fprintln(os.Stderr, "merlind: join:", err)
 		}
 		time.Sleep(every)
 	}
 }
 
-func announce(ctrlAddr, name, controlAddr string) error {
+func announce(ctrlAddr, name, controlAddr, token string) error {
 	conn, err := net.DialTimeout("tcp", ctrlAddr, 2*time.Second)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
-	if _, err := fmt.Fprintf(conn, "join %s %s\n", name, controlAddr); err != nil {
+	join := fleet.AuthLine(token, fmt.Sprintf("join %s %s", name, controlAddr))
+	if _, err := fmt.Fprintln(conn, join); err != nil {
 		return err
 	}
 	sc := bufio.NewScanner(conn)
@@ -119,11 +131,13 @@ func announce(ctrlAddr, name, controlAddr string) error {
 // ---- controller side ------------------------------------------------------
 
 type controllerOpts struct {
-	addr     string // control listener address (required)
-	stateDir string // controller journal home ("" = in-memory)
-	jopts    journal.Options
-	listen   string // HTTP /metrics address ("" = none)
-	seed     int64
+	addr        string // control listener address (required)
+	stateDir    string // controller journal home ("" = in-memory)
+	jopts       journal.Options
+	listen      string // HTTP /metrics address ("" = none)
+	seed        int64
+	replication int    // replicas per slot (>= 1)
+	token       string // shared secret for control/join RPCs ("" = open)
 }
 
 // runController is merlind's -controller mode: a fleet control plane over
@@ -132,7 +146,14 @@ type controllerOpts struct {
 // workers and reconciles recovering ones.
 func runController(o controllerOpts) {
 	reg := metrics.New()
-	ctl := fleet.New(fleet.Config{Seed: uint64(o.seed) | 1, Metrics: reg}, &fleet.TCP{})
+	ctl := fleet.New(fleet.Config{
+		Seed:        uint64(o.seed) | 1,
+		Metrics:     reg,
+		Replication: o.replication,
+		AuthToken:   o.token,
+	}, &fleet.TCP{})
+	authFails := reg.Counter("merlin_fleet_auth_failures_total",
+		"control RPCs refused for a missing or wrong token")
 
 	var jl *journal.Log
 	if o.stateDir != "" {
@@ -156,7 +177,8 @@ func runController(o controllerOpts) {
 		if phase == "" {
 			phase = "none"
 		}
-		fmt.Printf("ok frecover workers=%d slots=%d rollout=%s\n", rs.Workers, rs.Slots, phase)
+		fmt.Printf("ok frecover workers=%d slots=%d placements=%d rollout=%s\n",
+			rs.Workers, rs.Slots, rs.Placements, phase)
 	}
 
 	shutdown := func(code int) {
@@ -187,7 +209,7 @@ func runController(o controllerOpts) {
 				time.Sleep(100 * time.Millisecond)
 				continue
 			}
-			go serveControllerConn(ctl, conn)
+			go serveControllerConn(ctl, conn, o.token, authFails)
 		}
 	}()
 
@@ -256,7 +278,7 @@ func runController(o controllerOpts) {
 	select {}
 }
 
-func serveControllerConn(ctl *fleet.Controller, conn net.Conn) {
+func serveControllerConn(ctl *fleet.Controller, conn net.Conn, token string, authFails *metrics.Counter) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -265,8 +287,17 @@ func serveControllerConn(ctl *fleet.Controller, conn net.Conn) {
 		if line == "" {
 			continue
 		}
-		if err := dispatchController(ctl, conn, line); err != nil {
-			fmt.Fprintf(conn, "err %s: %v\n", strings.Fields(line)[0], err)
+		// Worker joins and remote operators alike must present the token;
+		// stdin (dispatched in runController) is the local operator and is
+		// never challenged.
+		rest, authed := fleet.CheckAuth(token, line)
+		if !authed {
+			authFails.Inc()
+			fmt.Fprintln(conn, "err unauthorized")
+			continue
+		}
+		if err := dispatchController(ctl, conn, rest); err != nil {
+			fmt.Fprintf(conn, "err %s: %v\n", strings.Fields(rest)[0], err)
 		}
 	}
 }
@@ -296,6 +327,22 @@ func dispatchController(ctl *fleet.Controller, w io.Writer, line string) error {
 			fmt.Fprintln(w, l)
 		}
 		fmt.Fprintln(w, "ok fleet")
+		return nil
+	case "placement":
+		for _, pv := range ctl.FleetStatus().Placements {
+			fmt.Fprintf(w, "placement slot=%s ver=%d live=%d/%d replicas=%s\n",
+				pv.Slot, pv.Ver, pv.Live, len(pv.Replicas), strings.Join(pv.Replicas, ","))
+		}
+		fmt.Fprintln(w, "ok placement")
+		return nil
+	case "leave":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: leave <worker>")
+		}
+		if err := ctl.Leave(args[0]); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "ok leave %s\n", args[0])
 		return nil
 	case "fdeploy":
 		if len(args) < 2 {

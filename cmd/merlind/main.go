@@ -18,6 +18,8 @@
 //	promote <slot> [force]                        hot-swap candidate to live
 //	rollback <slot>                               restore previous live program
 //	abort <slot>                                  discard the staged candidate
+//	drain <slot>                                  remove the slot entirely
+//	                                              (controller-driven rebalance)
 //	status                                        one line per slot
 //	events <slot>                                 dump the slot's event ring
 //	maps <slot>                                   dump the live program's maps
@@ -86,22 +88,33 @@
 // Fleet modes (see internal/fleet and cmd/merlind/fleet.go):
 //
 //	merlind -controller <addr> [-state-dir DIR] [-listen ADDR]
+//	        [-replication R] [-control-token T]
 //
 // runs the fleet control plane instead of a local lifecycle daemon: workers
 // join over TCP, fdeploy drives a fleet-wide rolling deploy through each
 // worker's canary gate (halting and rolling back on divergence), ftraffic
 // fans packets out over the consistent-hash ring, and with -state-dir the
 // controller journals every transition and resumes in-flight rollouts after
-// a crash ("ok frecover ..."). Controller commands: join, workers, fleet,
-// fdeploy, fstep, fwait, ftraffic, fevents, fmetrics, tick, quit.
+// a crash ("ok frecover ..."). Each slot is placed on -replication workers
+// (default 2); traffic fails over to surviving replicas and a background
+// rebalancer re-replicates lost copies through the canary gate. Controller
+// commands: join, workers, fleet, placement, fdeploy, fstep, fwait, ftraffic,
+// fevents, fmetrics, leave, tick, quit.
 //
 //	merlind -join <controller-addr> [-name N] [-control ADDR] [-rejoin-every D]
+//	        [-control-token T]
 //
 // runs a worker: the normal lifecycle daemon plus a control listener serving
 // the same command set over TCP, announcing itself to the controller every
 // -rejoin-every so restarts and healed partitions re-admit it automatically.
 // A worker keeps reading stdin too; with no script, it serves until `quit`
 // or a signal.
+//
+// -control-token arms shared-secret authentication on both sides: every
+// control/join RPC must open with "auth <token>" (compared in constant time)
+// or it is refused with "err unauthorized" and counted in
+// merlin_fleet_auth_failures_total. Stdin is the local operator and is never
+// challenged.
 package main
 
 import (
@@ -149,7 +162,8 @@ type daemon struct {
 	buildOpts  core.Options
 	deployOpts lifecycle.DeployOptions
 	seed       int64
-	traffic    int64 // packets generated so far, advances the input stream
+	traffic    int64  // packets generated so far, advances the input stream
+	token      string // control-listener shared secret; "" accepts everything
 }
 
 // shutdown flushes and closes everything the daemon owns durable state in.
@@ -227,6 +241,8 @@ func main() {
 	workerName := flag.String("name", "", "worker name announced to the controller (default w<pid>)")
 	control := flag.String("control", "", "serve the line protocol on this TCP address (default 127.0.0.1:0 with -join)")
 	rejoinEvery := flag.Duration("rejoin-every", 2*time.Second, "interval between join announcements to the controller")
+	replication := flag.Int("replication", 2, "replicas per slot in controller mode (1 = unreplicated)")
+	controlToken := flag.String("control-token", "", "shared secret required on every control/join RPC (empty = open)")
 	srcFaultRate := flag.Float64("src-fault-rate", 0, "probability of an injected read fault per source-file operation (0 = off)")
 	srcFaultSeed := flag.Int64("src-fault-seed", 1, "seed for the source read fault schedule")
 	flag.Parse()
@@ -290,6 +306,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "merlind: -rejoin-every must be positive, got %v\n", *rejoinEvery)
 		os.Exit(2)
 	}
+	if *replication < 1 {
+		fmt.Fprintf(os.Stderr, "merlind: -replication must be at least 1, got %d\n", *replication)
+		os.Exit(2)
+	}
+	// Tokens and worker names travel inside space-delimited protocol lines;
+	// embedded whitespace would split into extra fields on the far side.
+	if strings.ContainsAny(*controlToken, " \t\r\n") {
+		fmt.Fprintln(os.Stderr, "merlind: -control-token must not contain whitespace")
+		os.Exit(2)
+	}
+	if strings.ContainsAny(*workerName, " \t\r\n") {
+		fmt.Fprintf(os.Stderr, "merlind: -name must not contain whitespace, got %q\n", *workerName)
+		os.Exit(2)
+	}
 
 	if *controller != "" {
 		if *joinAddr != "" || *control != "" {
@@ -297,11 +327,13 @@ func main() {
 			os.Exit(2)
 		}
 		runController(controllerOpts{
-			addr:     *controller,
-			stateDir: *stateDir,
-			jopts:    journal.Options{SegmentBytes: *segmentBytes, Policy: pol},
-			listen:   *listen,
-			seed:     *seed,
+			addr:        *controller,
+			stateDir:    *stateDir,
+			jopts:       journal.Options{SegmentBytes: *segmentBytes, Policy: pol},
+			listen:      *listen,
+			seed:        *seed,
+			replication: *replication,
+			token:       *controlToken,
 		})
 		return
 	}
@@ -323,6 +355,7 @@ func main() {
 		},
 		deployOpts: lifecycle.DeployOptions{CanaryFraction: *canaryFraction},
 		seed:       *seed,
+		token:      *controlToken,
 	}
 	if *srcFaultRate > 0 {
 		// Source reads go through a seeded fault injector: deploys see the
@@ -460,7 +493,7 @@ func main() {
 		}
 		fmt.Printf("ok control %s\n", addr)
 		if *joinAddr != "" {
-			go announceLoop(*joinAddr, *workerName, addr.String(), *rejoinEvery)
+			go announceLoop(*joinAddr, *workerName, addr.String(), *controlToken, *rejoinEvery)
 		}
 	}
 
@@ -574,6 +607,13 @@ func (d *daemon) dispatch(w io.Writer, line string) error {
 		}
 		st, _ := d.mgr.StatusOf(args[0])
 		fmt.Fprintf(w, "ok abort %s live=gen%d\n", args[0], st.LiveGeneration)
+		return nil
+	case "drain":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: drain <slot>")
+		}
+		removed := d.mgr.Remove(args[0])
+		fmt.Fprintf(w, "ok drain %s removed=%v\n", args[0], removed)
 		return nil
 	case "status":
 		for _, st := range d.mgr.Status() {
@@ -726,8 +766,8 @@ func (d *daemon) drive(w io.Writer, slot string, n int) error {
 	for v, c := range verdicts {
 		vparts = append(vparts, fmt.Sprintf("%d=%d", v, c))
 	}
-	fmt.Fprintf(w, "ok traffic %s n=%d stage=%s served=%d mirrored=%d verdicts[%s]\n",
-		slot, n, st.Stage, st.Served, st.Mirrored, strings.Join(vparts, " "))
+	fmt.Fprintf(w, "ok traffic %s n=%d stage=%s served=%d mirrored=%d eseq=%d verdicts[%s]\n",
+		slot, n, st.Stage, st.Served, st.Mirrored, st.EventSeq, strings.Join(vparts, " "))
 	return nil
 }
 

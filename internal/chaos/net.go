@@ -161,11 +161,32 @@ func (p *Partition) Isolate(worker string, fault NetFault) {
 	p.isolated[worker] = fault
 }
 
+// IsolateSet partitions several workers at once with the same fault — the
+// replica-set partition: every holder of a slot's placement drops off the
+// network in one step, which is how a soak proves failover has nothing left
+// to fail over to (and that repair restores service after HealAll).
+func (p *Partition) IsolateSet(fault NetFault, workers ...string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, w := range workers {
+		p.isolated[w] = fault
+	}
+}
+
 // Heal removes worker from the partition.
 func (p *Partition) Heal(worker string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	delete(p.isolated, worker)
+}
+
+// HealAll empties the partition set: the network is whole again.
+func (p *Partition) HealAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for w := range p.isolated {
+		delete(p.isolated, w)
+	}
 }
 
 // Isolated reports whether worker is currently partitioned.

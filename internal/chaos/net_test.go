@@ -87,6 +87,27 @@ func TestPartition(t *testing.T) {
 	}
 }
 
+func TestPartitionSet(t *testing.T) {
+	p := NewPartition()
+	p.IsolateSet(NetDrop, "w1", "w2")
+	for _, w := range []string{"w1", "w2"} {
+		if f := p.NextNet(w, "traffic"); f != NetDrop {
+			t.Fatalf("set-isolated %s got %v", w, f)
+		}
+	}
+	if f := p.NextNet("w3", "traffic"); f != NetNone {
+		t.Fatalf("outsider got %v", f)
+	}
+	p.HealAll()
+	for _, w := range []string{"w1", "w2"} {
+		if p.Isolated(w) {
+			t.Fatalf("%s still isolated after HealAll", w)
+		}
+	}
+	// HealAll on an already-empty set is a no-op, not a panic.
+	p.HealAll()
+}
+
 func TestNetChain(t *testing.T) {
 	part := NewPartition()
 	part.Isolate("w2", NetDrop)

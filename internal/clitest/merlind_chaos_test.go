@@ -35,6 +35,12 @@ func TestMerlindFlagValidation(t *testing.T) {
 		{"fsync-interval negative", []string{"-fsync-interval", "-1ms"}, "-fsync-interval must be positive"},
 		{"fsync-batch zero", []string{"-fsync-batch", "0"}, "-fsync-batch must be positive"},
 		{"segment-bytes zero", []string{"-journal-segment-bytes", "0"}, "-journal-segment-bytes must be positive"},
+		{"rejoin-every zero", []string{"-rejoin-every", "0s"}, "-rejoin-every must be positive"},
+		{"rejoin-every negative", []string{"-rejoin-every", "-1s"}, "-rejoin-every must be positive"},
+		{"replication zero", []string{"-replication", "0"}, "-replication must be at least 1"},
+		{"replication negative", []string{"-replication", "-2"}, "-replication must be at least 1"},
+		{"control-token whitespace", []string{"-control-token", "two words"}, "-control-token must not contain whitespace"},
+		{"name whitespace", []string{"-name", "w 1"}, "-name must not contain whitespace"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

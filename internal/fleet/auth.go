@@ -1,0 +1,47 @@
+package fleet
+
+import (
+	"crypto/subtle"
+	"strings"
+)
+
+// Control-plane auth: a shared secret rides on every control RPC as an
+// "auth <token> <cmd>" prefix. Verification is constant-time so the token
+// cannot be recovered byte-by-byte through timing, and refusals are uniform
+// ("err unauthorized") so probes learn nothing about which part failed.
+// This is the ROADMAP "TLS/auth" first step: it authenticates, it does not
+// encrypt — run the control listener on a trusted network.
+
+// AuthLine prefixes line with the auth header. No-op for an empty token.
+func AuthLine(token, line string) string {
+	if token == "" {
+		return line
+	}
+	return "auth " + token + " " + line
+}
+
+// CheckAuth validates an incoming control line against the listener's token
+// and strips the header, returning the bare command. A listener with no
+// token accepts everything (and tolerates a header from a token-bearing
+// peer, so mixed fleets keep working during a rolling token rollout); a
+// listener with a token refuses any line whose header is missing or wrong.
+func CheckAuth(token, line string) (string, bool) {
+	verb, rest, _ := strings.Cut(line, " ")
+	if verb == "auth" {
+		tok, cmd, ok := strings.Cut(rest, " ")
+		if !ok || cmd == "" {
+			return "", false
+		}
+		if token == "" {
+			return cmd, true
+		}
+		if subtle.ConstantTimeCompare([]byte(tok), []byte(token)) == 1 {
+			return cmd, true
+		}
+		return "", false
+	}
+	if token == "" {
+		return line, true
+	}
+	return "", false
+}

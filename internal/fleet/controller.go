@@ -62,6 +62,34 @@ type Config struct {
 	CompactEvery int
 	// MaxEvents caps the fleet event ring (default 128).
 	MaxEvents int
+	// Replication is the number of distinct workers each slot is placed on
+	// (R). 0 keeps the legacy mirror mode: every slot on every worker, no
+	// placement map. With R > 0 traffic routes only to a slot's replicas and
+	// the rebalancer repairs under-replication.
+	Replication int
+	// RepairConcurrency bounds how many repair tasks run at once (default 2)
+	// so a mass failure cannot stampede the survivors.
+	RepairConcurrency int
+	// RepairMaxFails is how many transport-level retries one repair task gets
+	// before it is abandoned (default 5).
+	RepairMaxFails int
+	// RepairBreakerAfter is how many abandoned repairs in a row open a
+	// slot's repair circuit breaker (default 3) — a flapping worker or a
+	// gate-refusing target must not wedge the rebalancer.
+	RepairBreakerAfter int
+	// RepairBackoff / RepairBackoffMax shape the jittered exponential
+	// backoff between repair retries and breaker cooldowns (defaults
+	// 250ms / 10s).
+	RepairBackoff    time.Duration
+	RepairBackoffMax time.Duration
+	// StatusFallbackEvery bounds event-watermark trust during canary feeds:
+	// after this many consecutive skipped status polls the controller polls
+	// anyway (default 4). See stepCanary.
+	StatusFallbackEvery int
+	// AuthToken, when non-empty, is prefixed to every worker RPC as
+	// "auth <token> <cmd>"; workers sharing the token verify it in constant
+	// time and refuse everything else.
+	AuthToken string
 	// Seed drives breaker/retry jitter deterministically.
 	Seed uint64
 	// Now is the controller clock (default time.Now); tests inject a fake.
@@ -110,6 +138,24 @@ func (c Config) withDefaults() Config {
 	if c.MaxEvents <= 0 {
 		c.MaxEvents = 128
 	}
+	if c.RepairConcurrency <= 0 {
+		c.RepairConcurrency = 2
+	}
+	if c.RepairMaxFails <= 0 {
+		c.RepairMaxFails = 5
+	}
+	if c.RepairBreakerAfter <= 0 {
+		c.RepairBreakerAfter = 3
+	}
+	if c.RepairBackoff <= 0 {
+		c.RepairBackoff = 250 * time.Millisecond
+	}
+	if c.RepairBackoffMax <= 0 {
+		c.RepairBackoffMax = 10 * time.Second
+	}
+	if c.StatusFallbackEvery <= 0 {
+		c.StatusFallbackEvery = 4
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -137,6 +183,7 @@ type installedRec struct {
 	Slot     string `json:"slot"`
 	FleetGen int    `json:"fleetGen"`
 	LocalGen int    `json:"localGen"`
+	Gone     bool   `json:"gone,omitempty"` // tombstone: the slot was drained
 }
 
 // worker is the controller's view of one merlind.
@@ -167,11 +214,16 @@ type Controller struct {
 	workers    map[string]*worker
 	catalog    map[string]*CatalogSlot
 	installed  map[string]map[string]installedRec // worker → slot → rec
+	placements map[string]*Placement              // slot → replicas (R > 0 only)
 	rollout    *Rollout
 	events     []Event
 	eventSeq   int
 	rng        uint64
 	trafficSeq int
+	eseqs      map[string]int         // worker+"/"+slot → event watermark
+	repairQ    []*repairTask          // pending repairs, FIFO
+	repairs    map[string]*repairTask // active repairs, one per slot
+	repairBk   map[string]*repairBreaker
 
 	jl       *journal.Log
 	jAppends int
@@ -183,13 +235,17 @@ type Controller struct {
 func New(cfg Config, tr Transport) *Controller {
 	cfg = cfg.withDefaults()
 	c := &Controller{
-		cfg:       cfg,
-		tr:        tr,
-		met:       newFleetMetrics(cfg.Metrics),
-		workers:   map[string]*worker{},
-		catalog:   map[string]*CatalogSlot{},
-		installed: map[string]map[string]installedRec{},
-		rng:       cfg.Seed | 1,
+		cfg:        cfg,
+		tr:         tr,
+		met:        newFleetMetrics(cfg.Metrics),
+		workers:    map[string]*worker{},
+		catalog:    map[string]*CatalogSlot{},
+		installed:  map[string]map[string]installedRec{},
+		placements: map[string]*Placement{},
+		eseqs:      map[string]int{},
+		repairs:    map[string]*repairTask{},
+		repairBk:   map[string]*repairBreaker{},
+		rng:        cfg.Seed | 1,
 	}
 	return c
 }
@@ -226,6 +282,7 @@ func (c *Controller) rpc(name, line string, read bool) ([]string, error) {
 // even inside its cooldown window. Traffic's last-resort path uses it when
 // the alternative is dropping packets — a success then doubles as a probe.
 func (c *Controller) rpcWith(name, line string, read, ignoreBreaker bool) ([]string, error) {
+	line = AuthLine(c.cfg.AuthToken, line)
 	c.mu.Lock()
 	w := c.workers[name]
 	if w == nil {
@@ -400,6 +457,38 @@ func (c *Controller) Workers() []string {
 	return c.workerNamesLocked(func(*worker) bool { return true })
 }
 
+// Leave removes a worker from the fleet for good: membership, installed
+// records, and every placement naming it are scrubbed (journaled), leaving
+// the affected slots under-replicated for the rebalancer to repair onto the
+// survivors. Refused while a rollout is in flight — the rollout's worker
+// order must stay meaningful.
+func (c *Controller) Leave(name string) error {
+	c.stepMu.Lock()
+	defer c.stepMu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.workers[name] == nil {
+		return fmt.Errorf("fleet: unknown worker %q", name)
+	}
+	if c.rollout != nil && !c.rollout.terminal() {
+		return errors.New("fleet: cannot remove a worker during an in-flight rollout")
+	}
+	delete(c.workers, name)
+	delete(c.installed, name)
+	c.dropRepairsForWorkerLocked(name)
+	for _, slot := range c.placementSlotsLocked() {
+		pl := c.placements[slot]
+		if !containsStr(pl.Replicas, name) {
+			continue
+		}
+		c.setPlacementLocked(slot, withoutStr(pl.Replicas, name), "worker "+name+" left")
+	}
+	c.journalLocked(record{Kind: recWorker, Worker: &workerRec{Name: name, Gone: true}}, true)
+	c.eventLocked(Event{Kind: EventLeave, Worker: name, Detail: "removed from fleet"})
+	c.gaugesLocked()
+	return nil
+}
+
 func (c *Controller) workerNamesLocked(keep func(*worker) bool) []string {
 	names := make([]string, 0, len(c.workers))
 	for n, w := range c.workers {
@@ -441,6 +530,7 @@ func (c *Controller) reconcile(name string) error {
 	}
 	c.mu.Lock()
 	var acts []action
+	var drains []string
 	deferred := false
 	rolloutSlot := ""
 	rolloutGen := 0
@@ -451,6 +541,23 @@ func (c *Controller) reconcile(name string) error {
 		rolloutCand = c.rollout.CandGen
 	}
 	for slotName, cat := range c.catalog {
+		if !c.placedLocked(slotName, name) {
+			// Placement moved this slot off the worker (or never put it
+			// there). A live copy is stale and must drain — except while a
+			// rollout owns the slot, when we defer rather than mutate under
+			// its feet. A leftover installed record with no live copy is
+			// erased outright.
+			if _, present := live[slotName]; present {
+				if slotName == rolloutSlot {
+					deferred = true
+				} else {
+					drains = append(drains, slotName)
+				}
+			} else if _, ok := c.installedLocked(name)[slotName]; ok {
+				c.deleteInstalledLocked(name, slotName)
+			}
+			continue
+		}
 		if slotName == rolloutSlot {
 			// The active rollout owns this slot, and reconcile runs under
 			// stepMu so it cannot race the rollout's own actions. A worker
@@ -501,6 +608,25 @@ func (c *Controller) reconcile(name string) error {
 		c.setInstalledLocked(name, a.slot, a.fleetGen, liveGen, true)
 		c.eventLocked(Event{Kind: EventReconciled, Worker: name, Slot: a.slot,
 			Detail: fmt.Sprintf("%s → pushed gen%d (live=gen%d)", a.why, a.fleetGen, liveGen)})
+		c.mu.Unlock()
+	}
+
+	sort.Strings(drains)
+	for _, slotName := range drains {
+		lines, err := c.rpc(name, "drain "+slotName, false)
+		if err != nil {
+			return err
+		}
+		if _, ok := ReplyOK(lines); !ok {
+			return fmt.Errorf("fleet: drain %s on %s: %s", slotName, name, lastLine(lines))
+		}
+		c.mu.Lock()
+		c.deleteInstalledLocked(name, slotName)
+		c.eventLocked(Event{Kind: EventDrained, Worker: name, Slot: slotName,
+			Detail: "stale copy drained (not a replica)"})
+		if c.met != nil {
+			c.met.drains.Inc()
+		}
 		c.mu.Unlock()
 	}
 
@@ -555,6 +681,17 @@ func (c *Controller) setInstalledLocked(worker, slot string, fleetGen, localGen 
 	c.journalLocked(record{Kind: recInstalled, Installed: &rec}, sync)
 }
 
+// deleteInstalledLocked erases the confirmation record for a drained slot and
+// journals a tombstone so recovery does not resurrect it.
+func (c *Controller) deleteInstalledLocked(worker, slot string) {
+	if _, ok := c.installed[worker][slot]; !ok {
+		return
+	}
+	delete(c.installed[worker], slot)
+	rec := installedRec{Worker: worker, Slot: slot, Gone: true}
+	c.journalLocked(record{Kind: recInstalled, Installed: &rec}, true)
+}
+
 // ---- tick ----------------------------------------------------------------
 
 // Tick runs one maintenance pass: probe every down worker whose breaker
@@ -592,6 +729,10 @@ func (c *Controller) Tick() {
 		_ = c.reconcile(n) // failures re-open the breaker via the rpc path
 	}
 
+	// With placement enabled, one rebalance pass: detect under-replicated
+	// slots, advance each active repair by one step.
+	c.rebalance()
+
 	c.mu.Lock()
 	c.gaugesLocked()
 	c.mu.Unlock()
@@ -606,19 +747,33 @@ type TrafficReport struct {
 	Dropped  int // packets no worker accepted
 }
 
-// Traffic fans n synthetic packets for slot across the routable workers in
-// TrafficBatch chunks. Each chunk hashes to an owner on the consistent ring;
-// a transport or application failure reroutes the chunk down the ring's
-// failover order, and only when every routable worker refuses it is the
-// chunk counted dropped — graceful degradation, not an error.
+// Traffic fans n synthetic packets for slot across the slot's routable
+// replicas in TrafficBatch chunks (across all routable workers in legacy
+// mirror mode). Each chunk hashes to an owner on the consistent ring; a
+// transport or application failure fails the chunk over down the ring's
+// successor order — with placement that failover is the replica set, so a
+// dead replica's traffic lands on its surviving peers. Only when no worker
+// anywhere accepts the chunk is it counted dropped — graceful degradation,
+// not an error.
 func (c *Controller) Traffic(slot string, n int) TrafficReport {
 	var rep TrafficReport
 	if n <= 0 {
 		return rep
 	}
 	c.mu.Lock()
-	eligible := c.workerNamesLocked(func(w *worker) bool { return w.health.eligible() })
-	r := buildRing(eligible, c.cfg.VNodes)
+	replicas := c.replicasLocked(slot) // nil → legacy: any eligible worker
+	placed := replicas != nil
+	var pool []string
+	if placed {
+		for _, rn := range replicas {
+			if w := c.workers[rn]; w != nil && w.health.eligible() {
+				pool = append(pool, rn)
+			}
+		}
+	} else {
+		pool = c.workerNamesLocked(func(w *worker) bool { return w.health.eligible() })
+	}
+	r := buildRing(pool, c.cfg.VNodes)
 	batch := c.cfg.TrafficBatch
 	chunks := (n + batch - 1) / batch
 	seq := c.trafficSeq
@@ -633,7 +788,9 @@ func (c *Controller) Traffic(slot string, n int) TrafficReport {
 		key := slot + "/" + strconv.Itoa(seq+i)
 		cmd := "traffic " + slot + " " + strconv.Itoa(size)
 		sent := false
-		for hop, name := range r.lookup(key, len(eligible)) {
+		tried := map[string]bool{}
+		for hop, name := range r.lookup(key, len(pool)) {
+			tried[name] = true
 			lines, err := c.rpc(name, cmd, false)
 			if err == nil {
 				if _, ok := ReplyOK(lines); ok {
@@ -641,6 +798,9 @@ func (c *Controller) Traffic(slot string, n int) TrafficReport {
 						rep.Rerouted++
 						if c.met != nil {
 							c.met.reroutes.Inc()
+							if placed {
+								c.met.failovers.Inc()
+							}
 						}
 					}
 					rep.Sent += size
@@ -653,13 +813,26 @@ func (c *Controller) Traffic(slot string, n int) TrafficReport {
 			}
 		}
 		if !sent {
-			// Last resort before dropping: every routable worker failed (or
-			// none existed), so try the unroutable ones, circuit breakers
-			// notwithstanding. A transiently-faulted worker often answers —
-			// packet loss is worse than hammering a dead one — and a success
-			// feeds the health machine like any probe.
+			// Last resort before dropping: every routable replica failed (or
+			// none existed), so try everyone else — unroutable replicas
+			// first, then non-replicas that may still hold an undrained
+			// copy — circuit breakers notwithstanding. A transiently-faulted
+			// worker often answers — packet loss is worse than hammering a
+			// dead one — and a success feeds the health machine like any
+			// probe.
 			c.mu.Lock()
-			rest := c.workerNamesLocked(func(w *worker) bool { return !w.health.eligible() })
+			var rest []string
+			for _, rn := range replicas {
+				if !tried[rn] && c.workers[rn] != nil {
+					rest = append(rest, rn)
+					tried[rn] = true
+				}
+			}
+			for _, name := range c.workerNamesLocked(func(*worker) bool { return true }) {
+				if !tried[name] {
+					rest = append(rest, name)
+				}
+			}
 			c.mu.Unlock()
 			for _, name := range rest {
 				lines, err := c.rpcWith(name, cmd, false, true)
@@ -672,6 +845,9 @@ func (c *Controller) Traffic(slot string, n int) TrafficReport {
 					if c.met != nil {
 						c.met.reroutes.Inc()
 						c.met.lastResort.Inc()
+						if placed {
+							c.met.failovers.Inc()
+						}
 						c.met.trafficSent.Add(uint64(size))
 					}
 					sent = true
@@ -701,12 +877,21 @@ type WorkerInfo struct {
 	LastErr string
 }
 
+// PlacementView is one slot's placement row in the fleet status.
+type PlacementView struct {
+	Slot     string
+	Replicas []string
+	Live     int // replicas currently routable
+	Ver      int
+}
+
 // Status is a point-in-time fleet summary.
 type Status struct {
-	Workers  []WorkerInfo
-	Catalog  []CatalogSlot
-	Rollout  *Rollout // copy; nil when none was ever started
-	Degraded bool
+	Workers    []WorkerInfo
+	Catalog    []CatalogSlot
+	Placements []PlacementView // empty in legacy mirror mode
+	Rollout    *Rollout        // copy; nil when none was ever started
+	Degraded   bool
 }
 
 // FleetStatus captures the controller's current view.
@@ -735,6 +920,15 @@ func (c *Controller) FleetStatus() Status {
 	for _, n := range slots {
 		st.Catalog = append(st.Catalog, *c.catalog[n])
 	}
+	for _, n := range c.placementSlotsLocked() {
+		pl := c.placements[n]
+		st.Placements = append(st.Placements, PlacementView{
+			Slot:     n,
+			Replicas: append([]string(nil), pl.Replicas...),
+			Live:     c.liveReplicasLocked(pl),
+			Ver:      pl.Ver,
+		})
+	}
 	if c.rollout != nil {
 		cp := c.rollout.clone()
 		st.Rollout = &cp
@@ -758,6 +952,10 @@ func (s Status) Lines() []string {
 	}
 	for _, cs := range s.Catalog {
 		out = append(out, fmt.Sprintf("slot=%s gen=%d src=%q", cs.Name, cs.Gen, cs.Src))
+	}
+	for _, pv := range s.Placements {
+		out = append(out, fmt.Sprintf("placement slot=%s ver=%d live=%d/%d replicas=%s",
+			pv.Slot, pv.Ver, pv.Live, len(pv.Replicas), strings.Join(pv.Replicas, ",")))
 	}
 	if r := s.Rollout; r != nil {
 		l := fmt.Sprintf("rollout slot=%s gen=%d phase=%s worker=%d/%d promoted=%d",
@@ -832,6 +1030,26 @@ func parseDeployReply(lines []string) (deployReply, bool) {
 		}
 	}
 	return rep, true
+}
+
+// parseEseq extracts the event-sequence watermark (eseq=N) a worker
+// piggybacks on traffic and status replies. Absent on pre-watermark workers —
+// the caller falls back to a full status poll.
+func parseEseq(lines []string) (int, bool) {
+	last, ok := ReplyOK(lines)
+	if !ok {
+		return 0, false
+	}
+	for _, kv := range strings.Fields(last) {
+		if v, found := strings.CutPrefix(kv, "eseq="); found {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return 0, false
+			}
+			return n, true
+		}
+	}
+	return 0, false
 }
 
 // parseLiveGen extracts live=genN from an ok line (promote / rollback).

@@ -18,6 +18,10 @@ const (
 	EventWorkerPromoted EventKind = "worker-promoted"
 	EventWorkerRolled   EventKind = "worker-rolled-back"
 	EventRecovered      EventKind = "recovered"
+	EventLeave          EventKind = "leave"
+	EventPlacement      EventKind = "placement"
+	EventRepair         EventKind = "repair"
+	EventDrained        EventKind = "drained"
 )
 
 // Event is one entry in the controller's bounded event ring.

@@ -40,6 +40,7 @@ type LocalWorker struct {
 	seed    uint64
 	traffic int64
 	down    bool
+	token   string // control token; "" accepts everything
 }
 
 // AddWorker creates a worker reachable at an address equal to its name. The
@@ -83,6 +84,29 @@ func (lt *LocalTransport) Restart(name string, fresh bool) {
 	}
 }
 
+// SetToken arms the worker's control-listener auth: RPCs must carry a
+// matching "auth <token>" prefix or they are refused.
+func (lt *LocalTransport) SetToken(name, token string) {
+	if w := lt.get(name); w != nil {
+		w.mu.Lock()
+		w.token = token
+		w.mu.Unlock()
+	}
+}
+
+// AuthFailures reads the worker's refused-RPC counter. Per-incarnation: a
+// Restart resets the registry along with the rest of the worker.
+func (lt *LocalTransport) AuthFailures(name string) int64 {
+	w := lt.get(name)
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	reg := w.reg
+	w.mu.Unlock()
+	return reg.Snapshot()["merlin_fleet_auth_failures_total"]
+}
+
 // Manager exposes the worker's lifecycle manager for test assertions.
 func (lt *LocalTransport) Manager(name string) *lifecycle.Manager {
 	if w := lt.get(name); w != nil {
@@ -119,7 +143,15 @@ func (lt *LocalTransport) RPC(ctx context.Context, addr, line string) ([]string,
 // speaks. Replies reuse the daemon's exact grammar so the controller's
 // parsers are exercised identically in-process and over TCP.
 func (w *LocalWorker) dispatch(line string) []string {
-	args := strings.Fields(line)
+	rest, authed := CheckAuth(w.token, line)
+	if !authed {
+		if w.reg != nil {
+			w.reg.Counter("merlin_fleet_auth_failures_total",
+				"control RPCs refused for a missing or wrong token").Inc()
+		}
+		return []string{"err unauthorized"}
+	}
+	args := strings.Fields(rest)
 	if len(args) == 0 {
 		return []string{"err empty command"}
 	}
@@ -193,8 +225,14 @@ func (w *LocalWorker) dispatch(line string) []string {
 			}
 		}
 		st, _ := w.mgr.StatusOf(args[0])
-		return []string{fmt.Sprintf("ok traffic %s n=%d stage=%s served=%d mirrored=%d",
-			args[0], n, st.Stage, st.Served, st.Mirrored)}
+		return []string{fmt.Sprintf("ok traffic %s n=%d stage=%s served=%d mirrored=%d eseq=%d",
+			args[0], n, st.Stage, st.Served, st.Mirrored, st.EventSeq)}
+	case "drain":
+		if len(args) != 1 {
+			return []string{"err usage: drain <slot>"}
+		}
+		removed := w.mgr.Remove(args[0])
+		return []string{fmt.Sprintf("ok drain %s removed=%v", args[0], removed)}
 	case "tick":
 		w.mgr.Tick()
 		return []string{"ok tick"}

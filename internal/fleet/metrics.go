@@ -27,6 +27,23 @@ type fleetMetrics struct {
 
 	reconciles      *metrics.Counter
 	journalFailures *metrics.Counter
+
+	// Placement / repair telemetry (R > 0 only, but always registered).
+	reg                *metrics.Registry // for lazy per-slot replica gauges
+	replicaGauges      map[string]*metrics.Gauge
+	underReplicated    *metrics.Gauge
+	failovers          *metrics.Counter
+	drains             *metrics.Counter
+	repairsStarted     *metrics.Counter
+	repairsFailed      *metrics.Counter
+	repairsGated       *metrics.Counter
+	repairsBootstrap   *metrics.Counter
+	repairBreakerOpens *metrics.Counter
+	repairSteps        *metrics.Histogram
+	repairMillis       *metrics.Histogram
+
+	statusPolls *metrics.Counter
+	statusSkips *metrics.Counter
 }
 
 func newFleetMetrics(r *metrics.Registry) *fleetMetrics {
@@ -67,7 +84,42 @@ func newFleetMetrics(r *metrics.Registry) *fleetMetrics {
 		"worker reconcile passes against the fleet catalog")
 	fm.journalFailures = r.Counter("merlin_fleet_journal_failures_total",
 		"controller journal append/compact failures")
+	fm.reg = r
+	fm.replicaGauges = map[string]*metrics.Gauge{}
+	fm.underReplicated = r.Gauge("merlin_fleet_under_replicated",
+		"slots with fewer routable replicas than the replication target")
+	fm.failovers = r.Counter("merlin_fleet_failovers_total",
+		"traffic chunks served by a non-primary replica of their slot")
+	fm.drains = r.Counter("merlin_fleet_drains_total",
+		"stale slot copies drained off workers that lost the placement")
+	fm.repairsStarted = r.Counter("merlin_fleet_repairs_started_total",
+		"re-replication repairs enqueued for under-replicated slots")
+	fm.repairsFailed = r.Counter("merlin_fleet_repairs_failed_total",
+		"repairs abandoned after retries, gate refusal, or target loss")
+	fm.repairsGated = r.Counter("merlin_fleet_repairs_completed_total",
+		"re-replication repairs finished", "mode", "gated")
+	fm.repairsBootstrap = r.Counter("merlin_fleet_repairs_completed_total",
+		"re-replication repairs finished", "mode", "bootstrap")
+	fm.repairBreakerOpens = r.Counter("merlin_fleet_repair_breaker_opens_total",
+		"per-slot repair circuit breaker openings")
+	fm.repairSteps = r.Histogram("merlin_fleet_repair_steps",
+		"steps per completed repair")
+	fm.repairMillis = r.Histogram("merlin_fleet_repair_wall_ms",
+		"wall-clock milliseconds per completed repair")
+	fm.statusPolls = r.Counter("merlin_fleet_status_polls_total",
+		"full status polls issued while judging canary candidates")
+	fm.statusSkips = r.Counter("merlin_fleet_status_skips_total",
+		"status polls skipped because the event watermark was unchanged")
 	return fm
+}
+
+// repairCompleted bumps the mode-labeled completion counter.
+func (fm *fleetMetrics) repairCompleted(mode string) {
+	if mode == "gated" {
+		fm.repairsGated.Inc()
+	} else {
+		fm.repairsBootstrap.Inc()
+	}
 }
 
 // gaugesLocked republishes the per-state worker gauges and the degraded flag.
@@ -87,4 +139,24 @@ func (c *Controller) gaugesLocked() {
 		c.met.workersState[h].Set(counts[h])
 	}
 	c.met.degraded.Set(degraded)
+
+	// Placement gauges: live replicas per slot and the under-replicated
+	// count. Cheap (slots × R) and always fresh — this runs after every RPC.
+	under := int64(0)
+	want := c.repairWantLocked()
+	for _, slot := range c.placementSlotsLocked() {
+		pl := c.placements[slot]
+		live := c.liveReplicasLocked(pl)
+		g := c.met.replicaGauges[slot]
+		if g == nil {
+			g = c.met.reg.Gauge("merlin_fleet_replicas",
+				"routable replicas per slot", "slot", slot)
+			c.met.replicaGauges[slot] = g
+		}
+		g.Set(int64(live))
+		if live < want {
+			under++
+		}
+	}
+	c.met.underReplicated.Set(under)
 }

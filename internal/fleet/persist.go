@@ -7,21 +7,26 @@ import (
 	"merlin/internal/journal"
 )
 
-// The controller's durable state is four record kinds appended to a journal
-// (latest-wins per key on replay) plus a snapshot for compaction — the same
-// shape as the per-worker lifecycle journal one level down. What is NOT
-// persisted is health: a recovered controller assumes nothing about the
-// world and re-earns its view by probing every journaled worker.
+// The controller's durable state is five record kinds appended to a journal
+// (latest-wins per key on replay; worker and installed records double as
+// tombstones via Gone) plus a snapshot for compaction — the same shape as
+// the per-worker lifecycle journal one level down. What is NOT persisted is
+// health: a recovered controller assumes nothing about the world and
+// re-earns its view by probing every journaled worker. Repair tasks are also
+// not persisted: a recovered controller recomputes under-replication from
+// the placement map and health, which is both simpler and self-correcting.
 const (
 	recWorker    = "worker"
 	recCatalog   = "catalog"
 	recInstalled = "installed"
 	recRollout   = "rollout"
+	recPlacement = "placement"
 )
 
 type workerRec struct {
 	Name string `json:"name"`
-	Addr string `json:"addr"`
+	Addr string `json:"addr,omitempty"`
+	Gone bool   `json:"gone,omitempty"` // tombstone: the worker left the fleet
 }
 
 type record struct {
@@ -30,14 +35,16 @@ type record struct {
 	Catalog   *CatalogSlot  `json:"catalog,omitempty"`
 	Installed *installedRec `json:"installed,omitempty"`
 	Rollout   *Rollout      `json:"rollout,omitempty"`
+	Placement *Placement    `json:"placement,omitempty"`
 }
 
 type snapshot struct {
-	Version   int            `json:"version"`
-	Workers   []workerRec    `json:"workers"`
-	Catalog   []CatalogSlot  `json:"catalog"`
-	Installed []installedRec `json:"installed"`
-	Rollout   *Rollout       `json:"rollout,omitempty"`
+	Version    int            `json:"version"`
+	Workers    []workerRec    `json:"workers"`
+	Catalog    []CatalogSlot  `json:"catalog"`
+	Installed  []installedRec `json:"installed"`
+	Placements []Placement    `json:"placements,omitempty"`
+	Rollout    *Rollout       `json:"rollout,omitempty"`
 }
 
 const snapshotVersion = 1
@@ -95,6 +102,12 @@ func (c *Controller) snapshotLocked() snapshot {
 			snap.Installed = append(snap.Installed, rec)
 		}
 	}
+	for _, n := range c.placementSlotsLocked() {
+		pl := c.placements[n]
+		cp := *pl
+		cp.Replicas = append([]string(nil), pl.Replicas...)
+		snap.Placements = append(snap.Placements, cp)
+	}
 	if c.rollout != nil {
 		cp := c.rollout.clone()
 		snap.Rollout = &cp
@@ -123,10 +136,11 @@ func (c *Controller) Flush() {
 
 // RecoverStats summarizes a journal recovery.
 type RecoverStats struct {
-	Workers   int
-	Slots     int
-	Installed int
-	Records   int
+	Workers    int
+	Slots      int
+	Installed  int
+	Placements int
+	Records    int
 	// RolloutPhase is the recovered rollout's phase, "" when none.
 	RolloutPhase string
 }
@@ -165,8 +179,25 @@ func (c *Controller) Recover() (RecoverStats, error) {
 	if err != nil {
 		return rs, err
 	}
+	// Prune orphan placements: a crash between a Deploy's placement record
+	// and its rollout/catalog records can leave a placement for a slot the
+	// recovered controller has no blessed catalog entry for. The rebalancer
+	// only repairs catalog slots, so an orphan would sit under-replicated
+	// forever; drop it — the next Deploy of the slot re-assigns fresh.
+	for _, slot := range c.placementSlotsLocked() {
+		if c.catalog[slot] != nil {
+			continue
+		}
+		if c.rollout != nil && !c.rollout.terminal() && c.rollout.Slot == slot {
+			continue
+		}
+		delete(c.placements, slot)
+		c.eventLocked(Event{Kind: EventPlacement, Slot: slot,
+			Detail: "orphan placement (no catalog) dropped at recovery"})
+	}
 	rs.Workers = len(c.workers)
 	rs.Slots = len(c.catalog)
+	rs.Placements = len(c.placements)
 	for _, slots := range c.installed {
 		rs.Installed += len(slots)
 	}
@@ -197,6 +228,9 @@ func (c *Controller) applySnapshotLocked(snap snapshot) {
 	for i := range snap.Installed {
 		c.applyRecordLocked(record{Kind: recInstalled, Installed: &snap.Installed[i]})
 	}
+	for i := range snap.Placements {
+		c.applyRecordLocked(record{Kind: recPlacement, Placement: &snap.Placements[i]})
+	}
 	if snap.Rollout != nil {
 		c.applyRecordLocked(record{Kind: recRollout, Rollout: snap.Rollout})
 	}
@@ -206,6 +240,17 @@ func (c *Controller) applyRecordLocked(rec record) {
 	switch rec.Kind {
 	case recWorker:
 		if rec.Worker == nil {
+			return
+		}
+		if rec.Worker.Gone {
+			delete(c.workers, rec.Worker.Name)
+			delete(c.installed, rec.Worker.Name)
+			for _, slot := range c.placementSlotsLocked() {
+				pl := c.placements[slot]
+				if containsStr(pl.Replicas, rec.Worker.Name) {
+					pl.Replicas = withoutStr(pl.Replicas, rec.Worker.Name)
+				}
+			}
 			return
 		}
 		w := c.workers[rec.Worker.Name]
@@ -228,7 +273,22 @@ func (c *Controller) applyRecordLocked(rec record) {
 		if rec.Installed == nil {
 			return
 		}
+		if rec.Installed.Gone {
+			delete(c.installed[rec.Installed.Worker], rec.Installed.Slot)
+			return
+		}
 		c.installedLocked(rec.Installed.Worker)[rec.Installed.Slot] = *rec.Installed
+	case recPlacement:
+		if rec.Placement == nil {
+			return
+		}
+		if rec.Placement.Gone {
+			delete(c.placements, rec.Placement.Slot)
+			return
+		}
+		cp := *rec.Placement
+		cp.Replicas = append([]string(nil), rec.Placement.Replicas...)
+		c.placements[cp.Slot] = &cp
 	case recRollout:
 		if rec.Rollout == nil {
 			return

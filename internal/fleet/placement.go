@@ -1,0 +1,174 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Placement is one slot's replica assignment: the R distinct workers chosen
+// by successor-walk on the consistent-hash ring, in walk order. It is
+// journaled (recPlacement) so a SIGKILLed controller recovers exact
+// ownership, and Ver increments on every change so journal replay is
+// latest-wins and status output shows churn.
+type Placement struct {
+	Slot     string   `json:"slot"`
+	Replicas []string `json:"replicas"`
+	Ver      int      `json:"ver"`
+	// Gone marks a journaled tombstone: the placement was withdrawn (its
+	// bootstrap rollout failed before blessing the slot). Never set on an
+	// in-memory placement.
+	Gone bool `json:"gone,omitempty"`
+}
+
+// replicasLocked returns a copy of the slot's replica set, or nil when the
+// slot is unplaced (legacy mirror mode, or a slot from before placement was
+// enabled) — nil means "every worker".
+func (c *Controller) replicasLocked(slot string) []string {
+	pl := c.placements[slot]
+	if pl == nil {
+		return nil
+	}
+	return append([]string(nil), pl.Replicas...)
+}
+
+// placedLocked reports whether the worker should hold the slot. Unplaced
+// slots live everywhere.
+func (c *Controller) placedLocked(slot, worker string) bool {
+	pl := c.placements[slot]
+	if pl == nil {
+		return true
+	}
+	return containsStr(pl.Replicas, worker)
+}
+
+// assignPlacementLocked picks the slot's initial replicas: walk the ring of
+// ALL members from hash(slot) and take the first R distinct workers,
+// preferring eligible ones but falling back to down members rather than
+// under-assigning — a down replica is repaired or reconciled later, an
+// unassigned one is forgotten. Journals and returns the placement.
+func (c *Controller) assignPlacementLocked(slot string) *Placement {
+	members := c.workerNamesLocked(func(*worker) bool { return true })
+	r := buildRing(members, c.cfg.VNodes)
+	walk := r.lookup(slot, len(members))
+	want := c.cfg.Replication
+	if want > len(members) {
+		want = len(members)
+	}
+	var replicas []string
+	for _, n := range walk {
+		if len(replicas) == want {
+			break
+		}
+		if c.workers[n].health.eligible() {
+			replicas = append(replicas, n)
+		}
+	}
+	for _, n := range walk {
+		if len(replicas) == want {
+			break
+		}
+		if !containsStr(replicas, n) {
+			replicas = append(replicas, n)
+		}
+	}
+	c.setPlacementLocked(slot, replicas, "assigned by ring walk")
+	return c.placements[slot]
+}
+
+// setPlacementLocked installs and journals a new replica set for the slot.
+func (c *Controller) setPlacementLocked(slot string, replicas []string, why string) {
+	pl := c.placements[slot]
+	ver := 1
+	if pl != nil {
+		ver = pl.Ver + 1
+	}
+	np := &Placement{Slot: slot, Replicas: append([]string(nil), replicas...), Ver: ver}
+	c.placements[slot] = np
+	cp := *np
+	cp.Replicas = append([]string(nil), np.Replicas...)
+	c.journalLocked(record{Kind: recPlacement, Placement: &cp}, true)
+	c.eventLocked(Event{Kind: EventPlacement, Slot: slot,
+		Detail: fmt.Sprintf("ver %d → [%s]: %s", ver, strings.Join(replicas, ","), why)})
+}
+
+// dropPlacementLocked withdraws a slot's placement entirely, journaling a
+// tombstone so recovery does not resurrect it.
+func (c *Controller) dropPlacementLocked(slot, why string) {
+	if c.placements[slot] == nil {
+		return
+	}
+	delete(c.placements, slot)
+	c.journalLocked(record{Kind: recPlacement,
+		Placement: &Placement{Slot: slot, Gone: true}}, true)
+	c.eventLocked(Event{Kind: EventPlacement, Slot: slot, Detail: "placement withdrawn: " + why})
+}
+
+// placementSlotsLocked returns the placed slot names, sorted.
+func (c *Controller) placementSlotsLocked() []string {
+	slots := make([]string, 0, len(c.placements))
+	for n := range c.placements {
+		slots = append(slots, n)
+	}
+	sort.Strings(slots)
+	return slots
+}
+
+// liveReplicasLocked counts the placement's currently-routable replicas.
+func (c *Controller) liveReplicasLocked(pl *Placement) int {
+	live := 0
+	for _, rn := range pl.Replicas {
+		if w := c.workers[rn]; w != nil && w.health.eligible() {
+			live++
+		}
+	}
+	return live
+}
+
+// availReplicasLocked counts replicas that are routable or on their way back
+// (Recovering): the rebalancer only repairs when fewer than R replicas are
+// even plausibly alive, so a worker mid-reconcile does not trigger a churny
+// re-replication.
+func (c *Controller) availReplicasLocked(pl *Placement) int {
+	avail := 0
+	for _, rn := range pl.Replicas {
+		w := c.workers[rn]
+		if w == nil {
+			continue
+		}
+		if w.health.eligible() || w.health == Recovering {
+			avail++
+		}
+	}
+	return avail
+}
+
+// Placements returns slot → replica set (copies). Empty in mirror mode.
+func (c *Controller) Placements() map[string][]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string][]string, len(c.placements))
+	for n, pl := range c.placements {
+		out[n] = append([]string(nil), pl.Replicas...)
+	}
+	return out
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func withoutStr(xs []string, s string) []string {
+	out := make([]string, 0, len(xs))
+	for _, x := range xs {
+		if x != s {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -43,8 +43,11 @@ type Rollout struct {
 	// the divergence gate" when reading status.
 	CandGen  map[string]int `json:"candGen,omitempty"`
 	PrevLive map[string]int `json:"prevLive,omitempty"`
-	// Canary counts canary-feed steps spent on the current worker.
+	// Canary counts canary-feed steps spent on the current worker; Skips
+	// counts consecutive status polls skipped because the worker's event
+	// watermark was unchanged (see stepCanary).
 	Canary int `json:"canary"`
+	Skips  int `json:"skips,omitempty"`
 	// Rollback bookkeeping: Aborted records that the in-flight candidate on
 	// the current worker was torn down; RbIdx indexes Promoted from the
 	// back; Skipped lists workers that were unreachable during rollback and
@@ -76,8 +79,10 @@ func (r *Rollout) clone() Rollout {
 }
 
 // Deploy starts a fleet-wide rolling deploy of src into slot across every
-// currently-routable worker. It fails if a rollout is already in flight or
-// no worker is routable; the actual work happens one action per Step.
+// currently-routable worker — or, with placement enabled, across the slot's
+// routable replicas (assigning the placement first for a new slot). It fails
+// if a rollout is already in flight or no worker is routable; the actual
+// work happens one action per Step.
 func (c *Controller) Deploy(slot, src string) error {
 	if slot == "" || src == "" {
 		return errors.New("fleet: deploy needs a slot and a source")
@@ -91,6 +96,23 @@ func (c *Controller) Deploy(slot, src string) error {
 	order := c.workerNamesLocked(func(w *worker) bool { return w.health.eligible() })
 	if len(order) == 0 {
 		return errors.New("fleet: no routable workers to deploy to")
+	}
+	if c.cfg.Replication > 0 {
+		pl := c.placements[slot]
+		if pl == nil {
+			pl = c.assignPlacementLocked(slot)
+		}
+		order = order[:0]
+		for _, rn := range pl.Replicas {
+			if w := c.workers[rn]; w != nil && w.health.eligible() {
+				order = append(order, rn)
+			}
+		}
+		if len(order) == 0 {
+			return fmt.Errorf("fleet: no routable replica of %s to deploy to", slot)
+		}
+		// The rollout owns the slot now; any repair racing it is stale.
+		c.cancelRepairsForSlotLocked(slot, "new rollout owns the slot")
 	}
 	gen := 1
 	if cat := c.catalog[slot]; cat != nil {
@@ -203,11 +225,27 @@ func (c *Controller) stepDeploy(r *Rollout) {
 	r.PrevLive[name] = rep.liveGen
 	r.Phase = PhaseCanary
 	r.Canary = 0
+	r.Skips = 0
+	// Force the first canary judge to poll: the deploy changed slot state.
+	delete(c.eseqs, eseqKey(name, r.Slot))
+}
+
+// eseqKey indexes the per-(worker, slot) event watermark map.
+func eseqKey(worker, slot string) string {
+	return worker + "/" + slot
 }
 
 // stepCanary feeds the current worker's canary one batch of traffic, ticks
 // its watchdog, and reads the verdict from status. The worker's own canary
 // state machine is the gate — the controller only interprets it.
+//
+// The status poll is skipped when the traffic reply's piggybacked event
+// watermark (eseq) matches the last one seen: every transition the judge
+// cares about — stage advance, clearance, rejection, quarantine — emits a
+// slot event, so an unchanged watermark means an unchanged verdict. The
+// watermark is trusted at most StatusFallbackEvery times in a row; then a
+// full poll runs anyway (and pre-watermark workers, whose replies carry no
+// eseq, are always polled).
 func (c *Controller) stepCanary(r *Rollout) {
 	name, ok := c.currentWorker(r)
 	if !ok {
@@ -216,8 +254,29 @@ func (c *Controller) stepCanary(r *Rollout) {
 	c.mu.Lock()
 	batch := c.cfg.TrafficBatch
 	c.mu.Unlock()
-	if _, err := c.rpc(name, fmt.Sprintf("traffic %s %d", r.Slot, batch), false); err != nil {
+	lines, err := c.rpc(name, fmt.Sprintf("traffic %s %d", r.Slot, batch), false)
+	if err != nil {
 		return
+	}
+	if seq, ok := parseEseq(lines); ok {
+		c.mu.Lock()
+		last, seen := c.eseqs[eseqKey(name, r.Slot)]
+		if seen && seq == last && r.Skips < c.cfg.StatusFallbackEvery {
+			r.Skips++
+			if c.met != nil {
+				c.met.statusSkips.Inc()
+			}
+			// The stall guard still advances: a candidate that never clears
+			// emits no events, and must still time out.
+			if r.Canary++; r.Canary > c.cfg.MaxCanarySteps {
+				c.haltLocked(r, fmt.Sprintf("canary stalled on %s after %d steps",
+					name, c.cfg.MaxCanarySteps))
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.eseqs[eseqKey(name, r.Slot)] = seq
+		c.mu.Unlock()
 	}
 	_, _ = c.rpc(name, "tick", false)
 	c.judgeCandidate(r, name, true)
@@ -227,6 +286,9 @@ func (c *Controller) stepCanary(r *Rollout) {
 // what actually happened to the candidate. Shared by the canary and promote
 // phases — after a lost promote reply this is what discovers the truth.
 func (c *Controller) judgeCandidate(r *Rollout, name string, inCanary bool) {
+	if c.met != nil {
+		c.met.statusPolls.Inc()
+	}
 	lines, err := c.rpc(name, "status", true)
 	if err != nil {
 		return
@@ -241,6 +303,12 @@ func (c *Controller) judgeCandidate(r *Rollout, name string, inCanary bool) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if found {
+		// A full poll refreshes the watermark (the tick between traffic and
+		// status may itself have emitted events) and re-arms the skip budget.
+		c.eseqs[eseqKey(name, r.Slot)] = st.EventSeq
+		r.Skips = 0
+	}
 	switch {
 	case !found:
 		c.haltLocked(r, fmt.Sprintf("slot %s vanished on %s", r.Slot, name))
@@ -360,6 +428,12 @@ func (c *Controller) stepRollback(r *Rollout) {
 	c.mu.Lock()
 	if r.RbIdx >= len(r.Promoted) {
 		r.Phase = PhaseFailed
+		if c.catalog[r.Slot] == nil {
+			// A failed bootstrap rollout: the slot was never blessed, so its
+			// placement points at nothing the fleet defends. Withdraw it — the
+			// next Deploy re-assigns fresh against then-current membership.
+			c.dropPlacementLocked(r.Slot, "bootstrap rollout failed")
+		}
 		if c.met != nil {
 			c.met.rolloutsFailed.Inc()
 		}

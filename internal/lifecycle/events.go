@@ -164,5 +164,11 @@ func (s SlotStatus) String() string {
 	if s.Retries > 0 || s.Dead {
 		out += fmt.Sprintf(" retries=%d dead=%v", s.Retries, s.Dead)
 	}
+	if s.EventSeq > 0 {
+		// The event watermark rides on every status (and traffic) reply so a
+		// fleet controller can tell "nothing happened since I last looked"
+		// without a full status poll.
+		out += fmt.Sprintf(" eseq=%d", s.EventSeq)
+	}
 	return out
 }

@@ -765,6 +765,30 @@ func (m *Manager) Abort(name string) error {
 	return nil
 }
 
+// Remove drains a slot entirely: the live deployment, any candidate, the
+// event ring, and the journal's memory of it (via a tombstone record, so the
+// removal survives a crash). It exists for the fleet's `drain` RPC — when
+// placement moves a slot off a worker the stale copy must stop existing, or a
+// rejoin would resurrect it and serve old code. Removing an unknown slot is a
+// no-op returning false: drains are retried by reconciliation and must be
+// idempotent.
+func (m *Manager) Remove(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.slots[name] == nil {
+		return false
+	}
+	delete(m.slots, name)
+	for i, n := range m.order {
+		if n == name {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.journalRemoveLocked(name)
+	return true
+}
+
 // rejectLocked discards the candidate for a deterministic failure
 // (divergence or cycle regression): rebuilding the same module would produce
 // the same program, so the watchdog does not retry.

@@ -71,13 +71,14 @@ type persistedSlot struct {
 	Events         []Event
 }
 
-// persistedRecord is one journal payload: a slot upsert, or the recovery
-// marker a degraded journal appends on re-attachment (Kind "reattach", At
-// set, Slot nil).
+// persistedRecord is one journal payload: a slot upsert, a slot removal
+// tombstone (Kind "remove", Name set), or the recovery marker a degraded
+// journal appends on re-attachment (Kind "reattach", At set, Slot nil).
 type persistedRecord struct {
-	Kind string // "slot" | "reattach"
+	Kind string // "slot" | "remove" | "reattach"
 	Slot *persistedSlot
-	At   int64 `json:",omitempty"` // UnixNano, recovery markers only
+	Name string `json:",omitempty"` // removal tombstones only
+	At   int64  `json:",omitempty"` // UnixNano, recovery markers only
 }
 
 // persistedSnapshot is the compacted full state.
@@ -149,6 +150,35 @@ func (m *Manager) journalSlotLocked(s *slot, sync bool) {
 	}
 	if err := j.Append(payload, sync); err != nil {
 		m.journalFailLocked(s, "append", err)
+		return
+	}
+	m.journalOKLocked()
+	m.jmet.appendInc()
+	if j.Records() >= m.cfg.CompactEvery {
+		m.compactLocked()
+	}
+}
+
+// journalRemoveLocked appends a removal tombstone so a crash after Remove
+// does not resurrect the slot on Recover. Same failure policy as
+// journalSlotLocked: count, never propagate. The tombstone fsyncs — removal
+// is a stage transition for placement purposes.
+func (m *Manager) journalRemoveLocked(name string) {
+	j := m.cfg.Journal
+	if j == nil {
+		return
+	}
+	if m.jDegraded {
+		m.maybeReattachLocked()
+		return
+	}
+	payload, err := json.Marshal(persistedRecord{Kind: "remove", Name: name})
+	if err != nil {
+		m.jmet.appendErrInc()
+		return
+	}
+	if err := j.Append(payload, true); err != nil {
+		m.journalFailLocked(nil, "append", err)
 		return
 	}
 	m.journalOKLocked()
@@ -307,6 +337,17 @@ func (m *Manager) Recover() (RecoverStats, error) {
 		case rec.Kind == "slot":
 			rs.ReplayedRecords++
 			upsert(rec.Slot)
+		case rec.Kind == "remove":
+			rs.ReplayedRecords++
+			if _, ok := latest[rec.Name]; ok {
+				delete(latest, rec.Name)
+				for i, n := range order {
+					if n == rec.Name {
+						order = append(order[:i], order[i+1:]...)
+						break
+					}
+				}
+			}
 		case rec.Kind == recoveryMarkerKind:
 			// A past outage's re-attachment marker: healthy, carries no slot
 			// state.

@@ -1,0 +1,67 @@
+package lifecycle
+
+import (
+	"testing"
+)
+
+// TestRemoveTombstoneSurvivesCrash: removing a slot journals a tombstone, so
+// a controller-ordered drain (placement moved the slot elsewhere) stays
+// drained across a worker crash — recovery must not resurrect the slot from
+// its earlier deploy records.
+func TestRemoveTombstoneSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	jl := openJournal(t, dir)
+	m := NewManager(Config{ShadowRuns: 2, CanaryRuns: 2, Journal: jl})
+	opts := DeployOptions{SourceDesc: "count"}
+	for _, slot := range []string{"keep", "drained"} {
+		if err := m.DeployWith(slot, progSource(countProg("v1"), nil), opts); err != nil {
+			t.Fatal(err)
+		}
+		serveClean(t, m, slot, 2)
+	}
+	if !m.Remove("drained") {
+		t.Fatal("Remove(drained) = false, want true")
+	}
+	if m.Remove("drained") {
+		t.Fatal("second Remove(drained) = true, want false (already gone)")
+	}
+	if err := jl.Close(); err != nil { // crash: no Flush, tail records only
+		t.Fatal(err)
+	}
+
+	jl2 := openJournal(t, dir)
+	defer jl2.Close()
+	m2 := NewManager(Config{ShadowRuns: 2, CanaryRuns: 2, Journal: jl2,
+		ResolveSource: resolveCount})
+	rs, err := m2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rs.Slots != 1 {
+		t.Fatalf("recover stats %s: want exactly 1 slot (tombstone honored)", rs)
+	}
+	if _, err := m2.StatusOf("drained"); err == nil {
+		t.Fatal("removed slot resurrected by recovery")
+	}
+	if st, err := m2.StatusOf("keep"); err != nil || st.Stage != StageLive {
+		t.Fatalf("surviving slot: status %v err %v, want live", st, err)
+	}
+
+	// The tombstone also survives compaction: snapshot, reopen, recover.
+	if err := m2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	jl3 := openJournal(t, dir)
+	defer jl3.Close()
+	m3 := NewManager(Config{ShadowRuns: 2, CanaryRuns: 2, Journal: jl3,
+		ResolveSource: resolveCount})
+	if _, err := m3.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m3.StatusOf("drained"); err == nil {
+		t.Fatal("removed slot resurrected after compaction")
+	}
+}

@@ -10,8 +10,8 @@ import (
 // "slot=... stage=..." status line back into a SlotStatus. The fleet
 // controller drives worker merlinds over the line protocol and reconciles
 // against what `status` reports, so the textual status line is a wire format
-// and this parser is its other half. Fields the line omits (events, the
-// event sequence) stay zero.
+// and this parser is its other half. Fields the line omits (the event ring
+// itself) stay zero.
 func ParseSlotStatus(line string) (SlotStatus, error) {
 	var st SlotStatus
 	st.LiveNI = -1
@@ -55,6 +55,8 @@ func ParseSlotStatus(line string) (SlotStatus, error) {
 			st.Retries, err = strconv.Atoi(val)
 		case "dead":
 			st.Dead, err = strconv.ParseBool(val)
+		case "eseq":
+			st.EventSeq, err = strconv.Atoi(val)
 		default:
 			// Unknown fields are tolerated: newer workers may report more.
 		}

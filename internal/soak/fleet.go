@@ -541,8 +541,14 @@ func RunFleet(cfg FleetConfig) (*FleetReport, error) {
 		}
 	}
 	for _, cs := range st.Catalog {
+		// In mirror mode every worker holds every slot; under placement only
+		// the slot's replicas are expected to serve it.
+		holders := names
+		if reps := c.Placements()[cs.Name]; len(reps) > 0 {
+			holders = reps
+		}
 		var want uint64
-		for i, name := range names {
+		for i, name := range holders {
 			insns, err := serveVerdict(lt, name, cs.Name)
 			if err != nil {
 				return rep, fmt.Errorf("fleet soak: final: %w", err)
@@ -551,7 +557,7 @@ func RunFleet(cfg FleetConfig) (*FleetReport, error) {
 				want = insns
 			} else if insns != want {
 				return rep, fmt.Errorf("fleet soak: fleet not uniform for %s: %s serves %d insns, %s serves %d",
-					cs.Name, name, insns, names[0], want)
+					cs.Name, name, insns, holders[0], want)
 			}
 		}
 	}
