@@ -136,6 +136,13 @@ go test -run FuzzVMEquivalence -fuzz FuzzVMEquivalence -fuzztime 20s ./internal/
 MERLIN_VM_FLOOR="${MERLIN_VM_FLOOR:-3.0}"
 go run ./cmd/merlin-bench -vm-floor "$MERLIN_VM_FLOOR" -vm-json bench_vm.json vmbench
 
+# Build-service latency trajectory: cold superopt builds vs artifact-cache
+# hits vs builds against a federated verdict cache, over the XDP corpus.
+# buildbench itself asserts the cache discipline (warm builds come back
+# cached, federated builds run zero searches); each run appends to the
+# bench_build.json trajectory like vmbench does.
+go run ./cmd/merlin-bench -build-json bench_build.json buildbench
+
 # Storage-chaos soak: seeded faults (ENOSPC/EIO/torn writes) at ~1% on every
 # journal I/O site while concurrent traffic races deploy/promote/rollback
 # churn, under the race detector. The incumbent must never fail a serve, and
@@ -304,6 +311,112 @@ kill -9 "$W1_PID" "$W2_PID" || true
 exec 8>&-
 rm -rf "$FLEET_STATE" "$CTL2_FIFO" \
     /tmp/fleet-ctl-out /tmp/fleet-ctl2-out /tmp/fleet-w1-out /tmp/fleet-w2-out /tmp/fleet-w2b-out
+
+# Federation smoke: a controller and two -superopt workers with their own
+# stdin FIFOs. Worker A pays for the enumerative searches on a cold build of
+# the ALU-chain module; one controller fcache round pulls A's verdict delta
+# and pushes the merged union to worker B; the same build on worker B — a
+# daemon that never ran a single search — must still come back strictly
+# improved (saved>0) with searches=0 and every window verdict a cache hit.
+FED_DIR=$(mktemp -d)
+cat > "$FED_DIR/sochain.mir" <<'EOF'
+module "sochain"
+
+func fold(%ctx: ptr) -> i64 {
+entry:
+  %data = load ptr, %ctx, align 8
+  %endp = gep %ctx, 8
+  %end = load ptr, %endp, align 8
+  %lim = bin add i64 %data, 14
+  %short = icmp ugt i64 %lim, %end
+  condbr %short, drop, work
+drop:
+  ret 1
+work:
+  %p = load ptr, %ctx, align 8
+  %v = load i64, %p, align 8
+  %a = bin add i64 %v, 5
+  %b = bin add i64 %a, 3
+  %c = bin add i64 %b, 7
+  %d = bin mul i64 %c, 1
+  %e = bin xor i64 %d, 0
+  %f = bin add i64 %e, 0
+  ret %f
+}
+EOF
+go build -o /tmp/merlind-fed ./cmd/merlind
+FCTL_FIFO=$(mktemp -u)
+mkfifo "$FCTL_FIFO"
+/tmp/merlind-fed -controller 127.0.0.1:0 -state-dir "$FED_DIR/state" \
+    < "$FCTL_FIFO" > /tmp/fed-ctl-out 2>&1 &
+FCTL_PID=$!
+exec 8> "$FCTL_FIFO"
+for _ in $(seq 1 100); do
+    grep -q 'ok controller ' /tmp/fed-ctl-out && break
+    sleep 0.1
+done
+FCTL_ADDR=$(grep 'ok controller ' /tmp/fed-ctl-out | head -1 | awk '{print $3}')
+
+FWA_FIFO=$(mktemp -u)
+FWB_FIFO=$(mktemp -u)
+mkfifo "$FWA_FIFO" "$FWB_FIFO"
+/tmp/merlind-fed -join "$FCTL_ADDR" -name wa -rejoin-every 250ms -superopt \
+    -shadow 2 -canary 2 < "$FWA_FIFO" > /tmp/fed-wa-out 2>&1 &
+FWA_PID=$!
+exec 6> "$FWA_FIFO"
+/tmp/merlind-fed -join "$FCTL_ADDR" -name wb -rejoin-every 250ms -superopt \
+    -shadow 2 -canary 2 < "$FWB_FIFO" > /tmp/fed-wb-out 2>&1 &
+FWB_PID=$!
+exec 7> "$FWB_FIFO"
+for _ in $(seq 1 100); do
+    printf 'workers\n' >&8
+    sleep 0.1
+    grep -q 'ok workers n=2' /tmp/fed-ctl-out && break
+done
+grep -q 'ok workers n=2' /tmp/fed-ctl-out
+
+# Cold build on worker A: must search (cache empty) and find rewrites.
+printf 'build %s\n' "$FED_DIR/sochain.mir" >&6
+for _ in $(seq 1 100); do
+    grep -q 'ok build ' /tmp/fed-wa-out && break
+    sleep 0.1
+done
+grep -q 'ok build .*outcome=built' /tmp/fed-wa-out
+grep -Eq 'ok build .*searches=[1-9]' /tmp/fed-wa-out
+
+# One federation round: both workers pulled, the union pushed to both.
+printf 'fcache\n' >&8
+for _ in $(seq 1 100); do
+    grep -q 'ok fcache ' /tmp/fed-ctl-out && break
+    sleep 0.1
+done
+grep -q 'ok fcache workers=2 pulled=2 .*pushed=2 skipped=0' /tmp/fed-ctl-out
+
+# Warm build on worker B: same source, zero searches, every verdict a hit,
+# and the program still comes back smaller than the baseline.
+printf 'build %s\nmetrics\n' "$FED_DIR/sochain.mir" >&7
+for _ in $(seq 1 100); do
+    grep -q 'ok build ' /tmp/fed-wb-out && break
+    sleep 0.1
+done
+grep -q 'ok build .*outcome=built' /tmp/fed-wb-out
+grep -q 'searches=0 hits=[1-9]' /tmp/fed-wb-out
+grep -Eq 'ok build .*saved=[1-9]' /tmp/fed-wb-out
+for _ in $(seq 1 100); do
+    grep -q 'merlin_superopt_cache_hits_total [1-9]' /tmp/fed-wb-out && break
+    sleep 0.1
+done
+grep -q 'merlin_superopt_cache_hits_total [1-9]' /tmp/fed-wb-out
+grep -q 'merlin_superopt_searches_total 0' /tmp/fed-wb-out
+grep -q 'merlin_build_outcomes_total{outcome="built"} 1' /tmp/fed-wb-out
+
+printf 'quit\n' >&6
+printf 'quit\n' >&7
+printf 'quit\n' >&8
+wait "$FWA_PID" "$FWB_PID" "$FCTL_PID"
+exec 6>&- 7>&- 8>&-
+rm -rf "$FED_DIR" "$FCTL_FIFO" "$FWA_FIFO" "$FWB_FIFO" /tmp/merlind-fed \
+    /tmp/fed-ctl-out /tmp/fed-wa-out /tmp/fed-wb-out
 
 # Placement smoke: 3 workers, replication 2, authenticated control plane.
 # Joins without the shared token must be refused; each slot lands on exactly

@@ -7,12 +7,20 @@
 // per RunBatch call, -vm-floor gates on the corpus-aggregate seed/batch
 // speedup, and -vm-json appends the run to a trajectory artifact.
 //
+// The buildbench subcommand benchmarks the optimization-as-a-service path
+// (internal/buildsvc): cold superopt builds vs artifact-cache hits vs builds
+// on a federated verdict cache that never searched; -build-budget sets the
+// superopt search budget and -build-json appends the run to a trajectory
+// artifact (bench_build.json in CI).
+//
 // Usage:
 //
 //	merlin-bench [-full] [-batch n] [-vm-floor x] [-vm-json path]
+//	             [-build-budget n] [-build-json path]
 //	             <table1|table2|table3|table4|table5|
 //	              fig10a|fig10b|fig10c|fig10d|fig10e|fig10f|
-//	              fig11|fig12|fig13a|fig13b|fig14|fig15|vmbench|all>
+//	              fig11|fig12|fig13a|fig13b|fig14|fig15|
+//	              vmbench|buildbench|all>
 package main
 
 import (
@@ -32,6 +40,8 @@ func main() {
 	batch := flag.Int("batch", netbench.DefaultBatchSize, "vmbench: packets per RunBatch call")
 	vmFloor := flag.Float64("vm-floor", 0, "vmbench: fail unless the aggregate seed/batch speedup reaches this factor")
 	vmJSON := flag.String("vm-json", "", "vmbench: append the run to this JSON trajectory artifact")
+	buildBudget := flag.Int("build-budget", 0, "buildbench: superopt search budget (0 = superopt default)")
+	buildJSON := flag.String("build-json", "", "buildbench: append the run to this JSON trajectory artifact")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: merlin-bench [-full] <experiment|all>")
@@ -53,6 +63,9 @@ func main() {
 		"fig14": fig14, "fig15": fig15,
 		"vmbench": func(cfg experiments.Config) error {
 			return vmbench(cfg, *batch, *vmFloor, *vmJSON)
+		},
+		"buildbench": func(cfg experiments.Config) error {
+			return buildbench(*buildBudget, *buildJSON)
 		},
 	}
 	if cmd == "all" {
@@ -112,6 +125,32 @@ func vmbench(cfg experiments.Config, batch int, floor float64, jsonPath string) 
 	if floor > 0 && res.SeedSpeedup() < floor {
 		return fmt.Errorf("vmbench: aggregate seed/batch speedup %.2fx below the %.2fx floor",
 			res.SeedSpeedup(), floor)
+	}
+	return nil
+}
+
+func buildbench(budget int, jsonPath string) error {
+	res, err := experiments.BuildBench(budget)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Build service latency (XDP corpus, superopt budget=%d)\n", res.Budget)
+	fmt.Printf("%-22s %6s %10s %10s %10s %9s %8s\n",
+		"program", "NI", "cold us", "warm us", "fed us", "searches", "fed hits")
+	for _, r := range res.Rows {
+		fmt.Printf("%-22s %6d %10.1f %10.1f %10.1f %9d %8d\n",
+			r.Program, r.NI, float64(r.ColdNs)/1e3, float64(r.WarmNs)/1e3,
+			float64(r.FedNs)/1e3, r.ColdSearches, r.FedHits)
+	}
+	fmt.Printf("%-22s %6s %10.1f %10.1f %10.1f\n", "corpus total", "",
+		float64(res.ColdNs)/1e3, float64(res.WarmNs)/1e3, float64(res.FedNs)/1e3)
+	fmt.Printf("warm speedup %.2fx (artifact cache), federated speedup %.2fx (verdicts without searching)\n",
+		res.WarmSpeedup(), res.FedSpeedup())
+	if jsonPath != "" {
+		if err := experiments.AppendBuildBenchJSON(jsonPath, res); err != nil {
+			return fmt.Errorf("buildbench: writing %s: %w", jsonPath, err)
+		}
+		fmt.Printf("trajectory appended to %s\n", jsonPath)
 	}
 	return nil
 }

@@ -15,6 +15,9 @@
 //	fstep [n]               drive up to n rollout steps (default 1)
 //	fwait [max]             step until the rollout settles (default 1000)
 //	ftraffic <slot> <n>     fan n packets across the fleet's routable workers
+//	fcache                  federate superopt caches: pull worker deltas,
+//	                        merge as a union (conflicts abort loudly), push
+//	                        the merged cache back to every worker
 //	fevents                 dump the fleet event ring
 //	fmetrics                fleet-aggregated metrics (controller + workers)
 //	tick                    probe down workers, reconcile recovering ones
@@ -407,6 +410,13 @@ func dispatchController(ctl *fleet.Controller, w io.Writer, line string) error {
 		rep := ctl.Traffic(args[0], n)
 		fmt.Fprintf(w, "ok ftraffic %s sent=%d rerouted=%d dropped=%d\n",
 			args[0], rep.Sent, rep.Rerouted, rep.Dropped)
+		return nil
+	case "fcache":
+		rep, err := ctl.CacheSync()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "ok fcache %s\n", rep)
 		return nil
 	case "fevents":
 		for _, ev := range ctl.Events() {

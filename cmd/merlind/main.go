@@ -20,6 +20,11 @@
 //	abort <slot>                                  discard the staged candidate
 //	drain <slot>                                  remove the slot entirely
 //	                                              (controller-driven rebalance)
+//	build <file.mir|corpus:NAME> [func]           run the build service
+//	                                              (dedup + artifact cache)
+//	cachestats                                    superopt + artifact cache sizes
+//	cacheexport [since]                           export superopt verdicts ≥ since
+//	cachemerge <b64>                              union a peer's verdicts in
 //	status                                        one line per slot
 //	events <slot>                                 dump the slot's event ring
 //	maps <slot>                                   dump the live program's maps
@@ -73,7 +78,21 @@
 // guarded pipeline and quarantine machinery protect the incumbent exactly as
 // they do for the rule-based optimizers. -superopt-cache persists search
 // verdicts across restarts (it must be a different directory from
-// -state-dir; each is exclusively locked).
+// -state-dir; each is exclusively locked). Without -superopt-cache the
+// daemon still keeps a process-wide in-memory verdict cache, so repeated
+// builds share verdicts and the cache can be federated (see below).
+//
+// The build service (internal/buildsvc) answers the `build` verb: a bounded
+// worker pool (-build-workers, -build-queue) deduplicates identical
+// submissions by content-addressed key and serves repeat builds from a
+// journal-framed artifact cache (-build-cache, persistent and exclusively
+// locked like the other state directories; empty keeps artifacts in memory).
+// A full queue rejects with a typed error instead of blocking the daemon.
+// `cachestats` reports cache sizes; `cacheexport`/`cachemerge` move superopt
+// verdict deltas between daemons as base64 blobs — the controller's `fcache`
+// verb drives them fleet-wide (pull every worker's delta, merge as a union
+// with loud conflict detection, push the merged cache back), so one
+// machine's search pays for every machine's build.
 //
 // The HTTP listener is resilient: if its accept loop dies (fd exhaustion, a
 // dying interface) the error is logged and counted (merlin_http_serve_errors
@@ -119,6 +138,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/base64"
 	"errors"
 	"flag"
 	"fmt"
@@ -134,6 +154,7 @@ import (
 	"syscall"
 	"time"
 
+	"merlin/internal/buildsvc"
 	"merlin/internal/chaos"
 	"merlin/internal/core"
 	"merlin/internal/corpus"
@@ -157,7 +178,8 @@ type daemon struct {
 	fs         chaos.FS        // source/objfile read path, fault-injectable
 	jlmu       sync.Mutex      // guards jl: the reattach loop sets it concurrently
 	jl         *journal.Log    // nil while the state dir is unavailable
-	socache    *superopt.Cache // nil unless -superopt-cache
+	socache    *superopt.Cache // nil unless -superopt (persistent or in-memory)
+	bsvc       *buildsvc.Service
 	httpSrv    *metrics.ResilientServer
 	buildOpts  core.Options
 	deployOpts lifecycle.DeployOptions
@@ -168,6 +190,10 @@ type daemon struct {
 
 // shutdown flushes and closes everything the daemon owns durable state in.
 func (d *daemon) shutdown() {
+	if d.bsvc != nil {
+		d.bsvc.Close()
+		d.bsvc = nil
+	}
 	if d.socache != nil {
 		d.socache.Close()
 		d.socache = nil
@@ -236,6 +262,9 @@ func main() {
 	useSuperopt := flag.Bool("superopt", false, "run the superoptimizer tier on every deploy build")
 	superoptCache := flag.String("superopt-cache", "", "persistent superoptimizer verdict cache directory")
 	superoptBudget := flag.Int("superopt-budget", superopt.DefaultBudget, "candidate budget per superoptimizer search")
+	buildWorkers := flag.Int("build-workers", 2, "build-service worker pool size")
+	buildQueue := flag.Int("build-queue", 16, "build-service queue capacity (unique builds waiting for a worker)")
+	buildCache := flag.String("build-cache", "", "persistent content-addressed build-artifact cache directory (empty = in-memory)")
 	controller := flag.String("controller", "", "run as fleet controller, listening for workers and commands on this TCP address")
 	joinAddr := flag.String("join", "", "announce this worker to a fleet controller at this address")
 	workerName := flag.String("name", "", "worker name announced to the controller (default w<pid>)")
@@ -296,6 +325,18 @@ func main() {
 	}
 	if *superoptCache != "" && *superoptCache == *stateDir {
 		fmt.Fprintln(os.Stderr, "merlind: -superopt-cache and -state-dir must be different directories (each is exclusively locked)")
+		os.Exit(2)
+	}
+	if *buildWorkers <= 0 {
+		fmt.Fprintf(os.Stderr, "merlind: -build-workers must be positive, got %d\n", *buildWorkers)
+		os.Exit(2)
+	}
+	if *buildQueue <= 0 {
+		fmt.Fprintf(os.Stderr, "merlind: -build-queue must be positive, got %d\n", *buildQueue)
+		os.Exit(2)
+	}
+	if *buildCache != "" && (*buildCache == *stateDir || *buildCache == *superoptCache) {
+		fmt.Fprintln(os.Stderr, "merlind: -build-cache must be a different directory from -state-dir and -superopt-cache (each is exclusively locked)")
 		os.Exit(2)
 	}
 	if math.IsNaN(*srcFaultRate) || *srcFaultRate < 0 || *srcFaultRate > 1 {
@@ -375,10 +416,31 @@ func main() {
 				os.Exit(2)
 			}
 			d.socache = cache
-			socfg.Cache = cache
+		} else {
+			// A process-wide in-memory cache: repeated builds share verdicts
+			// and cacheexport/cachemerge (fleet federation) have something to
+			// export even without persistence.
+			d.socache = superopt.NewMemCache()
 		}
+		socfg.Cache = d.socache
 		d.buildOpts.Superopt = socfg
 	}
+	bcfg := buildsvc.Config{
+		Workers: *buildWorkers,
+		Queue:   *buildQueue,
+		Metrics: buildsvc.NewMetrics(reg),
+	}
+	if *buildCache != "" {
+		acache, err := buildsvc.OpenArtifactCache(*buildCache)
+		if err != nil {
+			// journal.ErrLocked names the holder pid; any open failure is a
+			// misconfiguration, so fail fast like -superopt-cache does.
+			fmt.Fprintln(os.Stderr, "merlind: -build-cache:", err)
+			os.Exit(2)
+		}
+		bcfg.Cache = acache
+	}
+	d.bsvc = buildsvc.New(bcfg)
 	cfg := lifecycle.Config{
 		ShadowRuns:   *shadow,
 		CanaryRuns:   *canary,
@@ -668,9 +730,132 @@ func (d *daemon) dispatch(w io.Writer, line string) error {
 		d.mgr.Tick()
 		fmt.Fprintln(w, "ok tick")
 		return nil
+	case "build":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: build <file.mir|corpus:NAME> [func]")
+		}
+		return d.build(w, args[0], args[1:])
+	case "cachestats":
+		return d.cacheStats(w)
+	case "cacheexport":
+		var since uint64
+		if len(args) > 0 {
+			v, err := strconv.ParseUint(args[0], 10, 64)
+			if err != nil {
+				return fmt.Errorf("cacheexport: since must be a non-negative integer")
+			}
+			since = v
+		}
+		return d.cacheExport(w, since)
+	case "cachemerge":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: cachemerge <base64-blob>")
+		}
+		return d.cacheMerge(w, args[0])
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// buildRequest resolves a build operand into a content-addressed request.
+// Corpus programs are rendered to canonical IR text so the same program
+// submitted on two daemons shares one key.
+func (d *daemon) buildRequest(src string, rest []string) (buildsvc.Request, error) {
+	opts := d.buildOpts
+	var source []byte
+	var fn string
+	if name, ok := strings.CutPrefix(src, "corpus:"); ok {
+		spec := findCorpus(name)
+		if spec == nil {
+			return buildsvc.Request{}, fmt.Errorf("no corpus program %q", name)
+		}
+		source = []byte(ir.Print(spec.Mod))
+		fn = spec.Func
+		opts.Hook, opts.MCPU = spec.Hook, spec.MCPU
+	} else {
+		text, err := chaos.ReadFile(d.fs, src)
+		if err != nil {
+			return buildsvc.Request{}, err
+		}
+		mod, err := ir.Parse(string(text))
+		if err != nil {
+			return buildsvc.Request{}, err
+		}
+		if len(mod.Funcs) == 0 {
+			return buildsvc.Request{}, fmt.Errorf("module has no functions")
+		}
+		source, fn = text, mod.Funcs[0].Name
+	}
+	if len(rest) > 0 {
+		fn = rest[0]
+	}
+	return buildsvc.Request{Source: source, Func: fn, Opts: opts}, nil
+}
+
+// build runs one submission through the build service and reports the
+// outcome plus the producing build's stats — on artifact hits those are the
+// stats of the build that filled the entry, served without running a pass.
+func (d *daemon) build(w io.Writer, src string, rest []string) error {
+	req, err := d.buildRequest(src, rest)
+	if err != nil {
+		return err
+	}
+	res, err := d.bsvc.Submit(req)
+	if err != nil {
+		return err
+	}
+	st := res.Stats
+	fmt.Fprintf(w, "ok build key=%s outcome=%s insns=%d saved=%d searches=%d hits=%d rewrites=%d cycles-saved=%d ms=%d\n",
+		buildsvc.ShortKey(res.Key), res.Outcome, st.Insns, st.InsnsSaved,
+		st.Searches, st.CacheHits, st.Rewrites, st.CyclesSaved,
+		time.Duration(st.BuildNanos).Milliseconds())
+	return nil
+}
+
+// cacheStats reports the size of both content-addressed caches.
+func (d *daemon) cacheStats(w io.Writer) error {
+	var verdicts int
+	var seq uint64
+	if d.socache != nil {
+		verdicts, seq = d.socache.Len(), d.socache.Seq()
+	}
+	fmt.Fprintf(w, "ok cachestats verdicts=%d seq=%d artifacts=%d pending=%d\n",
+		verdicts, seq, d.bsvc.Cache().Len(), d.bsvc.Pending())
+	return nil
+}
+
+// cacheExport emits the superopt verdicts inserted at sequence >= since as
+// one base64 line, then the new watermark. The controller's fcache sync
+// drives this over the control listener.
+func (d *daemon) cacheExport(w io.Writer, since uint64) error {
+	if d.socache == nil {
+		return fmt.Errorf("no superopt cache (-superopt required)")
+	}
+	blob, seq, n, err := d.socache.Export(since)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "cachedata %s\n", base64.StdEncoding.EncodeToString(blob))
+	fmt.Fprintf(w, "ok cacheexport seq=%d entries=%d\n", seq, n)
+	return nil
+}
+
+// cacheMerge unions a base64 Export blob into the superopt cache. A verdict
+// conflict fails the whole merge and mutates nothing.
+func (d *daemon) cacheMerge(w io.Writer, b64 string) error {
+	if d.socache == nil {
+		return fmt.Errorf("no superopt cache (-superopt required)")
+	}
+	blob, err := base64.StdEncoding.DecodeString(b64)
+	if err != nil {
+		return fmt.Errorf("cachemerge: bad base64: %v", err)
+	}
+	st, err := d.socache.Merge(blob)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ok cachemerge added=%d known=%d total=%d\n", st.Added, st.Known, d.socache.Len())
+	return nil
 }
 
 // moduleSource resolves a deploy operand (file path or corpus:NAME, plus an

@@ -1,0 +1,233 @@
+package buildsvc
+
+import (
+	"encoding/json"
+	"sync"
+
+	"merlin/internal/ebpf"
+	"merlin/internal/journal"
+	"merlin/internal/objfile"
+)
+
+// artifactCompactThreshold bounds the artifact journal like the superopt
+// cache bounds its verdict journal. Artifacts are bigger than verdicts, so
+// the threshold is lower.
+const artifactCompactThreshold = 64
+
+// ArtifactStats is the build telemetry stored beside each cached program, so
+// a cache hit can report what the original build did without rerunning any
+// pass.
+type ArtifactStats struct {
+	// Insns / BaselineInsns are the optimized and clang-baseline slot
+	// counts; InsnsSaved is their difference.
+	Insns         int
+	BaselineInsns int
+	InsnsSaved    int
+	// CyclesSaved is the superopt tier's modeled per-execution saving.
+	CyclesSaved uint64
+	// Searches / CacheHits / Rewrites summarize the superopt tier (zero
+	// when the tier was off).
+	Searches  int
+	CacheHits int
+	Rewrites  int
+	// FellBack records how a guarded build degraded ("" for clean builds).
+	FellBack string
+	// BuildNanos is the original build's wall time.
+	BuildNanos int64
+}
+
+// Artifact is one cached build output: the optimized program plus the stats
+// of the build that produced it.
+type Artifact struct {
+	Prog  *ebpf.Program
+	Stats ArtifactStats
+}
+
+// artifactEntry is the journal/wire record framing for one artifact. The
+// program travels as an objfile envelope, the same serialization merlind
+// uses for deploy sources.
+type artifactEntry struct {
+	Key   []byte
+	Prog  []byte
+	Stats ArtifactStats
+}
+
+// ArtifactCache is the content-addressed build-artifact cache: build key ->
+// optimized program + stats. Persistence, framing and failure semantics
+// mirror the superopt verdict cache exactly — journal-framed (CRC32C,
+// torn-tail tolerant, atomic compaction, chaos-FS injectable through
+// journal.Options), damaged entries degrade to misses, and the same
+// iomu-before-mu lock ordering keeps readers off the disk path.
+type ArtifactCache struct {
+	iomu     sync.Mutex // mutator/journal order; acquired before mu
+	mu       sync.RWMutex
+	log      *journal.Log // nil for in-memory caches
+	entries  map[string]Artifact
+	appended int // journal records since the last compaction (under iomu)
+}
+
+// NewMemArtifactCache returns a transient in-memory artifact cache.
+func NewMemArtifactCache() *ArtifactCache {
+	return &ArtifactCache{entries: map[string]Artifact{}}
+}
+
+// OpenArtifactCache opens (creating if needed) a persistent artifact cache
+// in dir. The journal's advisory lock makes a second opener fail fast naming
+// the holder pid.
+func OpenArtifactCache(dir string) (*ArtifactCache, error) {
+	return OpenArtifactCacheWith(dir, journal.Options{})
+}
+
+// OpenArtifactCacheWith is OpenArtifactCache with explicit journal options
+// (chaos.FS injection, segment rotation, fsync policy).
+func OpenArtifactCacheWith(dir string, o journal.Options) (*ArtifactCache, error) {
+	log, err := journal.OpenWith(dir, o)
+	if err != nil {
+		return nil, err
+	}
+	c := &ArtifactCache{log: log, entries: map[string]Artifact{}}
+	if snap, ok := log.Snapshot(); ok {
+		var es []artifactEntry
+		if json.Unmarshal(snap, &es) == nil {
+			for _, e := range es {
+				c.addEntry(e)
+			}
+		}
+	}
+	_ = log.Replay(func(payload []byte) error {
+		var e artifactEntry
+		if json.Unmarshal(payload, &e) == nil {
+			c.addEntry(e)
+		}
+		return nil
+	})
+	return c, nil
+}
+
+// addEntry inserts a decoded entry during open/replay (the cache is not yet
+// shared). Undecodable programs degrade to misses.
+func (c *ArtifactCache) addEntry(e artifactEntry) {
+	if len(e.Key) == 0 || len(e.Prog) == 0 {
+		return
+	}
+	prog, err := objfile.Unmarshal(e.Prog)
+	if err != nil {
+		return
+	}
+	if _, dup := c.entries[string(e.Key)]; dup {
+		return
+	}
+	c.entries[string(e.Key)] = Artifact{Prog: prog, Stats: e.Stats}
+}
+
+// Get returns the cached artifact for key. The returned program is a clone:
+// callers own it outright.
+func (c *ArtifactCache) Get(key string) (Artifact, bool) {
+	c.mu.RLock()
+	a, ok := c.entries[key]
+	c.mu.RUnlock()
+	if !ok {
+		return Artifact{}, false
+	}
+	return Artifact{Prog: a.Prog.Clone(), Stats: a.Stats}, true
+}
+
+// Put stores an artifact, appending it to the journal when persistent.
+// Re-putting a known key is a no-op (the key is content-addressed: same key,
+// same artifact). The program is cloned on the way in.
+func (c *ArtifactCache) Put(key string, a Artifact) {
+	c.iomu.Lock()
+	defer c.iomu.Unlock()
+	c.mu.Lock()
+	if _, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		return
+	}
+	a.Prog = a.Prog.Clone()
+	c.entries[key] = a
+	c.mu.Unlock()
+	if c.log == nil {
+		return
+	}
+	payload, err := encodeArtifact(key, a)
+	if err != nil {
+		return
+	}
+	if c.log.Append(payload, false) == nil {
+		c.appended++
+		if c.appended >= artifactCompactThreshold {
+			_ = c.compactIOLocked()
+		}
+	}
+}
+
+func encodeArtifact(key string, a Artifact) ([]byte, error) {
+	pb, err := objfile.Marshal(a.Prog)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(artifactEntry{Key: []byte(key), Prog: pb, Stats: a.Stats})
+}
+
+// Len returns the number of cached artifacts.
+func (c *ArtifactCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// compactIOLocked folds the cache into one snapshot record; iomu held, mu
+// taken only to collect a consistent view.
+func (c *ArtifactCache) compactIOLocked() error {
+	if c.log == nil {
+		return nil
+	}
+	c.mu.RLock()
+	es := make([]artifactEntry, 0, len(c.entries))
+	for k, a := range c.entries {
+		pb, err := objfile.Marshal(a.Prog)
+		if err != nil {
+			continue
+		}
+		es = append(es, artifactEntry{Key: []byte(k), Prog: pb, Stats: a.Stats})
+	}
+	c.mu.RUnlock()
+	payload, err := json.Marshal(es)
+	if err != nil {
+		return err
+	}
+	if err := c.log.Compact(payload); err != nil {
+		return err
+	}
+	c.appended = 0
+	return nil
+}
+
+// Flush compacts appended artifacts into the snapshot.
+func (c *ArtifactCache) Flush() error {
+	c.iomu.Lock()
+	defer c.iomu.Unlock()
+	if c.appended == 0 {
+		return nil
+	}
+	return c.compactIOLocked()
+}
+
+// Close flushes and releases the journal (and its directory lock).
+func (c *ArtifactCache) Close() error {
+	c.iomu.Lock()
+	defer c.iomu.Unlock()
+	if c.log == nil {
+		return nil
+	}
+	var ferr error
+	if c.appended != 0 {
+		ferr = c.compactIOLocked()
+	}
+	err := c.log.Close()
+	c.log = nil
+	if ferr != nil {
+		return ferr
+	}
+	return err
+}

@@ -1,0 +1,68 @@
+package buildsvc
+
+import (
+	"time"
+
+	"merlin/internal/metrics"
+)
+
+// Metrics publishes build-service telemetry into a metrics.Registry. All
+// methods are nil-receiver safe, matching the superopt.Metrics discipline.
+type Metrics struct {
+	depth     *metrics.Gauge
+	outcomes  map[Outcome]*metrics.Counter
+	buildDur  *metrics.Histogram
+	queueWait *metrics.Histogram
+}
+
+// NewMetrics registers the merlin_build_* families on reg.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	m := &Metrics{
+		depth:     reg.Gauge("merlin_build_queue_depth", "Unique builds waiting for a build worker."),
+		outcomes:  map[Outcome]*metrics.Counter{},
+		buildDur:  reg.Histogram("merlin_build_duration_us", "Underlying pipeline build wall time in microseconds."),
+		queueWait: reg.Histogram("merlin_build_queue_wait_us", "Time a unique build waited for a worker in microseconds."),
+	}
+	for _, oc := range []Outcome{OutcomeBuilt, OutcomeCached, OutcomeCoalesced, OutcomeRejected, OutcomeFailed} {
+		m.outcomes[oc] = reg.Counter("merlin_build_outcomes_total",
+			"Build submissions by outcome.", "outcome", string(oc))
+	}
+	return m
+}
+
+// outcome counts one submission's outcome.
+func (m *Metrics) outcome(oc Outcome) {
+	if m == nil {
+		return
+	}
+	if c, ok := m.outcomes[oc]; ok {
+		c.Inc()
+	}
+}
+
+// queued moves the queue-depth gauge by delta.
+func (m *Metrics) queued(delta int64) {
+	if m == nil {
+		return
+	}
+	m.depth.Add(delta)
+}
+
+// observeBuild records one underlying build's wall time.
+func (m *Metrics) observeBuild(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.buildDur.Observe(uint64(d.Microseconds()))
+}
+
+// observeQueueWait records how long a unique build sat in the queue.
+func (m *Metrics) observeQueueWait(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.queueWait.Observe(uint64(d.Microseconds()))
+}

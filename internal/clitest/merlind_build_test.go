@@ -1,0 +1,169 @@
+package clitest
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMerlindBuildFlagValidation: non-positive pool/queue sizes and a
+// -build-cache colliding with another exclusively-locked directory are
+// refused at startup with exit code 2 and a diagnostic naming the flag.
+func TestMerlindBuildFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildMerlind(t)
+	state := filepath.Join(t.TempDir(), "state")
+	cases := []struct {
+		flags []string
+		want  string
+	}{
+		{[]string{"-build-workers", "0"}, "-build-workers must be positive"},
+		{[]string{"-build-workers", "-3"}, "-build-workers must be positive"},
+		{[]string{"-build-queue", "0"}, "-build-queue must be positive"},
+		{[]string{"-build-queue", "-1"}, "-build-queue must be positive"},
+		{[]string{"-state-dir", state, "-build-cache", state},
+			"-build-cache must be a different directory"},
+		{[]string{"-superopt", "-superopt-cache", state, "-build-cache", state},
+			"-build-cache must be a different directory"},
+	}
+	for _, tc := range cases {
+		out, err := runScript(t, bin, "quit\n", tc.flags...)
+		if err == nil {
+			t.Errorf("merlind %v accepted:\n%s", tc.flags, out)
+			continue
+		}
+		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+			t.Errorf("merlind %v exit = %v, want exit code 2", tc.flags, err)
+		}
+		if !strings.Contains(out, tc.want) {
+			t.Errorf("merlind %v: unhelpful error (want %q):\n%s", tc.flags, tc.want, out)
+		}
+	}
+}
+
+// TestMerlindBuildCacheLockContention: the artifact cache directory is
+// exclusively locked like the state dir. A second daemon pointed at a held
+// -build-cache fails fast naming the holder pid; the incumbent keeps serving
+// builds, and the directory is reusable once it exits.
+func TestMerlindBuildCacheLockContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildMerlind(t)
+	cache := filepath.Join(t.TempDir(), "bcache")
+
+	d := startDaemon(t, bin, "-build-cache", cache)
+	d.send("cachestats")
+	d.waitFor("ok cachestats")
+
+	out, err := runScript(t, bin, "cachestats\nquit\n", "-build-cache", cache)
+	if err == nil {
+		t.Fatalf("second merlind on a held build cache succeeded:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Errorf("second merlind exit = %v, want exit code 2", err)
+	}
+	if !strings.Contains(out, "locked by another process") {
+		t.Errorf("contention output lacks diagnostic:\n%s", out)
+	}
+	if !strings.Contains(out, "held by pid") {
+		t.Errorf("contention output lacks holder pid:\n%s", out)
+	}
+
+	// The incumbent is unharmed: it still builds and answers.
+	d.send("build corpus:xdp_pktcntr")
+	line := d.waitFor("ok build ")
+	if !strings.Contains(line, "outcome=built") {
+		t.Errorf("incumbent build after contention: %s", line)
+	}
+	d.send("quit")
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("incumbent exited uncleanly: %v\n%s", err, d.log.String())
+	}
+	out, err = runScript(t, bin, "cachestats\nquit\n", "-build-cache", cache)
+	if err != nil {
+		t.Fatalf("merlind on a released build cache failed: %v\n%s", err, out)
+	}
+}
+
+// TestMerlindBuildCachePersists: with a persistent -build-cache, a build
+// survives a daemon restart — the second daemon answers the same request
+// from the artifact journal (outcome=cached) without running any pass, and
+// the bytecode statistics match the cold build exactly.
+func TestMerlindBuildCachePersists(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildMerlind(t)
+	cache := filepath.Join(t.TempDir(), "bcache")
+	script := "build corpus:xdp_pktcntr\ncachestats\nmetrics\nquit\n"
+	flags := []string{"-build-cache", cache, "-superopt"}
+
+	cold, err := runScript(t, bin, script, flags...)
+	if err != nil {
+		t.Fatalf("cold merlind build failed: %v\n%s", err, cold)
+	}
+	coldLine := buildReplyLine(t, cold)
+	if !strings.Contains(coldLine, "outcome=built") {
+		t.Fatalf("cold build outcome: %s", coldLine)
+	}
+	if !strings.Contains(cold, "artifacts=1") {
+		t.Errorf("cold cachestats lacks the artifact:\n%s", cold)
+	}
+	coldSeries := parseMetrics(t, cold)
+	if coldSeries[`merlin_build_outcomes_total{outcome="built"}`] != 1 {
+		t.Errorf("cold run outcome counter:\n%s", cold)
+	}
+
+	warm, err := runScript(t, bin, script, flags...)
+	if err != nil {
+		t.Fatalf("warm merlind build failed: %v\n%s", err, warm)
+	}
+	warmLine := buildReplyLine(t, warm)
+	if !strings.Contains(warmLine, "outcome=cached") {
+		t.Fatalf("warm build not served from the artifact cache: %s", warmLine)
+	}
+	warmSeries := parseMetrics(t, warm)
+	if warmSeries[`merlin_build_outcomes_total{outcome="cached"}`] != 1 {
+		t.Errorf("warm run outcome counter:\n%s", warm)
+	}
+	if warmSeries[`merlin_build_outcomes_total{outcome="built"}`] != 0 {
+		t.Errorf("warm run re-built a cached program:\n%s", warm)
+	}
+
+	// Identical key and identical result: everything except the outcome and
+	// the wall-clock field must match byte for byte.
+	if stripBuildTiming(coldLine) != stripBuildTiming(warmLine) {
+		t.Errorf("cached reply diverged from the cold build:\ncold: %s\nwarm: %s",
+			coldLine, warmLine)
+	}
+}
+
+// buildReplyLine extracts the single "ok build ..." line from a transcript.
+func buildReplyLine(t *testing.T, out string) string {
+	t.Helper()
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "ok build ") {
+			return l
+		}
+	}
+	t.Fatalf("transcript has no build reply:\n%s", out)
+	return ""
+}
+
+// stripBuildTiming drops the outcome= and ms= fields, the only parts of a
+// build reply that legitimately differ between a cold build and a cache hit.
+func stripBuildTiming(line string) string {
+	fields := strings.Fields(line)
+	kept := fields[:0]
+	for _, f := range fields {
+		if strings.HasPrefix(f, "ms=") || strings.HasPrefix(f, "outcome=") {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return strings.Join(kept, " ")
+}

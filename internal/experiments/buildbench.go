@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"merlin/internal/buildsvc"
+	"merlin/internal/core"
+	"merlin/internal/corpus"
+	"merlin/internal/ir"
+	"merlin/internal/superopt"
+)
+
+// This experiment prices the optimization-as-a-service path: how long a
+// superopt-enabled build takes through internal/buildsvc under three cache
+// regimes, per XDP corpus program.
+//
+//	cold       nothing cached: the full pipeline plus every enumerative
+//	           window search.
+//	warm       same daemon, same request: the content-addressed artifact
+//	           cache answers without running any pass.
+//	federated  a different daemon that never searched anything, after a
+//	           verdict-cache federation sync: the pipeline runs, but every
+//	           window verdict is a cache hit (searches must be zero).
+//
+// The gap between cold and federated is what one fleet member's search pays
+// forward to every other member; the gap between cold and warm is what the
+// artifact cache saves a single daemon on repeat builds.
+
+// BuildBenchRow is one XDP program's measurement.
+type BuildBenchRow struct {
+	Program string `json:"program"`
+	NI      int    `json:"ni"`
+	// Wall-clock nanoseconds per Submit, per regime.
+	ColdNs int64 `json:"cold_ns"`
+	WarmNs int64 `json:"warm_ns"`
+	FedNs  int64 `json:"fed_ns"`
+	// Superopt activity: the cold build searches, the federated build only
+	// hits (FedSearches is asserted zero by BuildBench itself).
+	ColdSearches int `json:"cold_searches"`
+	FedHits      int `json:"fed_hits"`
+}
+
+// BuildBenchResult aggregates the corpus sweep. Aggregate figures are sums
+// over the corpus (the cost of building everything once per regime).
+type BuildBenchResult struct {
+	Rows   []BuildBenchRow `json:"rows"`
+	Budget int             `json:"budget"`
+	ColdNs int64           `json:"cold_ns_total"`
+	WarmNs int64           `json:"warm_ns_total"`
+	FedNs  int64           `json:"fed_ns_total"`
+}
+
+// WarmSpeedup is the corpus-aggregate cold/warm latency ratio.
+func (res *BuildBenchResult) WarmSpeedup() float64 {
+	return float64(res.ColdNs) / float64(res.WarmNs)
+}
+
+// FedSpeedup is the corpus-aggregate cold/federated latency ratio — what
+// cache federation buys a daemon that never ran a search itself.
+func (res *BuildBenchResult) FedSpeedup() float64 {
+	return float64(res.ColdNs) / float64(res.FedNs)
+}
+
+// BuildBench sweeps the XDP corpus through a build service three times: cold
+// (fresh verdict + artifact caches), warm (resubmitted to the same service),
+// and federated (a second service whose verdict cache was filled by merging
+// the first's export, artifact cache empty). All three regimes share one
+// content-addressed request per program, so warm must come back cached and
+// federated must search nothing — both are asserted, not just measured.
+func BuildBench(budget int) (*BuildBenchResult, error) {
+	if budget <= 0 {
+		budget = superopt.DefaultBudget
+	}
+	specs := corpus.XDP()
+	reqs := make([]buildsvc.Request, len(specs))
+
+	soA := superopt.NewMemCache()
+	svcA := buildsvc.New(buildsvc.Config{Workers: 1})
+	defer svcA.Close()
+	res := &BuildBenchResult{Budget: budget}
+
+	for i, spec := range specs {
+		reqs[i] = buildsvc.Request{
+			Source: []byte(ir.Print(spec.Mod)),
+			Func:   spec.Func,
+			Opts: core.Options{
+				Hook: spec.Hook, MCPU: spec.MCPU, KernelALU32: true,
+				Superopt: &superopt.Config{Cache: soA, Budget: budget},
+			},
+		}
+		start := time.Now()
+		br, err := svcA.Submit(reqs[i])
+		if err != nil {
+			return nil, fmt.Errorf("buildbench: %s: cold build: %w", spec.Name, err)
+		}
+		if br.Outcome != buildsvc.OutcomeBuilt {
+			return nil, fmt.Errorf("buildbench: %s: cold outcome %q, want built", spec.Name, br.Outcome)
+		}
+		row := BuildBenchRow{
+			Program: spec.Name, NI: br.Prog.NI(),
+			ColdNs:       time.Since(start).Nanoseconds(),
+			ColdSearches: br.Stats.Searches,
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	for i, spec := range specs {
+		start := time.Now()
+		br, err := svcA.Submit(reqs[i])
+		if err != nil {
+			return nil, fmt.Errorf("buildbench: %s: warm build: %w", spec.Name, err)
+		}
+		if br.Outcome != buildsvc.OutcomeCached {
+			return nil, fmt.Errorf("buildbench: %s: warm outcome %q, want cached", spec.Name, br.Outcome)
+		}
+		res.Rows[i].WarmNs = time.Since(start).Nanoseconds()
+	}
+
+	// Federate: the second service's verdict cache is a merge of the first's
+	// full export — exactly what a controller fcache round delivers to a
+	// worker that never searched.
+	blob, _, _, err := soA.Export(0)
+	if err != nil {
+		return nil, fmt.Errorf("buildbench: export verdicts: %w", err)
+	}
+	soB := superopt.NewMemCache()
+	if _, err := soB.Merge(blob); err != nil {
+		return nil, fmt.Errorf("buildbench: merge verdicts: %w", err)
+	}
+	svcB := buildsvc.New(buildsvc.Config{Workers: 1})
+	defer svcB.Close()
+	for i, spec := range specs {
+		req := reqs[i]
+		req.Opts.Superopt = &superopt.Config{Cache: soB, Budget: budget}
+		start := time.Now()
+		br, err := svcB.Submit(req)
+		if err != nil {
+			return nil, fmt.Errorf("buildbench: %s: federated build: %w", spec.Name, err)
+		}
+		if br.Outcome != buildsvc.OutcomeBuilt {
+			return nil, fmt.Errorf("buildbench: %s: federated outcome %q, want built", spec.Name, br.Outcome)
+		}
+		if br.Stats.Searches != 0 {
+			return nil, fmt.Errorf("buildbench: %s: federated build ran %d searches, want 0 (federation failed)",
+				spec.Name, br.Stats.Searches)
+		}
+		res.Rows[i].FedNs = time.Since(start).Nanoseconds()
+		res.Rows[i].FedHits = br.Stats.CacheHits
+	}
+
+	for _, r := range res.Rows {
+		res.ColdNs += r.ColdNs
+		res.WarmNs += r.WarmNs
+		res.FedNs += r.FedNs
+	}
+	return res, nil
+}
+
+// buildBenchRun is one bench_build.json trajectory entry.
+type buildBenchRun struct {
+	Time        string  `json:"time"`
+	Budget      int     `json:"budget"`
+	ColdNs      int64   `json:"cold_ns_total"`
+	WarmNs      int64   `json:"warm_ns_total"`
+	FedNs       int64   `json:"fed_ns_total"`
+	WarmSpeedup float64 `json:"warm_speedup"`
+	FedSpeedup  float64 `json:"fed_speedup"`
+
+	Rows []BuildBenchRow `json:"rows"`
+}
+
+// AppendBuildBenchJSON appends this run to the trajectory artifact at path
+// (a JSON array of runs, created if missing), mirroring bench_vm.json.
+func AppendBuildBenchJSON(path string, res *BuildBenchResult) error {
+	var runs []buildBenchRun
+	if raw, err := os.ReadFile(path); err == nil {
+		// A corrupt or foreign file starts a fresh trajectory rather than
+		// failing the gate.
+		_ = json.Unmarshal(raw, &runs)
+	}
+	runs = append(runs, buildBenchRun{
+		Time:        time.Now().UTC().Format(time.RFC3339),
+		Budget:      res.Budget,
+		ColdNs:      res.ColdNs,
+		WarmNs:      res.WarmNs,
+		FedNs:       res.FedNs,
+		WarmSpeedup: res.WarmSpeedup(),
+		FedSpeedup:  res.FedSpeedup(),
+		Rows:        res.Rows,
+	})
+	raw, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -26,6 +26,7 @@ import (
 	"merlin/internal/journal"
 	"merlin/internal/lifecycle"
 	"merlin/internal/metrics"
+	"merlin/internal/superopt"
 )
 
 // Config tunes the controller. Zero fields take the documented defaults.
@@ -229,6 +230,13 @@ type Controller struct {
 	jAppends int
 
 	stepMu sync.Mutex
+
+	// Superopt cache federation state, touched only under stepMu (see
+	// CacheSync). Watermarks are deliberately not journaled: after a
+	// controller restart the first sync re-pulls full exports, and merging
+	// is an idempotent union.
+	fedCache *superopt.Cache
+	fedSeqs  map[string]uint64 // worker → cacheexport watermark
 }
 
 // New returns a Controller speaking over tr.

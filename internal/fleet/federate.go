@@ -1,0 +1,190 @@
+// Superopt cache federation: the controller periodically pulls every
+// worker's verdict-cache delta, merges them into one union (same
+// content-addressed, budget-qualified keys as the caches themselves — a
+// conflict means a corrupt cache and aborts the sync loudly), and pushes the
+// merged cache back out, so one machine's enumerative search pays for every
+// machine's build.
+package fleet
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"merlin/internal/superopt"
+)
+
+// CacheSyncReport summarizes one federation round.
+type CacheSyncReport struct {
+	// Workers is how many workers the round addressed.
+	Workers int
+	// Pulled counts workers whose delta export was fetched and merged.
+	Pulled int
+	// Entries is the total verdict entries pulled this round.
+	Entries int
+	// Pushed counts workers that accepted the merged union.
+	Pushed int
+	// Skipped counts workers unreachable (or erroring) in either phase;
+	// their watermark is untouched, so the next round self-heals.
+	Skipped int
+	// Union is the size of the controller's merged cache after the round.
+	Union int
+}
+
+func (r CacheSyncReport) String() string {
+	return fmt.Sprintf("workers=%d pulled=%d entries=%d union=%d pushed=%d skipped=%d",
+		r.Workers, r.Pulled, r.Entries, r.Union, r.Pushed, r.Skipped)
+}
+
+// CacheSync runs one federation round: pull each worker's superopt verdict
+// delta (per-worker watermarks keep repeat rounds incremental), merge into
+// the controller-held union, then push the union to every worker. Unreachable
+// workers are skipped and caught up next round. A verdict conflict — the
+// same key with a different verdict, which can only mean a corrupt cache or
+// proof — aborts the sync with a loud error naming the worker; nothing is
+// silently overwritten. stepMu serializes the round against rollout steps
+// and reconciles, like every other compound multi-RPC operation.
+func (c *Controller) CacheSync() (CacheSyncReport, error) {
+	c.stepMu.Lock()
+	defer c.stepMu.Unlock()
+	if c.fedCache == nil {
+		c.fedCache = superopt.NewMemCache()
+		c.fedSeqs = map[string]uint64{}
+	}
+	var rep CacheSyncReport
+	workers := c.Workers()
+	rep.Workers = len(workers)
+	if c.met != nil {
+		c.met.cacheSyncs.Inc()
+	}
+
+	for _, name := range workers {
+		since := c.fedSeqs[name]
+		lines, err := c.rpc(name, fmt.Sprintf("cacheexport %d", since), true)
+		if err != nil {
+			rep.Skipped++
+			if c.met != nil {
+				c.met.cacheSkips.Inc()
+			}
+			continue
+		}
+		if _, isErr := ReplyErr(lines); isErr {
+			// A worker without -superopt (or a malformed request) answers
+			// err; it has nothing to federate. Skip, don't abort.
+			rep.Skipped++
+			if c.met != nil {
+				c.met.cacheSkips.Inc()
+			}
+			continue
+		}
+		blob, seq, n, perr := parseCacheExport(lines)
+		if perr != nil {
+			rep.Skipped++
+			if c.met != nil {
+				c.met.cacheSkips.Inc()
+			}
+			continue
+		}
+		if _, err := c.fedCache.Merge(blob); err != nil {
+			if c.met != nil {
+				c.met.cacheConflicts.Inc()
+			}
+			return rep, fmt.Errorf("fleet: cache sync: merging worker %s: %w", name, err)
+		}
+		c.fedSeqs[name] = seq
+		rep.Pulled++
+		rep.Entries += n
+		if c.met != nil {
+			c.met.cachePulled.Add(uint64(n))
+		}
+	}
+
+	rep.Union = c.fedCache.Len()
+	if c.met != nil {
+		c.met.cacheUnion.Set(int64(rep.Union))
+	}
+	blob, _, n, err := c.fedCache.Export(0)
+	if err != nil {
+		return rep, fmt.Errorf("fleet: cache sync: export union: %w", err)
+	}
+	push := "cachemerge " + base64.StdEncoding.EncodeToString(blob)
+	for _, name := range workers {
+		// The union merge is idempotent, so retrying reads is safe.
+		lines, err := c.rpc(name, push, true)
+		if err != nil {
+			rep.Skipped++
+			if c.met != nil {
+				c.met.cacheSkips.Inc()
+			}
+			continue
+		}
+		if errLine, isErr := ReplyErr(lines); isErr {
+			if strings.Contains(errLine, "conflict") {
+				if c.met != nil {
+					c.met.cacheConflicts.Inc()
+				}
+				return rep, fmt.Errorf("fleet: cache sync: worker %s rejected the union: %s", name, errLine)
+			}
+			rep.Skipped++
+			if c.met != nil {
+				c.met.cacheSkips.Inc()
+			}
+			continue
+		}
+		rep.Pushed++
+		if c.met != nil {
+			c.met.cachePushed.Add(uint64(n))
+		}
+	}
+	return rep, nil
+}
+
+// parseCacheExport extracts the base64 blob and watermark from a cacheexport
+// reply: a "cachedata <b64>" line followed by "ok cacheexport seq=N
+// entries=M".
+func parseCacheExport(lines []string) (blob []byte, seq uint64, entries int, err error) {
+	var b64 string
+	for _, l := range lines {
+		if rest, ok := strings.CutPrefix(l, "cachedata "); ok {
+			b64 = strings.TrimSpace(rest)
+		}
+	}
+	if b64 == "" {
+		return nil, 0, 0, fmt.Errorf("fleet: cacheexport reply missing cachedata line")
+	}
+	blob, err = base64.StdEncoding.DecodeString(b64)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("fleet: cacheexport blob: %w", err)
+	}
+	last, ok := ReplyOK(lines)
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("fleet: cacheexport reply not ok")
+	}
+	for _, f := range strings.Fields(last) {
+		if v, ok := strings.CutPrefix(f, "seq="); ok {
+			seq, err = strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("fleet: cacheexport seq: %w", err)
+			}
+		}
+		if v, ok := strings.CutPrefix(f, "entries="); ok {
+			entries, err = strconv.Atoi(v)
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("fleet: cacheexport entries: %w", err)
+			}
+		}
+	}
+	return blob, seq, entries, nil
+}
+
+// FederatedCacheSize reports the controller union's current size (0 before
+// the first sync).
+func (c *Controller) FederatedCacheSize() int {
+	c.stepMu.Lock()
+	defer c.stepMu.Unlock()
+	if c.fedCache == nil {
+		return 0
+	}
+	return c.fedCache.Len()
+}

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"encoding/base64"
 	"fmt"
 	"strconv"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"merlin/internal/guard"
 	"merlin/internal/lifecycle"
 	"merlin/internal/metrics"
+	"merlin/internal/superopt"
 )
 
 // LocalTransport hosts in-process workers, each a real lifecycle.Manager
@@ -40,7 +42,8 @@ type LocalWorker struct {
 	seed    uint64
 	traffic int64
 	down    bool
-	token   string // control token; "" accepts everything
+	token   string          // control token; "" accepts everything
+	socache *superopt.Cache // per-incarnation verdict cache (federation)
 }
 
 // AddWorker creates a worker reachable at an address equal to its name. The
@@ -59,6 +62,8 @@ func (w *LocalWorker) reset() {
 	cfg := w.cfg
 	cfg.Metrics = w.reg
 	w.mgr = lifecycle.NewManager(cfg)
+	// Like merlind's default in-memory verdict cache, a restart loses it.
+	w.socache = superopt.NewMemCache()
 }
 
 // Kill makes the worker unreachable, as a SIGKILL would.
@@ -105,6 +110,16 @@ func (lt *LocalTransport) AuthFailures(name string) int64 {
 	reg := w.reg
 	w.mu.Unlock()
 	return reg.Snapshot()["merlin_fleet_auth_failures_total"]
+}
+
+// Cache exposes the worker's superopt verdict cache for federation tests.
+func (lt *LocalTransport) Cache(name string) *superopt.Cache {
+	if w := lt.get(name); w != nil {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return w.socache
+	}
+	return nil
 }
 
 // Manager exposes the worker's lifecycle manager for test assertions.
@@ -240,6 +255,37 @@ func (w *LocalWorker) dispatch(line string) []string {
 		w.mgr.CollectMetrics()
 		out := strings.Split(strings.TrimRight(w.reg.Text(), "\n"), "\n")
 		return append(out, "ok metrics")
+	case "cacheexport":
+		var since uint64
+		if len(args) > 0 {
+			v, err := strconv.ParseUint(args[0], 10, 64)
+			if err != nil {
+				return []string{"err cacheexport: since must be a non-negative integer"}
+			}
+			since = v
+		}
+		blob, seq, n, err := w.socache.Export(since)
+		if err != nil {
+			return []string{"err cacheexport: " + err.Error()}
+		}
+		return []string{
+			"cachedata " + base64.StdEncoding.EncodeToString(blob),
+			fmt.Sprintf("ok cacheexport seq=%d entries=%d", seq, n),
+		}
+	case "cachemerge":
+		if len(args) != 1 {
+			return []string{"err usage: cachemerge <base64-blob>"}
+		}
+		blob, err := base64.StdEncoding.DecodeString(args[0])
+		if err != nil {
+			return []string{"err cachemerge: bad base64"}
+		}
+		st, err := w.socache.Merge(blob)
+		if err != nil {
+			return []string{"err cachemerge: " + err.Error()}
+		}
+		return []string{fmt.Sprintf("ok cachemerge added=%d known=%d total=%d",
+			st.Added, st.Known, w.socache.Len())}
 	default:
 		return []string{fmt.Sprintf("err unknown command %q", cmd)}
 	}

@@ -44,6 +44,14 @@ type fleetMetrics struct {
 
 	statusPolls *metrics.Counter
 	statusSkips *metrics.Counter
+
+	// Superopt cache federation.
+	cacheSyncs     *metrics.Counter
+	cachePulled    *metrics.Counter
+	cachePushed    *metrics.Counter
+	cacheConflicts *metrics.Counter
+	cacheSkips     *metrics.Counter
+	cacheUnion     *metrics.Gauge
 }
 
 func newFleetMetrics(r *metrics.Registry) *fleetMetrics {
@@ -110,6 +118,18 @@ func newFleetMetrics(r *metrics.Registry) *fleetMetrics {
 		"full status polls issued while judging canary candidates")
 	fm.statusSkips = r.Counter("merlin_fleet_status_skips_total",
 		"status polls skipped because the event watermark was unchanged")
+	fm.cacheSyncs = r.Counter("merlin_fleet_cache_syncs_total",
+		"superopt cache federation rounds run")
+	fm.cachePulled = r.Counter("merlin_fleet_cache_entries_pulled_total",
+		"verdict entries pulled from worker cache deltas")
+	fm.cachePushed = r.Counter("merlin_fleet_cache_entries_pushed_total",
+		"union verdict entries pushed back to workers")
+	fm.cacheConflicts = r.Counter("merlin_fleet_cache_conflicts_total",
+		"federation merges aborted by conflicting verdicts")
+	fm.cacheSkips = r.Counter("merlin_fleet_cache_sync_skips_total",
+		"workers skipped during a federation round (unreachable or no cache)")
+	fm.cacheUnion = r.Gauge("merlin_fleet_cache_union_size",
+		"verdict entries in the controller's merged federation cache")
 	return fm
 }
 
